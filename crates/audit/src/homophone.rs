@@ -1,0 +1,184 @@
+//! The homophone audit (Section 3.3, Fig 5 of the paper).
+//!
+//! "The homophone problem is the assumption that two semantically different
+//! events will have different shapes in the time series representation."
+//! Fig 5 takes random GunPoint exemplars and finds their nearest neighbors
+//! inside eye-movement data, a smoothed random walk, and insect behavior —
+//! in every case the gesture's nearest neighbor in *gesture-free* data is
+//! closer than the other exemplar of its own class.
+//!
+//! This audit reproduces that measurement: for each probe exemplar, compare
+//! its in-class nearest-neighbor distance against its nearest-neighbor
+//! distance inside an out-of-domain background stream. A **homophone ratio**
+//! below 1 means the background contains better matches than the class
+//! itself — streaming deployment will be flooded with false positives.
+
+use etsc_core::distance::euclidean;
+use etsc_core::nn::{nearest_neighbor, top_k_neighbors, Match};
+use etsc_core::znorm::znormalize;
+use etsc_core::UcrDataset;
+
+/// The homophone measurement for one probe exemplar against one background.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomophoneFinding {
+    /// Index of the probe exemplar in the probe dataset.
+    pub probe_index: usize,
+    /// Name of the background stream searched.
+    pub background: String,
+    /// Distance to the nearest same-class exemplar (z-normalized ED).
+    pub in_class_nn_dist: f64,
+    /// Distance to the nearest subsequence of the background.
+    pub background_nn_dist: f64,
+    /// Offset of the background match.
+    pub background_nn_start: usize,
+}
+
+impl HomophoneFinding {
+    /// `background_nn_dist / in_class_nn_dist`; < 1 ⇒ a homophone exists.
+    pub fn ratio(&self) -> f64 {
+        if self.in_class_nn_dist <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.background_nn_dist / self.in_class_nn_dist
+        }
+    }
+
+    /// Does gesture-free data beat the probe's own class?
+    pub fn has_homophone(&self) -> bool {
+        self.background_nn_dist < self.in_class_nn_dist
+    }
+}
+
+/// Distance from probe `i` to its nearest same-class neighbor in `data`
+/// (both z-normalized — the shape comparison convention).
+pub fn in_class_nn_dist(data: &UcrDataset, i: usize) -> f64 {
+    let probe = znormalize(data.series(i));
+    let mut best = f64::INFINITY;
+    for j in 0..data.len() {
+        if j != i && data.label(j) == data.label(i) {
+            let d = euclidean(&probe, &znormalize(data.series(j)));
+            best = best.min(d);
+        }
+    }
+    best
+}
+
+/// Run the Fig 5 measurement: for each probe index, search each named
+/// background stream for the probe's nearest subsequence and compare with
+/// the probe's in-class nearest neighbor.
+pub fn homophone_audit(
+    probes: &UcrDataset,
+    probe_indices: &[usize],
+    backgrounds: &[(&str, &[f64])],
+) -> Vec<HomophoneFinding> {
+    let mut findings = Vec::new();
+    for &i in probe_indices {
+        let in_class = in_class_nn_dist(probes, i);
+        for &(name, stream) in backgrounds {
+            if let Some(Match { start, dist }) = nearest_neighbor(probes.series(i), stream) {
+                findings.push(HomophoneFinding {
+                    probe_index: i,
+                    background: name.to_string(),
+                    in_class_nn_dist: in_class,
+                    background_nn_dist: dist,
+                    background_nn_start: start,
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// The k nearest background subsequences of one probe (Fig 5 clusters each
+/// probe with its three nearest background neighbors).
+pub fn background_neighbors(probe: &[f64], background: &[f64], k: usize) -> Vec<Match> {
+    top_k_neighbors(probe, background, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-class probe set: distinctive double-bump vs single-ramp shapes.
+    fn probes() -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..3 {
+                let jitter = i as f64 * 0.05;
+                data.push(
+                    (0..32)
+                        .map(|j| {
+                            let t = j as f64 / 32.0;
+                            if c == 0 {
+                                (std::f64::consts::TAU * 2.0 * t).sin() + jitter * t
+                            } else {
+                                t * 2.0 + jitter
+                            }
+                        })
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn planted_copy_in_background_gives_ratio_below_one() {
+        let p = probes();
+        // Background: noise plus an exact copy of probe 0.
+        let mut bg: Vec<f64> = (0..500).map(|i| ((i * 37) % 97) as f64 / 10.0).collect();
+        let probe0: Vec<f64> = p.series(0).to_vec();
+        bg.extend(probe0.iter().map(|&v| 50.0 + 3.0 * v));
+        let f = homophone_audit(&p, &[0], &[("noise+copy", &bg)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].has_homophone(), "planted copy is a perfect homophone");
+        assert!(f[0].ratio() < 0.5);
+        assert!(f[0].background_nn_start >= 490);
+    }
+
+    #[test]
+    fn in_class_distance_uses_same_class_only() {
+        let p = probes();
+        let d = in_class_nn_dist(&p, 0);
+        // Probe 0's same-class neighbors are jittered copies: close.
+        assert!(d < 2.0, "in-class NN should be close, got {d}");
+        // All probes have at least one same-class neighbor.
+        for i in 0..p.len() {
+            assert!(in_class_nn_dist(&p, i).is_finite());
+        }
+    }
+
+    #[test]
+    fn audit_covers_all_probe_background_pairs() {
+        let p = probes();
+        let bg1: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let bg2: Vec<f64> = (0..200).map(|i| (i as f64 * 0.02).cos()).collect();
+        let f = homophone_audit(&p, &[0, 3], &[("a", &bg1), ("b", &bg2)]);
+        assert_eq!(f.len(), 4);
+        let names: Vec<&str> = f.iter().map(|x| x.background.as_str()).collect();
+        assert!(names.contains(&"a") && names.contains(&"b"));
+    }
+
+    #[test]
+    fn ratio_handles_degenerate_in_class_distance() {
+        let f = HomophoneFinding {
+            probe_index: 0,
+            background: "x".into(),
+            in_class_nn_dist: 0.0,
+            background_nn_dist: 1.0,
+            background_nn_start: 0,
+        };
+        assert_eq!(f.ratio(), f64::INFINITY);
+        assert!(!f.has_homophone());
+    }
+
+    #[test]
+    fn short_background_yields_no_findings() {
+        let p = probes();
+        let tiny = [1.0, 2.0];
+        let f = homophone_audit(&p, &[0], &[("tiny", &tiny[..])]);
+        assert!(f.is_empty());
+    }
+}

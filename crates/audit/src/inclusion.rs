@@ -1,0 +1,131 @@
+//! The inclusion audit (Section 3.2 of the paper).
+//!
+//! "The inclusion problem is the assumption that the pattern to be early
+//! classified is not comprised of smaller atomic units that are frequently
+//! observed on their own" — and, conversely, that the pattern does not occur
+//! *inside* other patterns (*point* inside *disappointing*, *gun* inside
+//! *burgundy*). By Zipf's law the containing patterns can be vastly more
+//! common than the target itself.
+//!
+//! Given targets and a lexicon, this audit finds every lexicon entry that
+//! *contains* a target anywhere (not just at the head — that case is the
+//! prefix audit).
+
+use etsc_core::distance::znormalized_sq_dist;
+use etsc_core::znorm::znormalize;
+
+use crate::lexicon::PatternLexicon;
+
+/// One inclusion collision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InclusionFinding {
+    /// Target pattern name.
+    pub target: String,
+    /// Containing lexicon pattern.
+    pub confuser: String,
+    /// Best-match distance (length-normalized, z-normalized).
+    pub dist: f64,
+    /// Offset in the confuser where the best match starts.
+    pub position: usize,
+}
+
+/// Best (minimum) length-normalized z-distance of `target` over all windows
+/// of `container`, with the matching offset. `None` if the container is
+/// shorter than the target.
+pub fn inclusion_distance(target: &[f64], container: &[f64]) -> Option<(f64, usize)> {
+    let m = target.len();
+    if container.len() < m || m == 0 {
+        return None;
+    }
+    let t = znormalize(target);
+    let mut best = (f64::INFINITY, 0usize);
+    for start in 0..=(container.len() - m) {
+        let d2 = znormalized_sq_dist(&t, &container[start..start + m]);
+        if d2 < best.0 {
+            best = (d2, start);
+        }
+    }
+    Some((best.0.sqrt() / (m as f64).sqrt(), best.1))
+}
+
+/// Find every lexicon entry containing one of the `targets` within
+/// `tolerance`. Entries that *are* the target (same length, distance ~0) are
+/// reported too — deciding whether an exact standalone occurrence is a
+/// confuser is the caller's domain knowledge, not the audit's.
+pub fn inclusion_audit(
+    targets: &PatternLexicon,
+    lexicon: &PatternLexicon,
+    tolerance: f64,
+) -> Vec<InclusionFinding> {
+    let mut findings = Vec::new();
+    for (tname, tpat) in targets.iter() {
+        for (cname, cpat) in lexicon.iter() {
+            if let Some((dist, position)) = inclusion_distance(tpat, cpat) {
+                if dist <= tolerance {
+                    findings.push(InclusionFinding {
+                        target: tname.to_string(),
+                        confuser: cname.to_string(),
+                        dist,
+                        position,
+                    });
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_embedded_target() {
+        let target = vec![0.0, 3.0, 1.0, 4.0, 1.0, 5.0];
+        let mut container = vec![9.0, 8.0, 7.0];
+        container.extend(target.iter().map(|&v| v * 2.0 + 10.0)); // affine copy
+        container.extend([0.0, 1.0]);
+        let (d, pos) = inclusion_distance(&target, &container).unwrap();
+        assert!(d < 1e-6, "affine-embedded target must match, d={d}");
+        assert_eq!(pos, 3);
+    }
+
+    #[test]
+    fn requires_container_at_least_target_length() {
+        let t = vec![1.0, 2.0, 3.0];
+        assert!(inclusion_distance(&t, &[1.0, 2.0]).is_none());
+        assert!(inclusion_distance(&t, &[1.0, 2.0, 3.0]).is_some());
+    }
+
+    #[test]
+    fn audit_reports_positions() {
+        let targets = PatternLexicon::new().with("gun", vec![0.0, 5.0, 2.0, 6.0]);
+        let mut burgundy = vec![1.0, 1.2, 0.8];
+        burgundy.extend([0.0, 5.0, 2.0, 6.0]);
+        burgundy.extend([3.0, 3.3]);
+        let lexicon = PatternLexicon::new()
+            .with("burgundy", burgundy)
+            .with("flat", vec![0.0; 10]);
+        let f = inclusion_audit(&targets, &lexicon, 0.2);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].confuser, "burgundy");
+        assert_eq!(f[0].position, 3);
+    }
+
+    #[test]
+    fn prefix_findings_are_a_subset_of_inclusion_findings() {
+        // Anything the prefix audit flags, the inclusion audit also flags
+        // (at position 0) — inclusion is the weaker (more inclusive) notion.
+        let target = vec![0.0, 1.0, 0.5, 2.0, 1.5];
+        let mut confuser = target.clone();
+        confuser.extend([9.0, -3.0]);
+        let targets = PatternLexicon::new().with("t", target);
+        let lexicon = PatternLexicon::new().with("c", confuser);
+        let pf = crate::prefix::prefix_audit(&targets, &lexicon, 0.2);
+        let inf = inclusion_audit(&targets, &lexicon, 0.2);
+        assert_eq!(pf.len(), 1);
+        assert_eq!(inf.len(), 1);
+        assert_eq!(inf[0].position, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! A named collection of patterns — the "vocabulary" of a domain.
+//!
+//! The prefix and inclusion audits reason over the *universe of patterns a
+//! deployment will encounter*, not just the classes the model was trained
+//! on. A lexicon holds that universe: named templates for every behavior /
+//! word / event shape known to occur in the domain.
+
+/// A named pattern dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct PatternLexicon {
+    entries: Vec<(String, Vec<f64>)>,
+}
+
+impl PatternLexicon {
+    /// Empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named pattern. Names need not be unique (multiple renditions of
+    /// the same word are fine); empty patterns are rejected.
+    pub fn add(&mut self, name: impl Into<String>, pattern: Vec<f64>) {
+        assert!(!pattern.is_empty(), "lexicon patterns must be non-empty");
+        self.entries.push((name.into(), pattern));
+    }
+
+    /// Builder-style [`add`](Self::add).
+    pub fn with(mut self, name: impl Into<String>, pattern: Vec<f64>) -> Self {
+        self.add(name, pattern);
+        self
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no patterns are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(name, pattern)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.entries
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.as_slice()))
+    }
+
+    /// Look up all patterns with the given name.
+    pub fn get(&self, name: &str) -> Vec<&[f64]> {
+        self.entries
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_iterate() {
+        let lex = PatternLexicon::new()
+            .with("cat", vec![1.0, 2.0])
+            .with("dog", vec![3.0]);
+        assert_eq!(lex.len(), 2);
+        assert!(!lex.is_empty());
+        let names: Vec<&str> = lex.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["cat", "dog"]);
+    }
+
+    #[test]
+    fn duplicate_names_allowed() {
+        let mut lex = PatternLexicon::new();
+        lex.add("cat", vec![1.0]);
+        lex.add("cat", vec![2.0]);
+        assert_eq!(lex.get("cat").len(), 2);
+        assert!(lex.get("bird").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_pattern() {
+        PatternLexicon::new().add("x", vec![]);
+    }
+}

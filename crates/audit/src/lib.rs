@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # etsc-audit
+//!
+//! Meaningfulness audits for early time series classification — the paper's
+//! Section 6 recommendations turned into a library. Before anyone deploys an
+//! early classifier, these audits quantify the four things the paper says a
+//! concrete, falsifiable ETSC problem definition must consider:
+//!
+//! 1. **Costs** — the cost of a false positive for the actionable class vs.
+//!    the cost of a false negative ([`report`], via
+//!    [`etsc_stream::CostModel`]).
+//! 2. **Confusability** — the probability that the domain contains
+//!    *prefixes* ([`prefix`]), *inclusions* ([`inclusion`]), and
+//!    *homophones* ([`homophone`]) that resemble the actionable class.
+//! 3. **Prior** — the prior probability of seeing a member of the
+//!    actionable class at all ([`report`]).
+//! 4. **Normalization** — whether the domain tolerates the normalization
+//!    assumptions the model silently makes ([`normalization`]).
+//!
+//! [`report::MeaningfulnessReport`] combines all four into a reproducible
+//! verdict with per-criterion evidence.
+
+pub mod homophone;
+pub mod inclusion;
+pub mod lexicon;
+pub mod normalization;
+pub mod prefix;
+pub mod report;
+
+pub use lexicon::PatternLexicon;
+pub use report::{Assessment, MeaningfulnessReport};

@@ -1,0 +1,238 @@
+//! The normalization sensitivity audit (Section 4, Table 1, Fig 6).
+//!
+//! ETSC models trained and tested on UCR-format data silently assume every
+//! incoming prefix is z-normalized with statistics of data that does not
+//! exist yet. This audit measures how much accuracy an early classifier
+//! loses when test exemplars are shifted/scaled by amounts that are
+//! physically trivial (Fig 6: a camera tilt of ~1.9°, an actor in heels).
+
+use etsc_core::UcrDataset;
+use etsc_early::metrics::{evaluate, PrefixPolicy};
+use etsc_early::EarlyClassifier;
+
+/// One point of the sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Maximum absolute offset applied (uniform in `[-offset, offset]`).
+    pub offset: f64,
+    /// Accuracy at this perturbation level.
+    pub accuracy: f64,
+    /// Mean earliness at this perturbation level.
+    pub earliness: f64,
+}
+
+/// Result of the normalization sensitivity audit.
+#[derive(Debug, Clone)]
+pub struct SensitivityReport {
+    /// Accuracy/earliness at each offset level, ascending.
+    pub sweep: Vec<SweepPoint>,
+}
+
+impl SensitivityReport {
+    /// Accuracy on unperturbed data (offset 0), if it was swept.
+    pub fn baseline_accuracy(&self) -> Option<f64> {
+        self.sweep
+            .iter()
+            .find(|p| p.offset == 0.0)
+            .map(|p| p.accuracy)
+    }
+
+    /// Largest accuracy drop from the baseline across the sweep.
+    pub fn max_drop(&self) -> f64 {
+        match self.baseline_accuracy() {
+            None => 0.0,
+            Some(base) => self
+                .sweep
+                .iter()
+                .map(|p| base - p.accuracy)
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Is the model robust to denormalization (max drop below `tol`)?
+    pub fn is_robust(&self, tol: f64) -> bool {
+        self.max_drop() <= tol
+    }
+}
+
+/// Sweep accuracy of a fitted early classifier over increasing
+/// denormalization offsets. `test` should be in the form the classifier was
+/// evaluated on originally (z-normalized for UCR-style models); `policy`
+/// controls the prefix convention during evaluation.
+pub fn sensitivity_sweep<C: EarlyClassifier + ?Sized>(
+    clf: &C,
+    test: &UcrDataset,
+    offsets: &[f64],
+    policy: PrefixPolicy,
+    seed: u64,
+) -> SensitivityReport {
+    let mut sweep: Vec<SweepPoint> = offsets
+        .iter()
+        .map(|&offset| {
+            let perturbed = if offset == 0.0 {
+                test.clone()
+            } else {
+                shift_dataset(test, offset, seed)
+            };
+            let ev = evaluate(clf, &perturbed, policy);
+            SweepPoint {
+                offset,
+                accuracy: ev.accuracy(),
+                earliness: ev.earliness(),
+            }
+        })
+        .collect();
+    sweep.sort_by(|a, b| a.offset.partial_cmp(&b.offset).unwrap());
+    SensitivityReport { sweep }
+}
+
+/// Small internal shim: apply a per-exemplar uniform shift without dragging
+/// the full datasets crate in as a dependency (audit must stay usable on
+/// user-provided data).
+mod rand_like {
+    use etsc_core::UcrDataset;
+
+    /// Deterministic splitmix64 — enough randomness for offset draws and
+    /// keeps `etsc-audit` free of the `rand` dependency.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Shift every exemplar by an offset drawn uniformly from
+    /// `[-max_offset, max_offset]`.
+    pub fn shift_dataset(data: &UcrDataset, max_offset: f64, seed: u64) -> UcrDataset {
+        let mut state = seed;
+        let mut out = data.clone();
+        out.map_series(|_, s| {
+            let u = splitmix64(&mut state) as f64 / u64::MAX as f64; // [0, 1]
+            let offset = (2.0 * u - 1.0) * max_offset;
+            s.iter_mut().for_each(|x| *x += offset);
+        });
+        out
+    }
+}
+
+pub use rand_like::shift_dataset;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::ClassLabel;
+    use etsc_early::Decision;
+
+    /// A deliberately offset-fragile classifier: thresholds the raw mean of
+    /// the first few points (an absolute-value model, like an ETSC model
+    /// that believes its inputs are pre-normalized).
+    struct RawLevelClassifier;
+
+    impl EarlyClassifier for RawLevelClassifier {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn series_len(&self) -> usize {
+            16
+        }
+        fn min_prefix(&self) -> usize {
+            4
+        }
+        fn decide(&self, prefix: &[f64]) -> Decision {
+            if prefix.len() < 4 {
+                return Decision::Wait;
+            }
+            let m = prefix[..4].iter().sum::<f64>() / 4.0;
+            Decision::Predict {
+                label: usize::from(m > 0.5),
+                confidence: 1.0,
+            }
+        }
+        fn predict_full(&self, s: &[f64]) -> ClassLabel {
+            usize::from(s.iter().sum::<f64>() / s.len() as f64 > 0.5)
+        }
+    }
+
+    fn test_set() -> UcrDataset {
+        // Class 0 at level ~0, class 1 at level ~1: margin 0.5 to the
+        // threshold, so offsets beyond 0.5 flip labels. Enough exemplars
+        // that a ±2.0 uniform offset sweep flips some with overwhelming
+        // probability regardless of seed.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            data.push(vec![0.01 * i as f64; 16]);
+            labels.push(0);
+            data.push(vec![1.0 - 0.01 * i as f64; 16]);
+            labels.push(1);
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn fragile_classifier_degrades_with_offset() {
+        let report = sensitivity_sweep(
+            &RawLevelClassifier,
+            &test_set(),
+            &[0.0, 0.25, 2.0],
+            PrefixPolicy::Raw,
+            7,
+        );
+        assert_eq!(report.baseline_accuracy(), Some(1.0));
+        let acc_at = |o: f64| {
+            report
+                .sweep
+                .iter()
+                .find(|p| p.offset == o)
+                .unwrap()
+                .accuracy
+        };
+        assert!(acc_at(2.0) < 1.0, "large offsets must hurt a raw-level model");
+        assert!(report.max_drop() > 0.0);
+        assert!(!report.is_robust(0.01));
+    }
+
+    #[test]
+    fn sweep_is_sorted_by_offset() {
+        let report = sensitivity_sweep(
+            &RawLevelClassifier,
+            &test_set(),
+            &[1.0, 0.0, 0.5],
+            PrefixPolicy::Raw,
+            1,
+        );
+        let offsets: Vec<f64> = report.sweep.iter().map(|p| p.offset).collect();
+        assert_eq!(offsets, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn shift_dataset_is_deterministic_and_bounded() {
+        let d = test_set();
+        let a = shift_dataset(&d, 1.0, 42);
+        let b = shift_dataset(&d, 1.0, 42);
+        assert_eq!(a, b);
+        for i in 0..d.len() {
+            let delta = a.series(i)[0] - d.series(i)[0];
+            assert!(delta.abs() <= 1.0 + 1e-12);
+            // Shift is constant within an exemplar.
+            for j in 0..d.series_len() {
+                assert!((a.series(i)[j] - d.series(i)[j] - delta).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_offset_point_reproduces_baseline() {
+        let report = sensitivity_sweep(
+            &RawLevelClassifier,
+            &test_set(),
+            &[0.0],
+            PrefixPolicy::Raw,
+            3,
+        );
+        assert_eq!(report.sweep.len(), 1);
+        assert_eq!(report.max_drop(), 0.0);
+        assert!(report.is_robust(0.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! The prefix audit (Section 3.1 of the paper).
+//!
+//! "The prefix problem is the assumption that the pattern to be early
+//! classified is not a prefix of a longer innocuous pattern." Eighty-eight
+//! English words begin with *gun*; an early classifier trained to fire on
+//! the first 40% of *gun* will fire on all of them.
+//!
+//! Given target patterns and a lexicon of other patterns the domain
+//! produces, this audit finds every lexicon entry whose *beginning* is
+//! within tolerance of a target — each one is a guaranteed false positive
+//! for a deployed early classifier.
+
+use etsc_core::distance::euclidean;
+use etsc_core::znorm::znormalize;
+
+use crate::lexicon::PatternLexicon;
+
+/// One prefix collision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixFinding {
+    /// Target pattern name.
+    pub target: String,
+    /// The longer lexicon pattern whose head matches the target.
+    pub confuser: String,
+    /// Length-normalized z-normalized Euclidean distance between the target
+    /// and the confuser's head.
+    pub dist: f64,
+    /// Length of the compared region (= target length).
+    pub compared_len: usize,
+}
+
+/// Compare a target against the head of a longer pattern:
+/// length-normalized distance between the z-normalized target and the
+/// z-normalized equal-length head of the confuser.
+pub fn prefix_distance(target: &[f64], longer: &[f64]) -> Option<f64> {
+    let m = target.len();
+    if longer.len() <= m || m == 0 {
+        return None; // not strictly longer: no prefix relationship
+    }
+    let t = znormalize(target);
+    let head = znormalize(&longer[..m]);
+    Some(euclidean(&t, &head) / (m as f64).sqrt())
+}
+
+/// Find every lexicon entry that begins like one of the `targets`.
+///
+/// `tolerance` is in length-normalized z-distance units; z-normalized white
+/// noise pairs sit around √2 ≈ 1.41, identical shapes at 0. Values near
+/// 0.3–0.5 mean "a deployed matcher will not tell these apart".
+pub fn prefix_audit(
+    targets: &PatternLexicon,
+    lexicon: &PatternLexicon,
+    tolerance: f64,
+) -> Vec<PrefixFinding> {
+    let mut findings = Vec::new();
+    for (tname, tpat) in targets.iter() {
+        for (cname, cpat) in lexicon.iter() {
+            if let Some(dist) = prefix_distance(tpat, cpat) {
+                if dist <= tolerance {
+                    findings.push(PrefixFinding {
+                        target: tname.to_string(),
+                        confuser: cname.to_string(),
+                        dist,
+                        compared_len: tpat.len(),
+                    });
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(len: usize) -> Vec<f64> {
+        (0..len).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn detects_literal_prefix() {
+        let target = ramp(10);
+        let mut longer = ramp(10);
+        longer.extend([9.0, 5.0, 0.0, 2.0, 7.0]); // continues differently
+        let d = prefix_distance(&target, &longer).unwrap();
+        assert!(d < 1e-9, "literal prefix must be distance ~0, got {d}");
+    }
+
+    #[test]
+    fn prefix_distance_requires_strictly_longer() {
+        let t = ramp(10);
+        assert!(prefix_distance(&t, &ramp(10)).is_none());
+        assert!(prefix_distance(&t, &ramp(5)).is_none());
+        assert!(prefix_distance(&t, &ramp(11)).is_some());
+    }
+
+    #[test]
+    fn audit_finds_planted_confusers() {
+        let targets = PatternLexicon::new().with("cat", vec![0.0, 1.0, 0.5, -0.5, 0.0, 1.5]);
+        let mut catalog = vec![0.0, 1.0, 0.5, -0.5, 0.0, 1.5];
+        catalog.extend([2.0, -1.0, 0.3, 0.9]);
+        let unrelated: Vec<f64> = (0..12).map(|i| ((i * i) as f64).sin() * 3.0).collect();
+        let lexicon = PatternLexicon::new()
+            .with("catalog", catalog)
+            .with("zebra", unrelated);
+        let findings = prefix_audit(&targets, &lexicon, 0.3);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].confuser, "catalog");
+        assert_eq!(findings[0].target, "cat");
+        assert_eq!(findings[0].compared_len, 6);
+    }
+
+    #[test]
+    fn findings_sorted_by_distance() {
+        let targets = PatternLexicon::new().with("t", vec![0.0, 1.0, 2.0, 3.0]);
+        let lexicon = PatternLexicon::new()
+            .with("near", vec![0.0, 1.0, 2.0, 3.1, 9.0])
+            .with("exact", vec![0.0, 1.0, 2.0, 3.0, 9.0]);
+        let f = prefix_audit(&targets, &lexicon, 1.0);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].confuser, "exact");
+        assert!(f[0].dist <= f[1].dist);
+    }
+
+    #[test]
+    fn shift_invariance_of_the_audit() {
+        // The confuser is a shifted/scaled copy of the target plus a tail —
+        // the audit works on shape, so it must still fire.
+        let target = vec![0.0, 2.0, 1.0, 3.0, 0.5, 2.5];
+        let mut confuser: Vec<f64> = target.iter().map(|&v| 100.0 + 7.0 * v).collect();
+        confuser.extend([120.0, 90.0]);
+        let targets = PatternLexicon::new().with("t", target);
+        let lexicon = PatternLexicon::new().with("c", confuser);
+        assert_eq!(prefix_audit(&targets, &lexicon, 0.1).len(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! The combined meaningfulness report — Section 6's checklist as a value.
+//!
+//! "Any such definition would, at a minimum, have to consider: (1) the cost
+//! of a false positive … vs. the cost of a false negative; (2) the
+//! probability that the domain … contains prefixes, inclusions, and
+//! homophones that resemble the actionable class(es); (3) the prior
+//! probability of seeing a member of the actionable class(es); (4) the
+//! appropriateness of the normalization assumptions for the domain."
+
+use std::fmt;
+
+use etsc_stream::CostModel;
+
+use crate::homophone::HomophoneFinding;
+use crate::inclusion::InclusionFinding;
+use crate::normalization::SensitivityReport;
+use crate::prefix::PrefixFinding;
+
+/// Per-criterion verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assessment {
+    /// No evidence of a problem.
+    Pass,
+    /// Evidence of risk; deployment demands further domain analysis.
+    Caution,
+    /// The criterion rules out meaningful deployment as posed.
+    Fail,
+}
+
+impl fmt::Display for Assessment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Assessment::Pass => "PASS",
+            Assessment::Caution => "CAUTION",
+            Assessment::Fail => "FAIL",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Inputs for criterion 1 (costs) and 3 (prior).
+#[derive(Debug, Clone, Copy)]
+pub struct DeploymentAssumptions {
+    /// The intervention economics.
+    pub cost_model: CostModel,
+    /// Expected target-class events per million samples of stream.
+    pub events_per_million: f64,
+    /// Expected false positives per million samples (from a pilot run or
+    /// the confusability audits).
+    pub expected_fp_per_million: f64,
+}
+
+/// The combined report.
+#[derive(Debug, Clone)]
+pub struct MeaningfulnessReport {
+    /// Criterion 1 inputs.
+    pub assumptions: DeploymentAssumptions,
+    /// Criterion 2 evidence.
+    pub prefix_findings: Vec<PrefixFinding>,
+    /// Criterion 2 evidence.
+    pub inclusion_findings: Vec<InclusionFinding>,
+    /// Criterion 2 evidence.
+    pub homophone_findings: Vec<HomophoneFinding>,
+    /// Criterion 4 evidence.
+    pub sensitivity: SensitivityReport,
+}
+
+impl MeaningfulnessReport {
+    /// Criterion 1: can the deployment break even at the expected FP rate?
+    pub fn cost_assessment(&self) -> Assessment {
+        let a = &self.assumptions;
+        if a.events_per_million <= 0.0 {
+            return Assessment::Fail; // nothing to detect
+        }
+        let fp_per_tp = a.expected_fp_per_million / a.events_per_million;
+        let break_even = a.cost_model.break_even_fp_per_tp();
+        if fp_per_tp <= break_even * 0.5 {
+            Assessment::Pass
+        } else if fp_per_tp <= break_even {
+            Assessment::Caution
+        } else {
+            Assessment::Fail
+        }
+    }
+
+    /// Criterion 2: how confusable is the target class?
+    pub fn confusability_assessment(&self) -> Assessment {
+        let n_collisions = self.prefix_findings.len() + self.inclusion_findings.len();
+        let n_homophones = self
+            .homophone_findings
+            .iter()
+            .filter(|f| f.has_homophone())
+            .count();
+        if n_collisions == 0 && n_homophones == 0 {
+            Assessment::Pass
+        } else if n_homophones == 0 && n_collisions <= 2 {
+            Assessment::Caution
+        } else {
+            Assessment::Fail
+        }
+    }
+
+    /// Criterion 3: is the class prior workable? With extremely rare events
+    /// even a tiny per-window FP probability swamps the true positives.
+    pub fn prior_assessment(&self) -> Assessment {
+        let e = self.assumptions.events_per_million;
+        if e <= 0.0 {
+            Assessment::Fail
+        } else if e < 1.0 {
+            Assessment::Caution
+        } else {
+            Assessment::Pass
+        }
+    }
+
+    /// Criterion 4: does accuracy survive denormalization?
+    pub fn normalization_assessment(&self) -> Assessment {
+        let drop = self.sensitivity.max_drop();
+        if drop <= 0.05 {
+            Assessment::Pass
+        } else if drop <= 0.15 {
+            Assessment::Caution
+        } else {
+            Assessment::Fail
+        }
+    }
+
+    /// Overall verdict: the worst of the four criteria.
+    pub fn overall(&self) -> Assessment {
+        [
+            self.cost_assessment(),
+            self.confusability_assessment(),
+            self.prior_assessment(),
+            self.normalization_assessment(),
+        ]
+        .into_iter()
+        .max_by_key(|a| match a {
+            Assessment::Pass => 0,
+            Assessment::Caution => 1,
+            Assessment::Fail => 2,
+        })
+        .expect("four criteria")
+    }
+
+    /// Human-readable rendering for experiment logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Meaningfulness audit (Wu, Der & Keogh, Section 6)\n");
+        out.push_str(&format!(
+            "  [1] costs:         {}  (break-even {:.1} FP/TP, expected {:.1} FP/TP)\n",
+            self.cost_assessment(),
+            self.assumptions.cost_model.break_even_fp_per_tp(),
+            if self.assumptions.events_per_million > 0.0 {
+                self.assumptions.expected_fp_per_million / self.assumptions.events_per_million
+            } else {
+                f64::INFINITY
+            },
+        ));
+        out.push_str(&format!(
+            "  [2] confusability: {}  ({} prefix, {} inclusion, {} homophone findings)\n",
+            self.confusability_assessment(),
+            self.prefix_findings.len(),
+            self.inclusion_findings.len(),
+            self.homophone_findings
+                .iter()
+                .filter(|f| f.has_homophone())
+                .count(),
+        ));
+        out.push_str(&format!(
+            "  [3] prior:         {}  ({:.2} events per million samples)\n",
+            self.prior_assessment(),
+            self.assumptions.events_per_million,
+        ));
+        out.push_str(&format!(
+            "  [4] normalization: {}  (max accuracy drop {:.1}%)\n",
+            self.normalization_assessment(),
+            self.sensitivity.max_drop() * 100.0,
+        ));
+        out.push_str(&format!("  overall:           {}\n", self.overall()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalization::SweepPoint;
+
+    fn clean_report() -> MeaningfulnessReport {
+        MeaningfulnessReport {
+            assumptions: DeploymentAssumptions {
+                cost_model: CostModel::appendix_b(),
+                events_per_million: 100.0,
+                expected_fp_per_million: 50.0,
+            },
+            prefix_findings: vec![],
+            inclusion_findings: vec![],
+            homophone_findings: vec![],
+            sensitivity: SensitivityReport {
+                sweep: vec![
+                    SweepPoint {
+                        offset: 0.0,
+                        accuracy: 0.95,
+                        earliness: 0.4,
+                    },
+                    SweepPoint {
+                        offset: 1.0,
+                        accuracy: 0.93,
+                        earliness: 0.4,
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn clean_domain_passes() {
+        let r = clean_report();
+        assert_eq!(r.cost_assessment(), Assessment::Pass);
+        assert_eq!(r.confusability_assessment(), Assessment::Pass);
+        assert_eq!(r.prior_assessment(), Assessment::Pass);
+        assert_eq!(r.normalization_assessment(), Assessment::Pass);
+        assert_eq!(r.overall(), Assessment::Pass);
+    }
+
+    #[test]
+    fn fp_flood_fails_costs() {
+        let mut r = clean_report();
+        r.assumptions.expected_fp_per_million = 10_000.0;
+        assert_eq!(r.cost_assessment(), Assessment::Fail);
+        assert_eq!(r.overall(), Assessment::Fail);
+    }
+
+    #[test]
+    fn homophones_fail_confusability() {
+        let mut r = clean_report();
+        r.homophone_findings.push(HomophoneFinding {
+            probe_index: 0,
+            background: "eog".into(),
+            in_class_nn_dist: 2.0,
+            background_nn_dist: 1.0,
+            background_nn_start: 10,
+        });
+        assert_eq!(r.confusability_assessment(), Assessment::Fail);
+    }
+
+    #[test]
+    fn few_prefix_collisions_are_caution() {
+        let mut r = clean_report();
+        r.prefix_findings.push(PrefixFinding {
+            target: "cat".into(),
+            confuser: "catalog".into(),
+            dist: 0.1,
+            compared_len: 10,
+        });
+        assert_eq!(r.confusability_assessment(), Assessment::Caution);
+        assert_eq!(r.overall(), Assessment::Caution);
+    }
+
+    #[test]
+    fn rare_events_are_cautioned_or_failed() {
+        let mut r = clean_report();
+        r.assumptions.events_per_million = 0.5;
+        r.assumptions.expected_fp_per_million = 0.1;
+        assert_eq!(r.prior_assessment(), Assessment::Caution);
+        r.assumptions.events_per_million = 0.0;
+        assert_eq!(r.prior_assessment(), Assessment::Fail);
+    }
+
+    #[test]
+    fn normalization_fragility_fails() {
+        let mut r = clean_report();
+        r.sensitivity.sweep[1].accuracy = 0.6; // 35-point drop
+        assert_eq!(r.normalization_assessment(), Assessment::Fail);
+    }
+
+    #[test]
+    fn render_mentions_all_criteria() {
+        let text = clean_report().render();
+        for needle in ["costs", "confusability", "prior", "normalization", "overall"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn assessment_display() {
+        assert_eq!(Assessment::Pass.to_string(), "PASS");
+        assert_eq!(Assessment::Caution.to_string(), "CAUTION");
+        assert_eq!(Assessment::Fail.to_string(), "FAIL");
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the ETSC algorithms: fit cost and per-prefix
+//! decision latency (the number that matters for a deployed monitor).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use etsc_bench::gunpoint_splits_small;
+use etsc_core::UcrDataset;
+use etsc_early::ects::{Ects, EctsConfig};
+use etsc_early::edsc::{Edsc, EdscConfig, ThresholdMethod};
+use etsc_early::relclass::{RelClass, RelClassConfig};
+use etsc_early::teaser::{Teaser, TeaserConfig};
+use etsc_early::template::TemplateMatcher;
+use etsc_early::EarlyClassifier;
+
+fn train_data() -> UcrDataset {
+    let (mut train, _) = gunpoint_splits_small(17);
+    train.znormalize();
+    train
+}
+
+fn edsc_cfg() -> EdscConfig {
+    EdscConfig {
+        lengths: vec![15, 25],
+        stride: 8,
+        method: ThresholdMethod::Chebyshev { k: 3.0 },
+        min_precision: 0.8,
+        max_features_per_class: 10,
+    }
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let train = train_data();
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(10);
+    group.bench_function("ects", |b| {
+        b.iter(|| Ects::fit(black_box(&train), &EctsConfig::default()));
+    });
+    group.bench_function("edsc_che", |b| {
+        b.iter(|| Edsc::fit(black_box(&train), &edsc_cfg()));
+    });
+    group.bench_function("relclass", |b| {
+        b.iter(|| RelClass::fit(black_box(&train), &RelClassConfig::default()));
+    });
+    group.bench_function("teaser_centroid", |b| {
+        b.iter(|| Teaser::fit(black_box(&train), &TeaserConfig::fast()));
+    });
+    group.bench_function("template_matcher", |b| {
+        b.iter(|| TemplateMatcher::from_centroids(black_box(&train), 0.5, 10));
+    });
+    group.finish();
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let train = train_data();
+    let probe: Vec<f64> = train.series(0).to_vec();
+    let half = &probe[..probe.len() / 2];
+
+    let ects = Ects::fit(&train, &EctsConfig::default());
+    let edsc = Edsc::fit(&train, &edsc_cfg());
+    let relclass = RelClass::fit(&train, &RelClassConfig::default());
+    let teaser = Teaser::fit(&train, &TeaserConfig::fast());
+    let template = TemplateMatcher::from_centroids(&train, 0.5, 10);
+
+    let mut group = c.benchmark_group("decide_half_prefix");
+    group.bench_function("ects", |b| b.iter(|| ects.decide(black_box(half))));
+    group.bench_function("edsc_che", |b| b.iter(|| edsc.decide(black_box(half))));
+    group.bench_function("relclass", |b| b.iter(|| relclass.decide(black_box(half))));
+    group.bench_function("teaser_centroid", |b| b.iter(|| teaser.decide(black_box(half))));
+    group.bench_function("template_matcher", |b| {
+        b.iter(|| template.decide(black_box(half)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_decide);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks for the hot kernels every experiment rests on:
+//! z-normalization, distances, lower bounds, subsequence search, SFA words.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etsc_core::distance::{euclidean, squared_euclidean_early_abandon, znormalized_dist};
+use etsc_core::dtw::{dtw_sq, envelope, lb_keogh_sq};
+use etsc_core::nn::distance_profile;
+use etsc_core::znorm::znormalize;
+use etsc_datasets::random_walk::smoothed_random_walk;
+
+fn series(len: usize, seed: u64) -> Vec<f64> {
+    smoothed_random_walk(len, 5, seed)
+}
+
+fn bench_znormalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("znormalize");
+    for len in [128usize, 1024, 8192] {
+        let xs = series(len, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &xs, |b, xs| {
+            b.iter(|| znormalize(black_box(xs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    let a = znormalize(&series(150, 2));
+    let x = series(150, 3);
+    group.bench_function("euclidean/150", |b| {
+        let y = znormalize(&x);
+        b.iter(|| euclidean(black_box(&a), black_box(&y)));
+    });
+    group.bench_function("euclidean_early_abandon/150", |b| {
+        let y = znormalize(&x);
+        b.iter(|| squared_euclidean_early_abandon(black_box(&a), black_box(&y), 10.0));
+    });
+    group.bench_function("znormalized_dist/150", |b| {
+        b.iter(|| znormalized_dist(black_box(&a), black_box(&x)));
+    });
+    group.finish();
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw");
+    let a = series(150, 4);
+    let b_ = series(150, 5);
+    for band in [5usize, 15, 150] {
+        group.bench_with_input(BenchmarkId::new("band", band), &band, |bch, &band| {
+            bch.iter(|| dtw_sq(black_box(&a), black_box(&b_), Some(band)));
+        });
+    }
+    let (u, l) = envelope(&b_, 15);
+    group.bench_function("lb_keogh/150", |bch| {
+        bch.iter(|| lb_keogh_sq(black_box(&a), black_box(&u), black_box(&l)));
+    });
+    group.finish();
+}
+
+fn bench_subsequence_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_profile");
+    group.sample_size(20);
+    let query = series(120, 6);
+    for hay_len in [10_000usize, 100_000] {
+        let hay = series(hay_len, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(hay_len), &hay, |b, hay| {
+            b.iter(|| distance_profile(black_box(&query), black_box(hay)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sfa(c: &mut Criterion) {
+    use etsc_classifiers::sfa::{dft_features, Sfa};
+    let mut group = c.benchmark_group("sfa");
+    let windows: Vec<Vec<f64>> = (0..64).map(|i| series(32, 100 + i)).collect();
+    let refs: Vec<&[f64]> = windows.iter().map(|w| w.as_slice()).collect();
+    group.bench_function("fit/64x32", |b| {
+        b.iter(|| Sfa::fit(refs.iter().copied(), 4, 4));
+    });
+    let sfa = Sfa::fit(refs.iter().copied(), 4, 4);
+    let probe = series(32, 999);
+    group.bench_function("word/32", |b| {
+        b.iter(|| sfa.word(black_box(&probe)));
+    });
+    group.bench_function("dft_features/32x2", |b| {
+        b.iter(|| dft_features(black_box(&probe), 2));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_znormalize,
+    bench_distances,
+    bench_dtw,
+    bench_subsequence_search,
+    bench_sfa
+);
+criterion_main!(benches);

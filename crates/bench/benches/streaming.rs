@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the streaming layer: monitor throughput
+//! (samples/second a deployment can sustain) under different anchor strides
+//! and normalization policies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etsc_bench::gunpoint_splits_small;
+use etsc_datasets::random_walk::smoothed_random_walk;
+use etsc_early::template::TemplateMatcher;
+use etsc_stream::{StreamMonitor, StreamMonitorConfig, StreamNorm};
+
+fn bench_monitor_throughput(c: &mut Criterion) {
+    let (mut train, _) = gunpoint_splits_small(23);
+    train.znormalize();
+    let clf = TemplateMatcher::from_centroids(&train, 0.35, 40);
+    let stream = smoothed_random_walk(20_000, 15, 71);
+
+    let mut group = c.benchmark_group("monitor_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for stride in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("stride", stride), &stride, |b, &stride| {
+            b.iter(|| {
+                let mut monitor = StreamMonitor::new(
+                    &clf,
+                    StreamMonitorConfig {
+                        anchor_stride: stride,
+                        norm: StreamNorm::PerPrefix,
+                        refractory: 50,
+                    },
+                );
+                monitor.run(black_box(&stream))
+            });
+        });
+    }
+    group.bench_function("raw_norm_stride16", |b| {
+        b.iter(|| {
+            let mut monitor = StreamMonitor::new(
+                &clf,
+                StreamMonitorConfig {
+                    anchor_stride: 16,
+                    norm: StreamNorm::Raw,
+                    refractory: 50,
+                },
+            );
+            monitor.run(black_box(&stream))
+        });
+    });
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    use etsc_core::Event;
+    use etsc_stream::{score_alarms, Alarm, ScoringConfig};
+    let events: Vec<Event> = (0..100)
+        .map(|i| Event::new(i * 1000 + 100, i * 1000 + 250, 0))
+        .collect();
+    let alarms: Vec<Alarm> = (0..5000)
+        .map(|i| Alarm {
+            time: i * 20,
+            anchor: (i * 20).saturating_sub(50),
+            label: 0,
+            confidence: 0.9,
+        })
+        .collect();
+    c.bench_function("score_5000_alarms_100_events", |b| {
+        b.iter(|| {
+            score_alarms(
+                black_box(&alarms),
+                black_box(&events),
+                100_000,
+                &ScoringConfig::default(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_monitor_throughput, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! **Ablation** — streaming monitor design choices (called out in
+//! DESIGN.md): anchor stride, normalization policy, and refractory period,
+//! measured by FP rate / recall / runtime proxy on the Appendix B workload.
+//!
+//! Run: `cargo run --release -p etsc-bench --bin exp_ablation_monitor`
+
+use etsc_bench::{gunpoint_splits_small, render_table};
+use etsc_core::{AnnotatedStream, Event};
+use etsc_datasets::random_walk::smoothed_random_walk;
+use etsc_early::teaser::{Teaser, TeaserConfig};
+use etsc_stream::{
+    score_alarms, ScoringConfig, StreamMonitor, StreamMonitorConfig, StreamNorm,
+};
+
+fn build_stream(test: &etsc_core::UcrDataset) -> AnnotatedStream {
+    let mut data = smoothed_random_walk(300_000, 15, 91);
+    let mut events = Vec::new();
+    let mut pos = 6_000;
+    for (s, label) in test.iter() {
+        if pos + s.len() + 6_000 > data.len() {
+            break;
+        }
+        let level = data[pos];
+        for (j, &v) in s.iter().enumerate() {
+            data[pos + j] = level + 2.0 * v;
+        }
+        events.push(Event::new(pos, pos + s.len(), label));
+        pos += s.len() + 6_000;
+    }
+    AnnotatedStream::new(data, events)
+}
+
+fn main() {
+    let (mut train, mut test) = gunpoint_splits_small(90);
+    train.znormalize();
+    test.znormalize();
+    let stream = build_stream(&test);
+    let teaser = Teaser::fit(&train, &TeaserConfig::fast());
+    println!(
+        "monitor ablation on {} samples / {} events\n",
+        stream.len(),
+        stream.events.len()
+    );
+
+    let mut rows = Vec::new();
+    let scoring = ScoringConfig {
+        tolerance: 75,
+        match_labels: false,
+    };
+    for stride in [2usize, 8, 32] {
+        for norm in [StreamNorm::PerPrefix, StreamNorm::Raw] {
+            for refractory in [0usize, 75] {
+                let mut monitor = StreamMonitor::new(
+                    &teaser,
+                    StreamMonitorConfig {
+                        anchor_stride: stride,
+                        norm,
+                        refractory,
+                    },
+                );
+                let start = std::time::Instant::now();
+                let alarms = monitor.run(&stream.data);
+                let elapsed = start.elapsed().as_millis();
+                let score = score_alarms(&alarms, &stream.events, stream.len(), &scoring);
+                rows.push(vec![
+                    stride.to_string(),
+                    format!("{norm:?}"),
+                    refractory.to_string(),
+                    score.true_positives.to_string(),
+                    score.false_positives.to_string(),
+                    format!("{:.0}%", score.recall() * 100.0),
+                    format!("{elapsed}ms"),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["stride", "norm", "refractory", "TP", "FP", "recall", "time"],
+            &rows
+        )
+    );
+    println!("TEASER z-normalizes its own prefixes, so Raw == PerPrefix above.\n");
+
+    // Second ablation: closed-world vs open-world detectors on an
+    // EVENT-FREE background. Closed-world classifiers (ECTS: 1NN always
+    // returns *some* class once an MPL is reached) fire constantly no
+    // matter what the data looks like; an open-world template matcher with
+    // an absolute distance threshold mostly stays quiet. This is the
+    // structural reason the paper's streaming deployments drown in false
+    // positives.
+    let ects = etsc_early::ects::Ects::fit(&train, &etsc_early::ects::EctsConfig::default());
+    let thr = etsc_early::template::TemplateMatcher::calibrate_threshold(&train, 0.95);
+    let template =
+        etsc_early::template::TemplateMatcher::from_centroids(&train, thr, 20);
+    let background = smoothed_random_walk(40_000, 15, 92); // zero events
+    let mut rows2 = Vec::new();
+    {
+        let cfg = StreamMonitorConfig {
+            anchor_stride: 16,
+            norm: StreamNorm::PerPrefix,
+            refractory: 75,
+        };
+        let mut m1 = StreamMonitor::new(&ects, cfg);
+        let a1 = m1.run(&background);
+        rows2.push(vec![
+            "ECTS (closed world)".to_string(),
+            a1.len().to_string(),
+        ]);
+        let mut m2 = StreamMonitor::new(&template, cfg);
+        let a2 = m2.run(&background);
+        rows2.push(vec![
+            "TemplateMatcher (open world)".to_string(),
+            a2.len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["detector on 40k event-free samples", "alarms"], &rows2)
+    );
+    println!("Observations the tables support:");
+    println!("- Finer anchor strides buy sensitivity at linear compute cost — and more FPs.");
+    println!("- The refractory period compresses alarm bursts without losing events.");
+    println!("- Closed-world classifiers alarm at the refractory rate on ANY input; only an");
+    println!("  absolute-distance (open-world) detector can stay quiet on background.");
+}

@@ -1,0 +1,111 @@
+//! **Appendix B** — the streaming false-positive experiment and the
+//! intervention cost model.
+//!
+//! "We applied the model in \[2\] (TEASER) to the GunPoint problem, with the
+//! exemplars inserted in between long stretches of random walks, and we see
+//! thousands of false positives for every true positive."
+//!
+//! And the economics: a missed event costs $1000; the early action costs
+//! $200; so the system must produce at least one true positive per ~5 false
+//! positives to break even. We embed GunPoint exemplars in a smoothed random
+//! walk, deploy TEASER behind a stream monitor, score the alarms, and price
+//! the result.
+//!
+//! Run: `cargo run --release -p etsc-bench --bin exp_appendixb_streaming_fp`
+
+use etsc_bench::gunpoint_splits;
+use etsc_core::{AnnotatedStream, Event};
+use etsc_datasets::random_walk::smoothed_random_walk;
+use etsc_early::teaser::{Teaser, TeaserConfig};
+use etsc_stream::{
+    score_alarms, CostModel, ScoringConfig, StreamMonitor, StreamMonitorConfig, StreamNorm,
+};
+
+/// Embed each test exemplar into the walk at regular spacing, scaled to the
+/// local walk level so the splice is seamless.
+fn embed(test: &etsc_core::UcrDataset, walk: &[f64], spacing: usize) -> AnnotatedStream {
+    let mut data = walk.to_vec();
+    let mut events = Vec::new();
+    let len = test.series_len();
+    let mut pos = spacing;
+    for (s, label) in test.iter() {
+        if pos + len + spacing > data.len() {
+            break;
+        }
+        let local_level = data[pos];
+        let local_scale = 2.0; // exemplars are z-normalized; give them O(walk-step) amplitude
+        for (j, &v) in s.iter().enumerate() {
+            data[pos + j] = local_level + local_scale * v;
+        }
+        events.push(Event::new(pos, pos + len, label));
+        pos += len + spacing;
+    }
+    AnnotatedStream::new(data, events)
+}
+
+fn main() {
+    let (mut train, mut test) = gunpoint_splits(13);
+    train.znormalize();
+    test.znormalize();
+
+    // 150 exemplars spaced ~10k apart near the head of a 2^24-point smoothed
+    // random walk (the paper's background scale).
+    let walk = smoothed_random_walk(1 << 24, 15, 131);
+    let stream = embed(&test, &walk, 10_000);
+    println!(
+        "Appendix B: {} GunPoint exemplars embedded in a {}-point smoothed random walk\n",
+        stream.events.len(),
+        stream.len()
+    );
+
+    let teaser = Teaser::fit(&train, &TeaserConfig::fast());
+    let mut monitor = StreamMonitor::new(
+        &teaser,
+        StreamMonitorConfig {
+            anchor_stride: 8,
+            norm: StreamNorm::PerPrefix,
+            refractory: 75,
+        },
+    );
+    let alarms = monitor.run(&stream.data);
+    let score = score_alarms(
+        &alarms,
+        &stream.events,
+        stream.len(),
+        &ScoringConfig {
+            tolerance: 75,
+            match_labels: false, // any gesture alarm inside a gesture counts
+        },
+    );
+
+    println!("alarms fired:        {}", alarms.len());
+    println!("true positives:      {}", score.true_positives);
+    println!("false positives:     {}", score.false_positives);
+    println!("false negatives:     {}", score.false_negatives);
+    println!("duplicates:          {}", score.duplicates);
+    println!("precision:           {:.4}", score.precision());
+    println!("recall:              {:.4}", score.recall());
+    println!(
+        "FP per true positive: {:.1}   (paper: 'thousands of false positives for every true positive')\n",
+        score.fp_to_tp_ratio()
+    );
+
+    let model = CostModel::appendix_b();
+    let report = model.evaluate(&score);
+    println!("cost model: event ${}, action ${}", model.event_cost, model.action_cost);
+    println!(
+        "break-even FP:TP     {:.1}    observed FP:TP {:.1}",
+        report.break_even_fp_per_tp, report.observed_fp_per_tp
+    );
+    println!("cost without system: ${:.0}", report.without_system);
+    println!("cost with system:    ${:.0}", report.with_system);
+    println!("net benefit:         ${:.0}", report.net_benefit);
+    println!(
+        "verdict:             {}",
+        if report.worth_deploying() {
+            "worth deploying"
+        } else {
+            "NOT worth deploying — the alarm flood costs more than the events"
+        }
+    );
+}

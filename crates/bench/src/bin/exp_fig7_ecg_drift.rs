@@ -1,0 +1,127 @@
+//! **Fig 7** — "An ECG recorded from two locations in the chest. ECG1 shows
+//! dramatic but medically meaningless variation in the mean of individual
+//! beats. ECG2 shows equally dramatic but also medically meaningless
+//! variation in the standard deviation of individual beats."
+//!
+//! We synthesize both channels, quantify the per-beat mean/σ dispersion, and
+//! then demonstrate the practical upshot the paper states: "these algorithms
+//! working on medical telemetry will be plagued with false negatives" — a
+//! matcher trained on UCR-normalized beats misses raw-stream beats unless
+//! each prefix is honestly re-normalized.
+//!
+//! Run: `cargo run --release -p etsc-bench --bin exp_fig7_ecg_drift`
+
+use etsc_bench::render_table;
+use etsc_core::stats::std_dev;
+use etsc_datasets::ecg::{beat_dataset, ecg_stream, per_beat_stats, Channel, EcgConfig};
+
+fn main() {
+    let cfg = EcgConfig::default();
+    let n_beats = 240;
+
+    println!("Fig 7: per-beat mean and sigma drift in two-channel ECG telemetry\n");
+    let mut rows = Vec::new();
+    for (name, channel) in [("ECG1 (mean drift)", Channel::MeanDrift), ("ECG2 (sigma drift)", Channel::StdDrift)] {
+        let s = ecg_stream(n_beats, channel, 0, &cfg, 71);
+        let stats = per_beat_stats(&s.data, cfg.beat_len);
+        let means: Vec<f64> = stats.iter().map(|&(m, _)| m).collect();
+        let stds: Vec<f64> = stats.iter().map(|&(_, sd)| sd).collect();
+        let span = |v: &[f64]| {
+            let lo = v.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = v.iter().cloned().fold(f64::MIN, f64::max);
+            (lo, hi)
+        };
+        let (mlo, mhi) = span(&means);
+        let (slo, shi) = span(&stds);
+        rows.push(vec![
+            name.to_string(),
+            format!("[{mlo:+.2}, {mhi:+.2}]"),
+            format!("{:.3}", std_dev(&means)),
+            format!("[{slo:.2}, {shi:.2}]"),
+            format!("{:.2}x", shi / slo.max(1e-9)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["channel", "beat-mean range", "sd(means)", "beat-sigma range", "sigma spread"],
+            &rows
+        )
+    );
+    println!("Both variations are physiological artifacts (respiration, electrode drift) —");
+    println!("medically meaningless, yet each one breaks a fixed normalization assumption.\n");
+
+    // The false-negative demonstration: a beat template learned from clean
+    // UCR-format (z-normalized) beats, scanned over the drifting stream by
+    // two deployments:
+    //   (a) one that assumes the wire data is already normalized — the
+    //       implicit assumption of the ETSC literature (Section 4), and
+    //   (b) one that honestly re-normalizes every candidate window.
+    let mut train = beat_dataset(30, &cfg, 72);
+    train.znormalize();
+    let centroid: Vec<f64> = {
+        let mut acc = vec![0.0; cfg.beat_len];
+        let normals: Vec<&[f64]> = train
+            .iter()
+            .filter(|&(_, l)| l == etsc_datasets::ecg::CLASS_NORMAL)
+            .map(|(s, _)| s)
+            .collect();
+        for s in &normals {
+            for (a, &v) in acc.iter_mut().zip(*s) {
+                *a += v;
+            }
+        }
+        acc.iter_mut().for_each(|v| *v /= normals.len() as f64);
+        etsc_core::znorm::znormalize(&acc)
+    };
+    // Threshold: the 95th percentile of template distances to genuine
+    // normalized training beats.
+    let thr = {
+        let mut ds: Vec<f64> = train
+            .iter()
+            .map(|(s, _)| etsc_core::distance::euclidean(&centroid, s))
+            .collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ds[(0.95 * (ds.len() - 1) as f64) as usize]
+    };
+
+    let stream = ecg_stream(n_beats, Channel::MeanDrift, 0, &cfg, 73);
+    // (a) Raw-assumption detector: plain ED against raw windows.
+    let raw_matches = {
+        let mut count = 0usize;
+        let mut last = 0usize;
+        let m = centroid.len();
+        let mut first = true;
+        for start in 0..stream.data.len().saturating_sub(m) {
+            let d = etsc_core::distance::euclidean(&centroid, &stream.data[start..start + m]);
+            if d <= thr && (first || start >= last + m / 2) {
+                count += 1;
+                last = start;
+                first = false;
+            }
+        }
+        count
+    };
+    // (b) Honest per-window re-normalization (requires the WHOLE window —
+    // i.e. no longer early classification).
+    let honest_matches =
+        etsc_core::nn::matches_within(&centroid, &stream.data, thr).len();
+
+    println!(
+        "beat template (from z-normalized training beats, threshold {thr:.2}) scanned over\n\
+         a {}-beat mean-drifting stream:",
+        n_beats
+    );
+    println!(
+        "  assuming pre-normalized input:  {raw_matches:>4} beats found  ({:.0}% false negatives)",
+        100.0 * (n_beats.saturating_sub(raw_matches)) as f64 / n_beats as f64
+    );
+    println!(
+        "  honest per-window re-norm:      {honest_matches:>4} beats found  ({:.0}% false negatives)",
+        100.0 * (n_beats.saturating_sub(honest_matches)) as f64 / n_beats as f64
+    );
+    println!("\nThe pre-normalized assumption loses most beats to baseline wander — the");
+    println!("false-negative flood the paper predicts. Honest re-normalization recovers them,");
+    println!("but needs the whole beat before it can normalize: that is classification, not");
+    println!("EARLY classification (Section 4).");
+}

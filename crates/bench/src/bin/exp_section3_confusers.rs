@@ -1,0 +1,116 @@
+//! **Section 3** — the three confusability problems, on the paper's own
+//! worked examples:
+//!
+//! * 3.2 *inclusion*: detect {lightweight, paperweight}; stream "In the
+//!   morning light, I could see that I got a papercut from the paper that
+//!   the light was wrapped in" → false positives from the contained atoms.
+//! * 3.3 *homophones*: detect {flower, wither}; stream the Leviticus
+//!   sentence with *flour* and *whither* → false positives from perfect
+//!   homophones (no prefix or inclusion relation at all).
+//! * 3.4 *all at once*: detect {gun, point}; stream the Amy Gunn sentence
+//!   → "a plethora of false positives".
+//!
+//! Run: `cargo run --release -p etsc-bench --bin exp_section3_confusers`
+
+use etsc_datasets::words::{sentence_stream, word_dataset, WordConfig, AMY_GUNN_SENTENCE};
+use etsc_early::template::TemplateMatcher;
+use etsc_stream::{score_alarms, ScoringConfig, StreamMonitor, StreamMonitorConfig, StreamNorm};
+
+fn deploy(
+    targets: &[&str],
+    sentence: &[&str],
+    seed: u64,
+    threshold_scale: f64,
+    min_prefix_frac: f64,
+) -> (usize, usize, usize, Vec<(usize, usize)>) {
+    let cfg = WordConfig::default();
+    // Train on UCR-format renditions resampled to the mean nominal length.
+    let target_len = targets
+        .iter()
+        .map(|w| etsc_datasets::words::nominal_len(w, &cfg))
+        .sum::<usize>()
+        / targets.len();
+    let mut train = word_dataset(targets, 25, target_len, &cfg, seed);
+    train.znormalize();
+    let thr = TemplateMatcher::calibrate_threshold(&train, 0.90);
+    let min_prefix = ((target_len as f64 * min_prefix_frac) as usize).max(8);
+    let clf = TemplateMatcher::from_centroids(&train, thr * threshold_scale, min_prefix);
+
+    let stream = sentence_stream(sentence, targets, &cfg, seed ^ 0xABCD);
+    let mut monitor = StreamMonitor::new(
+        &clf,
+        StreamMonitorConfig {
+            anchor_stride: 2,
+            norm: StreamNorm::PerPrefix,
+            refractory: 60,
+        },
+    );
+    let alarms = monitor.run(&stream.data);
+    let score = score_alarms(
+        &alarms,
+        &stream.events,
+        stream.len(),
+        &ScoringConfig {
+            tolerance: 40,
+            match_labels: true,
+        },
+    );
+    (
+        score.true_positives,
+        score.false_positives,
+        stream.events.len(),
+        alarms.iter().map(|a| (a.time, a.label)).collect(),
+    )
+}
+
+fn main() {
+    println!("Section 3: prefix, inclusion, and homophone confusers on the paper's sentences\n");
+
+    // 3.2 — inclusion.
+    let inclusion_sentence = [
+        "in", "the", "morning", "light", "i", "could", "see", "that", "i", "got", "a",
+        "papercut", "from", "the", "paper", "that", "the", "light", "was", "wrapped", "in",
+    ];
+    // Early classification means committing after ~25% of the target — which
+    // is precisely why the contained atom "light" suffices to fire.
+    let (tp, fp, events, _) =
+        deploy(&["lightweight", "paperweight"], &inclusion_sentence, 41, 1.0, 0.25);
+    println!("3.2 inclusion: targets {{lightweight, paperweight}}");
+    println!("    sentence: {}", inclusion_sentence.join(" "));
+    println!(
+        "    true events {events}, alarms: {tp} TP / {fp} FP   (paper: two FPs per class from light/paper)\n"
+    );
+
+    // 3.3 — homophones. The lexicon maps flour→flower and whither→wither, so
+    // these words are acoustically identical to the targets without any
+    // prefix or inclusion relation in the orthography.
+    let leviticus = [
+        "whither", "anyone", "presents", "a", "grain", "offering", "to", "the", "lord", "his",
+        "offering", "shall", "be", "of", "fine", "flour",
+    ];
+    let (tp, fp, events, alarms) = deploy(&["flower", "wither"], &leviticus, 43, 0.9, 0.6);
+    println!("3.3 homophones: targets {{flower, wither}}");
+    println!("    sentence: {}", leviticus.join(" "));
+    println!(
+        "    true events {events}, alarms: {tp} TP / {fp} FP   (paper: flour and whither both fire)"
+    );
+    for (t, label) in &alarms {
+        println!(
+            "      alarm at t={t} class={}",
+            ["flower", "wither"][*label]
+        );
+    }
+
+    // 3.4 — everything at once.
+    // Short targets vary more per rendition; accept the calibrated
+    // threshold as-is and commit after half a word.
+    let (tp, fp, events, _) = deploy(&["gun", "point"], AMY_GUNN_SENTENCE, 47, 1.1, 0.5);
+    println!("\n3.4 the Amy Gunn sentence: targets {{gun, point}}");
+    println!("    sentence: {}", AMY_GUNN_SENTENCE.join(" "));
+    println!(
+        "    true events {events} (gunn/pointe are homophones, not annotated events),"
+    );
+    println!(
+        "    alarms: {tp} TP / {fp} FP   (paper: 'a plethora of false positives')"
+    );
+}

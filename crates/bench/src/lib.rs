@@ -1,0 +1,195 @@
+//! # etsc-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/exp_*.rs` and EXPERIMENTS.md) plus criterion microbenchmarks of
+//! the hot kernels (`benches/`).
+//!
+//! This library holds the shared pieces: canonical dataset constructions
+//! (the GunPoint-like splits every experiment uses), the roster of Table 1
+//! algorithms, and plain-text table rendering.
+
+use etsc_core::UcrDataset;
+use etsc_datasets::gunpoint::{self, GunPointConfig};
+use etsc_early::ects::{Ects, EctsConfig};
+use etsc_early::edsc::{Edsc, EdscConfig, ThresholdMethod};
+use etsc_early::relclass::{RelClass, RelClassConfig};
+use etsc_early::EarlyClassifier;
+
+/// Canonical GunPoint-like splits mirroring the UCR convention: 50 train /
+/// 150 test. Returned **raw** (not normalized); experiments choose.
+pub fn gunpoint_splits(seed: u64) -> (UcrDataset, UcrDataset) {
+    let cfg = GunPointConfig::default();
+    let train = gunpoint::generate(25, &cfg, seed);
+    let test = gunpoint::generate(75, &cfg, seed ^ 0xDEADBEEF);
+    (train, test)
+}
+
+/// Smaller splits for quick runs and integration tests.
+pub fn gunpoint_splits_small(seed: u64) -> (UcrDataset, UcrDataset) {
+    let cfg = GunPointConfig::default();
+    let train = gunpoint::generate(10, &cfg, seed);
+    let test = gunpoint::generate(20, &cfg, seed ^ 0xDEADBEEF);
+    (train, test)
+}
+
+/// The six algorithms of Table 1, with the paper's reported settings.
+pub enum Table1Algorithm {
+    /// "(min. support = 0) ECTS".
+    Ects(Ects),
+    /// "(min. support = 0) RelaxedECTS".
+    RelaxedEcts(Ects),
+    /// "EDSC-CHE".
+    EdscChe(Edsc),
+    /// "EDSC-KDE".
+    EdscKde(Edsc),
+    /// "(τ = 0.1) Rel. Class.".
+    RelClass(RelClass),
+    /// "(τ = 0.1) LDG Rel. Class.".
+    LdgRelClass(RelClass),
+}
+
+impl Table1Algorithm {
+    /// Display name matching the paper's Table 1 rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Table1Algorithm::Ects(_) => "(min. support = 0) ECTS",
+            Table1Algorithm::RelaxedEcts(_) => "(min. support = 0) RelaxedECTS",
+            Table1Algorithm::EdscChe(_) => "EDSC-CHE",
+            Table1Algorithm::EdscKde(_) => "EDSC-KDE",
+            Table1Algorithm::RelClass(_) => "(tau = 0.1) Rel. Class.",
+            Table1Algorithm::LdgRelClass(_) => "(tau = 0.1) LDG Rel. Class.",
+        }
+    }
+
+    /// Access as the common trait object.
+    pub fn classifier(&self) -> &dyn EarlyClassifier {
+        match self {
+            Table1Algorithm::Ects(c) => c,
+            Table1Algorithm::RelaxedEcts(c) => c,
+            Table1Algorithm::EdscChe(c) => c,
+            Table1Algorithm::EdscKde(c) => c,
+            Table1Algorithm::RelClass(c) => c,
+            Table1Algorithm::LdgRelClass(c) => c,
+        }
+    }
+}
+
+/// Fit all six Table 1 algorithms on (z-normalized) training data.
+pub fn fit_table1(train: &UcrDataset) -> Vec<Table1Algorithm> {
+    let edsc_cfg = |method| EdscConfig {
+        lengths: vec![15, 25, 40],
+        stride: 5,
+        method,
+        min_precision: 0.8,
+        max_features_per_class: 15,
+    };
+    vec![
+        Table1Algorithm::Ects(Ects::fit(train, &EctsConfig::default())),
+        Table1Algorithm::RelaxedEcts(Ects::fit(
+            train,
+            &EctsConfig {
+                relaxed: true,
+                ..EctsConfig::default()
+            },
+        )),
+        Table1Algorithm::EdscChe(Edsc::fit(
+            train,
+            &edsc_cfg(ThresholdMethod::Chebyshev { k: 3.0 }),
+        )),
+        Table1Algorithm::EdscKde(Edsc::fit(
+            train,
+            &edsc_cfg(ThresholdMethod::Kde { precision: 0.9 }),
+        )),
+        Table1Algorithm::RelClass(RelClass::fit(train, &RelClassConfig::default())),
+        Table1Algorithm::LdgRelClass(RelClass::fit(train, &RelClassConfig::ldg(0.1))),
+    ]
+}
+
+/// Render an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: Vec<String>| {
+        let rendered: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&rendered.join("  "));
+        // Trailing spaces add nothing to a fixed-width table.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(&mut out, headers.iter().map(|s| s.to_string()).collect());
+    line(
+        &mut out,
+        widths.iter().map(|&w| "-".repeat(w)).collect(),
+    );
+    for row in rows {
+        line(&mut out, row.clone());
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gunpoint_splits_have_ucr_shape() {
+        let (train, test) = gunpoint_splits(1);
+        assert_eq!(train.len(), 50);
+        assert_eq!(test.len(), 150);
+        assert_eq!(train.series_len(), 150);
+    }
+
+    #[test]
+    fn table1_roster_has_six_rows() {
+        let (mut train, _) = gunpoint_splits_small(2);
+        train.znormalize();
+        let algos = fit_table1(&train);
+        assert_eq!(algos.len(), 6);
+        let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        assert!(names.contains(&"EDSC-CHE"));
+        assert!(names.contains(&"(tau = 0.1) LDG Rel. Class."));
+        // Every fitted model can classify a full-length series.
+        for a in &algos {
+            let _ = a.classifier().predict_full(train.series(0));
+        }
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["Algorithm", "Acc"],
+            &[
+                vec!["ECTS".into(), "86.7%".into()],
+                vec!["a-very-long-name".into(), "5%".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Algorithm"));
+        assert!(lines[1].starts_with("---------"));
+        assert!(lines[2].contains("86.7%"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.867), "86.7%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,134 @@
+//! Nearest-centroid classification with distance-softmax probabilities.
+//!
+//! Cheap, deterministic, and probabilistic — useful both as a baseline and
+//! as a slave classifier where a full WEASEL pipeline is overkill.
+
+use etsc_core::distance::euclidean;
+use etsc_core::UcrDataset;
+
+use crate::Classifier;
+
+/// A fitted nearest-centroid model: one mean series per class.
+#[derive(Debug, Clone)]
+pub struct NearestCentroid {
+    centroids: Vec<Vec<f64>>,
+    /// Softmax temperature applied to negative distances when producing
+    /// probabilities. Larger = sharper.
+    beta: f64,
+}
+
+impl NearestCentroid {
+    /// Compute per-class centroids of `train`. Classes with no exemplars get
+    /// a zero centroid (they can never win).
+    pub fn fit(train: &UcrDataset) -> Self {
+        Self::fit_with_beta(train, 4.0)
+    }
+
+    /// As [`fit`](Self::fit) with an explicit softmax sharpness.
+    pub fn fit_with_beta(train: &UcrDataset, beta: f64) -> Self {
+        let n_classes = train.n_classes();
+        let len = train.series_len();
+        let mut sums = vec![vec![0.0; len]; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        for (s, label) in train.iter() {
+            for (acc, &v) in sums[label].iter_mut().zip(s) {
+                *acc += v;
+            }
+            counts[label] += 1;
+        }
+        for (c, sum) in sums.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f64;
+                sum.iter_mut().for_each(|v| *v *= inv);
+            }
+        }
+        Self {
+            centroids: sums,
+            beta,
+        }
+    }
+
+    /// The centroid of class `c`.
+    pub fn centroid(&self, c: usize) -> &[f64] {
+        &self.centroids[c]
+    }
+
+    /// Distances from `x` to every class centroid, truncated to `x.len()`
+    /// prefix of each centroid if `x` is shorter (prefix classification).
+    pub fn distances(&self, x: &[f64]) -> Vec<f64> {
+        self.centroids
+            .iter()
+            .map(|c| {
+                let n = x.len().min(c.len());
+                euclidean(&x[..n], &c[..n]) / (n as f64).sqrt()
+            })
+            .collect()
+    }
+}
+
+impl Classifier for NearestCentroid {
+    fn n_classes(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Softmax over negative (length-normalized) centroid distances.
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let d = self.distances(x);
+        let min = d.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut p: Vec<f64> = d.iter().map(|&v| (-self.beta * (v - min)).exp()).collect();
+        let z: f64 = p.iter().sum();
+        if z > 0.0 {
+            p.iter_mut().for_each(|v| *v /= z);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> UcrDataset {
+        UcrDataset::new(
+            vec![
+                vec![0.0, 0.0, 0.0, 0.0],
+                vec![0.2, 0.0, -0.2, 0.0],
+                vec![5.0, 5.0, 5.0, 5.0],
+                vec![5.2, 4.8, 5.0, 5.0],
+            ],
+            vec![0, 0, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn centroids_are_class_means() {
+        let m = NearestCentroid::fit(&toy());
+        assert_eq!(m.centroid(0), &[0.1, 0.0, -0.1, 0.0]);
+        assert_eq!(m.centroid(1), &[5.1, 4.9, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn predicts_by_proximity() {
+        let m = NearestCentroid::fit(&toy());
+        assert_eq!(m.predict(&[0.1, -0.1, 0.0, 0.1]), 0);
+        assert_eq!(m.predict(&[4.0, 5.0, 6.0, 5.0]), 1);
+    }
+
+    #[test]
+    fn proba_sums_to_one_and_orders_correctly() {
+        let m = NearestCentroid::fit(&toy());
+        let p = m.predict_proba(&[0.0, 0.0, 0.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[0] > p[1]);
+        assert!(p[0] > 0.9, "clear-cut case should be confident: {p:?}");
+    }
+
+    #[test]
+    fn prefix_classification_uses_centroid_prefix() {
+        let m = NearestCentroid::fit(&toy());
+        // Only 2 points seen; still classifiable.
+        assert_eq!(m.predict(&[5.0, 5.0]), 1);
+        assert_eq!(m.predict(&[0.0, 0.0]), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Evaluation: accuracy, confusion matrices, cross-validation.
+
+use etsc_core::{ClassLabel, UcrDataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Classifier;
+
+/// Fraction of `test` exemplars `clf` labels correctly.
+pub fn accuracy<C: Classifier>(clf: &C, test: &UcrDataset) -> f64 {
+    let correct = test
+        .iter()
+        .filter(|&(s, label)| clf.predict(s) == label)
+        .count();
+    correct as f64 / test.len() as f64
+}
+
+/// Accuracy of a list of (predicted, actual) pairs.
+pub fn accuracy_of(pairs: &[(ClassLabel, ClassLabel)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().filter(|(p, a)| p == a).count() as f64 / pairs.len() as f64
+}
+
+/// A confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Build from (predicted, actual) pairs over `n_classes`.
+    pub fn from_pairs(pairs: &[(ClassLabel, ClassLabel)], n_classes: usize) -> Self {
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for &(pred, actual) in pairs {
+            counts[actual][pred] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Evaluate a classifier over a test set.
+    pub fn evaluate<C: Classifier>(clf: &C, test: &UcrDataset) -> Self {
+        let pairs: Vec<(ClassLabel, ClassLabel)> = test
+            .iter()
+            .map(|(s, label)| (clf.predict(s), label))
+            .collect();
+        Self::from_pairs(&pairs, clf.n_classes().max(test.n_classes()))
+    }
+
+    /// `counts[actual][predicted]`.
+    pub fn count(&self, actual: ClassLabel, predicted: ClassLabel) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of class `c` (0.0 when the class never occurs).
+    pub fn recall(&self, c: ClassLabel) -> f64 {
+        let row: usize = self.counts[c].iter().sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / row as f64
+        }
+    }
+
+    /// Precision of class `c` (0.0 when the class is never predicted).
+    pub fn precision(&self, c: ClassLabel) -> f64 {
+        let col: usize = self.counts.iter().map(|r| r[c]).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / col as f64
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Stratified k-fold cross-validated accuracy. `fit` receives a training
+/// fold and must return a fitted classifier.
+pub fn cross_val_accuracy<C, F>(data: &UcrDataset, k: usize, seed: u64, mut fit: F) -> f64
+where
+    C: Classifier,
+    F: FnMut(&UcrDataset) -> C,
+{
+    assert!(k >= 2, "need at least 2 folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Stratified fold assignment: shuffle within each class, deal round-robin.
+    let mut fold_of = vec![0usize; data.len()];
+    for c in 0..data.n_classes() {
+        let mut members: Vec<usize> =
+            (0..data.len()).filter(|&i| data.label(i) == c).collect();
+        members.shuffle(&mut rng);
+        for (pos, &i) in members.iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for fold in 0..k {
+        let train_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] != fold).collect();
+        let test_idx: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] == fold).collect();
+        if train_idx.is_empty() || test_idx.is_empty() {
+            continue;
+        }
+        let train = data.subset(&train_idx).expect("non-empty");
+        let clf = fit(&train);
+        for &i in &test_idx {
+            if clf.predict(data.series(i)) == data.label(i) {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::NearestNeighbors;
+
+    fn toy(n: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(vec![
+                    c as f64 * 4.0 + (i as f64) * 0.01,
+                    c as f64 * 4.0,
+                    0.0,
+                ]);
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn accuracy_on_separable_data_is_one() {
+        let d = toy(6);
+        let clf = NearestNeighbors::one_nn_euclidean(&d);
+        assert_eq!(accuracy(&clf, &d), 1.0);
+    }
+
+    #[test]
+    fn accuracy_of_pairs() {
+        assert_eq!(accuracy_of(&[(0, 0), (1, 1), (0, 1), (1, 0)]), 0.5);
+        assert_eq!(accuracy_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let pairs = [(0, 0), (0, 0), (1, 0), (1, 1), (0, 1)];
+        let cm = ConfusionMatrix::from_pairs(&pairs, 2);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.n_classes(), 2);
+    }
+
+    #[test]
+    fn confusion_matrix_degenerate_classes() {
+        let cm = ConfusionMatrix::from_pairs(&[(0, 0)], 2);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.precision(1), 0.0);
+    }
+
+    #[test]
+    fn cross_val_on_separable_data() {
+        let d = toy(10);
+        let acc = cross_val_accuracy(&d, 5, 1, |train| {
+            NearestNeighbors::one_nn_euclidean(train)
+        });
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn cross_val_is_deterministic() {
+        let d = toy(8);
+        let a = cross_val_accuracy(&d, 4, 2, NearestNeighbors::one_nn_euclidean);
+        let b = cross_val_accuracy(&d, 4, 2, NearestNeighbors::one_nn_euclidean);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,302 @@
+//! Gaussian class-conditional models: diagonal ("naive Bayes") and full
+//! covariance, with per-class or pooled (LDA-style) covariances.
+//!
+//! These are the machinery behind RelClass in `etsc-early`: a prefix of an
+//! incoming series is scored under the *marginal* of each class Gaussian
+//! over the observed coordinates — for a Gaussian, that marginal is just the
+//! leading sub-vector/sub-matrix, so prefix classification is natural.
+
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::linalg::{covariance, Cholesky, Matrix};
+use crate::Classifier;
+
+const LN_2PI: f64 = 1.8378770664093453;
+
+/// Covariance structure for [`GaussianModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CovarianceKind {
+    /// Per-class diagonal covariance (Gaussian naive Bayes).
+    Diagonal,
+    /// Diagonal covariance pooled across classes — the "linear discriminant
+    /// Gaussian" (LDG) variant: equal covariances make the decision boundary
+    /// linear.
+    PooledDiagonal,
+    /// Per-class full covariance (QDA). Quadratic cost in the series length;
+    /// prefer for short series or snapshot evaluation.
+    Full,
+}
+
+/// One class's Gaussian parameters.
+#[derive(Debug, Clone)]
+struct ClassGaussian {
+    mean: Vec<f64>,
+    /// Diagonal variances (always kept; the Full kind uses it as a fallback
+    /// when a prefix submatrix fails to factor).
+    var: Vec<f64>,
+    /// Full covariance, if requested.
+    cov: Option<Matrix>,
+    prior: f64,
+}
+
+/// Gaussian class-conditional model over fixed-length series, supporting
+/// prefix (marginal) likelihoods.
+#[derive(Debug, Clone)]
+pub struct GaussianModel {
+    classes: Vec<ClassGaussian>,
+    kind: CovarianceKind,
+    series_len: usize,
+}
+
+/// Variance floor: keeps constant coordinates (e.g. the flat GunPoint tail)
+/// from producing infinite densities.
+const VAR_FLOOR: f64 = 1e-6;
+/// Ridge added to full covariances before factorization.
+const RIDGE: f64 = 1e-3;
+
+impl GaussianModel {
+    /// Fit per-class Gaussians of the requested kind on `train`.
+    pub fn fit(train: &UcrDataset, kind: CovarianceKind) -> Self {
+        let n_classes = train.n_classes();
+        let len = train.series_len();
+        let n_total = train.len() as f64;
+
+        let mut classes = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let members: Vec<&[f64]> = train
+                .iter()
+                .filter(|&(_, l)| l == c)
+                .map(|(s, _)| s)
+                .collect();
+            let count = members.len();
+            let mut mean = vec![0.0; len];
+            for m in &members {
+                for (acc, &v) in mean.iter_mut().zip(*m) {
+                    *acc += v;
+                }
+            }
+            if count > 0 {
+                mean.iter_mut().for_each(|v| *v /= count as f64);
+            }
+            let mut var = vec![0.0; len];
+            for m in &members {
+                for ((acc, &v), &mu) in var.iter_mut().zip(*m).zip(&mean) {
+                    let d = v - mu;
+                    *acc += d * d;
+                }
+            }
+            if count > 0 {
+                var.iter_mut().for_each(|v| *v /= count as f64);
+            }
+            var.iter_mut().for_each(|v| *v = v.max(VAR_FLOOR));
+
+            let cov = match kind {
+                CovarianceKind::Full => Some(covariance(&members, &mean, RIDGE)),
+                _ => None,
+            };
+            classes.push(ClassGaussian {
+                mean,
+                var,
+                cov,
+                prior: count as f64 / n_total,
+            });
+        }
+
+        if kind == CovarianceKind::PooledDiagonal {
+            // Pool the diagonal variances, weighted by class priors.
+            let mut pooled = vec![0.0; len];
+            for cg in &classes {
+                for (p, &v) in pooled.iter_mut().zip(&cg.var) {
+                    *p += cg.prior * v;
+                }
+            }
+            for cg in &mut classes {
+                cg.var.clone_from(&pooled);
+            }
+        }
+
+        Self {
+            classes,
+            kind,
+            series_len: len,
+        }
+    }
+
+    /// Series length the model was fitted on.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Log-likelihood of the prefix `x` (length ≤ series_len) under class
+    /// `c`'s marginal Gaussian.
+    pub fn log_likelihood_prefix(&self, c: ClassLabel, x: &[f64]) -> f64 {
+        let t = x.len().min(self.series_len);
+        let cg = &self.classes[c];
+        match self.kind {
+            CovarianceKind::Diagonal | CovarianceKind::PooledDiagonal => {
+                let mut ll = 0.0;
+                for i in 0..t {
+                    let d = x[i] - cg.mean[i];
+                    ll += -0.5 * (LN_2PI + cg.var[i].ln() + d * d / cg.var[i]);
+                }
+                ll
+            }
+            CovarianceKind::Full => {
+                let cov = cg.cov.as_ref().expect("Full kind stores covariance");
+                let sub = cov.leading_principal(t);
+                match Cholesky::new(&sub) {
+                    Some(ch) => {
+                        let diff: Vec<f64> =
+                            (0..t).map(|i| x[i] - cg.mean[i]).collect();
+                        -0.5 * (t as f64 * LN_2PI + ch.log_det() + ch.quadratic_form(&diff))
+                    }
+                    None => {
+                        // Regularized fallback: diagonal marginal.
+                        let mut ll = 0.0;
+                        for i in 0..t {
+                            let d = x[i] - cg.mean[i];
+                            ll += -0.5 * (LN_2PI + cg.var[i].ln() + d * d / cg.var[i]);
+                        }
+                        ll
+                    }
+                }
+            }
+        }
+    }
+
+    /// Class posteriors given a prefix: softmax of `log prior + log lik`.
+    pub fn posterior_prefix(&self, x: &[f64]) -> Vec<f64> {
+        let logs: Vec<f64> = (0..self.classes.len())
+            .map(|c| self.classes[c].prior.max(1e-12).ln() + self.log_likelihood_prefix(c, x))
+            .collect();
+        softmax_of_logs(&logs)
+    }
+
+    /// Class mean (for inspection / conditional completion).
+    pub fn class_mean(&self, c: ClassLabel) -> &[f64] {
+        &self.classes[c].mean
+    }
+
+    /// Class prior.
+    pub fn class_prior(&self, c: ClassLabel) -> f64 {
+        self.classes[c].prior
+    }
+}
+
+impl Classifier for GaussianModel {
+    fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.posterior_prefix(x)
+    }
+}
+
+/// Numerically stable softmax of log-scores.
+pub fn softmax_of_logs(logs: &[f64]) -> Vec<f64> {
+    let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return vec![1.0 / logs.len() as f64; logs.len()];
+    }
+    let mut p: Vec<f64> = logs.iter().map(|&l| (l - max).exp()).collect();
+    let z: f64 = p.iter().sum();
+    p.iter_mut().for_each(|v| *v /= z);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Class 0 ~ N(0, 0.1) per coordinate, class 1 ~ N(3, 0.1).
+    fn toy(n: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                let base = 3.0 * c as f64;
+                data.push(
+                    (0..len)
+                        .map(|j| base + 0.1 * (((i * 7 + j * 13) % 10) as f64 / 10.0 - 0.5))
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn diagonal_model_separates_classes() {
+        let d = toy(10, 8);
+        let m = GaussianModel::fit(&d, CovarianceKind::Diagonal);
+        assert_eq!(m.predict(&[0.05; 8]), 0);
+        assert_eq!(m.predict(&[2.95; 8]), 1);
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let d = toy(10, 8);
+        for kind in [
+            CovarianceKind::Diagonal,
+            CovarianceKind::PooledDiagonal,
+            CovarianceKind::Full,
+        ] {
+            let m = GaussianModel::fit(&d, kind);
+            let p = m.posterior_prefix(&[1.0; 8]);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_likelihood_handles_partial_observation() {
+        let d = toy(10, 8);
+        let m = GaussianModel::fit(&d, CovarianceKind::Diagonal);
+        // Only 3 of 8 points seen.
+        let p = m.posterior_prefix(&[0.0, 0.0, 0.1]);
+        assert!(p[0] > 0.9);
+        // Longer consistent prefix is at least as confident.
+        let p_full = m.posterior_prefix(&[0.0; 8]);
+        assert!(p_full[0] >= p[0] - 1e-9);
+    }
+
+    #[test]
+    fn pooled_variant_shares_variances() {
+        let d = toy(10, 4);
+        let m = GaussianModel::fit(&d, CovarianceKind::PooledDiagonal);
+        // Pooled: log-lik difference between classes is linear in x, so the
+        // decision boundary is the midpoint 1.5.
+        assert_eq!(m.predict(&[1.4; 4]), 0);
+        assert_eq!(m.predict(&[1.6; 4]), 1);
+    }
+
+    #[test]
+    fn full_covariance_model_works_on_prefixes() {
+        let d = toy(12, 6);
+        let m = GaussianModel::fit(&d, CovarianceKind::Full);
+        assert_eq!(m.predict(&[0.0, 0.1]), 0);
+        assert_eq!(m.predict(&[3.0, 2.9, 3.1, 3.0, 3.0, 2.95]), 1);
+    }
+
+    #[test]
+    fn priors_reflect_class_imbalance() {
+        let d = UcrDataset::new(
+            vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1], vec![5.0, 5.0]],
+            vec![0, 0, 0, 1],
+        )
+        .unwrap();
+        let m = GaussianModel::fit(&d, CovarianceKind::Diagonal);
+        assert!((m.class_prior(0) - 0.75).abs() < 1e-12);
+        assert!((m.class_prior(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_of_logs_is_stable() {
+        let p = softmax_of_logs(&[-1000.0, -1001.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1]);
+        let u = softmax_of_logs(&[f64::NEG_INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(u, vec![0.5, 0.5]);
+    }
+}

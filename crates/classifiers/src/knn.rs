@@ -1,0 +1,319 @@
+//! k-nearest-neighbor time series classification — the de-facto UCR
+//! baseline — under Euclidean distance or DTW with a lower-bounding cascade.
+
+use etsc_core::distance::{squared_euclidean, squared_euclidean_early_abandon};
+use etsc_core::dtw::{dtw_sq_early_abandon, envelope, lb_keogh_sq, lb_kim_sq};
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::Classifier;
+
+/// Distance measure for [`NearestNeighbors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean distance with early abandoning.
+    Euclidean,
+    /// DTW under a Sakoe–Chiba band (`None` = unconstrained), accelerated by
+    /// the LB_Kim → LB_Keogh → early-abandoning-DTW cascade.
+    Dtw {
+        /// Maximum warping offset.
+        band: Option<usize>,
+    },
+}
+
+/// A fitted kNN classifier. Training is lazy (exemplars are stored); DTW
+/// queries precompute per-exemplar envelopes for LB_Keogh.
+#[derive(Debug, Clone)]
+pub struct NearestNeighbors {
+    train: UcrDataset,
+    metric: Metric,
+    k: usize,
+    /// Per-exemplar (upper, lower) envelopes, for DTW only.
+    envelopes: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+impl NearestNeighbors {
+    /// Store `train` for lazy kNN classification. `k >= 1`.
+    pub fn fit(train: &UcrDataset, metric: Metric, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let envelopes = match metric {
+            Metric::Dtw { band } => {
+                let b = band.unwrap_or(train.series_len());
+                (0..train.len())
+                    .map(|i| envelope(train.series(i), b))
+                    .collect()
+            }
+            Metric::Euclidean => Vec::new(),
+        };
+        Self {
+            train: train.clone(),
+            metric,
+            k,
+            envelopes,
+        }
+    }
+
+    /// Convenience constructor for the classic 1NN-ED baseline.
+    pub fn one_nn_euclidean(train: &UcrDataset) -> Self {
+        Self::fit(train, Metric::Euclidean, 1)
+    }
+
+    /// Squared distance from `x` to train exemplar `i`, abandoning above
+    /// `cutoff`.
+    fn dist_sq_to(&self, x: &[f64], i: usize, cutoff: f64) -> Option<f64> {
+        let t = self.train.series(i);
+        match self.metric {
+            Metric::Euclidean => squared_euclidean_early_abandon(x, t, cutoff),
+            Metric::Dtw { band } => {
+                // Cascade: constant-time LB_Kim, then LB_Keogh (if the query
+                // length matches the stored envelope), then full DTW.
+                if lb_kim_sq(x, t) > cutoff {
+                    return None;
+                }
+                if x.len() == t.len() {
+                    let (u, l) = &self.envelopes[i];
+                    if lb_keogh_sq(x, u, l) > cutoff {
+                        return None;
+                    }
+                }
+                dtw_sq_early_abandon(x, t, band, cutoff)
+            }
+        }
+    }
+
+    /// Indices and squared distances of the k nearest training exemplars.
+    pub fn k_nearest(&self, x: &[f64]) -> Vec<(usize, f64)> {
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(self.k + 1);
+        let mut cutoff = f64::INFINITY;
+        for i in 0..self.train.len() {
+            if let Some(d) = self.dist_sq_to(x, i, cutoff) {
+                if d < cutoff || best.len() < self.k {
+                    let pos = best.partition_point(|&(_, bd)| bd <= d);
+                    best.insert(pos, (i, d));
+                    if best.len() > self.k {
+                        best.pop();
+                    }
+                    if best.len() == self.k {
+                        cutoff = best.last().unwrap().1;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Index of the single nearest training exemplar.
+    pub fn nearest_index(&self, x: &[f64]) -> usize {
+        self.k_nearest(x)
+            .first()
+            .map(|&(i, _)| i)
+            .expect("non-empty training set always yields a neighbor")
+    }
+
+    /// The stored training data.
+    pub fn train_data(&self) -> &UcrDataset {
+        &self.train
+    }
+}
+
+impl Classifier for NearestNeighbors {
+    fn n_classes(&self) -> usize {
+        self.train.n_classes()
+    }
+
+    fn predict(&self, x: &[f64]) -> ClassLabel {
+        let neighbors = self.k_nearest(x);
+        let mut votes = vec![0usize; self.n_classes()];
+        for &(i, _) in &neighbors {
+            votes[self.train.label(i)] += 1;
+        }
+        let mut best = 0;
+        for (c, &v) in votes.iter().enumerate() {
+            if v > votes[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Vote fractions among the k neighbors.
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let neighbors = self.k_nearest(x);
+        let mut votes = vec![0.0; self.n_classes()];
+        let n = neighbors.len().max(1) as f64;
+        for &(i, _) in &neighbors {
+            votes[self.train.label(i)] += 1.0 / n;
+        }
+        votes
+    }
+}
+
+/// Leave-one-out 1NN over `data` at the given metric: for each exemplar,
+/// the label of its nearest *other* exemplar. Returns per-exemplar
+/// (nn_index, predicted_label). Heavily used by ECTS (RNN computation) and
+/// the eval module.
+pub fn loo_one_nn(data: &UcrDataset, metric: Metric) -> Vec<(usize, ClassLabel)> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut best_j = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = match metric {
+                Metric::Euclidean => {
+                    squared_euclidean_early_abandon(data.series(i), data.series(j), best_d)
+                        .unwrap_or(f64::INFINITY)
+                }
+                Metric::Dtw { band } => {
+                    dtw_sq_early_abandon(data.series(i), data.series(j), band, best_d)
+                        .unwrap_or(f64::INFINITY)
+                }
+            };
+            if d < best_d {
+                best_d = d;
+                best_j = j;
+            }
+        }
+        out.push((best_j, data.label(best_j)));
+    }
+    out
+}
+
+/// Brute-force nearest neighbor of `x` among arbitrary candidate slices
+/// under squared Euclidean distance; used by algorithms that operate on
+/// prefix spaces where no dataset object exists.
+pub fn nearest_of<'a, I>(x: &[f64], candidates: I) -> Option<(usize, f64)>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.into_iter().enumerate() {
+        let cutoff = best.map_or(f64::INFINITY, |(_, d)| d);
+        if let Some(d) = squared_euclidean_early_abandon(x, c, cutoff) {
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+    }
+    best
+}
+
+/// Full (non-abandoning) squared distance — convenience for tests and tools.
+pub fn dist_sq(metric: Metric, a: &[f64], b: &[f64]) -> f64 {
+    match metric {
+        Metric::Euclidean => squared_euclidean(a, b),
+        Metric::Dtw { band } => etsc_core::dtw::dtw_sq(a, b, band),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated classes: level 0 wiggle vs level 5 wiggle.
+    fn toy(n_per_class: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n_per_class {
+                let base = c as f64 * 5.0;
+                data.push(
+                    (0..len)
+                        .map(|j| base + 0.1 * ((i + j) as f64).sin())
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn one_nn_classifies_separated_classes() {
+        let train = toy(5, 20);
+        let clf = NearestNeighbors::one_nn_euclidean(&train);
+        let q0: Vec<f64> = vec![0.05; 20];
+        let q1: Vec<f64> = vec![4.9; 20];
+        assert_eq!(clf.predict(&q0), 0);
+        assert_eq!(clf.predict(&q1), 1);
+    }
+
+    #[test]
+    fn knn_proba_is_vote_fraction() {
+        let train = toy(5, 20);
+        let clf = NearestNeighbors::fit(&train, Metric::Euclidean, 3);
+        let p = clf.predict_proba(&[0.0; 20]);
+        assert_eq!(p.len(), 2);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_metric_agrees_on_easy_data() {
+        let train = toy(4, 16);
+        let ed = NearestNeighbors::fit(&train, Metric::Euclidean, 1);
+        let dtw = NearestNeighbors::fit(&train, Metric::Dtw { band: Some(3) }, 1);
+        for q in [vec![0.1; 16], vec![5.1; 16]] {
+            assert_eq!(ed.predict(&q), dtw.predict(&q));
+        }
+    }
+
+    #[test]
+    fn dtw_cascade_matches_bruteforce_nn() {
+        // Cascade pruning must not change the answer.
+        let train = toy(6, 12);
+        let clf = NearestNeighbors::fit(&train, Metric::Dtw { band: Some(2) }, 1);
+        let q: Vec<f64> = (0..12).map(|j| 2.0 + (j as f64 * 0.4).sin()).collect();
+        let fast = clf.nearest_index(&q);
+        let mut best = (usize::MAX, f64::INFINITY);
+        for i in 0..train.len() {
+            let d = dist_sq(Metric::Dtw { band: Some(2) }, &q, train.series(i));
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        assert_eq!(fast, best.0);
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_and_k_long() {
+        let train = toy(10, 8);
+        let clf = NearestNeighbors::fit(&train, Metric::Euclidean, 4);
+        let ns = clf.k_nearest(&[0.0; 8]);
+        assert_eq!(ns.len(), 4);
+        for w in ns.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn loo_one_nn_never_selects_self() {
+        let d = toy(4, 10);
+        for (i, &(j, _)) in loo_one_nn(&d, Metric::Euclidean).iter().enumerate() {
+            assert_ne!(i, j);
+        }
+    }
+
+    #[test]
+    fn loo_one_nn_labels_match_class_structure() {
+        let d = toy(4, 10);
+        let loo = loo_one_nn(&d, Metric::Euclidean);
+        for (i, &(_, pred)) in loo.iter().enumerate() {
+            assert_eq!(pred, d.label(i), "well-separated LOO must be perfect");
+        }
+    }
+
+    #[test]
+    fn nearest_of_slices() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let c = [0.1, 0.0];
+        let cands: Vec<&[f64]> = vec![&a, &b, &c];
+        let (i, d) = nearest_of(&[0.08, 0.0], cands).unwrap();
+        assert_eq!(i, 2);
+        assert!(d < 0.01);
+        assert!(nearest_of(&[0.0], Vec::<&[f64]>::new()).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+// Numeric kernels below index several parallel arrays per iteration; explicit
+// index loops are the clearer idiom there.
+#![allow(clippy::needless_range_loop)]
+
+//! # etsc-classifiers
+//!
+//! Classic (whole-series) time series classification — the substrate the
+//! early-classification algorithms of `etsc-early` are built from, and the
+//! baseline the paper contrasts them with.
+//!
+//! * [`knn`] — k-nearest-neighbor classification under Euclidean distance or
+//!   DTW (with an LB_Kim/LB_Keogh lower-bounding cascade), the de-facto UCR
+//!   baseline.
+//! * [`centroid`] — nearest-centroid classification, used as a cheap
+//!   probabilistic slave.
+//! * [`gaussian`] — Gaussian class-conditional models (diagonal or full
+//!   covariance), the machinery behind RelClass.
+//! * [`linalg`] — the minimal dense linear algebra (Cholesky) the Gaussian
+//!   models need; written in-repo per the workspace's no-extra-deps rule.
+//! * [`sfa`] / [`weasel`] — Symbolic Fourier Approximation and a
+//!   bag-of-SFA-words classifier ("WEASEL-lite"), our from-scratch stand-in
+//!   for the WEASEL slaves TEASER uses.
+//! * [`logistic`] — one-vs-rest logistic regression trained by SGD.
+//! * [`eval`] — accuracy, confusion matrices, cross-validation.
+
+pub mod centroid;
+pub mod eval;
+pub mod gaussian;
+pub mod knn;
+pub mod linalg;
+pub mod logistic;
+pub mod sfa;
+pub mod weasel;
+
+use etsc_core::ClassLabel;
+
+/// A fitted whole-series classifier.
+///
+/// `predict_proba` returns a probability vector over `0..n_classes`;
+/// implementations that are not naturally probabilistic return normalized
+/// scores (documented per type).
+pub trait Classifier {
+    /// Number of classes the model was fitted on.
+    fn n_classes(&self) -> usize;
+
+    /// Hard prediction for one series.
+    fn predict(&self, x: &[f64]) -> ClassLabel {
+        let p = self.predict_proba(x);
+        argmax(&p)
+    }
+
+    /// Probability (or normalized score) per class.
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
+}
+
+/// Index of the maximum element; ties break toward the lower index.
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic_and_ties() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Minimal dense linear algebra for the Gaussian models: a symmetric matrix
+//! type and Cholesky factorization (solve + log-determinant).
+//!
+//! Written in-repo rather than pulling a linear algebra dependency: the only
+//! consumers are full-covariance Gaussians over modest dimensions, so a
+//! straightforward O(n³) Cholesky is both sufficient and easy to audit.
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of size `n × n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major vector (length must be `n²`).
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "need n^2 entries");
+        Self { n, data }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Add `lambda` to the diagonal (ridge regularization).
+    pub fn add_ridge(&mut self, lambda: f64) {
+        for i in 0..self.n {
+            self[(i, i)] += lambda;
+        }
+    }
+
+    /// The leading `k × k` principal submatrix (marginal covariance of the
+    /// first `k` coordinates).
+    pub fn leading_principal(&self, k: usize) -> Matrix {
+        assert!(k <= self.n);
+        let mut out = Matrix::zeros(k);
+        for i in 0..k {
+            for j in 0..k {
+                out[(i, j)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            y[i] = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+        }
+        y
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor `a`. Returns `None` if the matrix is not positive definite
+    /// (callers regularize and retry).
+    pub fn new(a: &Matrix) -> Option<Self> {
+        let n = a.dim();
+        let mut l = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(Self { l })
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.dim();
+        assert_eq!(b.len(), n);
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        let n = self.l.dim();
+        (0..n).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// The quadratic form `bᵀ A⁻¹ b` (Mahalanobis squared when `b = x - μ`).
+    pub fn quadratic_form(&self, b: &[f64]) -> f64 {
+        let x = self.solve(b);
+        b.iter().zip(&x).map(|(&u, &v)| u * v).sum()
+    }
+}
+
+/// Sample covariance matrix (population normalization, matching the
+/// workspace's z-norm convention) of rows, with ridge `lambda` added.
+pub fn covariance(rows: &[&[f64]], mean: &[f64], lambda: f64) -> Matrix {
+    let d = mean.len();
+    let mut cov = Matrix::zeros(d);
+    if rows.is_empty() {
+        cov.add_ridge(lambda.max(1e-9));
+        return cov;
+    }
+    for row in rows {
+        assert_eq!(row.len(), d);
+        for i in 0..d {
+            let di = row[i] - mean[i];
+            for j in 0..=i {
+                let dj = row[j] - mean[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let inv_n = 1.0 / rows.len() as f64;
+    for i in 0..d {
+        for j in 0..=i {
+            let v = cov[(i, j)] * inv_n;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    cov.add_ridge(lambda);
+    cov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Matrix::identity(3);
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&[1.0, 2.0, 3.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_spd_matrix() {
+        // A = [[4, 2], [2, 3]]; det = 8.
+        let a = Matrix::from_vec(2, vec![4.0, 2.0, 2.0, 3.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 8.0f64.ln()).abs() < 1e-12);
+        // Solve A x = [2, 5] -> x = A^{-1} b; A^{-1} = 1/8 [[3,-2],[-2,4]].
+        let x = ch.solve(&[2.0, 5.0]);
+        assert!((x[0] - (3.0 * 2.0 - 2.0 * 5.0) / 8.0).abs() < 1e-12);
+        assert!((x[1] - (-2.0 * 2.0 + 4.0 * 5.0) / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Matrix::from_vec(2, vec![1.0, 2.0, 2.0, 1.0]); // indefinite
+        assert!(Cholesky::new(&a).is_none());
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let mut a = Matrix::from_vec(
+            3,
+            vec![2.0, 0.5, 0.1, 0.5, 1.5, 0.2, 0.1, 0.2, 1.0],
+        );
+        a.add_ridge(0.01);
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [0.3, -1.0, 2.5];
+        let x = ch.solve(&b);
+        let back = a.matvec(&x);
+        for (u, v) in b.iter().zip(&back) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_matches_manual() {
+        let a = Matrix::from_vec(2, vec![4.0, 0.0, 0.0, 9.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        // b' A^{-1} b = 4/4 + 9/9 = 2 for b = [2, 3].
+        assert!((ch.quadratic_form(&[2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        let r1 = [1.0, 0.0];
+        let r2 = [-1.0, 0.0];
+        let rows: Vec<&[f64]> = vec![&r1, &r2];
+        let mean = [0.0, 0.0];
+        let cov = covariance(&rows, &mean, 0.0);
+        assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((cov[(1, 1)]).abs() < 1e-12);
+        assert!((cov[(0, 1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_and_ridge_applies() {
+        let r1 = [1.0, 2.0, 3.0];
+        let r2 = [0.0, 1.0, -1.0];
+        let r3 = [2.0, 0.0, 1.0];
+        let rows: Vec<&[f64]> = vec![&r1, &r2, &r3];
+        let mean = [1.0, 1.0, 1.0];
+        let cov = covariance(&rows, &mean, 0.5);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(cov[(i, j)], cov[(j, i)]);
+            }
+        }
+        // Ridge shows up on the diagonal.
+        let no_ridge = covariance(&rows, &mean, 0.0);
+        for i in 0..3 {
+            assert!((cov[(i, i)] - no_ridge[(i, i)] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn leading_principal_extracts_block() {
+        let a = Matrix::from_vec(3, vec![1.0, 2.0, 3.0, 2.0, 5.0, 6.0, 3.0, 6.0, 9.0]);
+        let p = a.leading_principal(2);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p[(0, 1)], 2.0);
+        assert_eq!(p[(1, 1)], 5.0);
+    }
+}

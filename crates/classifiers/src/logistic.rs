@@ -1,0 +1,211 @@
+//! Multinomial (softmax) logistic regression trained by full-batch gradient
+//! descent with L2 regularization.
+//!
+//! This is the linear classifier behind WEASEL-lite (the paper's TEASER uses
+//! liblinear; we train our own). Deterministic: no stochastic shuffling, so
+//! fitted models are bit-reproducible.
+
+use crate::gaussian::softmax_of_logs;
+use crate::Classifier;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticConfig {
+    /// Gradient descent epochs.
+    pub epochs: usize,
+    /// Initial learning rate (decays as `lr / (1 + epoch/10)`).
+    pub learning_rate: f64,
+    /// L2 penalty on weights (not on biases).
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            learning_rate: 0.5,
+            l2: 1e-3,
+        }
+    }
+}
+
+/// A fitted softmax regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// `weights[c]` has `n_features` entries.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Fit on dense feature rows `x` with labels `y` in `0..n_classes`.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, cfg: &LogisticConfig) -> Self {
+        assert_eq!(x.len(), y.len(), "one label per row");
+        assert!(!x.is_empty(), "need training rows");
+        assert!(n_classes >= 2, "need at least two classes");
+        let n_features = x[0].len();
+        assert!(x.iter().all(|r| r.len() == n_features));
+        let n = x.len() as f64;
+
+        let mut weights = vec![vec![0.0; n_features]; n_classes];
+        let mut biases = vec![0.0; n_classes];
+        let mut probs = vec![0.0f64; n_classes];
+        let mut grad_w = vec![vec![0.0; n_features]; n_classes];
+        let mut grad_b = vec![0.0; n_classes];
+
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.learning_rate / (1.0 + epoch as f64 / 10.0);
+            for g in grad_w.iter_mut() {
+                g.fill(0.0);
+            }
+            grad_b.fill(0.0);
+
+            for (row, &label) in x.iter().zip(y) {
+                // Forward.
+                for c in 0..n_classes {
+                    probs[c] = biases[c]
+                        + weights[c].iter().zip(row).map(|(&w, &v)| w * v).sum::<f64>();
+                }
+                let p = softmax_of_logs(&probs);
+                // Backward: dL/dz_c = p_c - [c == label].
+                for c in 0..n_classes {
+                    let err = p[c] - if c == label { 1.0 } else { 0.0 };
+                    grad_b[c] += err;
+                    for (g, &v) in grad_w[c].iter_mut().zip(row) {
+                        *g += err * v;
+                    }
+                }
+            }
+            for c in 0..n_classes {
+                biases[c] -= lr * grad_b[c] / n;
+                for (w, g) in weights[c].iter_mut().zip(&grad_w[c]) {
+                    *w -= lr * (g / n + cfg.l2 * *w);
+                }
+            }
+        }
+        Self { weights, biases }
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    /// Raw linear scores (pre-softmax logits).
+    pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features());
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, &b)| b + w.iter().zip(x).map(|(&wi, &xi)| wi * xi).sum::<f64>())
+            .collect()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn n_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        softmax_of_logs(&self.logits(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 / 20.0;
+            x.push(vec![t, 1.0 - t]);
+            y.push(0);
+            x.push(vec![t + 2.0, 1.0 - t]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_linearly_separable_data() {
+        let (x, y) = linearly_separable();
+        let m = LogisticRegression::fit(&x, &y, 2, &LogisticConfig::default());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &l)| m.predict(r) == l)
+            .count();
+        assert_eq!(correct, x.len());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = linearly_separable();
+        let m = LogisticRegression::fit(&x, &y, 2, &LogisticConfig::default());
+        let p = m.predict_proba(&[0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiclass_works() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..15 {
+            let jitter = (i % 5) as f64 * 0.02;
+            x.push(vec![0.0 + jitter, 0.0]);
+            y.push(0);
+            x.push(vec![3.0 + jitter, 0.0]);
+            y.push(1);
+            x.push(vec![0.0 + jitter, 3.0]);
+            y.push(2);
+        }
+        let m = LogisticRegression::fit(&x, &y, 3, &LogisticConfig::default());
+        assert_eq!(m.predict(&[0.1, 0.1]), 0);
+        assert_eq!(m.predict(&[2.9, 0.0]), 1);
+        assert_eq!(m.predict(&[0.0, 2.9]), 2);
+        assert_eq!(m.n_classes(), 3);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = linearly_separable();
+        let cfg = LogisticConfig::default();
+        let a = LogisticRegression::fit(&x, &y, 2, &cfg);
+        let b = LogisticRegression::fit(&x, &y, 2, &cfg);
+        assert_eq!(a.logits(&x[0]), b.logits(&x[0]));
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = linearly_separable();
+        let small = LogisticRegression::fit(
+            &x,
+            &y,
+            2,
+            &LogisticConfig {
+                l2: 1e-4,
+                ..LogisticConfig::default()
+            },
+        );
+        let big = LogisticRegression::fit(
+            &x,
+            &y,
+            2,
+            &LogisticConfig {
+                l2: 1.0,
+                ..LogisticConfig::default()
+            },
+        );
+        let norm = |m: &LogisticRegression| {
+            m.weights
+                .iter()
+                .flat_map(|w| w.iter())
+                .map(|v| v * v)
+                .sum::<f64>()
+        };
+        assert!(norm(&big) < norm(&small));
+    }
+}

@@ -1,0 +1,285 @@
+//! The UCR-format labeled dataset: equal-length, aligned exemplars.
+//!
+//! This is deliberately a faithful model of the format the paper critiques
+//! (Fig 1): "exemplars are all of the same length and carefully aligned".
+//! Generators in `etsc-datasets` produce data in this shape; the audit crate
+//! then demonstrates what breaks when such data meets a stream.
+
+use crate::error::{CoreError, Result};
+use crate::znorm::{is_znormalized, znormalize_in_place};
+
+/// Integer class label (UCR datasets use small integers; we use `usize`
+/// starting at 0).
+pub type ClassLabel = usize;
+
+/// A labeled, equal-length time series dataset in the UCR format.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UcrDataset {
+    series_len: usize,
+    data: Vec<Vec<f64>>,
+    labels: Vec<ClassLabel>,
+}
+
+impl UcrDataset {
+    /// Build a dataset, validating the UCR invariants: non-empty, one label
+    /// per exemplar, all exemplars the same length.
+    pub fn new(data: Vec<Vec<f64>>, labels: Vec<ClassLabel>) -> Result<Self> {
+        if data.is_empty() {
+            return Err(CoreError::InvalidDataset("no exemplars".into()));
+        }
+        if data.len() != labels.len() {
+            return Err(CoreError::InvalidDataset(format!(
+                "{} exemplars but {} labels",
+                data.len(),
+                labels.len()
+            )));
+        }
+        let series_len = data[0].len();
+        if series_len == 0 {
+            return Err(CoreError::InvalidDataset("zero-length exemplars".into()));
+        }
+        if let Some(bad) = data.iter().position(|s| s.len() != series_len) {
+            return Err(CoreError::InvalidDataset(format!(
+                "exemplar {bad} has length {} but expected {series_len}",
+                data[bad].len()
+            )));
+        }
+        Ok(Self {
+            series_len,
+            data,
+            labels,
+        })
+    }
+
+    /// Number of exemplars.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the dataset holds no exemplars (cannot occur for a validated
+    /// dataset; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Length every exemplar shares.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Exemplar `i`.
+    pub fn series(&self, i: usize) -> &[f64] {
+        &self.data[i]
+    }
+
+    /// Label of exemplar `i`.
+    pub fn label(&self, i: usize) -> ClassLabel {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[ClassLabel] {
+        &self.labels
+    }
+
+    /// Iterate `(series, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], ClassLabel)> {
+        self.data
+            .iter()
+            .map(|s| s.as_slice())
+            .zip(self.labels.iter().copied())
+    }
+
+    /// The number of distinct classes, assuming labels are `0..n_classes`.
+    pub fn n_classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Count of exemplars per class (indexed by label).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Empirical class priors.
+    pub fn class_priors(&self) -> Vec<f64> {
+        let n = self.len() as f64;
+        self.class_counts()
+            .into_iter()
+            .map(|c| c as f64 / n)
+            .collect()
+    }
+
+    /// Z-normalize every exemplar in place (the UCR preprocessing step).
+    pub fn znormalize(&mut self) {
+        for s in &mut self.data {
+            znormalize_in_place(s);
+        }
+    }
+
+    /// Are all exemplars z-normalized to the given tolerance?
+    pub fn is_znormalized(&self, tol: f64) -> bool {
+        self.data.iter().all(|s| is_znormalized(s, tol))
+    }
+
+    /// Apply a transformation to every exemplar (e.g. the denormalization of
+    /// Fig 6). The transform must preserve length.
+    pub fn map_series<F: FnMut(usize, &mut Vec<f64>)>(&mut self, mut f: F) {
+        for (i, s) in self.data.iter_mut().enumerate() {
+            f(i, s);
+            assert_eq!(
+                s.len(),
+                self.series_len,
+                "map_series must preserve series length"
+            );
+        }
+    }
+
+    /// Truncate every exemplar to its first `len` points (prefix dataset).
+    ///
+    /// Used by the Fig 9 experiment: classify using only a prefix, with
+    /// honest re-normalization left to the caller.
+    pub fn prefix(&self, len: usize) -> Result<Self> {
+        if len == 0 || len > self.series_len {
+            return Err(CoreError::InvalidParameter(format!(
+                "prefix length {len} outside 1..={}",
+                self.series_len
+            )));
+        }
+        Ok(Self {
+            series_len: len,
+            data: self.data.iter().map(|s| s[..len].to_vec()).collect(),
+            labels: self.labels.clone(),
+        })
+    }
+
+    /// Select a subset of exemplars by index.
+    pub fn subset(&self, idx: &[usize]) -> Result<Self> {
+        if idx.is_empty() {
+            return Err(CoreError::InvalidDataset("empty subset".into()));
+        }
+        if let Some(&bad) = idx.iter().find(|&&i| i >= self.len()) {
+            return Err(CoreError::InvalidParameter(format!(
+                "index {bad} out of bounds ({} exemplars)",
+                self.len()
+            )));
+        }
+        Ok(Self {
+            series_len: self.series_len,
+            data: idx.iter().map(|&i| self.data[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+        })
+    }
+
+    /// Concatenate two datasets with identical series lengths.
+    pub fn concat(&self, other: &Self) -> Result<Self> {
+        if self.series_len != other.series_len {
+            return Err(CoreError::LengthMismatch {
+                expected: self.series_len,
+                actual: other.series_len,
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend(other.data.iter().cloned());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Self::new(data, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> UcrDataset {
+        UcrDataset::new(
+            vec![
+                vec![1.0, 2.0, 3.0],
+                vec![4.0, 5.0, 6.0],
+                vec![0.0, 0.0, 1.0],
+                vec![2.0, 1.0, 0.0],
+            ],
+            vec![0, 1, 0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_invariants() {
+        assert!(UcrDataset::new(vec![], vec![]).is_err());
+        assert!(UcrDataset::new(vec![vec![1.0]], vec![0, 1]).is_err());
+        assert!(UcrDataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]).is_err());
+        assert!(UcrDataset::new(vec![vec![]], vec![0]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.series_len(), 3);
+        assert_eq!(d.series(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(d.label(2), 0);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+        assert_eq!(d.class_priors(), vec![0.5, 0.5]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn znormalize_all() {
+        let mut d = toy();
+        assert!(!d.is_znormalized(1e-9));
+        d.znormalize();
+        assert!(d.is_znormalized(1e-9));
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let d = toy();
+        let p = d.prefix(2).unwrap();
+        assert_eq!(p.series_len(), 2);
+        assert_eq!(p.series(0), &[1.0, 2.0]);
+        assert_eq!(p.labels(), d.labels());
+        assert!(d.prefix(0).is_err());
+        assert!(d.prefix(4).is_err());
+    }
+
+    #[test]
+    fn subset_selects() {
+        let d = toy();
+        let s = d.subset(&[3, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.series(0), &[2.0, 1.0, 0.0]);
+        assert_eq!(s.label(1), 0);
+        assert!(d.subset(&[]).is_err());
+        assert!(d.subset(&[9]).is_err());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let d = toy();
+        let c = d.concat(&d).unwrap();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.series(5), d.series(1));
+        let other = UcrDataset::new(vec![vec![1.0, 2.0]], vec![0]).unwrap();
+        assert!(d.concat(&other).is_err());
+    }
+
+    #[test]
+    fn map_series_transforms() {
+        let mut d = toy();
+        d.map_series(|_, s| s.iter_mut().for_each(|x| *x += 10.0));
+        assert_eq!(d.series(0), &[11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let d = toy();
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[1].1, 1);
+    }
+}

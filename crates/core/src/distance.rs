@@ -1,0 +1,163 @@
+//! Euclidean distances, early abandoning, and the z-normalized distance used
+//! for subsequence search.
+
+use crate::error::{CoreError, Result};
+use crate::stats::mean_std;
+use crate::znorm::CONSTANT_EPS;
+
+/// Squared Euclidean distance between equal-length slices.
+///
+/// Panics in debug builds on length mismatch; use [`try_squared_euclidean`]
+/// for checked input.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between equal-length slices.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Checked squared Euclidean distance.
+pub fn try_squared_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(CoreError::LengthMismatch {
+            expected: a.len(),
+            actual: b.len(),
+        });
+    }
+    Ok(squared_euclidean(a, b))
+}
+
+/// Squared Euclidean distance with early abandoning: returns `None` as soon
+/// as the partial sum exceeds `cutoff` (a squared distance).
+///
+/// This is the standard optimization for 1NN search; on UCR-style data it
+/// prunes the large majority of candidate comparisons.
+#[inline]
+pub fn squared_euclidean_early_abandon(a: &[f64], b: &[f64], cutoff: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+        if acc > cutoff {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Z-normalized Euclidean distance between a **pre-z-normalized** query `q`
+/// and a **raw** window `x` of the same length.
+///
+/// Uses the dot-product identity (the kernel inside MASS): with `q` having
+/// mean 0 and population std 1, and `x` having mean `mu` and std `sd`,
+///
+/// ```text
+/// d^2(q, znorm(x)) = 2 * ( m  -  ( q . x ) / sd )
+/// ```
+///
+/// because `sum(q) = 0` and `sum(q_i^2) = m`. Windows that are constant
+/// (sd ~ 0) normalize to all zeros, giving `d^2 = m`.
+pub fn znormalized_sq_dist(q_znormed: &[f64], x_raw: &[f64]) -> f64 {
+    debug_assert_eq!(q_znormed.len(), x_raw.len());
+    let m = q_znormed.len() as f64;
+    let (_, sd) = mean_std(x_raw);
+    if sd <= CONSTANT_EPS {
+        return m;
+    }
+    let dot: f64 = q_znormed.iter().zip(x_raw).map(|(&a, &b)| a * b).sum();
+    (2.0 * (m - dot / sd)).max(0.0)
+}
+
+/// Z-normalized Euclidean distance (see [`znormalized_sq_dist`]).
+#[inline]
+pub fn znormalized_dist(q_znormed: &[f64], x_raw: &[f64]) -> f64 {
+    znormalized_sq_dist(q_znormed, x_raw).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::znorm::znormalize;
+
+    #[test]
+    fn squared_euclidean_known_value() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = [1.0, -2.0, 3.5];
+        assert_eq!(squared_euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn checked_variant_rejects_mismatch() {
+        let e = try_squared_euclidean(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            e,
+            CoreError::LengthMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn early_abandon_matches_full_when_under_cutoff() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 0.0, 3.0];
+        let full = squared_euclidean(&a, &b);
+        assert_eq!(
+            squared_euclidean_early_abandon(&a, &b, full + 1.0),
+            Some(full)
+        );
+    }
+
+    #[test]
+    fn early_abandon_prunes_over_cutoff() {
+        let a = [0.0; 8];
+        let b = [10.0; 8];
+        assert_eq!(squared_euclidean_early_abandon(&a, &b, 50.0), None);
+    }
+
+    #[test]
+    fn znormalized_dist_matches_naive() {
+        let q_raw = [0.3, 1.8, -0.2, 0.9, 2.4, -1.1];
+        let x_raw = [10.0, 14.0, 9.0, 12.0, 16.0, 7.5];
+        let q = znormalize(&q_raw);
+        let naive = euclidean(&q, &znormalize(&x_raw));
+        let fast = znormalized_dist(&q, &x_raw);
+        assert!((naive - fast).abs() < 1e-9, "{naive} vs {fast}");
+    }
+
+    #[test]
+    fn znormalized_dist_constant_window() {
+        let q = znormalize(&[1.0, 2.0, 3.0, 4.0]);
+        // Constant window normalizes to zeros => d^2 = sum(q^2) = m.
+        let d2 = znormalized_sq_dist(&q, &[5.0; 4]);
+        assert!((d2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn znormalized_dist_is_shift_scale_invariant_in_x() {
+        let q = znormalize(&[0.1, 0.5, -0.9, 1.4, 0.2]);
+        let x = [3.0, 8.0, 1.0, 9.0, 4.0];
+        let x2: Vec<f64> = x.iter().map(|&v| -7.0 + 3.0 * v).collect();
+        let d1 = znormalized_dist(&q, &x);
+        let d2 = znormalized_dist(&q, &x2);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+}

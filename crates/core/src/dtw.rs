@@ -1,0 +1,253 @@
+//! Dynamic Time Warping with a Sakoe–Chiba band, plus the LB_Kim and
+//! LB_Keogh lower bounds used to accelerate 1NN-DTW.
+//!
+//! DTW is the companion measure to Euclidean distance throughout the UCR/TSC
+//! literature; the paper's normalization argument (Section 4, Appendix B Q4)
+//! applies to both, so the classifiers crate exposes 1NN under either.
+
+use crate::error::{CoreError, Result};
+
+/// DTW distance (not squared) between two series under a Sakoe–Chiba band.
+///
+/// `band` is the maximum allowed index offset `|i - j|`; `None` means
+/// unconstrained. Uses an O(band) rolling-row implementation.
+pub fn dtw(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
+    dtw_sq(a, b, band).sqrt()
+}
+
+/// Squared DTW distance (sum of squared pointwise costs along the optimal
+/// warping path).
+pub fn dtw_sq(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.len() == b.len() { 0.0 } else { f64::INFINITY };
+    }
+    let n = a.len();
+    let m = b.len();
+    // The band must be at least |n - m| for a path to exist.
+    let w = band
+        .unwrap_or(n.max(m))
+        .max(n.abs_diff(m));
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for j in lo..=hi {
+            let d = a[i - 1] - b[j - 1];
+            let cost = d * d;
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// DTW with early abandoning: returns `None` once every cell of a row
+/// exceeds `cutoff_sq` (a squared distance), meaning the final distance must
+/// exceed the cutoff.
+pub fn dtw_sq_early_abandon(a: &[f64], b: &[f64], band: Option<usize>, cutoff_sq: f64) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        let v = if a.len() == b.len() { 0.0 } else { f64::INFINITY };
+        return (v <= cutoff_sq).then_some(v);
+    }
+    let n = a.len();
+    let m = b.len();
+    let w = band.unwrap_or(n.max(m)).max(n.abs_diff(m));
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        let mut row_min = f64::INFINITY;
+        for j in lo..=hi {
+            let d = a[i - 1] - b[j - 1];
+            let cost = d * d;
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+            row_min = row_min.min(curr[j]);
+        }
+        if row_min > cutoff_sq {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    (prev[m] <= cutoff_sq).then_some(prev[m])
+}
+
+/// The upper/lower warping envelope of a series for LB_Keogh.
+///
+/// `upper[i] = max(b[i-w ..= i+w])`, `lower[i] = min(...)`. O(n·w) direct
+/// scan — window sizes in this workspace are small relative to series length.
+pub fn envelope(b: &[f64], band: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = b.len();
+    let mut upper = vec![0.0; n];
+    let mut lower = vec![0.0; n];
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band + 1).min(n);
+        let mut mx = f64::NEG_INFINITY;
+        let mut mn = f64::INFINITY;
+        for &v in &b[lo..hi] {
+            mx = mx.max(v);
+            mn = mn.min(v);
+        }
+        upper[i] = mx;
+        lower[i] = mn;
+    }
+    (upper, lower)
+}
+
+/// LB_Keogh lower bound (squared) of `dtw_sq(a, b, band)` given `b`'s
+/// envelope. Requires `a.len() == envelope len`.
+pub fn lb_keogh_sq(a: &[f64], upper: &[f64], lower: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), upper.len());
+    debug_assert_eq!(a.len(), lower.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let x = a[i];
+        if x > upper[i] {
+            let d = x - upper[i];
+            acc += d * d;
+        } else if x < lower[i] {
+            let d = lower[i] - x;
+            acc += d * d;
+        }
+    }
+    acc
+}
+
+/// LB_Kim (squared): cheap constant-time bound from the first and last
+/// points. Valid because any warping path must align the endpoints.
+pub fn lb_kim_sq(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let d0 = a[0] - b[0];
+    let dn = a[a.len() - 1] - b[b.len() - 1];
+    d0 * d0 + dn * dn
+}
+
+/// Checked DTW for library users: errors on empty input.
+pub fn try_dtw(a: &[f64], b: &[f64], band: Option<usize>) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(CoreError::EmptySeries);
+    }
+    Ok(dtw(a, b, band))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::squared_euclidean;
+
+    #[test]
+    fn dtw_identical_series_is_zero() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw(&a, &a, None), 0.0);
+        assert_eq!(dtw(&a, &a, Some(1)), 0.0);
+    }
+
+    #[test]
+    fn dtw_equals_euclidean_with_zero_band() {
+        let a = [1.0, 3.0, 2.0, 5.0];
+        let b = [2.0, 1.0, 2.0, 4.0];
+        let d = dtw_sq(&a, &b, Some(0));
+        assert!((d - squared_euclidean(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean() {
+        let a = [0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0];
+        let b = [0.0, 0.0, 1.0, 2.0, 3.0, 2.0, 1.0];
+        assert!(dtw_sq(&a, &b, None) <= squared_euclidean(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn dtw_aligns_shifted_pattern() {
+        // b is a one-step shifted copy of a; DTW should be near zero.
+        let a = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0];
+        let ed = squared_euclidean(&a, &b);
+        let dt = dtw_sq(&a, &b, Some(2));
+        assert!(dt < ed * 0.1, "dtw {dt} vs ed {ed}");
+        assert_eq!(dt, 0.0);
+    }
+
+    #[test]
+    fn dtw_handles_unequal_lengths() {
+        let a = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let b = [0.0, 1.0, 1.0, 2.0, 2.0, 1.0, 0.0];
+        let d = dtw(&a, &b, None);
+        assert!(d.is_finite());
+        assert!(d < 1.0, "warping should absorb the stretch, got {d}");
+    }
+
+    #[test]
+    fn dtw_band_widens_to_length_difference() {
+        let a = [1.0; 10];
+        let b = [1.0; 4];
+        // band 0 is infeasible for unequal lengths; implementation widens it.
+        assert!(dtw(&a, &b, Some(0)).is_finite());
+    }
+
+    #[test]
+    fn dtw_symmetry() {
+        let a = [0.2, 1.5, -0.3, 2.2, 0.0];
+        let b = [1.0, 0.0, 0.5, 2.0, 1.0];
+        assert!((dtw_sq(&a, &b, Some(2)) - dtw_sq(&b, &a, Some(2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_full() {
+        let a = [0.3, 1.2, 2.2, 0.4, -1.0, 0.0];
+        let b = [1.3, 0.2, 1.8, 1.4, 0.0, -0.5];
+        let full = dtw_sq(&a, &b, Some(2));
+        assert_eq!(dtw_sq_early_abandon(&a, &b, Some(2), full + 0.1), Some(full));
+        assert_eq!(dtw_sq_early_abandon(&a, &b, Some(2), full * 0.5), None);
+    }
+
+    #[test]
+    fn envelope_bounds_series() {
+        let b = [0.0, 3.0, 1.0, -2.0, 5.0];
+        let (u, l) = envelope(&b, 1);
+        for i in 0..b.len() {
+            assert!(l[i] <= b[i] && b[i] <= u[i]);
+        }
+        assert_eq!(u[1], 3.0);
+        assert_eq!(l[3], -2.0);
+        assert_eq!(u[3], 5.0);
+    }
+
+    #[test]
+    fn lb_keogh_is_a_lower_bound() {
+        let a = [0.1, 2.0, -1.0, 0.5, 1.5, -0.2, 0.0, 1.0];
+        let b = [1.1, 0.0, -0.5, 1.5, 0.5, 0.8, -1.0, 0.3];
+        for band in [1usize, 2, 3] {
+            let (u, l) = envelope(&b, band);
+            let lb = lb_keogh_sq(&a, &u, &l);
+            let d = dtw_sq(&a, &b, Some(band));
+            assert!(lb <= d + 1e-9, "band {band}: lb {lb} > dtw {d}");
+        }
+    }
+
+    #[test]
+    fn lb_kim_is_a_lower_bound() {
+        let a = [2.0, 0.0, 1.0, 3.0];
+        let b = [0.0, 1.0, 1.0, 1.0];
+        assert!(lb_kim_sq(&a, &b) <= dtw_sq(&a, &b, None) + 1e-12);
+    }
+
+    #[test]
+    fn try_dtw_rejects_empty() {
+        assert!(try_dtw(&[], &[1.0], None).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared across the workspace's foundation layer.
+
+use std::fmt;
+
+/// Errors produced by `etsc-core` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Two series that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        expected: usize,
+        /// Length of the offending operand.
+        actual: usize,
+    },
+    /// An operation that requires a non-empty series received an empty one.
+    EmptySeries,
+    /// A dataset invariant (equal lengths, non-empty, label present) failed.
+    InvalidDataset(String),
+    /// A parameter was outside its documented domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            CoreError::EmptySeries => write!(f, "operation requires a non-empty series"),
+            CoreError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::LengthMismatch {
+            expected: 10,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("7"));
+        assert!(CoreError::EmptySeries.to_string().contains("non-empty"));
+        assert!(CoreError::InvalidDataset("x".into()).to_string().contains('x'));
+        assert!(CoreError::InvalidParameter("p".into()).to_string().contains('p'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Ground-truth events in a stream.
+//!
+//! Generators annotate synthetic streams with the true occurrences of each
+//! class; the streaming scorer matches alarms against these intervals. The
+//! type lives in `etsc-core` because both the data layer and the deployment
+//! layer speak it.
+
+use crate::dataset::ClassLabel;
+
+/// A labeled ground-truth occurrence: the target pattern occupies
+/// `[start, end)` in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// First sample index of the occurrence.
+    pub start: usize,
+    /// One past the last sample index.
+    pub end: usize,
+    /// Class of the occurrence.
+    pub label: ClassLabel,
+}
+
+impl Event {
+    /// Construct, checking `start < end`.
+    pub fn new(start: usize, end: usize, label: ClassLabel) -> Self {
+        assert!(start < end, "event must have positive duration");
+        Self { start, end, label }
+    }
+
+    /// Number of samples the event spans.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Events always have positive duration; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does `t` fall inside the event, widened by `tolerance` samples on each
+    /// side? Alarm matching uses a tolerance so that a detection slightly
+    /// before the annotated onset still counts.
+    pub fn contains_with_tolerance(&self, t: usize, tolerance: usize) -> bool {
+        let lo = self.start.saturating_sub(tolerance);
+        let hi = self.end + tolerance;
+        (lo..hi).contains(&t)
+    }
+}
+
+/// A stream paired with its ground-truth events.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedStream {
+    /// Raw (un-normalized) samples.
+    pub data: Vec<f64>,
+    /// Ground-truth occurrences, sorted by start.
+    pub events: Vec<Event>,
+}
+
+impl AnnotatedStream {
+    /// Construct and sort events by start index.
+    pub fn new(data: Vec<f64>, mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| e.start);
+        debug_assert!(events.iter().all(|e| e.end <= data.len()));
+        Self { data, events }
+    }
+
+    /// Events of one class only.
+    pub fn events_of(&self, label: ClassLabel) -> Vec<Event> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.label == label)
+            .collect()
+    }
+
+    /// Total samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the stream holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_basic() {
+        let e = Event::new(10, 20, 1);
+        assert_eq!(e.len(), 10);
+        assert!(!e.is_empty());
+        assert!(e.contains_with_tolerance(10, 0));
+        assert!(e.contains_with_tolerance(19, 0));
+        assert!(!e.contains_with_tolerance(20, 0));
+        assert!(e.contains_with_tolerance(22, 3));
+        assert!(e.contains_with_tolerance(8, 3));
+        assert!(!e.contains_with_tolerance(5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn event_rejects_empty_interval() {
+        let _ = Event::new(5, 5, 0);
+    }
+
+    #[test]
+    fn annotated_stream_sorts_events() {
+        let s = AnnotatedStream::new(
+            vec![0.0; 100],
+            vec![Event::new(50, 60, 0), Event::new(10, 20, 1)],
+        );
+        assert_eq!(s.events[0].start, 10);
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+        assert_eq!(s.events_of(1).len(), 1);
+        assert_eq!(s.events_of(0)[0].start, 50);
+    }
+}

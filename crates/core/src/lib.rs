@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # etsc-core
+//!
+//! Foundation crate of the `etsc` workspace: the time-series data model,
+//! normalization, distance measures, and nearest-neighbor search used by the
+//! reproduction of *"When is Early Classification of Time Series
+//! Meaningful?"* (Wu, Der & Keogh).
+//!
+//! The design deliberately separates two worlds the paper contrasts:
+//!
+//! * the **UCR format** ([`dataset::UcrDataset`]): equal-length, aligned,
+//!   z-normalized exemplars — the setting in which published early
+//!   classifiers are trained and evaluated, and
+//! * the **streaming world** ([`window`], [`nn`]): unbounded, un-normalized
+//!   data in which those classifiers must actually run.
+//!
+//! Normalization is explicit everywhere. [`stats::CausalNormalizer`] only
+//! uses the past; [`znorm::znormalize`] uses the whole series and therefore
+//! "peeks into the future" when applied to a growing prefix — exactly the
+//! flaw Section 4 of the paper identifies. Keeping both in one crate lets
+//! higher layers state *which* assumption they make.
+
+pub mod dataset;
+pub mod distance;
+pub mod dtw;
+pub mod error;
+pub mod event;
+pub mod nn;
+pub mod stats;
+pub mod window;
+pub mod znorm;
+
+pub use dataset::{ClassLabel, UcrDataset};
+pub use error::{CoreError, Result};
+pub use event::{AnnotatedStream, Event};

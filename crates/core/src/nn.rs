@@ -1,0 +1,209 @@
+//! Nearest-neighbor subsequence search in long streams.
+//!
+//! This is the workhorse of the homophone experiment (Fig 5: "search for the
+//! GunPoint exemplar's nearest neighbors inside an hour of eye-movement
+//! data") and the dustbathing study (Fig 8: 500 nearest neighbors of a
+//! template in a long accelerometer recording).
+//!
+//! Matches are found under **z-normalized Euclidean distance**, computed with
+//! the running-statistics dot-product identity (the kernel inside MASS /
+//! the UCR Suite) so each window costs one pass and no allocation.
+
+use crate::distance::znormalized_sq_dist;
+use crate::znorm::znormalize;
+
+/// One subsequence match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// Start offset of the window in the haystack.
+    pub start: usize,
+    /// Z-normalized Euclidean distance (not squared).
+    pub dist: f64,
+}
+
+/// Full z-normalized distance profile of `query` against every window of
+/// `haystack`. `profile[i] = d(znorm(query), znorm(haystack[i..i+m]))`.
+///
+/// O(n·m); the experiments in this workspace run at n up to a few million,
+/// which completes in seconds in release mode.
+pub fn distance_profile(query: &[f64], haystack: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    assert!(m > 0, "query must be non-empty");
+    if haystack.len() < m {
+        return Vec::new();
+    }
+    let q = znormalize(query);
+    let n_windows = haystack.len() - m + 1;
+    let mut profile = Vec::with_capacity(n_windows);
+    for i in 0..n_windows {
+        profile.push(znormalized_sq_dist(&q, &haystack[i..i + m]).sqrt());
+    }
+    profile
+}
+
+/// The single best match of `query` in `haystack` (z-normalized ED).
+pub fn nearest_neighbor(query: &[f64], haystack: &[f64]) -> Option<Match> {
+    let m = query.len();
+    if m == 0 || haystack.len() < m {
+        return None;
+    }
+    let q = znormalize(query);
+    let mut best = Match {
+        start: 0,
+        dist: f64::INFINITY,
+    };
+    for i in 0..=haystack.len() - m {
+        let d2 = znormalized_sq_dist(&q, &haystack[i..i + m]);
+        if d2 < best.dist {
+            best = Match { start: i, dist: d2 };
+        }
+    }
+    best.dist = best.dist.sqrt();
+    Some(best)
+}
+
+/// Top-`k` non-overlapping matches of `query` in `haystack`.
+///
+/// Applies an exclusion zone of `m/2` around each selected match (the matrix
+/// profile convention) so the "500 nearest neighbors" of Fig 8 are 500
+/// distinct events rather than 500 shifts of one event.
+pub fn top_k_neighbors(query: &[f64], haystack: &[f64], k: usize) -> Vec<Match> {
+    let m = query.len();
+    if m == 0 || haystack.len() < m || k == 0 {
+        return Vec::new();
+    }
+    let mut profile = distance_profile(query, haystack);
+    let excl = (m / 2).max(1);
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (best_i, &best_d) = match profile
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        {
+            Some(x) => x,
+            None => break,
+        };
+        out.push(Match {
+            start: best_i,
+            dist: best_d,
+        });
+        let lo = best_i.saturating_sub(excl);
+        let hi = (best_i + excl + 1).min(profile.len());
+        profile[lo..hi].fill(f64::INFINITY);
+    }
+    out
+}
+
+/// All matches with distance `<= threshold`, greedily selected nearest-first
+/// with the same exclusion zone as [`top_k_neighbors`].
+///
+/// This is the "any subsequence within 2.3 of the template is essentially
+/// guaranteed to be dustbathing" operation of Fig 8.
+pub fn matches_within(query: &[f64], haystack: &[f64], threshold: f64) -> Vec<Match> {
+    let m = query.len();
+    if m == 0 || haystack.len() < m {
+        return Vec::new();
+    }
+    let mut profile = distance_profile(query, haystack);
+    let excl = (m / 2).max(1);
+    let mut out = Vec::new();
+    while let Some((best_i, &best_d)) = profile
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_finite())
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+    {
+        if best_d > threshold {
+            break;
+        }
+        out.push(Match {
+            start: best_i,
+            dist: best_d,
+        });
+        let lo = best_i.saturating_sub(excl);
+        let hi = (best_i + excl + 1).min(profile.len());
+        profile[lo..hi].fill(f64::INFINITY);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A haystack with an exact (shift/scale-transformed) copy of the query
+    /// planted at a known offset.
+    fn planted() -> (Vec<f64>, Vec<f64>, usize) {
+        let query: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let mut hay: Vec<f64> = (0..200)
+            .map(|i| ((i as f64) * 2654435761.0).cos() * 0.3 + 5.0)
+            .collect();
+        let at = 120;
+        for (j, &q) in query.iter().enumerate() {
+            hay[at + j] = 100.0 + 7.0 * q; // shifted & scaled copy
+        }
+        (query, hay, at)
+    }
+
+    #[test]
+    fn nearest_neighbor_finds_planted_copy() {
+        let (q, hay, at) = planted();
+        let m = nearest_neighbor(&q, &hay).unwrap();
+        assert_eq!(m.start, at);
+        assert!(m.dist < 1e-6, "planted copy should be ~0, got {}", m.dist);
+    }
+
+    #[test]
+    fn profile_length_is_window_count() {
+        let (q, hay, _) = planted();
+        let p = distance_profile(&q, &hay);
+        assert_eq!(p.len(), hay.len() - q.len() + 1);
+    }
+
+    #[test]
+    fn profile_on_short_haystack_is_empty() {
+        assert!(distance_profile(&[1.0, 2.0, 3.0], &[1.0]).is_empty());
+        assert!(nearest_neighbor(&[1.0, 2.0, 3.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn top_k_respects_exclusion_zone() {
+        let (q, hay, _) = planted();
+        let ms = top_k_neighbors(&q, &hay, 5);
+        assert_eq!(ms.len(), 5);
+        for i in 0..ms.len() {
+            for j in (i + 1)..ms.len() {
+                let gap = ms[i].start.abs_diff(ms[j].start);
+                assert!(gap > q.len() / 2, "matches {i},{j} too close: gap {gap}");
+            }
+        }
+        // Results come out nearest-first.
+        for w in ms.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn matches_within_only_returns_under_threshold() {
+        let (q, hay, at) = planted();
+        let ms = matches_within(&q, &hay, 0.5);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].start, at);
+    }
+
+    #[test]
+    fn matches_within_large_threshold_tiles_haystack() {
+        let (q, hay, _) = planted();
+        let ms = matches_within(&q, &hay, f64::MAX / 4.0);
+        // Every selection removes ~m/2*2 positions; expect roughly n/m*2 picks.
+        assert!(ms.len() >= (hay.len() - q.len()) / q.len());
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        let (q, hay, _) = planted();
+        assert!(top_k_neighbors(&q, &hay, 0).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Summary statistics and running (streaming) statistics.
+//!
+//! The UCR archive z-normalizes with the *population* standard deviation
+//! (divide by `n`, not `n - 1`); every function here follows that convention
+//! so that accuracy numbers are comparable with the ETSC literature.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice (documented convention:
+/// callers that care must check emptiness themselves; the generators and
+/// classifiers in this workspace never pass empty slices).
+#[inline]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`).
+#[inline]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (divides by `n`, UCR convention).
+#[inline]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Mean and population standard deviation in one pass.
+#[inline]
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    for &x in xs {
+        sum += x;
+        sumsq += x * x;
+    }
+    let m = sum / n;
+    // Guard against tiny negative values from cancellation.
+    let var = (sumsq / n - m * m).max(0.0);
+    (m, var.sqrt())
+}
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+///
+/// Used by streaming normalizers and by the MASS-style z-normalized distance,
+/// where per-window statistics must be maintained incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Incorporate one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0.0 before any observation).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Running population variance (0.0 before any observation).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Running population standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A past-only ("causal") normalizer for streaming data.
+///
+/// This is the *only* normalization a deployed system can actually perform:
+/// it standardizes each incoming point using statistics of the data seen so
+/// far (optionally over a trailing window). Contrast with
+/// [`crate::znorm::znormalize`], which needs the whole series and therefore
+/// cannot be computed until the pattern has fully arrived — the "peeking into
+/// the future" flaw of Section 4 of the paper.
+#[derive(Debug, Clone)]
+pub struct CausalNormalizer {
+    window: Option<usize>,
+    buf: Vec<f64>,
+    stats: RunningStats,
+}
+
+impl CausalNormalizer {
+    /// Normalizer over the entire past.
+    pub fn cumulative() -> Self {
+        Self {
+            window: None,
+            buf: Vec::new(),
+            stats: RunningStats::new(),
+        }
+    }
+
+    /// Normalizer over a trailing window of `len` points (`len >= 2`).
+    pub fn windowed(len: usize) -> Self {
+        assert!(len >= 2, "causal window must hold at least 2 points");
+        Self {
+            window: Some(len),
+            buf: Vec::with_capacity(len),
+            stats: RunningStats::new(),
+        }
+    }
+
+    /// Feed one raw point; returns the point standardized by *past* data only
+    /// (the current point is included in the statistics, as is standard for
+    /// sliding-window z-normalization).
+    pub fn push(&mut self, x: f64) -> f64 {
+        match self.window {
+            None => {
+                self.stats.push(x);
+                let sd = self.stats.std_dev();
+                if sd > f64::EPSILON {
+                    (x - self.stats.mean()) / sd
+                } else {
+                    0.0
+                }
+            }
+            Some(w) => {
+                self.buf.push(x);
+                if self.buf.len() > w {
+                    self.buf.remove(0);
+                }
+                let (m, sd) = mean_std(&self.buf);
+                if sd > f64::EPSILON {
+                    (x - m) / sd
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn mean_of_known_values() {
+        approx(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        approx(mean(&[]), 0.0);
+        approx(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn population_variance_divides_by_n() {
+        // Sample variance of [1,2,3] would be 1.0; population is 2/3.
+        approx(variance(&[1.0, 2.0, 3.0]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn mean_std_matches_two_pass() {
+        let xs = [0.3, -1.2, 4.5, 2.2, -0.7, 9.1];
+        let (m, s) = mean_std(&xs);
+        approx(m, mean(&xs));
+        approx(s, std_dev(&xs));
+    }
+
+    #[test]
+    fn constant_series_has_zero_std() {
+        approx(std_dev(&[5.0; 32]), 0.0);
+    }
+
+    #[test]
+    fn running_stats_agree_with_batch() {
+        let xs = [1.5, 2.5, -3.0, 0.0, 10.0, -2.2, 7.7];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        approx(rs.mean(), mean(&xs));
+        approx(rs.std_dev(), std_dev(&xs));
+        assert_eq!(rs.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let rs = RunningStats::new();
+        approx(rs.mean(), 0.0);
+        approx(rs.variance(), 0.0);
+    }
+
+    #[test]
+    fn causal_cumulative_first_point_is_zero() {
+        let mut cn = CausalNormalizer::cumulative();
+        approx(cn.push(42.0), 0.0); // one point: sd == 0
+    }
+
+    #[test]
+    fn causal_windowed_tracks_local_level() {
+        // A large level shift: windowed normalizer adapts, so outputs stay
+        // bounded after the window fills with post-shift data.
+        let mut cn = CausalNormalizer::windowed(8);
+        let mut last = 0.0;
+        for i in 0..100 {
+            let x = if i < 50 { 0.0 } else { 100.0 } + (i % 2) as f64;
+            last = cn.push(x);
+        }
+        assert!(last.abs() < 3.0, "windowed normalizer should re-center, got {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn causal_windowed_rejects_tiny_window() {
+        let _ = CausalNormalizer::windowed(1);
+    }
+
+    #[test]
+    fn causal_cumulative_standardizes_stationary_stream() {
+        let mut cn = CausalNormalizer::cumulative();
+        let mut out = Vec::new();
+        for i in 0..1000 {
+            // deterministic pseudo-noise around mean 10
+            let x = 10.0 + ((i * 2654435761_u64 % 1000) as f64 / 1000.0 - 0.5);
+            out.push(cn.push(x));
+        }
+        let tail = &out[500..];
+        let (m, s) = mean_std(tail);
+        assert!(m.abs() < 0.3, "tail mean {m}");
+        assert!((s - 1.0).abs() < 0.5, "tail std {s}");
+    }
+}

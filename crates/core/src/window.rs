@@ -1,0 +1,139 @@
+//! Sliding-window views over long streams.
+//!
+//! The streaming experiments (Figs 2, 5, 8 and Appendix B) all reduce to
+//! scanning every subsequence of a long recording. These helpers keep that
+//! code allocation-free.
+
+/// Iterator over all length-`len` windows of `data` with the given `stride`.
+///
+/// Yields `(start_index, window_slice)`.
+pub fn sliding_windows(
+    data: &[f64],
+    len: usize,
+    stride: usize,
+) -> impl Iterator<Item = (usize, &[f64])> {
+    assert!(len > 0, "window length must be positive");
+    assert!(stride > 0, "stride must be positive");
+    let last = data.len().saturating_sub(len);
+    (0..=last)
+        .step_by(stride)
+        .filter(move |_| data.len() >= len)
+        .map(move |i| (i, &data[i..i + len]))
+}
+
+/// Number of windows [`sliding_windows`] will yield.
+pub fn window_count(data_len: usize, len: usize, stride: usize) -> usize {
+    if data_len < len || len == 0 || stride == 0 {
+        return 0;
+    }
+    (data_len - len) / stride + 1
+}
+
+/// A growable prefix buffer that mimics incrementally arriving data.
+///
+/// Early classifiers are fed prefixes `x[..1], x[..2], ...`; this type holds
+/// the arrived points and hands out the current prefix, making test and
+/// deployment code share one shape.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixBuffer {
+    data: Vec<f64>,
+}
+
+impl PrefixBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer pre-sized for an expected full length.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append the next arriving point.
+    pub fn push(&mut self, x: f64) {
+        self.data.push(x);
+    }
+
+    /// The prefix seen so far.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of points seen so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True before any point has arrived.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Discard all points (e.g. after an alarm fires and the monitor resets).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_cover_all_positions() {
+        let data = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ws: Vec<_> = sliding_windows(&data, 2, 1).collect();
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[0], (0, &data[0..2]));
+        assert_eq!(ws[3], (3, &data[3..5]));
+    }
+
+    #[test]
+    fn windows_respect_stride() {
+        let data = [0.0; 10];
+        let starts: Vec<usize> = sliding_windows(&data, 3, 4).map(|(i, _)| i).collect();
+        assert_eq!(starts, vec![0, 4]);
+    }
+
+    #[test]
+    fn window_len_equal_to_data_yields_one() {
+        let data = [1.0, 2.0, 3.0];
+        let ws: Vec<_> = sliding_windows(&data, 3, 1).collect();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].0, 0);
+    }
+
+    #[test]
+    fn window_longer_than_data_yields_none() {
+        let data = [1.0, 2.0];
+        assert_eq!(sliding_windows(&data, 3, 1).count(), 0);
+        assert_eq!(window_count(2, 3, 1), 0);
+    }
+
+    #[test]
+    fn window_count_matches_iterator() {
+        for (n, len, stride) in [(10, 3, 1), (10, 3, 4), (7, 7, 2), (100, 10, 7)] {
+            let data = vec![0.0; n];
+            assert_eq!(
+                window_count(n, len, stride),
+                sliding_windows(&data, len, stride).count(),
+                "n={n} len={len} stride={stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_buffer_accumulates() {
+        let mut pb = PrefixBuffer::with_capacity(4);
+        assert!(pb.is_empty());
+        pb.push(1.0);
+        pb.push(2.0);
+        assert_eq!(pb.as_slice(), &[1.0, 2.0]);
+        assert_eq!(pb.len(), 2);
+        pb.clear();
+        assert!(pb.is_empty());
+    }
+}

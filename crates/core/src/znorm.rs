@@ -1,0 +1,142 @@
+//! Whole-series z-normalization (the UCR convention) and its streaming
+//! impossibility.
+//!
+//! Every dataset in the UCR archive is z-normalized: each exemplar has mean 0
+//! and population standard deviation 1. Distance measures on shapes are
+//! meaningless without it (Rakthanmanon et al. 2013). The catch, central to
+//! the paper, is that z-normalizing a *prefix* of an oncoming pattern
+//! requires statistics of points that have not arrived yet. This module
+//! provides the batch operation plus helpers to make the assumption explicit
+//! at call sites.
+
+use crate::stats::mean_std;
+
+/// Threshold below which a series is treated as constant and mapped to all
+/// zeros instead of being divided by a vanishing standard deviation.
+pub const CONSTANT_EPS: f64 = 1e-12;
+
+/// Z-normalize into a fresh vector: `(x - mean) / population_std`.
+///
+/// Constant (or empty) series map to all zeros, matching the convention used
+/// by the UCR archive tooling.
+pub fn znormalize(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    znormalize_in_place(&mut out);
+    out
+}
+
+/// Z-normalize a buffer in place. See [`znormalize`].
+pub fn znormalize_in_place(xs: &mut [f64]) {
+    let (m, sd) = mean_std(xs);
+    if sd <= CONSTANT_EPS {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+    } else {
+        let inv = 1.0 / sd;
+        xs.iter_mut().for_each(|x| *x = (*x - m) * inv);
+    }
+}
+
+/// Z-normalize each prefix of `xs` independently and call `f(len, prefix)`.
+///
+/// This is what an *oracle* early classifier implicitly does when it is
+/// evaluated on pre-normalized UCR data: the prefix of a normalized exemplar
+/// is NOT the normalization of the raw prefix. This helper computes the
+/// honest per-prefix normalization so experiments can compare both.
+pub fn for_each_znormalized_prefix<F: FnMut(usize, &[f64])>(xs: &[f64], min_len: usize, mut f: F) {
+    let mut buf = Vec::with_capacity(xs.len());
+    for len in min_len..=xs.len() {
+        buf.clear();
+        buf.extend_from_slice(&xs[..len]);
+        znormalize_in_place(&mut buf);
+        f(len, &buf);
+    }
+}
+
+/// Is this series already z-normalized (to tolerance)?
+pub fn is_znormalized(xs: &[f64], tol: f64) -> bool {
+    if xs.is_empty() {
+        return true;
+    }
+    let (m, sd) = mean_std(xs);
+    // All-zero series (the convention for constants) also count.
+    m.abs() <= tol && ((sd - 1.0).abs() <= tol || sd <= CONSTANT_EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+
+    #[test]
+    fn znorm_produces_zero_mean_unit_std() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let z = znormalize(&xs);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znorm_constant_series_is_all_zeros() {
+        let z = znormalize(&[7.0; 16]);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn znorm_empty_is_empty() {
+        assert!(znormalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn znorm_is_idempotent() {
+        let xs = [0.5, -2.0, 3.5, 1.0, 0.0];
+        let once = znormalize(&xs);
+        let twice = znormalize(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn znorm_removes_shift_and_scale() {
+        let xs = [0.1, 0.9, -0.4, 2.2, 1.1, -3.0];
+        let shifted: Vec<f64> = xs.iter().map(|&x| 5.0 + 2.5 * x).collect();
+        let a = znormalize(&xs);
+        let b = znormalize(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn prefix_normalization_differs_from_sliced_normalization() {
+        // The crux of Section 4: znorm(prefix) != prefix of znorm(full).
+        let xs = [0.0, 0.0, 0.0, 0.0, 10.0, 20.0, 30.0, 40.0];
+        let full = znormalize(&xs);
+        let prefix = znormalize(&xs[..4]);
+        // Full-series normalization makes the flat head strongly negative;
+        // honest prefix normalization maps the constant head to zeros.
+        assert!(prefix.iter().all(|&v| v == 0.0));
+        assert!(full[..4].iter().all(|&v| v < -0.5));
+    }
+
+    #[test]
+    fn for_each_prefix_visits_each_length() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut lens = Vec::new();
+        for_each_znormalized_prefix(&xs, 2, |len, p| {
+            assert_eq!(p.len(), len);
+            assert!(mean(p).abs() < 1e-9);
+            lens.push(len);
+        });
+        assert_eq!(lens, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn is_znormalized_detects_both_cases() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert!(!is_znormalized(&xs, 1e-6));
+        assert!(is_znormalized(&znormalize(&xs), 1e-6));
+        assert!(is_znormalized(&[0.0; 8], 1e-6)); // constant convention
+        assert!(is_znormalized(&[], 1e-6));
+    }
+}

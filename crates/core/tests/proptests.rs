@@ -1,0 +1,122 @@
+//! Property-based tests for the foundation invariants the rest of the
+//! workspace depends on.
+
+use etsc_core::distance::{euclidean, squared_euclidean, znormalized_dist};
+use etsc_core::dtw::{dtw_sq, envelope, lb_keogh_sq, lb_kim_sq};
+use etsc_core::stats::{mean, mean_std, std_dev, RunningStats};
+use etsc_core::znorm::{is_znormalized, znormalize};
+use proptest::prelude::*;
+
+fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, len)
+}
+
+proptest! {
+    #[test]
+    fn znorm_output_is_znormalized(xs in series(2..64)) {
+        let z = znormalize(&xs);
+        prop_assert!(is_znormalized(&z, 1e-6));
+    }
+
+    #[test]
+    fn znorm_is_translation_and_scale_invariant(
+        xs in series(2..64),
+        shift in -100.0f64..100.0,
+        scale in 0.01f64..100.0,
+    ) {
+        let moved: Vec<f64> = xs.iter().map(|&x| shift + scale * x).collect();
+        let a = znormalize(&xs);
+        let b = znormalize(&moved);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn znorm_idempotent(xs in series(2..64)) {
+        let once = znormalize(&xs);
+        let twice = znormalize(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn running_stats_match_batch(xs in series(1..128)) {
+        let mut rs = RunningStats::new();
+        for &x in &xs { rs.push(x); }
+        prop_assert!((rs.mean() - mean(&xs)).abs() < 1e-6);
+        prop_assert!((rs.std_dev() - std_dev(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_std_single_pass_matches_two_pass(xs in series(1..128)) {
+        let (m, s) = mean_std(&xs);
+        prop_assert!((m - mean(&xs)).abs() < 1e-8);
+        prop_assert!((s - std_dev(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn euclidean_is_symmetric_and_nonneg(a in series(1..32), b in series(1..32)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let d1 = euclidean(a, b);
+        let d2 = euclidean(b, a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        a in series(8..9), b in series(8..9), c in series(8..9),
+    ) {
+        let ab = euclidean(&a, &b);
+        let bc = euclidean(&b, &c);
+        let ac = euclidean(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn dtw_is_lower_or_equal_to_euclidean(a in series(4..24), b in series(4..24)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        prop_assert!(dtw_sq(a, b, None) <= squared_euclidean(a, b) + 1e-9);
+    }
+
+    #[test]
+    fn dtw_zero_iff_identical_under_no_band(a in series(2..24)) {
+        prop_assert!(dtw_sq(&a, &a, None).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_dtw(
+        a in series(10..11), b in series(10..11), band in 0usize..5,
+    ) {
+        let (u, l) = envelope(&b, band);
+        let lb = lb_keogh_sq(&a, &u, &l);
+        let d = dtw_sq(&a, &b, Some(band));
+        prop_assert!(lb <= d + 1e-6, "lb {lb} > dtw {d}");
+    }
+
+    #[test]
+    fn lb_kim_lower_bounds_dtw(a in series(6..7), b in series(6..7)) {
+        prop_assert!(lb_kim_sq(&a, &b) <= dtw_sq(&a, &b, None) + 1e-9);
+    }
+
+    #[test]
+    fn znormalized_dist_agrees_with_explicit_normalization(
+        q in series(4..32),
+        x in series(4..32),
+    ) {
+        let n = q.len().min(x.len());
+        let (q, x) = (&q[..n], &x[..n]);
+        // Skip near-constant windows: the convention maps them to zeros and
+        // the naive path does the same, but both paths hit CONSTANT_EPS
+        // boundaries differently.
+        prop_assume!(std_dev(x) > 1e-6 && std_dev(q) > 1e-6);
+        let qz = znormalize(q);
+        let fast = znormalized_dist(&qz, x);
+        let naive = euclidean(&qz, &znormalize(x));
+        prop_assert!((fast - naive).abs() < 1e-5, "{fast} vs {naive}");
+    }
+}

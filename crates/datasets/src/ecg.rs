@@ -1,0 +1,257 @@
+//! Synthetic two-channel ECG with medically meaningless mean/σ drift.
+//!
+//! Fig 7 of the paper shows an ECG recorded from two chest locations:
+//! "ECG1 shows dramatic but medically meaningless variation in the **mean**
+//! of individual beats. ECG2 shows equally dramatic but also medically
+//! meaningless variation in the **standard deviation** of individual beats."
+//! That drift is what breaks the implicit z-normalization assumption of ETSC
+//! models (Section 4).
+//!
+//! Beats are ECGSYN-style sums of Gaussian bumps (P, Q, R, S, T waves).
+//! Channel 1 adds slow baseline wander (respiration + electrode drift) —
+//! mean drift. Channel 2 adds slow amplitude modulation — σ drift. The
+//! abnormal class elevates the ST segment, the myocardial-infarction
+//! signature the paper quotes from \[20\].
+
+use etsc_core::{AnnotatedStream, Event, UcrDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+use crate::shapes::{add_gaussian_bump, add_noise};
+
+/// Normal sinus beat.
+pub const CLASS_NORMAL: usize = 0;
+/// ST-elevated (abnormal) beat.
+pub const CLASS_ST_ELEVATED: usize = 1;
+
+/// ECG generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EcgConfig {
+    /// Samples per beat (the paper's beats are ~0.5 s; at 250 Hz that is 125).
+    pub beat_len: usize,
+    /// Additive measurement noise std-dev.
+    pub noise: f64,
+    /// Peak-to-peak magnitude of channel-1 baseline wander, in units of the
+    /// R-wave amplitude.
+    pub wander_amp: f64,
+    /// Relative depth of channel-2 amplitude modulation (0..1).
+    pub am_depth: f64,
+    /// Beat-to-beat timing jitter std-dev in samples.
+    pub timing_jitter: f64,
+}
+
+impl Default for EcgConfig {
+    fn default() -> Self {
+        Self {
+            beat_len: 125,
+            noise: 0.01,
+            wander_amp: 0.8,
+            am_depth: 0.45,
+            timing_jitter: 1.5,
+        }
+    }
+}
+
+/// One clean beat (no wander/AM/noise) of the given class.
+///
+/// Wave placement follows the classic ECGSYN morphology, scaled to
+/// `beat_len` samples: P at 15%, Q at 38%, R at 42%, S at 46%, T at 70%.
+pub fn clean_beat(class: usize, beat_len: usize, rng: &mut StdRng) -> Vec<f64> {
+    let n = beat_len as f64;
+    let jit = |rng: &mut StdRng, sd: f64| Normal::new(0.0, sd).unwrap().sample(rng);
+    let mut out = vec![0.0; beat_len];
+    // (center%, width%, amplitude)
+    add_gaussian_bump(&mut out, n * 0.15 + jit(rng, 1.0), n * 0.025, 0.12);
+    add_gaussian_bump(&mut out, n * 0.38 + jit(rng, 0.5), n * 0.008, -0.15);
+    add_gaussian_bump(&mut out, n * 0.42 + jit(rng, 0.5), n * 0.010, 1.00);
+    add_gaussian_bump(&mut out, n * 0.46 + jit(rng, 0.5), n * 0.008, -0.25);
+    add_gaussian_bump(&mut out, n * 0.70 + jit(rng, 1.5), n * 0.045, 0.22);
+    if class == CLASS_ST_ELEVATED {
+        // Elevated ST segment: a broad positive hump between S and T.
+        add_gaussian_bump(&mut out, n * 0.57, n * 0.06, 0.30);
+    }
+    out
+}
+
+/// Which channel of the two-lead recording to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Baseline wander → per-beat **mean** drift (paper's ECG1).
+    MeanDrift,
+    /// Amplitude modulation → per-beat **σ** drift (paper's ECG2).
+    StdDrift,
+}
+
+/// A continuous multi-beat recording from one channel, with an event per
+/// abnormal beat. `abnormal_every` inserts an ST-elevated beat at that
+/// period (0 = never).
+pub fn ecg_stream(
+    n_beats: usize,
+    channel: Channel,
+    abnormal_every: usize,
+    cfg: &EcgConfig,
+    seed: u64,
+) -> AnnotatedStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data: Vec<f64> = Vec::with_capacity(n_beats * cfg.beat_len);
+    let mut events = Vec::new();
+
+    // Slow modulators: respiration-like sinusoids with incommensurate
+    // periods, plus a small random-walk component for the electrode drift.
+    let resp_period = 7.3 * cfg.beat_len as f64;
+    let drift_period = 23.1 * cfg.beat_len as f64;
+    let mut walk = 0.0;
+
+    for b in 0..n_beats {
+        let class = if abnormal_every > 0 && b % abnormal_every == abnormal_every - 1 {
+            CLASS_ST_ELEVATED
+        } else {
+            CLASS_NORMAL
+        };
+        let jitter = Normal::new(0.0, cfg.timing_jitter).unwrap().sample(&mut rng);
+        let len = ((cfg.beat_len as f64 + jitter).round() as usize).max(cfg.beat_len / 2);
+        let mut beat = clean_beat(class, cfg.beat_len, &mut rng);
+        beat.truncate(len.min(beat.len()));
+
+        let start = data.len();
+        walk += Normal::new(0.0, 0.02).unwrap().sample(&mut rng);
+        walk *= 0.995; // mean-reverting electrode drift
+        for (i, &v) in beat.iter().enumerate() {
+            let t = (start + i) as f64;
+            let sample = match channel {
+                Channel::MeanDrift => {
+                    let wander = cfg.wander_amp
+                        * (0.6 * (std::f64::consts::TAU * t / resp_period).sin()
+                            + 0.4 * (std::f64::consts::TAU * t / drift_period).sin())
+                        + walk;
+                    v + wander
+                }
+                Channel::StdDrift => {
+                    let am = 1.0 - cfg.am_depth
+                        + cfg.am_depth * (std::f64::consts::TAU * t / resp_period).sin().powi(2) * 2.0;
+                    v * am
+                }
+            };
+            data.push(sample);
+        }
+        let end = data.len();
+        if class == CLASS_ST_ELEVATED {
+            events.push(Event::new(start, end, CLASS_ST_ELEVATED));
+        }
+    }
+    add_noise(&mut data, cfg.noise, &mut rng);
+    AnnotatedStream::new(data, events)
+}
+
+/// A UCR-format beat dataset: `n_per_class` clean, segmented, aligned beats
+/// per class — the "contrived into the UCR data format" version of the data,
+/// as the archive would present it.
+pub fn beat_dataset(n_per_class: usize, cfg: &EcgConfig, seed: u64) -> UcrDataset {
+    assert!(n_per_class > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(2 * n_per_class);
+    let mut labels = Vec::with_capacity(2 * n_per_class);
+    for class in [CLASS_NORMAL, CLASS_ST_ELEVATED] {
+        for _ in 0..n_per_class {
+            let mut b = clean_beat(class, cfg.beat_len, &mut rng);
+            add_noise(&mut b, cfg.noise, &mut rng);
+            data.push(b);
+            labels.push(class);
+        }
+    }
+    UcrDataset::new(data, labels).expect("generator satisfies UCR invariants")
+}
+
+/// Per-beat mean and standard deviation down a stream, chunked at
+/// `beat_len` — the measurement Fig 7 visualizes.
+pub fn per_beat_stats(stream: &[f64], beat_len: usize) -> Vec<(f64, f64)> {
+    stream
+        .chunks_exact(beat_len)
+        .map(etsc_core::stats::mean_std)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::stats::{mean, std_dev};
+
+    #[test]
+    fn clean_beat_has_dominant_r_wave() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = clean_beat(CLASS_NORMAL, 125, &mut rng);
+        let (argmax, &max) = b
+            .iter()
+            .enumerate()
+            .max_by(|a, c| a.1.partial_cmp(c.1).unwrap())
+            .unwrap();
+        assert!(max > 0.8, "R amplitude {max}");
+        let frac = argmax as f64 / 125.0;
+        assert!((0.35..0.50).contains(&frac), "R at {frac}");
+    }
+
+    #[test]
+    fn st_elevation_raises_st_segment() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let normal = clean_beat(CLASS_NORMAL, 125, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let abnormal = clean_beat(CLASS_ST_ELEVATED, 125, &mut rng);
+        let seg = 0.52..0.62;
+        let avg = |b: &[f64]| {
+            let lo = (seg.start * 125.0) as usize;
+            let hi = (seg.end * 125.0) as usize;
+            mean(&b[lo..hi])
+        };
+        assert!(avg(&abnormal) > avg(&normal) + 0.15);
+    }
+
+    #[test]
+    fn mean_drift_channel_varies_beat_means() {
+        let s = ecg_stream(60, Channel::MeanDrift, 0, &EcgConfig::default(), 3);
+        let stats = per_beat_stats(&s.data, 125);
+        let means: Vec<f64> = stats.iter().map(|&(m, _)| m).collect();
+        let spread = std_dev(&means);
+        assert!(spread > 0.2, "beat means should wander, spread {spread}");
+    }
+
+    #[test]
+    fn std_drift_channel_varies_beat_stds() {
+        let s = ecg_stream(60, Channel::StdDrift, 0, &EcgConfig::default(), 4);
+        let stats = per_beat_stats(&s.data, 125);
+        let stds: Vec<f64> = stats.iter().map(|&(_, sd)| sd).collect();
+        let lo = stds.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = stds.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(hi / lo > 1.5, "σ modulation should be dramatic: {lo}..{hi}");
+        // ...while the means stay comparatively stable.
+        let means: Vec<f64> = stats.iter().map(|&(m, _)| m).collect();
+        assert!(std_dev(&means) < 0.2);
+    }
+
+    #[test]
+    fn abnormal_beats_are_annotated() {
+        let s = ecg_stream(50, Channel::MeanDrift, 10, &EcgConfig::default(), 5);
+        assert_eq!(s.events.len(), 5);
+        for e in &s.events {
+            assert_eq!(e.label, CLASS_ST_ELEVATED);
+            assert!(e.end <= s.len());
+        }
+    }
+
+    #[test]
+    fn beat_dataset_is_ucr_shaped() {
+        let d = beat_dataset(8, &EcgConfig::default(), 6);
+        assert_eq!(d.len(), 16);
+        assert_eq!(d.series_len(), 125);
+        assert_eq!(d.class_counts(), vec![8, 8]);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let cfg = EcgConfig::default();
+        let a = ecg_stream(10, Channel::StdDrift, 3, &cfg, 9);
+        let b = ecg_stream(10, Channel::StdDrift, 3, &cfg, 9);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,0 +1,239 @@
+//! A GunPoint-like dataset generator.
+//!
+//! The paper (Section 5) reveals how the real GunPoint data was made: actors
+//! paced by a five-second metronome — "wait about a second, do the behavior
+//! for about two seconds, then return your hand to the side for the remaining
+//! time". The x-coordinate of the right hand's centroid is tracked for 150
+//! frames. The class difference is mostly the fumbling to draw the gun from
+//! the holster *at the beginning* of the action, and the last one to two
+//! seconds are a non-informative rest region.
+//!
+//! This generator reproduces those structural facts:
+//!
+//! * flat lead-in (~hand at side) with onset jitter,
+//! * **Gun**: a fumble dip + overshoot while lifting (the hand reaches down
+//!   to the holster, grips, clears it);
+//!   **Point**: a smooth rise,
+//! * a plateau with small tremor (aiming / pointing),
+//! * return to rest, then a flat, non-discriminating tail,
+//! * per-actor amplitude scaling (a taller actor's hand travels further in
+//!   camera coordinates — this is what makes the Fig 6 "Ann changes to heels"
+//!   analogy bite),
+//! * mild sensor noise.
+//!
+//! Output is **raw** (not z-normalized); callers choose the normalization,
+//! because that choice is the subject of the paper's Section 4.
+
+use etsc_core::UcrDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::shapes::{add_gaussian_bump, add_noise, smoothstep};
+
+/// Class label for the gun-draw behavior.
+pub const CLASS_GUN: usize = 0;
+/// Class label for the pointing behavior.
+pub const CLASS_POINT: usize = 1;
+
+/// Generation parameters. Defaults mirror the UCR GunPoint layout
+/// (150 samples, ~30% lead-in + action + ~30% rest tail).
+#[derive(Debug, Clone, Copy)]
+pub struct GunPointConfig {
+    /// Samples per exemplar (UCR GunPoint: 150).
+    pub series_len: usize,
+    /// Std-dev of additive sensor noise.
+    pub noise: f64,
+    /// Std-dev of per-exemplar amplitude scaling around 1.0 (actor height /
+    /// camera distance variation).
+    pub amplitude_jitter: f64,
+    /// Std-dev of the onset time jitter, in samples.
+    pub onset_jitter: f64,
+}
+
+impl Default for GunPointConfig {
+    fn default() -> Self {
+        Self {
+            series_len: 150,
+            noise: 0.015,
+            amplitude_jitter: 0.08,
+            onset_jitter: 3.0,
+        }
+    }
+}
+
+/// Generate one raw exemplar of the given class.
+pub fn generate_one(class: usize, cfg: &GunPointConfig, rng: &mut StdRng) -> Vec<f64> {
+    let n = cfg.series_len;
+    let t = |frac: f64| frac * n as f64;
+    let onset_noise = Normal::new(0.0, cfg.onset_jitter).expect("jitter >= 0");
+
+    // Action timeline (fractions of the series):
+    //   rest [0, .18) | rise [.18, .38) | plateau [.38, .62) | fall [.62, .75)
+    //   | rest tail [.75, 1)   -- the "formatting convention" padding.
+    let onset = t(0.18) + onset_noise.sample(rng);
+    let rise_end = onset + t(0.20);
+    let fall_start = t(0.62) + onset_noise.sample(rng);
+    let fall_end = fall_start + t(0.13);
+
+    let amp = 1.0 + Normal::new(0.0, cfg.amplitude_jitter).unwrap().sample(rng);
+
+    let mut out = vec![0.0; n];
+    for (i, y) in out.iter_mut().enumerate() {
+        let x = i as f64;
+        let level = if x < onset {
+            0.0
+        } else if x < rise_end {
+            smoothstep((x - onset) / (rise_end - onset))
+        } else if x < fall_start {
+            1.0
+        } else if x < fall_end {
+            1.0 - smoothstep((x - fall_start) / (fall_end - fall_start))
+        } else {
+            0.0
+        };
+        *y = amp * level;
+    }
+
+    if class == CLASS_GUN {
+        // The holster fumble: reaching down before lifting (a dip just before
+        // the rise) and a small overshoot while clearing the holster. This is
+        // the early, class-discriminating region the paper highlights.
+        let dip_center = onset + t(0.02);
+        let over_center = onset + t(0.10);
+        add_gaussian_bump(&mut out, dip_center, t(0.015), -0.25 * amp);
+        add_gaussian_bump(&mut out, over_center, t(0.02), 0.18 * amp);
+    }
+
+    // Aiming tremor on the plateau — same for both classes (non-informative).
+    let tremor_freq = 0.35 + 0.1 * rng.random::<f64>();
+    for (i, y) in out.iter_mut().enumerate() {
+        let x = i as f64;
+        if x >= rise_end && x < fall_start {
+            *y += 0.02 * (tremor_freq * x).sin();
+        }
+    }
+
+    add_noise(&mut out, cfg.noise, rng);
+    out
+}
+
+/// Generate a raw (un-normalized) GunPoint-like dataset with `n_per_class`
+/// exemplars of each class. Deterministic given `seed`.
+pub fn generate(n_per_class: usize, cfg: &GunPointConfig, seed: u64) -> UcrDataset {
+    assert!(n_per_class > 0, "need at least one exemplar per class");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(2 * n_per_class);
+    let mut labels = Vec::with_capacity(2 * n_per_class);
+    for class in [CLASS_GUN, CLASS_POINT] {
+        for _ in 0..n_per_class {
+            data.push(generate_one(class, cfg, &mut rng));
+            labels.push(class);
+        }
+    }
+    UcrDataset::new(data, labels).expect("generator satisfies UCR invariants")
+}
+
+/// Generate the dataset and z-normalize it — "UCR format", ready for the
+/// classifiers that assume archive-style preprocessing.
+pub fn generate_ucr(n_per_class: usize, cfg: &GunPointConfig, seed: u64) -> UcrDataset {
+    let mut d = generate(n_per_class, cfg, seed);
+    d.znormalize();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::stats::{mean, std_dev};
+
+    #[test]
+    fn generates_requested_shape() {
+        let d = generate(10, &GunPointConfig::default(), 1);
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.series_len(), 150);
+        assert_eq!(d.class_counts(), vec![10, 10]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GunPointConfig::default();
+        assert_eq!(generate(5, &cfg, 9), generate(5, &cfg, 9));
+        assert_ne!(generate(5, &cfg, 9), generate(5, &cfg, 10));
+    }
+
+    #[test]
+    fn lead_in_and_tail_are_flat() {
+        let cfg = GunPointConfig::default();
+        let d = generate(20, &cfg, 2);
+        for i in 0..d.len() {
+            let s = d.series(i);
+            let head = &s[..15];
+            let tail = &s[140..];
+            assert!(std_dev(head) < 0.1, "head should be near-flat");
+            assert!(std_dev(tail) < 0.1, "tail should be near-flat");
+            assert!(mean(head).abs() < 0.2);
+            assert!(mean(tail).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn plateau_is_elevated() {
+        let d = generate(10, &GunPointConfig::default(), 3);
+        for i in 0..d.len() {
+            let s = d.series(i);
+            let plateau = mean(&s[65..85]);
+            assert!(plateau > 0.6, "plateau should be near amp, got {plateau}");
+        }
+    }
+
+    #[test]
+    fn classes_differ_in_early_region_not_late() {
+        // Class-mean difference concentrated in the rise region.
+        let cfg = GunPointConfig {
+            noise: 0.0,
+            amplitude_jitter: 0.0,
+            onset_jitter: 0.0,
+            ..GunPointConfig::default()
+        };
+        let d = generate(5, &cfg, 4);
+        let avg = |class: usize, range: std::ops::Range<usize>| -> f64 {
+            let mut acc = 0.0;
+            let mut cnt = 0;
+            for i in 0..d.len() {
+                if d.label(i) == class {
+                    acc += d.series(i)[range.clone()].iter().sum::<f64>();
+                    cnt += range.len();
+                }
+            }
+            acc / cnt as f64
+        };
+        let early_diff = (avg(CLASS_GUN, 25..45) - avg(CLASS_POINT, 25..45)).abs();
+        let late_diff = (avg(CLASS_GUN, 120..150) - avg(CLASS_POINT, 120..150)).abs();
+        assert!(
+            early_diff > 10.0 * late_diff.max(1e-6),
+            "discrimination must be early: early {early_diff} vs late {late_diff}"
+        );
+    }
+
+    #[test]
+    fn ucr_variant_is_znormalized() {
+        let d = generate_ucr(5, &GunPointConfig::default(), 5);
+        assert!(d.is_znormalized(1e-6));
+    }
+
+    #[test]
+    fn amplitude_jitter_varies_scale() {
+        let cfg = GunPointConfig {
+            noise: 0.0,
+            ..GunPointConfig::default()
+        };
+        let d = generate(20, &cfg, 6);
+        let maxes: Vec<f64> = (0..d.len())
+            .map(|i| d.series(i).iter().cloned().fold(f64::MIN, f64::max))
+            .collect();
+        let spread = maxes.iter().cloned().fold(f64::MIN, f64::max)
+            - maxes.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.05, "actor variation should change peak height");
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # etsc-datasets
+//!
+//! Seeded synthetic dataset generators standing in for every dataset used by
+//! *"When is Early Classification of Time Series Meaningful?"*. None of the
+//! paper's data ships with this repository (UCR archive terms, proprietary
+//! lab recordings), so each generator reproduces the *structural properties*
+//! the paper's arguments depend on — see `DESIGN.md` for the substitution
+//! table.
+//!
+//! All generators are deterministic given a seed: every figure and table in
+//! `EXPERIMENTS.md` regenerates bit-identically.
+//!
+//! | Module | Stands in for | Key property preserved |
+//! |---|---|---|
+//! | [`gunpoint`] | UCR GunPoint | early discriminating region, flat padded tail |
+//! | [`words`] | spoken-word MFCC tracks | prefix/inclusion/homophone structure |
+//! | [`ecg`] | ICU ECG telemetry | medically meaningless per-beat mean/σ drift |
+//! | [`random_walk`] | 2^24-point smoothed random walk | Fig 5 homophone background |
+//! | [`eog`] | one hour of eye movement | Fig 5 homophone background |
+//! | [`epg`] | eight hours of insect behavior | Fig 5 homophone background |
+//! | [`chicken`] | 12.5G-point accelerometer | rare detectable dustbathing bouts |
+
+pub mod chicken;
+pub mod ecg;
+pub mod eog;
+pub mod epg;
+pub mod gunpoint;
+pub mod random_walk;
+pub mod shapes;
+pub mod transforms;
+pub mod words;
+
+pub use transforms::{denormalize, train_test_split, DenormalizeConfig};

@@ -1,0 +1,72 @@
+//! Smoothed random walks.
+//!
+//! Fig 5 (center) of the paper clusters GunPoint exemplars against their
+//! nearest neighbors in "a smoothed random walk of length 2^24"; Appendix B
+//! embeds GunPoint exemplars "in between long stretches of random walks" to
+//! count streaming false positives. Random walks are the canonical
+//! structure-free background: anything a classifier finds in one is a
+//! hallucination.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+use crate::shapes::moving_average;
+
+/// A plain Gaussian random walk of length `len` with unit steps.
+pub fn random_walk(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let step = Normal::new(0.0, 1.0).unwrap();
+    let mut out = Vec::with_capacity(len);
+    let mut acc = 0.0;
+    for _ in 0..len {
+        acc += step.sample(&mut rng);
+        out.push(acc);
+    }
+    out
+}
+
+/// A smoothed random walk: a Gaussian walk passed through a centered moving
+/// average of width `smooth`. This is the Fig 5 background. The paper uses
+/// length `2^24`; experiments here default to `2^20` for runtime and accept
+/// the full length behind a flag.
+pub fn smoothed_random_walk(len: usize, smooth: usize, seed: u64) -> Vec<f64> {
+    moving_average(&random_walk(len, seed), smooth.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::stats::std_dev;
+
+    #[test]
+    fn walk_has_requested_length() {
+        assert_eq!(random_walk(1000, 1).len(), 1000);
+        assert_eq!(smoothed_random_walk(1000, 9, 1).len(), 1000);
+    }
+
+    #[test]
+    fn walk_is_deterministic() {
+        assert_eq!(random_walk(100, 7), random_walk(100, 7));
+        assert_ne!(random_walk(100, 7), random_walk(100, 8));
+    }
+
+    #[test]
+    fn walk_wanders() {
+        let w = random_walk(10_000, 2);
+        // A random walk's spread grows with sqrt(n); it must exceed i.i.d.
+        // noise by a wide margin.
+        assert!(std_dev(&w) > 5.0);
+    }
+
+    #[test]
+    fn smoothing_reduces_increment_variance() {
+        let raw = random_walk(5_000, 3);
+        let smooth = smoothed_random_walk(5_000, 15, 3);
+        let inc_var = |xs: &[f64]| {
+            let d: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+            std_dev(&d)
+        };
+        assert!(inc_var(&smooth) < inc_var(&raw) * 0.5);
+    }
+}

@@ -1,0 +1,228 @@
+//! Low-level waveform building blocks shared by the generators: smooth ramps,
+//! Gaussian bumps, band-limited noise, resampling, and smoothing.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Smoothstep ramp from 0 to 1 over `\[0, 1\]` (zero slope at both ends).
+/// Inputs outside `\[0, 1\]` clamp.
+#[inline]
+pub fn smoothstep(t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Gaussian bump `amp * exp(-(t - center)^2 / (2 width^2))` sampled at
+/// integer positions `0..len`, added onto `out`.
+pub fn add_gaussian_bump(out: &mut [f64], center: f64, width: f64, amp: f64) {
+    debug_assert!(width > 0.0);
+    let inv = 1.0 / (2.0 * width * width);
+    for (i, y) in out.iter_mut().enumerate() {
+        let d = i as f64 - center;
+        *y += amp * (-d * d * inv).exp();
+    }
+}
+
+/// Add i.i.d. Gaussian noise with standard deviation `sigma`.
+pub fn add_noise<R: Rng>(out: &mut [f64], sigma: f64, rng: &mut R) {
+    if sigma <= 0.0 {
+        return;
+    }
+    let n = Normal::new(0.0, sigma).expect("sigma validated positive");
+    for y in out.iter_mut() {
+        *y += n.sample(rng);
+    }
+}
+
+/// Centered moving average with window `w` (odd windows recommended).
+/// Edges use the available partial window, so output length equals input
+/// length.
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "window must be positive");
+    let half = w / 2;
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    // Prefix sums for O(n) smoothing at any window size.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in xs {
+        prefix.push(prefix.last().unwrap() + x);
+    }
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
+    }
+    out
+}
+
+/// Linear-interpolation resampling of `xs` to `new_len` points.
+pub fn resample_linear(xs: &[f64], new_len: usize) -> Vec<f64> {
+    assert!(!xs.is_empty(), "cannot resample an empty series");
+    assert!(new_len > 0, "target length must be positive");
+    if xs.len() == 1 {
+        return vec![xs[0]; new_len];
+    }
+    if new_len == 1 {
+        return vec![xs[0]];
+    }
+    let scale = (xs.len() - 1) as f64 / (new_len - 1) as f64;
+    (0..new_len)
+        .map(|i| {
+            let pos = i as f64 * scale;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(xs.len() - 1);
+            let frac = pos - lo as f64;
+            xs[lo] * (1.0 - frac) + xs[hi] * frac
+        })
+        .collect()
+}
+
+/// A smooth pseudo-random curve of length `len`: a sum of `k` sinusoids with
+/// random phases/frequencies drawn from `rng`, normalized to roughly unit
+/// amplitude. The building block for synthetic "phoneme" shapes.
+pub fn smooth_random_curve<R: Rng>(len: usize, k: usize, rng: &mut R) -> Vec<f64> {
+    assert!(len > 0 && k > 0);
+    let mut out = vec![0.0; len];
+    let mut total_amp = 0.0;
+    for h in 0..k {
+        // Low harmonics dominate, keeping the curve smooth.
+        let freq = (h + 1) as f64 * (0.5 + rng.random::<f64>());
+        let amp = 1.0 / (h + 1) as f64;
+        let phase = rng.random::<f64>() * std::f64::consts::TAU;
+        total_amp += amp;
+        for (i, y) in out.iter_mut().enumerate() {
+            let t = i as f64 / len as f64;
+            *y += amp * (std::f64::consts::TAU * freq * t + phase).sin();
+        }
+    }
+    for y in &mut out {
+        *y /= total_amp;
+    }
+    out
+}
+
+/// Crossfade-concatenate `b` onto `a` with an overlap of `fade` samples,
+/// modeling coarticulation between phonemes.
+pub fn crossfade_append(a: &mut Vec<f64>, b: &[f64], fade: usize) {
+    let fade = fade.min(a.len()).min(b.len());
+    let start = a.len() - fade;
+    for i in 0..fade {
+        let w = (i + 1) as f64 / (fade + 1) as f64;
+        a[start + i] = a[start + i] * (1.0 - w) + b[i] * w;
+    }
+    a.extend_from_slice(&b[fade..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn smoothstep_endpoints() {
+        assert_eq!(smoothstep(0.0), 0.0);
+        assert_eq!(smoothstep(1.0), 1.0);
+        assert_eq!(smoothstep(-5.0), 0.0);
+        assert_eq!(smoothstep(5.0), 1.0);
+        assert!((smoothstep(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_bump_peaks_at_center() {
+        let mut out = vec![0.0; 21];
+        add_gaussian_bump(&mut out, 10.0, 2.0, 3.0);
+        let peak = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 10);
+        assert!((out[10] - 3.0).abs() < 1e-12);
+        assert!(out[0] < 0.01);
+    }
+
+    #[test]
+    fn moving_average_flattens_constant() {
+        let xs = vec![4.0; 10];
+        let sm = moving_average(&xs, 3);
+        assert_eq!(sm, xs);
+    }
+
+    #[test]
+    fn moving_average_reduces_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs = vec![0.0; 500];
+        add_noise(&mut xs, 1.0, &mut rng);
+        let sm = moving_average(&xs, 9);
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&sm) < var(&xs) * 0.5);
+    }
+
+    #[test]
+    fn moving_average_preserves_length() {
+        let xs: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        for w in [1, 2, 3, 8, 17, 40] {
+            assert_eq!(moving_average(&xs, w).len(), xs.len(), "w={w}");
+        }
+    }
+
+    #[test]
+    fn resample_identity_when_same_length() {
+        let xs = [1.0, 2.0, 5.0, 3.0];
+        let r = resample_linear(&xs, 4);
+        for (a, b) in xs.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_up_and_down_preserves_endpoints() {
+        let xs = [2.0, 8.0, -1.0, 4.0, 4.5];
+        for len in [2usize, 3, 7, 50] {
+            let r = resample_linear(&xs, len);
+            assert_eq!(r.len(), len);
+            assert!((r[0] - 2.0).abs() < 1e-12);
+            assert!((r[len - 1] - 4.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_single_point_series() {
+        assert_eq!(resample_linear(&[3.0], 5), vec![3.0; 5]);
+    }
+
+    #[test]
+    fn smooth_random_curve_is_bounded_and_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = smooth_random_curve(100, 4, &mut r1);
+        let b = smooth_random_curve(100, 4, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn crossfade_append_blends() {
+        let mut a = vec![1.0; 10];
+        let b = vec![-1.0; 10];
+        crossfade_append(&mut a, &b, 4);
+        assert_eq!(a.len(), 16);
+        // The blend region is strictly between the plateaus.
+        assert!(a[6] < 1.0 && a[6] > -1.0);
+        assert_eq!(a[15], -1.0);
+        assert_eq!(a[0], 1.0);
+    }
+
+    #[test]
+    fn crossfade_append_zero_fade_is_plain_concat() {
+        let mut a = vec![1.0, 2.0];
+        crossfade_append(&mut a, &[3.0, 4.0], 0);
+        assert_eq!(a, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Dataset-level transformations: the Fig 6 denormalization, stratified
+//! train/test splits, and UCR-style preprocessing.
+
+use etsc_core::{CoreError, Result, UcrDataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the paper's "denormalization" perturbation (Section 4,
+/// Fig 6): each test exemplar is shifted by a random offset and optionally
+/// rescaled, modeling a camera tilt, a taller actor, sensor gain drift, etc.
+#[derive(Debug, Clone, Copy)]
+pub struct DenormalizeConfig {
+    /// Offsets are drawn uniformly from `[-max_offset, max_offset]`.
+    /// The paper uses 1.0.
+    pub max_offset: f64,
+    /// Scales are drawn uniformly from `[1 - scale_jitter, 1 + scale_jitter]`.
+    /// The paper's headline experiment only shifts; set 0.0 to match.
+    pub scale_jitter: f64,
+}
+
+impl Default for DenormalizeConfig {
+    fn default() -> Self {
+        Self {
+            max_offset: 1.0,
+            scale_jitter: 0.0,
+        }
+    }
+}
+
+/// Produce a denormalized copy of `data`: per-exemplar random shift (and
+/// optional scale). Deterministic given `seed`.
+///
+/// This is the exact perturbation behind Table 1's "DeNormalized" column.
+/// Note how small it is: the paper likens a shift in `[-1, 1]` (on
+/// z-normalized data) to tilting the camera by ~1.9 degrees.
+pub fn denormalize(data: &UcrDataset, cfg: DenormalizeConfig, seed: u64) -> UcrDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = data.clone();
+    out.map_series(|_, s| {
+        let offset = rng.random_range(-cfg.max_offset..=cfg.max_offset);
+        let scale = if cfg.scale_jitter > 0.0 {
+            rng.random_range(1.0 - cfg.scale_jitter..=1.0 + cfg.scale_jitter)
+        } else {
+            1.0
+        };
+        for x in s.iter_mut() {
+            *x = *x * scale + offset;
+        }
+    });
+    out
+}
+
+/// Stratified train/test split: `train_per_class` exemplars of each class go
+/// to the train set, the remainder to test. Deterministic given `seed`.
+///
+/// Mirrors the UCR GunPoint convention of a small train set (50) and larger
+/// test set (150).
+pub fn train_test_split(
+    data: &UcrDataset,
+    train_per_class: usize,
+    seed: u64,
+) -> Result<(UcrDataset, UcrDataset)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_classes = data.n_classes();
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in 0..n_classes {
+        let mut members: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        if members.len() <= train_per_class {
+            return Err(CoreError::InvalidParameter(format!(
+                "class {class} has {} exemplars; cannot reserve {train_per_class} for training and leave a test set",
+                members.len()
+            )));
+        }
+        members.shuffle(&mut rng);
+        train_idx.extend_from_slice(&members[..train_per_class]);
+        test_idx.extend_from_slice(&members[train_per_class..]);
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+    Ok((data.subset(&train_idx)?, data.subset(&test_idx)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::stats::mean;
+
+    fn toy(n_per_class: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for i in 0..n_per_class {
+                data.push((0..len).map(|j| (c * 100 + i + j) as f64).collect());
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn denormalize_shifts_mean() {
+        let mut d = toy(5, 20);
+        d.znormalize();
+        let dn = denormalize(&d, DenormalizeConfig::default(), 7);
+        let mut any_shifted = false;
+        for i in 0..d.len() {
+            let m = mean(dn.series(i));
+            // Original mean is 0; offsets in [-1, 1].
+            assert!(m.abs() <= 1.0 + 1e-9);
+            if m.abs() > 0.05 {
+                any_shifted = true;
+            }
+        }
+        assert!(any_shifted, "with 10 exemplars some offset should exceed 0.05");
+    }
+
+    #[test]
+    fn denormalize_is_deterministic() {
+        let d = toy(3, 10);
+        let a = denormalize(&d, DenormalizeConfig::default(), 42);
+        let b = denormalize(&d, DenormalizeConfig::default(), 42);
+        assert_eq!(a, b);
+        let c = denormalize(&d, DenormalizeConfig::default(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn denormalize_with_scale_changes_std() {
+        let mut d = toy(4, 30);
+        d.znormalize();
+        let cfg = DenormalizeConfig {
+            max_offset: 0.0,
+            scale_jitter: 0.5,
+        };
+        let dn = denormalize(&d, cfg, 1);
+        let stds: Vec<f64> = (0..dn.len())
+            .map(|i| etsc_core::stats::std_dev(dn.series(i)))
+            .collect();
+        assert!(stds.iter().any(|&s| (s - 1.0).abs() > 0.05));
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let d = toy(10, 5);
+        let (train, test) = train_test_split(&d, 4, 9).unwrap();
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 12);
+        assert_eq!(train.class_counts(), vec![4, 4]);
+        assert_eq!(test.class_counts(), vec![6, 6]);
+        // Disjoint: every series appears exactly once across both splits.
+        let mut seen: Vec<&[f64]> = Vec::new();
+        for i in 0..train.len() {
+            seen.push(train.series(i));
+        }
+        for i in 0..test.len() {
+            assert!(!seen.contains(&test.series(i)));
+        }
+    }
+
+    #[test]
+    fn split_rejects_overdraw() {
+        let d = toy(3, 5);
+        assert!(train_test_split(&d, 3, 0).is_err());
+        assert!(train_test_split(&d, 10, 0).is_err());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(6, 4);
+        let (a1, b1) = train_test_split(&d, 2, 5).unwrap();
+        let (a2, b2) = train_test_split(&d, 2, 5).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+}

@@ -1,0 +1,352 @@
+//! Synthetic "spoken word" time series — the MFCC-track stand-in.
+//!
+//! Fig 1 of the paper shows utterances of *cat* and *dog* represented as one
+//! MFCC coefficient track; Fig 2 then streams the sentence "It was said that
+//! Cathy's dogmatic catechism dogmatized catholic doggery" past a classifier
+//! trained on those words and counts six false positives.
+//!
+//! We synthesize words from a fixed **phoneme inventory**: each letter maps
+//! to a deterministic smooth curve (seeded by the letter), words are
+//! crossfaded concatenations of their phoneme curves, and utterances get
+//! per-rendition amplitude/tempo jitter plus noise. Because words share
+//! orthographic prefixes they automatically share acoustic prefixes — the
+//! exact property (cat ⊑ catalog, point ⊑ appointment) the paper's prefix and
+//! inclusion arguments rest on. A small pronunciation override table makes
+//! the paper's homophone pairs (*flower*/*flour*, *wither*/*whither*,
+//! *point*/*pointe*, *gun*/*Gunn*) acoustically identical despite different
+//! spellings.
+
+use etsc_core::{AnnotatedStream, Event, UcrDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shapes::{add_noise, crossfade_append, resample_linear, smooth_random_curve};
+
+/// Fixed master seed for the phoneme inventory. Changing it changes every
+/// voice in the corpus, so it is a constant: the inventory is part of the
+/// "language", not of any one experiment.
+const PHONEME_INVENTORY_SEED: u64 = 0x5045414B_45525321; // "PEAKERS!"
+
+/// Synthesis parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WordConfig {
+    /// Base samples per vowel phoneme.
+    pub vowel_len: usize,
+    /// Base samples per consonant phoneme.
+    pub consonant_len: usize,
+    /// Crossfade overlap between adjacent phonemes (coarticulation).
+    pub crossfade: usize,
+    /// Additive noise std-dev per utterance.
+    pub noise: f64,
+    /// Per-utterance amplitude jitter (uniform in `1 ± amp_jitter`).
+    pub amp_jitter: f64,
+    /// Per-phoneme tempo jitter (uniform in `1 ± time_jitter`).
+    pub time_jitter: f64,
+}
+
+impl Default for WordConfig {
+    fn default() -> Self {
+        Self {
+            vowel_len: 40,
+            consonant_len: 24,
+            crossfade: 8,
+            noise: 0.03,
+            amp_jitter: 0.10,
+            time_jitter: 0.12,
+        }
+    }
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 'y')
+}
+
+/// Pronunciation: the phoneme sequence of a word. Letters map one-to-one to
+/// phonemes, except for the homophone override table below.
+pub fn phonemes(word: &str) -> Vec<char> {
+    let w = word.to_ascii_lowercase();
+    let canonical: &str = match w.as_str() {
+        // The paper's homophones / pseudo-homophones (Section 3.3): same
+        // sound, different spelling. We map them to one canonical spelling
+        // so their waveforms are identical up to rendition jitter.
+        "flour" => "flower",
+        "whither" => "wither",
+        "pointe" => "point",
+        "gunn" => "gun",
+        other => other,
+    };
+    canonical.chars().filter(|c| c.is_ascii_alphabetic()).collect()
+}
+
+/// The deterministic base curve of one phoneme: a level offset plus a smooth
+/// fluctuation, both seeded by the letter alone.
+fn phoneme_curve(c: char, len: usize) -> Vec<f64> {
+    let seed = PHONEME_INVENTORY_SEED ^ ((c as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let level = rng.random_range(-1.0..1.0);
+    let curve = smooth_random_curve(len, 3, &mut rng);
+    curve.iter().map(|&v| level + 0.5 * v).collect()
+}
+
+/// Synthesize one utterance (rendition) of `word`.
+pub fn utterance(word: &str, cfg: &WordConfig, rng: &mut StdRng) -> Vec<f64> {
+    let ph = phonemes(word);
+    assert!(!ph.is_empty(), "word must contain letters: {word:?}");
+    let amp = 1.0 + rng.random_range(-cfg.amp_jitter..=cfg.amp_jitter);
+    let mut out: Vec<f64> = Vec::new();
+    for &c in &ph {
+        let base_len = if is_vowel(c) {
+            cfg.vowel_len
+        } else {
+            cfg.consonant_len
+        };
+        let stretch = 1.0 + rng.random_range(-cfg.time_jitter..=cfg.time_jitter);
+        let len = ((base_len as f64 * stretch).round() as usize).max(4);
+        let curve = resample_linear(&phoneme_curve(c, base_len), len);
+        if out.is_empty() {
+            out = curve;
+        } else {
+            crossfade_append(&mut out, &curve, cfg.crossfade);
+        }
+    }
+    for v in &mut out {
+        *v *= amp;
+    }
+    add_noise(&mut out, cfg.noise, rng);
+    out
+}
+
+/// Expected (jitter-free) utterance length of `word` in samples.
+pub fn nominal_len(word: &str, cfg: &WordConfig) -> usize {
+    let ph = phonemes(word);
+    let raw: usize = ph
+        .iter()
+        .map(|&c| {
+            if is_vowel(c) {
+                cfg.vowel_len
+            } else {
+                cfg.consonant_len
+            }
+        })
+        .sum();
+    raw.saturating_sub(cfg.crossfade * ph.len().saturating_sub(1))
+}
+
+/// Build a UCR-format dataset: `n_per_word` renditions of each word in
+/// `vocab`, resampled to `target_len` samples, labeled by vocabulary index.
+/// Output is raw; call [`UcrDataset::znormalize`] for archive-style data.
+pub fn word_dataset(
+    vocab: &[&str],
+    n_per_word: usize,
+    target_len: usize,
+    cfg: &WordConfig,
+    seed: u64,
+) -> UcrDataset {
+    assert!(!vocab.is_empty() && n_per_word > 0 && target_len > 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(vocab.len() * n_per_word);
+    let mut labels = Vec::with_capacity(vocab.len() * n_per_word);
+    for (label, word) in vocab.iter().enumerate() {
+        for _ in 0..n_per_word {
+            let u = utterance(word, cfg, &mut rng);
+            data.push(resample_linear(&u, target_len));
+            labels.push(label);
+        }
+    }
+    UcrDataset::new(data, labels).expect("generator satisfies UCR invariants")
+}
+
+/// Render a sentence to a continuous stream with ground-truth events.
+///
+/// Words are separated by low-level pause segments. An [`Event`] is emitted
+/// for every spoken word that **exactly matches** one of `targets`
+/// (case-insensitive), labeled with the target's index. Words merely
+/// *containing* a target (e.g. *catalog* when the target is *cat*) produce no
+/// event — those are precisely the innocuous confusers that become false
+/// positives in the streaming experiments.
+pub fn sentence_stream(
+    sentence: &[&str],
+    targets: &[&str],
+    cfg: &WordConfig,
+    seed: u64,
+) -> AnnotatedStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data: Vec<f64> = Vec::new();
+    let mut events = Vec::new();
+
+    let push_pause = |data: &mut Vec<f64>, rng: &mut StdRng| {
+        let len = rng.random_range(25..45);
+        let mut pause = vec![0.0; len];
+        add_noise(&mut pause, cfg.noise, rng);
+        data.extend_from_slice(&pause);
+    };
+
+    push_pause(&mut data, &mut rng);
+    for word in sentence {
+        let start = data.len();
+        let u = utterance(word, cfg, &mut rng);
+        data.extend_from_slice(&u);
+        let end = data.len();
+        let lw = word.to_ascii_lowercase();
+        if let Some(ix) = targets
+            .iter()
+            .position(|t| t.eq_ignore_ascii_case(&lw))
+        {
+            events.push(Event::new(start, end, ix));
+        }
+        push_pause(&mut data, &mut rng);
+    }
+    AnnotatedStream::new(data, events)
+}
+
+/// Words beginning with "gun" (a sample of the 88 the paper counts).
+pub const GUN_PREFIX_WORDS: &[&str] = &[
+    "gunwales", "gunnel", "gunnysack", "gunk", "gunner", "gunship", "gunshot", "gunsmith",
+];
+
+/// Words beginning with "point" (a sample of the 26 the paper counts).
+pub const POINT_PREFIX_WORDS: &[&str] = &[
+    "pointedly", "pointlessness", "pointier", "pointman", "pointer", "pointless",
+];
+
+/// Words *containing* "gun" or "point" (the inclusion problem, Section 3.2).
+pub const INCLUSION_WORDS: &[&str] = &[
+    "disappointing", "ballpoints", "appointment", "burgundy", "begun", "gunderson",
+];
+
+/// The sentence of Fig 2 (lowercased, punctuation dropped).
+pub const FIG2_SENTENCE: &[&str] = &[
+    "it", "was", "said", "that", "cathys", "dogmatic", "catechism", "dogmatized", "catholic",
+    "doggery",
+];
+
+/// The "Amy Gunn" sentence of Section 3.4.
+pub const AMY_GUNN_SENTENCE: &[&str] = &[
+    "amy", "gunn", "thought", "it", "pointless", "to", "go", "on", "pointe", "before", "she",
+    "had", "begun", "her", "appointment", "to", "get", "her", "burgundy", "ballet", "shoes",
+    "cleaned", "of", "all", "the", "gunk",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::distance::euclidean;
+    use etsc_core::znorm::znormalize;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn phonemes_strip_non_letters_and_lowercase() {
+        assert_eq!(phonemes("Cat's"), vec!['c', 'a', 't', 's']);
+        assert_eq!(phonemes("DOG"), vec!['d', 'o', 'g']);
+    }
+
+    #[test]
+    fn homophones_share_pronunciation() {
+        assert_eq!(phonemes("flour"), phonemes("flower"));
+        assert_eq!(phonemes("whither"), phonemes("wither"));
+        assert_eq!(phonemes("pointe"), phonemes("point"));
+        assert_eq!(phonemes("Gunn"), phonemes("gun"));
+        assert_ne!(phonemes("cat"), phonemes("dog"));
+    }
+
+    #[test]
+    fn utterance_is_deterministic_per_rng_state() {
+        let cfg = WordConfig::default();
+        let a = utterance("cat", &cfg, &mut rng(3));
+        let b = utterance("cat", &cfg, &mut rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn renditions_of_same_word_are_similar_but_not_identical() {
+        let cfg = WordConfig::default();
+        let mut r = rng(4);
+        let a = utterance("catalog", &cfg, &mut r);
+        let b = utterance("catalog", &cfg, &mut r);
+        assert_ne!(a, b);
+        // Compare after resampling to a common length; same word should be
+        // much closer than different words.
+        let n = 100;
+        let az = znormalize(&resample_linear(&a, n));
+        let bz = znormalize(&resample_linear(&b, n));
+        let c = utterance("pointer", &cfg, &mut r);
+        let cz = znormalize(&resample_linear(&c, n));
+        let d_same = euclidean(&az, &bz);
+        let d_diff = euclidean(&az, &cz);
+        assert!(
+            d_same < d_diff * 0.7,
+            "same-word distance {d_same} should beat cross-word {d_diff}"
+        );
+    }
+
+    #[test]
+    fn prefix_word_shares_acoustic_prefix() {
+        // Jitter-free: "cat" should match the head of "catalog" closely.
+        let cfg = WordConfig {
+            noise: 0.0,
+            amp_jitter: 0.0,
+            time_jitter: 0.0,
+            ..WordConfig::default()
+        };
+        let mut r = rng(5);
+        let cat = utterance("cat", &cfg, &mut r);
+        let catalog = utterance("catalog", &cfg, &mut r);
+        // Compare everything strictly before the final crossfade region of
+        // "cat"'s last phoneme, which blends into the next phoneme in
+        // "catalog".
+        let head = cat.len() - cfg.crossfade;
+        let d = euclidean(&cat[..head], &catalog[..head]);
+        assert!(
+            d / (head as f64).sqrt() < 0.05,
+            "prefix mismatch rms {}",
+            d / (head as f64).sqrt()
+        );
+    }
+
+    #[test]
+    fn word_dataset_shape_and_labels() {
+        let d = word_dataset(&["cat", "dog"], 5, 150, &WordConfig::default(), 6);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.series_len(), 150);
+        assert_eq!(d.class_counts(), vec![5, 5]);
+    }
+
+    #[test]
+    fn nominal_len_counts_phonemes() {
+        let cfg = WordConfig::default();
+        // cat: c(24) a(40) t(24) - 2*8 = 72
+        assert_eq!(nominal_len("cat", &cfg), 72);
+        assert!(nominal_len("catalog", &cfg) > nominal_len("cat", &cfg));
+    }
+
+    #[test]
+    fn sentence_stream_emits_events_only_for_exact_targets() {
+        let cfg = WordConfig::default();
+        let s = sentence_stream(
+            &["cat", "catalog", "dog", "dogmatic"],
+            &["cat", "dog"],
+            &cfg,
+            7,
+        );
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].label, 0);
+        assert_eq!(s.events[1].label, 1);
+        assert!(s.events[0].start < s.events[1].start);
+        assert!(s.len() > 200);
+    }
+
+    #[test]
+    fn sentence_stream_events_lie_within_stream() {
+        let cfg = WordConfig::default();
+        let s = sentence_stream(FIG2_SENTENCE, &["cat", "dog"], &cfg, 8);
+        // Fig 2 sentence contains no standalone cat/dog: zero true events.
+        assert!(s.events.is_empty());
+        let s2 = sentence_stream(&["dog", "cat"], &["cat", "dog"], &cfg, 8);
+        for e in &s2.events {
+            assert!(e.end <= s2.len());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the synthetic generators: determinism, shape
+//! invariants, and annotation consistency under arbitrary seeds and sizes.
+
+use etsc_datasets::chicken::{chicken_stream, dustbathing_template, ChickenConfig};
+use etsc_datasets::ecg::{beat_dataset, ecg_stream, Channel, EcgConfig};
+use etsc_datasets::eog::{eog_stream, EogConfig};
+use etsc_datasets::epg::{epg_stream, EpgConfig};
+use etsc_datasets::gunpoint::{self, GunPointConfig};
+use etsc_datasets::random_walk::{random_walk, smoothed_random_walk};
+use etsc_datasets::shapes::{moving_average, resample_linear};
+use etsc_datasets::transforms::{denormalize, train_test_split, DenormalizeConfig};
+use etsc_datasets::words::{phonemes, utterance, word_dataset, WordConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gunpoint_is_deterministic_and_well_shaped(
+        seed in 0u64..1000,
+        n in 2usize..8,
+    ) {
+        let cfg = GunPointConfig::default();
+        let a = gunpoint::generate(n, &cfg, seed);
+        let b = gunpoint::generate(n, &cfg, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), 2 * n);
+        prop_assert_eq!(a.series_len(), cfg.series_len);
+        prop_assert_eq!(a.n_classes(), 2);
+    }
+
+    #[test]
+    fn random_walk_determinism_and_length(seed in 0u64..1000, len in 1usize..5000) {
+        prop_assert_eq!(random_walk(len, seed).len(), len);
+        prop_assert_eq!(
+            smoothed_random_walk(len, 7, seed),
+            smoothed_random_walk(len, 7, seed)
+        );
+    }
+
+    #[test]
+    fn background_streams_have_exact_length(seed in 0u64..200, len in 10usize..3000) {
+        prop_assert_eq!(eog_stream(len, &EogConfig::default(), seed).len(), len);
+        prop_assert_eq!(epg_stream(len, &EpgConfig::default(), seed).len(), len);
+    }
+
+    #[test]
+    fn chicken_events_are_sorted_in_bounds_and_nonoverlapping(seed in 0u64..100) {
+        let cfg = ChickenConfig::default();
+        let s = chicken_stream(30_000, &cfg, seed);
+        prop_assert_eq!(s.len(), 30_000);
+        for w in s.events.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+            prop_assert!(w[0].end <= w[1].start, "bouts must not overlap");
+        }
+        for e in &s.events {
+            prop_assert!(e.end <= s.len());
+            prop_assert!(e.len() >= cfg.bout_len / 2);
+        }
+    }
+
+    #[test]
+    fn ecg_streams_are_deterministic(seed in 0u64..100, n_beats in 2usize..30) {
+        let cfg = EcgConfig::default();
+        for ch in [Channel::MeanDrift, Channel::StdDrift] {
+            let a = ecg_stream(n_beats, ch, 5, &cfg, seed);
+            let b = ecg_stream(n_beats, ch, 5, &cfg, seed);
+            prop_assert_eq!(a.data, b.data);
+            prop_assert_eq!(a.events, b.events);
+        }
+        let d = beat_dataset(3, &cfg, seed);
+        prop_assert_eq!(d.series_len(), cfg.beat_len);
+    }
+
+    #[test]
+    fn word_utterances_have_positive_length(seed in 0u64..200) {
+        let cfg = WordConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for word in ["cat", "dog", "catalog", "gun", "point", "appointment"] {
+            let u = utterance(word, &cfg, &mut rng);
+            prop_assert!(u.len() >= phonemes(word).len() * 4);
+        }
+    }
+
+    #[test]
+    fn word_dataset_respects_requested_shape(
+        seed in 0u64..100,
+        n in 1usize..5,
+        len in 8usize..200,
+    ) {
+        let d = word_dataset(&["cat", "dog"], n, len, &WordConfig::default(), seed);
+        prop_assert_eq!(d.len(), 2 * n);
+        prop_assert_eq!(d.series_len(), len);
+    }
+
+    #[test]
+    fn denormalize_offsets_are_bounded(seed in 0u64..100, max_offset in 0.01f64..5.0) {
+        let d = gunpoint::generate(3, &GunPointConfig::default(), seed);
+        let cfg = DenormalizeConfig { max_offset, scale_jitter: 0.0 };
+        let dn = denormalize(&d, cfg, seed);
+        for i in 0..d.len() {
+            let delta = dn.series(i)[0] - d.series(i)[0];
+            prop_assert!(delta.abs() <= max_offset + 1e-9);
+            // The shift is constant across the exemplar.
+            for j in 0..d.series_len() {
+                prop_assert!((dn.series(i)[j] - d.series(i)[j] - delta).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_the_dataset(seed in 0u64..100, per_class in 1usize..5) {
+        let d = gunpoint::generate(per_class + 2, &GunPointConfig::default(), seed);
+        let (train, test) = train_test_split(&d, per_class, seed).unwrap();
+        prop_assert_eq!(train.len() + test.len(), d.len());
+        prop_assert_eq!(train.class_counts(), vec![per_class, per_class]);
+    }
+
+    #[test]
+    fn resample_round_trip_preserves_endpoints(
+        len in 2usize..50,
+        target in 2usize..100,
+    ) {
+        let xs: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+        let r = resample_linear(&xs, target);
+        prop_assert_eq!(r.len(), target);
+        prop_assert!((r[0] - xs[0]).abs() < 1e-12);
+        prop_assert!((r[target - 1] - xs[len - 1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_is_bounded_by_input_range(len in 1usize..200, w in 1usize..20) {
+        let xs: Vec<f64> = (0..len).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        for v in moving_average(&xs, w) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn dustbathing_template_length_contract() {
+    for len in [8usize, 70, 120, 500] {
+        assert_eq!(dustbathing_template(len).len(), len);
+    }
+}

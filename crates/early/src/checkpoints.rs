@@ -1,0 +1,250 @@
+//! Checkpoint ensembles: one probabilistic classifier per prefix length.
+//!
+//! Several ETSC families (ECDIRE [Mori et al. 2017], the stopping-rule
+//! methods [Mori et al. 2018], cost-aware triggering [Tavenard &
+//! Malinowski 2016; Achenchabe et al. 2021]) share a chassis: train a
+//! separate probabilistic classifier at a ladder of prefix lengths
+//! ("checkpoints"), then differ only in *when they trust* one of those
+//! classifiers. This module is that chassis.
+
+use etsc_classifiers::centroid::NearestCentroid;
+use etsc_classifiers::gaussian::{CovarianceKind, GaussianModel};
+use etsc_classifiers::Classifier;
+use etsc_core::{ClassLabel, UcrDataset};
+
+/// Per-checkpoint held-out calibration data: for each checkpoint, the
+/// `(posterior, actual label)` pairs of every training instance under
+/// 2-fold cross-validation.
+pub type CvPosteriors = Vec<Vec<(Vec<f64>, ClassLabel)>>;
+
+/// The base classifier family trained at each checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseClassifier {
+    /// Nearest centroid with softmax probabilities (cheap, robust).
+    Centroid,
+    /// Diagonal Gaussian class models (naive Bayes).
+    Gaussian,
+}
+
+/// One fitted checkpoint classifier.
+#[derive(Debug, Clone)]
+pub enum CheckpointModel {
+    /// Nearest-centroid variant.
+    Centroid(NearestCentroid),
+    /// Gaussian variant.
+    Gaussian(GaussianModel),
+}
+
+impl CheckpointModel {
+    /// Class probabilities for a prefix.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            CheckpointModel::Centroid(c) => c.predict_proba(x),
+            CheckpointModel::Gaussian(g) => g.predict_proba(x),
+        }
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, x: &[f64]) -> ClassLabel {
+        etsc_classifiers::argmax(&self.predict_proba(x))
+    }
+}
+
+/// A ladder of prefix lengths with one classifier per rung.
+#[derive(Debug, Clone)]
+pub struct CheckpointEnsemble {
+    lengths: Vec<usize>,
+    models: Vec<CheckpointModel>,
+    n_classes: usize,
+    series_len: usize,
+}
+
+impl CheckpointEnsemble {
+    /// Fit one classifier per checkpoint on prefix-truncated training data.
+    ///
+    /// `n_checkpoints` evenly spaced lengths ending at the full series
+    /// length; lengths below `min_len` are dropped.
+    pub fn fit(
+        train: &UcrDataset,
+        base: BaseClassifier,
+        n_checkpoints: usize,
+        min_len: usize,
+    ) -> Self {
+        assert!(n_checkpoints >= 1);
+        let len = train.series_len();
+        let mut lengths: Vec<usize> = (1..=n_checkpoints)
+            .map(|s| (s * len).div_ceil(n_checkpoints))
+            .filter(|&l| l >= min_len.max(2))
+            .collect();
+        lengths.dedup();
+        assert!(!lengths.is_empty(), "series too short for the checkpoint ladder");
+
+        let models = lengths
+            .iter()
+            .map(|&l| {
+                let prefix = train.prefix(l).expect("length within range");
+                match base {
+                    BaseClassifier::Centroid => {
+                        CheckpointModel::Centroid(NearestCentroid::fit(&prefix))
+                    }
+                    BaseClassifier::Gaussian => CheckpointModel::Gaussian(GaussianModel::fit(
+                        &prefix,
+                        CovarianceKind::Diagonal,
+                    )),
+                }
+            })
+            .collect();
+        Self {
+            lengths,
+            models,
+            n_classes: train.n_classes(),
+            series_len: len,
+        }
+    }
+
+    /// Checkpoint lengths, ascending.
+    pub fn lengths(&self) -> &[usize] {
+        &self.lengths
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Full training series length.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Index of the latest checkpoint whose length fits in `prefix_len`
+    /// (`None` if the prefix is shorter than the first checkpoint).
+    pub fn latest_checkpoint(&self, prefix_len: usize) -> Option<usize> {
+        match self.lengths.partition_point(|&l| l <= prefix_len) {
+            0 => None,
+            n => Some(n - 1),
+        }
+    }
+
+    /// Probabilities from checkpoint `idx` on (the head of) `prefix`.
+    pub fn proba_at(&self, idx: usize, prefix: &[f64]) -> Vec<f64> {
+        let l = self.lengths[idx].min(prefix.len());
+        self.models[idx].predict_proba(&prefix[..l])
+    }
+
+    /// Leave-half-out predictions for calibration: fits fold models on
+    /// even/odd halves and returns, per checkpoint, the held-out
+    /// `(posterior, actual)` pairs across both folds (in a deterministic
+    /// order). Used by ECDIRE and the stopping rule to learn thresholds on
+    /// honest (non-resubstitution) posteriors.
+    pub fn cross_val_posteriors(
+        train: &UcrDataset,
+        base: BaseClassifier,
+        n_checkpoints: usize,
+        min_len: usize,
+    ) -> Option<CvPosteriors> {
+        let n = train.len();
+        let even: Vec<usize> = (0..n).step_by(2).collect();
+        let odd: Vec<usize> = (1..n).step_by(2).collect();
+        if even.is_empty() || odd.is_empty() {
+            return None;
+        }
+        let n_classes = train.n_classes();
+        let proto = Self::fit(train, base, n_checkpoints, min_len);
+        let mut out: Vec<Vec<(Vec<f64>, ClassLabel)>> =
+            vec![Vec::new(); proto.lengths.len()];
+        for (fit_idx, eval_idx) in [(&even, &odd), (&odd, &even)] {
+            let fit_ds = train.subset(fit_idx).ok()?;
+            if fit_ds.n_classes() != n_classes {
+                return None;
+            }
+            let fold = Self::fit(&fit_ds, base, n_checkpoints, min_len);
+            if fold.lengths != proto.lengths {
+                return None;
+            }
+            for &i in eval_idx.iter() {
+                let s = train.series(i);
+                for (ci, _) in fold.lengths.iter().enumerate() {
+                    let p = fold.proba_at(ci, s);
+                    out[ci].push((p, train.label(i)));
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(
+                    (0..len)
+                        .map(|j| c as f64 * 2.0 + 0.05 * (((i + j) % 7) as f64 - 3.0))
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn ladder_is_ascending_and_ends_at_full_length() {
+        let d = toy(6, 40);
+        let e = CheckpointEnsemble::fit(&d, BaseClassifier::Centroid, 8, 4);
+        let lens = e.lengths();
+        assert!(lens.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*lens.last().unwrap(), 40);
+        assert!(lens[0] >= 4);
+    }
+
+    #[test]
+    fn latest_checkpoint_indexing() {
+        let d = toy(6, 40);
+        let e = CheckpointEnsemble::fit(&d, BaseClassifier::Centroid, 4, 4);
+        assert_eq!(e.latest_checkpoint(3), None);
+        assert_eq!(e.latest_checkpoint(40), Some(e.lengths().len() - 1));
+        let first = e.lengths()[0];
+        assert_eq!(e.latest_checkpoint(first), Some(0));
+    }
+
+    #[test]
+    fn checkpoint_models_classify_prefixes() {
+        let d = toy(8, 40);
+        for base in [BaseClassifier::Centroid, BaseClassifier::Gaussian] {
+            let e = CheckpointEnsemble::fit(&d, base, 6, 4);
+            let probe = d.series(0);
+            for ci in 0..e.lengths().len() {
+                let p = e.proba_at(ci, probe);
+                assert_eq!(p.len(), 2);
+                assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+                assert!(p[0] > p[1], "class 0 probe at checkpoint {ci}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_val_posteriors_cover_all_instances() {
+        let d = toy(8, 40);
+        let cv =
+            CheckpointEnsemble::cross_val_posteriors(&d, BaseClassifier::Centroid, 4, 4).unwrap();
+        for per_ckpt in &cv {
+            assert_eq!(per_ckpt.len(), d.len());
+        }
+    }
+
+    #[test]
+    fn cross_val_returns_none_for_degenerate_folds() {
+        // One exemplar per class: a fold misses a class.
+        let d = UcrDataset::new(vec![vec![0.0; 8], vec![1.0; 8]], vec![0, 1]).unwrap();
+        assert!(
+            CheckpointEnsemble::cross_val_posteriors(&d, BaseClassifier::Centroid, 2, 2).is_none()
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Cost-aware early classification (after Tavenard & Malinowski, ECML 2016,
+//! and the economy criterion of Achenchabe et al., 2021 — references \[12\]
+//! and \[19\] of the paper).
+//!
+//! These methods make the accuracy/earliness trade-off *monetary*: waiting
+//! costs `time_cost` per sample, a misclassification costs
+//! `misclassification_cost`. The simplest member of the family (Tavenard &
+//! Malinowski's baseline, which their clustering variants refine) commits at
+//! a single **fixed trigger length** `τ*` chosen to minimize the expected
+//! total cost on training data:
+//!
+//! ```text
+//! τ* = argmin_τ  misclassification_cost · err(τ) + time_cost · τ
+//! ```
+//!
+//! where `err(τ)` is cross-validated error at prefix length τ. The paper's
+//! Appendix B notes such cost-aware methods exist "but they only test on
+//! UCR datasets and never estimate costs for any real-world applications" —
+//! this implementation at least makes the costs explicit inputs.
+
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::checkpoints::{BaseClassifier, CheckpointEnsemble};
+use crate::{Decision, EarlyClassifier};
+
+/// Cost-aware trigger configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CostAwareConfig {
+    /// Number of candidate trigger lengths.
+    pub n_checkpoints: usize,
+    /// Cost of one misclassified exemplar.
+    pub misclassification_cost: f64,
+    /// Cost per sample of waiting.
+    pub time_cost: f64,
+    /// Base classifier per checkpoint.
+    pub base: BaseClassifier,
+    /// Smallest usable prefix length.
+    pub min_len: usize,
+}
+
+impl Default for CostAwareConfig {
+    fn default() -> Self {
+        Self {
+            n_checkpoints: 20,
+            misclassification_cost: 100.0,
+            time_cost: 1.0,
+            base: BaseClassifier::Centroid,
+            min_len: 4,
+        }
+    }
+}
+
+/// A fitted cost-aware fixed-trigger classifier.
+#[derive(Debug, Clone)]
+pub struct CostAware {
+    ensemble: CheckpointEnsemble,
+    /// Index of the chosen trigger checkpoint.
+    trigger: usize,
+    /// The training-time expected cost at the trigger.
+    expected_cost: f64,
+}
+
+impl CostAware {
+    /// Choose the trigger length minimizing expected cost on `train`.
+    pub fn fit(train: &UcrDataset, cfg: &CostAwareConfig) -> Self {
+        assert!(cfg.misclassification_cost >= 0.0 && cfg.time_cost >= 0.0);
+        let ensemble =
+            CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
+        let cv = CheckpointEnsemble::cross_val_posteriors(
+            train,
+            cfg.base,
+            cfg.n_checkpoints,
+            cfg.min_len,
+        );
+
+        let n_ckpt = ensemble.lengths().len();
+        let err_at = |ci: usize| -> f64 {
+            match &cv {
+                Some(cv) => {
+                    let pairs = &cv[ci];
+                    let wrong = pairs
+                        .iter()
+                        .filter(|(p, actual)| etsc_classifiers::argmax(p) != *actual)
+                        .count();
+                    wrong as f64 / pairs.len().max(1) as f64
+                }
+                None => {
+                    let wrong = train
+                        .iter()
+                        .filter(|&(s, actual)| {
+                            etsc_classifiers::argmax(&ensemble.proba_at(ci, s)) != actual
+                        })
+                        .count();
+                    wrong as f64 / train.len() as f64
+                }
+            }
+        };
+
+        let mut best = (n_ckpt - 1, f64::INFINITY);
+        for ci in 0..n_ckpt {
+            let cost = cfg.misclassification_cost * err_at(ci)
+                + cfg.time_cost * ensemble.lengths()[ci] as f64;
+            if cost < best.1 {
+                best = (ci, cost);
+            }
+        }
+
+        Self {
+            ensemble,
+            trigger: best.0,
+            expected_cost: best.1,
+        }
+    }
+
+    /// The chosen trigger length in samples.
+    pub fn trigger_len(&self) -> usize {
+        self.ensemble.lengths()[self.trigger]
+    }
+
+    /// The training-time expected cost of the chosen trigger.
+    pub fn expected_cost(&self) -> f64 {
+        self.expected_cost
+    }
+}
+
+impl EarlyClassifier for CostAware {
+    fn n_classes(&self) -> usize {
+        self.ensemble.n_classes()
+    }
+
+    fn series_len(&self) -> usize {
+        self.ensemble.series_len()
+    }
+
+    fn min_prefix(&self) -> usize {
+        self.trigger_len()
+    }
+
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        if prefix.len() < self.trigger_len() {
+            return Decision::Wait;
+        }
+        let p = self.ensemble.proba_at(self.trigger, prefix);
+        let label = etsc_classifiers::argmax(&p);
+        Decision::Predict {
+            label,
+            confidence: p[label],
+        }
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        let last = self.ensemble.lengths().len() - 1;
+        etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate, PrefixPolicy};
+
+    fn toy(n: usize, len: usize, split: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(
+                    (0..len)
+                        .map(|j| {
+                            let noise = 0.05 * (((i * 5 + j) % 8) as f64 - 3.5);
+                            if j < split {
+                                noise
+                            } else {
+                                c as f64 * 2.0 + noise
+                            }
+                        })
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn trigger_commits_exactly_once_at_trigger_length() {
+        let train = toy(10, 40, 0);
+        let m = CostAware::fit(&train, &CostAwareConfig::default());
+        let probe = train.series(0);
+        let t = m.trigger_len();
+        assert_eq!(m.decide(&probe[..t - 1]), Decision::Wait);
+        assert!(m.decide(&probe[..t]).is_predict());
+    }
+
+    #[test]
+    fn expensive_time_pushes_trigger_earlier() {
+        let train = toy(10, 40, 10);
+        let cheap_time = CostAware::fit(
+            &train,
+            &CostAwareConfig {
+                time_cost: 0.01,
+                ..Default::default()
+            },
+        );
+        let dear_time = CostAware::fit(
+            &train,
+            &CostAwareConfig {
+                time_cost: 10.0,
+                ..Default::default()
+            },
+        );
+        assert!(
+            dear_time.trigger_len() <= cheap_time.trigger_len(),
+            "costly waiting must not delay the trigger: {} vs {}",
+            dear_time.trigger_len(),
+            cheap_time.trigger_len()
+        );
+    }
+
+    #[test]
+    fn expensive_errors_push_trigger_later_on_late_data() {
+        let train = toy(10, 40, 20);
+        let cheap_err = CostAware::fit(
+            &train,
+            &CostAwareConfig {
+                misclassification_cost: 1.0,
+                time_cost: 1.0,
+                ..Default::default()
+            },
+        );
+        let dear_err = CostAware::fit(
+            &train,
+            &CostAwareConfig {
+                misclassification_cost: 10_000.0,
+                time_cost: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(dear_err.trigger_len() >= cheap_err.trigger_len());
+        // With errors this expensive, the trigger must be in the separable
+        // second half.
+        assert!(dear_err.trigger_len() > 20);
+    }
+
+    #[test]
+    fn accurate_when_errors_dominate() {
+        let train = toy(10, 40, 10);
+        let test = toy(5, 40, 10);
+        let m = CostAware::fit(
+            &train,
+            &CostAwareConfig {
+                misclassification_cost: 10_000.0,
+                ..Default::default()
+            },
+        );
+        let ev = evaluate(&m, &test, PrefixPolicy::Oracle);
+        assert!(ev.accuracy() >= 0.9, "accuracy {}", ev.accuracy());
+    }
+
+    #[test]
+    fn expected_cost_is_reported() {
+        let train = toy(8, 32, 0);
+        let m = CostAware::fit(&train, &CostAwareConfig::default());
+        assert!(m.expected_cost().is_finite());
+        assert!(m.expected_cost() >= 0.0);
+    }
+}

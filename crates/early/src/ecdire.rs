@@ -1,0 +1,302 @@
+//! ECDIRE — Early Classification based on DIscriminativeness and REliability
+//! (Mori et al., DMKD 2017; reference \[7\] of the paper).
+//!
+//! ECDIRE's idea: classes become distinguishable at different times. Using
+//! cross-validation it finds, for each class, the earliest checkpoint at
+//! which the classifier's recall for that class reaches a fraction
+//! `alpha` of its full-length recall — predictions for that class are only
+//! *allowed* from then on ("safe timestamps"). On top of that, a
+//! reliability threshold per checkpoint — the smallest posterior margin seen
+//! among correct cross-validation predictions — gates individual decisions.
+
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::checkpoints::{BaseClassifier, CheckpointEnsemble};
+use crate::{Decision, EarlyClassifier};
+
+/// ECDIRE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EcdireConfig {
+    /// Number of checkpoints (the paper uses 5% steps → 20).
+    pub n_checkpoints: usize,
+    /// Fraction of full-length per-class recall a checkpoint must reach to
+    /// become "safe" for that class (the paper uses 1.0).
+    pub alpha: f64,
+    /// Base classifier per checkpoint.
+    pub base: BaseClassifier,
+    /// Smallest usable prefix length.
+    pub min_len: usize,
+}
+
+impl Default for EcdireConfig {
+    fn default() -> Self {
+        Self {
+            n_checkpoints: 20,
+            alpha: 1.0,
+            base: BaseClassifier::Centroid,
+            min_len: 4,
+        }
+    }
+}
+
+/// A fitted ECDIRE model.
+#[derive(Debug, Clone)]
+pub struct Ecdire {
+    ensemble: CheckpointEnsemble,
+    /// Earliest safe checkpoint index per class (`None` = never safe early;
+    /// only the final checkpoint may predict it).
+    safe_from: Vec<Option<usize>>,
+    /// Per-checkpoint reliability threshold (minimum margin among correct
+    /// CV predictions; +inf disables a checkpoint entirely).
+    margin_threshold: Vec<f64>,
+}
+
+fn margin(p: &[f64]) -> f64 {
+    let mut best = 0.0;
+    let mut second = 0.0;
+    for &v in p {
+        if v > best {
+            second = best;
+            best = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    best - second
+}
+
+impl Ecdire {
+    /// Fit the checkpoint ensemble, safe timestamps, and reliability
+    /// thresholds on `train`.
+    pub fn fit(train: &UcrDataset, cfg: &EcdireConfig) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.alpha), "alpha must be in [0, 1]");
+        let ensemble =
+            CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
+        let n_classes = ensemble.n_classes();
+        let n_ckpt = ensemble.lengths().len();
+
+        let cv = CheckpointEnsemble::cross_val_posteriors(
+            train,
+            cfg.base,
+            cfg.n_checkpoints,
+            cfg.min_len,
+        );
+
+        let (safe_from, margin_threshold) = match cv {
+            None => {
+                // Degenerate training set: never predict early.
+                (vec![None; n_classes], vec![f64::INFINITY; n_ckpt])
+            }
+            Some(cv) => {
+                // Per-class recall at each checkpoint.
+                let mut recall = vec![vec![0.0f64; n_classes]; n_ckpt];
+                for (ci, pairs) in cv.iter().enumerate() {
+                    let mut hit = vec![0usize; n_classes];
+                    let mut tot = vec![0usize; n_classes];
+                    for (p, actual) in pairs {
+                        tot[*actual] += 1;
+                        if etsc_classifiers::argmax(p) == *actual {
+                            hit[*actual] += 1;
+                        }
+                    }
+                    for c in 0..n_classes {
+                        recall[ci][c] = if tot[c] == 0 {
+                            0.0
+                        } else {
+                            hit[c] as f64 / tot[c] as f64
+                        };
+                    }
+                }
+                let full = &recall[n_ckpt - 1];
+                let safe_from: Vec<Option<usize>> = (0..n_classes)
+                    .map(|c| {
+                        let target = cfg.alpha * full[c];
+                        // "Safe" must be sustained: the first checkpoint from
+                        // which recall never drops back below the target.
+                        (0..n_ckpt).find(|&start| {
+                            (start..n_ckpt).all(|ci| recall[ci][c] + 1e-12 >= target)
+                        })
+                    })
+                    .collect();
+                // Reliability threshold: minimum margin among correct CV
+                // predictions at each checkpoint.
+                let margin_threshold: Vec<f64> = cv
+                    .iter()
+                    .map(|pairs| {
+                        pairs
+                            .iter()
+                            .filter(|(p, actual)| etsc_classifiers::argmax(p) == *actual)
+                            .map(|(p, _)| margin(p))
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .collect();
+                (safe_from, margin_threshold)
+            }
+        };
+
+        Self {
+            ensemble,
+            safe_from,
+            margin_threshold,
+        }
+    }
+
+    /// The earliest safe checkpoint length for each class (`None` = only at
+    /// full length).
+    pub fn safe_lengths(&self) -> Vec<Option<usize>> {
+        self.safe_from
+            .iter()
+            .map(|s| s.map(|ci| self.ensemble.lengths()[ci]))
+            .collect()
+    }
+}
+
+impl EarlyClassifier for Ecdire {
+    fn n_classes(&self) -> usize {
+        self.ensemble.n_classes()
+    }
+
+    fn series_len(&self) -> usize {
+        self.ensemble.series_len()
+    }
+
+    fn min_prefix(&self) -> usize {
+        self.ensemble.lengths()[0]
+    }
+
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        let Some(ci) = self.ensemble.latest_checkpoint(prefix.len()) else {
+            return Decision::Wait;
+        };
+        let p = self.ensemble.proba_at(ci, prefix);
+        let label = etsc_classifiers::argmax(&p);
+        let safe = self.safe_from[label].is_some_and(|s| ci >= s);
+        let reliable = margin(&p) + 1e-12 >= self.margin_threshold[ci];
+        if safe && reliable {
+            Decision::Predict {
+                label,
+                confidence: p[label],
+            }
+        } else {
+            Decision::Wait
+        }
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        let last = self.ensemble.lengths().len() - 1;
+        etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate, PrefixPolicy};
+
+    /// Class 1 separates from class 0 only in the second half. The noise
+    /// pattern is class-dependent so the indistinguishable first halves are
+    /// not *bitwise identical* (which would let degenerate tie-breaking give
+    /// one class perfect recall for free).
+    fn late_split(n: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(
+                    (0..len)
+                        .map(|j| {
+                            let noise =
+                                0.05 * (((i * 7 + j * 3 + c * 11) % 9) as f64 - 4.0);
+                            if j < len / 2 {
+                                noise
+                            } else {
+                                c as f64 * 2.0 + noise
+                            }
+                        })
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    /// Classes separated from the first sample.
+    fn early_split(n: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(
+                    (0..len)
+                        .map(|j| c as f64 * 2.0 + 0.05 * (((i + j) % 5) as f64 - 2.0))
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn accurate_and_early_on_early_separable_data() {
+        let train = early_split(10, 40);
+        let test = early_split(5, 40);
+        let m = Ecdire::fit(&train, &EcdireConfig::default());
+        let ev = evaluate(&m, &test, PrefixPolicy::Oracle);
+        assert!(ev.accuracy() >= 0.9, "accuracy {}", ev.accuracy());
+        assert!(ev.earliness() < 0.5, "earliness {}", ev.earliness());
+    }
+
+    #[test]
+    fn safe_timestamps_respect_late_separation() {
+        let train = late_split(10, 40);
+        let m = Ecdire::fit(&train, &EcdireConfig::default());
+        for (c, safe) in m.safe_lengths().into_iter().enumerate() {
+            let s = safe.expect("classes are eventually separable");
+            assert!(
+                s > 40 / 4,
+                "class {c} must not be safe in the identical first half (safe at {s})"
+            );
+        }
+    }
+
+    #[test]
+    fn late_data_commits_late_but_correctly() {
+        let train = late_split(10, 40);
+        let test = late_split(5, 40);
+        let m = Ecdire::fit(&train, &EcdireConfig::default());
+        let ev = evaluate(&m, &test, PrefixPolicy::Oracle);
+        assert!(ev.accuracy() >= 0.9, "accuracy {}", ev.accuracy());
+        assert!(
+            ev.earliness() > 0.4,
+            "cannot honestly commit in the identical half: {}",
+            ev.earliness()
+        );
+    }
+
+    #[test]
+    fn alpha_zero_is_most_permissive() {
+        let train = late_split(8, 32);
+        let strict = Ecdire::fit(&train, &EcdireConfig::default());
+        let lax = Ecdire::fit(
+            &train,
+            &EcdireConfig {
+                alpha: 0.0,
+                ..EcdireConfig::default()
+            },
+        );
+        for (s, l) in strict.safe_lengths().iter().zip(lax.safe_lengths()) {
+            if let (Some(s), Some(l)) = (s, l) {
+                assert!(l <= *s, "alpha=0 can only be earlier");
+            }
+        }
+    }
+
+    #[test]
+    fn waits_below_first_checkpoint() {
+        let train = early_split(6, 40);
+        let m = Ecdire::fit(&train, &EcdireConfig::default());
+        assert_eq!(m.decide(&[0.0]), Decision::Wait);
+    }
+}

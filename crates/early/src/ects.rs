@@ -1,0 +1,392 @@
+//! ECTS — Early Classification on Time Series (Xing, Pei & Yu, KAIS 2012) —
+//! and its relaxed variant.
+//!
+//! ECTS asks: for each training exemplar, what is the smallest prefix length
+//! at which its 1NN neighborhood structure already looks exactly like it
+//! does at full length? That length is the exemplar's **Minimum Prediction
+//! Length (MPL)**, computed from **reverse nearest neighbor (RNN)**
+//! stability. At classification time, a prefix is matched to its 1NN among
+//! training prefixes; if the neighbor's MPL has been reached, its label is
+//! emitted — otherwise the classifier waits.
+//!
+//! * **Strict ECTS**: `MPL(e)` = smallest `l` such that for every
+//!   `l' ∈ [l, L]`, `RNN_l'(e) = RNN_L(e)` (set equality). Exemplars with an
+//!   empty full-length RNN never support early prediction (`MPL = L`).
+//! * **RelaxedECTS**: set equality is relaxed to *class purity* — every
+//!   member of `RNN_l'(e)` must share `e`'s label. Earlier MPLs, same
+//!   worst-case safety argument.
+//! * **Minimum support**: an exemplar's MPL is only trusted if its
+//!   full-length RNN support (`|RNN_L(e)|` relative to its class size)
+//!   reaches `min_support`; weaker exemplars fall back to their
+//!   single-linkage same-class cluster, whose MPL is the most conservative
+//!   of its members. Table 1 of the paper uses `min_support = 0`, which
+//!   trusts every exemplar directly.
+
+use etsc_core::distance::squared_euclidean_early_abandon;
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::{Decision, EarlyClassifier};
+
+/// ECTS hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EctsConfig {
+    /// Minimum RNN support in `[0, 1]`; 0 trusts per-exemplar MPLs
+    /// (the Table 1 setting).
+    pub min_support: f64,
+    /// Use the relaxed (class-purity) MPL rule.
+    pub relaxed: bool,
+    /// Smallest prefix length considered at prediction time.
+    pub min_prefix: usize,
+}
+
+impl Default for EctsConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 0.0,
+            relaxed: false,
+            min_prefix: 3,
+        }
+    }
+}
+
+/// A fitted ECTS model.
+#[derive(Debug, Clone)]
+pub struct Ects {
+    train: UcrDataset,
+    /// Per-exemplar minimum prediction length.
+    mpl: Vec<usize>,
+    min_prefix: usize,
+}
+
+impl Ects {
+    /// Fit on `train` (conventionally z-normalized, as in the UCR archive).
+    pub fn fit(train: &UcrDataset, cfg: &EctsConfig) -> Self {
+        let n = train.len();
+        let len = train.series_len();
+        assert!(n >= 2, "ECTS needs at least two training exemplars");
+
+        // 1NN index of every exemplar at every prefix length, by incremental
+        // squared-distance accumulation: O(n^2 L) total.
+        let mut d2 = vec![vec![0.0f64; n]; n];
+        let mut nn_per_len: Vec<Vec<u32>> = Vec::with_capacity(len);
+        for l in 0..len {
+            for i in 0..n {
+                let xi = train.series(i)[l];
+                for j in (i + 1)..n {
+                    let d = xi - train.series(j)[l];
+                    let v = d2[i][j] + d * d;
+                    d2[i][j] = v;
+                    d2[j][i] = v;
+                }
+            }
+            let nn: Vec<u32> = (0..n)
+                .map(|i| {
+                    let mut best = usize::MAX;
+                    let mut best_d = f64::INFINITY;
+                    for j in 0..n {
+                        if j != i && d2[i][j] < best_d {
+                            best_d = d2[i][j];
+                            best = j;
+                        }
+                    }
+                    best as u32
+                })
+                .collect();
+            nn_per_len.push(nn);
+        }
+
+        let rnn_of = |l: usize, i: usize| -> Vec<usize> {
+            nn_per_len[l]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &nn)| nn as usize == i)
+                .map(|(j, _)| j)
+                .collect()
+        };
+
+        // Per-exemplar MPL by scanning down from full length.
+        let full = len - 1;
+        let mut mpl = vec![len; n];
+        for i in 0..n {
+            let rnn_full = rnn_of(full, i);
+            if rnn_full.is_empty() {
+                mpl[i] = len; // nobody points at e: no early support
+                continue;
+            }
+            let stable_at = |l: usize| -> bool {
+                let r = rnn_of(l, i);
+                if cfg.relaxed {
+                    // Relaxed rule: the RNN set need not be *identical* to
+                    // the full-length one, only contained in it — members may
+                    // drop out early, but no stranger may point at e. A
+                    // strict weakening of set equality, and still demanding
+                    // in regions where neighbors churn randomly.
+                    r.iter().all(|j| rnn_full.contains(j))
+                } else {
+                    r == rnn_full
+                }
+            };
+            let mut first_stable = len; // 1-based length
+            for l in (0..len).rev() {
+                if stable_at(l) {
+                    first_stable = l + 1;
+                } else {
+                    break;
+                }
+            }
+            mpl[i] = first_stable;
+        }
+
+        // Support filter + single-linkage same-class cluster fallback.
+        if cfg.min_support > 0.0 {
+            let counts = train.class_counts();
+            let supported: Vec<bool> = (0..n)
+                .map(|i| {
+                    let class_size = counts[train.label(i)].max(2) - 1;
+                    let support = rnn_of(full, i).len() as f64 / class_size as f64;
+                    support >= cfg.min_support
+                })
+                .collect();
+            // Unsupported exemplars inherit the most conservative MPL of
+            // their same-class cluster grown until it reaches support.
+            let mut adjusted = mpl.clone();
+            for i in 0..n {
+                if supported[i] {
+                    continue;
+                }
+                // Grow a cluster around i by repeatedly adding the nearest
+                // same-class exemplar (full-length single linkage).
+                let mut cluster = vec![i];
+                let class_size = counts[train.label(i)].max(2) - 1;
+                loop {
+                    let mut rnn_union: Vec<usize> = cluster
+                        .iter()
+                        .flat_map(|&m| rnn_of(full, m))
+                        .filter(|j| !cluster.contains(j))
+                        .collect();
+                    rnn_union.sort_unstable();
+                    rnn_union.dedup();
+                    let support = rnn_union.len() as f64 / class_size as f64;
+                    if support >= cfg.min_support || cluster.len() == counts[train.label(i)] {
+                        break;
+                    }
+                    // Nearest same-class exemplar not yet in the cluster.
+                    let next = (0..n)
+                        .filter(|&j| train.label(j) == train.label(i) && !cluster.contains(&j))
+                        .min_by(|&a, &b| {
+                            let da = cluster.iter().map(|&m| d2[m][a]).fold(f64::MAX, f64::min);
+                            let db = cluster.iter().map(|&m| d2[m][b]).fold(f64::MAX, f64::min);
+                            da.partial_cmp(&db).unwrap()
+                        });
+                    match next {
+                        Some(j) => cluster.push(j),
+                        None => break,
+                    }
+                }
+                adjusted[i] = cluster.iter().map(|&m| mpl[m]).max().unwrap_or(len);
+            }
+            mpl = adjusted;
+        }
+
+        Self {
+            train: train.clone(),
+            mpl,
+            min_prefix: cfg.min_prefix.max(1),
+        }
+    }
+
+    /// The fitted minimum prediction lengths, indexed like the training set.
+    pub fn mpls(&self) -> &[usize] {
+        &self.mpl
+    }
+
+    /// 1NN among training prefixes of the query's length.
+    fn nearest_train(&self, prefix: &[f64]) -> (usize, f64) {
+        let l = prefix.len().min(self.train.series_len());
+        let mut best = (0usize, f64::INFINITY);
+        for i in 0..self.train.len() {
+            if let Some(d) =
+                squared_euclidean_early_abandon(&prefix[..l], &self.train.series(i)[..l], best.1)
+            {
+                if d < best.1 {
+                    best = (i, d);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl EarlyClassifier for Ects {
+    fn n_classes(&self) -> usize {
+        self.train.n_classes()
+    }
+
+    fn series_len(&self) -> usize {
+        self.train.series_len()
+    }
+
+    fn min_prefix(&self) -> usize {
+        self.min_prefix
+    }
+
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        let l = prefix.len().min(self.series_len());
+        if l < self.min_prefix {
+            return Decision::Wait;
+        }
+        let (nn, d) = self.nearest_train(&prefix[..l]);
+        if self.mpl[nn] <= l {
+            Decision::Predict {
+                label: self.train.label(nn),
+                confidence: 1.0 / (1.0 + d.sqrt()),
+            }
+        } else {
+            Decision::Wait
+        }
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        let (nn, _) = self.nearest_train(series);
+        self.train.label(nn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate, PrefixPolicy};
+
+    /// Two classes that differ from the very first points. Exemplars come in
+    /// tight same-class pairs so nearest-neighbor structure stabilizes
+    /// immediately (strict RNN stability needs unambiguous neighbors).
+    fn early_separable(n: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                let base = c as f64 * 3.0 + (i / 2) as f64 * 0.4;
+                let wiggle = 0.01 * (i % 2) as f64;
+                data.push(
+                    (0..len)
+                        .map(|j| base + wiggle * ((j as f64) * 0.7).sin())
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    /// Two classes identical until the last quarter of the series.
+    fn late_separable(n: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        let split = 3 * len / 4;
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(
+                    (0..len)
+                        .map(|j| {
+                            let noise = 0.01 * (((i * 31 + j * 17 + c * 5) % 7) as f64 - 3.0);
+                            if j < split {
+                                noise
+                            } else {
+                                c as f64 * 2.0 + noise
+                            }
+                        })
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn mpl_is_small_when_classes_separate_early() {
+        let d = early_separable(8, 30);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        let mean_mpl: f64 =
+            ects.mpls().iter().map(|&m| m as f64).sum::<f64>() / d.len() as f64;
+        assert!(
+            mean_mpl < 10.0,
+            "early-separable data should give small MPLs, mean {mean_mpl}"
+        );
+    }
+
+    #[test]
+    fn mpl_is_large_when_classes_separate_late() {
+        let d = late_separable(8, 40);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        let mean_mpl: f64 =
+            ects.mpls().iter().map(|&m| m as f64).sum::<f64>() / d.len() as f64;
+        assert!(
+            mean_mpl > 20.0,
+            "late-separable data should delay MPLs, mean {mean_mpl}"
+        );
+    }
+
+    #[test]
+    fn relaxed_mpls_are_never_later() {
+        let d = late_separable(6, 32);
+        let strict = Ects::fit(&d, &EctsConfig::default());
+        let relaxed = Ects::fit(
+            &d,
+            &EctsConfig {
+                relaxed: true,
+                ..EctsConfig::default()
+            },
+        );
+        for (s, r) in strict.mpls().iter().zip(relaxed.mpls()) {
+            assert!(r <= s, "relaxed {r} must be <= strict {s}");
+        }
+    }
+
+    #[test]
+    fn decide_waits_below_mpl_and_commits_after() {
+        let d = late_separable(6, 40);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        let probe = d.series(0);
+        // Early prefix: identical across classes, RNNs unstable ⇒ wait.
+        assert_eq!(ects.decide(&probe[..5]), Decision::Wait);
+        // Full prefix: must commit (MPL ≤ L for its own nearest neighbor).
+        let full = ects.decide(probe);
+        assert!(full.is_predict());
+        assert_eq!(full.label(), Some(0));
+    }
+
+    #[test]
+    fn evaluation_is_accurate_and_early_on_easy_data() {
+        let train = early_separable(8, 30);
+        let test = early_separable(4, 30);
+        let ects = Ects::fit(&train, &EctsConfig::default());
+        let ev = evaluate(&ects, &test, PrefixPolicy::Oracle);
+        assert!(ev.accuracy() >= 0.9, "accuracy {}", ev.accuracy());
+        assert!(ev.earliness() < 0.5, "earliness {}", ev.earliness());
+    }
+
+    #[test]
+    fn min_support_delays_or_keeps_mpls() {
+        let d = late_separable(8, 32);
+        let loose = Ects::fit(&d, &EctsConfig::default());
+        let tight = Ects::fit(
+            &d,
+            &EctsConfig {
+                min_support: 0.5,
+                ..EctsConfig::default()
+            },
+        );
+        for (a, b) in loose.mpls().iter().zip(tight.mpls()) {
+            assert!(b >= a, "support can only delay MPLs ({b} < {a})");
+        }
+    }
+
+    #[test]
+    fn predict_full_matches_one_nn() {
+        let d = early_separable(5, 20);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        assert_eq!(ects.predict_full(&[0.0; 20]), 0);
+        assert_eq!(ects.predict_full(&[3.0; 20]), 1);
+    }
+}

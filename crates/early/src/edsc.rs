@@ -1,0 +1,516 @@
+//! EDSC — Early Distinctive Shapelet Classification (Xing et al., SDM 2011).
+//!
+//! EDSC mines **local shapelet features**: short subsequences of training
+//! series that (a) match their own class tightly, (b) match other classes
+//! rarely, and (c) tend to appear *early*. Each feature carries a distance
+//! threshold δ learned in one of two ways:
+//!
+//! * **CHE** — the one-sided Chebyshev (Cantelli) bound: δ is set `k`
+//!   standard deviations below the mean distance to non-target series, so
+//!   the probability of a non-target match is provably ≤ 1/(1+k²).
+//! * **KDE** — Gaussian kernel density estimates of the target and
+//!   non-target distance distributions; δ is the largest value whose
+//!   estimated precision still clears a user threshold.
+//!
+//! Features are ranked by an earliness-weighted utility and greedily
+//! selected until they cover the training set. At classification time the
+//! incoming prefix is scanned; the first feature whose best-match distance
+//! drops below its δ fires a prediction.
+
+use etsc_core::distance::squared_euclidean_early_abandon;
+use etsc_core::stats::mean_std;
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::{Decision, EarlyClassifier};
+
+/// Threshold-learning method for EDSC features.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdMethod {
+    /// One-sided Chebyshev bound, `k` standard deviations below the
+    /// non-target mean (the paper's EDSC-CHE; `k = 3` is the usual setting).
+    Chebyshev {
+        /// Number of standard deviations.
+        k: f64,
+    },
+    /// Kernel density estimation of both distance populations; δ maximal
+    /// subject to estimated precision ≥ `precision`.
+    Kde {
+        /// Required estimated precision in `(0, 1]`.
+        precision: f64,
+    },
+}
+
+/// EDSC hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct EdscConfig {
+    /// Candidate subsequence lengths.
+    pub lengths: Vec<usize>,
+    /// Stride between candidate start offsets (1 = exhaustive).
+    pub stride: usize,
+    /// Threshold learning method.
+    pub method: ThresholdMethod,
+    /// Features must reach this empirical precision on the training set.
+    pub min_precision: f64,
+    /// Cap on selected features per class.
+    pub max_features_per_class: usize,
+}
+
+impl Default for EdscConfig {
+    fn default() -> Self {
+        Self {
+            lengths: vec![10, 20, 30],
+            stride: 3,
+            method: ThresholdMethod::Chebyshev { k: 3.0 },
+            min_precision: 0.85,
+            max_features_per_class: 20,
+        }
+    }
+}
+
+/// One mined shapelet feature.
+#[derive(Debug, Clone)]
+pub struct Feature {
+    /// The subsequence pattern.
+    pub pattern: Vec<f64>,
+    /// Class the feature indicates.
+    pub label: ClassLabel,
+    /// Match threshold (Euclidean, not squared).
+    pub threshold: f64,
+    /// Earliness-weighted utility used for ranking.
+    pub utility: f64,
+    /// Empirical training precision.
+    pub precision: f64,
+    /// Empirical training recall.
+    pub recall: f64,
+}
+
+/// A fitted EDSC model.
+#[derive(Debug, Clone)]
+pub struct Edsc {
+    features: Vec<Feature>,
+    n_classes: usize,
+    series_len: usize,
+    min_prefix: usize,
+}
+
+/// Best-match (minimum) Euclidean distance of `pattern` over all complete
+/// windows of `series`; `None` if the series is shorter than the pattern.
+fn best_match_dist(pattern: &[f64], series: &[f64]) -> Option<f64> {
+    let m = pattern.len();
+    if series.len() < m {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    for start in 0..=(series.len() - m) {
+        if let Some(d) = squared_euclidean_early_abandon(pattern, &series[start..start + m], best)
+        {
+            best = best.min(d);
+        }
+    }
+    Some(best.sqrt())
+}
+
+/// Earliest window end at which `pattern` matches `series` within
+/// `threshold`; `None` if it never does.
+fn earliest_match_end(pattern: &[f64], series: &[f64], threshold: f64) -> Option<usize> {
+    let m = pattern.len();
+    if series.len() < m {
+        return None;
+    }
+    let t2 = threshold * threshold;
+    for start in 0..=(series.len() - m) {
+        if squared_euclidean_early_abandon(pattern, &series[start..start + m], t2).is_some() {
+            return Some(start + m);
+        }
+    }
+    None
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (max abs error ≈ 1.5e-7) — accurate far beyond what KDE needs.
+fn normal_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * z.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-z * z).exp();
+    let erf = if z >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 + erf)
+}
+
+/// KDE CDF (Gaussian kernels, Silverman bandwidth) of `sample` at `x`.
+fn kde_cdf(sample: &[f64], x: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let (_, sd) = mean_std(sample);
+    let n = sample.len() as f64;
+    let bw = (1.06 * sd * n.powf(-0.2)).max(1e-6);
+    sample.iter().map(|&s| normal_cdf((x - s) / bw)).sum::<f64>() / n
+}
+
+impl Edsc {
+    /// Mine and select features from `train`.
+    pub fn fit(train: &UcrDataset, cfg: &EdscConfig) -> Self {
+        let n = train.len();
+        let len = train.series_len();
+        let n_classes = train.n_classes();
+        assert!(n >= 2, "EDSC needs at least two training exemplars");
+        let stride = cfg.stride.max(1);
+
+        let mut candidates: Vec<Feature> = Vec::new();
+        for src in 0..n {
+            let label = train.label(src);
+            let series = train.series(src);
+            for &m in &cfg.lengths {
+                if m < 2 || m > len {
+                    continue;
+                }
+                let mut start = 0;
+                while start + m <= len {
+                    let pattern = &series[start..start + m];
+                    if let Some(feature) =
+                        Self::evaluate_candidate(train, pattern, label, src, cfg)
+                    {
+                        candidates.push(feature);
+                    }
+                    start += stride;
+                }
+            }
+        }
+
+        // Greedy utility-ranked selection with per-class coverage.
+        candidates.sort_by(|a, b| b.utility.partial_cmp(&a.utility).unwrap());
+        let mut covered = vec![false; n];
+        let mut per_class = vec![0usize; n_classes];
+        let mut selected: Vec<Feature> = Vec::new();
+        for f in candidates {
+            if per_class[f.label] >= cfg.max_features_per_class {
+                continue;
+            }
+            // Which target exemplars does this feature newly cover?
+            let mut newly = 0;
+            let mut marks = Vec::new();
+            for i in 0..n {
+                if train.label(i) == f.label && !covered[i] {
+                    if let Some(d) = best_match_dist(&f.pattern, train.series(i)) {
+                        if d <= f.threshold {
+                            newly += 1;
+                            marks.push(i);
+                        }
+                    }
+                }
+            }
+            if newly == 0 {
+                continue;
+            }
+            for i in marks {
+                covered[i] = true;
+            }
+            per_class[f.label] += 1;
+            selected.push(f);
+            if covered.iter().all(|&c| c) {
+                break;
+            }
+        }
+
+        let min_prefix = cfg.lengths.iter().copied().filter(|&m| m <= len).min().unwrap_or(1);
+        Self {
+            features: selected,
+            n_classes,
+            series_len: len,
+            min_prefix,
+        }
+    }
+
+    /// Score one candidate pattern; returns `None` if no valid threshold.
+    fn evaluate_candidate(
+        train: &UcrDataset,
+        pattern: &[f64],
+        label: ClassLabel,
+        src: usize,
+        cfg: &EdscConfig,
+    ) -> Option<Feature> {
+        let n = train.len();
+        let len = train.series_len();
+        let mut target = Vec::new();
+        let mut non_target = Vec::new();
+        let mut dists = vec![0.0f64; n];
+        for i in 0..n {
+            let d = best_match_dist(pattern, train.series(i)).expect("same-length dataset");
+            dists[i] = d;
+            if train.label(i) == label {
+                if i != src {
+                    target.push(d);
+                }
+            } else {
+                non_target.push(d);
+            }
+        }
+        if non_target.is_empty() || target.is_empty() {
+            return None;
+        }
+
+        let threshold = match cfg.method {
+            ThresholdMethod::Chebyshev { k } => {
+                let (mu, sd) = mean_std(&non_target);
+                mu - k * sd
+            }
+            ThresholdMethod::Kde { precision } => {
+                // Largest δ (scanned over observed target distances) whose
+                // KDE-estimated precision clears the requirement.
+                let nt = target.len() as f64;
+                let nn = non_target.len() as f64;
+                let mut grid: Vec<f64> = target.clone();
+                grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut best = f64::NEG_INFINITY;
+                for &delta in grid.iter().rev() {
+                    let tp = kde_cdf(&target, delta) * nt;
+                    let fp = kde_cdf(&non_target, delta) * nn;
+                    if tp + fp > 0.0 && tp / (tp + fp) >= precision {
+                        best = delta;
+                        break;
+                    }
+                }
+                best
+            }
+        };
+        if threshold <= 0.0 || !threshold.is_finite() {
+            return None;
+        }
+
+        // Empirical precision / recall / earliness at the learned threshold.
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut end_sum = 0.0;
+        for i in 0..n {
+            if dists[i] <= threshold {
+                if train.label(i) == label {
+                    tp += 1;
+                    if let Some(end) = earliest_match_end(pattern, train.series(i), threshold) {
+                        end_sum += end as f64;
+                    }
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        if tp == 0 {
+            return None;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        if precision < cfg.min_precision {
+            return None;
+        }
+        let class_size = train.class_counts()[label];
+        let recall = tp as f64 / class_size as f64;
+        let mean_end = end_sum / tp as f64;
+        // Earliness-weighted utility: recall scaled by how early matches
+        // complete (a feature matching at the very start of the series gets
+        // weight ~1, one matching at the end ~pattern_len/len).
+        let utility = recall * (1.0 - (mean_end - pattern.len() as f64) / len as f64);
+        Some(Feature {
+            pattern: pattern.to_vec(),
+            label,
+            threshold,
+            utility,
+            precision,
+            recall,
+        })
+    }
+
+    /// The selected features, ranked by utility.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+}
+
+impl EarlyClassifier for Edsc {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn min_prefix(&self) -> usize {
+        self.min_prefix
+    }
+
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        // The highest-utility feature that matches anywhere in the prefix
+        // fires. (Features are stored in utility order.)
+        for f in &self.features {
+            if prefix.len() < f.pattern.len() {
+                continue;
+            }
+            if let Some(d) = best_match_dist(&f.pattern, prefix) {
+                if d <= f.threshold {
+                    let confidence = (1.0 - d / f.threshold).clamp(0.0, 1.0) * f.precision;
+                    return Decision::Predict {
+                        label: f.label,
+                        confidence,
+                    };
+                }
+            }
+        }
+        Decision::Wait
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        // Fallback: the feature with the smallest relative distance wins.
+        let mut best = (0usize, f64::INFINITY);
+        for f in &self.features {
+            if let Some(d) = best_match_dist(&f.pattern, series) {
+                let rel = d / f.threshold.max(1e-12);
+                if rel < best.1 {
+                    best = (f.label, rel);
+                }
+            }
+        }
+        if best.1.is_finite() {
+            best.0
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate, PrefixPolicy};
+
+    /// Class 0 carries an early bump, class 1 an early dip; both flat after.
+    fn bump_data(n: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                let sign = if c == 0 { 1.0 } else { -1.0 };
+                let jitter = (i % 5) as f64 * 0.3;
+                data.push(
+                    (0..len)
+                        .map(|j| {
+                            let x = j as f64 - (8.0 + jitter);
+                            sign * (-x * x / 8.0).exp()
+                                + 0.01 * (((i * 7 + j * 3) % 5) as f64 - 2.0)
+                        })
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    fn quick_cfg(method: ThresholdMethod) -> EdscConfig {
+        EdscConfig {
+            lengths: vec![8, 12],
+            stride: 4,
+            method,
+            min_precision: 0.8,
+            max_features_per_class: 8,
+        }
+    }
+
+    #[test]
+    fn che_fits_and_selects_features() {
+        let d = bump_data(8, 40);
+        let edsc = Edsc::fit(&d, &quick_cfg(ThresholdMethod::Chebyshev { k: 2.0 }));
+        assert!(!edsc.features().is_empty());
+        for f in edsc.features() {
+            assert!(f.threshold > 0.0);
+            assert!(f.precision >= 0.8);
+            assert!(f.recall > 0.0);
+        }
+    }
+
+    #[test]
+    fn kde_fits_and_selects_features() {
+        let d = bump_data(8, 40);
+        let edsc = Edsc::fit(&d, &quick_cfg(ThresholdMethod::Kde { precision: 0.9 }));
+        assert!(!edsc.features().is_empty());
+    }
+
+    #[test]
+    fn classifies_accurately_and_early() {
+        let train = bump_data(8, 40);
+        let test = bump_data(4, 40);
+        for method in [
+            ThresholdMethod::Chebyshev { k: 2.0 },
+            ThresholdMethod::Kde { precision: 0.9 },
+        ] {
+            let edsc = Edsc::fit(&train, &quick_cfg(method));
+            let ev = evaluate(&edsc, &test, PrefixPolicy::Oracle);
+            assert!(ev.accuracy() >= 0.75, "{method:?} accuracy {}", ev.accuracy());
+            assert!(
+                ev.earliness() < 0.9,
+                "{method:?} bump is early; earliness {}",
+                ev.earliness()
+            );
+        }
+    }
+
+    #[test]
+    fn waits_on_featureless_prefix() {
+        let train = bump_data(8, 40);
+        let edsc = Edsc::fit(&train, &quick_cfg(ThresholdMethod::Chebyshev { k: 2.0 }));
+        // A prefix shorter than every feature must wait.
+        assert_eq!(edsc.decide(&[0.0; 4]), Decision::Wait);
+        // A flat prefix (no bump) should not fire features tuned to bumps.
+        assert_eq!(edsc.decide(&[0.0; 20]), Decision::Wait);
+    }
+
+    #[test]
+    fn higher_chebyshev_k_tightens_thresholds() {
+        let d = bump_data(8, 40);
+        let loose = Edsc::fit(&d, &quick_cfg(ThresholdMethod::Chebyshev { k: 1.0 }));
+        let tight = Edsc::fit(&d, &quick_cfg(ThresholdMethod::Chebyshev { k: 3.0 }));
+        let max_thr = |e: &Edsc| {
+            e.features()
+                .iter()
+                .map(|f| f.threshold)
+                .fold(f64::MIN, f64::max)
+        };
+        if !loose.features().is_empty() && !tight.features().is_empty() {
+            assert!(max_thr(&tight) <= max_thr(&loose) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!(normal_cdf(3.0) > 0.998);
+        assert!(normal_cdf(-3.0) < 0.002);
+        // Symmetry.
+        assert!((normal_cdf(1.2) + normal_cdf(-1.2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kde_cdf_is_monotone() {
+        let sample = [1.0, 2.0, 3.0, 4.0];
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let x = i as f64 / 10.0;
+            let c = kde_cdf(&sample, x);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!(kde_cdf(&sample, 10.0) > 0.99);
+        assert!(kde_cdf(&[], 0.0) == 0.0);
+    }
+
+    #[test]
+    fn best_match_and_earliest_match_agree() {
+        let pattern = [1.0, 2.0, 1.0];
+        let series = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0];
+        let d = best_match_dist(&pattern, &series).unwrap();
+        assert!(d < 1e-12);
+        assert_eq!(earliest_match_end(&pattern, &series, 0.1), Some(5));
+        assert_eq!(earliest_match_end(&pattern, &series[..4], 0.1), None);
+        assert!(best_match_dist(&pattern, &series[..2]).is_none());
+    }
+}

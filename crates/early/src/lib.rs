@@ -1,0 +1,121 @@
+#![warn(missing_docs)]
+// Numeric kernels below index several parallel arrays per iteration; explicit
+// index loops are the clearer idiom there.
+#![allow(clippy::needless_range_loop)]
+
+//! # etsc-early
+//!
+//! Early time series classification (ETSC) algorithms — the systems the
+//! paper benchmarks in Table 1 plus TEASER (Fig 3, Appendix B), implemented
+//! from scratch:
+//!
+//! * [`ects`] — ECTS and RelaxedECTS (Xing et al., KAIS 2012): 1NN with
+//!   Minimum Prediction Lengths derived from reverse-nearest-neighbor
+//!   stability.
+//! * [`edsc`] — EDSC (Xing et al., SDM 2011): early distinctive shapelet
+//!   features with CHE (Chebyshev) or KDE threshold learning.
+//! * [`relclass`] — RelClass and its LDG variant (after Parrish et al., JMLR
+//!   2013): Gaussian class models scored on prefix marginals with a
+//!   reliability threshold τ.
+//! * [`teaser`] — TEASER (Schäfer & Leser, DMKD 2020): per-snapshot slave
+//!   classifiers, one-class master filters, and a consistency counter.
+//! * [`template`] — open-world template matching with an absolute distance
+//!   threshold (the Section 5 dustbathing instrument).
+//! * [`threshold`] — the fixed probability-threshold framing of Fig 3
+//!   (right), wrapping any probabilistic classifier.
+//! * [`metrics`] — earliness/accuracy evaluation with an explicit
+//!   **prefix-normalization policy**, because whether prefixes are
+//!   normalized with future statistics (the UCR convention) or honestly is
+//!   exactly the issue Section 4 of the paper raises.
+//!
+//! All algorithms implement [`EarlyClassifier`]: fit on a
+//! [`UcrDataset`](etsc_core::UcrDataset),
+//! then [`EarlyClassifier::decide`] on each growing prefix.
+
+pub mod checkpoints;
+pub mod costaware;
+pub mod ecdire;
+pub mod ects;
+pub mod edsc;
+pub mod metrics;
+pub mod relclass;
+pub mod stopping_rule;
+pub mod teaser;
+pub mod template;
+pub mod threshold;
+
+use etsc_core::ClassLabel;
+
+/// The outcome of showing a prefix to an early classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Not confident yet; wait for more data.
+    Wait,
+    /// Commit to a classification now.
+    Predict {
+        /// Predicted class.
+        label: ClassLabel,
+        /// Algorithm-specific confidence in `[0, 1]`.
+        confidence: f64,
+    },
+}
+
+impl Decision {
+    /// The predicted label, if the decision is a prediction.
+    pub fn label(&self) -> Option<ClassLabel> {
+        match *self {
+            Decision::Wait => None,
+            Decision::Predict { label, .. } => Some(label),
+        }
+    }
+
+    /// True if the classifier committed.
+    pub fn is_predict(&self) -> bool {
+        matches!(self, Decision::Predict { .. })
+    }
+}
+
+/// A fitted early classifier.
+///
+/// Implementations are fitted on full-length training exemplars and then
+/// queried with growing prefixes. `decide` must be monotone-safe: callers
+/// may query any prefix length in any order (the trait is stateless), and
+/// the *first* `Predict` along the growing prefix is the algorithm's early
+/// classification.
+pub trait EarlyClassifier {
+    /// Number of classes fitted.
+    fn n_classes(&self) -> usize;
+
+    /// Full series length the model was trained for.
+    fn series_len(&self) -> usize;
+
+    /// Smallest prefix length the model will consider (default 1).
+    fn min_prefix(&self) -> usize {
+        1
+    }
+
+    /// Inspect a prefix and either commit or wait.
+    fn decide(&self, prefix: &[f64]) -> Decision;
+
+    /// Unconditional prediction from the full series — the fallback when
+    /// `decide` never commits (the ETSC literature always reports *some*
+    /// label at full length).
+    fn predict_full(&self, series: &[f64]) -> ClassLabel;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_accessors() {
+        assert_eq!(Decision::Wait.label(), None);
+        assert!(!Decision::Wait.is_predict());
+        let p = Decision::Predict {
+            label: 3,
+            confidence: 0.9,
+        };
+        assert_eq!(p.label(), Some(3));
+        assert!(p.is_predict());
+    }
+}

@@ -1,0 +1,264 @@
+//! RelClass — reliable early classification from incomplete information
+//! (after Parrish et al., JMLR 2013) — and its LDG variant.
+//!
+//! The idea: model each class as a Gaussian over the *full-length* series.
+//! A prefix is then scored under each class's **marginal** distribution over
+//! the observed coordinates (for a Gaussian, simply the leading sub-vector
+//! and principal submatrix). The classifier commits once the decision is
+//! *reliable* — once the posterior computed from the prefix favors one class
+//! by at least τ.
+//!
+//! **Documented substitution** (see DESIGN.md): Parrish et al. bound the
+//! probability that the prefix decision will agree with the eventual
+//! full-length decision by solving a quadratic program over the unseen
+//! suffix ("the box method"). We operationalize reliability as the posterior
+//! margin `P(best | prefix) − P(second | prefix)` of the same class-
+//! conditional Gaussians, *discounted by the observed fraction* `t / L` of
+//! the series — the unseen suffix carries `(L − t)` coordinates of variance
+//! that could still overturn the decision, so reliability cannot approach 1
+//! until most of the series has arrived. Both our proxy and Parrish's bound
+//! grow as the prefix pins down the class, both reach 1 only with (near-)
+//! complete observation, and the τ = 0.1 operating point of Table 1 keeps
+//! the same "commit early, tolerate residual uncertainty" meaning.
+//!
+//! * **Rel. Class.** — per-class diagonal covariances (quadratic boundary).
+//! * **LDG Rel. Class.** — pooled ("linear discriminant Gaussian")
+//!   covariance, giving a linear boundary.
+
+use etsc_classifiers::gaussian::{CovarianceKind, GaussianModel};
+use etsc_classifiers::Classifier;
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::{Decision, EarlyClassifier};
+
+/// RelClass hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RelClassConfig {
+    /// Reliability threshold τ ∈ [0, 1]. Table 1 uses 0.1.
+    pub tau: f64,
+    /// Covariance structure: `Diagonal` = Rel. Class., `PooledDiagonal` =
+    /// LDG Rel. Class., `Full` = QDA variant on short series.
+    pub covariance: CovarianceKind,
+    /// Smallest prefix length considered.
+    pub min_prefix: usize,
+}
+
+impl Default for RelClassConfig {
+    fn default() -> Self {
+        Self {
+            tau: 0.1,
+            covariance: CovarianceKind::Diagonal,
+            min_prefix: 3,
+        }
+    }
+}
+
+impl RelClassConfig {
+    /// The LDG (pooled covariance) variant at the given τ.
+    pub fn ldg(tau: f64) -> Self {
+        Self {
+            tau,
+            covariance: CovarianceKind::PooledDiagonal,
+            min_prefix: 3,
+        }
+    }
+}
+
+/// A fitted RelClass model.
+#[derive(Debug, Clone)]
+pub struct RelClass {
+    model: GaussianModel,
+    tau: f64,
+    min_prefix: usize,
+}
+
+impl RelClass {
+    /// Fit the Gaussian class models on `train`.
+    pub fn fit(train: &UcrDataset, cfg: &RelClassConfig) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.tau), "τ must be in [0, 1]");
+        Self {
+            model: GaussianModel::fit(train, cfg.covariance),
+            tau: cfg.tau,
+            min_prefix: cfg.min_prefix.max(1),
+        }
+    }
+
+    /// Calibrated class posterior over a prefix.
+    ///
+    /// Naive-Bayes log-likelihoods *sum* per-coordinate evidence, so even a
+    /// non-discriminating region drives the softmax to saturation once
+    /// enough coordinates accumulate. RelClass therefore scores classes by
+    /// the **mean** log-likelihood per observed coordinate — the posterior
+    /// then reflects how discriminating the observed region actually is,
+    /// which is what the reliability judgment needs.
+    pub fn calibrated_posterior(&self, prefix: &[f64]) -> Vec<f64> {
+        let t = prefix.len().min(self.model.series_len()).max(1) as f64;
+        let logs: Vec<f64> = (0..self.model.n_classes())
+            .map(|c| {
+                (self.model.class_prior(c).max(1e-12).ln()
+                    + self.model.log_likelihood_prefix(c, prefix))
+                    / t
+            })
+            .collect();
+        etsc_classifiers::gaussian::softmax_of_logs(&logs)
+    }
+
+    /// Reliability proxy for a prefix: calibrated posterior margin
+    /// discounted by the fraction of the series observed (the unseen suffix
+    /// could still overturn the decision).
+    pub fn reliability(&self, prefix: &[f64]) -> f64 {
+        let p = self.calibrated_posterior(prefix);
+        let mut best = 0.0;
+        let mut second = 0.0;
+        for &v in &p {
+            if v > best {
+                second = best;
+                best = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        let observed = prefix.len().min(self.model.series_len()) as f64
+            / self.model.series_len() as f64;
+        (best - second) * observed
+    }
+}
+
+impl EarlyClassifier for RelClass {
+    fn n_classes(&self) -> usize {
+        self.model.n_classes()
+    }
+
+    fn series_len(&self) -> usize {
+        self.model.series_len()
+    }
+
+    fn min_prefix(&self) -> usize {
+        self.min_prefix
+    }
+
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        if prefix.len() < self.min_prefix {
+            return Decision::Wait;
+        }
+        let p = self.calibrated_posterior(prefix);
+        let label = etsc_classifiers::argmax(&p);
+        if self.reliability(prefix) >= self.tau {
+            Decision::Predict {
+                label,
+                confidence: p[label],
+            }
+        } else {
+            Decision::Wait
+        }
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        self.model.predict(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate, PrefixPolicy};
+
+    fn toy(n: usize, len: usize, gap: f64) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(
+                    (0..len)
+                        .map(|j| {
+                            c as f64 * gap + 0.2 * (((i * 13 + j * 7) % 10) as f64 / 10.0 - 0.5)
+                        })
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn commits_early_on_separated_classes() {
+        let train = toy(10, 30, 3.0);
+        let rc = RelClass::fit(&train, &RelClassConfig::default());
+        let test = toy(5, 30, 3.0);
+        let ev = evaluate(&rc, &test, PrefixPolicy::Oracle);
+        assert!(ev.accuracy() >= 0.9, "accuracy {}", ev.accuracy());
+        assert!(ev.earliness() < 0.35, "earliness {}", ev.earliness());
+    }
+
+    #[test]
+    fn higher_tau_delays_commitment() {
+        let train = toy(10, 30, 0.8);
+        let test = toy(5, 30, 0.8);
+        let lo = RelClass::fit(
+            &train,
+            &RelClassConfig {
+                tau: 0.05,
+                ..Default::default()
+            },
+        );
+        let hi = RelClass::fit(
+            &train,
+            &RelClassConfig {
+                tau: 0.9,
+                ..Default::default()
+            },
+        );
+        let e_lo = evaluate(&lo, &test, PrefixPolicy::Oracle).earliness();
+        let e_hi = evaluate(&hi, &test, PrefixPolicy::Oracle).earliness();
+        assert!(e_lo <= e_hi + 1e-9, "τ=0.05 ({e_lo}) vs τ=0.9 ({e_hi})");
+    }
+
+    #[test]
+    fn ldg_variant_works() {
+        let train = toy(10, 20, 2.0);
+        let rc = RelClass::fit(&train, &RelClassConfig::ldg(0.1));
+        let test = toy(5, 20, 2.0);
+        let ev = evaluate(&rc, &test, PrefixPolicy::Oracle);
+        assert!(ev.accuracy() >= 0.9);
+    }
+
+    #[test]
+    fn reliability_grows_with_prefix_on_separated_data() {
+        let train = toy(10, 30, 3.0);
+        let rc = RelClass::fit(&train, &RelClassConfig::default());
+        let probe: Vec<f64> = vec![0.0; 30];
+        let r_short = rc.reliability(&probe[..4]);
+        let r_long = rc.reliability(&probe[..25]);
+        assert!(r_long >= r_short - 1e-9, "short {r_short} long {r_long}");
+        assert!(r_long > 0.8);
+    }
+
+    #[test]
+    fn waits_below_min_prefix() {
+        let train = toy(6, 20, 3.0);
+        let rc = RelClass::fit(&train, &RelClassConfig::default());
+        assert_eq!(rc.decide(&[0.0, 0.0]), Decision::Wait);
+    }
+
+    #[test]
+    fn predict_full_is_bayes_decision() {
+        let train = toy(10, 20, 2.0);
+        let rc = RelClass::fit(&train, &RelClassConfig::default());
+        assert_eq!(rc.predict_full(&[0.0; 20]), 0);
+        assert_eq!(rc.predict_full(&[2.0; 20]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "τ must be in")]
+    fn rejects_bad_tau() {
+        let train = toy(4, 10, 1.0);
+        let _ = RelClass::fit(
+            &train,
+            &RelClassConfig {
+                tau: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

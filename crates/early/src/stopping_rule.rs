@@ -1,0 +1,304 @@
+//! Stopping-rule early classification (Mori et al., IEEE TNNLS 2018;
+//! reference \[10\] of the paper).
+//!
+//! The classifier emits posteriors at every checkpoint; a learned linear
+//! **stopping rule** decides whether to halt:
+//!
+//! ```text
+//! halt  ⇔  γ1·p(1) + γ2·(p(1) − p(2)) + γ3·(t / L)  >  0
+//! ```
+//!
+//! where `p(1) ≥ p(2)` are the two largest posteriors. The coefficients γ
+//! are grid-searched on training data to minimize the combined cost
+//! `α·(1 − accuracy) + (1 − α)·earliness` — the explicit accuracy/earliness
+//! trade-off this line of work optimizes.
+
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::checkpoints::{BaseClassifier, CheckpointEnsemble};
+use crate::{Decision, EarlyClassifier};
+
+/// Stopping-rule hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StoppingRuleConfig {
+    /// Number of checkpoints.
+    pub n_checkpoints: usize,
+    /// Trade-off weight: cost = `alpha·(1 − acc) + (1 − alpha)·earliness`.
+    pub alpha: f64,
+    /// Base classifier per checkpoint.
+    pub base: BaseClassifier,
+    /// Grid of values each γ coefficient may take.
+    pub gamma_grid_steps: usize,
+    /// Smallest usable prefix length.
+    pub min_len: usize,
+}
+
+impl Default for StoppingRuleConfig {
+    fn default() -> Self {
+        Self {
+            n_checkpoints: 20,
+            alpha: 0.8,
+            base: BaseClassifier::Centroid,
+            gamma_grid_steps: 5,
+            min_len: 4,
+        }
+    }
+}
+
+/// A fitted stopping-rule model.
+#[derive(Debug, Clone)]
+pub struct StoppingRule {
+    ensemble: CheckpointEnsemble,
+    gamma: [f64; 3],
+}
+
+fn top_two(p: &[f64]) -> (f64, f64) {
+    let mut best = 0.0;
+    let mut second = 0.0;
+    for &v in p {
+        if v > best {
+            second = best;
+            best = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    (best, second)
+}
+
+impl StoppingRule {
+    /// Fit the checkpoint ensemble and grid-search γ on `train`.
+    pub fn fit(train: &UcrDataset, cfg: &StoppingRuleConfig) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.alpha), "alpha must be in [0, 1]");
+        assert!(cfg.gamma_grid_steps >= 2, "grid needs at least 2 steps");
+        let ensemble =
+            CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
+        let series_len = ensemble.series_len() as f64;
+
+        // Precompute per-instance, per-checkpoint posterior features on
+        // honest (cross-validated) posteriors where possible; fall back to
+        // resubstitution if the training set cannot be folded.
+        let cv = CheckpointEnsemble::cross_val_posteriors(
+            train,
+            cfg.base,
+            cfg.n_checkpoints,
+            cfg.min_len,
+        );
+        // features[i][ci] = (p1, p1 - p2, t/L, argmax label)
+        let n = train.len();
+        let n_ckpt = ensemble.lengths().len();
+        let mut features = vec![Vec::with_capacity(n_ckpt); n];
+        match cv {
+            Some(cv) => {
+                // cross_val_posteriors orders instances odd-fold-then-even;
+                // rebuild per-instance sequences from the known order.
+                let even: Vec<usize> = (0..n).step_by(2).collect();
+                let odd: Vec<usize> = (1..n).step_by(2).collect();
+                let order: Vec<usize> =
+                    odd.iter().chain(even.iter()).copied().collect();
+                for (ci, pairs) in cv.iter().enumerate() {
+                    for (k, (p, _)) in pairs.iter().enumerate() {
+                        let i = order[k];
+                        let (p1, p2) = top_two(p);
+                        let t = ensemble.lengths()[ci] as f64 / series_len;
+                        features[i].push((p1, p1 - p2, t, etsc_classifiers::argmax(p)));
+                    }
+                }
+            }
+            None => {
+                for (i, (s, _)) in train.iter().enumerate() {
+                    for ci in 0..n_ckpt {
+                        let p = ensemble.proba_at(ci, s);
+                        let (p1, p2) = top_two(&p);
+                        let t = ensemble.lengths()[ci] as f64 / series_len;
+                        features[i].push((p1, p1 - p2, t, etsc_classifiers::argmax(&p)));
+                    }
+                }
+            }
+        }
+
+        // Grid search γ ∈ [-1, 1]^3 minimizing the combined cost.
+        let steps = cfg.gamma_grid_steps;
+        let grid: Vec<f64> = (0..steps)
+            .map(|k| -1.0 + 2.0 * k as f64 / (steps - 1) as f64)
+            .collect();
+        let mut best = ([0.0f64; 3], f64::INFINITY);
+        for &g1 in &grid {
+            for &g2 in &grid {
+                for &g3 in &grid {
+                    let gamma = [g1, g2, g3];
+                    let mut correct = 0usize;
+                    let mut earliness_sum = 0.0;
+                    for (i, _) in train.iter().enumerate() {
+                        let (pred, t_frac) =
+                            Self::simulate(&features[i], gamma);
+                        if pred == train.label(i) {
+                            correct += 1;
+                        }
+                        earliness_sum += t_frac;
+                    }
+                    let acc = correct as f64 / n as f64;
+                    let earl = earliness_sum / n as f64;
+                    let cost = cfg.alpha * (1.0 - acc) + (1.0 - cfg.alpha) * earl;
+                    if cost < best.1 {
+                        best = (gamma, cost);
+                    }
+                }
+            }
+        }
+
+        Self {
+            ensemble,
+            gamma: best.0,
+        }
+    }
+
+    /// Walk one instance's checkpoint features under a candidate rule;
+    /// returns (prediction, fraction of series consumed).
+    fn simulate(feats: &[(f64, f64, f64, ClassLabel)], gamma: [f64; 3]) -> (ClassLabel, f64) {
+        for &(p1, diff, t, label) in feats {
+            // The final checkpoint always halts.
+            let is_last = t >= 1.0 - 1e-12;
+            if is_last || gamma[0] * p1 + gamma[1] * diff + gamma[2] * t > 0.0 {
+                return (label, t);
+            }
+        }
+        // Defensive: empty feature list (cannot happen for fitted models).
+        (0, 1.0)
+    }
+
+    /// The learned stopping-rule coefficients `[γ1, γ2, γ3]`.
+    pub fn gamma(&self) -> [f64; 3] {
+        self.gamma
+    }
+}
+
+impl EarlyClassifier for StoppingRule {
+    fn n_classes(&self) -> usize {
+        self.ensemble.n_classes()
+    }
+
+    fn series_len(&self) -> usize {
+        self.ensemble.series_len()
+    }
+
+    fn min_prefix(&self) -> usize {
+        self.ensemble.lengths()[0]
+    }
+
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        let Some(ci) = self.ensemble.latest_checkpoint(prefix.len()) else {
+            return Decision::Wait;
+        };
+        let p = self.ensemble.proba_at(ci, prefix);
+        let (p1, p2) = top_two(&p);
+        let t = self.ensemble.lengths()[ci] as f64 / self.ensemble.series_len() as f64;
+        let is_last = ci == self.ensemble.lengths().len() - 1;
+        let halt =
+            is_last || self.gamma[0] * p1 + self.gamma[1] * (p1 - p2) + self.gamma[2] * t > 0.0;
+        if halt {
+            Decision::Predict {
+                label: etsc_classifiers::argmax(&p),
+                confidence: p1,
+            }
+        } else {
+            Decision::Wait
+        }
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        let last = self.ensemble.lengths().len() - 1;
+        etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate, PrefixPolicy};
+
+    fn toy(n: usize, len: usize, split: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(
+                    (0..len)
+                        .map(|j| {
+                            let noise = 0.05 * (((i * 3 + j) % 8) as f64 - 3.5);
+                            if j < split {
+                                noise
+                            } else {
+                                c as f64 * 2.0 + noise
+                            }
+                        })
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn accurate_on_separable_data() {
+        let train = toy(10, 40, 0);
+        let test = toy(5, 40, 0);
+        let m = StoppingRule::fit(&train, &StoppingRuleConfig::default());
+        let ev = evaluate(&m, &test, PrefixPolicy::Oracle);
+        assert!(ev.accuracy() >= 0.9, "accuracy {}", ev.accuracy());
+    }
+
+    #[test]
+    fn alpha_controls_the_tradeoff() {
+        let train = toy(10, 40, 10);
+        let test = toy(5, 40, 10);
+        // Accuracy-obsessed vs earliness-obsessed configurations.
+        let acc_first = StoppingRule::fit(
+            &train,
+            &StoppingRuleConfig {
+                alpha: 0.99,
+                ..Default::default()
+            },
+        );
+        let early_first = StoppingRule::fit(
+            &train,
+            &StoppingRuleConfig {
+                alpha: 0.1,
+                ..Default::default()
+            },
+        );
+        let e_acc = evaluate(&acc_first, &test, PrefixPolicy::Oracle);
+        let e_early = evaluate(&early_first, &test, PrefixPolicy::Oracle);
+        assert!(
+            e_early.earliness() <= e_acc.earliness() + 1e-9,
+            "earliness-weighted rule must not be later: {} vs {}",
+            e_early.earliness(),
+            e_acc.earliness()
+        );
+    }
+
+    #[test]
+    fn always_halts_at_final_checkpoint() {
+        let train = toy(8, 32, 0);
+        let m = StoppingRule::fit(&train, &StoppingRuleConfig::default());
+        let probe = train.series(0);
+        assert!(m.decide(probe).is_predict(), "full prefix must halt");
+    }
+
+    #[test]
+    fn gamma_is_within_grid() {
+        let train = toy(8, 32, 8);
+        let m = StoppingRule::fit(&train, &StoppingRuleConfig::default());
+        for g in m.gamma() {
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn waits_below_first_checkpoint() {
+        let train = toy(8, 32, 0);
+        let m = StoppingRule::fit(&train, &StoppingRuleConfig::default());
+        assert_eq!(m.decide(&[0.0]), Decision::Wait);
+    }
+}

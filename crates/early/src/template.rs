@@ -1,0 +1,230 @@
+//! Template matching with an absolute distance threshold — early
+//! classification the way Section 5 of the paper actually does it.
+//!
+//! "Any subsequence that is within 2.3 of z-normalized Euclidean distance of
+//! this template is essentially guaranteed to be dustbathing." Unlike the
+//! probabilistic framings, a template matcher is *open-world*: a prefix
+//! resembling no class produces no prediction, which is the only sane
+//! behavior in a stream where target patterns are rare.
+//!
+//! The matcher compares the z-normalized prefix against the z-normalized
+//! equal-length head of each class template, with distances length-
+//! normalized (divided by √len) so one threshold works at every prefix
+//! length.
+
+use etsc_core::distance::euclidean;
+use etsc_core::znorm::znormalize;
+use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::{Decision, EarlyClassifier};
+
+/// An early classifier matching prefixes against per-class templates under
+/// an absolute distance threshold.
+#[derive(Debug, Clone)]
+pub struct TemplateMatcher {
+    /// One full-length template per class (stored raw; normalization is per
+    /// comparison).
+    templates: Vec<Vec<f64>>,
+    /// Maximum accepted length-normalized z-distance.
+    threshold: f64,
+    min_prefix: usize,
+}
+
+impl TemplateMatcher {
+    /// Build from explicit per-class templates (index = class label).
+    pub fn from_templates(templates: Vec<Vec<f64>>, threshold: f64, min_prefix: usize) -> Self {
+        assert!(!templates.is_empty(), "need at least one template");
+        let len = templates[0].len();
+        assert!(
+            templates.iter().all(|t| t.len() == len && !t.is_empty()),
+            "templates must share a non-empty length"
+        );
+        assert!(threshold > 0.0, "threshold must be positive");
+        Self {
+            templates,
+            threshold,
+            min_prefix: min_prefix.max(2),
+        }
+    }
+
+    /// Build templates as per-class centroids of a training set.
+    pub fn from_centroids(train: &UcrDataset, threshold: f64, min_prefix: usize) -> Self {
+        let n_classes = train.n_classes();
+        let len = train.series_len();
+        let mut sums = vec![vec![0.0; len]; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        for (s, label) in train.iter() {
+            for (acc, &v) in sums[label].iter_mut().zip(s) {
+                *acc += v;
+            }
+            counts[label] += 1;
+        }
+        for (sum, &c) in sums.iter_mut().zip(&counts) {
+            if c > 0 {
+                sum.iter_mut().for_each(|v| *v /= c as f64);
+            }
+        }
+        Self::from_templates(sums, threshold, min_prefix)
+    }
+
+    /// A data-driven threshold: the `quantile` of same-class full-length
+    /// distances between training exemplars and their class centroid. A
+    /// quantile of 0.95 accepts ~95% of genuine exemplars.
+    pub fn calibrate_threshold(train: &UcrDataset, quantile: f64) -> f64 {
+        let proto = Self::from_centroids(train, 1.0, 2);
+        let mut dists: Vec<f64> = train
+            .iter()
+            .map(|(s, label)| proto.distance(label, s))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((quantile.clamp(0.0, 1.0)) * (dists.len() - 1) as f64).round() as usize;
+        dists[idx].max(1e-6)
+    }
+
+    /// Length-normalized z-distance between a prefix and the head of class
+    /// `c`'s template.
+    pub fn distance(&self, c: ClassLabel, prefix: &[f64]) -> f64 {
+        let len = prefix.len().min(self.templates[c].len());
+        let t = znormalize(&self.templates[c][..len]);
+        let p = znormalize(&prefix[..len]);
+        euclidean(&t, &p) / (len as f64).sqrt()
+    }
+
+    /// The per-class templates.
+    pub fn templates(&self) -> &[Vec<f64>] {
+        &self.templates
+    }
+
+    /// The acceptance threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl EarlyClassifier for TemplateMatcher {
+    fn n_classes(&self) -> usize {
+        self.templates.len()
+    }
+
+    fn series_len(&self) -> usize {
+        self.templates[0].len()
+    }
+
+    fn min_prefix(&self) -> usize {
+        self.min_prefix
+    }
+
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        if prefix.len() < self.min_prefix {
+            return Decision::Wait;
+        }
+        let mut best: Option<(ClassLabel, f64)> = None;
+        for c in 0..self.templates.len() {
+            let d = self.distance(c, prefix);
+            if d <= self.threshold && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((c, d));
+            }
+        }
+        match best {
+            Some((label, d)) => Decision::Predict {
+                label,
+                confidence: (1.0 - d / self.threshold).clamp(0.0, 1.0),
+            },
+            None => Decision::Wait,
+        }
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        (0..self.templates.len())
+            .min_by(|&a, &b| {
+                self.distance(a, series)
+                    .partial_cmp(&self.distance(b, series))
+                    .unwrap()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..5 {
+                let jitter = 0.02 * i as f64;
+                data.push(
+                    (0..40)
+                        .map(|j| {
+                            let t = j as f64 / 40.0;
+                            if c == 0 {
+                                (std::f64::consts::TAU * t).sin() + jitter
+                            } else {
+                                t * 2.0 - 1.0 + jitter
+                            }
+                        })
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn matches_own_class_and_rejects_noise() {
+        let train = toy();
+        let m = TemplateMatcher::from_centroids(&train, 0.3, 10);
+        // A class-0 exemplar commits correctly.
+        let d = m.decide(train.series(0));
+        assert_eq!(d.label(), Some(0));
+        // Structureless noise is rejected (open world).
+        let noise: Vec<f64> = (0..40).map(|i| ((i * 2654435761_usize) % 97) as f64).collect();
+        assert_eq!(m.decide(&noise), Decision::Wait);
+    }
+
+    #[test]
+    fn prefix_matching_is_early() {
+        let train = toy();
+        let m = TemplateMatcher::from_centroids(&train, 0.3, 10);
+        // Half a class-1 exemplar already matches.
+        let d = m.decide(&train.series(5)[..20]);
+        assert_eq!(d.label(), Some(1));
+    }
+
+    #[test]
+    fn calibrated_threshold_accepts_training_data() {
+        let train = toy();
+        let thr = TemplateMatcher::calibrate_threshold(&train, 0.95);
+        let m = TemplateMatcher::from_centroids(&train, thr, 10);
+        let accepted = train
+            .iter()
+            .filter(|(s, label)| m.decide(s).label() == Some(*label))
+            .count();
+        assert!(accepted >= 9, "accepted only {accepted}/10");
+    }
+
+    #[test]
+    fn matcher_is_shift_and_scale_invariant() {
+        let train = toy();
+        let m = TemplateMatcher::from_centroids(&train, 0.3, 10);
+        let moved: Vec<f64> = train.series(0).iter().map(|&v| 100.0 + 5.0 * v).collect();
+        assert_eq!(m.decide(&moved).label(), Some(0));
+    }
+
+    #[test]
+    fn predict_full_picks_nearest_template() {
+        let train = toy();
+        let m = TemplateMatcher::from_centroids(&train, 0.3, 10);
+        assert_eq!(m.predict_full(train.series(1)), 0);
+        assert_eq!(m.predict_full(train.series(6)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a non-empty length")]
+    fn rejects_ragged_templates() {
+        let _ = TemplateMatcher::from_templates(vec![vec![1.0, 2.0], vec![1.0]], 0.5, 2);
+    }
+}

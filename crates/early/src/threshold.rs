@@ -1,0 +1,155 @@
+//! The fixed probability-threshold framing of early classification
+//! (Fig 3, right): "the ETSC algorithm simply predicts the probability of
+//! being in each class, and if that probability exceeds some user-specified
+//! threshold", classification is made.
+//!
+//! This wraps any probabilistic whole-series classifier whose
+//! `predict_proba` accepts prefixes (nearest-centroid, Gaussian models,
+//! WEASEL-lite all do).
+
+use etsc_classifiers::{argmax, Classifier};
+use etsc_core::ClassLabel;
+
+use crate::{Decision, EarlyClassifier};
+
+/// An early classifier that commits when the wrapped model's class
+/// probability exceeds a user threshold.
+#[derive(Debug, Clone)]
+pub struct ProbThreshold<C> {
+    inner: C,
+    threshold: f64,
+    series_len: usize,
+    min_prefix: usize,
+}
+
+impl<C: Classifier> ProbThreshold<C> {
+    /// Wrap a fitted classifier. `threshold` in `(0, 1]`; Fig 3 uses 0.8.
+    pub fn new(inner: C, threshold: f64, series_len: usize, min_prefix: usize) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        Self {
+            inner,
+            threshold,
+            series_len,
+            min_prefix: min_prefix.max(1),
+        }
+    }
+
+    /// Access the wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The probability trace over all prefixes of `series`: the Fig 3 plot.
+    /// Returns `(prefix_len, predicted_label, max_probability)` per step.
+    pub fn probability_trace(&self, series: &[f64]) -> Vec<(usize, ClassLabel, f64)> {
+        (self.min_prefix..=series.len())
+            .map(|l| {
+                let p = self.inner.predict_proba(&series[..l]);
+                let label = argmax(&p);
+                (l, label, p[label])
+            })
+            .collect()
+    }
+}
+
+impl<C: Classifier> EarlyClassifier for ProbThreshold<C> {
+    fn n_classes(&self) -> usize {
+        self.inner.n_classes()
+    }
+
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn min_prefix(&self) -> usize {
+        self.min_prefix
+    }
+
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        if prefix.len() < self.min_prefix {
+            return Decision::Wait;
+        }
+        let p = self.inner.predict_proba(prefix);
+        let label = argmax(&p);
+        if p[label] >= self.threshold {
+            Decision::Predict {
+                label,
+                confidence: p[label],
+            }
+        } else {
+            Decision::Wait
+        }
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        self.inner.predict(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate, PrefixPolicy};
+    use etsc_classifiers::centroid::NearestCentroid;
+    use etsc_core::UcrDataset;
+
+    fn toy(n: usize, len: usize) -> UcrDataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n {
+                data.push(
+                    (0..len)
+                        .map(|j| c as f64 * 2.0 + 0.1 * (((i + j) % 7) as f64 - 3.0))
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        UcrDataset::new(data, labels).unwrap()
+    }
+
+    #[test]
+    fn commits_when_confident() {
+        let train = toy(6, 30);
+        let clf = ProbThreshold::new(NearestCentroid::fit(&train), 0.8, 30, 2);
+        let test = toy(3, 30);
+        let ev = evaluate(&clf, &test, PrefixPolicy::Raw);
+        assert!(ev.accuracy() >= 0.9);
+        assert!(ev.earliness() < 0.5, "separated classes commit early");
+    }
+
+    #[test]
+    fn higher_threshold_is_never_earlier() {
+        let train = toy(6, 30);
+        let test = toy(3, 30);
+        let lo = ProbThreshold::new(NearestCentroid::fit(&train), 0.6, 30, 2);
+        let hi = ProbThreshold::new(NearestCentroid::fit(&train), 0.99, 30, 2);
+        let e_lo = evaluate(&lo, &test, PrefixPolicy::Raw).earliness();
+        let e_hi = evaluate(&hi, &test, PrefixPolicy::Raw).earliness();
+        assert!(e_lo <= e_hi + 1e-12);
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_prefix() {
+        let train = toy(4, 20);
+        let clf = ProbThreshold::new(NearestCentroid::fit(&train), 0.8, 20, 3);
+        let trace = clf.probability_trace(train.series(0));
+        assert_eq!(trace.len(), 20 - 3 + 1);
+        for &(l, label, p) in &trace {
+            assert!((3..=20).contains(&l));
+            assert!(label < 2);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn rejects_zero_threshold() {
+        let train = toy(2, 10);
+        let _ = ProbThreshold::new(NearestCentroid::fit(&train), 0.0, 10, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the early classifiers: decisions stay in-domain,
+//! evaluation invariants hold, and thresholds act monotonically.
+
+use etsc_core::UcrDataset;
+use etsc_early::ects::{Ects, EctsConfig};
+use etsc_early::metrics::{classify_stream, evaluate, PrefixPolicy};
+use etsc_early::relclass::{RelClass, RelClassConfig};
+use etsc_early::template::TemplateMatcher;
+use etsc_early::{Decision, EarlyClassifier};
+use proptest::prelude::*;
+
+/// A small seeded two-class dataset with adjustable separation point.
+fn dataset(n: usize, len: usize, split: usize, salt: u64) -> UcrDataset {
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..2usize {
+        for i in 0..n {
+            data.push(
+                (0..len)
+                    .map(|j| {
+                        let h = (i as u64 * 7 + j as u64 * 13 + c as u64 * 29 + salt * 31) % 11;
+                        let noise = 0.06 * (h as f64 - 5.0);
+                        if j < split {
+                            noise
+                        } else {
+                            c as f64 * 2.0 + noise
+                        }
+                    })
+                    .collect(),
+            );
+            labels.push(c);
+        }
+    }
+    UcrDataset::new(data, labels).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ects_mpls_are_within_series_length(
+        salt in 0u64..50,
+        split in 0usize..20,
+    ) {
+        let d = dataset(5, 24, split, salt);
+        let m = Ects::fit(&d, &EctsConfig::default());
+        for &mpl in m.mpls() {
+            prop_assert!((1..=24).contains(&mpl));
+        }
+    }
+
+    #[test]
+    fn decisions_have_valid_labels_and_confidence(
+        salt in 0u64..30,
+        prefix_len in 1usize..24,
+    ) {
+        let d = dataset(5, 24, 6, salt);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        let rc = RelClass::fit(&d, &RelClassConfig::default());
+        let probe: Vec<f64> = d.series(0)[..prefix_len].to_vec();
+        for decision in [ects.decide(&probe), rc.decide(&probe)] {
+            if let Decision::Predict { label, confidence } = decision {
+                prop_assert!(label < 2);
+                prop_assert!((0.0..=1.0).contains(&confidence), "confidence {confidence}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_stream_length_is_bounded(salt in 0u64..30) {
+        let d = dataset(6, 24, 6, salt);
+        let m = Ects::fit(&d, &EctsConfig::default());
+        for (s, _) in d.iter() {
+            let (label, len, _) = classify_stream(&m, s, PrefixPolicy::Oracle);
+            prop_assert!(label < 2);
+            prop_assert!(len >= 1 && len <= s.len());
+        }
+    }
+
+    #[test]
+    fn evaluation_metrics_are_in_unit_range(salt in 0u64..30, split in 0usize..16) {
+        let train = dataset(6, 24, split, salt);
+        let test = dataset(3, 24, split, salt ^ 0xFF);
+        let m = RelClass::fit(&train, &RelClassConfig::default());
+        let ev = evaluate(&m, &test, PrefixPolicy::Oracle);
+        prop_assert!((0.0..=1.0).contains(&ev.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&ev.earliness()));
+        prop_assert!((0.0..=1.0).contains(&ev.harmonic_mean()));
+        prop_assert!((0.0..=1.0).contains(&ev.commit_rate()));
+        prop_assert_eq!(ev.instances.len(), test.len());
+    }
+
+    #[test]
+    fn template_threshold_is_monotone_in_commitments(
+        salt in 0u64..30,
+        t_small in 0.05f64..0.3,
+        t_extra in 0.05f64..1.0,
+    ) {
+        let d = dataset(6, 24, 0, salt);
+        let tight = TemplateMatcher::from_centroids(&d, t_small, 6);
+        let loose = TemplateMatcher::from_centroids(&d, t_small + t_extra, 6);
+        // Anything the tight matcher accepts, the loose one must too.
+        for (s, _) in d.iter() {
+            if tight.decide(s).is_predict() {
+                prop_assert!(loose.decide(s).is_predict());
+            }
+        }
+    }
+
+    #[test]
+    fn relclass_tau_monotonicity_on_commit_lengths(salt in 0u64..20) {
+        let train = dataset(6, 24, 8, salt);
+        let lo = RelClass::fit(&train, &RelClassConfig { tau: 0.05, ..Default::default() });
+        let hi = RelClass::fit(&train, &RelClassConfig { tau: 0.6, ..Default::default() });
+        for (s, _) in train.iter() {
+            let (_, len_lo, _) = classify_stream(&lo, s, PrefixPolicy::Oracle);
+            let (_, len_hi, _) = classify_stream(&hi, s, PrefixPolicy::Oracle);
+            prop_assert!(len_lo <= len_hi, "lower tau must commit no later");
+        }
+    }
+}

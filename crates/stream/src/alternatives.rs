@@ -1,0 +1,340 @@
+//! Appendix A: the *other* "early classification" problems — the ones that
+//! are actually well-posed.
+//!
+//! The paper is careful to scope its critique: several monitoring tasks get
+//! called "early classification" but act on the **value**, **envelope**, or
+//! **frequency** of a signal rather than the shape of a pattern prefix, and
+//! those are perfectly meaningful:
+//!
+//! * [`ValueThresholdMonitor`] — "a boiler is rated for at most 200 psi. If
+//!   a sensor detects increasing pressure readings: 180, 181, 182, …, it
+//!   would make perfect sense to sound an early warning." Only the value
+//!   matters, plus a linear trend forecast for the *early* part.
+//! * [`GoldenBatchMonitor`] — "monitoring of batch processes … at every
+//!   time point in a single run (plus or minus some wiggle room) we know
+//!   what range of values are acceptable." A reference trajectory with a
+//!   tolerance envelope; drifting outside raises the alarm.
+//! * [`FrequencyMonitor`] — "a chicken engaging in dustbathing more than 40
+//!   times a day is required to be culled … If we detect 10 bouts one day
+//!   and 25 the next, we may want to take some early intervention." Counts
+//!   of *fully observed* events per period, with a rate-trigger.
+
+/// Early warning when a monitored value approaches a hard limit.
+///
+/// Fires when the current value crosses `warn_at`, or when the linear trend
+/// over the last `trend_window` samples forecasts crossing `limit` within
+/// `horizon` samples.
+#[derive(Debug, Clone)]
+pub struct ValueThresholdMonitor {
+    limit: f64,
+    warn_at: f64,
+    trend_window: usize,
+    horizon: f64,
+    buf: Vec<f64>,
+}
+
+/// Why a value monitor fired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueAlarm {
+    /// The value itself crossed the warning level.
+    LevelExceeded {
+        /// The offending value.
+        value: f64,
+    },
+    /// The trend forecasts crossing the hard limit within the horizon.
+    TrendForecast {
+        /// Forecast number of samples until the limit is crossed.
+        samples_to_limit: f64,
+    },
+}
+
+impl ValueThresholdMonitor {
+    /// Create a monitor. `warn_at < limit`; `trend_window >= 2`.
+    pub fn new(limit: f64, warn_at: f64, trend_window: usize, horizon: f64) -> Self {
+        assert!(warn_at < limit, "warning level must sit below the limit");
+        assert!(trend_window >= 2, "trend needs at least 2 samples");
+        assert!(horizon > 0.0);
+        Self {
+            limit,
+            warn_at,
+            trend_window,
+            horizon,
+            buf: Vec::with_capacity(trend_window),
+        }
+    }
+
+    /// Least-squares slope of the buffered window.
+    fn slope(&self) -> f64 {
+        let n = self.buf.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mean_x = (n - 1.0) / 2.0;
+        let mean_y = self.buf.iter().sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &y) in self.buf.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            num += dx * (y - mean_y);
+            den += dx * dx;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// Feed one reading; returns an alarm if warranted.
+    pub fn push(&mut self, value: f64) -> Option<ValueAlarm> {
+        self.buf.push(value);
+        if self.buf.len() > self.trend_window {
+            self.buf.remove(0);
+        }
+        if value >= self.warn_at {
+            return Some(ValueAlarm::LevelExceeded { value });
+        }
+        if self.buf.len() == self.trend_window {
+            let slope = self.slope();
+            if slope > 0.0 {
+                let samples_to_limit = (self.limit - value) / slope;
+                if samples_to_limit <= self.horizon {
+                    return Some(ValueAlarm::TrendForecast { samples_to_limit });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Golden-batch monitoring: a reference trajectory with per-step wiggle
+/// room. (The "wiggle room that can be modeled" of the paper's reference
+/// \[25\] is a time tolerance: the observed value may match the reference
+/// anywhere within ± `time_slack` steps — a bounded, amnestic warping.)
+#[derive(Debug, Clone)]
+pub struct GoldenBatchMonitor {
+    reference: Vec<f64>,
+    tolerance: f64,
+    time_slack: usize,
+    t: usize,
+    /// Consecutive out-of-envelope steps so far.
+    violations: usize,
+    /// Violations required to alarm (debounces single-sample glitches).
+    patience: usize,
+}
+
+impl GoldenBatchMonitor {
+    /// Create a monitor around a reference run. `tolerance` is the allowed
+    /// absolute deviation; `time_slack` the allowed time misalignment;
+    /// `patience` the number of consecutive violations before alarming.
+    pub fn new(reference: Vec<f64>, tolerance: f64, time_slack: usize, patience: usize) -> Self {
+        assert!(!reference.is_empty(), "reference run must be non-empty");
+        assert!(tolerance >= 0.0);
+        Self {
+            reference,
+            tolerance,
+            time_slack,
+            t: 0,
+            violations: 0,
+            patience: patience.max(1),
+        }
+    }
+
+    /// Feed the next sample of the running batch; returns `true` when the
+    /// run has drifted out of the golden envelope.
+    pub fn push(&mut self, value: f64) -> bool {
+        let lo = self.t.saturating_sub(self.time_slack);
+        let hi = (self.t + self.time_slack).min(self.reference.len() - 1);
+        let in_envelope = (lo..=hi)
+            .any(|i| (value - self.reference[i]).abs() <= self.tolerance);
+        self.t = (self.t + 1).min(self.reference.len() - 1);
+        if in_envelope {
+            self.violations = 0;
+            false
+        } else {
+            self.violations += 1;
+            self.violations >= self.patience
+        }
+    }
+
+    /// Current position in the reference run.
+    pub fn position(&self) -> usize {
+        self.t
+    }
+}
+
+/// Frequency monitoring: counts of fully observed events per period, with a
+/// trigger on the count.
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyMonitor {
+    /// Completed-period counts.
+    history: Vec<usize>,
+    current: usize,
+}
+
+impl FrequencyMonitor {
+    /// New, empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one fully observed event in the current period.
+    pub fn record_event(&mut self) {
+        self.current += 1;
+    }
+
+    /// Close the current period (e.g. a day) and start the next.
+    pub fn end_period(&mut self) {
+        self.history.push(self.current);
+        self.current = 0;
+    }
+
+    /// Count in the still-open period.
+    pub fn current_count(&self) -> usize {
+        self.current
+    }
+
+    /// Counts of completed periods.
+    pub fn history(&self) -> &[usize] {
+        &self.history
+    }
+
+    /// Does the trailing trend forecast exceeding `limit` next period?
+    /// Uses the last two completed periods' linear extrapolation, the
+    /// paper's "10 bouts one day and 25 the next" reasoning.
+    pub fn forecast_exceeds(&self, limit: usize) -> bool {
+        let n = self.history.len();
+        if n == 0 {
+            return false;
+        }
+        if self.history[n - 1] > limit {
+            return true;
+        }
+        if n >= 2 {
+            let last = self.history[n - 1] as f64;
+            let prev = self.history[n - 2] as f64;
+            let forecast = last + (last - prev);
+            return forecast > limit as f64;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_monitor_warns_on_level() {
+        let mut m = ValueThresholdMonitor::new(200.0, 195.0, 5, 20.0);
+        assert_eq!(m.push(180.0), None);
+        assert_eq!(
+            m.push(196.0),
+            Some(ValueAlarm::LevelExceeded { value: 196.0 })
+        );
+    }
+
+    #[test]
+    fn value_monitor_warns_on_trend() {
+        let mut m = ValueThresholdMonitor::new(200.0, 199.0, 4, 25.0);
+        // Steadily rising at 1 psi/sample from 180: limit 200 forecast in
+        // ~17 samples < horizon 25 once the window fills.
+        let mut alarm = None;
+        for i in 0..6 {
+            alarm = m.push(180.0 + i as f64);
+            if alarm.is_some() {
+                break;
+            }
+        }
+        match alarm {
+            Some(ValueAlarm::TrendForecast { samples_to_limit }) => {
+                assert!(samples_to_limit < 25.0 && samples_to_limit > 0.0);
+            }
+            other => panic!("expected trend alarm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_monitor_stays_quiet_on_flat_signal() {
+        let mut m = ValueThresholdMonitor::new(200.0, 195.0, 5, 20.0);
+        for _ in 0..50 {
+            assert_eq!(m.push(180.0), None);
+        }
+    }
+
+    #[test]
+    fn golden_batch_accepts_reference_replay() {
+        let reference: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut m = GoldenBatchMonitor::new(reference.clone(), 0.05, 2, 2);
+        for &v in &reference {
+            assert!(!m.push(v), "the golden run itself must pass");
+        }
+    }
+
+    #[test]
+    fn golden_batch_tolerates_small_time_shift() {
+        let reference: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut m = GoldenBatchMonitor::new(reference.clone(), 0.05, 3, 2);
+        // Replay shifted by 2 steps: within the slack.
+        for i in 0..98 {
+            assert!(!m.push(reference[i + 2]));
+        }
+    }
+
+    #[test]
+    fn golden_batch_alarms_on_drift() {
+        let reference: Vec<f64> = vec![1.0; 50];
+        let mut m = GoldenBatchMonitor::new(reference, 0.1, 1, 3);
+        let mut alarmed = false;
+        for i in 0..20 {
+            if m.push(1.0 + 0.2 * i as f64) {
+                alarmed = true;
+                break;
+            }
+        }
+        assert!(alarmed, "a drifting batch must trip the envelope");
+    }
+
+    #[test]
+    fn golden_batch_patience_debounces_glitches() {
+        let reference: Vec<f64> = vec![0.0; 50];
+        let mut m = GoldenBatchMonitor::new(reference, 0.1, 0, 3);
+        assert!(!m.push(5.0)); // one glitch
+        assert!(!m.push(0.0)); // back in envelope: counter resets
+        assert!(!m.push(5.0));
+        assert!(!m.push(5.0));
+        assert!(m.push(5.0)); // three in a row
+    }
+
+    #[test]
+    fn frequency_monitor_counts_and_forecasts() {
+        let mut m = FrequencyMonitor::new();
+        for _ in 0..10 {
+            m.record_event();
+        }
+        m.end_period();
+        assert_eq!(m.history(), &[10]);
+        assert!(!m.forecast_exceeds(40));
+        for _ in 0..25 {
+            m.record_event();
+        }
+        m.end_period();
+        // 10 -> 25: linear forecast 40 ... not > 40.
+        assert!(!m.forecast_exceeds(40));
+        // But with limit 39 the forecast (40) exceeds.
+        assert!(m.forecast_exceeds(39));
+        // An actual count over the limit triggers immediately.
+        for _ in 0..45 {
+            m.record_event();
+        }
+        m.end_period();
+        assert!(m.forecast_exceeds(40));
+    }
+
+    #[test]
+    fn frequency_monitor_empty_never_fires() {
+        let m = FrequencyMonitor::new();
+        assert!(!m.forecast_exceeds(0));
+        assert_eq!(m.current_count(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # etsc-stream
+//!
+//! Streaming deployment of early classifiers — the step the paper argues the
+//! ETSC literature never takes, and where its failure modes live.
+//!
+//! * [`monitor`] — [`monitor::StreamMonitor`] slides candidate pattern
+//!   anchors over an unbounded stream, feeds growing prefixes to any
+//!   [`etsc_early::EarlyClassifier`], and emits alarms. The normalization
+//!   applied to each prefix is an explicit, honest choice ([`monitor::StreamNorm`]):
+//!   there is no "oracle" option because a deployment cannot normalize with
+//!   statistics of data that has not arrived — that option only exists in
+//!   UCR-style offline evaluation.
+//! * [`scoring`] — matches alarms against ground-truth events
+//!   ([`etsc_core::Event`]) with temporal tolerance: true/false positives,
+//!   false negatives, false-alarm rates, FP:TP ratios.
+//! * [`cost`] — the Appendix B intervention cost model ("the apparatus costs
+//!   $1000 to clean; the early action costs $200; the system must produce at
+//!   least one true positive per five false positives to break even").
+
+pub mod alternatives;
+pub mod cost;
+pub mod monitor;
+pub mod scoring;
+
+pub use alternatives::{FrequencyMonitor, GoldenBatchMonitor, ValueThresholdMonitor};
+pub use cost::{CostModel, CostReport};
+pub use monitor::{Alarm, StreamMonitor, StreamMonitorConfig, StreamNorm};
+pub use scoring::{score_alarms, AlarmScore, ScoringConfig};

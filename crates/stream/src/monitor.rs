@@ -1,0 +1,310 @@
+//! The stream monitor: running an early classifier on unbounded data.
+//!
+//! A UCR-format evaluation hands the classifier one perfectly segmented
+//! exemplar at a time. A deployment does not know when (or whether) a
+//! pattern starts. The monitor therefore keeps a set of candidate **anchors**
+//! — recent positions at which a pattern might have begun — and feeds each
+//! anchor's growing prefix to the early classifier at every arriving sample.
+//! When the classifier commits, an alarm fires (and a refractory period
+//! suppresses the alarm storm that would otherwise follow from neighboring
+//! anchors).
+//!
+//! This design surfaces all three of the paper's streaming failure modes:
+//! prefixes of longer innocuous patterns trigger anchors mid-word (the
+//! prefix problem), contained atomic units trigger them inside larger events
+//! (inclusion), and look-alike background shapes trigger them anywhere
+//! (homophones).
+
+use etsc_core::ClassLabel;
+use etsc_core::znorm::znormalize;
+use etsc_early::{Decision, EarlyClassifier};
+
+/// Normalization applied to each anchored prefix before classification.
+///
+/// Deliberately **no oracle option**: a deployment cannot standardize a
+/// prefix with statistics of data that has not arrived yet (Section 4 of
+/// the paper). To see what happens when a model trained on z-normalized
+/// exemplars meets a stream, run `Raw` (the mismatch the paper predicts
+/// floods the model with false negatives) and `PerPrefix` (the honest best
+/// effort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamNorm {
+    /// Feed raw samples unchanged.
+    Raw,
+    /// Z-normalize each anchored prefix by its own statistics.
+    PerPrefix,
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamMonitorConfig {
+    /// Spacing between candidate anchors, in samples. 1 = an anchor at every
+    /// position (exhaustive; cost scales inversely).
+    pub anchor_stride: usize,
+    /// Normalization policy for anchored prefixes.
+    pub norm: StreamNorm,
+    /// Samples after an alarm during which no further alarm may fire.
+    pub refractory: usize,
+}
+
+impl Default for StreamMonitorConfig {
+    fn default() -> Self {
+        Self {
+            anchor_stride: 4,
+            norm: StreamNorm::PerPrefix,
+            refractory: 0,
+        }
+    }
+}
+
+/// An alarm emitted by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alarm {
+    /// Sample index at which the classifier committed.
+    pub time: usize,
+    /// Anchor (hypothesized pattern onset) that produced the alarm.
+    pub anchor: usize,
+    /// Predicted class.
+    pub label: ClassLabel,
+    /// Classifier confidence.
+    pub confidence: f64,
+}
+
+/// A streaming monitor wrapping an early classifier.
+pub struct StreamMonitor<'a, C: EarlyClassifier + ?Sized> {
+    clf: &'a C,
+    cfg: StreamMonitorConfig,
+    /// Start offsets of live anchors (ascending).
+    anchors: Vec<usize>,
+    /// Absolute index of the next incoming sample.
+    now: usize,
+    /// Buffer of the last `series_len` samples (the longest prefix any
+    /// anchor can need).
+    buf: Vec<f64>,
+    /// Absolute index of `buf[0]`.
+    buf_start: usize,
+    /// No alarms before this time (refractory gate).
+    quiet_until: usize,
+}
+
+impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
+    /// Create a monitor over a fitted early classifier.
+    pub fn new(clf: &'a C, cfg: StreamMonitorConfig) -> Self {
+        assert!(cfg.anchor_stride >= 1, "anchor stride must be positive");
+        Self {
+            clf,
+            cfg,
+            anchors: Vec::new(),
+            now: 0,
+            buf: Vec::new(),
+            buf_start: 0,
+            quiet_until: 0,
+        }
+    }
+
+    /// Feed one sample; returns an alarm if the classifier committed.
+    pub fn push(&mut self, x: f64) -> Option<Alarm> {
+        let max_len = self.clf.series_len();
+        // Maintain the rolling buffer.
+        self.buf.push(x);
+        if self.buf.len() > max_len {
+            let drop = self.buf.len() - max_len;
+            self.buf.drain(..drop);
+            self.buf_start += drop;
+        }
+        // Spawn a new anchor on stride boundaries.
+        if self.now % self.cfg.anchor_stride == 0 {
+            self.anchors.push(self.now);
+        }
+        let t = self.now;
+        self.now += 1;
+
+        // Retire anchors whose window has exceeded the pattern length.
+        let min_live = (t + 1).saturating_sub(max_len);
+        self.anchors.retain(|&a| a >= min_live.max(self.buf_start));
+
+        if t < self.quiet_until {
+            return None;
+        }
+
+        let min_prefix = self.clf.min_prefix();
+        let mut fired: Option<Alarm> = None;
+        for &a in &self.anchors {
+            let len = t + 1 - a;
+            if len < min_prefix {
+                continue;
+            }
+            let start = a - self.buf_start;
+            let prefix = &self.buf[start..start + len];
+            let decision = match self.cfg.norm {
+                StreamNorm::Raw => self.clf.decide(prefix),
+                StreamNorm::PerPrefix => self.clf.decide(&znormalize(prefix)),
+            };
+            if let Decision::Predict { label, confidence } = decision {
+                fired = Some(Alarm {
+                    time: t,
+                    anchor: a,
+                    label,
+                    confidence,
+                });
+                break;
+            }
+        }
+        if let Some(alarm) = fired {
+            // An alarm consumes its anchor and starts the refractory period.
+            self.anchors.retain(|&a| a != alarm.anchor);
+            self.quiet_until = t + 1 + self.cfg.refractory;
+            return Some(alarm);
+        }
+        None
+    }
+
+    /// Run the monitor over an entire slice, collecting all alarms.
+    pub fn run(&mut self, stream: &[f64]) -> Vec<Alarm> {
+        stream.iter().filter_map(|&x| self.push(x)).collect()
+    }
+
+    /// Number of currently live anchors (for instrumentation).
+    pub fn live_anchors(&self) -> usize {
+        self.anchors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_early::Decision;
+
+    /// Commits to class 0 whenever the last `need` points average above 0.5.
+    struct LevelDetector {
+        need: usize,
+        len: usize,
+    }
+
+    impl EarlyClassifier for LevelDetector {
+        fn n_classes(&self) -> usize {
+            1
+        }
+        fn series_len(&self) -> usize {
+            self.len
+        }
+        fn min_prefix(&self) -> usize {
+            self.need
+        }
+        fn decide(&self, prefix: &[f64]) -> Decision {
+            if prefix.len() >= self.need {
+                let m = prefix.iter().sum::<f64>() / prefix.len() as f64;
+                if m > 0.5 {
+                    return Decision::Predict {
+                        label: 0,
+                        confidence: 1.0,
+                    };
+                }
+            }
+            Decision::Wait
+        }
+        fn predict_full(&self, _s: &[f64]) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn quiet_stream_produces_no_alarms() {
+        let clf = LevelDetector { need: 4, len: 16 };
+        let mut mon = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 1,
+                norm: StreamNorm::Raw,
+                refractory: 0,
+            },
+        );
+        let alarms = mon.run(&vec![0.0; 200]);
+        assert!(alarms.is_empty());
+    }
+
+    #[test]
+    fn event_triggers_alarm_near_onset() {
+        let clf = LevelDetector { need: 4, len: 16 };
+        let mut mon = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 1,
+                norm: StreamNorm::Raw,
+                refractory: 50,
+            },
+        );
+        let mut stream = vec![0.0; 100];
+        stream.extend(vec![1.0; 30]);
+        stream.extend(vec![0.0; 100]);
+        let alarms = mon.run(&stream);
+        assert_eq!(alarms.len(), 1, "refractory should merge the alarm burst");
+        let a = alarms[0];
+        assert!(a.time >= 100 && a.time <= 110, "alarm at {}", a.time);
+        assert_eq!(a.label, 0);
+    }
+
+    #[test]
+    fn refractory_zero_produces_alarm_bursts() {
+        let clf = LevelDetector { need: 4, len: 16 };
+        let mut mon = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 1,
+                norm: StreamNorm::Raw,
+                refractory: 0,
+            },
+        );
+        let mut stream = vec![0.0; 50];
+        stream.extend(vec![1.0; 30]);
+        let alarms = mon.run(&stream);
+        assert!(
+            alarms.len() > 3,
+            "without refractory every anchor fires: {}",
+            alarms.len()
+        );
+    }
+
+    #[test]
+    fn anchor_stride_bounds_live_anchors() {
+        let clf = LevelDetector { need: 4, len: 32 };
+        let mut mon = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 8,
+                norm: StreamNorm::Raw,
+                refractory: 0,
+            },
+        );
+        for _ in 0..500 {
+            mon.push(-1.0);
+        }
+        assert!(mon.live_anchors() <= 32 / 8 + 1);
+    }
+
+    #[test]
+    fn per_prefix_norm_changes_what_the_classifier_sees() {
+        // A detector keyed on raw level never fires under per-prefix norm
+        // (z-normalized prefixes have mean zero by construction).
+        let clf = LevelDetector { need: 4, len: 16 };
+        let mut raw = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 1,
+                norm: StreamNorm::Raw,
+                refractory: 0,
+            },
+        );
+        let mut pp = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 1,
+                norm: StreamNorm::PerPrefix,
+                refractory: 0,
+            },
+        );
+        let stream = vec![2.0; 64];
+        assert!(!raw.run(&stream).is_empty());
+        assert!(pp.run(&stream).is_empty());
+    }
+}

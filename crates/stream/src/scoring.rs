@@ -1,0 +1,222 @@
+//! Scoring alarms against ground truth.
+//!
+//! An alarm is a **true positive** if it lands inside (or within a tolerance
+//! of) a ground-truth event of the same class that has not yet been claimed
+//! by an earlier alarm; otherwise it is a **false positive**. Events that no
+//! alarm claims are **false negatives**. Repeated alarms inside one event
+//! are counted separately as duplicates — they are not false positives (the
+//! intervention already happened) but not extra credit either.
+
+use etsc_core::Event;
+
+use crate::monitor::Alarm;
+
+/// Scoring parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoringConfig {
+    /// An alarm within this many samples of an event's span still counts.
+    pub tolerance: usize,
+    /// If true, alarms must match the event's label; if false, any event
+    /// class accepts any alarm (single-detector setups).
+    pub match_labels: bool,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 0,
+            match_labels: true,
+        }
+    }
+}
+
+/// Alarm/event match result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlarmScore {
+    /// Alarms that claimed an unclaimed matching event.
+    pub true_positives: usize,
+    /// Alarms matching no event.
+    pub false_positives: usize,
+    /// Events claimed by no alarm.
+    pub false_negatives: usize,
+    /// Extra alarms inside already-claimed events.
+    pub duplicates: usize,
+    /// Samples of stream scored (for rate computations).
+    pub stream_len: usize,
+}
+
+impl AlarmScore {
+    /// Precision = TP / (TP + FP). 0 when no alarms.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN). 0 when no events.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// False positives per `unit` samples (e.g. per hour at a known rate).
+    pub fn fp_rate_per(&self, unit: usize) -> f64 {
+        if self.stream_len == 0 {
+            return 0.0;
+        }
+        self.false_positives as f64 * unit as f64 / self.stream_len as f64
+    }
+
+    /// Ratio of false to true positives; `inf` when TP = 0 and FP > 0.
+    pub fn fp_to_tp_ratio(&self) -> f64 {
+        if self.true_positives == 0 {
+            if self.false_positives == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.false_positives as f64 / self.true_positives as f64
+        }
+    }
+}
+
+/// Score `alarms` (in time order) against `events`.
+pub fn score_alarms(
+    alarms: &[Alarm],
+    events: &[Event],
+    stream_len: usize,
+    cfg: &ScoringConfig,
+) -> AlarmScore {
+    let mut claimed = vec![false; events.len()];
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut dup = 0;
+    for alarm in alarms {
+        // Find an event whose (tolerance-widened) span contains the alarm.
+        let matching = events.iter().enumerate().find(|(_, e)| {
+            (!cfg.match_labels || e.label == alarm.label)
+                && e.contains_with_tolerance(alarm.time, cfg.tolerance)
+        });
+        match matching {
+            Some((idx, _)) => {
+                if claimed[idx] {
+                    dup += 1;
+                } else {
+                    claimed[idx] = true;
+                    tp += 1;
+                }
+            }
+            None => fp += 1,
+        }
+    }
+    let fneg = claimed.iter().filter(|&&c| !c).count();
+    AlarmScore {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fneg,
+        duplicates: dup,
+        stream_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alarm(time: usize, label: usize) -> Alarm {
+        Alarm {
+            time,
+            anchor: time.saturating_sub(5),
+            label,
+            confidence: 1.0,
+        }
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let events = vec![Event::new(100, 150, 0), Event::new(300, 350, 0)];
+        let alarms = vec![alarm(120, 0), alarm(310, 0)];
+        let s = score_alarms(&alarms, &events, 1000, &ScoringConfig::default());
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.fp_to_tp_ratio(), 0.0);
+    }
+
+    #[test]
+    fn false_positive_outside_events() {
+        let events = vec![Event::new(100, 150, 0)];
+        let alarms = vec![alarm(500, 0)];
+        let s = score_alarms(&alarms, &events, 1000, &ScoringConfig::default());
+        assert_eq!(s.true_positives, 0);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.fp_to_tp_ratio(), f64::INFINITY);
+        assert!((s.fp_rate_per(100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_mismatch_is_false_positive() {
+        let events = vec![Event::new(100, 150, 1)];
+        let alarms = vec![alarm(120, 0)];
+        let strict = score_alarms(&alarms, &events, 1000, &ScoringConfig::default());
+        assert_eq!(strict.false_positives, 1);
+        let lax = score_alarms(
+            &alarms,
+            &events,
+            1000,
+            &ScoringConfig {
+                match_labels: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(lax.true_positives, 1);
+    }
+
+    #[test]
+    fn duplicates_are_not_false_positives() {
+        let events = vec![Event::new(100, 150, 0)];
+        let alarms = vec![alarm(110, 0), alarm(120, 0), alarm(130, 0)];
+        let s = score_alarms(&alarms, &events, 1000, &ScoringConfig::default());
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.duplicates, 2);
+        assert_eq!(s.false_positives, 0);
+    }
+
+    #[test]
+    fn tolerance_widens_matching() {
+        let events = vec![Event::new(100, 150, 0)];
+        let early_alarm = vec![alarm(95, 0)];
+        let miss = score_alarms(&early_alarm, &events, 1000, &ScoringConfig::default());
+        assert_eq!(miss.false_positives, 1);
+        let hit = score_alarms(
+            &early_alarm,
+            &events,
+            1000,
+            &ScoringConfig {
+                tolerance: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(hit.true_positives, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = score_alarms(&[], &[], 0, &ScoringConfig::default());
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.fp_rate_per(1000), 0.0);
+        assert_eq!(s.fp_to_tp_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! A compact version of the paper's Table 1: how much accuracy do early
+//! classifiers lose when the test data is shifted by an offset a camera
+//! tilt of ~1.9 degrees would produce?
+//!
+//! Run: `cargo run --release --example denormalization_study`
+
+use etsc::datasets::gunpoint::{self, GunPointConfig};
+use etsc::datasets::transforms::{denormalize, DenormalizeConfig};
+use etsc::early::ects::{Ects, EctsConfig};
+use etsc::early::metrics::{evaluate, PrefixPolicy};
+use etsc::early::relclass::{RelClass, RelClassConfig};
+use etsc::early::EarlyClassifier;
+
+fn main() {
+    let cfg = GunPointConfig::default();
+    let mut train = gunpoint::generate(25, &cfg, 31);
+    let mut test = gunpoint::generate(40, &cfg, 32);
+    train.znormalize();
+    test.znormalize();
+
+    let ects = Ects::fit(&train, &EctsConfig::default());
+    let relclass = RelClass::fit(&train, &RelClassConfig::default());
+    let models: [(&str, &dyn EarlyClassifier); 2] =
+        [("ECTS", &ects), ("RelClass (tau=0.1)", &relclass)];
+
+    println!("offset sweep: accuracy under increasing denormalization\n");
+    println!("{:<20} {:>8} {:>8} {:>8} {:>8}", "model", "0.0", "0.5", "1.0", "2.0");
+    for (name, clf) in models {
+        let mut cells = Vec::new();
+        for offset in [0.0, 0.5, 1.0, 2.0] {
+            let perturbed = if offset == 0.0 {
+                test.clone()
+            } else {
+                denormalize(
+                    &test,
+                    DenormalizeConfig {
+                        max_offset: offset,
+                        scale_jitter: 0.0,
+                    },
+                    33,
+                )
+            };
+            let ev = evaluate(clf, &perturbed, PrefixPolicy::Oracle);
+            cells.push(format!("{:>7.1}%", ev.accuracy() * 100.0));
+        }
+        println!("{name:<20} {}", cells.join(" "));
+    }
+    println!("\nAn offset of 1.0 on z-normalized data is the paper's Fig 6 perturbation:");
+    println!("equivalent to tilting the camera ~1.9 degrees, or the actor wearing heels.");
+}

@@ -1,0 +1,92 @@
+//! Deploying an early classifier on a stream — and pricing the result.
+//!
+//! A miniature of the paper's Appendix B experiment: GunPoint exemplars
+//! embedded in a long random walk, a TEASER monitor watching the stream,
+//! alarms scored against ground truth, and the $1000-event / $200-action
+//! cost model deciding whether the system is worth deploying.
+//!
+//! Run: `cargo run --release --example streaming_deployment`
+
+use etsc::core::{AnnotatedStream, Event};
+use etsc::datasets::gunpoint::{self, GunPointConfig};
+use etsc::datasets::random_walk::smoothed_random_walk;
+use etsc::early::teaser::{Teaser, TeaserConfig};
+use etsc::stream::{
+    score_alarms, CostModel, ScoringConfig, StreamMonitor, StreamMonitorConfig, StreamNorm,
+};
+
+fn main() {
+    let cfg = GunPointConfig::default();
+    let mut train = gunpoint::generate(25, &cfg, 3);
+    let mut test = gunpoint::generate(20, &cfg, 4);
+    train.znormalize();
+    test.znormalize();
+
+    // Build the stream: 40 gesture events inside 400k points of random walk.
+    let walk = smoothed_random_walk(400_000, 15, 5);
+    let mut data = walk;
+    let mut events = Vec::new();
+    let spacing = 9_000;
+    let mut pos = spacing;
+    for (s, label) in test.iter() {
+        if pos + s.len() + spacing > data.len() {
+            break;
+        }
+        let level = data[pos];
+        for (j, &v) in s.iter().enumerate() {
+            data[pos + j] = level + 2.0 * v;
+        }
+        events.push(Event::new(pos, pos + s.len(), label));
+        pos += s.len() + spacing;
+    }
+    let stream = AnnotatedStream::new(data, events);
+    println!(
+        "stream: {} samples, {} genuine gesture events",
+        stream.len(),
+        stream.events.len()
+    );
+
+    // Deploy TEASER behind a monitor with honest per-prefix normalization.
+    let teaser = Teaser::fit(&train, &TeaserConfig::fast());
+    let mut monitor = StreamMonitor::new(
+        &teaser,
+        StreamMonitorConfig {
+            anchor_stride: 8,
+            norm: StreamNorm::PerPrefix,
+            refractory: 75,
+        },
+    );
+    let alarms = monitor.run(&stream.data);
+    let score = score_alarms(
+        &alarms,
+        &stream.events,
+        stream.len(),
+        &ScoringConfig {
+            tolerance: 75,
+            match_labels: false,
+        },
+    );
+    println!(
+        "alarms: {} ({} TP, {} FP, {} FN) — {:.0} false alarms per true one",
+        alarms.len(),
+        score.true_positives,
+        score.false_positives,
+        score.false_negatives,
+        score.fp_to_tp_ratio()
+    );
+
+    // Price it.
+    let report = CostModel::appendix_b().evaluate(&score);
+    println!(
+        "cost without system ${:.0}, with system ${:.0} -> net ${:.0}",
+        report.without_system, report.with_system, report.net_benefit
+    );
+    println!(
+        "verdict: {}",
+        if report.worth_deploying() {
+            "worth deploying"
+        } else {
+            "NOT worth deploying"
+        }
+    );
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # etsc
+//!
+//! Early time series classification (ETSC) algorithms, their substrates,
+//! streaming deployment, and meaningfulness audits — a from-scratch Rust
+//! reproduction of Wu, Der & Keogh, *"When is Early Classification of Time
+//! Series Meaningful?"* (ICDE 2022).
+//!
+//! This crate is a facade: each module re-exports one workspace crate.
+//!
+//! * [`core`] — time series model, z-normalization, ED/DTW distances with
+//!   lower bounds, subsequence nearest-neighbor search, stream events.
+//! * [`datasets`] — seeded synthetic generators standing in for every
+//!   dataset the paper uses (GunPoint, spoken words, ECG, EOG, EPG, random
+//!   walks, chicken accelerometry).
+//! * [`classifiers`] — classic whole-series classification: kNN, centroids,
+//!   Gaussian models, SFA / WEASEL-lite, logistic regression, evaluation.
+//! * [`early`] — the ETSC algorithms (ECTS, RelaxedECTS, EDSC-CHE/KDE,
+//!   RelClass/LDG, TEASER, ECDIRE, stopping rules, cost-aware triggers,
+//!   template matching) behind the [`early::EarlyClassifier`] trait, with
+//!   an explicit prefix-normalization policy at evaluation time.
+//! * [`stream`] — anchored stream monitors, alarm scoring, intervention
+//!   cost models, and Appendix A's well-posed alternatives.
+//! * [`audit`] — the Section 6 meaningfulness criteria: costs,
+//!   prefix/inclusion/homophone confusability, priors, and normalization
+//!   sensitivity, combined into [`audit::MeaningfulnessReport`].
+//!
+//! ## Example
+//!
+//! ```
+//! use etsc::datasets::gunpoint::{self, GunPointConfig};
+//! use etsc::early::ects::{Ects, EctsConfig};
+//! use etsc::early::metrics::{evaluate, PrefixPolicy};
+//!
+//! let mut train = gunpoint::generate(10, &GunPointConfig::default(), 1);
+//! let mut test = gunpoint::generate(10, &GunPointConfig::default(), 2);
+//! train.znormalize();
+//! test.znormalize();
+//!
+//! let ects = Ects::fit(&train, &EctsConfig::default());
+//! let result = evaluate(&ects, &test, PrefixPolicy::Oracle);
+//! assert!(result.accuracy() > 0.5);
+//! assert!(result.earliness() <= 1.0);
+//! ```
+
+pub use etsc_audit as audit;
+pub use etsc_classifiers as classifiers;
+pub use etsc_core as core;
+pub use etsc_datasets as datasets;
+pub use etsc_early as early;
+pub use etsc_stream as stream;

@@ -1,0 +1,142 @@
+//! End-to-end audit tests: the full meaningfulness report over the words
+//! domain, plus the Fig 9 prefix-curve property.
+
+use etsc::audit::homophone::homophone_audit;
+use etsc::audit::inclusion::inclusion_audit;
+use etsc::audit::normalization::sensitivity_sweep;
+use etsc::audit::prefix::prefix_audit;
+use etsc::audit::report::{Assessment, DeploymentAssumptions, MeaningfulnessReport};
+use etsc::audit::PatternLexicon;
+use etsc::classifiers::eval::accuracy;
+use etsc::classifiers::knn::NearestNeighbors;
+use etsc::datasets::words::{utterance, WordConfig};
+use etsc::early::metrics::PrefixPolicy;
+use etsc::stream::CostModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn gun_point_domain_fails_the_meaningfulness_audit() {
+    // Canonical (jitter-free) renditions: the audit asks whether the
+    // *lexicon* contains confusers, so rendition noise only blurs the
+    // question.
+    let cfg = WordConfig {
+        noise: 0.0,
+        amp_jitter: 0.0,
+        time_jitter: 0.0,
+        ..WordConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(301);
+
+    let mut targets = PatternLexicon::new();
+    targets.add("gun", utterance("gun", &cfg, &mut rng));
+    targets.add("point", utterance("point", &cfg, &mut rng));
+
+    let mut lexicon = PatternLexicon::new();
+    for word in ["gunk", "gunnysack", "pointer", "pointless", "burgundy", "appointment"] {
+        lexicon.add(word, utterance(word, &cfg, &mut rng));
+    }
+
+    let prefix_findings = prefix_audit(&targets, &lexicon, 0.35);
+    let inclusion_findings = inclusion_audit(&targets, &lexicon, 0.35);
+    assert!(
+        prefix_findings.len() >= 3,
+        "gun-/point-prefixed words must collide, got {}",
+        prefix_findings.len()
+    );
+    assert!(
+        inclusion_findings.len() >= prefix_findings.len(),
+        "inclusion is a superset of prefix collisions"
+    );
+    // Every prefix collision names a genuinely prefixed word.
+    for f in &prefix_findings {
+        assert!(
+            f.confuser.starts_with(&f.target),
+            "{} flagged as prefix-confuser of {}",
+            f.confuser,
+            f.target
+        );
+    }
+
+    // Assemble a full report: the confusability criterion alone must fail it.
+    let mut probes = etsc::datasets::words::word_dataset(&["gun", "point"], 3, 100, &cfg, 302);
+    probes.znormalize();
+    let bg = etsc::datasets::random_walk::smoothed_random_walk(1 << 16, 15, 303);
+    let homophone_findings = homophone_audit(&probes, &[0], &[("rw", &bg)]);
+
+    let mut train = etsc::datasets::words::word_dataset(&["gun", "point"], 10, 100, &cfg, 304);
+    train.znormalize();
+    let clf = etsc::early::ects::Ects::fit(&train, &etsc::early::ects::EctsConfig::default());
+    let mut test = etsc::datasets::words::word_dataset(&["gun", "point"], 5, 100, &cfg, 305);
+    test.znormalize();
+    let sensitivity = sensitivity_sweep(&clf, &test, &[0.0, 1.0], PrefixPolicy::Oracle, 306);
+
+    let report = MeaningfulnessReport {
+        assumptions: DeploymentAssumptions {
+            cost_model: CostModel::appendix_b(),
+            events_per_million: 5.0,
+            expected_fp_per_million: 100.0,
+        },
+        prefix_findings,
+        inclusion_findings,
+        homophone_findings,
+        sensitivity,
+    };
+    assert_eq!(report.confusability_assessment(), Assessment::Fail);
+    assert_eq!(report.overall(), Assessment::Fail);
+    assert!(report.render().contains("FAIL"));
+}
+
+#[test]
+fn fig9_prefix_curve_has_an_interior_optimum() {
+    // The Fig 9 property: some proper prefix classifies at least as well as
+    // the full series, because the GunPoint tail is non-informative padding.
+    let cfg = etsc::datasets::gunpoint::GunPointConfig::default();
+    let train_raw = etsc::datasets::gunpoint::generate(12, &cfg, 401);
+    let test_raw = etsc::datasets::gunpoint::generate(20, &cfg, 402);
+    let full_len = train_raw.series_len();
+
+    let acc_at = |len: usize| {
+        let mut train = train_raw.prefix(len).unwrap();
+        let mut test = test_raw.prefix(len).unwrap();
+        train.znormalize();
+        test.znormalize();
+        accuracy(&NearestNeighbors::one_nn_euclidean(&train), &test)
+    };
+
+    let full_acc = acc_at(full_len);
+    let best_prefix_acc = (30..full_len)
+        .step_by(8)
+        .map(acc_at)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_prefix_acc >= full_acc,
+        "a prefix should match or beat full length: best {best_prefix_acc} vs full {full_acc}"
+    );
+    assert!(full_acc > 0.8, "the task itself is learnable: {full_acc}");
+}
+
+#[test]
+fn homophone_audit_on_gunpoint_pair_protocol() {
+    // Fig 5's protocol end-to-end: two same-class exemplars vs a long
+    // gesture-free background.
+    let gp_cfg = etsc::datasets::gunpoint::GunPointConfig {
+        noise: 0.04,
+        amplitude_jitter: 0.15,
+        onset_jitter: 6.0,
+        ..etsc::datasets::gunpoint::GunPointConfig::default()
+    };
+    let mut pool = etsc::datasets::gunpoint::generate(40, &gp_cfg, 501);
+    pool.znormalize();
+    let pair = pool.subset(&[3, 20]).unwrap(); // both class Gun
+    assert_eq!(pair.label(0), pair.label(1));
+
+    let bg = etsc::datasets::eog::eog_stream(1 << 17, &etsc::datasets::eog::EogConfig::default(), 502);
+    let findings = homophone_audit(&pair, &[0, 1], &[("eog", &bg)]);
+    assert_eq!(findings.len(), 2);
+    let n_homophones = findings.iter().filter(|f| f.has_homophone()).count();
+    assert!(
+        n_homophones >= 1,
+        "an hour of eye movement should contain a gesture homophone"
+    );
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the extension algorithms (ECDIRE, stopping rule,
+//! cost-aware) and the Appendix A monitors, run through the public facade.
+
+use etsc::datasets::gunpoint::{self, GunPointConfig};
+use etsc::early::costaware::{CostAware, CostAwareConfig};
+use etsc::early::ecdire::{Ecdire, EcdireConfig};
+use etsc::early::metrics::{evaluate, PrefixPolicy};
+use etsc::early::stopping_rule::{StoppingRule, StoppingRuleConfig};
+use etsc::early::EarlyClassifier;
+use etsc::stream::alternatives::{GoldenBatchMonitor, ValueThresholdMonitor};
+
+fn splits() -> (etsc::core::UcrDataset, etsc::core::UcrDataset) {
+    let cfg = GunPointConfig::default();
+    let mut train = gunpoint::generate(12, &cfg, 601);
+    let mut test = gunpoint::generate(20, &cfg, 602);
+    train.znormalize();
+    test.znormalize();
+    (train, test)
+}
+
+#[test]
+fn ecdire_on_gunpoint_is_accurate() {
+    let (train, test) = splits();
+    let m = Ecdire::fit(&train, &EcdireConfig::default());
+    let ev = evaluate(&m, &test, PrefixPolicy::Oracle);
+    // Centroid-based ECDIRE blurs GunPoint's subtle fumble bump; ~0.72-0.78
+    // is its honest level on this generator (cf. exp_roster_comparison).
+    assert!(ev.accuracy() >= 0.65, "accuracy {}", ev.accuracy());
+    // GunPoint's discriminating region is early but not instant: safe
+    // timestamps must not be at the very first checkpoint.
+    for safe in m.safe_lengths().into_iter().flatten() {
+        assert!(safe >= train.series_len() / 20);
+    }
+}
+
+#[test]
+fn stopping_rule_on_gunpoint_beats_coin_flip_early() {
+    let (train, test) = splits();
+    let m = StoppingRule::fit(&train, &StoppingRuleConfig::default());
+    let ev = evaluate(&m, &test, PrefixPolicy::Oracle);
+    assert!(ev.accuracy() >= 0.75, "accuracy {}", ev.accuracy());
+    assert!(ev.earliness() < 1.0, "must commit before full length");
+}
+
+#[test]
+fn cost_aware_trigger_respects_economics() {
+    let (train, test) = splits();
+    // Errors expensive, waiting cheap: the trigger sits past the
+    // discriminating region and accuracy is high.
+    let careful = CostAware::fit(
+        &train,
+        &CostAwareConfig {
+            misclassification_cost: 10_000.0,
+            time_cost: 1.0,
+            ..Default::default()
+        },
+    );
+    let ev = evaluate(&careful, &test, PrefixPolicy::Oracle);
+    assert!(ev.accuracy() >= 0.85, "accuracy {}", ev.accuracy());
+    // Waiting expensive: the trigger moves earlier.
+    let hasty = CostAware::fit(
+        &train,
+        &CostAwareConfig {
+            misclassification_cost: 10.0,
+            time_cost: 50.0,
+            ..Default::default()
+        },
+    );
+    assert!(hasty.trigger_len() <= careful.trigger_len());
+}
+
+#[test]
+fn all_early_classifiers_agree_on_trait_contract() {
+    let (train, _) = splits();
+    let models: Vec<Box<dyn EarlyClassifier>> = vec![
+        Box::new(Ecdire::fit(&train, &EcdireConfig::default())),
+        Box::new(StoppingRule::fit(&train, &StoppingRuleConfig::default())),
+        Box::new(CostAware::fit(&train, &CostAwareConfig::default())),
+    ];
+    let probe = train.series(0);
+    for m in &models {
+        assert_eq!(m.n_classes(), 2);
+        assert_eq!(m.series_len(), train.series_len());
+        assert!(m.min_prefix() >= 1);
+        // Full-length behavior is defined for every model.
+        let label = m.predict_full(probe);
+        assert!(label < 2);
+        // decide never panics on any prefix length.
+        for l in 1..=probe.len() {
+            let _ = m.decide(&probe[..l]);
+        }
+    }
+}
+
+#[test]
+fn boiler_monitor_warns_before_the_limit() {
+    let mut m = ValueThresholdMonitor::new(200.0, 198.0, 10, 40.0);
+    let mut warned_at_pressure = None;
+    for i in 0..200 {
+        let pressure = 150.0 + 0.3 * i as f64;
+        if m.push(pressure).is_some() {
+            warned_at_pressure = Some(pressure);
+            break;
+        }
+    }
+    let p = warned_at_pressure.expect("a rising signal must warn");
+    assert!(p < 200.0, "warning must precede the limit, got {p}");
+}
+
+#[test]
+fn golden_batch_monitor_passes_good_runs_and_fails_bad_ones() {
+    let golden: Vec<f64> = (0..150).map(|i| (i as f64 * 0.07).sin() * 3.0).collect();
+    // Good run: tiny measurement noise.
+    let mut good = GoldenBatchMonitor::new(golden.clone(), 0.2, 2, 3);
+    for (i, &v) in golden.iter().enumerate() {
+        let observed = v + 0.05 * ((i % 3) as f64 - 1.0);
+        assert!(!good.push(observed), "good run flagged at step {i}");
+    }
+    // Bad run: gain error of 50%.
+    let mut bad = GoldenBatchMonitor::new(golden.clone(), 0.2, 2, 3);
+    let tripped = golden.iter().enumerate().any(|(_, &v)| bad.push(v * 1.5));
+    assert!(tripped, "a 50% gain error must trip the envelope");
+}

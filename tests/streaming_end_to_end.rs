@@ -1,0 +1,135 @@
+//! End-to-end streaming tests: the prefix problem of Fig 2 and the
+//! false-positive flood of Appendix B, asserted quantitatively.
+
+use etsc::core::{AnnotatedStream, Event};
+use etsc::datasets::random_walk::smoothed_random_walk;
+use etsc::datasets::words::{sentence_stream, word_dataset, WordConfig, FIG2_SENTENCE};
+use etsc::early::template::TemplateMatcher;
+use etsc::stream::{
+    score_alarms, CostModel, ScoringConfig, StreamMonitor, StreamMonitorConfig, StreamNorm,
+};
+
+fn cat_dog_matcher() -> TemplateMatcher {
+    let cfg = WordConfig::default();
+    let mut train = word_dataset(&["cat", "dog"], 25, 72, &cfg, 11);
+    train.znormalize();
+    let thr = TemplateMatcher::calibrate_threshold(&train, 0.90);
+    TemplateMatcher::from_centroids(&train, thr * 0.9, 42)
+}
+
+fn monitor_cfg() -> StreamMonitorConfig {
+    StreamMonitorConfig {
+        anchor_stride: 2,
+        norm: StreamNorm::PerPrefix,
+        refractory: 60,
+    }
+}
+
+#[test]
+fn fig2_sentence_produces_only_false_positives() {
+    let clf = cat_dog_matcher();
+    let stream = sentence_stream(FIG2_SENTENCE, &["cat", "dog"], &WordConfig::default(), 13);
+    assert!(stream.events.is_empty(), "the sentence contains no standalone cat/dog");
+    let mut monitor = StreamMonitor::new(&clf, monitor_cfg());
+    let alarms = monitor.run(&stream.data);
+    let score = score_alarms(
+        &alarms,
+        &stream.events,
+        stream.len(),
+        &ScoringConfig {
+            tolerance: 40,
+            match_labels: true,
+        },
+    );
+    assert!(
+        score.false_positives >= 4,
+        "prefix words must trigger false positives, got {}",
+        score.false_positives
+    );
+    assert_eq!(score.true_positives, 0);
+}
+
+#[test]
+fn control_sentence_with_real_targets_is_detected() {
+    let clf = cat_dog_matcher();
+    let stream = sentence_stream(
+        &["the", "cat", "sat", "near", "the", "dog", "quietly"],
+        &["cat", "dog"],
+        &WordConfig::default(),
+        17,
+    );
+    assert_eq!(stream.events.len(), 2);
+    let mut monitor = StreamMonitor::new(&clf, monitor_cfg());
+    let alarms = monitor.run(&stream.data);
+    let score = score_alarms(
+        &alarms,
+        &stream.events,
+        stream.len(),
+        &ScoringConfig {
+            tolerance: 40,
+            match_labels: true,
+        },
+    );
+    assert_eq!(score.true_positives, 2, "both real targets must be found");
+    assert_eq!(score.false_negatives, 0);
+}
+
+#[test]
+fn random_walk_background_floods_a_gesture_detector() {
+    let cfg = etsc::datasets::gunpoint::GunPointConfig::default();
+    let mut train = etsc::datasets::gunpoint::generate(10, &cfg, 201);
+    let mut test = etsc::datasets::gunpoint::generate(5, &cfg, 202);
+    train.znormalize();
+    test.znormalize();
+    let teaser = etsc::early::teaser::Teaser::fit(
+        &train,
+        &etsc::early::teaser::TeaserConfig::fast(),
+    );
+
+    // 10 events inside 120k samples of structureless background.
+    let mut data = smoothed_random_walk(120_000, 15, 203);
+    let mut events = Vec::new();
+    let mut pos = 5_000;
+    for (s, label) in test.iter().chain(test.iter()) {
+        if pos + s.len() >= data.len() {
+            break;
+        }
+        let level = data[pos];
+        for (j, &v) in s.iter().enumerate() {
+            data[pos + j] = level + 2.0 * v;
+        }
+        events.push(Event::new(pos, pos + s.len(), label));
+        pos += 11_000;
+    }
+    let stream = AnnotatedStream::new(data, events);
+
+    let mut monitor = StreamMonitor::new(
+        &teaser,
+        StreamMonitorConfig {
+            anchor_stride: 8,
+            norm: StreamNorm::PerPrefix,
+            refractory: 75,
+        },
+    );
+    let alarms = monitor.run(&stream.data);
+    let score = score_alarms(
+        &alarms,
+        &stream.events,
+        stream.len(),
+        &ScoringConfig {
+            tolerance: 75,
+            match_labels: false,
+        },
+    );
+    assert!(
+        score.false_positives > 10 * score.true_positives.max(1),
+        "background must flood the detector: {} FP vs {} TP",
+        score.false_positives,
+        score.true_positives
+    );
+    let report = CostModel::appendix_b().evaluate(&score);
+    assert!(
+        !report.worth_deploying(),
+        "the Appendix B economics must reject this deployment"
+    );
+}

@@ -1,0 +1,108 @@
+//! End-to-end integration test of the Table 1 pipeline: generate data,
+//! normalize, fit every algorithm, evaluate normalized vs denormalized, and
+//! assert the paper's qualitative result — accuracy collapses under a
+//! physically trivial offset.
+
+use etsc::datasets::gunpoint::{self, GunPointConfig};
+use etsc::datasets::transforms::{denormalize, DenormalizeConfig};
+use etsc::early::ects::{Ects, EctsConfig};
+use etsc::early::edsc::{Edsc, EdscConfig, ThresholdMethod};
+use etsc::early::metrics::{evaluate, PrefixPolicy};
+use etsc::early::relclass::{RelClass, RelClassConfig};
+use etsc::early::teaser::{Teaser, TeaserConfig};
+use etsc::early::EarlyClassifier;
+
+fn splits() -> (etsc::core::UcrDataset, etsc::core::UcrDataset) {
+    let cfg = GunPointConfig::default();
+    let mut train = gunpoint::generate(12, &cfg, 101);
+    let mut test = gunpoint::generate(25, &cfg, 102);
+    train.znormalize();
+    test.znormalize();
+    (train, test)
+}
+
+/// Fit the algorithm, check it is accurate on normalized data, and that the
+/// denormalized offset costs it a meaningful number of points.
+fn assert_denormalization_hurts(clf: &dyn EarlyClassifier, test: &etsc::core::UcrDataset) {
+    let denorm = denormalize(test, DenormalizeConfig::default(), 103);
+    let normalized = evaluate(clf, test, PrefixPolicy::Oracle);
+    let denormalized = evaluate(clf, &denorm, PrefixPolicy::Oracle);
+    assert!(
+        normalized.accuracy() >= 0.8,
+        "normalized accuracy too low: {}",
+        normalized.accuracy()
+    );
+    assert!(
+        denormalized.accuracy() <= normalized.accuracy() - 0.05,
+        "denormalization should cost at least 5 points: {} -> {}",
+        normalized.accuracy(),
+        denormalized.accuracy()
+    );
+}
+
+#[test]
+fn ects_collapses_under_denormalization() {
+    let (train, test) = splits();
+    let clf = Ects::fit(&train, &EctsConfig::default());
+    assert_denormalization_hurts(&clf, &test);
+}
+
+#[test]
+fn relaxed_ects_collapses_under_denormalization() {
+    let (train, test) = splits();
+    let clf = Ects::fit(
+        &train,
+        &EctsConfig {
+            relaxed: true,
+            ..EctsConfig::default()
+        },
+    );
+    assert_denormalization_hurts(&clf, &test);
+}
+
+#[test]
+fn edsc_che_collapses_under_denormalization() {
+    let (train, test) = splits();
+    let clf = Edsc::fit(
+        &train,
+        &EdscConfig {
+            lengths: vec![15, 25],
+            stride: 6,
+            method: ThresholdMethod::Chebyshev { k: 3.0 },
+            min_precision: 0.8,
+            max_features_per_class: 10,
+        },
+    );
+    assert_denormalization_hurts(&clf, &test);
+}
+
+#[test]
+fn relclass_is_accurate_when_normalized() {
+    let (train, test) = splits();
+    let clf = RelClass::fit(&train, &RelClassConfig::default());
+    let ev = evaluate(&clf, &test, PrefixPolicy::Oracle);
+    assert!(ev.accuracy() >= 0.75, "accuracy {}", ev.accuracy());
+    assert!(ev.earliness() < 1.0, "should commit before full length");
+    // And loses accuracy when shifted.
+    let denorm = denormalize(&test, DenormalizeConfig::default(), 104);
+    let dn = evaluate(&clf, &denorm, PrefixPolicy::Oracle);
+    assert!(dn.accuracy() < ev.accuracy() + 1e-9);
+}
+
+#[test]
+fn teaser_with_honest_norm_is_shift_invariant() {
+    let (train, test) = splits();
+    let clf = Teaser::fit(&train, &TeaserConfig::fast());
+    let denorm = denormalize(&test, DenormalizeConfig::default(), 105);
+    let normalized = evaluate(&clf, &test, PrefixPolicy::Raw);
+    let denormalized = evaluate(&clf, &denorm, PrefixPolicy::Raw);
+    // Footnote 2 of the paper: TEASER normalizes prefixes honestly, so a
+    // constant offset changes nothing.
+    assert!(
+        (normalized.accuracy() - denormalized.accuracy()).abs() < 1e-9,
+        "TEASER must be exactly offset-invariant: {} vs {}",
+        normalized.accuracy(),
+        denormalized.accuracy()
+    );
+    assert!(normalized.accuracy() >= 0.7);
+}
