@@ -42,9 +42,7 @@ impl PatternLexicon {
 
     /// Iterate `(name, pattern)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[f64])> {
-        self.entries
-            .iter()
-            .map(|(n, p)| (n.as_str(), p.as_slice()))
+        self.entries.iter().map(|(n, p)| (n.as_str(), p.as_slice()))
     }
 
     /// Look up all patterns with the given name.

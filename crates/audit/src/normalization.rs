@@ -188,7 +188,10 @@ mod tests {
                 .unwrap()
                 .accuracy
         };
-        assert!(acc_at(2.0) < 1.0, "large offsets must hurt a raw-level model");
+        assert!(
+            acc_at(2.0) < 1.0,
+            "large offsets must hurt a raw-level model"
+        );
         assert!(report.max_drop() > 0.0);
         assert!(!report.is_robust(0.01));
     }

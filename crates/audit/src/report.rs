@@ -277,7 +277,13 @@ mod tests {
     #[test]
     fn render_mentions_all_criteria() {
         let text = clean_report().render();
-        for needle in ["costs", "confusability", "prior", "normalization", "overall"] {
+        for needle in [
+            "costs",
+            "confusability",
+            "prior",
+            "normalization",
+            "overall",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

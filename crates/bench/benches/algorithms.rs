@@ -64,7 +64,9 @@ fn bench_decide(c: &mut Criterion) {
     group.bench_function("ects", |b| b.iter(|| ects.decide(black_box(half))));
     group.bench_function("edsc_che", |b| b.iter(|| edsc.decide(black_box(half))));
     group.bench_function("relclass", |b| b.iter(|| relclass.decide(black_box(half))));
-    group.bench_function("teaser_centroid", |b| b.iter(|| teaser.decide(black_box(half))));
+    group.bench_function("teaser_centroid", |b| {
+        b.iter(|| teaser.decide(black_box(half)))
+    });
     group.bench_function("template_matcher", |b| {
         b.iter(|| template.decide(black_box(half)))
     });

@@ -1,11 +1,15 @@
 //! Criterion benchmarks of the streaming layer: monitor throughput
 //! (samples/second a deployment can sustain) under different anchor strides
-//! and normalization policies.
+//! and normalization policies, plus the head-to-head the session API exists
+//! for — incremental `session().push(x)` versus re-deciding every grown
+//! prefix.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use etsc_bench::gunpoint_splits_small;
 use etsc_datasets::random_walk::smoothed_random_walk;
+use etsc_early::ects::{Ects, EctsConfig};
 use etsc_early::template::TemplateMatcher;
+use etsc_early::{EarlyClassifier, SessionNorm};
 use etsc_stream::{StreamMonitor, StreamMonitorConfig, StreamNorm};
 
 fn bench_monitor_throughput(c: &mut Criterion) {
@@ -48,6 +52,54 @@ fn bench_monitor_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The API-redesign headline: per-sample cost of one anchor's lifetime.
+///
+/// `prefix_decide` is what the pre-session monitor did per anchor — rebuild
+/// the prefix and run the stateless `decide` at every arriving sample, so
+/// sample `t` costs O(t) and a full anchor costs O(L²) classifier work.
+/// `session_push` feeds the same samples through the incremental session:
+/// amortized O(1) per sample for the ED-based models, O(L) per anchor.
+/// Both process identical data and reach identical decisions (the
+/// equivalence is property-tested); only the work to get there differs.
+fn bench_session_vs_prefix(c: &mut Criterion) {
+    let (mut train, _) = gunpoint_splits_small(23);
+    train.znormalize();
+    let series_len = train.series_len();
+    // A background-like probe that never commits: every push does full work
+    // for the anchor's entire lifetime (the monitor's common case).
+    let probe = smoothed_random_walk(series_len, 15, 9);
+
+    let template = TemplateMatcher::from_centroids(&train, 0.05, 40);
+    let ects = Ects::fit(&train, &EctsConfig::default());
+    let models: [(&str, &dyn EarlyClassifier); 2] = [("template", &template), ("ects_1nn", &ects)];
+
+    let mut group = c.benchmark_group("session_vs_prefix");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(series_len as u64));
+    for (name, clf) in models {
+        group.bench_with_input(BenchmarkId::new("prefix_decide", name), &clf, |b, clf| {
+            b.iter(|| {
+                let mut last = etsc_early::Decision::Wait;
+                for t in 1..=probe.len() {
+                    last = clf.decide(black_box(&probe[..t]));
+                }
+                last
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("session_push", name), &clf, |b, clf| {
+            b.iter(|| {
+                let mut session = clf.session(SessionNorm::Raw);
+                let mut last = etsc_early::Decision::Wait;
+                for &x in black_box(&probe) {
+                    last = session.push(x);
+                }
+                last
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_scoring(c: &mut Criterion) {
     use etsc_core::Event;
     use etsc_stream::{score_alarms, Alarm, ScoringConfig};
@@ -74,5 +126,10 @@ fn bench_scoring(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_monitor_throughput, bench_scoring);
+criterion_group!(
+    benches,
+    bench_monitor_throughput,
+    bench_session_vs_prefix,
+    bench_scoring
+);
 criterion_main!(benches);

@@ -8,9 +8,7 @@ use etsc_bench::{gunpoint_splits_small, render_table};
 use etsc_core::{AnnotatedStream, Event};
 use etsc_datasets::random_walk::smoothed_random_walk;
 use etsc_early::teaser::{Teaser, TeaserConfig};
-use etsc_stream::{
-    score_alarms, ScoringConfig, StreamMonitor, StreamMonitorConfig, StreamNorm,
-};
+use etsc_stream::{score_alarms, ScoringConfig, StreamMonitor, StreamMonitorConfig, StreamNorm};
 
 fn build_stream(test: &etsc_core::UcrDataset) -> AnnotatedStream {
     let mut data = smoothed_random_walk(300_000, 15, 91);
@@ -92,8 +90,7 @@ fn main() {
     // positives.
     let ects = etsc_early::ects::Ects::fit(&train, &etsc_early::ects::EctsConfig::default());
     let thr = etsc_early::template::TemplateMatcher::calibrate_threshold(&train, 0.95);
-    let template =
-        etsc_early::template::TemplateMatcher::from_centroids(&train, thr, 20);
+    let template = etsc_early::template::TemplateMatcher::from_centroids(&train, thr, 20);
     let background = smoothed_random_walk(40_000, 15, 92); // zero events
     let mut rows2 = Vec::new();
     {

@@ -87,7 +87,11 @@ fn main() {
     }
     println!(
         "   trend 10 -> 25 forecasts 40 next day: early intervention {} (paper's example)",
-        if freq.forecast_exceeds(39) { "warranted" } else { "not warranted" }
+        if freq.forecast_exceeds(39) {
+            "warranted"
+        } else {
+            "not warranted"
+        }
     );
     println!("\nNone of these used the *shape* of a pattern prefix — which is exactly why");
     println!("they escape the prefix/inclusion/homophone/normalization traps of Sections 3-4.");

@@ -92,7 +92,10 @@ fn main() {
 
     let model = CostModel::appendix_b();
     let report = model.evaluate(&score);
-    println!("cost model: event ${}, action ${}", model.event_cost, model.action_cost);
+    println!(
+        "cost model: event ${}, action ${}",
+        model.event_cost, model.action_cost
+    );
     println!(
         "break-even FP:TP     {:.1}    observed FP:TP {:.1}",
         report.break_even_fp_per_tp, report.observed_fp_per_tp

@@ -57,7 +57,10 @@ fn main() {
     for (word, class) in vocab.iter().zip(0usize..) {
         let i = (0..ds.len()).find(|&i| ds.label(i) == class).unwrap();
         println!("{word:>4}: {}", sparkline(ds.series(i)));
-        let j = (0..ds.len()).filter(|&i| ds.label(i) == class).nth(1).unwrap();
+        let j = (0..ds.len())
+            .filter(|&i| ds.label(i) == class)
+            .nth(1)
+            .unwrap();
         println!("{word:>4}: {}", sparkline(ds.series(j)));
     }
     println!("\nEqual length, aligned, normalized — the format every ETSC paper assumes.");

@@ -64,9 +64,7 @@ fn main() {
     for a in &alarms {
         println!(
             "  alarm at t={:>5}  class={}  confidence={:.2}",
-            a.time,
-            targets[a.label],
-            a.confidence
+            a.time, targets[a.label], a.confidence
         );
     }
     println!(

@@ -38,7 +38,11 @@ fn main() {
         class_name(pred),
         len,
         exemplar.len(),
-        if committed { "early commit" } else { "full-length fallback" },
+        if committed {
+            "early commit"
+        } else {
+            "full-length fallback"
+        },
         100.0 * len as f64 / exemplar.len() as f64
     );
 

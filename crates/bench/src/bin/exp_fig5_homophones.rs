@@ -48,8 +48,11 @@ fn main() {
     let eog = eog_stream(bg_len, &EogConfig::default(), 51);
     let rw = smoothed_random_walk(rw_len, 15, 52);
     let epg = epg_stream(bg_len, &EpgConfig::default(), 53);
-    let backgrounds: Vec<(&str, &[f64])> =
-        vec![("EOG (eye)", &eog), ("Smoothed RW", &rw), ("EPG (insect)", &epg)];
+    let backgrounds: Vec<(&str, &[f64])> = vec![
+        ("EOG (eye)", &eog),
+        ("Smoothed RW", &rw),
+        ("EPG (insect)", &epg),
+    ];
 
     let findings = homophone_audit(&test, &probes, &backgrounds);
     let mut rows = Vec::new();
@@ -62,7 +65,11 @@ fn main() {
             format!(
                 "probe {} ({})",
                 f.probe_index,
-                if test.label(f.probe_index) == 0 { "Gun" } else { "Point" }
+                if test.label(f.probe_index) == 0 {
+                    "Gun"
+                } else {
+                    "Point"
+                }
             ),
             f.background.clone(),
             format!("{:.3}", f.in_class_nn_dist),
@@ -74,7 +81,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["probe", "background", "in-class NN", "background NN", "ratio", "homophone?"],
+            &[
+                "probe",
+                "background",
+                "in-class NN",
+                "background NN",
+                "ratio",
+                "homophone?"
+            ],
             &rows
         )
     );

@@ -21,7 +21,10 @@ fn main() {
 
     println!("Fig 7: per-beat mean and sigma drift in two-channel ECG telemetry\n");
     let mut rows = Vec::new();
-    for (name, channel) in [("ECG1 (mean drift)", Channel::MeanDrift), ("ECG2 (sigma drift)", Channel::StdDrift)] {
+    for (name, channel) in [
+        ("ECG1 (mean drift)", Channel::MeanDrift),
+        ("ECG2 (sigma drift)", Channel::StdDrift),
+    ] {
         let s = ecg_stream(n_beats, channel, 0, &cfg, 71);
         let stats = per_beat_stats(&s.data, cfg.beat_len);
         let means: Vec<f64> = stats.iter().map(|&(m, _)| m).collect();
@@ -44,7 +47,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["channel", "beat-mean range", "sd(means)", "beat-sigma range", "sigma spread"],
+            &[
+                "channel",
+                "beat-mean range",
+                "sd(means)",
+                "beat-sigma range",
+                "sigma spread"
+            ],
             &rows
         )
     );
@@ -104,8 +113,7 @@ fn main() {
     };
     // (b) Honest per-window re-normalization (requires the WHOLE window —
     // i.e. no longer early classification).
-    let honest_matches =
-        etsc_core::nn::matches_within(&centroid, &stream.data, thr).len();
+    let honest_matches = etsc_core::nn::matches_within(&centroid, &stream.data, thr).len();
 
     println!(
         "beat template (from z-normalized training beats, threshold {thr:.2}) scanned over\n\

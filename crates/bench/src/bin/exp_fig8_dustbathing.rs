@@ -55,7 +55,10 @@ fn main() {
     };
 
     let mut rows = Vec::new();
-    for (name, template) in [("full (120 pts)", &full), ("truncated (70 pts)", &truncated)] {
+    for (name, template) in [
+        ("full (120 pts)", &full),
+        ("truncated (70 pts)", &truncated),
+    ] {
         for threshold in [1.2, 1.7, 2.3, 3.0, 4.0] {
             let (tp, fp, fneg) = evaluate(template, threshold);
             let precision = tp as f64 / (tp + fp).max(1) as f64;
@@ -74,7 +77,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["template", "thresh", "TP", "FP", "FN", "precision", "recall"],
+            &[
+                "template",
+                "thresh",
+                "TP",
+                "FP",
+                "FN",
+                "precision",
+                "recall"
+            ],
             &rows
         )
     );

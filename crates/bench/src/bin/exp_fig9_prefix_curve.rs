@@ -67,8 +67,6 @@ fn main() {
         "earliest prefix matching full:  {match_len} points ({:.1}% of the data)",
         100.0 * match_len as f64 / full_len as f64
     );
-    println!(
-        "\npaper: error minimized at 46 points; 30.6% of the data already matches, and"
-    );
+    println!("\npaper: error minimized at 46 points; 30.6% of the data already matches, and");
     println!("33.3% beats, the full-length accuracy — without any early-classification model.");
 }

@@ -68,13 +68,18 @@ fn main() {
 
     // 3.2 — inclusion.
     let inclusion_sentence = [
-        "in", "the", "morning", "light", "i", "could", "see", "that", "i", "got", "a",
-        "papercut", "from", "the", "paper", "that", "the", "light", "was", "wrapped", "in",
+        "in", "the", "morning", "light", "i", "could", "see", "that", "i", "got", "a", "papercut",
+        "from", "the", "paper", "that", "the", "light", "was", "wrapped", "in",
     ];
     // Early classification means committing after ~25% of the target — which
     // is precisely why the contained atom "light" suffices to fire.
-    let (tp, fp, events, _) =
-        deploy(&["lightweight", "paperweight"], &inclusion_sentence, 41, 1.0, 0.25);
+    let (tp, fp, events, _) = deploy(
+        &["lightweight", "paperweight"],
+        &inclusion_sentence,
+        41,
+        1.0,
+        0.25,
+    );
     println!("3.2 inclusion: targets {{lightweight, paperweight}}");
     println!("    sentence: {}", inclusion_sentence.join(" "));
     println!(
@@ -107,10 +112,6 @@ fn main() {
     let (tp, fp, events, _) = deploy(&["gun", "point"], AMY_GUNN_SENTENCE, 47, 1.1, 0.5);
     println!("\n3.4 the Amy Gunn sentence: targets {{gun, point}}");
     println!("    sentence: {}", AMY_GUNN_SENTENCE.join(" "));
-    println!(
-        "    true events {events} (gunn/pointe are homophones, not annotated events),"
-    );
-    println!(
-        "    alarms: {tp} TP / {fp} FP   (paper: 'a plethora of false positives')"
-    );
+    println!("    true events {events} (gunn/pointe are homophones, not annotated events),");
+    println!("    alarms: {tp} TP / {fp} FP   (paper: 'a plethora of false positives')");
 }

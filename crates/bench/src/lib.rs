@@ -129,10 +129,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     line(&mut out, headers.iter().map(|s| s.to_string()).collect());
-    line(
-        &mut out,
-        widths.iter().map(|&w| "-".repeat(w)).collect(),
-    );
+    line(&mut out, widths.iter().map(|&w| "-".repeat(w)).collect());
     for row in rows {
         line(&mut out, row.clone());
     }

@@ -6,7 +6,7 @@
 use etsc_core::distance::euclidean;
 use etsc_core::UcrDataset;
 
-use crate::Classifier;
+use crate::{Classifier, ScoreSession};
 
 /// A fitted nearest-centroid model: one mean series per class.
 #[derive(Debug, Clone)]
@@ -64,6 +64,64 @@ impl NearestCentroid {
             })
             .collect()
     }
+
+    /// Softmax over negative length-normalized distances, written into
+    /// `dist` in place (`dist[c]` holds class `c`'s distance on entry).
+    fn softmax_distances_in_place(&self, dist: &mut [f64]) {
+        let min = dist.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut z = 0.0;
+        for v in dist.iter_mut() {
+            *v = (-self.beta * (*v - min)).exp();
+            z += *v;
+        }
+        if z > 0.0 {
+            dist.iter_mut().for_each(|v| *v /= z);
+        }
+    }
+}
+
+/// Incremental per-sample scorer for [`NearestCentroid`]: maintains the
+/// running squared distance to each centroid, so class probabilities cost
+/// O(classes) per sample instead of O(classes × prefix).
+#[derive(Debug)]
+pub struct CentroidScoreSession<'a> {
+    model: &'a NearestCentroid,
+    /// Running squared Euclidean distance per class over observed samples.
+    sq: Vec<f64>,
+    /// Samples consumed (uncapped).
+    len: usize,
+}
+
+impl ScoreSession for CentroidScoreSession<'_> {
+    fn push(&mut self, x: f64) {
+        if self.len < self.model.centroids[0].len() {
+            // Still inside the centroid length: accumulate coordinate `len`.
+            for (acc, c) in self.sq.iter_mut().zip(&self.model.centroids) {
+                let d = x - c[self.len];
+                *acc += d * d;
+            }
+        }
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn predict_proba_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.sq.len());
+        let n = self.len.min(self.model.centroids[0].len()).max(1);
+        let root_n = (n as f64).sqrt();
+        for (o, &s) in out.iter_mut().zip(&self.sq) {
+            *o = s.sqrt() / root_n;
+        }
+        self.model.softmax_distances_in_place(out);
+    }
+
+    fn reset(&mut self) {
+        self.sq.fill(0.0);
+        self.len = 0;
+    }
 }
 
 impl Classifier for NearestCentroid {
@@ -73,14 +131,26 @@ impl Classifier for NearestCentroid {
 
     /// Softmax over negative (length-normalized) centroid distances.
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        let d = self.distances(x);
-        let min = d.iter().cloned().fold(f64::INFINITY, f64::min);
-        let mut p: Vec<f64> = d.iter().map(|&v| (-self.beta * (v - min)).exp()).collect();
-        let z: f64 = p.iter().sum();
-        if z > 0.0 {
-            p.iter_mut().for_each(|v| *v /= z);
-        }
+        let mut p = self.distances(x);
+        self.softmax_distances_in_place(&mut p);
         p
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.centroids.len());
+        for (o, c) in out.iter_mut().zip(&self.centroids) {
+            let n = x.len().min(c.len());
+            *o = euclidean(&x[..n], &c[..n]) / (n as f64).sqrt();
+        }
+        self.softmax_distances_in_place(out);
+    }
+
+    fn score_session(&self) -> Option<Box<dyn ScoreSession + '_>> {
+        Some(Box::new(CentroidScoreSession {
+            model: self,
+            sq: vec![0.0; self.centroids.len()],
+            len: 0,
+        }))
     }
 }
 
@@ -130,5 +200,32 @@ mod tests {
         // Only 2 points seen; still classifiable.
         assert_eq!(m.predict(&[5.0, 5.0]), 1);
         assert_eq!(m.predict(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn predict_proba_into_matches_vec_path() {
+        let m = NearestCentroid::fit(&toy());
+        let probe = [0.3, 1.0, 4.0];
+        let mut out = [0.0; 2];
+        m.predict_proba_into(&probe, &mut out);
+        assert_eq!(out.to_vec(), m.predict_proba(&probe));
+    }
+
+    #[test]
+    fn score_session_matches_batch_on_every_prefix() {
+        let m = NearestCentroid::fit(&toy());
+        let mut s = m.score_session().expect("centroid is incremental");
+        // Longer than the centroids to exercise the truncation cap.
+        let probe = [0.3, 1.0, 4.0, 5.0, 2.0, 7.0];
+        let mut out = [0.0; 2];
+        for (i, &x) in probe.iter().enumerate() {
+            s.push(x);
+            s.predict_proba_into(&mut out);
+            let batch = m.predict_proba(&probe[..i + 1]);
+            assert_eq!(out.to_vec(), batch, "prefix {}", i + 1);
+        }
+        assert_eq!(s.len(), probe.len());
+        s.reset();
+        assert!(s.is_empty());
     }
 }

@@ -102,8 +102,7 @@ where
     // Stratified fold assignment: shuffle within each class, deal round-robin.
     let mut fold_of = vec![0usize; data.len()];
     for c in 0..data.n_classes() {
-        let mut members: Vec<usize> =
-            (0..data.len()).filter(|&i| data.label(i) == c).collect();
+        let mut members: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == c).collect();
         members.shuffle(&mut rng);
         for (pos, &i) in members.iter().enumerate() {
             fold_of[i] = pos % k;
@@ -187,9 +186,7 @@ mod tests {
     #[test]
     fn cross_val_on_separable_data() {
         let d = toy(10);
-        let acc = cross_val_accuracy(&d, 5, 1, |train| {
-            NearestNeighbors::one_nn_euclidean(train)
-        });
+        let acc = cross_val_accuracy(&d, 5, 1, NearestNeighbors::one_nn_euclidean);
         assert_eq!(acc, 1.0);
     }
 

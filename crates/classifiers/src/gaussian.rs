@@ -9,7 +9,7 @@
 use etsc_core::{ClassLabel, UcrDataset};
 
 use crate::linalg::{covariance, Cholesky, Matrix};
-use crate::Classifier;
+use crate::{Classifier, ScoreSession};
 
 const LN_2PI: f64 = 1.8378770664093453;
 
@@ -146,8 +146,7 @@ impl GaussianModel {
                 let sub = cov.leading_principal(t);
                 match Cholesky::new(&sub) {
                     Some(ch) => {
-                        let diff: Vec<f64> =
-                            (0..t).map(|i| x[i] - cg.mean[i]).collect();
+                        let diff: Vec<f64> = (0..t).map(|i| x[i] - cg.mean[i]).collect();
                         -0.5 * (t as f64 * LN_2PI + ch.log_det() + ch.quadratic_form(&diff))
                     }
                     None => {
@@ -166,10 +165,18 @@ impl GaussianModel {
 
     /// Class posteriors given a prefix: softmax of `log prior + log lik`.
     pub fn posterior_prefix(&self, x: &[f64]) -> Vec<f64> {
-        let logs: Vec<f64> = (0..self.classes.len())
-            .map(|c| self.classes[c].prior.max(1e-12).ln() + self.log_likelihood_prefix(c, x))
-            .collect();
-        softmax_of_logs(&logs)
+        let mut out = vec![0.0; self.classes.len()];
+        self.posterior_prefix_into(x, &mut out);
+        out
+    }
+
+    /// [`posterior_prefix`](Self::posterior_prefix) into a caller buffer.
+    pub fn posterior_prefix_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.classes.len());
+        for (c, o) in out.iter_mut().enumerate() {
+            *o = self.classes[c].prior.max(1e-12).ln() + self.log_likelihood_prefix(c, x);
+        }
+        softmax_of_logs_in_place(out);
     }
 
     /// Class mean (for inspection / conditional completion).
@@ -181,6 +188,102 @@ impl GaussianModel {
     pub fn class_prior(&self, c: ClassLabel) -> f64 {
         self.classes[c].prior
     }
+
+    /// Open an incremental per-class log-likelihood accumulator, if the
+    /// covariance structure decomposes per coordinate (diagonal or pooled
+    /// diagonal). `Full` covariance couples coordinates through the
+    /// Cholesky factor of the growing principal submatrix, so it returns
+    /// `None` and callers rescore whole prefixes.
+    pub fn likelihood_session(&self) -> Option<GaussianLikelihoodSession<'_>> {
+        match self.kind {
+            CovarianceKind::Diagonal | CovarianceKind::PooledDiagonal => {
+                Some(GaussianLikelihoodSession {
+                    model: self,
+                    ll: vec![0.0; self.classes.len()],
+                    len: 0,
+                })
+            }
+            CovarianceKind::Full => None,
+        }
+    }
+}
+
+/// Running per-class log-likelihood of a growing prefix under a diagonal
+/// [`GaussianModel`]. After pushing `x1..xt`,
+/// [`log_likelihoods`](Self::log_likelihoods)`[c]` equals
+/// [`GaussianModel::log_likelihood_prefix`]`(c, &[x1..xt])` exactly — the
+/// diagonal likelihood is a per-coordinate sum accumulated in the same
+/// order — at O(classes) per sample instead of O(classes × prefix).
+#[derive(Debug, Clone)]
+pub struct GaussianLikelihoodSession<'a> {
+    model: &'a GaussianModel,
+    ll: Vec<f64>,
+    len: usize,
+}
+
+impl GaussianLikelihoodSession<'_> {
+    /// Consume one sample; coordinates beyond the fitted series length are
+    /// ignored (matching the prefix truncation of the batch path).
+    pub fn push(&mut self, x: f64) {
+        if self.len < self.model.series_len {
+            let i = self.len;
+            for (acc, cg) in self.ll.iter_mut().zip(&self.model.classes) {
+                let d = x - cg.mean[i];
+                *acc += -0.5 * (LN_2PI + cg.var[i].ln() + d * d / cg.var[i]);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Samples consumed (uncapped).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Per-class log-likelihood of the samples pushed so far.
+    pub fn log_likelihoods(&self) -> &[f64] {
+        &self.ll
+    }
+
+    /// Posterior over classes, written into `out`: softmax of
+    /// `log prior + log likelihood`, exactly as
+    /// [`GaussianModel::posterior_prefix`].
+    pub fn posterior_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.ll.len());
+        for (o, (ll, cg)) in out.iter_mut().zip(self.ll.iter().zip(&self.model.classes)) {
+            *o = cg.prior.max(1e-12).ln() + ll;
+        }
+        softmax_of_logs_in_place(out);
+    }
+
+    /// Forget all samples, keeping allocations.
+    pub fn reset(&mut self) {
+        self.ll.fill(0.0);
+        self.len = 0;
+    }
+}
+
+impl ScoreSession for GaussianLikelihoodSession<'_> {
+    fn push(&mut self, x: f64) {
+        GaussianLikelihoodSession::push(self, x);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn predict_proba_into(&self, out: &mut [f64]) {
+        self.posterior_into(out);
+    }
+
+    fn reset(&mut self) {
+        GaussianLikelihoodSession::reset(self);
+    }
 }
 
 impl Classifier for GaussianModel {
@@ -191,18 +294,38 @@ impl Classifier for GaussianModel {
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         self.posterior_prefix(x)
     }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        self.posterior_prefix_into(x, out);
+    }
+
+    fn score_session(&self) -> Option<Box<dyn ScoreSession + '_>> {
+        self.likelihood_session()
+            .map(|s| Box::new(s) as Box<dyn ScoreSession + '_>)
+    }
 }
 
 /// Numerically stable softmax of log-scores.
 pub fn softmax_of_logs(logs: &[f64]) -> Vec<f64> {
-    let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if !max.is_finite() {
-        return vec![1.0 / logs.len() as f64; logs.len()];
-    }
-    let mut p: Vec<f64> = logs.iter().map(|&l| (l - max).exp()).collect();
-    let z: f64 = p.iter().sum();
-    p.iter_mut().for_each(|v| *v /= z);
+    let mut p = logs.to_vec();
+    softmax_of_logs_in_place(&mut p);
     p
+}
+
+/// [`softmax_of_logs`] in place: `buf` holds log-scores on entry and
+/// probabilities on exit.
+pub fn softmax_of_logs_in_place(buf: &mut [f64]) {
+    let max = buf.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        buf.fill(1.0 / buf.len() as f64);
+        return;
+    }
+    let mut z = 0.0;
+    for v in buf.iter_mut() {
+        *v = (*v - max).exp();
+        z += *v;
+    }
+    buf.iter_mut().for_each(|v| *v /= z);
 }
 
 #[cfg(test)]
@@ -282,13 +405,59 @@ mod tests {
     #[test]
     fn priors_reflect_class_imbalance() {
         let d = UcrDataset::new(
-            vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1], vec![5.0, 5.0]],
+            vec![
+                vec![0.0, 0.0],
+                vec![0.1, 0.0],
+                vec![0.0, 0.1],
+                vec![5.0, 5.0],
+            ],
             vec![0, 0, 0, 1],
         )
         .unwrap();
         let m = GaussianModel::fit(&d, CovarianceKind::Diagonal);
         assert!((m.class_prior(0) - 0.75).abs() < 1e-12);
         assert!((m.class_prior(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn likelihood_session_matches_batch_exactly() {
+        let d = toy(10, 8);
+        for kind in [CovarianceKind::Diagonal, CovarianceKind::PooledDiagonal] {
+            let m = GaussianModel::fit(&d, kind);
+            let mut s = m.likelihood_session().expect("diagonal is incremental");
+            // Longer than the fitted length to exercise truncation.
+            let probe = [0.1, 2.0, -0.3, 1.0, 0.0, 3.0, 0.2, 0.4, 9.0, 9.0];
+            let mut out = [0.0; 2];
+            for (i, &x) in probe.iter().enumerate() {
+                s.push(x);
+                for c in 0..2 {
+                    assert_eq!(
+                        s.log_likelihoods()[c],
+                        m.log_likelihood_prefix(c, &probe[..i + 1]),
+                        "{kind:?} class {c} prefix {}",
+                        i + 1
+                    );
+                }
+                s.posterior_into(&mut out);
+                assert_eq!(out.to_vec(), m.posterior_prefix(&probe[..i + 1]));
+            }
+            s.reset();
+            assert!(s.is_empty());
+        }
+        let full = GaussianModel::fit(&d, CovarianceKind::Full);
+        assert!(
+            full.likelihood_session().is_none(),
+            "Full is not incremental"
+        );
+    }
+
+    #[test]
+    fn posterior_prefix_into_matches_vec_path() {
+        let d = toy(10, 8);
+        let m = GaussianModel::fit(&d, CovarianceKind::Diagonal);
+        let mut out = [0.0; 2];
+        m.posterior_prefix_into(&[0.0, 0.1, 0.2], &mut out);
+        assert_eq!(out.to_vec(), m.posterior_prefix(&[0.0, 0.1, 0.2]));
     }
 
     #[test]

@@ -137,13 +137,19 @@ impl Classifier for NearestNeighbors {
 
     /// Vote fractions among the k neighbors.
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        let neighbors = self.k_nearest(x);
         let mut votes = vec![0.0; self.n_classes()];
+        self.predict_proba_into(x, &mut votes);
+        votes
+    }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_classes());
+        out.fill(0.0);
+        let neighbors = self.k_nearest(x);
         let n = neighbors.len().max(1) as f64;
         for &(i, _) in &neighbors {
-            votes[self.train.label(i)] += 1.0 / n;
+            out[self.train.label(i)] += 1.0 / n;
         }
-        votes
     }
 }
 

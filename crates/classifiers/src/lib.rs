@@ -23,6 +23,21 @@
 //!   for the WEASEL slaves TEASER uses.
 //! * [`logistic`] — one-vs-rest logistic regression trained by SGD.
 //! * [`eval`] — accuracy, confusion matrices, cross-validation.
+//!
+//! ## Streaming substrate
+//!
+//! The early-classification layer above this crate is streaming-first: it
+//! evaluates classifiers on *growing* prefixes, one sample at a time. Two
+//! pieces of this crate exist to make that cheap:
+//!
+//! * [`Classifier::predict_proba_into`] writes probabilities into a
+//!   caller-provided buffer, eliminating the per-call `Vec` allocation on
+//!   hot paths.
+//! * [`Classifier::score_session`] opens an incremental [`ScoreSession`]
+//!   whose per-sample cost does not grow with the prefix length (for models
+//!   whose scores decompose coordinate-wise — nearest-centroid and diagonal
+//!   Gaussians). Models without an incremental form return `None` and
+//!   callers fall back to whole-prefix rescoring.
 
 pub mod centroid;
 pub mod eval;
@@ -52,17 +67,82 @@ pub trait Classifier {
 
     /// Probability (or normalized score) per class.
     fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Probability per class, written into `out` (`out.len()` must equal
+    /// [`Classifier::n_classes`]). The allocation-free twin of
+    /// [`Classifier::predict_proba`] for hot paths; the default delegates
+    /// and copies, implementations override to skip the `Vec` entirely.
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        let p = self.predict_proba(x);
+        assert_eq!(
+            out.len(),
+            p.len(),
+            "output buffer must hold one probability per class"
+        );
+        out.copy_from_slice(&p);
+    }
+
+    /// Open an incremental scoring session, if this model supports one.
+    ///
+    /// A [`ScoreSession`] consumes a series one sample at a time and can
+    /// report class probabilities at any point for amortized O(classes) per
+    /// sample — the substrate of the early-classification session API.
+    /// Models whose scores do not decompose per coordinate (kNN, WEASEL)
+    /// return `None`; callers then rescore whole prefixes instead.
+    fn score_session(&self) -> Option<Box<dyn ScoreSession + '_>> {
+        None
+    }
 }
 
-/// Index of the maximum element; ties break toward the lower index.
+/// An incremental per-sample scorer over one growing series.
+///
+/// Pushing samples `x1..xt` and then calling
+/// [`ScoreSession::predict_proba_into`] must produce exactly what the owning
+/// [`Classifier`]'s `predict_proba(&[x1..xt])` produces (up to the model's
+/// fitted length, after which further samples are ignored — mirroring the
+/// prefix-truncation every classifier in this crate applies).
+pub trait ScoreSession {
+    /// Consume one sample.
+    fn push(&mut self, x: f64);
+
+    /// Number of samples consumed (before any truncation).
+    fn len(&self) -> usize;
+
+    /// True before the first sample.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current class probabilities, written into `out` (length =
+    /// `n_classes`).
+    fn predict_proba_into(&self, out: &mut [f64]);
+
+    /// Forget all samples, keeping allocations for reuse.
+    fn reset(&mut self);
+}
+
+/// Index of the maximum element, NaN-safe.
+///
+/// * NaN entries are never selected: a NaN is treated as "no information",
+///   not as a winning or losing score. (The previous implementation let a
+///   leading NaN win by never being out-compared — silently corrupting
+///   downstream decisions.)
+/// * Ties break toward the lower index, so class 0 wins an exact tie — the
+///   deterministic convention every algorithm in the workspace relies on.
+/// * An empty slice or an all-NaN slice returns 0, the conventional
+///   fallback label.
 pub fn argmax(xs: &[f64]) -> usize {
-    let mut best = 0;
+    let mut best: Option<usize> = None;
     for (i, &v) in xs.iter().enumerate() {
-        if v > xs[best] {
-            best = i;
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some(b) if v <= xs[b] => {}
+            _ => best = Some(i),
         }
     }
-    best
+    best.unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -74,5 +154,37 @@ mod tests {
         assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
         assert_eq!(argmax(&[0.5, 0.5]), 0);
         assert_eq!(argmax(&[1.0]), 0);
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        assert_eq!(argmax(&[f64::NAN, 0.2, 0.7]), 2);
+        assert_eq!(argmax(&[0.9, f64::NAN, 0.7]), 0);
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), 0, "all-NaN falls back to 0");
+        assert_eq!(argmax(&[]), 0, "empty falls back to 0");
+        assert_eq!(argmax(&[f64::NAN, 0.1, f64::NAN, 0.1]), 1, "ties low");
+    }
+
+    #[test]
+    fn argmax_handles_infinities() {
+        assert_eq!(argmax(&[f64::NEG_INFINITY, 0.0, f64::INFINITY]), 2);
+        assert_eq!(argmax(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), 0);
+    }
+
+    #[test]
+    fn predict_proba_into_default_matches_vec_path() {
+        struct Fixed;
+        impl Classifier for Fixed {
+            fn n_classes(&self) -> usize {
+                3
+            }
+            fn predict_proba(&self, _x: &[f64]) -> Vec<f64> {
+                vec![0.2, 0.5, 0.3]
+            }
+        }
+        let mut out = [0.0; 3];
+        Fixed.predict_proba_into(&[1.0], &mut out);
+        assert_eq!(out, [0.2, 0.5, 0.3]);
+        assert!(Fixed.score_session().is_none(), "default has no session");
     }
 }

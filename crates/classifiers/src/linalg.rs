@@ -221,10 +221,7 @@ mod tests {
 
     #[test]
     fn solve_roundtrip() {
-        let mut a = Matrix::from_vec(
-            3,
-            vec![2.0, 0.5, 0.1, 0.5, 1.5, 0.2, 0.1, 0.2, 1.0],
-        );
+        let mut a = Matrix::from_vec(3, vec![2.0, 0.5, 0.1, 0.5, 1.5, 0.2, 0.1, 0.2, 1.0]);
         a.add_ridge(0.01);
         let ch = Cholesky::new(&a).unwrap();
         let b = [0.3, -1.0, 2.5];

@@ -64,7 +64,11 @@ impl LogisticRegression {
                 // Forward.
                 for c in 0..n_classes {
                     probs[c] = biases[c]
-                        + weights[c].iter().zip(row).map(|(&w, &v)| w * v).sum::<f64>();
+                        + weights[c]
+                            .iter()
+                            .zip(row)
+                            .map(|(&w, &v)| w * v)
+                            .sum::<f64>();
                 }
                 let p = softmax_of_logs(&probs);
                 // Backward: dL/dz_c = p_c - [c == label].
@@ -110,6 +114,15 @@ impl Classifier for LogisticRegression {
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         softmax_of_logs(&self.logits(x))
     }
+
+    fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n_features());
+        assert_eq!(out.len(), self.weights.len());
+        for (o, (w, &b)) in out.iter_mut().zip(self.weights.iter().zip(&self.biases)) {
+            *o = b + w.iter().zip(x).map(|(&wi, &xi)| wi * xi).sum::<f64>();
+        }
+        crate::gaussian::softmax_of_logs_in_place(out);
+    }
 }
 
 #[cfg(test)]
@@ -133,11 +146,7 @@ mod tests {
     fn fits_linearly_separable_data() {
         let (x, y) = linearly_separable();
         let m = LogisticRegression::fit(&x, &y, 2, &LogisticConfig::default());
-        let correct = x
-            .iter()
-            .zip(&y)
-            .filter(|(r, &l)| m.predict(r) == l)
-            .count();
+        let correct = x.iter().zip(&y).filter(|(r, &l)| m.predict(r) == l).count();
         assert_eq!(correct, x.len());
     }
 

@@ -56,7 +56,10 @@ impl Sfa {
     where
         I: IntoIterator<Item = &'a [f64]>,
     {
-        assert!(word_len >= 2 && word_len % 2 == 0, "word_len must be even and >= 2");
+        assert!(
+            word_len >= 2 && word_len.is_multiple_of(2),
+            "word_len must be even and >= 2"
+        );
         assert!((2..=16).contains(&alphabet), "alphabet must be in 2..=16");
         let n_coeffs = word_len / 2;
         // Collect per-dimension values.

@@ -98,8 +98,9 @@ impl Weasel {
         for (s, label) in train.iter() {
             let bag = Self::bag_of(&sfas, s, cfg.stride);
             for (&key, &count) in &bag {
-                class_feature_counts.entry(key).or_insert_with(|| vec![0.0; n_classes])
-                    [label] += count;
+                class_feature_counts
+                    .entry(key)
+                    .or_insert_with(|| vec![0.0; n_classes])[label] += count;
             }
             bags.push(bag);
         }
@@ -109,10 +110,7 @@ impl Weasel {
         let class_totals: Vec<f64> = {
             let counts = train.class_counts();
             let total: usize = counts.iter().sum();
-            counts
-                .iter()
-                .map(|&c| c as f64 / total as f64)
-                .collect()
+            counts.iter().map(|&c| c as f64 / total as f64).collect()
         };
         let mut scored: Vec<(FeatureKey, f64)> = class_feature_counts
             .iter()

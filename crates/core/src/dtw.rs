@@ -19,14 +19,16 @@ pub fn dtw(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
 /// warping path).
 pub fn dtw_sq(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.len() == b.len() { 0.0 } else { f64::INFINITY };
+        return if a.len() == b.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     let n = a.len();
     let m = b.len();
     // The band must be at least |n - m| for a path to exist.
-    let w = band
-        .unwrap_or(n.max(m))
-        .max(n.abs_diff(m));
+    let w = band.unwrap_or(n.max(m)).max(n.abs_diff(m));
 
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
@@ -50,9 +52,18 @@ pub fn dtw_sq(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
 /// DTW with early abandoning: returns `None` once every cell of a row
 /// exceeds `cutoff_sq` (a squared distance), meaning the final distance must
 /// exceed the cutoff.
-pub fn dtw_sq_early_abandon(a: &[f64], b: &[f64], band: Option<usize>, cutoff_sq: f64) -> Option<f64> {
+pub fn dtw_sq_early_abandon(
+    a: &[f64],
+    b: &[f64],
+    band: Option<usize>,
+    cutoff_sq: f64,
+) -> Option<f64> {
     if a.is_empty() || b.is_empty() {
-        let v = if a.len() == b.len() { 0.0 } else { f64::INFINITY };
+        let v = if a.len() == b.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
         return (v <= cutoff_sq).then_some(v);
     }
     let n = a.len();
@@ -211,7 +222,10 @@ mod tests {
         let a = [0.3, 1.2, 2.2, 0.4, -1.0, 0.0];
         let b = [1.3, 0.2, 1.8, 1.4, 0.0, -0.5];
         let full = dtw_sq(&a, &b, Some(2));
-        assert_eq!(dtw_sq_early_abandon(&a, &b, Some(2), full + 0.1), Some(full));
+        assert_eq!(
+            dtw_sq_early_abandon(&a, &b, Some(2), full + 0.1),
+            Some(full)
+        );
         assert_eq!(dtw_sq_early_abandon(&a, &b, Some(2), full * 0.5), None);
     }
 

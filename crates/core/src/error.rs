@@ -51,8 +51,12 @@ mod tests {
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("7"));
         assert!(CoreError::EmptySeries.to_string().contains("non-empty"));
-        assert!(CoreError::InvalidDataset("x".into()).to_string().contains('x'));
-        assert!(CoreError::InvalidParameter("p".into()).to_string().contains('p'));
+        assert!(CoreError::InvalidDataset("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(CoreError::InvalidParameter("p".into())
+            .to_string()
+            .contains('p'));
     }
 
     #[test]

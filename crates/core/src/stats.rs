@@ -50,6 +50,28 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     (m, var.sqrt())
 }
 
+/// Cumulative sums of values and of squares: `(c1, c2)` with
+/// `c1[l]` = Σ of the first `l` values and `c2[l]` = Σ of their squares
+/// (both length `xs.len() + 1`, starting at 0).
+///
+/// Streaming sessions use these to evaluate z-normalized distances against
+/// stored reference series from running sums (mean and variance of any
+/// prefix follow directly: `μ = c1[l]/l`, `σ² = c2[l]/l − μ²`).
+pub fn prefix_value_and_square_sums(xs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut c1 = Vec::with_capacity(xs.len() + 1);
+    let mut c2 = Vec::with_capacity(xs.len() + 1);
+    let (mut a, mut b) = (0.0, 0.0);
+    c1.push(0.0);
+    c2.push(0.0);
+    for &v in xs {
+        a += v;
+        b += v * v;
+        c1.push(a);
+        c2.push(b);
+    }
+    (c1, c2)
+}
+
 /// Numerically stable running mean/variance (Welford's algorithm).
 ///
 /// Used by streaming normalizers and by the MASS-style z-normalized distance,
@@ -209,6 +231,23 @@ mod tests {
     }
 
     #[test]
+    fn prefix_sums_recover_mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let (c1, c2) = prefix_value_and_square_sums(&xs);
+        assert_eq!(c1, vec![0.0, 1.0, 3.0, 6.0, 10.0]);
+        assert_eq!(c2, vec![0.0, 1.0, 5.0, 14.0, 30.0]);
+        for l in 1..=xs.len() {
+            let mu = c1[l] / l as f64;
+            let var = c2[l] / l as f64 - mu * mu;
+            approx(mu, mean(&xs[..l]));
+            approx(var, variance(&xs[..l]));
+        }
+        let (e1, e2) = prefix_value_and_square_sums(&[]);
+        assert_eq!(e1, vec![0.0]);
+        assert_eq!(e2, vec![0.0]);
+    }
+
+    #[test]
     fn running_stats_agree_with_batch() {
         let xs = [1.5, 2.5, -3.0, 0.0, 10.0, -2.2, 7.7];
         let mut rs = RunningStats::new();
@@ -243,7 +282,10 @@ mod tests {
             let x = if i < 50 { 0.0 } else { 100.0 } + (i % 2) as f64;
             last = cn.push(x);
         }
-        assert!(last.abs() < 3.0, "windowed normalizer should re-center, got {last}");
+        assert!(
+            last.abs() < 3.0,
+            "windowed normalizer should re-center, got {last}"
+        );
     }
 
     #[test]

@@ -120,13 +120,16 @@ pub fn chicken_stream(len: usize, cfg: &ChickenConfig, seed: u64) -> AnnotatedSt
                 events.push(Event::new(start, data.len(), CLASS_DUSTBATHING));
             }
             let u: f64 = rng.random::<f64>().max(1e-9);
-            next_bout = data.len().saturating_add(((-u.ln() * cfg.mean_gap) as usize).max(cfg.bout_len * 2));
+            next_bout = data
+                .len()
+                .saturating_add(((-u.ln() * cfg.mean_gap) as usize).max(cfg.bout_len * 2));
             continue;
         }
 
         // Background regime until the next bout (or stream end).
         let u: f64 = rng.random::<f64>().max(1e-9);
-        let dur = ((-u.ln() * 300.0) as usize + 60).min(next_bout.saturating_sub(data.len()).max(1));
+        let dur =
+            ((-u.ln() * 300.0) as usize + 60).min(next_bout.saturating_sub(data.len()).max(1));
         match rng.random_range(0..3) {
             // Resting: flat.
             0 => {
@@ -227,7 +230,11 @@ mod tests {
             .iter()
             .any(|e| e.contains_with_tolerance(m.start + template.len() / 2, cfg.bout_len));
         assert!(hit, "template NN at {} missed all bouts", m.start);
-        assert!(m.dist < 6.0, "template should match a bout well, d={}", m.dist);
+        assert!(
+            m.dist < 6.0,
+            "template should match a bout well, d={}",
+            m.dist
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ pub fn ecg_stream(
         } else {
             CLASS_NORMAL
         };
-        let jitter = Normal::new(0.0, cfg.timing_jitter).unwrap().sample(&mut rng);
+        let jitter = Normal::new(0.0, cfg.timing_jitter)
+            .unwrap()
+            .sample(&mut rng);
         let len = ((cfg.beat_len as f64 + jitter).round() as usize).max(cfg.beat_len / 2);
         let mut beat = clean_beat(class, cfg.beat_len, &mut rng);
         beat.truncate(len.min(beat.len()));
@@ -129,7 +131,9 @@ pub fn ecg_stream(
                 }
                 Channel::StdDrift => {
                     let am = 1.0 - cfg.am_depth
-                        + cfg.am_depth * (std::f64::consts::TAU * t / resp_period).sin().powi(2) * 2.0;
+                        + cfg.am_depth
+                            * (std::f64::consts::TAU * t / resp_period).sin().powi(2)
+                            * 2.0;
                     v * am
                 }
             };

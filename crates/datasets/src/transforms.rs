@@ -66,7 +66,9 @@ pub fn train_test_split(
     let mut train_idx = Vec::new();
     let mut test_idx = Vec::new();
     for class in 0..n_classes {
-        let mut members: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        let mut members: Vec<usize> = (0..data.len())
+            .filter(|&i| data.label(i) == class)
+            .collect();
         if members.len() <= train_per_class {
             return Err(CoreError::InvalidParameter(format!(
                 "class {class} has {} exemplars; cannot reserve {train_per_class} for training and leave a test set",
@@ -113,7 +115,10 @@ mod tests {
                 any_shifted = true;
             }
         }
-        assert!(any_shifted, "with 10 exemplars some offset should exceed 0.05");
+        assert!(
+            any_shifted,
+            "with 10 exemplars some offset should exceed 0.05"
+        );
     }
 
     #[test]

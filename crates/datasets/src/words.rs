@@ -75,7 +75,10 @@ pub fn phonemes(word: &str) -> Vec<char> {
         "gunn" => "gun",
         other => other,
     };
-    canonical.chars().filter(|c| c.is_ascii_alphabetic()).collect()
+    canonical
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .collect()
 }
 
 /// The deterministic base curve of one phoneme: a level offset plus a smooth
@@ -188,10 +191,7 @@ pub fn sentence_stream(
         data.extend_from_slice(&u);
         let end = data.len();
         let lw = word.to_ascii_lowercase();
-        if let Some(ix) = targets
-            .iter()
-            .position(|t| t.eq_ignore_ascii_case(&lw))
-        {
+        if let Some(ix) = targets.iter().position(|t| t.eq_ignore_ascii_case(&lw)) {
             events.push(Event::new(start, end, ix));
         }
         push_pause(&mut data, &mut rng);
@@ -201,30 +201,78 @@ pub fn sentence_stream(
 
 /// Words beginning with "gun" (a sample of the 88 the paper counts).
 pub const GUN_PREFIX_WORDS: &[&str] = &[
-    "gunwales", "gunnel", "gunnysack", "gunk", "gunner", "gunship", "gunshot", "gunsmith",
+    "gunwales",
+    "gunnel",
+    "gunnysack",
+    "gunk",
+    "gunner",
+    "gunship",
+    "gunshot",
+    "gunsmith",
 ];
 
 /// Words beginning with "point" (a sample of the 26 the paper counts).
 pub const POINT_PREFIX_WORDS: &[&str] = &[
-    "pointedly", "pointlessness", "pointier", "pointman", "pointer", "pointless",
+    "pointedly",
+    "pointlessness",
+    "pointier",
+    "pointman",
+    "pointer",
+    "pointless",
 ];
 
 /// Words *containing* "gun" or "point" (the inclusion problem, Section 3.2).
 pub const INCLUSION_WORDS: &[&str] = &[
-    "disappointing", "ballpoints", "appointment", "burgundy", "begun", "gunderson",
+    "disappointing",
+    "ballpoints",
+    "appointment",
+    "burgundy",
+    "begun",
+    "gunderson",
 ];
 
 /// The sentence of Fig 2 (lowercased, punctuation dropped).
 pub const FIG2_SENTENCE: &[&str] = &[
-    "it", "was", "said", "that", "cathys", "dogmatic", "catechism", "dogmatized", "catholic",
+    "it",
+    "was",
+    "said",
+    "that",
+    "cathys",
+    "dogmatic",
+    "catechism",
+    "dogmatized",
+    "catholic",
     "doggery",
 ];
 
 /// The "Amy Gunn" sentence of Section 3.4.
 pub const AMY_GUNN_SENTENCE: &[&str] = &[
-    "amy", "gunn", "thought", "it", "pointless", "to", "go", "on", "pointe", "before", "she",
-    "had", "begun", "her", "appointment", "to", "get", "her", "burgundy", "ballet", "shoes",
-    "cleaned", "of", "all", "the", "gunk",
+    "amy",
+    "gunn",
+    "thought",
+    "it",
+    "pointless",
+    "to",
+    "go",
+    "on",
+    "pointe",
+    "before",
+    "she",
+    "had",
+    "begun",
+    "her",
+    "appointment",
+    "to",
+    "get",
+    "her",
+    "burgundy",
+    "ballet",
+    "shoes",
+    "cleaned",
+    "of",
+    "all",
+    "the",
+    "gunk",
 ];
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 use etsc_classifiers::centroid::NearestCentroid;
 use etsc_classifiers::gaussian::{CovarianceKind, GaussianModel};
 use etsc_classifiers::Classifier;
+use etsc_core::znorm::znormalize_in_place;
 use etsc_core::{ClassLabel, UcrDataset};
+
+use crate::SessionNorm;
 
 /// Per-checkpoint held-out calibration data: for each checkpoint, the
 /// `(posterior, actual label)` pairs of every training instance under
@@ -41,6 +44,15 @@ impl CheckpointModel {
         match self {
             CheckpointModel::Centroid(c) => c.predict_proba(x),
             CheckpointModel::Gaussian(g) => g.predict_proba(x),
+        }
+    }
+
+    /// Class probabilities written into `out` (allocation-free twin of
+    /// [`predict_proba`](Self::predict_proba)).
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        match self {
+            CheckpointModel::Centroid(c) => c.predict_proba_into(x, out),
+            CheckpointModel::Gaussian(g) => g.predict_proba_into(x, out),
         }
     }
 
@@ -77,7 +89,10 @@ impl CheckpointEnsemble {
             .filter(|&l| l >= min_len.max(2))
             .collect();
         lengths.dedup();
-        assert!(!lengths.is_empty(), "series too short for the checkpoint ladder");
+        assert!(
+            !lengths.is_empty(),
+            "series too short for the checkpoint ladder"
+        );
 
         let models = lengths
             .iter()
@@ -132,6 +147,20 @@ impl CheckpointEnsemble {
         self.models[idx].predict_proba(&prefix[..l])
     }
 
+    /// Open an incremental cursor over this ladder (see
+    /// [`CheckpointCursor`]).
+    pub fn cursor(&self, norm: SessionNorm) -> CheckpointCursor<'_> {
+        CheckpointCursor {
+            ensemble: self,
+            norm,
+            buf: Vec::with_capacity(self.series_len),
+            scratch: Vec::new(),
+            proba: Vec::new(),
+            completed: None,
+            len: 0,
+        }
+    }
+
     /// Leave-half-out predictions for calibration: fits fold models on
     /// even/odd halves and returns, per checkpoint, the held-out
     /// `(posterior, actual)` pairs across both folds (in a deterministic
@@ -151,8 +180,7 @@ impl CheckpointEnsemble {
         }
         let n_classes = train.n_classes();
         let proto = Self::fit(train, base, n_checkpoints, min_len);
-        let mut out: Vec<Vec<(Vec<f64>, ClassLabel)>> =
-            vec![Vec::new(); proto.lengths.len()];
+        let mut out: Vec<Vec<(Vec<f64>, ClassLabel)>> = vec![Vec::new(); proto.lengths.len()];
         for (fit_idx, eval_idx) in [(&even, &odd), (&odd, &even)] {
             let fit_ds = train.subset(fit_idx).ok()?;
             if fit_ds.n_classes() != n_classes {
@@ -171,6 +199,99 @@ impl CheckpointEnsemble {
             }
         }
         Some(out)
+    }
+}
+
+/// An incremental walk up a [`CheckpointEnsemble`]'s ladder.
+///
+/// The decision of every checkpoint-style algorithm (ECDIRE, the stopping
+/// rule, the cost-aware trigger) only changes when the prefix reaches the
+/// next checkpoint length; between boundaries every push is O(1). The
+/// cursor buffers raw samples until the next boundary, evaluates that
+/// checkpoint's classifier exactly once, and exposes the result until the
+/// next boundary — the shared chassis for those algorithms' sessions.
+///
+/// Normalization: under [`SessionNorm::Raw`] the checkpoint model sees the
+/// raw window (matching the stateless `decide` paths). Under
+/// [`SessionNorm::PerPrefix`] the window is z-normalized by its own
+/// statistics before classification — the honest deployment convention,
+/// applied to exactly the samples the checkpoint consumes.
+#[derive(Debug, Clone)]
+pub struct CheckpointCursor<'a> {
+    ensemble: &'a CheckpointEnsemble,
+    norm: SessionNorm,
+    /// Raw samples, up to the final checkpoint length.
+    buf: Vec<f64>,
+    /// Normalization scratch (PerPrefix only).
+    scratch: Vec<f64>,
+    /// Posterior of the most recently completed checkpoint.
+    proba: Vec<f64>,
+    /// Index of the most recently completed checkpoint.
+    completed: Option<usize>,
+    /// Samples consumed (uncapped).
+    len: usize,
+}
+
+impl CheckpointCursor<'_> {
+    /// Consume one sample. Returns `Some(checkpoint_index)` exactly when
+    /// this sample completes a checkpoint (whose posterior is then
+    /// available from [`latest`](Self::latest)).
+    pub fn push(&mut self, x: f64) -> Option<usize> {
+        let lengths = self.ensemble.lengths();
+        let last_len = *lengths.last().expect("non-empty ladder");
+        if self.buf.len() < last_len {
+            self.buf.push(x);
+        }
+        self.len += 1;
+        let next = self.completed.map_or(0, |ci| ci + 1);
+        if next >= lengths.len() || self.buf.len() < lengths[next] {
+            return None;
+        }
+        debug_assert_eq!(self.buf.len(), lengths[next], "boundaries are exact");
+        if self.proba.is_empty() {
+            self.proba = vec![0.0; self.ensemble.n_classes()];
+        }
+        match self.norm {
+            SessionNorm::Raw => {
+                self.ensemble.models[next].predict_proba_into(&self.buf, &mut self.proba);
+            }
+            SessionNorm::PerPrefix => {
+                self.scratch.clear();
+                self.scratch.extend_from_slice(&self.buf);
+                znormalize_in_place(&mut self.scratch);
+                self.ensemble.models[next].predict_proba_into(&self.scratch, &mut self.proba);
+            }
+        }
+        self.completed = Some(next);
+        Some(next)
+    }
+
+    /// The most recently completed checkpoint and its posterior.
+    pub fn latest(&self) -> Option<(usize, &[f64])> {
+        self.completed.map(|ci| (ci, self.proba.as_slice()))
+    }
+
+    /// True once the final checkpoint has been evaluated.
+    pub fn exhausted(&self) -> bool {
+        self.completed == Some(self.ensemble.lengths().len() - 1)
+    }
+
+    /// Samples consumed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Forget everything, keeping allocations.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.scratch.clear();
+        self.completed = None;
+        self.len = 0;
     }
 }
 
@@ -236,6 +357,45 @@ mod tests {
             CheckpointEnsemble::cross_val_posteriors(&d, BaseClassifier::Centroid, 4, 4).unwrap();
         for per_ckpt in &cv {
             assert_eq!(per_ckpt.len(), d.len());
+        }
+    }
+
+    #[test]
+    fn cursor_completes_each_checkpoint_exactly_once_with_batch_posteriors() {
+        let d = toy(6, 40);
+        let e = CheckpointEnsemble::fit(&d, BaseClassifier::Centroid, 4, 4);
+        let probe = d.series(0);
+        let mut cursor = e.cursor(SessionNorm::Raw);
+        assert!(cursor.is_empty());
+        let mut seen = Vec::new();
+        for &x in probe {
+            if let Some(ci) = cursor.push(x) {
+                seen.push(ci);
+                let (latest, proba) = cursor.latest().unwrap();
+                assert_eq!(latest, ci);
+                assert_eq!(proba.to_vec(), e.proba_at(ci, probe), "checkpoint {ci}");
+            }
+        }
+        assert_eq!(seen, (0..e.lengths().len()).collect::<Vec<_>>());
+        assert!(cursor.exhausted());
+        assert_eq!(cursor.len(), probe.len());
+        cursor.reset();
+        assert!(cursor.latest().is_none());
+    }
+
+    #[test]
+    fn per_prefix_cursor_normalizes_each_window() {
+        let d = toy(6, 40);
+        let e = CheckpointEnsemble::fit(&d, BaseClassifier::Centroid, 4, 4);
+        let probe = d.series(0);
+        let mut cursor = e.cursor(SessionNorm::PerPrefix);
+        for &x in probe {
+            if let Some(ci) = cursor.push(x) {
+                let l = e.lengths()[ci];
+                let window = etsc_core::znorm::znormalize(&probe[..l]);
+                let (_, proba) = cursor.latest().unwrap();
+                assert_eq!(proba.to_vec(), e.models[ci].predict_proba(&window));
+            }
         }
     }
 

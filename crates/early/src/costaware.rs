@@ -21,7 +21,7 @@
 use etsc_core::{ClassLabel, UcrDataset};
 
 use crate::checkpoints::{BaseClassifier, CheckpointEnsemble};
-use crate::{Decision, EarlyClassifier};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// Cost-aware trigger configuration.
 #[derive(Debug, Clone, Copy)]
@@ -64,8 +64,7 @@ impl CostAware {
     /// Choose the trigger length minimizing expected cost on `train`.
     pub fn fit(train: &UcrDataset, cfg: &CostAwareConfig) -> Self {
         assert!(cfg.misclassification_cost >= 0.0 && cfg.time_cost >= 0.0);
-        let ensemble =
-            CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
+        let ensemble = CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
         let cv = CheckpointEnsemble::cross_val_posteriors(
             train,
             cfg.base,
@@ -148,9 +147,80 @@ impl EarlyClassifier for CostAware {
         }
     }
 
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        Box::new(CostAwareSession {
+            model: self,
+            norm,
+            buf: Vec::with_capacity(self.trigger_len()),
+            scratch: Vec::new(),
+            len: 0,
+            decision: Decision::Wait,
+        })
+    }
+
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
         let last = self.ensemble.lengths().len() - 1;
         etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
+    }
+}
+
+/// Incremental cost-aware session: buffers samples until the fixed trigger
+/// length, classifies the trigger window exactly once, then stays latched.
+/// Pushes before and after the trigger are O(1).
+struct CostAwareSession<'a> {
+    model: &'a CostAware,
+    norm: SessionNorm,
+    buf: Vec<f64>,
+    scratch: Vec<f64>,
+    len: usize,
+    decision: Decision,
+}
+
+impl DecisionSession for CostAwareSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        if self.decision.is_predict() {
+            self.len += 1;
+            return self.decision; // latched: count the sample, skip the work
+        }
+        let trigger_len = self.model.trigger_len();
+        if self.buf.len() < trigger_len {
+            self.buf.push(x);
+        }
+        self.len += 1;
+        if self.buf.len() == trigger_len {
+            let p = match self.norm {
+                SessionNorm::Raw => self.model.ensemble.proba_at(self.model.trigger, &self.buf),
+                SessionNorm::PerPrefix => {
+                    self.scratch.clear();
+                    self.scratch.extend_from_slice(&self.buf);
+                    etsc_core::znorm::znormalize_in_place(&mut self.scratch);
+                    self.model
+                        .ensemble
+                        .proba_at(self.model.trigger, &self.scratch)
+                }
+            };
+            let label = etsc_classifiers::argmax(&p);
+            self.decision = Decision::Predict {
+                label,
+                confidence: p[label],
+            };
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.scratch.clear();
+        self.len = 0;
+        self.decision = Decision::Wait;
     }
 }
 

@@ -11,8 +11,8 @@
 
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::checkpoints::{BaseClassifier, CheckpointEnsemble};
-use crate::{Decision, EarlyClassifier};
+use crate::checkpoints::{BaseClassifier, CheckpointCursor, CheckpointEnsemble};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// ECDIRE hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -52,16 +52,7 @@ pub struct Ecdire {
 }
 
 fn margin(p: &[f64]) -> f64 {
-    let mut best = 0.0;
-    let mut second = 0.0;
-    for &v in p {
-        if v > best {
-            second = best;
-            best = v;
-        } else if v > second {
-            second = v;
-        }
-    }
+    let (best, second) = crate::top_two(p);
     best - second
 }
 
@@ -70,8 +61,7 @@ impl Ecdire {
     /// thresholds on `train`.
     pub fn fit(train: &UcrDataset, cfg: &EcdireConfig) -> Self {
         assert!((0.0..=1.0).contains(&cfg.alpha), "alpha must be in [0, 1]");
-        let ensemble =
-            CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
+        let ensemble = CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
         let n_classes = ensemble.n_classes();
         let n_ckpt = ensemble.lengths().len();
 
@@ -169,9 +159,30 @@ impl EarlyClassifier for Ecdire {
             return Decision::Wait;
         };
         let p = self.ensemble.proba_at(ci, prefix);
-        let label = etsc_classifiers::argmax(&p);
+        self.gate(ci, &p)
+    }
+
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        Box::new(EcdireSession {
+            model: self,
+            cursor: self.ensemble.cursor(norm),
+            len: 0,
+            decision: Decision::Wait,
+        })
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        let last = self.ensemble.lengths().len() - 1;
+        etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
+    }
+}
+
+impl Ecdire {
+    /// Safe-timestamp + reliability gate on one checkpoint's posterior.
+    fn gate(&self, ci: usize, p: &[f64]) -> Decision {
+        let label = etsc_classifiers::argmax(p);
         let safe = self.safe_from[label].is_some_and(|s| ci >= s);
-        let reliable = margin(&p) + 1e-12 >= self.margin_threshold[ci];
+        let reliable = margin(p) + 1e-12 >= self.margin_threshold[ci];
         if safe && reliable {
             Decision::Predict {
                 label,
@@ -181,10 +192,45 @@ impl EarlyClassifier for Ecdire {
             Decision::Wait
         }
     }
+}
 
-    fn predict_full(&self, series: &[f64]) -> ClassLabel {
-        let last = self.ensemble.lengths().len() - 1;
-        etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
+/// Incremental ECDIRE session: the decision only changes at checkpoint
+/// boundaries, so a [`CheckpointCursor`] evaluates each checkpoint's
+/// classifier exactly once and every other push is O(1).
+struct EcdireSession<'a> {
+    model: &'a Ecdire,
+    cursor: CheckpointCursor<'a>,
+    /// Samples consumed, counted independently of the cursor so latched
+    /// pushes stay O(1).
+    len: usize,
+    decision: Decision,
+}
+
+impl DecisionSession for EcdireSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        self.len += 1;
+        if self.decision.is_predict() {
+            return self.decision; // latched: count the sample, skip the work
+        }
+        if let Some(ci) = self.cursor.push(x) {
+            let (_, p) = self.cursor.latest().expect("just completed");
+            self.decision = self.model.gate(ci, p);
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.cursor.reset();
+        self.len = 0;
+        self.decision = Decision::Wait;
     }
 }
 
@@ -205,8 +251,7 @@ mod tests {
                 data.push(
                     (0..len)
                         .map(|j| {
-                            let noise =
-                                0.05 * (((i * 7 + j * 3 + c * 11) % 9) as f64 - 4.0);
+                            let noise = 0.05 * (((i * 7 + j * 3 + c * 11) % 9) as f64 - 4.0);
                             if j < len / 2 {
                                 noise
                             } else {

@@ -23,9 +23,11 @@
 //!   trusts every exemplar directly.
 
 use etsc_core::distance::squared_euclidean_early_abandon;
+use etsc_core::stats::RunningStats;
+use etsc_core::znorm::CONSTANT_EPS;
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::{Decision, EarlyClassifier};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// ECTS hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +58,11 @@ pub struct Ects {
     /// Per-exemplar minimum prediction length.
     mpl: Vec<usize>,
     min_prefix: usize,
+    /// `cum_y[i][l]` = Σ of exemplar `i`'s first `l` values; `cum_y2` the
+    /// same for squares. Precomputed so per-prefix-normalized sessions can
+    /// evaluate z-normalized 1NN distances from running sums.
+    cum_y: Vec<Vec<f64>>,
+    cum_y2: Vec<Vec<f64>>,
 }
 
 impl Ects {
@@ -188,10 +195,13 @@ impl Ects {
             mpl = adjusted;
         }
 
+        let (cum_y, cum_y2) = cumulative_sums(train);
         Self {
             train: train.clone(),
             mpl,
             min_prefix: cfg.min_prefix.max(1),
+            cum_y,
+            cum_y2,
         }
     }
 
@@ -246,9 +256,154 @@ impl EarlyClassifier for Ects {
         }
     }
 
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        Box::new(EctsSession {
+            model: self,
+            norm,
+            d2: vec![0.0; self.train.len()],
+            dot: match norm {
+                SessionNorm::Raw => Vec::new(),
+                SessionNorm::PerPrefix => vec![0.0; self.train.len()],
+            },
+            stats: RunningStats::new(),
+            len: 0,
+            decision: Decision::Wait,
+        })
+    }
+
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
         let (nn, _) = self.nearest_train(series);
         self.train.label(nn)
+    }
+}
+
+/// Per-exemplar cumulative sums of values and squares (lengths `0..=L`).
+fn cumulative_sums(train: &UcrDataset) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut cum_y = Vec::with_capacity(train.len());
+    let mut cum_y2 = Vec::with_capacity(train.len());
+    for i in 0..train.len() {
+        let (y, y2) = etsc_core::stats::prefix_value_and_square_sums(train.series(i));
+        cum_y.push(y);
+        cum_y2.push(y2);
+    }
+    (cum_y, cum_y2)
+}
+
+/// Incremental ECTS session.
+///
+/// Maintains the running squared Euclidean distance from the growing prefix
+/// to every training exemplar — one add per exemplar per sample — so a push
+/// costs O(n_train) regardless of prefix length, where stateless
+/// [`Ects::decide`] costs O(n_train × prefix).
+///
+/// * [`SessionNorm::Raw`]: the partial sums accumulate in the same order as
+///   the batch distance, so decisions reproduce `decide` exactly.
+/// * [`SessionNorm::PerPrefix`]: the prefix is z-normalized online (Welford
+///   statistics) and distances to the stored training prefixes are
+///   recovered from running dot products:
+///   `‖ẑ(p) − y‖² = l + Σy² − 2·(Σpy − μ_p·Σy)/σ_p`,
+///   using the model's precomputed per-exemplar cumulative sums — the honest
+///   deployment normalization at the same O(n_train) per sample.
+struct EctsSession<'a> {
+    model: &'a Ects,
+    norm: SessionNorm,
+    /// Raw mode: running ‖p − y_i‖². PerPrefix mode: scratch for the
+    /// reconstructed z-normalized distances.
+    d2: Vec<f64>,
+    /// PerPrefix only: running Σ p_j·y_ij.
+    dot: Vec<f64>,
+    /// PerPrefix only: Welford statistics of the raw prefix.
+    stats: RunningStats,
+    len: usize,
+    decision: Decision,
+}
+
+impl EctsSession<'_> {
+    /// Argmin over the current distances (ascending index, strict `<` —
+    /// the same tie-breaking as the batch 1NN scan).
+    fn nearest(&self) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, &d) in self.d2.iter().enumerate() {
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+}
+
+impl DecisionSession for EctsSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        if self.decision.is_predict() {
+            // Latched: count the sample, skip the O(n_train) accumulation.
+            self.len += 1;
+            return self.decision;
+        }
+        let model = self.model;
+        let series_len = model.train.series_len();
+        if self.len < series_len {
+            let j = self.len;
+            match self.norm {
+                SessionNorm::Raw => {
+                    for (i, acc) in self.d2.iter_mut().enumerate() {
+                        let d = x - model.train.series(i)[j];
+                        *acc += d * d;
+                    }
+                }
+                SessionNorm::PerPrefix => {
+                    self.stats.push(x);
+                    for (i, acc) in self.dot.iter_mut().enumerate() {
+                        *acc += x * model.train.series(i)[j];
+                    }
+                }
+            }
+        }
+        self.len += 1;
+        let l = self.len.min(series_len);
+        if l < model.min_prefix {
+            return Decision::Wait;
+        }
+        if self.norm == SessionNorm::PerPrefix {
+            // Reconstruct ‖ẑ(prefix) − train_i[..l]‖² from running sums.
+            let mean = self.stats.mean();
+            let sd = self.stats.std_dev();
+            for i in 0..self.dot.len() {
+                let y1 = model.cum_y[i][l];
+                let y2 = model.cum_y2[i][l];
+                self.d2[i] = if sd <= CONSTANT_EPS {
+                    // Constant prefix z-normalizes to zeros.
+                    y2
+                } else {
+                    (l as f64 + y2 - 2.0 * (self.dot[i] - mean * y1) / sd).max(0.0)
+                };
+            }
+        }
+        let (nn, d) = self.nearest();
+        self.decision = if model.mpl[nn] <= l {
+            Decision::Predict {
+                label: model.train.label(nn),
+                confidence: 1.0 / (1.0 + d.sqrt()),
+            }
+        } else {
+            Decision::Wait
+        };
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.d2.fill(0.0);
+        self.dot.fill(0.0);
+        self.stats = RunningStats::new();
+        self.len = 0;
+        self.decision = Decision::Wait;
     }
 }
 
@@ -307,8 +462,7 @@ mod tests {
     fn mpl_is_small_when_classes_separate_early() {
         let d = early_separable(8, 30);
         let ects = Ects::fit(&d, &EctsConfig::default());
-        let mean_mpl: f64 =
-            ects.mpls().iter().map(|&m| m as f64).sum::<f64>() / d.len() as f64;
+        let mean_mpl: f64 = ects.mpls().iter().map(|&m| m as f64).sum::<f64>() / d.len() as f64;
         assert!(
             mean_mpl < 10.0,
             "early-separable data should give small MPLs, mean {mean_mpl}"
@@ -319,8 +473,7 @@ mod tests {
     fn mpl_is_large_when_classes_separate_late() {
         let d = late_separable(8, 40);
         let ects = Ects::fit(&d, &EctsConfig::default());
-        let mean_mpl: f64 =
-            ects.mpls().iter().map(|&m| m as f64).sum::<f64>() / d.len() as f64;
+        let mean_mpl: f64 = ects.mpls().iter().map(|&m| m as f64).sum::<f64>() / d.len() as f64;
         assert!(
             mean_mpl > 20.0,
             "late-separable data should delay MPLs, mean {mean_mpl}"
@@ -388,5 +541,60 @@ mod tests {
         let ects = Ects::fit(&d, &EctsConfig::default());
         assert_eq!(ects.predict_full(&[0.0; 20]), 0);
         assert_eq!(ects.predict_full(&[3.0; 20]), 1);
+    }
+
+    #[test]
+    fn raw_session_reproduces_decide_exactly() {
+        use crate::SessionNorm;
+        let d = late_separable(6, 40);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        for probe_idx in 0..d.len() {
+            let probe = d.series(probe_idx);
+            let mut s = ects.session(SessionNorm::Raw);
+            for t in 0..probe.len() {
+                let inc = s.push(probe[t]);
+                let batch = ects.decide(&probe[..t + 1]);
+                assert_eq!(inc, batch, "probe {probe_idx} prefix {}", t + 1);
+                if inc.is_predict() {
+                    break; // sessions latch; the first commit is the decision
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_prefix_session_matches_znormalized_decide() {
+        use crate::SessionNorm;
+        use etsc_core::znorm::znormalize;
+        let d = late_separable(6, 40);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        let probe = d.series(2);
+        let mut s = ects.session(SessionNorm::PerPrefix);
+        for t in 0..probe.len() {
+            let inc = s.push(probe[t]);
+            let batch = ects.decide(&znormalize(&probe[..t + 1]));
+            assert_eq!(inc.is_predict(), batch.is_predict(), "prefix {}", t + 1);
+            if let (Some((li, ci)), Some((lb, cb))) =
+                (inc.label_confidence(), batch.label_confidence())
+            {
+                assert_eq!(li, lb);
+                assert!((ci - cb).abs() < 1e-6, "confidence {ci} vs {cb}");
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn session_reset_reuses_cleanly() {
+        use crate::SessionNorm;
+        let d = early_separable(5, 20);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        let probe = d.series(0);
+        let mut s = ects.session(SessionNorm::Raw);
+        let first: Vec<Decision> = probe.iter().map(|&x| s.push(x)).collect();
+        s.reset();
+        assert!(s.is_empty());
+        let second: Vec<Decision> = probe.iter().map(|&x| s.push(x)).collect();
+        assert_eq!(first, second);
     }
 }

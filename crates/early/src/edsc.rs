@@ -17,11 +17,11 @@
 //! incoming prefix is scanned; the first feature whose best-match distance
 //! drops below its δ fires a prediction.
 
-use etsc_core::distance::squared_euclidean_early_abandon;
+use etsc_core::distance::{squared_euclidean, squared_euclidean_early_abandon};
 use etsc_core::stats::mean_std;
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::{Decision, EarlyClassifier};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// Threshold-learning method for EDSC features.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,8 +102,7 @@ fn best_match_dist(pattern: &[f64], series: &[f64]) -> Option<f64> {
     }
     let mut best = f64::INFINITY;
     for start in 0..=(series.len() - m) {
-        if let Some(d) = squared_euclidean_early_abandon(pattern, &series[start..start + m], best)
-        {
+        if let Some(d) = squared_euclidean_early_abandon(pattern, &series[start..start + m], best) {
             best = best.min(d);
         }
     }
@@ -147,7 +146,11 @@ fn kde_cdf(sample: &[f64], x: f64) -> f64 {
     let (_, sd) = mean_std(sample);
     let n = sample.len() as f64;
     let bw = (1.06 * sd * n.powf(-0.2)).max(1e-6);
-    sample.iter().map(|&s| normal_cdf((x - s) / bw)).sum::<f64>() / n
+    sample
+        .iter()
+        .map(|&s| normal_cdf((x - s) / bw))
+        .sum::<f64>()
+        / n
 }
 
 impl Edsc {
@@ -170,8 +173,7 @@ impl Edsc {
                 let mut start = 0;
                 while start + m <= len {
                     let pattern = &series[start..start + m];
-                    if let Some(feature) =
-                        Self::evaluate_candidate(train, pattern, label, src, cfg)
+                    if let Some(feature) = Self::evaluate_candidate(train, pattern, label, src, cfg)
                     {
                         candidates.push(feature);
                     }
@@ -215,7 +217,13 @@ impl Edsc {
             }
         }
 
-        let min_prefix = cfg.lengths.iter().copied().filter(|&m| m <= len).min().unwrap_or(1);
+        let min_prefix = cfg
+            .lengths
+            .iter()
+            .copied()
+            .filter(|&m| m <= len)
+            .min()
+            .unwrap_or(1);
         Self {
             features: selected,
             n_classes,
@@ -326,6 +334,82 @@ impl Edsc {
     }
 }
 
+/// Incremental EDSC session.
+///
+/// [`Edsc::decide`] rescans every window of the whole prefix per feature on
+/// every call — O(prefix × pattern) per feature per sample. The session
+/// instead keeps, per feature, the minimum distance over all windows seen
+/// so far and, on each push, evaluates only the **new** windows ending at
+/// the incoming sample (one per feature, O(pattern) each). The minimum over
+/// identical window distances is identical, so decisions reproduce `decide`
+/// exactly; per-sample cost is bounded by the feature lengths, independent
+/// of how long the prefix has grown.
+struct EdscSession<'a> {
+    model: &'a Edsc,
+    /// Trailing samples, bounded by the longest feature pattern.
+    buf: Vec<f64>,
+    /// Per-feature minimum window distance seen so far (Euclidean).
+    best: Vec<f64>,
+    /// Longest pattern length = how much history windows can need.
+    window: usize,
+    len: usize,
+    decision: Decision,
+}
+
+impl DecisionSession for EdscSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        if self.decision.is_predict() {
+            self.len += 1;
+            return self.decision; // latched: count the sample, skip the work
+        }
+        if self.buf.len() == self.window {
+            self.buf.remove(0); // tiny window; shift beats a ring buffer here
+        }
+        self.buf.push(x);
+        self.len += 1;
+        // Evaluate the one new window per feature (the window ending now).
+        for (f, best) in self.model.features.iter().zip(self.best.iter_mut()) {
+            let m = f.pattern.len();
+            if self.len < m {
+                continue;
+            }
+            let start = self.buf.len() - m;
+            let d = squared_euclidean(&f.pattern, &self.buf[start..]).sqrt();
+            if d < *best {
+                *best = d;
+            }
+        }
+        // First feature (utility order) whose best window clears its
+        // threshold fires — the same scan as `decide`.
+        for (f, &best) in self.model.features.iter().zip(&self.best) {
+            if best <= f.threshold {
+                let confidence = (1.0 - best / f.threshold).clamp(0.0, 1.0) * f.precision;
+                self.decision = Decision::Predict {
+                    label: f.label,
+                    confidence,
+                };
+                break;
+            }
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.best.fill(f64::INFINITY);
+        self.len = 0;
+        self.decision = Decision::Wait;
+    }
+}
+
 impl EarlyClassifier for Edsc {
     fn n_classes(&self) -> usize {
         self.n_classes
@@ -357,6 +441,32 @@ impl EarlyClassifier for Edsc {
             }
         }
         Decision::Wait
+    }
+
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        match norm {
+            SessionNorm::Raw => {
+                let window = self
+                    .features
+                    .iter()
+                    .map(|f| f.pattern.len())
+                    .max()
+                    .unwrap_or(1);
+                Box::new(EdscSession {
+                    model: self,
+                    buf: Vec::with_capacity(window),
+                    best: vec![f64::INFINITY; self.features.len()],
+                    window,
+                    len: 0,
+                    decision: Decision::Wait,
+                })
+            }
+            // Shapelet features were mined against the training exemplars'
+            // normalization; re-normalizing a growing prefix rescales every
+            // window already scanned, so there is no incremental form —
+            // replay the stateless path.
+            SessionNorm::PerPrefix => Box::new(crate::ReplaySession::new(self, norm)),
+        }
     }
 
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
@@ -445,7 +555,11 @@ mod tests {
         ] {
             let edsc = Edsc::fit(&train, &quick_cfg(method));
             let ev = evaluate(&edsc, &test, PrefixPolicy::Oracle);
-            assert!(ev.accuracy() >= 0.75, "{method:?} accuracy {}", ev.accuracy());
+            assert!(
+                ev.accuracy() >= 0.75,
+                "{method:?} accuracy {}",
+                ev.accuracy()
+            );
             assert!(
                 ev.earliness() < 0.9,
                 "{method:?} bump is early; earliness {}",
@@ -501,6 +615,29 @@ mod tests {
         }
         assert!(kde_cdf(&sample, 10.0) > 0.99);
         assert!(kde_cdf(&[], 0.0) == 0.0);
+    }
+
+    #[test]
+    fn raw_session_reproduces_decide_exactly() {
+        let train = bump_data(8, 40);
+        let test = bump_data(3, 40);
+        for method in [
+            ThresholdMethod::Chebyshev { k: 2.0 },
+            ThresholdMethod::Kde { precision: 0.9 },
+        ] {
+            let edsc = Edsc::fit(&train, &quick_cfg(method));
+            for (probe, _) in test.iter() {
+                let mut s = edsc.session(crate::SessionNorm::Raw);
+                for t in 0..probe.len() {
+                    let inc = s.push(probe[t]);
+                    let batch = edsc.decide(&probe[..t + 1]);
+                    assert_eq!(inc, batch, "{method:?} prefix {}", t + 1);
+                    if inc.is_predict() {
+                        break; // sessions latch at the first commit
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,9 +28,22 @@
 //!   normalized with future statistics (the UCR convention) or honestly is
 //!   exactly the issue Section 4 of the paper raises.
 //!
-//! All algorithms implement [`EarlyClassifier`]: fit on a
-//! [`UcrDataset`](etsc_core::UcrDataset),
-//! then [`EarlyClassifier::decide`] on each growing prefix.
+//! ## Streaming-first sessions
+//!
+//! The primary runtime API is the stateful [`DecisionSession`]: open one per
+//! monitored stream (or per candidate anchor within a stream), feed it one
+//! sample at a time with [`DecisionSession::push`], and read the
+//! [`Decision`] each push returns. Sessions maintain running state —
+//! Welford statistics for online z-normalization, incremental partial
+//! Euclidean sums for the 1NN-based models, per-snapshot/per-checkpoint
+//! caches for the ensemble models — so the amortized cost of one sample
+//! does **not** grow with the prefix length, where the stateless
+//! [`EarlyClassifier::decide`] recomputes the whole prefix on every call.
+//!
+//! [`EarlyClassifier::decide`] remains as the offline convenience (UCR-style
+//! evaluation queries arbitrary prefixes), and [`MultiSession`] drives many
+//! concurrent sessions — many anchors of one monitor, or many independent
+//! streams — over a single fitted model.
 
 pub mod checkpoints;
 pub mod costaware;
@@ -44,7 +57,25 @@ pub mod teaser;
 pub mod template;
 pub mod threshold;
 
+use etsc_core::znorm::znormalize_in_place;
 use etsc_core::ClassLabel;
+
+/// The two largest values of a probability vector `(best, second)`, both
+/// 0.0-floored — the margin primitive RelClass, ECDIRE, and the stopping
+/// rule all gate on.
+pub(crate) fn top_two(p: &[f64]) -> (f64, f64) {
+    let mut best = 0.0;
+    let mut second = 0.0;
+    for &v in p {
+        if v > best {
+            second = best;
+            best = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    (best, second)
+}
 
 /// The outcome of showing a prefix to an early classifier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,19 +100,127 @@ impl Decision {
         }
     }
 
+    /// The confidence of the prediction, if the decision is a prediction.
+    pub fn confidence(&self) -> Option<f64> {
+        match *self {
+            Decision::Wait => None,
+            Decision::Predict { confidence, .. } => Some(confidence),
+        }
+    }
+
+    /// Label and confidence together, if the decision is a prediction —
+    /// the destructuring most call sites actually want.
+    pub fn label_confidence(&self) -> Option<(ClassLabel, f64)> {
+        match *self {
+            Decision::Wait => None,
+            Decision::Predict { label, confidence } => Some((label, confidence)),
+        }
+    }
+
     /// True if the classifier committed.
     pub fn is_predict(&self) -> bool {
         matches!(self, Decision::Predict { .. })
     }
+
+    /// Total order on decisiveness: `Wait` sorts below every `Predict`, and
+    /// predictions order by confidence under [`f64::total_cmp`] (so NaN
+    /// confidences are ordered deterministically instead of poisoning
+    /// comparisons). Labels do not participate in the order.
+    ///
+    /// This is deliberately a named method rather than a `PartialOrd` impl:
+    /// "more decisive" is one specific order among several reasonable ones,
+    /// and call sites should say which they mean.
+    pub fn decisiveness_cmp(&self, other: &Decision) -> std::cmp::Ordering {
+        match (self, other) {
+            (Decision::Wait, Decision::Wait) => std::cmp::Ordering::Equal,
+            (Decision::Wait, Decision::Predict { .. }) => std::cmp::Ordering::Less,
+            (Decision::Predict { .. }, Decision::Wait) => std::cmp::Ordering::Greater,
+            (Decision::Predict { confidence: a, .. }, Decision::Predict { confidence: b, .. }) => {
+                a.total_cmp(b)
+            }
+        }
+    }
+
+    /// The more decisive of two decisions (see
+    /// [`decisiveness_cmp`](Self::decisiveness_cmp)); `self` wins exact
+    /// ties, so folding a sequence keeps the earliest maximum.
+    pub fn prefer(self, other: Decision) -> Decision {
+        if self.decisiveness_cmp(&other) == std::cmp::Ordering::Less {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// Normalization a [`DecisionSession`] applies to its incoming raw samples.
+///
+/// There is deliberately no "oracle" variant: a session sees samples in
+/// arrival order and cannot standardize them with statistics of data that
+/// has not arrived (Section 4 of the paper). Oracle-style evaluation is an
+/// offline construct — hand [`EarlyClassifier::decide`] prefixes sliced
+/// from pre-normalized exemplars instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionNorm {
+    /// Classify the pushed samples as-is.
+    Raw,
+    /// Honest per-prefix z-normalization: each decision is made on the
+    /// z-normalized version of the data it consumes, computed from running
+    /// (past-only) statistics. Algorithms that already normalize internally
+    /// (e.g. TEASER with honest prefixes, template matching — both are
+    /// invariant to affine transforms of the input) treat this identically
+    /// to `Raw`.
+    PerPrefix,
+}
+
+/// A stateful, incremental early-classification session over one stream.
+///
+/// Obtained from [`EarlyClassifier::session`]. Feed samples in arrival
+/// order with [`push`](Self::push); each call returns the decision for the
+/// prefix consumed so far. Under [`SessionNorm::Raw`], pushing `x1..xt`
+/// yields exactly `decide(&[x1..xt])` — the session is the incremental
+/// evaluation of the same function (the equivalence every algorithm's
+/// property tests assert).
+///
+/// **Latching:** once a session commits, it stays committed — every later
+/// `push` returns the same `Predict` without recomputation. The first
+/// commit is *the* early classification; callers wanting a fresh judgment
+/// open a new session (or [`reset`](Self::reset) this one).
+pub trait DecisionSession {
+    /// Consume one sample; returns the decision for the prefix so far.
+    fn push(&mut self, x: f64) -> Decision;
+
+    /// The decision as of the last push (`Wait` before any push).
+    fn decision(&self) -> Decision;
+
+    /// Number of samples consumed.
+    fn len(&self) -> usize;
+
+    /// True before the first sample.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forget all samples and any commitment, keeping allocations — the
+    /// cheap way to reuse one session across many anchors/streams.
+    fn reset(&mut self);
 }
 
 /// A fitted early classifier.
 ///
 /// Implementations are fitted on full-length training exemplars and then
-/// queried with growing prefixes. `decide` must be monotone-safe: callers
-/// may query any prefix length in any order (the trait is stateless), and
-/// the *first* `Predict` along the growing prefix is the algorithm's early
-/// classification.
+/// consume growing prefixes, either statelessly via [`decide`](Self::decide)
+/// or incrementally via [`session`](Self::session).
+///
+/// `decide` must be monotone-safe: callers may query any prefix length in
+/// any order, and the *first* `Predict` along the growing prefix is the
+/// algorithm's early classification.
+///
+/// Implementors must provide at least one of `decide` / `session`: each has
+/// a default written in terms of the other (`decide` drives a fresh raw
+/// session; `session` replays `decide` on a buffered prefix). Providing
+/// neither recurses; providing both — a stateless definition plus an
+/// incremental one — is the fast path every algorithm in this crate takes.
 pub trait EarlyClassifier {
     /// Number of classes fitted.
     fn n_classes(&self) -> usize;
@@ -95,12 +234,214 @@ pub trait EarlyClassifier {
     }
 
     /// Inspect a prefix and either commit or wait.
-    fn decide(&self, prefix: &[f64]) -> Decision;
+    ///
+    /// The default drives a fresh [`SessionNorm::Raw`] session over
+    /// `prefix`, so session-only implementors get offline evaluation for
+    /// free.
+    fn decide(&self, prefix: &[f64]) -> Decision {
+        let mut session = self.session(SessionNorm::Raw);
+        let mut decision = Decision::Wait;
+        for &x in prefix {
+            decision = session.push(x);
+        }
+        decision
+    }
+
+    /// Open an incremental session (see [`DecisionSession`]).
+    ///
+    /// The default buffers samples and replays [`decide`](Self::decide) on
+    /// every push — O(prefix) per sample, correct for any implementor.
+    /// Algorithms override this with running-state sessions whose per-sample
+    /// cost is amortized O(1) in the prefix length.
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        Box::new(ReplaySession::new(self, norm))
+    }
 
     /// Unconditional prediction from the full series — the fallback when
     /// `decide` never commits (the ETSC literature always reports *some*
     /// label at full length).
     fn predict_full(&self, series: &[f64]) -> ClassLabel;
+}
+
+/// The universal fallback session: buffers the pushed samples and replays
+/// [`EarlyClassifier::decide`] on the whole buffer at every push.
+///
+/// Correct for any classifier (it *is* the definition of session/decide
+/// equivalence) but O(prefix) per sample; algorithm-specific sessions exist
+/// to beat it. Under [`SessionNorm::PerPrefix`] the buffered prefix is
+/// z-normalized into a scratch buffer before deciding.
+pub struct ReplaySession<'a, C: EarlyClassifier + ?Sized> {
+    clf: &'a C,
+    norm: SessionNorm,
+    buf: Vec<f64>,
+    scratch: Vec<f64>,
+    len: usize,
+    decision: Decision,
+}
+
+impl<'a, C: EarlyClassifier + ?Sized> ReplaySession<'a, C> {
+    /// Wrap a classifier reference.
+    pub fn new(clf: &'a C, norm: SessionNorm) -> Self {
+        Self {
+            clf,
+            norm,
+            buf: Vec::new(),
+            scratch: Vec::new(),
+            len: 0,
+            decision: Decision::Wait,
+        }
+    }
+}
+
+impl<C: EarlyClassifier + ?Sized> DecisionSession for ReplaySession<'_, C> {
+    fn push(&mut self, x: f64) -> Decision {
+        self.len += 1;
+        if self.decision.is_predict() {
+            // Latched: count the sample but do no work (and in particular
+            // stop growing the buffer — a latched session may be driven for
+            // the rest of an unbounded stream).
+            return self.decision;
+        }
+        self.buf.push(x);
+        if self.buf.len() < self.clf.min_prefix() {
+            // Below the classifier's declared minimum no decision is asked
+            // for — mirroring offline evaluation, which never queries
+            // prefixes shorter than `min_prefix`.
+            return Decision::Wait;
+        }
+        self.decision = match self.norm {
+            SessionNorm::Raw => self.clf.decide(&self.buf),
+            SessionNorm::PerPrefix => {
+                self.scratch.clear();
+                self.scratch.extend_from_slice(&self.buf);
+                znormalize_in_place(&mut self.scratch);
+                self.clf.decide(&self.scratch)
+            }
+        };
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.scratch.clear();
+        self.len = 0;
+        self.decision = Decision::Wait;
+    }
+}
+
+/// A batch driver servicing many concurrent [`DecisionSession`]s — the
+/// anchors of one stream monitor, or many independent streams — over one
+/// fitted classifier, with session reuse so steady-state operation does not
+/// allocate.
+///
+/// Streams are identified by caller-chosen `u64` keys (an anchor offset, a
+/// tenant id, …). [`open`](Self::open) starts a stream,
+/// [`push`](Self::push) feeds one sample to one stream,
+/// [`push_all`](Self::push_all) feeds the same sample to every stream (the
+/// monitor's fan-out), and [`close`](Self::close) retires a stream,
+/// recycling its session into an internal pool.
+pub struct MultiSession<'a> {
+    clf: &'a dyn EarlyClassifier,
+    norm: SessionNorm,
+    /// Open streams, kept in `open` order — [`push_all`](Self::push_all)
+    /// visits them oldest-first, which is what priority-by-age consumers
+    /// want.
+    slots: Vec<(u64, Box<dyn DecisionSession + 'a>)>,
+    /// Retired sessions awaiting reuse.
+    pool: Vec<Box<dyn DecisionSession + 'a>>,
+}
+
+impl<'a> MultiSession<'a> {
+    /// A driver over `clf` whose sessions apply `norm`.
+    pub fn new(clf: &'a dyn EarlyClassifier, norm: SessionNorm) -> Self {
+        Self {
+            clf,
+            norm,
+            slots: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Open a stream under `key`. Returns `false` (and does nothing) if the
+    /// key is already open.
+    pub fn open(&mut self, key: u64) -> bool {
+        if self.slots.iter().any(|(k, _)| *k == key) {
+            return false;
+        }
+        let session = match self.pool.pop() {
+            Some(mut s) => {
+                s.reset();
+                s
+            }
+            None => self.clf.session(self.norm),
+        };
+        self.slots.push((key, session));
+        true
+    }
+
+    /// Close the stream under `key`, recycling its session. Returns `false`
+    /// if no such stream is open.
+    pub fn close(&mut self, key: u64) -> bool {
+        match self.slots.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                let (_, session) = self.slots.remove(i);
+                self.pool.push(session);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Feed one sample to the stream under `key`; `None` if it is not open.
+    pub fn push(&mut self, key: u64, x: f64) -> Option<Decision> {
+        self.slots
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .map(|(_, s)| s.push(x))
+    }
+
+    /// Feed the same sample to every open stream, in `open` order. For each
+    /// stream the sink receives `(key, decision, committed_now)`, where
+    /// `committed_now` is true exactly on the push that turned the stream's
+    /// decision into a `Predict` (sessions latch afterwards).
+    pub fn push_all(&mut self, x: f64, mut sink: impl FnMut(u64, Decision, bool)) {
+        for (key, session) in self.slots.iter_mut() {
+            let was_committed = session.decision().is_predict();
+            let decision = session.push(x);
+            sink(*key, decision, decision.is_predict() && !was_committed);
+        }
+    }
+
+    /// Current decision and consumed length of the stream under `key`.
+    pub fn status(&self, key: u64) -> Option<(Decision, usize)> {
+        self.slots
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, s)| (s.decision(), s.len()))
+    }
+
+    /// Number of open streams.
+    pub fn active(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no stream is open.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Keys of open streams, in `open` order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().map(|(k, _)| *k)
+    }
 }
 
 #[cfg(test)]
@@ -110,12 +451,198 @@ mod tests {
     #[test]
     fn decision_accessors() {
         assert_eq!(Decision::Wait.label(), None);
+        assert_eq!(Decision::Wait.confidence(), None);
+        assert_eq!(Decision::Wait.label_confidence(), None);
         assert!(!Decision::Wait.is_predict());
         let p = Decision::Predict {
             label: 3,
             confidence: 0.9,
         };
         assert_eq!(p.label(), Some(3));
+        assert_eq!(p.confidence(), Some(0.9));
+        assert_eq!(p.label_confidence(), Some((3, 0.9)));
         assert!(p.is_predict());
+    }
+
+    #[test]
+    fn decisiveness_orders_wait_below_predict_and_by_confidence() {
+        use std::cmp::Ordering;
+        let lo = Decision::Predict {
+            label: 0,
+            confidence: 0.2,
+        };
+        let hi = Decision::Predict {
+            label: 1,
+            confidence: 0.8,
+        };
+        assert_eq!(
+            Decision::Wait.decisiveness_cmp(&Decision::Wait),
+            Ordering::Equal
+        );
+        assert_eq!(Decision::Wait.decisiveness_cmp(&lo), Ordering::Less);
+        assert_eq!(hi.decisiveness_cmp(&Decision::Wait), Ordering::Greater);
+        assert_eq!(lo.decisiveness_cmp(&hi), Ordering::Less);
+        assert_eq!(hi.prefer(lo), hi);
+        assert_eq!(lo.prefer(hi), hi);
+        assert_eq!(Decision::Wait.prefer(lo), lo);
+        // Label does not break ties; the receiver wins.
+        let hi2 = Decision::Predict {
+            label: 0,
+            confidence: 0.8,
+        };
+        assert_eq!(hi.prefer(hi2), hi);
+    }
+
+    #[test]
+    fn decisiveness_is_nan_safe() {
+        use std::cmp::Ordering;
+        let nan = Decision::Predict {
+            label: 0,
+            confidence: f64::NAN,
+        };
+        let ok = Decision::Predict {
+            label: 1,
+            confidence: 0.5,
+        };
+        // total_cmp puts NaN above every finite value — deterministic, never
+        // a poisoned comparison.
+        assert_eq!(nan.decisiveness_cmp(&ok), Ordering::Greater);
+        assert_eq!(nan.decisiveness_cmp(&nan), Ordering::Equal);
+        assert!(nan.decisiveness_cmp(&Decision::Wait) == Ordering::Greater);
+    }
+
+    /// Commits to class 0 with confidence 1 once `commit_at` samples arrive.
+    struct FixedCommit {
+        commit_at: usize,
+    }
+
+    impl EarlyClassifier for FixedCommit {
+        fn n_classes(&self) -> usize {
+            1
+        }
+        fn series_len(&self) -> usize {
+            16
+        }
+        fn decide(&self, prefix: &[f64]) -> Decision {
+            if prefix.len() >= self.commit_at {
+                Decision::Predict {
+                    label: 0,
+                    confidence: 1.0,
+                }
+            } else {
+                Decision::Wait
+            }
+        }
+        fn predict_full(&self, _series: &[f64]) -> ClassLabel {
+            0
+        }
+    }
+
+    #[test]
+    fn default_session_replays_decide_and_latches() {
+        let clf = FixedCommit { commit_at: 3 };
+        let mut s = clf.session(SessionNorm::Raw);
+        assert!(s.is_empty());
+        assert_eq!(s.decision(), Decision::Wait);
+        assert_eq!(s.push(1.0), Decision::Wait);
+        assert_eq!(s.push(1.0), Decision::Wait);
+        let committed = s.push(1.0);
+        assert!(committed.is_predict());
+        assert_eq!(s.push(1.0), committed, "latched after commit");
+        assert_eq!(s.len(), 4);
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.decision(), Decision::Wait);
+    }
+
+    /// Session-only implementor: `decide` comes from the trait default.
+    struct SessionOnly;
+
+    struct CountSession {
+        len: usize,
+        decision: Decision,
+    }
+
+    impl DecisionSession for CountSession {
+        fn push(&mut self, _x: f64) -> Decision {
+            self.len += 1;
+            if self.len >= 2 {
+                self.decision = Decision::Predict {
+                    label: 0,
+                    confidence: 0.7,
+                };
+            }
+            self.decision
+        }
+        fn decision(&self) -> Decision {
+            self.decision
+        }
+        fn len(&self) -> usize {
+            self.len
+        }
+        fn reset(&mut self) {
+            self.len = 0;
+            self.decision = Decision::Wait;
+        }
+    }
+
+    impl EarlyClassifier for SessionOnly {
+        fn n_classes(&self) -> usize {
+            1
+        }
+        fn series_len(&self) -> usize {
+            8
+        }
+        fn session(&self, _norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+            Box::new(CountSession {
+                len: 0,
+                decision: Decision::Wait,
+            })
+        }
+        fn predict_full(&self, _series: &[f64]) -> ClassLabel {
+            0
+        }
+    }
+
+    #[test]
+    fn default_decide_drives_a_session() {
+        let clf = SessionOnly;
+        assert_eq!(clf.decide(&[0.0]), Decision::Wait);
+        assert!(clf.decide(&[0.0, 0.0]).is_predict());
+    }
+
+    #[test]
+    fn multi_session_opens_pushes_and_recycles() {
+        let clf = FixedCommit { commit_at: 2 };
+        let mut multi = MultiSession::new(&clf, SessionNorm::Raw);
+        assert!(multi.is_empty());
+        assert!(multi.open(10));
+        assert!(!multi.open(10), "duplicate keys are rejected");
+        assert!(multi.open(20));
+        assert_eq!(multi.active(), 2);
+        assert_eq!(multi.keys().collect::<Vec<_>>(), vec![10, 20]);
+
+        // Stagger the streams: key 10 gets a head start.
+        assert_eq!(multi.push(10, 0.5), Some(Decision::Wait));
+        let mut events = Vec::new();
+        multi.push_all(0.5, |k, d, now| events.push((k, d.is_predict(), now)));
+        // Key 10 commits now (2 samples); key 20 has only 1.
+        assert_eq!(events, vec![(10, true, true), (20, false, false)]);
+
+        events.clear();
+        multi.push_all(0.5, |k, d, now| events.push((k, d.is_predict(), now)));
+        // Key 10 is latched (not newly committed); key 20 commits now.
+        assert_eq!(events, vec![(10, true, false), (20, true, true)]);
+
+        assert_eq!(
+            multi.status(10).map(|(d, l)| (d.is_predict(), l)),
+            Some((true, 3))
+        );
+        assert!(multi.close(10));
+        assert!(!multi.close(10));
+        // The recycled session starts fresh for a new key.
+        assert!(multi.open(30));
+        assert_eq!(multi.status(30), Some((Decision::Wait, 0)));
+        assert_eq!(multi.push(99, 0.0), None, "unknown key");
     }
 }

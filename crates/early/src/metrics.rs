@@ -11,7 +11,7 @@
 use etsc_core::znorm::znormalize;
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::{Decision, EarlyClassifier};
+use crate::{Decision, EarlyClassifier, SessionNorm};
 
 /// How prefixes handed to the classifier are normalized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,27 +102,42 @@ impl EarlyEvaluation {
 
 /// Run `clf` over one series, growing the prefix one point at a time, and
 /// return the first commitment (or the full-length fallback).
+///
+/// Under `Oracle`/`Raw` the series is streamed through an incremental
+/// [`DecisionSession`](crate::DecisionSession) — O(series) total for
+/// classifiers with incremental sessions, where the old grow-the-prefix
+/// `decide` loop was O(series²). Session/decide equivalence (asserted per
+/// algorithm by property tests) makes this a pure speedup. `PerPrefix`
+/// keeps the explicit re-normalize-and-decide loop: its published meaning
+/// is "decide on the z-normalization of each whole prefix", which is not
+/// incrementally computable in general.
 pub fn classify_stream<C: EarlyClassifier + ?Sized>(
     clf: &C,
     series: &[f64],
     policy: PrefixPolicy,
 ) -> (ClassLabel, usize, bool) {
     let n = series.len();
-    let start = clf.min_prefix().clamp(1, n);
-    for len in start..=n {
-        let decision = match policy {
-            PrefixPolicy::Oracle | PrefixPolicy::Raw => clf.decide(&series[..len]),
-            PrefixPolicy::PerPrefix => clf.decide(&znormalize(&series[..len])),
-        };
-        if let Decision::Predict { label, .. } = decision {
-            return (label, len, true);
+    match policy {
+        PrefixPolicy::Oracle | PrefixPolicy::Raw => {
+            let mut session = clf.session(SessionNorm::Raw);
+            for (i, &x) in series.iter().enumerate() {
+                if let Decision::Predict { label, .. } = session.push(x) {
+                    return (label, i + 1, true);
+                }
+            }
+            (clf.predict_full(series), n, false)
+        }
+        PrefixPolicy::PerPrefix => {
+            let start = clf.min_prefix().clamp(1, n);
+            for len in start..=n {
+                let decision = clf.decide(&znormalize(&series[..len]));
+                if let Decision::Predict { label, .. } = decision {
+                    return (label, len, true);
+                }
+            }
+            (clf.predict_full(&znormalize(series)), n, false)
         }
     }
-    let full = match policy {
-        PrefixPolicy::Oracle | PrefixPolicy::Raw => clf.predict_full(series),
-        PrefixPolicy::PerPrefix => clf.predict_full(&znormalize(series)),
-    };
-    (full, n, false)
 }
 
 /// Evaluate an early classifier over a test set.
@@ -271,7 +286,10 @@ mod tests {
         }
         let test = UcrDataset::new(vec![vec![5.0, 7.0, 9.0, 11.0, 13.0]], vec![0]).unwrap();
         let raw = evaluate(&NormProbe, &test, PrefixPolicy::Raw);
-        assert_eq!(raw.instances[0].predicted, 1, "raw prefixes are not normalized");
+        assert_eq!(
+            raw.instances[0].predicted, 1,
+            "raw prefixes are not normalized"
+        );
         let pp = evaluate(&NormProbe, &test, PrefixPolicy::PerPrefix);
         assert_eq!(pp.instances[0].predicted, 0);
         assert_eq!(pp.instances[0].length_used, 4, "commits at min_prefix");

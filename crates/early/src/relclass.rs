@@ -25,11 +25,13 @@
 //! * **LDG Rel. Class.** — pooled ("linear discriminant Gaussian")
 //!   covariance, giving a linear boundary.
 
-use etsc_classifiers::gaussian::{CovarianceKind, GaussianModel};
+use etsc_classifiers::gaussian::{
+    softmax_of_logs_in_place, CovarianceKind, GaussianLikelihoodSession, GaussianModel,
+};
 use etsc_classifiers::Classifier;
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::{Decision, EarlyClassifier};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// RelClass hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -108,18 +110,9 @@ impl RelClass {
     /// could still overturn the decision).
     pub fn reliability(&self, prefix: &[f64]) -> f64 {
         let p = self.calibrated_posterior(prefix);
-        let mut best = 0.0;
-        let mut second = 0.0;
-        for &v in &p {
-            if v > best {
-                second = best;
-                best = v;
-            } else if v > second {
-                second = v;
-            }
-        }
-        let observed = prefix.len().min(self.model.series_len()) as f64
-            / self.model.series_len() as f64;
+        let (best, second) = crate::top_two(&p);
+        let observed =
+            prefix.len().min(self.model.series_len()) as f64 / self.model.series_len() as f64;
         (best - second) * observed
     }
 }
@@ -153,8 +146,92 @@ impl EarlyClassifier for RelClass {
         }
     }
 
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        match (norm, self.model.likelihood_session()) {
+            // Diagonal covariances decompose per coordinate: run the
+            // likelihood accumulator for amortized O(classes) per sample.
+            (SessionNorm::Raw, Some(ll)) => Box::new(RelClassSession {
+                model: self,
+                ll,
+                posterior: vec![0.0; self.model.n_classes()],
+                len: 0,
+                decision: Decision::Wait,
+            }),
+            // Full covariance couples coordinates (Cholesky of the growing
+            // principal submatrix), and per-prefix normalization rescales
+            // every past coordinate at each step: both fall back to
+            // whole-prefix replay.
+            _ => Box::new(crate::ReplaySession::new(self, norm)),
+        }
+    }
+
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
         self.model.predict(series)
+    }
+}
+
+/// Incremental RelClass session over diagonal Gaussian class models.
+///
+/// A [`GaussianLikelihoodSession`] accumulates each class's log-likelihood
+/// coordinate-by-coordinate (exactly the batch sum, in the same order), and
+/// the calibrated posterior, reliability discount, and τ-gate are evaluated
+/// on those running sums — O(classes) per sample versus O(classes × prefix)
+/// for the stateless [`RelClass::decide`].
+struct RelClassSession<'a> {
+    model: &'a RelClass,
+    ll: GaussianLikelihoodSession<'a>,
+    posterior: Vec<f64>,
+    /// Samples consumed, counted independently of `ll` so latched pushes
+    /// stay O(1).
+    len: usize,
+    decision: Decision,
+}
+
+impl DecisionSession for RelClassSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        self.len += 1;
+        if self.decision.is_predict() {
+            return self.decision; // latched: count the sample, skip the work
+        }
+        self.ll.push(x);
+        let model = self.model;
+        if self.ll.len() < model.min_prefix {
+            return Decision::Wait;
+        }
+        // Calibrated posterior: mean log-likelihood per observed coordinate
+        // (mirrors `calibrated_posterior`).
+        let series_len = model.model.series_len();
+        let t = self.ll.len().min(series_len).max(1) as f64;
+        for (c, out) in self.posterior.iter_mut().enumerate() {
+            *out = (model.model.class_prior(c).max(1e-12).ln() + self.ll.log_likelihoods()[c]) / t;
+        }
+        softmax_of_logs_in_place(&mut self.posterior);
+        let label = etsc_classifiers::argmax(&self.posterior);
+        // Reliability: posterior margin discounted by observed fraction
+        // (mirrors `reliability`).
+        let (best, second) = crate::top_two(&self.posterior);
+        let observed = self.ll.len().min(series_len) as f64 / series_len as f64;
+        if (best - second) * observed >= model.tau {
+            self.decision = Decision::Predict {
+                label,
+                confidence: self.posterior[label],
+            };
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.ll.reset();
+        self.len = 0;
+        self.decision = Decision::Wait;
     }
 }
 
@@ -247,6 +324,47 @@ mod tests {
         let rc = RelClass::fit(&train, &RelClassConfig::default());
         assert_eq!(rc.predict_full(&[0.0; 20]), 0);
         assert_eq!(rc.predict_full(&[2.0; 20]), 1);
+    }
+
+    #[test]
+    fn diagonal_session_reproduces_decide_exactly() {
+        let train = toy(10, 30, 0.8);
+        for cfg in [RelClassConfig::default(), RelClassConfig::ldg(0.1)] {
+            let rc = RelClass::fit(&train, &cfg);
+            for probe_idx in [0, train.len() - 1] {
+                let probe = train.series(probe_idx);
+                let mut s = rc.session(crate::SessionNorm::Raw);
+                for t in 0..probe.len() {
+                    let inc = s.push(probe[t]);
+                    let batch = rc.decide(&probe[..t + 1]);
+                    assert_eq!(inc, batch, "probe {probe_idx} prefix {}", t + 1);
+                    if inc.is_predict() {
+                        break; // sessions latch at the first commit
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_covariance_falls_back_to_replay() {
+        let train = toy(10, 12, 2.0);
+        let rc = RelClass::fit(
+            &train,
+            &RelClassConfig {
+                covariance: CovarianceKind::Full,
+                ..Default::default()
+            },
+        );
+        let probe = train.series(0);
+        let mut s = rc.session(crate::SessionNorm::Raw);
+        for t in 0..probe.len() {
+            let inc = s.push(probe[t]);
+            assert_eq!(inc, rc.decide(&probe[..t + 1]), "prefix {}", t + 1);
+            if inc.is_predict() {
+                break;
+            }
+        }
     }
 
     #[test]

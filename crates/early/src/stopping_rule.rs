@@ -15,8 +15,8 @@
 
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::checkpoints::{BaseClassifier, CheckpointEnsemble};
-use crate::{Decision, EarlyClassifier};
+use crate::checkpoints::{BaseClassifier, CheckpointCursor, CheckpointEnsemble};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// Stopping-rule hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -52,27 +52,14 @@ pub struct StoppingRule {
     gamma: [f64; 3],
 }
 
-fn top_two(p: &[f64]) -> (f64, f64) {
-    let mut best = 0.0;
-    let mut second = 0.0;
-    for &v in p {
-        if v > best {
-            second = best;
-            best = v;
-        } else if v > second {
-            second = v;
-        }
-    }
-    (best, second)
-}
+use crate::top_two;
 
 impl StoppingRule {
     /// Fit the checkpoint ensemble and grid-search γ on `train`.
     pub fn fit(train: &UcrDataset, cfg: &StoppingRuleConfig) -> Self {
         assert!((0.0..=1.0).contains(&cfg.alpha), "alpha must be in [0, 1]");
         assert!(cfg.gamma_grid_steps >= 2, "grid needs at least 2 steps");
-        let ensemble =
-            CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
+        let ensemble = CheckpointEnsemble::fit(train, cfg.base, cfg.n_checkpoints, cfg.min_len);
         let series_len = ensemble.series_len() as f64;
 
         // Precompute per-instance, per-checkpoint posterior features on
@@ -94,8 +81,7 @@ impl StoppingRule {
                 // rebuild per-instance sequences from the known order.
                 let even: Vec<usize> = (0..n).step_by(2).collect();
                 let odd: Vec<usize> = (1..n).step_by(2).collect();
-                let order: Vec<usize> =
-                    odd.iter().chain(even.iter()).copied().collect();
+                let order: Vec<usize> = odd.iter().chain(even.iter()).copied().collect();
                 for (ci, pairs) in cv.iter().enumerate() {
                     for (k, (p, _)) in pairs.iter().enumerate() {
                         let i = order[k];
@@ -130,8 +116,7 @@ impl StoppingRule {
                     let mut correct = 0usize;
                     let mut earliness_sum = 0.0;
                     for (i, _) in train.iter().enumerate() {
-                        let (pred, t_frac) =
-                            Self::simulate(&features[i], gamma);
+                        let (pred, t_frac) = Self::simulate(&features[i], gamma);
                         if pred == train.label(i) {
                             correct += 1;
                         }
@@ -191,24 +176,79 @@ impl EarlyClassifier for StoppingRule {
             return Decision::Wait;
         };
         let p = self.ensemble.proba_at(ci, prefix);
-        let (p1, p2) = top_two(&p);
+        self.halt_rule(ci, &p)
+    }
+
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        Box::new(StoppingRuleSession {
+            model: self,
+            cursor: self.ensemble.cursor(norm),
+            len: 0,
+            decision: Decision::Wait,
+        })
+    }
+
+    fn predict_full(&self, series: &[f64]) -> ClassLabel {
+        let last = self.ensemble.lengths().len() - 1;
+        etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
+    }
+}
+
+impl StoppingRule {
+    /// Apply the learned stopping rule to one checkpoint's posterior.
+    fn halt_rule(&self, ci: usize, p: &[f64]) -> Decision {
+        let (p1, p2) = top_two(p);
         let t = self.ensemble.lengths()[ci] as f64 / self.ensemble.series_len() as f64;
         let is_last = ci == self.ensemble.lengths().len() - 1;
         let halt =
             is_last || self.gamma[0] * p1 + self.gamma[1] * (p1 - p2) + self.gamma[2] * t > 0.0;
         if halt {
             Decision::Predict {
-                label: etsc_classifiers::argmax(&p),
+                label: etsc_classifiers::argmax(p),
                 confidence: p1,
             }
         } else {
             Decision::Wait
         }
     }
+}
 
-    fn predict_full(&self, series: &[f64]) -> ClassLabel {
-        let last = self.ensemble.lengths().len() - 1;
-        etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
+/// Incremental stopping-rule session: evaluates the halt rule once per
+/// checkpoint boundary (via [`CheckpointCursor`]); every other push is O(1).
+struct StoppingRuleSession<'a> {
+    model: &'a StoppingRule,
+    cursor: CheckpointCursor<'a>,
+    /// Samples consumed, counted independently of the cursor so latched
+    /// pushes stay O(1).
+    len: usize,
+    decision: Decision,
+}
+
+impl DecisionSession for StoppingRuleSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        self.len += 1;
+        if self.decision.is_predict() {
+            return self.decision; // latched: count the sample, skip the work
+        }
+        if let Some(ci) = self.cursor.push(x) {
+            let (_, p) = self.cursor.latest().expect("just completed");
+            self.decision = self.model.halt_rule(ci, p);
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.cursor.reset();
+        self.len = 0;
+        self.decision = Decision::Wait;
     }
 }
 

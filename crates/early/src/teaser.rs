@@ -23,10 +23,10 @@
 use etsc_classifiers::centroid::NearestCentroid;
 use etsc_classifiers::weasel::{Weasel, WeaselConfig};
 use etsc_classifiers::{argmax, Classifier};
-use etsc_core::znorm::znormalize;
+use etsc_core::znorm::{znormalize, znormalize_in_place};
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::{Decision, EarlyClassifier};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// Which slave classifier each snapshot trains.
 #[derive(Debug, Clone)]
@@ -183,7 +183,9 @@ struct Snapshot {
 impl Snapshot {
     /// Master-filtered prediction on an (already normalized) prefix.
     fn accepted_prediction(&self, prefix: &[f64]) -> Option<(ClassLabel, f64)> {
-        let p = self.slave.predict_proba(&prefix[..self.len.min(prefix.len())]);
+        let p = self
+            .slave
+            .predict_proba(&prefix[..self.len.min(prefix.len())]);
         let label = argmax(&p);
         let best = p[label];
         let mut second = 0.0;
@@ -222,13 +224,7 @@ impl Teaser {
         // Snapshot lengths: evenly spaced, respecting the slave's minimum
         // usable length.
         let min_len = match &cfg.slave {
-            SlaveKind::Weasel(w) => w
-                .window_sizes
-                .iter()
-                .copied()
-                .min()
-                .unwrap_or(8)
-                .max(4),
+            SlaveKind::Weasel(w) => w.window_sizes.iter().copied().min().unwrap_or(8).max(4),
             SlaveKind::Centroid => 2,
         };
         let mut lengths: Vec<usize> = (1..=cfg.n_snapshots)
@@ -263,10 +259,7 @@ impl Teaser {
         let mut snapshots = Vec::with_capacity(lengths.len());
         for &l in &lengths {
             // Slave training set: honest prefixes of length l.
-            let prefixes: Vec<Vec<f64>> = train
-                .iter()
-                .map(|(s, _)| normalize(&s[..l]))
-                .collect();
+            let prefixes: Vec<Vec<f64>> = train.iter().map(|(s, _)| normalize(&s[..l])).collect();
             let prefix_ds = UcrDataset::new(prefixes.clone(), train.labels().to_vec())
                 .expect("prefix dataset inherits validity");
             let slave = fit_slave(&prefix_ds);
@@ -297,10 +290,7 @@ impl Teaser {
             // 2-fold cross-validation instead.
             let _ = correct; // resubstitution count kept for debugging only
             let cv_acc = Self::cv_accuracy(&prefix_ds, &fit_slave);
-            let majority_prior = train
-                .class_priors()
-                .into_iter()
-                .fold(0.0f64, f64::max);
+            let majority_prior = train.class_priors().into_iter().fold(0.0f64, f64::max);
             let master = if cv_acc > majority_prior + 0.05 {
                 OneClassEnvelope::fit(&good_vectors, cfg.master_quantile)
             } else {
@@ -455,22 +445,22 @@ impl EarlyClassifier for Teaser {
         }
         // Recompute only the trailing v snapshots (consistency window).
         let tail = &complete[complete.len() - self.v..];
-        let mut agreed: Option<(ClassLabel, f64)> = None;
-        for snap in tail {
+        consistency_agreement(tail.iter().map(|snap| {
             let p = self.normalized_prefix(prefix, snap.len);
-            match snap.accepted_prediction(&p) {
-                Some((label, conf)) => match agreed {
-                    None => agreed = Some((label, conf)),
-                    Some((l, _)) if l != label => return Decision::Wait,
-                    Some((l, c)) => agreed = Some((l, c.max(conf))),
-                },
-                None => return Decision::Wait,
-            }
-        }
-        match agreed {
-            Some((label, confidence)) => Decision::Predict { label, confidence },
-            None => Decision::Wait,
-        }
+            snap.accepted_prediction(&p)
+        }))
+    }
+
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        Box::new(TeaserSession {
+            model: self,
+            norm,
+            buf: Vec::with_capacity(self.series_len),
+            scratch: Vec::new(),
+            results: Vec::with_capacity(self.snapshots.len()),
+            len: 0,
+            decision: Decision::Wait,
+        })
     }
 
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
@@ -482,6 +472,112 @@ impl EarlyClassifier for Teaser {
             .unwrap_or(&self.snapshots[0]);
         let p = self.normalized_prefix(series, snap.len);
         argmax(&snap.slave.predict_proba(&p[..snap.len.min(p.len())]))
+    }
+}
+
+/// The consistency rule shared by [`Teaser::decide`] and the session: every
+/// result in the trailing window must be a master-accepted prediction of
+/// the same label (confidence = the window maximum); any rejection or
+/// disagreement means wait. Lazy over the iterator, so `decide` stops
+/// evaluating snapshots at the first rejection.
+fn consistency_agreement(results: impl Iterator<Item = Option<(ClassLabel, f64)>>) -> Decision {
+    let mut agreed: Option<(ClassLabel, f64)> = None;
+    for r in results {
+        match r {
+            Some((label, conf)) => match agreed {
+                None => agreed = Some((label, conf)),
+                Some((l, _)) if l != label => return Decision::Wait,
+                Some((l, c)) => agreed = Some((l, c.max(conf))),
+            },
+            None => return Decision::Wait,
+        }
+    }
+    match agreed {
+        Some((label, confidence)) => Decision::Predict { label, confidence },
+        None => Decision::Wait,
+    }
+}
+
+/// Incremental TEASER session.
+///
+/// The decision only changes at snapshot boundaries, so each snapshot's
+/// slave + master are evaluated exactly once — when the prefix reaches that
+/// snapshot's length — and the master-accepted predictions are cached.
+/// Every non-boundary push is O(1); [`Teaser::decide`] instead re-evaluates
+/// the whole trailing consistency window (normalization included) on every
+/// prefix.
+///
+/// With `znorm_prefixes` fitted on (TEASER's honest convention, the
+/// default) the snapshot windows are z-normalized internally, which also
+/// makes the session invariant to affine input transforms — so
+/// [`SessionNorm::PerPrefix`] and [`SessionNorm::Raw`] coincide. Without
+/// it, `PerPrefix` z-normalizes each snapshot window by its own statistics.
+struct TeaserSession<'a> {
+    model: &'a Teaser,
+    norm: SessionNorm,
+    /// Raw samples, capped at the fitted series length.
+    buf: Vec<f64>,
+    /// Normalized snapshot window scratch.
+    scratch: Vec<f64>,
+    /// Master-filtered prediction of each completed snapshot.
+    results: Vec<Option<(ClassLabel, f64)>>,
+    len: usize,
+    decision: Decision,
+}
+
+impl DecisionSession for TeaserSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        if self.decision.is_predict() {
+            self.len += 1;
+            return self.decision; // latched: count the sample, skip the work
+        }
+        let model = self.model;
+        if self.buf.len() < model.series_len {
+            self.buf.push(x);
+        }
+        self.len += 1;
+        // Evaluate a snapshot exactly when the prefix reaches its length.
+        let next = self.results.len();
+        if next >= model.snapshots.len() || self.buf.len() < model.snapshots[next].len {
+            return self.decision;
+        }
+        let snap = &model.snapshots[next];
+        debug_assert_eq!(self.buf.len(), snap.len, "snapshot boundaries are exact");
+        let normalize = model.znorm_prefixes || self.norm == SessionNorm::PerPrefix;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.buf);
+        if normalize {
+            znormalize_in_place(&mut self.scratch);
+        }
+        self.results.push(snap.accepted_prediction(&self.scratch));
+
+        // Consistency check over the trailing `v` snapshots — the same fold
+        // as `Teaser::decide`, on the cached per-snapshot results.
+        if self.results.len() < model.v {
+            return self.decision;
+        }
+        let tail = &self.results[self.results.len() - model.v..];
+        if let Decision::Predict { label, confidence } = consistency_agreement(tail.iter().copied())
+        {
+            self.decision = Decision::Predict { label, confidence };
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.scratch.clear();
+        self.results.clear();
+        self.len = 0;
+        self.decision = Decision::Wait;
     }
 }
 
@@ -573,6 +669,24 @@ mod tests {
         let cfg = fast_cfg();
         let t = Teaser::fit(&train, &cfg);
         assert!((1..=cfg.max_consistency).contains(&t.consistency()));
+    }
+
+    #[test]
+    fn raw_session_reproduces_decide_exactly() {
+        let train = toy(8, 60);
+        let test = toy(3, 60);
+        let t = Teaser::fit(&train, &fast_cfg());
+        for (probe, _) in test.iter() {
+            let mut s = t.session(crate::SessionNorm::Raw);
+            for i in 0..probe.len() {
+                let inc = s.push(probe[i]);
+                let batch = t.decide(&probe[..i + 1]);
+                assert_eq!(inc, batch, "prefix {}", i + 1);
+                if inc.is_predict() {
+                    break; // sessions latch at the first commit
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,10 +13,10 @@
 //! length.
 
 use etsc_core::distance::euclidean;
-use etsc_core::znorm::znormalize;
+use etsc_core::znorm::{znormalize, CONSTANT_EPS};
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::{Decision, EarlyClassifier};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// An early classifier matching prefixes against per-class templates under
 /// an absolute distance threshold.
@@ -28,6 +28,11 @@ pub struct TemplateMatcher {
     /// Maximum accepted length-normalized z-distance.
     threshold: f64,
     min_prefix: usize,
+    /// Per-class cumulative sums of template values (`cum_t[c][l]` = sum of
+    /// the first `l` points) and squares — lets sessions evaluate the
+    /// z-normalized head distance from running sums.
+    cum_t: Vec<Vec<f64>>,
+    cum_t2: Vec<Vec<f64>>,
 }
 
 impl TemplateMatcher {
@@ -40,10 +45,19 @@ impl TemplateMatcher {
             "templates must share a non-empty length"
         );
         assert!(threshold > 0.0, "threshold must be positive");
+        let mut cum_t = Vec::with_capacity(templates.len());
+        let mut cum_t2 = Vec::with_capacity(templates.len());
+        for t in &templates {
+            let (c1, c2) = etsc_core::stats::prefix_value_and_square_sums(t);
+            cum_t.push(c1);
+            cum_t2.push(c2);
+        }
         Self {
             templates,
             threshold,
             min_prefix: min_prefix.max(2),
+            cum_t,
+            cum_t2,
         }
     }
 
@@ -134,6 +148,20 @@ impl EarlyClassifier for TemplateMatcher {
         }
     }
 
+    fn session(&self, _norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        // The z-normalized distance is invariant to affine transforms of the
+        // prefix, so honest per-prefix normalization and raw input coincide:
+        // one session serves both `SessionNorm` variants.
+        Box::new(TemplateSession {
+            model: self,
+            dot: vec![0.0; self.templates.len()],
+            sum: 0.0,
+            sumsq: 0.0,
+            len: 0,
+            decision: Decision::Wait,
+        })
+    }
+
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
         (0..self.templates.len())
             .min_by(|&a, &b| {
@@ -142,6 +170,105 @@ impl EarlyClassifier for TemplateMatcher {
                     .unwrap()
             })
             .unwrap_or(0)
+    }
+}
+
+/// Incremental template-matching session.
+///
+/// Maintains running `Σp`, `Σp²`, and per-class `Σp·t` over the pushed
+/// prefix; the length-normalized z-distance to each template head follows
+/// from the correlation identity
+/// `‖ẑ(t) − ẑ(p)‖² = 2·(l − Σẑ(t)·ẑ(p))`, so a push costs O(classes)
+/// instead of the O(classes × prefix) of re-normalizing both sides in
+/// [`TemplateMatcher::decide`]. Results agree with `decide` to floating-
+/// point reassociation (the identity sums in a different order).
+struct TemplateSession<'a> {
+    model: &'a TemplateMatcher,
+    /// Running Σ p_j·t_cj per class.
+    dot: Vec<f64>,
+    sum: f64,
+    sumsq: f64,
+    len: usize,
+    decision: Decision,
+}
+
+impl TemplateSession<'_> {
+    /// Length-normalized z-distance to class `c`'s template head at prefix
+    /// length `l` (`l ≥ 1`), from the running sums.
+    fn distance_at(&self, c: usize, l: usize) -> f64 {
+        let lf = l as f64;
+        let mu_p = self.sum / lf;
+        let sd_p = (self.sumsq / lf - mu_p * mu_p).max(0.0).sqrt();
+        let mu_t = self.model.cum_t[c][l] / lf;
+        let sd_t = (self.model.cum_t2[c][l] / lf - mu_t * mu_t).max(0.0).sqrt();
+        let p_const = sd_p <= CONSTANT_EPS;
+        let t_const = sd_t <= CONSTANT_EPS;
+        let d2 = match (p_const, t_const) {
+            // Both z-normalize to zero vectors.
+            (true, true) => 0.0,
+            // One side is the zero vector; the other has ‖ẑ‖² = l.
+            (true, false) | (false, true) => lf,
+            (false, false) => {
+                let corr = (self.dot[c] - lf * mu_t * mu_p) / (sd_t * sd_p);
+                (2.0 * (lf - corr)).max(0.0)
+            }
+        };
+        d2.sqrt() / lf.sqrt()
+    }
+}
+
+impl DecisionSession for TemplateSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        if self.decision.is_predict() {
+            self.len += 1;
+            return self.decision; // latched: count the sample, skip the work
+        }
+        let model = self.model;
+        let series_len = model.templates[0].len();
+        if self.len < series_len {
+            let j = self.len;
+            self.sum += x;
+            self.sumsq += x * x;
+            for (acc, t) in self.dot.iter_mut().zip(&model.templates) {
+                *acc += x * t[j];
+            }
+        }
+        self.len += 1;
+        let l = self.len.min(series_len);
+        if self.len < model.min_prefix {
+            return Decision::Wait;
+        }
+        let mut best: Option<(ClassLabel, f64)> = None;
+        for c in 0..model.templates.len() {
+            let d = self.distance_at(c, l);
+            if d <= model.threshold && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((c, d));
+            }
+        }
+        self.decision = match best {
+            Some((label, d)) => Decision::Predict {
+                label,
+                confidence: (1.0 - d / model.threshold).clamp(0.0, 1.0),
+            },
+            None => Decision::Wait,
+        };
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.dot.fill(0.0);
+        self.sum = 0.0;
+        self.sumsq = 0.0;
+        self.len = 0;
+        self.decision = Decision::Wait;
     }
 }
 
@@ -181,7 +308,9 @@ mod tests {
         let d = m.decide(train.series(0));
         assert_eq!(d.label(), Some(0));
         // Structureless noise is rejected (open world).
-        let noise: Vec<f64> = (0..40).map(|i| ((i * 2654435761_usize) % 97) as f64).collect();
+        let noise: Vec<f64> = (0..40)
+            .map(|i| ((i * 2654435761_usize) % 97) as f64)
+            .collect();
         assert_eq!(m.decide(&noise), Decision::Wait);
     }
 
@@ -226,5 +355,62 @@ mod tests {
     #[should_panic(expected = "share a non-empty length")]
     fn rejects_ragged_templates() {
         let _ = TemplateMatcher::from_templates(vec![vec![1.0, 2.0], vec![1.0]], 0.5, 2);
+    }
+
+    #[test]
+    fn session_tracks_decide_within_tolerance() {
+        let train = toy();
+        let m = TemplateMatcher::from_centroids(&train, 0.3, 10);
+        for (probe, _) in train.iter() {
+            let mut s = m.session(SessionNorm::Raw);
+            for t in 0..probe.len() {
+                let inc = s.push(probe[t]);
+                let batch = m.decide(&probe[..t + 1]);
+                assert_eq!(inc.is_predict(), batch.is_predict(), "prefix {}", t + 1);
+                if let (Some((li, ci)), Some((lb, cb))) =
+                    (inc.label_confidence(), batch.label_confidence())
+                {
+                    assert_eq!(li, lb, "prefix {}", t + 1);
+                    assert!((ci - cb).abs() < 1e-6, "confidence {ci} vs {cb}");
+                    break; // sessions latch at the first commit
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_is_shift_scale_invariant_like_decide() {
+        let train = toy();
+        let m = TemplateMatcher::from_centroids(&train, 0.3, 10);
+        let probe = train.series(0);
+        let moved: Vec<f64> = probe.iter().map(|&v| 100.0 + 5.0 * v).collect();
+        let run = |xs: &[f64]| {
+            let mut s = m.session(SessionNorm::PerPrefix);
+            let mut committed = None;
+            for (t, &x) in xs.iter().enumerate() {
+                if let Some(lc) = s.push(x).label_confidence() {
+                    committed = Some((t, lc.0));
+                    break;
+                }
+            }
+            committed
+        };
+        let a = run(probe);
+        let b = run(&moved);
+        assert_eq!(a, b, "affine-transformed stream must match identically");
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn session_rejects_noise_like_decide() {
+        let train = toy();
+        let m = TemplateMatcher::from_centroids(&train, 0.3, 10);
+        let noise: Vec<f64> = (0..40)
+            .map(|i| ((i * 2654435761_usize) % 97) as f64)
+            .collect();
+        let mut s = m.session(SessionNorm::Raw);
+        for &x in &noise {
+            assert_eq!(s.push(x), Decision::Wait);
+        }
     }
 }

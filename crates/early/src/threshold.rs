@@ -7,10 +7,10 @@
 //! `predict_proba` accepts prefixes (nearest-centroid, Gaussian models,
 //! WEASEL-lite all do).
 
-use etsc_classifiers::{argmax, Classifier};
+use etsc_classifiers::{argmax, Classifier, ScoreSession};
 use etsc_core::ClassLabel;
 
-use crate::{Decision, EarlyClassifier};
+use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
 
 /// An early classifier that commits when the wrapped model's class
 /// probability exceeds a user threshold.
@@ -84,8 +84,75 @@ impl<C: Classifier> EarlyClassifier for ProbThreshold<C> {
         }
     }
 
+    fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        match (norm, self.inner.score_session()) {
+            // The wrapped classifier scores incrementally: amortized
+            // O(classes) per sample.
+            (SessionNorm::Raw, Some(scorer)) => Box::new(ProbThresholdSession {
+                model: self,
+                scorer,
+                proba: vec![0.0; self.inner.n_classes()],
+                len: 0,
+                decision: Decision::Wait,
+            }),
+            // No incremental scorer (or per-prefix renormalization, which
+            // rescales every past coordinate): replay the stateless path.
+            _ => Box::new(crate::ReplaySession::new(self, norm)),
+        }
+    }
+
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
         self.inner.predict(series)
+    }
+}
+
+/// Incremental probability-threshold session over the wrapped classifier's
+/// [`ScoreSession`]; reproduces [`ProbThreshold::decide`] exactly because
+/// the score session's probabilities are defined to match the batch
+/// `predict_proba` on the same prefix.
+struct ProbThresholdSession<'a, C> {
+    model: &'a ProbThreshold<C>,
+    scorer: Box<dyn ScoreSession + 'a>,
+    proba: Vec<f64>,
+    /// Samples consumed, counted independently of the scorer so latched
+    /// pushes stay O(1).
+    len: usize,
+    decision: Decision,
+}
+
+impl<C: Classifier> DecisionSession for ProbThresholdSession<'_, C> {
+    fn push(&mut self, x: f64) -> Decision {
+        self.len += 1;
+        if self.decision.is_predict() {
+            return self.decision; // latched: count the sample, skip the work
+        }
+        self.scorer.push(x);
+        if self.scorer.len() < self.model.min_prefix {
+            return Decision::Wait;
+        }
+        self.scorer.predict_proba_into(&mut self.proba);
+        let label = argmax(&self.proba);
+        if self.proba[label] >= self.model.threshold {
+            self.decision = Decision::Predict {
+                label,
+                confidence: self.proba[label],
+            };
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.scorer.reset();
+        self.len = 0;
+        self.decision = Decision::Wait;
     }
 }
 
@@ -143,6 +210,24 @@ mod tests {
             assert!((3..=20).contains(&l));
             assert!(label < 2);
             assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn raw_session_reproduces_decide_exactly() {
+        let train = toy(6, 30);
+        let clf = ProbThreshold::new(NearestCentroid::fit(&train), 0.8, 30, 2);
+        let test = toy(3, 30);
+        for (probe, _) in test.iter() {
+            let mut s = clf.session(crate::SessionNorm::Raw);
+            for t in 0..probe.len() {
+                let inc = s.push(probe[t]);
+                let batch = clf.decide(&probe[..t + 1]);
+                assert_eq!(inc, batch, "prefix {}", t + 1);
+                if inc.is_predict() {
+                    break; // sessions latch at the first commit
+                }
+            }
         }
     }
 

@@ -1,13 +1,67 @@
 //! Property tests for the early classifiers: decisions stay in-domain,
-//! evaluation invariants hold, and thresholds act monotonically.
+//! evaluation invariants hold, thresholds act monotonically, and — for
+//! every `EarlyClassifier` implementor — the incremental session API
+//! reproduces the stateless grow-the-prefix `decide` loop.
 
 use etsc_core::UcrDataset;
+use etsc_early::costaware::{CostAware, CostAwareConfig};
+use etsc_early::ecdire::{Ecdire, EcdireConfig};
 use etsc_early::ects::{Ects, EctsConfig};
+use etsc_early::edsc::{Edsc, EdscConfig, ThresholdMethod};
 use etsc_early::metrics::{classify_stream, evaluate, PrefixPolicy};
 use etsc_early::relclass::{RelClass, RelClassConfig};
+use etsc_early::teaser::{Teaser, TeaserConfig};
 use etsc_early::template::TemplateMatcher;
-use etsc_early::{Decision, EarlyClassifier};
+use etsc_early::threshold::ProbThreshold;
+use etsc_early::{Decision, EarlyClassifier, SessionNorm};
 use proptest::prelude::*;
+
+/// Assert that pushing `series` sample-by-sample through a fresh raw
+/// session produces, at every prefix length up to and including the first
+/// commit, exactly the decision of the stateless `decide` on that prefix —
+/// the contract the session API is built on. (Sessions latch after the
+/// first commit, which is the early classification, so the comparison stops
+/// there.)
+fn assert_session_reproduces_decide(clf: &dyn EarlyClassifier, series: &[f64]) {
+    let mut session = clf.session(SessionNorm::Raw);
+    for t in 0..series.len() {
+        let incremental = session.push(series[t]);
+        let batch = clf.decide(&series[..t + 1]);
+        assert_eq!(
+            incremental,
+            batch,
+            "session diverged from decide at prefix {}/{}",
+            t + 1,
+            series.len()
+        );
+        if incremental.is_predict() {
+            break;
+        }
+    }
+}
+
+/// The first-commit outcome of the old offline evaluation loop: grow the
+/// prefix one point at a time, query `decide`, stop at the first `Predict`.
+fn first_commit_via_decide(clf: &dyn EarlyClassifier, series: &[f64]) -> Option<(usize, usize)> {
+    let start = clf.min_prefix().clamp(1, series.len());
+    for len in start..=series.len() {
+        if let Some(label) = clf.decide(&series[..len]).label() {
+            return Some((len, label));
+        }
+    }
+    None
+}
+
+/// The first-commit outcome of a raw session over the same series.
+fn first_commit_via_session(clf: &dyn EarlyClassifier, series: &[f64]) -> Option<(usize, usize)> {
+    let mut session = clf.session(SessionNorm::Raw);
+    for (i, &x) in series.iter().enumerate() {
+        if let Some(label) = session.push(x).label() {
+            return Some((i + 1, label));
+        }
+    }
+    None
+}
 
 /// A small seeded two-class dataset with adjustable separation point.
 fn dataset(n: usize, len: usize, split: usize, salt: u64) -> UcrDataset {
@@ -116,6 +170,147 @@ proptest! {
             let (_, len_lo, _) = classify_stream(&lo, s, PrefixPolicy::Oracle);
             let (_, len_hi, _) = classify_stream(&hi, s, PrefixPolicy::Oracle);
             prop_assert!(len_lo <= len_hi, "lower tau must commit no later");
+        }
+    }
+}
+
+// Session/decide equivalence, one property per `EarlyClassifier`
+// implementor. Fitting happens inside each case, so the case counts are
+// kept low; the per-prefix assertions are exhaustive over every probe.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn ects_sessions_reproduce_decide(salt in 0u64..40, split in 0usize..16) {
+        let d = dataset(5, 24, split, salt);
+        for relaxed in [false, true] {
+            let m = Ects::fit(&d, &EctsConfig { relaxed, ..EctsConfig::default() });
+            for (s, _) in d.iter() {
+                assert_session_reproduces_decide(&m, s);
+            }
+        }
+    }
+
+    #[test]
+    fn edsc_sessions_reproduce_decide(salt in 0u64..40) {
+        let d = dataset(5, 24, 4, salt);
+        for method in [
+            ThresholdMethod::Chebyshev { k: 2.0 },
+            ThresholdMethod::Kde { precision: 0.85 },
+        ] {
+            let cfg = EdscConfig {
+                lengths: vec![6, 10],
+                stride: 3,
+                method,
+                min_precision: 0.7,
+                max_features_per_class: 6,
+            };
+            let m = Edsc::fit(&d, &cfg);
+            for (s, _) in d.iter() {
+                assert_session_reproduces_decide(&m, s);
+            }
+        }
+    }
+
+    #[test]
+    fn relclass_sessions_reproduce_decide(salt in 0u64..40, split in 0usize..12) {
+        let d = dataset(5, 24, split, salt);
+        for cfg in [RelClassConfig::default(), RelClassConfig::ldg(0.1)] {
+            let m = RelClass::fit(&d, &cfg);
+            for (s, _) in d.iter() {
+                assert_session_reproduces_decide(&m, s);
+            }
+        }
+    }
+
+    #[test]
+    fn teaser_sessions_reproduce_decide(salt in 0u64..30) {
+        let d = dataset(5, 24, 6, salt);
+        let cfg = TeaserConfig { n_snapshots: 6, ..TeaserConfig::fast() };
+        let m = Teaser::fit(&d, &cfg);
+        for (s, _) in d.iter() {
+            assert_session_reproduces_decide(&m, s);
+        }
+    }
+
+    #[test]
+    fn checkpoint_algorithm_sessions_reproduce_decide(salt in 0u64..30, split in 0usize..12) {
+        let d = dataset(5, 24, split, salt);
+        let ecdire = Ecdire::fit(&d, &EcdireConfig { n_checkpoints: 6, ..EcdireConfig::default() });
+        let stopping = etsc_early::stopping_rule::StoppingRule::fit(
+            &d,
+            &etsc_early::stopping_rule::StoppingRuleConfig {
+                n_checkpoints: 6,
+                gamma_grid_steps: 3,
+                ..Default::default()
+            },
+        );
+        let costaware = CostAware::fit(
+            &d,
+            &CostAwareConfig { n_checkpoints: 6, ..CostAwareConfig::default() },
+        );
+        let models: [&dyn EarlyClassifier; 3] = [&ecdire, &stopping, &costaware];
+        for m in models {
+            for (s, _) in d.iter() {
+                assert_session_reproduces_decide(m, s);
+            }
+        }
+    }
+
+    #[test]
+    fn prob_threshold_sessions_reproduce_decide(salt in 0u64..40, thr in 0.55f64..0.95) {
+        let d = dataset(5, 24, 0, salt);
+        let m = ProbThreshold::new(
+            etsc_classifiers::centroid::NearestCentroid::fit(&d),
+            thr,
+            24,
+            2,
+        );
+        for (s, _) in d.iter() {
+            assert_session_reproduces_decide(&m, s);
+        }
+    }
+
+    #[test]
+    fn first_commits_agree_between_session_and_decide_loop(salt in 0u64..40) {
+        // The headline claim of the session API: streaming one sample at a
+        // time commits at exactly the same step, with the same label, as
+        // the old offline grow-the-prefix loop.
+        let d = dataset(5, 24, 6, salt);
+        let ects = Ects::fit(&d, &EctsConfig::default());
+        let rc = RelClass::fit(&d, &RelClassConfig::default());
+        let models: [&dyn EarlyClassifier; 2] = [&ects, &rc];
+        for m in models {
+            for (s, _) in d.iter() {
+                prop_assert_eq!(first_commit_via_decide(m, s), first_commit_via_session(m, s));
+            }
+        }
+    }
+
+    #[test]
+    fn template_sessions_match_decide_to_tolerance(salt in 0u64..40, thr in 0.2f64..0.8) {
+        // The template session evaluates the same z-normalized distance
+        // through the correlation identity, which reassociates the floating
+        // point sums — so commits may shift by at most one sample when a
+        // distance grazes the threshold, and confidences agree to ~1e-6.
+        let d = dataset(5, 24, 0, salt);
+        let m = TemplateMatcher::from_centroids(&d, thr, 4);
+        for (s, _) in d.iter() {
+            let a = first_commit_via_decide(&m, s);
+            let b = first_commit_via_session(&m, s);
+            match (a, b) {
+                (None, None) => {}
+                (Some((la, ca)), Some((lb, cb))) => {
+                    prop_assert_eq!(ca, cb, "labels must agree");
+                    prop_assert!(
+                        la.abs_diff(lb) <= 1,
+                        "commit step {} vs {} drifted by more than one sample",
+                        la,
+                        lb
+                    );
+                }
+                _ => prop_assert!(false, "one path committed, the other never did: {a:?} vs {b:?}"),
+            }
         }
     }
 }

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` / `criterion_main!`
+//! macros — with a plain median-of-samples wall-clock harness printed to
+//! stdout. No statistics beyond min/median/max, no HTML reports; the point
+//! is that `cargo bench` runs and produces comparable numbers offline.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. samples) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter value (for groups whose name already identifies
+    /// the function).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the closure under measurement; `iter` runs the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            last_median: Duration::ZERO,
+        }
+    }
+
+    /// Measure `routine`: a few warmup runs, then `samples` timed runs;
+    /// records the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<56} time: {:>12}", human(median));
+    if let Some(tp) = throughput {
+        let secs = median.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   thrpt: {:>12.0} elem/s", n as f64 / secs));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("   thrpt: {:>12.0} B/s", n as f64 / secs));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Declare per-iteration throughput for derived reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_median,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_median,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (prints nothing; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 11 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(id, b.last_median, None);
+        self
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(5)
+            .throughput(Throughput::Elements(100))
+            .bench_function("inner", |b| b.iter(|| black_box(2 * 2)))
+            .bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+                b.iter(|| black_box(x * x))
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn human_formats_scale() {
+        assert!(human(Duration::from_nanos(500)).contains("ns"));
+        assert!(human(Duration::from_micros(50)).contains("µs"));
+        assert!(human(Duration::from_millis(50)).contains("ms"));
+        assert!(human(Duration::from_secs(2)).contains(" s"));
+    }
+}

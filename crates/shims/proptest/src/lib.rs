@@ -1,0 +1,355 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro, range and `prop::collection::vec` strategies,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! [`ProptestConfig::with_cases`]. Cases are generated from a deterministic
+//! RNG seeded by the test name, so failures reproduce across runs; there is
+//! no shrinking (a failing case reports its index and message instead).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Outcome machinery mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// Why a generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the input; the case is skipped.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        /// Is this a rejection (skip) rather than a failure?
+        pub fn is_reject(&self) -> bool {
+            matches!(self, TestCaseError::Reject)
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+            }
+        }
+    }
+
+    /// Result type the [`crate::proptest!`] macro's case bodies return.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// A generator of values for one macro parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        /// Vector of `element`-generated values, length uniform in `len`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rng.random_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name.
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Fresh RNG for one generated case.
+pub fn case_rng(name: &str, case: u32) -> StdRng {
+    let mut rng = StdRng::seed_from_u64(seed_for(name, case));
+    let _ = rng.next_u64();
+    rng
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert inside a property test; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(left == right) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        left,
+                        right
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(left == right) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        left,
+                        right
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if left == right {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        left
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if left == right {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "{}\n  both: {:?}",
+                        format!($($fmt)+),
+                        left
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current generated case when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn` runs its body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut proptest_rng);)+
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err(e) if e.is_reject() => continue,
+                        Err(e) => panic!(
+                            "property test {} failed on generated case #{case}: {e}",
+                            stringify!($name)
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn short_vecs() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(-10.0f64..10.0, 1..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, y in -2.5f64..2.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_len_and_bounds(v in short_vecs()) {
+            prop_assert!((1..8).contains(&v.len()));
+            for x in &v {
+                prop_assert!((-10.0..10.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(crate::seed_for("a_test", 3), crate::seed_for("a_test", 3));
+        assert_ne!(crate::seed_for("a_test", 3), crate::seed_for("b_test", 3));
+        assert_ne!(crate::seed_for("a_test", 3), crate::seed_for("a_test", 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on generated case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x = {x}");
+            }
+        }
+        always_fails();
+    }
+}

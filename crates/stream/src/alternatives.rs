@@ -145,8 +145,7 @@ impl GoldenBatchMonitor {
     pub fn push(&mut self, value: f64) -> bool {
         let lo = self.t.saturating_sub(self.time_slack);
         let hi = (self.t + self.time_slack).min(self.reference.len() - 1);
-        let in_envelope = (lo..=hi)
-            .any(|i| (value - self.reference[i]).abs() <= self.tolerance);
+        let in_envelope = (lo..=hi).any(|i| (value - self.reference[i]).abs() <= self.tolerance);
         self.t = (self.t + 1).min(self.reference.len() - 1);
         if in_envelope {
             self.violations = 0;

@@ -4,10 +4,25 @@
 //! exemplar at a time. A deployment does not know when (or whether) a
 //! pattern starts. The monitor therefore keeps a set of candidate **anchors**
 //! — recent positions at which a pattern might have begun — and feeds each
-//! anchor's growing prefix to the early classifier at every arriving sample.
-//! When the classifier commits, an alarm fires (and a refractory period
-//! suppresses the alarm storm that would otherwise follow from neighboring
-//! anchors).
+//! arriving sample to every anchor's incremental
+//! [`DecisionSession`](etsc_early::DecisionSession). When a session commits,
+//! an alarm fires (and a refractory period suppresses the alarm storm that
+//! would otherwise follow from neighboring anchors).
+//!
+//! Each anchor costs one `push` per sample — amortized O(1) in the anchor's
+//! age for the incremental session implementations — where the previous
+//! design re-sliced every anchor's whole prefix and called the stateless
+//! `decide` on it, doing O(prefix) work per anchor per sample (O(L²) over an
+//! anchor's lifetime). Sessions are pooled and reused across anchors, so
+//! steady-state monitoring does not allocate.
+//!
+//! Alarm semantics: at most one alarm fires per sample — the oldest
+//! committed anchor, provided the monitor is outside its refractory period.
+//! Anchors that commit while another fires stay live and fire on subsequent
+//! samples; any commit still pending when the refractory period begins is
+//! suppressed for good (the anchor retires silently — refractory
+//! *suppresses* alarms, it does not defer them). Fired and expired anchors
+//! are retired immediately; their sessions return to the pool.
 //!
 //! This design surfaces all three of the paper's streaming failure modes:
 //! prefixes of longer innocuous patterns trigger anchors mid-word (the
@@ -16,8 +31,7 @@
 //! (homophones).
 
 use etsc_core::ClassLabel;
-use etsc_core::znorm::znormalize;
-use etsc_early::{Decision, EarlyClassifier};
+use etsc_early::{DecisionSession, EarlyClassifier, SessionNorm};
 
 /// Normalization applied to each anchored prefix before classification.
 ///
@@ -31,8 +45,19 @@ use etsc_early::{Decision, EarlyClassifier};
 pub enum StreamNorm {
     /// Feed raw samples unchanged.
     Raw,
-    /// Z-normalize each anchored prefix by its own statistics.
+    /// Honest per-prefix normalization: sessions z-normalize the data each
+    /// decision consumes using only already-arrived samples (running
+    /// statistics; see [`SessionNorm::PerPrefix`]).
     PerPrefix,
+}
+
+impl From<StreamNorm> for SessionNorm {
+    fn from(norm: StreamNorm) -> Self {
+        match norm {
+            StreamNorm::Raw => SessionNorm::Raw,
+            StreamNorm::PerPrefix => SessionNorm::PerPrefix,
+        }
+    }
 }
 
 /// Monitor configuration.
@@ -74,15 +99,12 @@ pub struct Alarm {
 pub struct StreamMonitor<'a, C: EarlyClassifier + ?Sized> {
     clf: &'a C,
     cfg: StreamMonitorConfig,
-    /// Start offsets of live anchors (ascending).
-    anchors: Vec<usize>,
+    /// Live anchors and their sessions, ascending by anchor offset.
+    anchors: Vec<(usize, Box<dyn DecisionSession + 'a>)>,
+    /// Retired sessions awaiting reuse (reset on reissue).
+    pool: Vec<Box<dyn DecisionSession + 'a>>,
     /// Absolute index of the next incoming sample.
     now: usize,
-    /// Buffer of the last `series_len` samples (the longest prefix any
-    /// anchor can need).
-    buf: Vec<f64>,
-    /// Absolute index of `buf[0]`.
-    buf_start: usize,
     /// No alarms before this time (refractory gate).
     quiet_until: usize,
 }
@@ -95,64 +117,84 @@ impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
             clf,
             cfg,
             anchors: Vec::new(),
+            pool: Vec::new(),
             now: 0,
-            buf: Vec::new(),
-            buf_start: 0,
             quiet_until: 0,
         }
     }
 
-    /// Feed one sample; returns an alarm if the classifier committed.
+    /// Feed one sample; returns an alarm if a session committed.
     pub fn push(&mut self, x: f64) -> Option<Alarm> {
         let max_len = self.clf.series_len();
-        // Maintain the rolling buffer.
-        self.buf.push(x);
-        if self.buf.len() > max_len {
-            let drop = self.buf.len() - max_len;
-            self.buf.drain(..drop);
-            self.buf_start += drop;
-        }
-        // Spawn a new anchor on stride boundaries.
-        if self.now % self.cfg.anchor_stride == 0 {
-            self.anchors.push(self.now);
+        // Spawn a new anchor on stride boundaries, reusing pooled sessions.
+        if self.now.is_multiple_of(self.cfg.anchor_stride) {
+            let session = match self.pool.pop() {
+                Some(mut s) => {
+                    s.reset();
+                    s
+                }
+                None => self.clf.session(self.cfg.norm.into()),
+            };
+            self.anchors.push((self.now, session));
         }
         let t = self.now;
         self.now += 1;
+        let quiet = t < self.quiet_until;
 
-        // Retire anchors whose window has exceeded the pattern length.
-        let min_live = (t + 1).saturating_sub(max_len);
-        self.anchors.retain(|&a| a >= min_live.max(self.buf_start));
-
-        if t < self.quiet_until {
-            return None;
+        // One push per live session (committed sessions are latched: their
+        // pushes are O(1) bookkeeping while they wait to fire or be
+        // suppressed below).
+        for (_, session) in self.anchors.iter_mut() {
+            session.push(x);
         }
 
-        let min_prefix = self.clf.min_prefix();
+        // At most one alarm per sample: the oldest committed anchor fires,
+        // if the monitor is outside its refractory period. Further anchors
+        // committed at the same instant stay live and drain on subsequent
+        // samples — unless the refractory period swallows them first.
         let mut fired: Option<Alarm> = None;
-        for &a in &self.anchors {
-            let len = t + 1 - a;
-            if len < min_prefix {
-                continue;
-            }
-            let start = a - self.buf_start;
-            let prefix = &self.buf[start..start + len];
-            let decision = match self.cfg.norm {
-                StreamNorm::Raw => self.clf.decide(prefix),
-                StreamNorm::PerPrefix => self.clf.decide(&znormalize(prefix)),
-            };
-            if let Decision::Predict { label, confidence } = decision {
+        if !quiet {
+            if let Some((anchor, session)) =
+                self.anchors.iter().find(|(_, s)| s.decision().is_predict())
+            {
+                let (label, confidence) = session
+                    .decision()
+                    .label_confidence()
+                    .expect("committed session has a prediction");
                 fired = Some(Alarm {
                     time: t,
-                    anchor: a,
+                    anchor: *anchor,
                     label,
                     confidence,
                 });
-                break;
             }
         }
+
+        // Retire anchors that can produce no further alarms: the one that
+        // just fired, committed anchors inside the refractory period
+        // (suppressed for good — refractory suppresses, it does not defer),
+        // and uncommitted anchors that have consumed a full pattern length.
+        let fired_anchor = fired.map(|a| a.anchor);
+        let pool = &mut self.pool;
+        self.anchors.retain_mut(|(anchor, session)| {
+            let committed = session.decision().is_predict();
+            let retire = if committed {
+                quiet || Some(*anchor) == fired_anchor
+            } else {
+                session.len() >= max_len
+            };
+            if retire {
+                pool.push(std::mem::replace(
+                    session,
+                    Box::new(NeverSession) as Box<dyn DecisionSession + 'a>,
+                ));
+                false
+            } else {
+                true
+            }
+        });
+
         if let Some(alarm) = fired {
-            // An alarm consumes its anchor and starts the refractory period.
-            self.anchors.retain(|&a| a != alarm.anchor);
             self.quiet_until = t + 1 + self.cfg.refractory;
             return Some(alarm);
         }
@@ -168,6 +210,28 @@ impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
     pub fn live_anchors(&self) -> usize {
         self.anchors.len()
     }
+
+    /// Number of pooled (idle, reusable) sessions (for instrumentation).
+    pub fn pooled_sessions(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+/// Placeholder swapped into retiring slots while their session moves to the
+/// pool; never pushed.
+struct NeverSession;
+
+impl DecisionSession for NeverSession {
+    fn push(&mut self, _x: f64) -> etsc_early::Decision {
+        unreachable!("placeholder session is never driven")
+    }
+    fn decision(&self) -> etsc_early::Decision {
+        etsc_early::Decision::Wait
+    }
+    fn len(&self) -> usize {
+        0
+    }
+    fn reset(&mut self) {}
 }
 
 #[cfg(test)]
@@ -283,6 +347,29 @@ mod tests {
     }
 
     #[test]
+    fn sessions_are_pooled_and_reused() {
+        let clf = LevelDetector { need: 4, len: 32 };
+        let mut mon = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 8,
+                norm: StreamNorm::Raw,
+                refractory: 0,
+            },
+        );
+        for _ in 0..5_000 {
+            mon.push(-1.0);
+        }
+        // Steady state: anchors retire as fast as they spawn, so the pool
+        // stays bounded by the peak number of live anchors.
+        assert!(
+            mon.pooled_sessions() <= 32 / 8 + 1,
+            "pool should stay bounded: {}",
+            mon.pooled_sessions()
+        );
+    }
+
+    #[test]
     fn per_prefix_norm_changes_what_the_classifier_sees() {
         // A detector keyed on raw level never fires under per-prefix norm
         // (z-normalized prefixes have mean zero by construction).
@@ -306,5 +393,80 @@ mod tests {
         let stream = vec![2.0; 64];
         assert!(!raw.run(&stream).is_empty());
         assert!(pp.run(&stream).is_empty());
+    }
+
+    /// Commits whenever at least 4 samples have arrived and the newest one
+    /// is high — so every mature anchor commits on the same sample.
+    struct EdgeDetector;
+
+    impl EarlyClassifier for EdgeDetector {
+        fn n_classes(&self) -> usize {
+            1
+        }
+        fn series_len(&self) -> usize {
+            64
+        }
+        fn min_prefix(&self) -> usize {
+            4
+        }
+        fn decide(&self, prefix: &[f64]) -> Decision {
+            if prefix.len() >= 4 && prefix.last().is_some_and(|&x| x > 0.5) {
+                Decision::Predict {
+                    label: 0,
+                    confidence: 1.0,
+                }
+            } else {
+                Decision::Wait
+            }
+        }
+        fn predict_full(&self, _s: &[f64]) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn simultaneous_commits_all_fire_without_refractory() {
+        // Three mature anchors (0, 2, 4) commit on the same sample (t = 7,
+        // the first high one). With refractory 0 none may be lost: the
+        // oldest fires immediately, the rest drain one per sample.
+        let clf = EdgeDetector;
+        let mut mon = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 2,
+                norm: StreamNorm::Raw,
+                refractory: 0,
+            },
+        );
+        let mut stream = vec![0.0; 7];
+        stream.extend(vec![1.0; 3]);
+        let alarms = mon.run(&stream);
+        let head: Vec<(usize, usize)> = alarms.iter().map(|a| (a.time, a.anchor)).collect();
+        assert_eq!(
+            &head[..3],
+            &[(7, 0), (8, 2), (9, 4)],
+            "all simultaneous commits must eventually alarm: {head:?}"
+        );
+    }
+
+    #[test]
+    fn commits_during_refractory_are_suppressed_not_deferred() {
+        // Refractory long enough to cover the entire event: only the first
+        // commit may alarm; anchors that commit during the quiet period
+        // retire silently instead of alarming when the period ends.
+        let clf = LevelDetector { need: 4, len: 16 };
+        let mut mon = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 1,
+                norm: StreamNorm::Raw,
+                refractory: 300,
+            },
+        );
+        let mut stream = vec![0.0; 50];
+        stream.extend(vec![1.0; 40]);
+        stream.extend(vec![0.0; 200]);
+        let alarms = mon.run(&stream);
+        assert_eq!(alarms.len(), 1, "alarms: {alarms:?}");
     }
 }

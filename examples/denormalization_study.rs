@@ -24,7 +24,10 @@ fn main() {
         [("ECTS", &ects), ("RelClass (tau=0.1)", &relclass)];
 
     println!("offset sweep: accuracy under increasing denormalization\n");
-    println!("{:<20} {:>8} {:>8} {:>8} {:>8}", "model", "0.0", "0.5", "1.0", "2.0");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8} {:>8}",
+        "model", "0.0", "0.5", "1.0", "2.0"
+    );
     for (name, clf) in models {
         let mut cells = Vec::new();
         for offset in [0.0, 0.5, 1.0, 2.0] {

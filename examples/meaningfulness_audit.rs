@@ -46,7 +46,10 @@ fn main() {
     let inclusion_findings = inclusion_audit(&targets, &lexicon, 0.35);
     println!("prefix collisions:");
     for f in &prefix_findings {
-        println!("  '{}' begins like '{}' (d = {:.3})", f.confuser, f.target, f.dist);
+        println!(
+            "  '{}' begins like '{}' (d = {:.3})",
+            f.confuser, f.target, f.dist
+        );
     }
     println!("inclusion collisions:");
     for f in &inclusion_findings {
@@ -59,12 +62,14 @@ fn main() {
     let mut probes = word_dataset(&["gun", "point"], 4, 120, &cfg, 22);
     probes.znormalize();
     let background = smoothed_random_walk(1 << 18, 15, 23);
-    let homophone_findings =
-        homophone_audit(&probes, &[0, 4], &[("random walk", &background)]);
+    let homophone_findings = homophone_audit(&probes, &[0, 4], &[("random walk", &background)]);
     for f in &homophone_findings {
         println!(
             "homophone check vs {}: in-class {:.2}, background {:.2} (ratio {:.2})",
-            f.background, f.in_class_nn_dist, f.background_nn_dist, f.ratio()
+            f.background,
+            f.in_class_nn_dist,
+            f.background_nn_dist,
+            f.ratio()
         );
     }
 

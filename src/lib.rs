@@ -18,8 +18,10 @@
 //!   Gaussian models, SFA / WEASEL-lite, logistic regression, evaluation.
 //! * [`early`] — the ETSC algorithms (ECTS, RelaxedECTS, EDSC-CHE/KDE,
 //!   RelClass/LDG, TEASER, ECDIRE, stopping rules, cost-aware triggers,
-//!   template matching) behind the [`early::EarlyClassifier`] trait, with
-//!   an explicit prefix-normalization policy at evaluation time.
+//!   template matching) behind the [`early::EarlyClassifier`] trait —
+//!   stateless [`early::EarlyClassifier::decide`] for offline evaluation,
+//!   incremental [`early::DecisionSession`]s for streaming — with an
+//!   explicit prefix-normalization policy at evaluation time.
 //! * [`stream`] — anchored stream monitors, alarm scoring, intervention
 //!   cost models, and Appendix A's well-posed alternatives.
 //! * [`audit`] — the Section 6 meaningfulness criteria: costs,
@@ -42,6 +44,59 @@
 //! let result = evaluate(&ects, &test, PrefixPolicy::Oracle);
 //! assert!(result.accuracy() > 0.5);
 //! assert!(result.earliness() <= 1.0);
+//! ```
+//!
+//! ## Streaming sessions
+//!
+//! Deployment is streaming-first: instead of re-deciding on every grown
+//! prefix (which makes each new sample cost O(prefix)), open a stateful
+//! [`early::DecisionSession`] and push samples as they arrive. Sessions
+//! keep running state — Welford statistics for online z-normalization,
+//! incremental partial Euclidean sums for the 1NN models, per-checkpoint
+//! caches for the ensemble models — so the amortized per-sample cost is
+//! O(1) in the prefix length, and (under [`early::SessionNorm::Raw`])
+//! decisions reproduce `decide` exactly. [`stream::StreamMonitor`] drives
+//! one session per candidate anchor, and [`early::MultiSession`] services
+//! many concurrent streams over one fitted model.
+//!
+//! ```
+//! use etsc::datasets::gunpoint::{self, GunPointConfig};
+//! use etsc::early::ects::{Ects, EctsConfig};
+//! use etsc::early::{EarlyClassifier, SessionNorm};
+//! use etsc::stream::{StreamMonitor, StreamMonitorConfig, StreamNorm};
+//!
+//! let mut train = gunpoint::generate(10, &GunPointConfig::default(), 1);
+//! train.znormalize();
+//! let ects = Ects::fit(&train, &EctsConfig::default());
+//!
+//! // One stream, driven by hand: push samples, read decisions.
+//! let mut session = ects.session(SessionNorm::Raw);
+//! let probe = train.series(0).to_vec();
+//! let mut first_commit = None;
+//! for (i, &x) in probe.iter().enumerate() {
+//!     if session.push(x).is_predict() {
+//!         first_commit = Some(i + 1);
+//!         break;
+//!     }
+//! }
+//! let len = first_commit.expect("a training exemplar matches itself");
+//! assert!(len <= probe.len());
+//! // Incremental and stateless paths agree: the prefix that committed
+//! // decides, every shorter prefix waits.
+//! assert!(ects.decide(&probe[..len]).is_predict());
+//!
+//! // A monitor runs sessions over an unbounded stream, one per anchor.
+//! let mut monitor = StreamMonitor::new(
+//!     &ects,
+//!     StreamMonitorConfig {
+//!         anchor_stride: 4,
+//!         norm: StreamNorm::PerPrefix,
+//!         refractory: 50,
+//!     },
+//! );
+//! let background = vec![0.0; 500];
+//! let alarms = monitor.run(&background);
+//! assert!(alarms.len() <= 500);
 //! ```
 
 pub use etsc_audit as audit;

@@ -33,7 +33,14 @@ fn gun_point_domain_fails_the_meaningfulness_audit() {
     targets.add("point", utterance("point", &cfg, &mut rng));
 
     let mut lexicon = PatternLexicon::new();
-    for word in ["gunk", "gunnysack", "pointer", "pointless", "burgundy", "appointment"] {
+    for word in [
+        "gunk",
+        "gunnysack",
+        "pointer",
+        "pointless",
+        "burgundy",
+        "appointment",
+    ] {
         lexicon.add(word, utterance(word, &cfg, &mut rng));
     }
 
@@ -105,10 +112,7 @@ fn fig9_prefix_curve_has_an_interior_optimum() {
     };
 
     let full_acc = acc_at(full_len);
-    let best_prefix_acc = (30..full_len)
-        .step_by(8)
-        .map(acc_at)
-        .fold(0.0f64, f64::max);
+    let best_prefix_acc = (30..full_len).step_by(8).map(acc_at).fold(0.0f64, f64::max);
     assert!(
         best_prefix_acc >= full_acc,
         "a prefix should match or beat full length: best {best_prefix_acc} vs full {full_acc}"
@@ -131,7 +135,8 @@ fn homophone_audit_on_gunpoint_pair_protocol() {
     let pair = pool.subset(&[3, 20]).unwrap(); // both class Gun
     assert_eq!(pair.label(0), pair.label(1));
 
-    let bg = etsc::datasets::eog::eog_stream(1 << 17, &etsc::datasets::eog::EogConfig::default(), 502);
+    let bg =
+        etsc::datasets::eog::eog_stream(1 << 17, &etsc::datasets::eog::EogConfig::default(), 502);
     let findings = homophone_audit(&pair, &[0, 1], &[("eog", &bg)]);
     assert_eq!(findings.len(), 2);
     let n_homophones = findings.iter().filter(|f| f.has_homophone()).count();

@@ -118,6 +118,6 @@ fn golden_batch_monitor_passes_good_runs_and_fails_bad_ones() {
     }
     // Bad run: gain error of 50%.
     let mut bad = GoldenBatchMonitor::new(golden.clone(), 0.2, 2, 3);
-    let tripped = golden.iter().enumerate().any(|(_, &v)| bad.push(v * 1.5));
+    let tripped = golden.iter().any(|&v| bad.push(v * 1.5));
     assert!(tripped, "a 50% gain error must trip the envelope");
 }

@@ -28,8 +28,11 @@ fn monitor_cfg() -> StreamMonitorConfig {
 #[test]
 fn fig2_sentence_produces_only_false_positives() {
     let clf = cat_dog_matcher();
-    let stream = sentence_stream(FIG2_SENTENCE, &["cat", "dog"], &WordConfig::default(), 13);
-    assert!(stream.events.is_empty(), "the sentence contains no standalone cat/dog");
+    let stream = sentence_stream(FIG2_SENTENCE, &["cat", "dog"], &WordConfig::default(), 33);
+    assert!(
+        stream.events.is_empty(),
+        "the sentence contains no standalone cat/dog"
+    );
     let mut monitor = StreamMonitor::new(&clf, monitor_cfg());
     let alarms = monitor.run(&stream.data);
     let score = score_alarms(
@@ -81,10 +84,8 @@ fn random_walk_background_floods_a_gesture_detector() {
     let mut test = etsc::datasets::gunpoint::generate(5, &cfg, 202);
     train.znormalize();
     test.znormalize();
-    let teaser = etsc::early::teaser::Teaser::fit(
-        &train,
-        &etsc::early::teaser::TeaserConfig::fast(),
-    );
+    let teaser =
+        etsc::early::teaser::Teaser::fit(&train, &etsc::early::teaser::TeaserConfig::fast());
 
     // 10 events inside 120k samples of structureless background.
     let mut data = smoothed_random_walk(120_000, 15, 203);

@@ -14,8 +14,8 @@ use etsc::early::EarlyClassifier;
 
 fn splits() -> (etsc::core::UcrDataset, etsc::core::UcrDataset) {
     let cfg = GunPointConfig::default();
-    let mut train = gunpoint::generate(12, &cfg, 101);
-    let mut test = gunpoint::generate(25, &cfg, 102);
+    let mut train = gunpoint::generate(12, &cfg, 111);
+    let mut test = gunpoint::generate(25, &cfg, 112);
     train.znormalize();
     test.znormalize();
     (train, test)
