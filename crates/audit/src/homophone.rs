@@ -14,7 +14,7 @@
 //! itself — streaming deployment will be flooded with false positives.
 
 use etsc_core::distance::euclidean;
-use etsc_core::nn::{nearest_neighbor, top_k_neighbors, Match};
+use etsc_core::nn::{top_k_neighbors, BatchProfile, Match};
 use etsc_core::znorm::znormalize;
 use etsc_core::UcrDataset;
 
@@ -66,16 +66,25 @@ pub fn in_class_nn_dist(data: &UcrDataset, i: usize) -> f64 {
 /// Run the Fig 5 measurement: for each probe index, search each named
 /// background stream for the probe's nearest subsequence and compare with
 /// the probe's in-class nearest neighbor.
+///
+/// Every probe queries the same backgrounds, so each background's
+/// [`BatchProfile`] engine is built once (one cumulative-statistics pass)
+/// and reused across all probes — the multi-query shape this engine exists
+/// for.
 pub fn homophone_audit(
     probes: &UcrDataset,
     probe_indices: &[usize],
     backgrounds: &[(&str, &[f64])],
 ) -> Vec<HomophoneFinding> {
+    let engines: Vec<(&str, BatchProfile<'_>)> = backgrounds
+        .iter()
+        .map(|&(name, stream)| (name, BatchProfile::new(stream)))
+        .collect();
     let mut findings = Vec::new();
     for &i in probe_indices {
         let in_class = in_class_nn_dist(probes, i);
-        for &(name, stream) in backgrounds {
-            if let Some(Match { start, dist }) = nearest_neighbor(probes.series(i), stream) {
+        for (name, engine) in &engines {
+            if let Some(Match { start, dist }) = engine.nearest(probes.series(i)) {
                 findings.push(HomophoneFinding {
                     probe_index: i,
                     background: name.to_string(),

@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use etsc_core::distance::{euclidean, squared_euclidean_early_abandon, znormalized_dist};
 use etsc_core::dtw::{dtw_sq, envelope, lb_keogh_sq};
-use etsc_core::nn::distance_profile;
+use etsc_core::nn::{distance_profile, distance_profile_naive, BatchProfile};
 use etsc_core::znorm::znormalize;
 use etsc_datasets::random_walk::smoothed_random_walk;
 
@@ -70,6 +70,53 @@ fn bench_subsequence_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// The rolling-statistics engine against the pre-engine reference, plus the
+/// amortization of a reused engine and the pruned nearest scan.
+fn bench_profile_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_engine");
+    group.sample_size(20);
+    let query = series(128, 6);
+    let hay = series(100_000, 7);
+    group.bench_function("naive/100k", |b| {
+        b.iter(|| distance_profile_naive(black_box(&query), black_box(&hay)));
+    });
+    group.bench_function("rolling_oneshot/100k", |b| {
+        b.iter(|| BatchProfile::new(black_box(&hay)).profile(black_box(&query)));
+    });
+    let engine = BatchProfile::new(&hay);
+    group.bench_function("rolling_reused/100k", |b| {
+        b.iter(|| engine.profile(black_box(&query)));
+    });
+    group.bench_function("nearest_pruned/100k", |b| {
+        b.iter(|| engine.nearest(black_box(&query)));
+    });
+    let queries: Vec<&[f64]> = vec![&query; 8];
+    group.bench_function("batch_8_queries/100k", |b| {
+        b.iter(|| engine.profiles(black_box(&queries)));
+    });
+    group.finish();
+}
+
+/// Thread scaling of the parallel haystack split (fix the worker count
+/// explicitly so the numbers are comparable regardless of `ETSC_THREADS`).
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(20);
+    let query = series(128, 8);
+    let hay = series(200_000, 9);
+    let engine = BatchProfile::new(&hay);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("profile_threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| engine.profile_with(t, black_box(&query)));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_sfa(c: &mut Criterion) {
     use etsc_classifiers::sfa::{dft_features, Sfa};
     let mut group = c.benchmark_group("sfa");
@@ -95,6 +142,8 @@ criterion_group!(
     bench_distances,
     bench_dtw,
     bench_subsequence_search,
+    bench_profile_engine,
+    bench_parallel_scaling,
     bench_sfa
 );
 criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Machine-readable benchmark of the subsequence-search engine.
+//!
+//! Measures ns/window for the z-normalized distance profile over a long
+//! random-walk haystack, comparing:
+//!
+//! * `naive` — the pre-engine implementation (per-window `mean_std`
+//!   recomputation; [`etsc_core::nn::distance_profile_naive`]),
+//! * `rolling` — the [`CumStats`](etsc_core::nn::CumStats) rolling-statistics
+//!   engine, serial,
+//! * `rolling` at 2 and 4 worker threads — the parallel haystack split,
+//!
+//! plus the pruned [`nearest`](etsc_core::nn::BatchProfile::nearest) scan,
+//! and writes `BENCH_nn.json` into the current directory so the perf
+//! trajectory is tracked across PRs (each entry: implementation, n, m,
+//! threads, ns/window, speedup vs naive).
+//!
+//! Run: `cargo run --release -p etsc-bench --bin bench_nn [--quick]`
+//! `--quick` drops n to 2^17 for CI smoke runs; the default is the
+//! acceptance configuration n = 1_000_000, m = 128.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use etsc_core::nn::{distance_profile_naive, BatchProfile};
+use etsc_core::parallel;
+use etsc_datasets::random_walk::smoothed_random_walk;
+
+/// Median-of-`reps` wall-clock seconds of `f`.
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    implementation: &'static str,
+    n: usize,
+    m: usize,
+    threads: usize,
+    ns_per_window: f64,
+    speedup_vs_naive: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: usize = if quick { 1 << 17 } else { 1_000_000 };
+    let m: usize = 128;
+    let reps = if quick { 3 } else { 5 };
+
+    let hay = smoothed_random_walk(n, 5, 42);
+    let query = smoothed_random_walk(m, 3, 7);
+    let n_windows = (n - m + 1) as f64;
+
+    println!("bench_nn: n = {n}, m = {m}, {n_windows} windows, reps = {reps} (median)");
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Pre-engine reference: per-window mean/std recomputation.
+    let naive_s = time(reps, || distance_profile_naive(&query, &hay));
+    let naive_ns = naive_s * 1e9 / n_windows;
+    rows.push(Row {
+        implementation: "naive",
+        n,
+        m,
+        threads: 1,
+        ns_per_window: naive_ns,
+        speedup_vs_naive: 1.0,
+    });
+    println!("  naive    (per-window mean_std, 1 thread): {naive_ns:8.2} ns/window");
+
+    // Rolling-statistics engine, serial and parallel. `rolling_oneshot`
+    // times everything a one-shot `distance_profile` call pays (engine
+    // construction included); `rolling` times a reused engine — the Fig 5 /
+    // Fig 8 shape, and the per-window cost of the rolling statistics alone.
+    let s = time(reps, || {
+        let engine = BatchProfile::new(&hay);
+        engine.profile_with(1, &query)
+    });
+    let oneshot_ns = s * 1e9 / n_windows;
+    rows.push(Row {
+        implementation: "rolling_oneshot",
+        n,
+        m,
+        threads: 1,
+        ns_per_window: oneshot_ns,
+        speedup_vs_naive: naive_ns / oneshot_ns,
+    });
+    println!(
+        "  rolling  (one-shot incl. engine build, 1 thread): {oneshot_ns:8.2} ns/window  ({:.2}x vs naive)",
+        naive_ns / oneshot_ns
+    );
+
+    let engine = BatchProfile::new(&hay);
+    for threads in [1usize, 2, 4] {
+        let s = time(reps, || engine.profile_with(threads, &query));
+        let ns = s * 1e9 / n_windows;
+        rows.push(Row {
+            implementation: "rolling",
+            n,
+            m,
+            threads,
+            ns_per_window: ns,
+            speedup_vs_naive: naive_ns / ns,
+        });
+        println!(
+            "  rolling  (reused engine, {threads} thread{}): {ns:8.2} ns/window  ({:.2}x vs naive)",
+            if threads == 1 { "" } else { "s" },
+            naive_ns / ns
+        );
+    }
+
+    // Pruned nearest-neighbor scan (serial).
+    let s = time(reps, || {
+        parallel::with_threads(1, || engine.nearest(&query))
+    });
+    let ns = s * 1e9 / n_windows;
+    rows.push(Row {
+        implementation: "nearest_pruned",
+        n,
+        m,
+        threads: 1,
+        ns_per_window: ns,
+        speedup_vs_naive: naive_ns / ns,
+    });
+    println!(
+        "  nearest  (pruned best-so-far, 1 thread):  {ns:8.2} ns/window  ({:.2}x vs naive)",
+        naive_ns / ns
+    );
+
+    // Emit BENCH_nn.json (hand-rolled: the workspace is offline, no serde).
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"impl\": \"{}\", \"n\": {}, \"m\": {}, \"threads\": {}, \"ns_per_window\": {:.3}, \"speedup_vs_naive\": {:.3}}}{}",
+            r.implementation,
+            r.n,
+            r.m,
+            r.threads,
+            r.ns_per_window,
+            r.speedup_vs_naive,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_nn.json", &json).expect("write BENCH_nn.json");
+    println!("\nwrote BENCH_nn.json");
+}

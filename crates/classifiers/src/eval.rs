@@ -1,17 +1,39 @@
 //! Evaluation: accuracy, confusion matrices, cross-validation.
+//!
+//! Batch evaluation is embarrassingly parallel — each test exemplar's
+//! prediction is independent — so every entry point here fans the predict
+//! calls out across worker threads (`etsc_core::parallel`, honoring
+//! `ETSC_THREADS`) and folds the per-exemplar outcomes serially in dataset
+//! order. Results are identical at any thread count.
 
-use etsc_core::{ClassLabel, UcrDataset};
+use etsc_core::{parallel, ClassLabel, UcrDataset};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::Classifier;
 
+/// Minimum test-set size before batch evaluation fans out to worker
+/// threads. A spawn round costs ~10µs per worker and cheap classifiers
+/// (centroids) predict in well under a microsecond, so small test sets stay
+/// on the serial loop; expensive models on big sets dominate either way.
+const PAR_MIN_EVAL: usize = 128;
+
+/// Per-exemplar predictions of `clf` over `test`, in dataset order,
+/// computed in parallel. The primitive under [`accuracy`] and
+/// [`ConfusionMatrix::evaluate`]; public because batch experiment bins want
+/// the raw labels too.
+pub fn predict_all<C: Classifier + ?Sized>(clf: &C, test: &UcrDataset) -> Vec<ClassLabel> {
+    let threads = parallel::gate(test.len(), PAR_MIN_EVAL);
+    parallel::map_range_with(threads, test.len(), |i| clf.predict(test.series(i)))
+}
+
 /// Fraction of `test` exemplars `clf` labels correctly.
 pub fn accuracy<C: Classifier>(clf: &C, test: &UcrDataset) -> f64 {
-    let correct = test
-        .iter()
-        .filter(|&(s, label)| clf.predict(s) == label)
+    let correct = predict_all(clf, test)
+        .into_iter()
+        .zip(test.labels())
+        .filter(|(p, a)| *p == **a)
         .count();
     correct as f64 / test.len() as f64
 }
@@ -40,11 +62,12 @@ impl ConfusionMatrix {
         Self { counts }
     }
 
-    /// Evaluate a classifier over a test set.
+    /// Evaluate a classifier over a test set (predictions run in parallel;
+    /// see [`predict_all`]).
     pub fn evaluate<C: Classifier>(clf: &C, test: &UcrDataset) -> Self {
-        let pairs: Vec<(ClassLabel, ClassLabel)> = test
-            .iter()
-            .map(|(s, label)| (clf.predict(s), label))
+        let pairs: Vec<(ClassLabel, ClassLabel)> = predict_all(clf, test)
+            .into_iter()
+            .zip(test.labels().iter().copied())
             .collect();
         Self::from_pairs(&pairs, clf.n_classes().max(test.n_classes()))
     }
@@ -118,12 +141,14 @@ where
         }
         let train = data.subset(&train_idx).expect("non-empty");
         let clf = fit(&train);
-        for &i in &test_idx {
-            if clf.predict(data.series(i)) == data.label(i) {
-                correct += 1;
-            }
-            total += 1;
-        }
+        // `fit` is FnMut, so folds stay sequential; the fold's held-out
+        // predictions fan out in parallel.
+        let threads = parallel::gate(test_idx.len(), PAR_MIN_EVAL);
+        let ok = parallel::map_with(threads, &test_idx, |&i| {
+            clf.predict(data.series(i)) == data.label(i)
+        });
+        correct += ok.iter().filter(|&&b| b).count();
+        total += test_idx.len();
     }
     correct as f64 / total.max(1) as f64
 }

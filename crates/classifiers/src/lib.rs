@@ -55,7 +55,13 @@ use etsc_core::ClassLabel;
 /// `predict_proba` returns a probability vector over `0..n_classes`;
 /// implementations that are not naturally probabilistic return normalized
 /// scores (documented per type).
-pub trait Classifier {
+///
+/// `Sync` is a supertrait so fitted models can be shared by reference
+/// across the workspace's worker threads (batch evaluation, TEASER snapshot
+/// fits, the stream monitor's anchor fan-out — see `etsc_core::parallel`).
+/// Fitted models are plain data, so every implementor satisfies it
+/// automatically.
+pub trait Classifier: Sync {
     /// Number of classes the model was fitted on.
     fn n_classes(&self) -> usize;
 
@@ -101,7 +107,12 @@ pub trait Classifier {
 /// [`Classifier`]'s `predict_proba(&[x1..xt])` produces (up to the model's
 /// fitted length, after which further samples are ignored — mirroring the
 /// prefix-truncation every classifier in this crate applies).
-pub trait ScoreSession {
+///
+/// `Send` is a supertrait so sessions can migrate to worker threads (the
+/// parallel multi-anchor servicing paths); sessions hold owned running
+/// state plus a shared reference to their `Sync` model, so every
+/// implementor satisfies it automatically.
+pub trait ScoreSession: Send {
     /// Consume one sample.
     fn push(&mut self, x: f64);
 

@@ -7,18 +7,62 @@ use crate::znorm::CONSTANT_EPS;
 
 /// Squared Euclidean distance between equal-length slices.
 ///
+/// Computed with four independent accumulators (see [`dot_product`] for the
+/// rationale); `tests::unrolled_kernels_match_naive_sum` pins agreement with
+/// the naive left-to-right sum to 1e-12.
+///
 /// Panics in debug builds on length mismatch; use [`try_squared_euclidean`]
 /// for checked input.
 #[inline]
 pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let (ra, rb) = (chunks_a.remainder(), chunks_b.remainder());
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        for k in 0..4 {
+            let d = ca[k] - cb[k];
+            acc[k] += d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in ra.iter().zip(rb) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Dot product of equal-length slices with four independent accumulators.
+///
+/// The naive `zip().map().sum()` forms one serial add chain, so the CPU
+/// retires one fused multiply-add per ~4-cycle latency. Four accumulators
+/// break the chain (instruction-level parallelism) and give the
+/// autovectorizer independent lanes; this is the innermost kernel of the
+/// subsequence-search engine ([`crate::nn`]), where it runs once per window
+/// of a millions-sample haystack.
+///
+/// Summation order differs from the naive sum only in association, which
+/// `tests::unrolled_kernels_match_naive_sum` pins to 1e-12 agreement on
+/// O(1)-magnitude data.
+#[inline]
+pub fn dot_product(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let (ra, rb) = (chunks_a.remainder(), chunks_b.remainder());
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        for k in 0..4 {
+            acc[k] += ca[k] * cb[k];
+        }
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in ra.iter().zip(rb) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Euclidean distance between equal-length slices.
@@ -76,7 +120,7 @@ pub fn znormalized_sq_dist(q_znormed: &[f64], x_raw: &[f64]) -> f64 {
     if sd <= CONSTANT_EPS {
         return m;
     }
-    let dot: f64 = q_znormed.iter().zip(x_raw).map(|(&a, &b)| a * b).sum();
+    let dot = dot_product(q_znormed, x_raw);
     (2.0 * (m - dot / sd)).max(0.0)
 }
 
@@ -131,6 +175,36 @@ mod tests {
         let a = [0.0; 8];
         let b = [10.0; 8];
         assert_eq!(squared_euclidean_early_abandon(&a, &b, 50.0), None);
+    }
+
+    /// The unrolled 4-accumulator kernels only reassociate the naive
+    /// left-to-right sums; on O(1)-magnitude data of every length mod 4 the
+    /// results must agree to 1e-12.
+    #[test]
+    fn unrolled_kernels_match_naive_sum() {
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 150, 257] {
+            let a: Vec<f64> = (0..len).map(|i| ((i as f64) * 0.61).sin() * 2.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| ((i as f64) * 1.13).cos() - 0.4).collect();
+            let naive_dot: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            let naive_sq: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum();
+            let dot = dot_product(&a, &b);
+            let sq = squared_euclidean(&a, &b);
+            assert!(
+                (dot - naive_dot).abs() < 1e-12,
+                "len {len}: dot {dot} vs naive {naive_dot}"
+            );
+            assert!(
+                (sq - naive_sq).abs() < 1e-12,
+                "len {len}: sq {sq} vs naive {naive_sq}"
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod dtw;
 pub mod error;
 pub mod event;
 pub mod nn;
+pub mod parallel;
 pub mod stats;
 pub mod window;
 pub mod znorm;

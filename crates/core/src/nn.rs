@@ -6,11 +6,33 @@
 //! template in a long accelerometer recording).
 //!
 //! Matches are found under **z-normalized Euclidean distance**, computed with
-//! the running-statistics dot-product identity (the kernel inside MASS /
-//! the UCR Suite) so each window costs one pass and no allocation.
+//! the rolling-statistics dot-product identity (the kernel inside MASS / the
+//! UCR Suite): [`CumStats`] precomputes cumulative sums and sums-of-squares
+//! of the haystack once, so every window's mean and standard deviation is
+//! O(1) instead of an O(m) pass, and the only per-window work left is one
+//! unrolled dot product. [`BatchProfile`] keeps that precompute alive across
+//! queries — the Fig 5 experiment runs one query per lexicon word over the
+//! *same* hour of data — and splits the haystack across worker threads
+//! (chunked by window index, so results are identical to the serial scan;
+//! see [`crate::parallel`] and its `ETSC_THREADS` switch).
+//!
+//! [`nearest_neighbor`] additionally prunes: a window can only beat the best
+//! match so far if its dot product against the z-normalized query exceeds
+//! `sd · (m − d²_best/2)` (the identity solved for the dot), and the
+//! Cauchy–Schwarz bound on the remaining suffix — O(1) from the same
+//! cumulative sums — abandons windows that cannot reach that target.
+//!
+//! Numerical contract: the rolling-statistics path recovers each window's
+//! variance from differences of cumulative sums, which agrees with the
+//! two-pass per-window computation to ~1e-9 relative on data of sane
+//! magnitude (the property tests pin this), not bit-exactly. Serial vs
+//! parallel is bit-identical; rolling vs the reference
+//! [`distance_profile_naive`] is tolerance-identical.
 
-use crate::distance::znormalized_sq_dist;
-use crate::znorm::znormalize;
+use crate::distance::dot_product;
+use crate::parallel;
+use crate::stats::prefix_value_and_square_sums;
+use crate::znorm::{znormalize, CONSTANT_EPS};
 
 /// One subsequence match.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,12 +43,682 @@ pub struct Match {
     pub dist: f64,
 }
 
-/// Full z-normalized distance profile of `query` against every window of
-/// `haystack`. `profile[i] = d(znorm(query), znorm(haystack[i..i+m]))`.
+/// Minimum `windows × query_len` product before a profile scan fans out to
+/// worker threads (a scoped spawn costs ~10µs; below this the serial loop
+/// wins).
+const PAR_MIN_WINDOW_WORK: usize = 1 << 16;
+
+/// Interval, in samples, between Cauchy–Schwarz abandonment checks inside
+/// the pruned dot product (each check is O(1) but costs a `sqrt`).
+const PRUNE_CHECK: usize = 16;
+
+/// Number of adjacent windows whose dot products the profile kernel
+/// accumulates simultaneously — one accumulator per window, haystack loads
+/// contiguous across the block, so the compiler vectorizes across windows.
+const DOT_BLOCK: usize = 8;
+
+/// Distances and standard deviations of [`DOT_BLOCK`] adjacent windows
+/// starting at `base`, written into `out`/`sds` (constant-window patching is
+/// the caller's job, outside the hot loop).
 ///
-/// O(n·m); the experiments in this workspace run at n up to a few million,
-/// which completes in seconds in release mode.
+/// The dot products use four independent accumulators per window striding
+/// the query (hiding vector-add latency), combined exactly as
+/// [`dot_product`] combines its four lanes — so a window's dot here is
+/// **bit-identical** to `dot_product(q, window)`, which is what the
+/// non-blocked remainder path computes. Multiplies and adds stay separate
+/// (Rust never contracts to FMA), and division and square root are exactly
+/// rounded in IEEE 754, so every compiled variant below agrees bitwise with
+/// the scalar path; the vector units only widen *across* windows.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn profile_block_body(
+    q: &[f64],
+    hay: &[f64],
+    c1: &[f64],
+    c2: &[f64],
+    base: usize,
+    mf: f64,
+    out: &mut [f64; DOT_BLOCK],
+    sds: &mut [f64; DOT_BLOCK],
+) {
+    let m = q.len();
+    let mut acc = [[0.0f64; DOT_BLOCK]; 4];
+    let mut j = 0usize;
+    while j + 4 <= m {
+        for k in 0..4 {
+            let qj = q[j + k];
+            let h = &hay[base + j + k..base + j + k + DOT_BLOCK];
+            let a = &mut acc[k];
+            for t in 0..DOT_BLOCK {
+                a[t] += qj * h[t];
+            }
+        }
+        j += 4;
+    }
+    let mut tail = [0.0f64; DOT_BLOCK];
+    while j < m {
+        let qj = q[j];
+        let h = &hay[base + j..base + j + DOT_BLOCK];
+        for t in 0..DOT_BLOCK {
+            tail[t] += qj * h[t];
+        }
+        j += 1;
+    }
+    let c1 = &c1[base..base + DOT_BLOCK + m];
+    let c2 = &c2[base..base + DOT_BLOCK + m];
+    for t in 0..DOT_BLOCK {
+        let dot = (acc[0][t] + acc[1][t]) + (acc[2][t] + acc[3][t]) + tail[t];
+        let s = c1[t + m] - c1[t];
+        let ss = c2[t + m] - c2[t];
+        let mu = s / mf;
+        let var = (ss / mf - mu * mu).max(0.0);
+        let sd = var.sqrt();
+        sds[t] = sd;
+        out[t] = (2.0 * (mf - dot / sd)).max(0.0).sqrt();
+    }
+}
+
+/// Signature of one compiled block-kernel variant.
+type BlockKernel =
+    fn(&[f64], &[f64], &[f64], &[f64], usize, f64, &mut [f64; DOT_BLOCK], &mut [f64; DOT_BLOCK]);
+
+/// The baseline-ISA compilation of [`profile_block_body`].
+#[allow(clippy::too_many_arguments)]
+fn profile_block_scalar(
+    q: &[f64],
+    hay: &[f64],
+    c1: &[f64],
+    c2: &[f64],
+    base: usize,
+    mf: f64,
+    out: &mut [f64; DOT_BLOCK],
+    sds: &mut [f64; DOT_BLOCK],
+) {
+    profile_block_body(q, hay, c1, c2, base, mf, out, sds)
+}
+
+/// [`profile_block_body`] compiled for 256-bit vectors. Safety: callers
+/// gate on runtime AVX2 detection.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn profile_block_avx2(
+    q: &[f64],
+    hay: &[f64],
+    c1: &[f64],
+    c2: &[f64],
+    base: usize,
+    mf: f64,
+    out: &mut [f64; DOT_BLOCK],
+    sds: &mut [f64; DOT_BLOCK],
+) {
+    profile_block_body(q, hay, c1, c2, base, mf, out, sds)
+}
+
+/// [`profile_block_body`] compiled for 512-bit vectors (the whole block is
+/// one register). Safety: callers gate on runtime AVX-512F detection.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f")]
+unsafe fn profile_block_avx512(
+    q: &[f64],
+    hay: &[f64],
+    c1: &[f64],
+    c2: &[f64],
+    base: usize,
+    mf: f64,
+    out: &mut [f64; DOT_BLOCK],
+    sds: &mut [f64; DOT_BLOCK],
+) {
+    profile_block_body(q, hay, c1, c2, base, mf, out, sds)
+}
+
+/// Widest block kernel this CPU supports, detected once. All variants are
+/// numerically identical (see [`profile_block_body`]); only throughput
+/// differs.
+fn profile_block_kernel() -> BlockKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static KERNEL: OnceLock<BlockKernel> = OnceLock::new();
+        #[allow(clippy::needless_return)] // the non-x86 tail needs the return
+        return *KERNEL.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                |q, hay, c1, c2, base, mf, out, sds| unsafe {
+                    profile_block_avx512(q, hay, c1, c2, base, mf, out, sds)
+                }
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                |q, hay, c1, c2, base, mf, out, sds| unsafe {
+                    profile_block_avx2(q, hay, c1, c2, base, mf, out, sds)
+                }
+            } else {
+                profile_block_scalar
+            }
+        });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    profile_block_scalar
+}
+
+/// Cumulative sums and sums-of-squares over a haystack: `O(1)` mean and
+/// standard deviation of any window.
+///
+/// `c1[i]` is the sum of the first `i` samples and `c2[i]` the sum of their
+/// squares (both length `n + 1`), so window `[start, start + m)` has
+/// `Σx = c1[start+m] − c1[start]`, `Σx² = c2[start+m] − c2[start]`, and mean
+/// and population variance follow directly. This replaces the per-window
+/// `mean_std` pass that previously made every window cost two passes.
+#[derive(Debug, Clone)]
+pub struct CumStats {
+    c1: Vec<f64>,
+    c2: Vec<f64>,
+    /// `run[i]` = number of consecutive samples equal to `xs[i]` starting at
+    /// `i` (≥ 1). Cancellation in the cumulative differences leaves an
+    /// exactly-constant window with a residual sd on the order of
+    /// `‖c2‖·ε/m` — far above `CONSTANT_EPS` on long or large-valued
+    /// haystacks — so the constant-window convention (d² = m) is decided by
+    /// this exact O(1) test instead of an epsilon on the noisy variance.
+    run: Vec<u32>,
+}
+
+impl CumStats {
+    /// Precompute cumulative statistics of `xs` (one O(n) pass).
+    pub fn new(xs: &[f64]) -> Self {
+        let (c1, c2) = prefix_value_and_square_sums(xs);
+        let mut run = vec![1u32; xs.len()];
+        for i in (0..xs.len().saturating_sub(1)).rev() {
+            if xs[i] == xs[i + 1] {
+                run[i] = run[i + 1].saturating_add(1);
+            }
+        }
+        Self { c1, c2, run }
+    }
+
+    /// Is the window `[start, start + m)` exactly constant? O(1), exact
+    /// (bitwise sample equality, no epsilon).
+    #[inline]
+    pub fn window_is_constant(&self, start: usize, m: usize) -> bool {
+        m <= 1 || self.run[start] as usize >= m
+    }
+
+    /// True when every cumulative sum is finite — i.e. the underlying data
+    /// held no NaN/±inf (and no square overflowed). A non-finite sample
+    /// poisons every cumulative entry after it, which would silently zero
+    /// the distances of every *later* window (`NaN.max(0.0) == 0.0`);
+    /// callers check this once and fall back to per-window statistics,
+    /// which confine the damage to windows actually containing the bad
+    /// sample.
+    pub fn all_finite(&self) -> bool {
+        // Cumulative sums only go non-finite by absorbing a non-finite
+        // term, and stay non-finite afterwards (NaN propagates; ±inf can
+        // only cancel to NaN), so checking the last entries suffices.
+        self.c1.last().is_none_or(|v| v.is_finite()) && self.c2.last().is_none_or(|v| v.is_finite())
+    }
+
+    /// Number of samples covered.
+    pub fn len(&self) -> usize {
+        self.c1.len() - 1
+    }
+
+    /// True when built over an empty series.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean and population standard deviation of the window
+    /// `[start, start + m)` in O(1). Variance is clamped at zero against
+    /// cancellation in the cumulative differences.
+    #[inline]
+    pub fn window_mean_std(&self, start: usize, m: usize) -> (f64, f64) {
+        let n = m as f64;
+        let s = self.c1[start + m] - self.c1[start];
+        let ss = self.c2[start + m] - self.c2[start];
+        let mu = s / n;
+        let var = (ss / n - mu * mu).max(0.0);
+        (mu, var.sqrt())
+    }
+
+    /// `(Σx, Σx²)` of the window `[start, start + m)` in O(1).
+    #[inline]
+    pub fn window_sums(&self, start: usize, m: usize) -> (f64, f64) {
+        (
+            self.c1[start + m] - self.c1[start],
+            self.c2[start + m] - self.c2[start],
+        )
+    }
+}
+
+/// A subsequence-search engine over one haystack, built once and reused
+/// across queries.
+///
+/// Construction does the single O(n) [`CumStats`] pass; every subsequent
+/// [`profile`](Self::profile) / [`nearest`](Self::nearest) /
+/// [`top_k`](Self::top_k) / [`within`](Self::within) call pays only the
+/// per-window dot products, and [`profiles`](Self::profiles) amortizes the
+/// engine across a whole batch of queries in parallel. The free functions
+/// ([`distance_profile`], [`nearest_neighbor`], …) are thin wrappers that
+/// build a throwaway engine; anything issuing more than one query against
+/// the same haystack should hold a `BatchProfile` instead.
+#[derive(Debug, Clone)]
+pub struct BatchProfile<'a> {
+    haystack: &'a [f64],
+    stats: CumStats,
+}
+
+impl<'a> BatchProfile<'a> {
+    /// Build the engine over `haystack` (one O(n) statistics pass).
+    pub fn new(haystack: &'a [f64]) -> Self {
+        Self {
+            haystack,
+            stats: CumStats::new(haystack),
+        }
+    }
+
+    /// The underlying haystack.
+    pub fn haystack(&self) -> &'a [f64] {
+        self.haystack
+    }
+
+    /// The precomputed cumulative statistics.
+    pub fn stats(&self) -> &CumStats {
+        &self.stats
+    }
+
+    /// Number of length-`m` windows the haystack holds.
+    fn n_windows(&self, m: usize) -> usize {
+        if self.haystack.len() < m {
+            0
+        } else {
+            self.haystack.len() - m + 1
+        }
+    }
+
+    /// Squared z-normalized distance of the pre-z-normalized `q` to the
+    /// window starting at `i`, via the dot-product identity and O(1) stats.
+    #[inline]
+    fn window_sq_dist(&self, q: &[f64], i: usize) -> f64 {
+        let m = q.len();
+        if self.stats.window_is_constant(i, m) {
+            return m as f64; // constant windows z-normalize to all zeros
+        }
+        let (_, sd) = self.stats.window_mean_std(i, m);
+        if sd <= CONSTANT_EPS {
+            return m as f64;
+        }
+        let dot = dot_product(q, &self.haystack[i..i + m]);
+        (2.0 * (m as f64 - dot / sd)).max(0.0)
+    }
+
+    /// Full z-normalized distance profile of `query` against every window:
+    /// `profile[i] = d(znorm(query), znorm(haystack[i..i+m]))`.
+    ///
+    /// O(n·m) dot products with O(1) per-window statistics, split across
+    /// [`parallel::num_threads`] workers for large scans (chunked by window
+    /// index — bit-identical to the serial result).
+    pub fn profile(&self, query: &[f64]) -> Vec<f64> {
+        let m = query.len();
+        assert!(m > 0, "query must be non-empty");
+        let n_windows = self.n_windows(m);
+        let threads = parallel::gate(n_windows.saturating_mul(m), PAR_MIN_WINDOW_WORK);
+        self.profile_with(threads, query)
+    }
+
+    /// [`profile`](Self::profile) with an explicit worker count (used by the
+    /// multi-query batch path, which parallelizes over queries instead, and
+    /// by the scaling benchmarks).
+    pub fn profile_with(&self, threads: usize, query: &[f64]) -> Vec<f64> {
+        let m = query.len();
+        assert!(m > 0, "query must be non-empty");
+        let n_windows = self.n_windows(m);
+        if n_windows == 0 {
+            return Vec::new();
+        }
+        let q = znormalize(query);
+        let mut profile = vec![0.0f64; n_windows];
+        parallel::for_each_slice_mut_with(threads, &mut profile, |offset, seg| {
+            self.fill_profile_segment(&q, offset, seg);
+        });
+        profile
+    }
+
+    /// Compute `seg[k] = d(q, window offset + k)` for a contiguous run of
+    /// windows, with the dot products blocked [`DOT_BLOCK`] windows at a
+    /// time: the inner loop walks the query once and updates a block of
+    /// accumulators, so consecutive haystack loads vectorize across windows
+    /// (per-window dots are latency-bound otherwise). Every window's dot —
+    /// blocked or remainder — uses [`dot_product`]'s exact 4-lane
+    /// association, so results are independent of blocking and chunking:
+    /// the serial/parallel bit-identity the module contract promises.
+    fn fill_profile_segment(&self, q: &[f64], offset: usize, seg: &mut [f64]) {
+        let m = q.len();
+        let mf = m as f64;
+        let hay = self.haystack;
+        if !self.stats.all_finite() {
+            // NaN/±inf somewhere in the haystack: the cumulative sums are
+            // poisoned from that point on, so recompute each window's
+            // statistics directly — only windows containing the bad sample
+            // come out non-finite, matching the pre-engine behavior.
+            for (k, out) in seg.iter_mut().enumerate() {
+                *out = crate::distance::znormalized_sq_dist(q, &hay[offset + k..offset + k + m])
+                    .sqrt();
+            }
+            return;
+        }
+        let kernel = profile_block_kernel();
+        let mut w = 0usize;
+        while w < seg.len() {
+            let count = (seg.len() - w).min(DOT_BLOCK);
+            let base = offset + w;
+            if count == DOT_BLOCK {
+                let mut out = [0.0f64; DOT_BLOCK];
+                let mut sds = [0.0f64; DOT_BLOCK];
+                kernel(
+                    q,
+                    hay,
+                    &self.stats.c1,
+                    &self.stats.c2,
+                    base,
+                    mf,
+                    &mut out,
+                    &mut sds,
+                );
+                seg[w..w + DOT_BLOCK].copy_from_slice(&out);
+                // Rare constant-window patches, outside the hot loop so it
+                // stays branch-free and vectorizable.
+                for t in 0..DOT_BLOCK {
+                    if sds[t] <= CONSTANT_EPS || self.stats.window_is_constant(base + t, m) {
+                        seg[w + t] = mf.sqrt();
+                    }
+                }
+            } else {
+                for t in 0..count {
+                    let i = base + t;
+                    // Same 4-lane association as the blocked kernel (see
+                    // `profile_block_body`), so block membership never
+                    // changes a window's value.
+                    let dot = dot_product(q, &hay[i..i + m]);
+                    seg[w + t] = self.finish_window(i, m, mf, dot);
+                }
+            }
+            w += count;
+        }
+    }
+
+    /// Distance of window `i` from its accumulated dot product.
+    #[inline]
+    fn finish_window(&self, i: usize, m: usize, mf: f64, dot: f64) -> f64 {
+        if self.stats.window_is_constant(i, m) {
+            return mf.sqrt(); // constant windows z-normalize to all zeros
+        }
+        let (_, sd) = self.stats.window_mean_std(i, m);
+        if sd <= CONSTANT_EPS {
+            return mf.sqrt();
+        }
+        (2.0 * (mf - dot / sd)).max(0.0).sqrt()
+    }
+
+    /// Distance profiles of many queries over the same haystack, one
+    /// [`profile`](Self::profile) per query, computed in parallel across
+    /// queries first and haystack chunks second: with fewer queries than
+    /// workers, each query's scan gets the leftover workers
+    /// (`threads / queries`), so two queries over a two-million-point
+    /// recording still use the whole machine.
+    ///
+    /// This is the Fig 5 shape of work — one query per lexicon word against
+    /// one long recording — and the reason this type exists: the haystack
+    /// statistics pass runs once, not once per word.
+    pub fn profiles(&self, queries: &[&[f64]]) -> Vec<Vec<f64>> {
+        let m_total: usize = queries.iter().map(|q| q.len()).sum();
+        let work = self.haystack.len().saturating_mul(m_total);
+        let threads = parallel::gate(work, PAR_MIN_WINDOW_WORK);
+        let outer = threads.min(queries.len()).max(1);
+        let inner = (threads / outer).max(1);
+        parallel::map_with(outer, queries, |q| self.profile_with(inner, q))
+    }
+
+    /// The single best match of `query`, with best-so-far pruning.
+    ///
+    /// A window at `i` with standard deviation `sd` beats the current best
+    /// squared distance `b` iff its dot product against the z-normalized
+    /// query exceeds `sd·(m − b/2)` (the identity solved for the dot). The
+    /// scan accumulates each window's dot in [`PRUNE_CHECK`]-sample chunks
+    /// and abandons as soon as the Cauchy–Schwarz bound on the remaining
+    /// suffix — O(1) from the cumulative sums, centered on the window mean —
+    /// shows the target is unreachable.
+    pub fn nearest(&self, query: &[f64]) -> Option<Match> {
+        let m = query.len();
+        if m == 0 || self.haystack.len() < m {
+            return None;
+        }
+        let n_windows = self.n_windows(m);
+        if !self.stats.all_finite() {
+            // Degraded path for poisoned haystacks (see
+            // `fill_profile_segment`): scan the per-window profile; NaN
+            // distances never win the strict `<`.
+            let profile = self.profile(query);
+            let mut best = Match {
+                start: 0,
+                dist: f64::INFINITY,
+            };
+            for (i, &d) in profile.iter().enumerate() {
+                if d < best.dist {
+                    best = Match { start: i, dist: d };
+                }
+            }
+            return Some(best);
+        }
+        let q = znormalize(query);
+        // Suffix sums / sums-of-squares of the z-normalized query, for the
+        // Cauchy–Schwarz abandonment bound: q1s[j] = Σ_{t≥j} q[t],
+        // q2s[j] = Σ_{t≥j} q[t]² (both length m + 1).
+        let mut q1s = vec![0.0f64; m + 1];
+        let mut q2s = vec![0.0f64; m + 1];
+        for j in (0..m).rev() {
+            q1s[j] = q1s[j + 1] + q[j];
+            q2s[j] = q2s[j + 1] + q[j] * q[j];
+        }
+        let threads = parallel::gate(n_windows.saturating_mul(m), PAR_MIN_WINDOW_WORK);
+        let ranges = parallel::chunk_ranges(n_windows, threads);
+        let chunk_bests = parallel::map_with(threads, &ranges, |r| {
+            let mut best = Match {
+                start: 0,
+                dist: f64::INFINITY, // squared during the scan
+            };
+            for i in r.clone() {
+                let d2 = match self.pruned_sq_dist(&q, &q1s, &q2s, i, best.dist) {
+                    Some(d2) => d2,
+                    None => continue,
+                };
+                if d2 < best.dist {
+                    best = Match { start: i, dist: d2 };
+                }
+            }
+            best
+        });
+        // Merge chunk winners; ties go to the lowest start, matching the
+        // serial first-strictly-smaller scan.
+        let mut best = Match {
+            start: 0,
+            dist: f64::INFINITY,
+        };
+        for b in chunk_bests {
+            if b.dist < best.dist || (b.dist == best.dist && b.start < best.start) {
+                best = b;
+            }
+        }
+        if !best.dist.is_finite() && n_windows > 0 {
+            // Every window abandoned can't happen (the first never is), but
+            // an empty range list can when n_windows == 0 — handled above.
+            best = Match {
+                start: 0,
+                dist: self.window_sq_dist(&q, 0),
+            };
+        }
+        best.dist = best.dist.sqrt();
+        Some(best)
+    }
+
+    /// Squared distance of window `i`, or `None` when abandoned because it
+    /// cannot strictly beat `best_d2`.
+    #[inline]
+    fn pruned_sq_dist(
+        &self,
+        q: &[f64],
+        q1s: &[f64],
+        q2s: &[f64],
+        i: usize,
+        best_d2: f64,
+    ) -> Option<f64> {
+        let m = q.len();
+        let mf = m as f64;
+        if self.stats.window_is_constant(i, m) {
+            return if mf < best_d2 { Some(mf) } else { None };
+        }
+        let (mu, sd) = self.stats.window_mean_std(i, m);
+        if sd <= CONSTANT_EPS {
+            let d2 = mf;
+            return if d2 < best_d2 { Some(d2) } else { None };
+        }
+        let x = &self.haystack[i..i + m];
+        if !best_d2.is_finite() {
+            let dot = dot_product(q, x);
+            return Some((2.0 * (mf - dot / sd)).max(0.0));
+        }
+        // The window improves iff dot > need.
+        let need = sd * (mf - best_d2 / 2.0);
+        let mut dot = 0.0f64;
+        let mut j = 0usize;
+        while j < m {
+            let e = (j + PRUNE_CHECK).min(m);
+            dot += dot_product(&q[j..e], &x[j..e]);
+            j = e;
+            if j < m {
+                // Remaining dot = q_rem·(x_rem − μ) + μ·Σq_rem, bounded by
+                // Cauchy–Schwarz on the centered suffix (all O(1) from the
+                // cumulative sums). Inflated by an epsilon so floating-point
+                // rounding can never abandon a true winner.
+                let (s_rem, ss_rem) = self.stats.window_sums(i + j, m - j);
+                let centered = (ss_rem - 2.0 * mu * s_rem + (m - j) as f64 * mu * mu).max(0.0);
+                let bound = (q2s[j] * centered).sqrt() * (1.0 + 1e-12) + 1e-12 + mu * q1s[j];
+                if dot + bound < need {
+                    return None;
+                }
+            }
+        }
+        let d2 = (2.0 * (mf - dot / sd)).max(0.0);
+        if d2 < best_d2 {
+            Some(d2)
+        } else {
+            None
+        }
+    }
+
+    /// Top-`k` non-overlapping matches (exclusion zone `m/2`, the matrix
+    /// profile convention), nearest-first. See [`top_k_neighbors`].
+    pub fn top_k(&self, query: &[f64], k: usize) -> Vec<Match> {
+        let m = query.len();
+        if m == 0 || self.haystack.len() < m || k == 0 {
+            return Vec::new();
+        }
+        let profile = self.profile(query);
+        select_matches(&profile, m, k, f64::INFINITY)
+    }
+
+    /// All matches with distance `<= threshold`, nearest-first with the same
+    /// exclusion zone as [`top_k`](Self::top_k). See [`matches_within`].
+    pub fn within(&self, query: &[f64], threshold: f64) -> Vec<Match> {
+        let m = query.len();
+        if m == 0 || self.haystack.len() < m {
+            return Vec::new();
+        }
+        let profile = self.profile(query);
+        select_matches(&profile, m, usize::MAX, threshold)
+    }
+}
+
+/// Greedy nearest-first selection with an exclusion zone, by a single sort.
+///
+/// Sorts window indices once by `(distance, index)` and walks them in order,
+/// skipping indices blocked by an earlier pick's exclusion zone — exactly
+/// the fixpoint the previous implementation reached by re-scanning the whole
+/// profile for its minimum after every pick (O(k·n)); this is O(n log n)
+/// once, plus O(m) blocking per pick. Tie distances resolve to the lower
+/// index, matching `Iterator::min_by` (which keeps the first minimum).
+fn select_matches(profile: &[f64], m: usize, limit: usize, threshold: f64) -> Vec<Match> {
+    let excl = (m / 2).max(1);
+    let mut order: Vec<u32> = (0..profile.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        profile[a as usize]
+            .total_cmp(&profile[b as usize])
+            .then(a.cmp(&b))
+    });
+    let mut blocked = vec![false; profile.len()];
+    let mut out = Vec::new();
+    for &i in &order {
+        let i = i as usize;
+        let d = profile[i];
+        if d > threshold {
+            break; // sorted: nothing later can qualify
+        }
+        if blocked[i] {
+            continue;
+        }
+        out.push(Match { start: i, dist: d });
+        if out.len() >= limit {
+            break;
+        }
+        let lo = i.saturating_sub(excl);
+        let hi = (i + excl + 1).min(profile.len());
+        blocked[lo..hi].fill(true);
+    }
+    out
+}
+
+/// Nearest-first selection of non-overlapping matches from an
+/// already-computed distance profile: top-`k` with the standard `m/2`
+/// exclusion zone. Lets callers sweep `k` without recomputing the profile.
+pub fn select_top_k(profile: &[f64], m: usize, k: usize) -> Vec<Match> {
+    if k == 0 {
+        return Vec::new();
+    }
+    select_matches(profile, m, k, f64::INFINITY)
+}
+
+/// Nearest-first selection of all matches with distance `<= threshold` from
+/// an already-computed distance profile (exclusion zone `m/2`). Lets
+/// callers sweep thresholds without recomputing the profile — the Fig 8
+/// calibration loop.
+pub fn select_within(profile: &[f64], m: usize, threshold: f64) -> Vec<Match> {
+    select_matches(profile, m, usize::MAX, threshold)
+}
+
+/// Full z-normalized distance profile of `query` against every window of
+/// `haystack`. One-shot wrapper over [`BatchProfile::profile`]; build the
+/// engine yourself to amortize the statistics pass across queries.
 pub fn distance_profile(query: &[f64], haystack: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    assert!(m > 0, "query must be non-empty");
+    if haystack.len() < m {
+        return Vec::new();
+    }
+    BatchProfile::new(haystack).profile(query)
+}
+
+/// The pre-engine reference implementation, kept verbatim: z-normalize the
+/// query once, then for every window recompute mean and standard deviation
+/// from scratch and accumulate the dot product serially (`O(n·m)` with two
+/// latency-bound passes per window).
+///
+/// Ground truth for the property tests, and the yardstick `bench_nn`
+/// reports speedups against — which is why it deliberately does *not* use
+/// the unrolled kernels of [`crate::distance`]. One documented divergence:
+/// on *exactly constant* windows the engine applies the z-normalization
+/// convention exactly (d² = m, via [`CumStats::window_is_constant`]), while
+/// this reference relies on an epsilon test of the recomputed standard
+/// deviation, which floating-point residue can push past `CONSTANT_EPS` on
+/// large-valued windows — the reference then reports ≈ √(2m) instead of √m.
+pub fn distance_profile_naive(query: &[f64], haystack: &[f64]) -> Vec<f64> {
+    use crate::stats::mean_std;
     let m = query.len();
     assert!(m > 0, "query must be non-empty");
     if haystack.len() < m {
@@ -36,30 +728,26 @@ pub fn distance_profile(query: &[f64], haystack: &[f64]) -> Vec<f64> {
     let n_windows = haystack.len() - m + 1;
     let mut profile = Vec::with_capacity(n_windows);
     for i in 0..n_windows {
-        profile.push(znormalized_sq_dist(&q, &haystack[i..i + m]).sqrt());
+        let x = &haystack[i..i + m];
+        let (_, sd) = mean_std(x);
+        let d2 = if sd <= CONSTANT_EPS {
+            m as f64
+        } else {
+            let dot: f64 = q.iter().zip(x).map(|(&a, &b)| a * b).sum();
+            (2.0 * (m as f64 - dot / sd)).max(0.0)
+        };
+        profile.push(d2.sqrt());
     }
     profile
 }
 
-/// The single best match of `query` in `haystack` (z-normalized ED).
+/// The single best match of `query` in `haystack` (z-normalized ED), with
+/// best-so-far pruning. See [`BatchProfile::nearest`].
 pub fn nearest_neighbor(query: &[f64], haystack: &[f64]) -> Option<Match> {
-    let m = query.len();
-    if m == 0 || haystack.len() < m {
+    if query.is_empty() || haystack.len() < query.len() {
         return None;
     }
-    let q = znormalize(query);
-    let mut best = Match {
-        start: 0,
-        dist: f64::INFINITY,
-    };
-    for i in 0..=haystack.len() - m {
-        let d2 = znormalized_sq_dist(&q, &haystack[i..i + m]);
-        if d2 < best.dist {
-            best = Match { start: i, dist: d2 };
-        }
-    }
-    best.dist = best.dist.sqrt();
-    Some(best)
+    BatchProfile::new(haystack).nearest(query)
 }
 
 /// Top-`k` non-overlapping matches of `query` in `haystack`.
@@ -68,32 +756,10 @@ pub fn nearest_neighbor(query: &[f64], haystack: &[f64]) -> Option<Match> {
 /// profile convention) so the "500 nearest neighbors" of Fig 8 are 500
 /// distinct events rather than 500 shifts of one event.
 pub fn top_k_neighbors(query: &[f64], haystack: &[f64], k: usize) -> Vec<Match> {
-    let m = query.len();
-    if m == 0 || haystack.len() < m || k == 0 {
+    if query.is_empty() || haystack.len() < query.len() || k == 0 {
         return Vec::new();
     }
-    let mut profile = distance_profile(query, haystack);
-    let excl = (m / 2).max(1);
-    let mut out = Vec::with_capacity(k);
-    for _ in 0..k {
-        let (best_i, &best_d) = match profile
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.is_finite())
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        {
-            Some(x) => x,
-            None => break,
-        };
-        out.push(Match {
-            start: best_i,
-            dist: best_d,
-        });
-        let lo = best_i.saturating_sub(excl);
-        let hi = (best_i + excl + 1).min(profile.len());
-        profile[lo..hi].fill(f64::INFINITY);
-    }
-    out
+    BatchProfile::new(haystack).top_k(query, k)
 }
 
 /// All matches with distance `<= threshold`, greedily selected nearest-first
@@ -102,31 +768,10 @@ pub fn top_k_neighbors(query: &[f64], haystack: &[f64], k: usize) -> Vec<Match> 
 /// This is the "any subsequence within 2.3 of the template is essentially
 /// guaranteed to be dustbathing" operation of Fig 8.
 pub fn matches_within(query: &[f64], haystack: &[f64], threshold: f64) -> Vec<Match> {
-    let m = query.len();
-    if m == 0 || haystack.len() < m {
+    if query.is_empty() || haystack.len() < query.len() {
         return Vec::new();
     }
-    let mut profile = distance_profile(query, haystack);
-    let excl = (m / 2).max(1);
-    let mut out = Vec::new();
-    while let Some((best_i, &best_d)) = profile
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| d.is_finite())
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-    {
-        if best_d > threshold {
-            break;
-        }
-        out.push(Match {
-            start: best_i,
-            dist: best_d,
-        });
-        let lo = best_i.saturating_sub(excl);
-        let hi = (best_i + excl + 1).min(profile.len());
-        profile[lo..hi].fill(f64::INFINITY);
-    }
-    out
+    BatchProfile::new(haystack).within(query, threshold)
 }
 
 #[cfg(test)]
@@ -169,6 +814,102 @@ mod tests {
     }
 
     #[test]
+    fn rolling_profile_matches_naive_reference() {
+        let (q, hay, _) = planted();
+        let rolling = distance_profile(&q, &hay);
+        let naive = distance_profile_naive(&q, &hay);
+        assert_eq!(rolling.len(), naive.len());
+        for (i, (r, n)) in rolling.iter().zip(&naive).enumerate() {
+            assert!((r - n).abs() < 1e-8, "window {i}: rolling {r} vs naive {n}");
+        }
+    }
+
+    #[test]
+    fn rolling_profile_handles_constant_windows() {
+        // A haystack with a long constant run: those windows have sd ~ 0 and
+        // must take the CONSTANT_EPS branch (d² = m), same as the reference.
+        let q: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).sin()).collect();
+        let mut hay = vec![3.25f64; 40];
+        for (i, h) in hay.iter_mut().enumerate().skip(25) {
+            *h = (i as f64 * 0.37).cos();
+        }
+        let rolling = distance_profile(&q, &hay);
+        let naive = distance_profile_naive(&q, &hay);
+        for (i, (r, n)) in rolling.iter().zip(&naive).enumerate() {
+            assert!((r - n).abs() < 1e-8, "window {i}: {r} vs {n}");
+        }
+        // Fully-constant window: distance is exactly sqrt(m).
+        assert!((rolling[0] - (q.len() as f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_profile_amortizes_across_queries() {
+        let (q, hay, _) = planted();
+        let q2: Vec<f64> = (0..12).map(|i| ((i as f64) * 1.3).cos()).collect();
+        let engine = BatchProfile::new(&hay);
+        let batch = engine.profiles(&[&q, &q2]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], engine.profile(&q));
+        assert_eq!(batch[1], engine.profile(&q2));
+        assert_eq!(batch[0], distance_profile(&q, &hay));
+    }
+
+    #[test]
+    fn engine_nearest_equals_profile_argmin() {
+        let (q, hay, _) = planted();
+        let engine = BatchProfile::new(&hay);
+        let profile = engine.profile(&q);
+        let (argmin, &min) = profile
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let m = engine.nearest(&q).unwrap();
+        assert_eq!(m.start, argmin);
+        assert!((m.dist - min).abs() < 1e-9, "{} vs {}", m.dist, min);
+    }
+
+    #[test]
+    fn pruned_nearest_agrees_on_adversarial_data() {
+        // Strong trend + level shifts: the regime where the raw (uncentered)
+        // Cauchy–Schwarz bound would be useless and a buggy centered bound
+        // would mis-prune.
+        let q: Vec<f64> = (0..32).map(|i| ((i as f64) * 0.5).sin()).collect();
+        let hay: Vec<f64> = (0..600)
+            .map(|i| {
+                let t = i as f64;
+                0.05 * t
+                    + ((t * 0.11).sin() + (t * 0.013).cos()) * 3.0
+                    + if i % 97 < 20 { 50.0 } else { 0.0 }
+            })
+            .collect();
+        let engine = BatchProfile::new(&hay);
+        let profile = engine.profile(&q);
+        let (argmin, &min) = profile
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let m = engine.nearest(&q).unwrap();
+        assert_eq!(m.start, argmin);
+        assert!((m.dist - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_profile_is_bit_identical_to_serial() {
+        let (q, hay, _) = planted();
+        let engine = BatchProfile::new(&hay);
+        let serial = engine.profile_with(1, &q);
+        for threads in [2, 3, 7] {
+            assert_eq!(
+                engine.profile_with(threads, &q),
+                serial,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
     fn top_k_respects_exclusion_zone() {
         let (q, hay, _) = planted();
         let ms = top_k_neighbors(&q, &hay, 5);
@@ -182,6 +923,53 @@ mod tests {
         // Results come out nearest-first.
         for w in ms.windows(2) {
             assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    /// The previous implementation of greedy selection: re-scan the profile
+    /// for its minimum after every pick, masking exclusion zones with
+    /// infinities. Ground truth for the sort-once selection.
+    fn select_by_rescan(mut profile: Vec<f64>, m: usize, k: usize, threshold: f64) -> Vec<Match> {
+        let excl = (m / 2).max(1);
+        let mut out = Vec::new();
+        while out.len() < k {
+            let (best_i, &best_d) = match profile
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_finite())
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            {
+                Some(x) => x,
+                None => break,
+            };
+            if best_d > threshold {
+                break;
+            }
+            out.push(Match {
+                start: best_i,
+                dist: best_d,
+            });
+            let lo = best_i.saturating_sub(excl);
+            let hi = (best_i + excl + 1).min(profile.len());
+            profile[lo..hi].fill(f64::INFINITY);
+        }
+        out
+    }
+
+    #[test]
+    fn sort_once_selection_matches_rescan_reference() {
+        let (q, hay, _) = planted();
+        let engine = BatchProfile::new(&hay);
+        let profile = engine.profile(&q);
+        for k in [1, 3, 5, 100] {
+            let fast = engine.top_k(&q, k);
+            let slow = select_by_rescan(profile.clone(), q.len(), k, f64::INFINITY);
+            assert_eq!(fast, slow, "k = {k}");
+        }
+        for thr in [0.5, 2.0, 1e9] {
+            let fast = engine.within(&q, thr);
+            let slow = select_by_rescan(profile.clone(), q.len(), usize::MAX, thr);
+            assert_eq!(fast, slow, "threshold = {thr}");
         }
     }
 
@@ -205,5 +993,69 @@ mod tests {
     fn top_k_zero_is_empty() {
         let (q, hay, _) = planted();
         assert!(top_k_neighbors(&q, &hay, 0).is_empty());
+    }
+
+    #[test]
+    fn nan_in_haystack_poisons_only_touching_windows() {
+        // A NaN poisons the cumulative sums from its position on; the engine
+        // must detect that and fall back to per-window statistics so only
+        // windows *containing* the NaN are non-finite — in particular, no
+        // later window may silently report distance 0.
+        let q: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).sin()).collect();
+        let mut hay: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).cos()).collect();
+        hay[30] = f64::NAN;
+        let engine = BatchProfile::new(&hay);
+        let profile = engine.profile(&q);
+        // Pre-engine convention, reproduced by the fallback: `mean_std`'s
+        // variance clamp swallows the NaN, so NaN-touching windows land on
+        // the constant-window branch (d = sqrt(m)).
+        let sqrt_m = (q.len() as f64).sqrt();
+        for (i, d) in profile.iter().enumerate() {
+            let touches = i <= 30 && 30 < i + q.len();
+            if touches {
+                assert!((d - sqrt_m).abs() < 1e-9, "NaN window {i}: {d}");
+            } else {
+                assert!(d.is_finite() && *d > 0.0, "window {i} clean but got {d}");
+            }
+        }
+        // Clean windows match a NaN-free engine (the poison must not leak
+        // past the windows that touch the bad sample; tolerance because the
+        // fallback recomputes statistics per window instead of from the
+        // cumulative sums).
+        let mut clean_hay = hay.clone();
+        clean_hay[30] = 0.25;
+        let clean = BatchProfile::new(&clean_hay).profile(&q);
+        for i in 0..profile.len() {
+            if !(i <= 30 && 30 < i + q.len()) {
+                assert!(
+                    (profile[i] - clean[i]).abs() < 1e-9,
+                    "window {i} drifted: {} vs {}",
+                    profile[i],
+                    clean[i]
+                );
+            }
+        }
+        let m = engine.nearest(&q).unwrap();
+        assert!(m.dist.is_finite());
+    }
+
+    #[test]
+    fn cum_stats_window_mean_std_match_direct() {
+        use crate::stats::mean_std;
+        let xs: Vec<f64> = (0..50)
+            .map(|i| ((i as f64) * 0.77).sin() * 4.0 + 2.0)
+            .collect();
+        let cs = CumStats::new(&xs);
+        assert_eq!(cs.len(), xs.len());
+        for start in [0usize, 7, 30] {
+            for m in [1usize, 5, 20] {
+                let (mu, sd) = cs.window_mean_std(start, m);
+                let (dmu, dsd) = mean_std(&xs[start..start + m]);
+                assert!((mu - dmu).abs() < 1e-9, "mu {mu} vs {dmu}");
+                // sqrt amplifies the cumulative-difference cancellation near
+                // zero variance (m = 1), hence the looser sd tolerance.
+                assert!((sd - dsd).abs() < 1e-6, "sd {sd} vs {dsd}");
+            }
+        }
     }
 }

@@ -1,0 +1,355 @@
+//! Zero-dependency data parallelism on scoped OS threads.
+//!
+//! The workspace's hot paths — the subsequence-search engine ([`crate::nn`]),
+//! the O(n²L) ECTS fit, TEASER's per-snapshot training, batch evaluation,
+//! multi-anchor stream monitoring — are all embarrassingly parallel over
+//! independent items. This module gives them one shared substrate built on
+//! [`std::thread::scope`] (no rayon: the build environment is offline, and
+//! the shims philosophy of `crates/shims` is to stand on std), with three
+//! guarantees every caller relies on:
+//!
+//! 1. **Deterministic results.** Work is split into *contiguous* chunks,
+//!    each chunk is processed in order by one worker, and outputs are
+//!    stitched back together in input order. A parallel `map` returns
+//!    bit-identical results to the serial `map` — per item, the same
+//!    floating-point operations run in the same order; only *which thread*
+//!    runs them changes. No atomics, no work stealing, no reduction-order
+//!    nondeterminism.
+//! 2. **One switch.** [`num_threads`] honors the `ETSC_THREADS` environment
+//!    variable (any integer ≥ 1), falling back to
+//!    [`std::thread::available_parallelism`]. `ETSC_THREADS=1` makes every
+//!    call site serial again.
+//! 3. **Graceful degradation.** With one thread (or one item) nothing is
+//!    spawned and nothing is allocated beyond the output — the serial path
+//!    is the plain loop it replaced.
+//!
+//! Call sites that run per *sample* (the stream monitor's anchor fan-out)
+//! gate on a minimum amount of work before going parallel — see [`gate`] —
+//! because a scoped spawn costs on the order of ten microseconds, which only
+//! amortizes over enough independent work.
+//!
+//! Worker panics propagate to the caller (the scope joins every worker; the
+//! first panic is re-raised).
+//!
+//! ```
+//! use etsc_core::parallel;
+//!
+//! let xs: Vec<u64> = (0..1000).collect();
+//! let doubled = parallel::map(&xs, |&x| x * 2);
+//! assert_eq!(doubled, parallel::map_with(7, &xs, |&x| x * 2));
+//! assert_eq!(doubled[999], 1998);
+//! ```
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Test/benchmark override for [`num_threads`], set by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count every parallel entry point uses by default.
+///
+/// Resolution order: the [`with_threads`] override (scoped, thread-local,
+/// used by tests and benches), then the `ETSC_THREADS` environment variable
+/// (parsed as an integer ≥ 1; unparsable values are ignored), then
+/// [`std::thread::available_parallelism`], then 1.
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("ETSC_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with [`num_threads`] pinned to `n` on the current thread.
+///
+/// This is how the property tests assert parallel ≡ serial at specific
+/// worker counts (1, 2, 7) without mutating the process environment, which
+/// would race under the multi-threaded test harness. The override is
+/// thread-local and restored on exit (panic included, via a drop guard);
+/// worker threads spawned *inside* `f` see the ambient default, which is
+/// fine — every entry point resolves its worker count on the calling thread.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.with(|o| o.replace(Some(n.max(1)))));
+    f()
+}
+
+/// [`num_threads`] if `work` meets `min_work`, else 1.
+///
+/// The idiom for per-sample call sites: spawning threads costs ~10µs, so a
+/// loop over 8 cheap items must stay serial even when `ETSC_THREADS=16`.
+#[inline]
+pub fn gate(work: usize, min_work: usize) -> usize {
+    if work >= min_work {
+        num_threads()
+    } else {
+        1
+    }
+}
+
+/// Split `0..len` into at most `chunks` contiguous ranges of near-equal
+/// size, in order, covering every index exactly once. Empty when `len == 0`.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(len);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let size = len.div_ceil(chunks);
+    (0..chunks)
+        .map(|c| c * size..((c + 1) * size).min(len))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Parallel `(0..n).map(f)` with results in index order.
+///
+/// The workhorse primitive: everything else here is sugar over it. Uses
+/// [`num_threads`] workers; see [`map_range_with`] for an explicit count.
+pub fn map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    map_range_with(num_threads(), n, f)
+}
+
+/// [`map_range`] with an explicit worker count.
+pub fn map_range_with<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = chunk_ranges(n, threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(move || r.map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel `items.iter().map(f)` with results in input order.
+pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    map_with(num_threads(), items, f)
+}
+
+/// [`map`] with an explicit worker count.
+pub fn map_with<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    map_range_with(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Parallel mutate-and-collect over a mutable slice, results in input order.
+///
+/// Each item is visited exactly once by exactly one worker; chunks are
+/// contiguous, so per-item work is identical to the serial loop.
+pub fn map_mut<T: Send, R: Send>(items: &mut [T], f: impl Fn(&mut T) -> R + Sync) -> Vec<R> {
+    map_mut_with(num_threads(), items, f)
+}
+
+/// [`map_mut`] with an explicit worker count.
+pub fn map_mut_with<T: Send, R: Send>(
+    threads: usize,
+    items: &mut [T],
+    f: impl Fn(&mut T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let size = n.div_ceil(threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(size)
+            .map(|chunk| s.spawn(move || chunk.iter_mut().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel `for x in items { f(x) }` over a mutable slice.
+pub fn for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync) {
+    for_each_mut_with(num_threads(), items, f)
+}
+
+/// [`for_each_mut`] with an explicit worker count.
+pub fn for_each_mut_with<T: Send>(threads: usize, items: &mut [T], f: impl Fn(&mut T) + Sync) {
+    let n = items.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        items.iter_mut().for_each(f);
+        return;
+    }
+    let size = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        for chunk in items.chunks_mut(size) {
+            s.spawn(move || chunk.iter_mut().for_each(f));
+        }
+    });
+}
+
+/// Parallel visit of contiguous sub-slices with their global offset:
+/// `f(offset, chunk)` where `chunk == &mut items[offset..offset + chunk.len()]`.
+///
+/// For kernels that index a parallel read-only array by global position
+/// (e.g. the ECTS pairwise-distance update, which looks up the exemplar pair
+/// behind each accumulator).
+pub fn for_each_slice_mut_with<T: Send>(
+    threads: usize,
+    items: &mut [T],
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let n = items.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        f(0, items);
+        return;
+    }
+    let size = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut offset = 0;
+        for chunk in items.chunks_mut(size) {
+            let len = chunk.len();
+            s.spawn(move || f(offset, chunk));
+            offset += len;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_serial_at_many_thread_counts() {
+        let xs: Vec<f64> = (0..257).map(|i| (i as f64) * 0.37 - 40.0).collect();
+        let serial: Vec<f64> = xs.iter().map(|&x| x * x + 1.0).collect();
+        for t in [1, 2, 3, 7, 64, 1000] {
+            assert_eq!(map_with(t, &xs, |&x| x * x + 1.0), serial, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn map_range_on_empty_and_single() {
+        assert!(map_range_with(4, 0, |i| i).is_empty());
+        assert_eq!(map_range_with(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for (len, chunks) in [
+            (0, 3),
+            (1, 3),
+            (10, 3),
+            (10, 1),
+            (10, 10),
+            (10, 100),
+            (97, 8),
+        ] {
+            let rs = chunk_ranges(len, chunks);
+            let mut seen = vec![false; len];
+            for r in &rs {
+                for i in r.clone() {
+                    assert!(!seen[i], "index {i} covered twice");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "len {len} chunks {chunks}");
+            assert!(rs.len() <= chunks.max(1));
+        }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut xs = vec![0u64; 100];
+        for_each_mut_with(7, &mut xs, |x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_each_slice_mut_offsets_are_global() {
+        let mut xs = vec![0usize; 53];
+        for_each_slice_mut_with(4, &mut xs, |off, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = off + k;
+            }
+        });
+        let expect: Vec<usize> = (0..53).collect();
+        assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn map_mut_returns_in_order_and_mutates() {
+        let mut xs: Vec<i64> = (0..40).collect();
+        let before = map_mut_with(3, &mut xs, |x| {
+            let old = *x;
+            *x *= 10;
+            old
+        });
+        assert_eq!(before, (0..40).collect::<Vec<i64>>());
+        assert_eq!(xs[7], 70);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let ambient = num_threads();
+        let inside = with_threads(5, num_threads);
+        assert_eq!(inside, 5);
+        assert_eq!(num_threads(), ambient);
+        // Nested overrides: innermost wins, outer restored.
+        with_threads(2, || {
+            assert_eq!(num_threads(), 2);
+            with_threads(3, || assert_eq!(num_threads(), 3));
+            assert_eq!(num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn gate_stays_serial_below_threshold() {
+        with_threads(8, || {
+            assert_eq!(gate(10, 100), 1);
+            assert_eq!(gate(100, 100), 8);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            map_range_with(2, 10, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

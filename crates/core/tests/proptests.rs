@@ -1,15 +1,21 @@
 //! Property-based tests for the foundation invariants the rest of the
 //! workspace depends on.
 
-use etsc_core::distance::{euclidean, squared_euclidean, znormalized_dist};
+use etsc_core::distance::{dot_product, euclidean, squared_euclidean, znormalized_dist};
 use etsc_core::dtw::{dtw_sq, envelope, lb_keogh_sq, lb_kim_sq};
+use etsc_core::nn::{distance_profile, distance_profile_naive, BatchProfile};
+use etsc_core::parallel;
 use etsc_core::stats::{mean, mean_std, std_dev, RunningStats};
-use etsc_core::znorm::{is_znormalized, znormalize};
+use etsc_core::znorm::{is_znormalized, znormalize, CONSTANT_EPS};
 use proptest::prelude::*;
 
 fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e3f64..1e3, len)
 }
+
+/// The worker counts every parallel-equivalence property is checked at:
+/// serial, even split, and an odd count that forces ragged chunks.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
 
 proptest! {
     #[test]
@@ -118,5 +124,145 @@ proptest! {
         let fast = znormalized_dist(&qz, x);
         let naive = euclidean(&qz, &znormalize(x));
         prop_assert!((fast - naive).abs() < 1e-5, "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn unrolled_kernels_reassociate_only(a in series(1..200), b in series(1..200)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let naive_dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        let naive_sq: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        // Inputs are up to 1e3 in magnitude and 200 long, so sums reach
+        // ~2e8; 1e-12 relative is the reassociation-only budget.
+        let scale = 1.0 + naive_dot.abs().max(naive_sq.abs());
+        prop_assert!((dot_product(a, b) - naive_dot).abs() <= 1e-12 * scale);
+        prop_assert!((squared_euclidean(a, b) - naive_sq).abs() <= 1e-12 * scale);
+    }
+}
+
+/// A haystack whose tail is a constant run, exercising the `CONSTANT_EPS`
+/// branch (constant windows z-normalize to all zeros, d² = m) alongside
+/// ordinary windows.
+fn haystack_with_constant_run() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 40..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rolling_profile_matches_naive_per_window_profile(
+        hay in haystack_with_constant_run(),
+        q in series(2..24),
+        run_start in 0usize..80,
+        level in -20.0f64..20.0,
+    ) {
+        let mut hay = hay;
+        // Plant a constant run somewhere in the haystack.
+        let run_start = run_start.min(hay.len().saturating_sub(1));
+        let run_end = (run_start + 30).min(hay.len());
+        hay[run_start..run_end].fill(level);
+        prop_assume!(q.len() <= hay.len());
+
+        let rolling = distance_profile(&q, &hay);
+        let naive = distance_profile_naive(&q, &hay);
+        prop_assert_eq!(rolling.len(), naive.len());
+        let m = q.len();
+        for (i, (r, n)) in rolling.iter().zip(&naive).enumerate() {
+            let window = &hay[i..i + m];
+            if window.iter().all(|&v| v == window[0]) {
+                // Exactly constant window: the engine applies the
+                // convention exactly (d = sqrt(m)); the naive reference's
+                // epsilon test can misclassify here (documented divergence
+                // on `distance_profile_naive`), so it is not the oracle.
+                prop_assert!((r - (m as f64).sqrt()).abs() < 1e-9, "window {i}: {r}");
+            } else {
+                prop_assert!((r - n).abs() < 1e-5, "window {i}: rolling {r} vs naive {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_profile_constant_windows_hit_eps_branch(
+        q in series(4..16),
+        level in -5.0f64..5.0,
+    ) {
+        // Fully constant haystack: every window takes the constant branch
+        // and the profile is exactly sqrt(m) everywhere (the z-normalization
+        // convention maps constant windows to all zeros, so d² = Σq̂² = m).
+        let hay = vec![level; q.len() + 20];
+        prop_assume!(std_dev(&q) > CONSTANT_EPS);
+        let rolling = distance_profile(&q, &hay);
+        let expect = (q.len() as f64).sqrt();
+        for r in &rolling {
+            prop_assert!((r - expect).abs() < 1e-9, "{r} vs sqrt(m) {expect}");
+        }
+    }
+
+    #[test]
+    fn profile_engine_parallel_is_bit_identical_to_serial(
+        hay in series(60..200),
+        q in series(2..24),
+    ) {
+        prop_assume!(q.len() <= hay.len());
+        let engine = BatchProfile::new(&hay);
+        let serial = engine.profile_with(1, &q);
+        for &t in &THREAD_COUNTS[1..] {
+            prop_assert_eq!(&engine.profile_with(t, &q), &serial, "threads {}", t);
+        }
+        // The ETSC_THREADS-driven entry points agree too.
+        for &t in &THREAD_COUNTS {
+            let via_env = parallel::with_threads(t, || engine.profile(&q));
+            prop_assert_eq!(&via_env, &serial, "with_threads({})", t);
+        }
+    }
+
+    #[test]
+    fn pruned_nearest_agrees_with_profile_argmin(
+        hay in haystack_with_constant_run(),
+        q in series(2..24),
+        trend in -0.5f64..0.5,
+    ) {
+        // Add a trend: the regime where a sloppy Cauchy–Schwarz bound would
+        // mis-prune.
+        let hay: Vec<f64> = hay.iter().enumerate().map(|(i, &v)| v + trend * i as f64).collect();
+        prop_assume!(q.len() <= hay.len());
+        let engine = BatchProfile::new(&hay);
+        let profile = engine.profile(&q);
+        let min = profile.iter().cloned().fold(f64::INFINITY, f64::min);
+        for &t in &THREAD_COUNTS {
+            let m = parallel::with_threads(t, || engine.nearest(&q)).unwrap();
+            // The winner's distance must be the profile minimum (the pruned
+            // scan may land on a different index only for exact ties).
+            prop_assert!((m.dist - min).abs() < 1e-9, "threads {}: {} vs {}", t, m.dist, min);
+            prop_assert!((profile[m.start] - min).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_primitives_match_serial_at_fixed_thread_counts(
+        xs in series(1..300),
+    ) {
+        let serial_map: Vec<f64> = xs.iter().map(|&x| x * 1.5 - 2.0).collect();
+        let serial_sq: Vec<f64> = xs.iter().map(|&x| x * x).collect();
+        for &t in &THREAD_COUNTS {
+            prop_assert_eq!(&parallel::map_with(t, &xs, |&x| x * 1.5 - 2.0), &serial_map);
+            prop_assert_eq!(
+                &parallel::map_range_with(t, xs.len(), |i| xs[i] * xs[i]),
+                &serial_sq
+            );
+            let mut mutated = xs.clone();
+            parallel::for_each_mut_with(t, &mut mutated, |x| *x += 1.0);
+            let expect: Vec<f64> = xs.iter().map(|&x| x + 1.0).collect();
+            prop_assert_eq!(&mutated, &expect);
+            let mut sliced = xs.clone();
+            parallel::for_each_slice_mut_with(t, &mut sliced, |off, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = xs[off + k] * 2.0;
+                }
+            });
+            let expect2: Vec<f64> = xs.iter().map(|&x| x * 2.0).collect();
+            prop_assert_eq!(&sliced, &expect2);
+        }
     }
 }

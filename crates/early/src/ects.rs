@@ -23,11 +23,18 @@
 //!   trusts every exemplar directly.
 
 use etsc_core::distance::squared_euclidean_early_abandon;
+use etsc_core::parallel;
 use etsc_core::stats::RunningStats;
 use etsc_core::znorm::CONSTANT_EPS;
 use etsc_core::{ClassLabel, UcrDataset};
 
 use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+
+/// Minimum total fit work (`n² × L` incremental updates) before the ECTS
+/// fit fans out to worker threads. The parallel sweep spawns once per fit
+/// but duplicates the symmetric half of the distance matrix, so it must
+/// clear both the ~10µs spawn cost and the 2× arithmetic before it pays.
+const PAR_MIN_FIT_WORK: usize = 1 << 20;
 
 /// ECTS hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -74,33 +81,29 @@ impl Ects {
 
         // 1NN index of every exemplar at every prefix length, by incremental
         // squared-distance accumulation: O(n^2 L) total.
-        let mut d2 = vec![vec![0.0f64; n]; n];
-        let mut nn_per_len: Vec<Vec<u32>> = Vec::with_capacity(len);
-        for l in 0..len {
-            for i in 0..n {
-                let xi = train.series(i)[l];
-                for j in (i + 1)..n {
-                    let d = xi - train.series(j)[l];
-                    let v = d2[i][j] + d * d;
-                    d2[i][j] = v;
-                    d2[j][i] = v;
-                }
-            }
-            let nn: Vec<u32> = (0..n)
-                .map(|i| {
-                    let mut best = usize::MAX;
-                    let mut best_d = f64::INFINITY;
-                    for j in 0..n {
-                        if j != i && d2[i][j] < best_d {
-                            best_d = d2[i][j];
-                            best = j;
-                        }
-                    }
-                    best as u32
-                })
-                .collect();
-            nn_per_len.push(nn);
-        }
+        //
+        // The serial path keeps one accumulator per unordered pair (the
+        // symmetric half-matrix, n²/2 work). The parallel path cannot spawn
+        // per prefix length — the length loop is a chain of barriers, and a
+        // scoped spawn costs ~10µs against microseconds of per-length work —
+        // so it slices *rows* across workers instead: each worker owns a
+        // contiguous block of exemplars and maintains its rows' distances to
+        // every other exemplar across the whole length sweep. That doubles
+        // the arithmetic (both (i,j) and (j,i) are computed) but needs ONE
+        // spawn round per fit and no synchronization, so it engages only
+        // when total work clears `PAR_MIN_FIT_WORK`. Per-(i,j) additions
+        // happen in the same order on both paths, so results are
+        // bit-identical at any thread count.
+        let rows: Vec<&[f64]> = (0..n).map(|i| train.series(i)).collect();
+        let threads = parallel::gate(n * n * len, PAR_MIN_FIT_WORK);
+        // `nn_per_len[l][i]` plus, for the support filter below, the
+        // full-length distance of every pair.
+        let (nn_per_len, d2_full) = if threads <= 1 {
+            Self::nn_sweep_serial(&rows, n, len)
+        } else {
+            Self::nn_sweep_rows(&rows, n, len, threads)
+        };
+        let d2_of = |a: usize, b: usize| -> f64 { d2_full[a * n + b] };
 
         let rnn_of = |l: usize, i: usize| -> Vec<usize> {
             nn_per_len[l]
@@ -111,14 +114,15 @@ impl Ects {
                 .collect()
         };
 
-        // Per-exemplar MPL by scanning down from full length.
+        // Per-exemplar MPL by scanning down from full length. Each
+        // exemplar's scan is independent (read-only over `nn_per_len`), so
+        // the sweep parallelizes cleanly in one spawn round.
         let full = len - 1;
-        let mut mpl = vec![len; n];
-        for i in 0..n {
+        let t = parallel::gate(n * n * len, PAR_MIN_FIT_WORK);
+        let mut mpl: Vec<usize> = parallel::map_range_with(t, n, |i| {
             let rnn_full = rnn_of(full, i);
             if rnn_full.is_empty() {
-                mpl[i] = len; // nobody points at e: no early support
-                continue;
+                return len; // nobody points at e: no early support
             }
             let stable_at = |l: usize| -> bool {
                 let r = rnn_of(l, i);
@@ -141,8 +145,8 @@ impl Ects {
                     break;
                 }
             }
-            mpl[i] = first_stable;
-        }
+            first_stable
+        });
 
         // Support filter + single-linkage same-class cluster fallback.
         if cfg.min_support > 0.0 {
@@ -181,8 +185,14 @@ impl Ects {
                     let next = (0..n)
                         .filter(|&j| train.label(j) == train.label(i) && !cluster.contains(&j))
                         .min_by(|&a, &b| {
-                            let da = cluster.iter().map(|&m| d2[m][a]).fold(f64::MAX, f64::min);
-                            let db = cluster.iter().map(|&m| d2[m][b]).fold(f64::MAX, f64::min);
+                            let da = cluster
+                                .iter()
+                                .map(|&m| d2_of(m, a))
+                                .fold(f64::MAX, f64::min);
+                            let db = cluster
+                                .iter()
+                                .map(|&m| d2_of(m, b))
+                                .fold(f64::MAX, f64::min);
                             da.partial_cmp(&db).unwrap()
                         });
                     match next {
@@ -208,6 +218,113 @@ impl Ects {
     /// The fitted minimum prediction lengths, indexed like the training set.
     pub fn mpls(&self) -> &[usize] {
         &self.mpl
+    }
+
+    /// Serial prefix-NN sweep: one accumulator per unordered pair (the
+    /// symmetric half-matrix). Returns `nn_per_len[l][i]` and the flattened
+    /// full-length distance matrix `d2[i·n + j]`.
+    fn nn_sweep_serial(rows: &[&[f64]], n: usize, len: usize) -> (Vec<Vec<u32>>, Vec<f64>) {
+        let n_pairs = n * (n - 1) / 2;
+        // Index of unordered pair (i, j), i < j, in lexicographic order.
+        let pair_idx = |i: usize, j: usize| -> usize { i * (2 * n - i - 1) / 2 + (j - i - 1) };
+        let mut d2p = vec![0.0f64; n_pairs];
+        let mut nn_per_len: Vec<Vec<u32>> = Vec::with_capacity(len);
+        for l in 0..len {
+            let mut p = 0usize;
+            for i in 0..n {
+                let xi = rows[i][l];
+                for j in (i + 1)..n {
+                    let d = xi - rows[j][l];
+                    d2p[p] += d * d;
+                    p += 1;
+                }
+            }
+            let nn: Vec<u32> = (0..n)
+                .map(|i| {
+                    let mut best = usize::MAX;
+                    let mut best_d = f64::INFINITY;
+                    for j in 0..n {
+                        if j != i {
+                            let d = d2p[pair_idx(i.min(j), i.max(j))];
+                            if d < best_d {
+                                best_d = d;
+                                best = j;
+                            }
+                        }
+                    }
+                    best as u32
+                })
+                .collect();
+            nn_per_len.push(nn);
+        }
+        let mut d2_full = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = d2p[pair_idx(i, j)];
+                d2_full[i * n + j] = d;
+                d2_full[j * n + i] = d;
+            }
+        }
+        (nn_per_len, d2_full)
+    }
+
+    /// Parallel prefix-NN sweep: rows sliced across workers. Each worker
+    /// owns a contiguous block of exemplars and maintains its rows'
+    /// distances to *every* exemplar across the whole length sweep — the
+    /// symmetric half is computed twice, but the fit needs exactly one
+    /// spawn round and no per-length barrier. `(a−b)²` and `(b−a)²` are
+    /// bit-equal in IEEE 754 and the 1NN scan order is unchanged, so the
+    /// result is identical to [`Self::nn_sweep_serial`].
+    fn nn_sweep_rows(
+        rows: &[&[f64]],
+        n: usize,
+        len: usize,
+        threads: usize,
+    ) -> (Vec<Vec<u32>>, Vec<f64>) {
+        let ranges = parallel::chunk_ranges(n, threads);
+        let results = parallel::map_with(threads, &ranges, |r| {
+            let rn = r.len();
+            let mut d2 = vec![0.0f64; rn * n];
+            let mut nn_rows: Vec<Vec<u32>> = Vec::with_capacity(len);
+            for l in 0..len {
+                for (li, i) in r.clone().enumerate() {
+                    let xi = rows[i][l];
+                    let row = &mut d2[li * n..(li + 1) * n];
+                    for (j, acc) in row.iter_mut().enumerate() {
+                        let d = xi - rows[j][l];
+                        *acc += d * d;
+                    }
+                }
+                let nn: Vec<u32> = r
+                    .clone()
+                    .enumerate()
+                    .map(|(li, i)| {
+                        let row = &d2[li * n..(li + 1) * n];
+                        let mut best = usize::MAX;
+                        let mut best_d = f64::INFINITY;
+                        for (j, &d) in row.iter().enumerate() {
+                            if j != i && d < best_d {
+                                best_d = d;
+                                best = j;
+                            }
+                        }
+                        best as u32
+                    })
+                    .collect();
+                nn_rows.push(nn);
+            }
+            (d2, nn_rows)
+        });
+        let mut nn_per_len: Vec<Vec<u32>> = (0..len).map(|_| Vec::with_capacity(n)).collect();
+        let mut d2_full = vec![0.0f64; n * n];
+        for (range, (d2, nn_rows)) in ranges.iter().zip(results) {
+            for (l, nn) in nn_rows.into_iter().enumerate() {
+                nn_per_len[l].extend(nn);
+            }
+            let rn = range.len();
+            d2_full[range.start * n..range.start * n + rn * n].copy_from_slice(&d2);
+        }
+        (nn_per_len, d2_full)
     }
 
     /// 1NN among training prefixes of the query's length.

@@ -17,7 +17,7 @@
 //! incoming prefix is scanned; the first feature whose best-match distance
 //! drops below its δ fires a prediction.
 
-use etsc_core::distance::{squared_euclidean, squared_euclidean_early_abandon};
+use etsc_core::distance::squared_euclidean_early_abandon;
 use etsc_core::stats::mean_std;
 use etsc_core::{ClassLabel, UcrDataset};
 
@@ -374,9 +374,18 @@ impl DecisionSession for EdscSession<'_> {
                 continue;
             }
             let start = self.buf.len() - m;
-            let d = squared_euclidean(&f.pattern, &self.buf[start..]).sqrt();
-            if d < *best {
-                *best = d;
+            // Same serial left-to-right accumulation as `decide`'s
+            // `best_match_dist` (the unrolled `squared_euclidean`
+            // reassociates and would drift a ulp), with the current best as
+            // the abandonment cutoff: abandoned windows satisfy d > best
+            // exactly, so the best-distance evolution is bit-identical.
+            if let Some(d2) =
+                squared_euclidean_early_abandon(&f.pattern, &self.buf[start..], *best * *best)
+            {
+                let d = d2.sqrt();
+                if d < *best {
+                    *best = d;
+                }
             }
         }
         // First feature (utility order) whose best window clears its

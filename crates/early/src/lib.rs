@@ -57,8 +57,16 @@ pub mod teaser;
 pub mod template;
 pub mod threshold;
 
+use etsc_core::parallel;
 use etsc_core::znorm::znormalize_in_place;
 use etsc_core::ClassLabel;
+
+/// Minimum number of concurrent sessions before a one-sample fan-out
+/// ([`MultiSession::push_all`]) is worth worker threads. The spawn round
+/// paid on *every* push costs ~10µs per worker, while a typical incremental
+/// push is single-digit microseconds (and O(1) bookkeeping once latched),
+/// so the fleet must be in the hundreds before fan-out wins.
+pub(crate) const PAR_MIN_SESSIONS: usize = 512;
 
 /// The two largest values of a probability vector `(best, second)`, both
 /// 0.0-floored — the margin primitive RelClass, ECDIRE, and the stopping
@@ -186,7 +194,13 @@ pub enum SessionNorm {
 /// `push` returns the same `Predict` without recomputation. The first
 /// commit is *the* early classification; callers wanting a fresh judgment
 /// open a new session (or [`reset`](Self::reset) this one).
-pub trait DecisionSession {
+///
+/// `Send` is a supertrait so boxed sessions can be serviced by worker
+/// threads ([`MultiSession::push_all`] and the stream monitor fan one
+/// sample out to many sessions in parallel; see `etsc_core::parallel`).
+/// Sessions hold owned running state plus a shared reference to their
+/// `Sync` model, so every implementor satisfies it automatically.
+pub trait DecisionSession: Send {
     /// Consume one sample; returns the decision for the prefix so far.
     fn push(&mut self, x: f64) -> Decision;
 
@@ -221,7 +235,12 @@ pub trait DecisionSession {
 /// session; `session` replays `decide` on a buffered prefix). Providing
 /// neither recurses; providing both — a stateless definition plus an
 /// incremental one — is the fast path every algorithm in this crate takes.
-pub trait EarlyClassifier {
+///
+/// `Sync` is a supertrait so one fitted model can serve many sessions from
+/// many worker threads concurrently (the parallel monitor and batch-eval
+/// paths). Fitted models are plain data, so every implementor satisfies it
+/// automatically.
+pub trait EarlyClassifier: Sync {
     /// Number of classes fitted.
     fn n_classes(&self) -> usize;
 
@@ -412,11 +431,28 @@ impl<'a> MultiSession<'a> {
     /// stream the sink receives `(key, decision, committed_now)`, where
     /// `committed_now` is true exactly on the push that turned the stream's
     /// decision into a `Predict` (sessions latch afterwards).
+    ///
+    /// With enough open streams the pushes fan out across worker threads
+    /// (`etsc_core::parallel`, gated so small fleets stay on the cheap
+    /// serial path); the sink still runs on the calling thread in `open`
+    /// order, so observable behavior is identical.
     pub fn push_all(&mut self, x: f64, mut sink: impl FnMut(u64, Decision, bool)) {
-        for (key, session) in self.slots.iter_mut() {
+        let threads = parallel::gate(self.slots.len(), PAR_MIN_SESSIONS);
+        if threads <= 1 {
+            for (key, session) in self.slots.iter_mut() {
+                let was_committed = session.decision().is_predict();
+                let decision = session.push(x);
+                sink(*key, decision, decision.is_predict() && !was_committed);
+            }
+            return;
+        }
+        let outcomes = parallel::map_mut_with(threads, &mut self.slots, |(key, session)| {
             let was_committed = session.decision().is_predict();
             let decision = session.push(x);
-            sink(*key, decision, decision.is_predict() && !was_committed);
+            (*key, decision, decision.is_predict() && !was_committed)
+        });
+        for (key, decision, committed_now) in outcomes {
+            sink(key, decision, committed_now);
         }
     }
 

@@ -23,6 +23,7 @@
 use etsc_classifiers::centroid::NearestCentroid;
 use etsc_classifiers::weasel::{Weasel, WeaselConfig};
 use etsc_classifiers::{argmax, Classifier};
+use etsc_core::parallel;
 use etsc_core::znorm::{znormalize, znormalize_in_place};
 use etsc_core::{ClassLabel, UcrDataset};
 
@@ -256,8 +257,11 @@ impl Teaser {
             }
         };
 
-        let mut snapshots = Vec::with_capacity(lengths.len());
-        for &l in &lengths {
+        // Each snapshot's slave + master fit depends only on (train, l), so
+        // the fits — the dominant cost of TEASER training — run one per
+        // worker thread (`etsc_core::parallel`; results are collected in
+        // length order, identical to the serial loop).
+        let snapshots = parallel::map(&lengths, |&l| {
             // Slave training set: honest prefixes of length l.
             let prefixes: Vec<Vec<f64>> = train.iter().map(|(s, _)| normalize(&s[..l])).collect();
             let prefix_ds = UcrDataset::new(prefixes.clone(), train.labels().to_vec())
@@ -296,12 +300,12 @@ impl Teaser {
             } else {
                 None
             };
-            snapshots.push(Snapshot {
+            Snapshot {
                 len: l,
                 slave,
                 master,
-            });
-        }
+            }
+        });
 
         let mut teaser = Self {
             snapshots,
@@ -346,14 +350,25 @@ impl Teaser {
 
     /// Grid-search the consistency requirement on the training set,
     /// maximizing the harmonic mean of accuracy and earliness.
+    ///
+    /// Each candidate `v` simulates every training exemplar independently;
+    /// the simulations fan out across worker threads and the tallies fold
+    /// serially in exemplar order, so the selection is thread-count
+    /// invariant. Gated on the training size: one spawn round per `v` only
+    /// pays off once there are dozens of simulations to amortize it over.
     fn select_v(&self, train: &UcrDataset, max_v: usize) -> usize {
+        let threads = parallel::gate(train.len(), 32);
         let mut best = (1usize, f64::NEG_INFINITY);
         for v in 1..=max_v.max(1) {
+            let outcomes: Vec<(bool, usize)> =
+                parallel::map_range_with(threads, train.len(), |i| {
+                    let (pred, used) = self.simulate(train.series(i), v);
+                    (pred == train.label(i), used)
+                });
             let mut correct = 0usize;
             let mut earliness_sum = 0.0;
-            for (s, label) in train.iter() {
-                let (pred, used) = self.simulate(s, v);
-                if pred == label {
+            for (ok, used) in outcomes {
+                if ok {
                     correct += 1;
                 }
                 earliness_sum += used as f64 / self.series_len as f64;

@@ -33,6 +33,13 @@
 use etsc_core::ClassLabel;
 use etsc_early::{DecisionSession, EarlyClassifier, SessionNorm};
 
+/// Minimum live-anchor count before the per-sample fan-out is worth worker
+/// threads. The spawn round paid on *every* sample costs ~10µs per worker
+/// against single-digit-microsecond pushes (O(1) bookkeeping once a session
+/// latches), so only dense anchor populations — small strides over long
+/// patterns — clear it.
+const PAR_MIN_ANCHORS: usize = 512;
+
 /// Normalization applied to each anchored prefix before classification.
 ///
 /// Deliberately **no oracle option**: a deployment cannot standardize a
@@ -143,10 +150,15 @@ impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
 
         // One push per live session (committed sessions are latched: their
         // pushes are O(1) bookkeeping while they wait to fire or be
-        // suppressed below).
-        for (_, session) in self.anchors.iter_mut() {
+        // suppressed below). With a dense anchor population the pushes fan
+        // out across worker threads (`etsc_core::parallel`, honoring
+        // `ETSC_THREADS`); sessions are independent, so decisions are
+        // identical to the serial sweep, and the gate keeps small
+        // populations on the cheap serial path.
+        let threads = etsc_core::parallel::gate(self.anchors.len(), PAR_MIN_ANCHORS);
+        etsc_core::parallel::for_each_mut_with(threads, &mut self.anchors, |(_, session)| {
             session.push(x);
-        }
+        });
 
         // At most one alarm per sample: the oldest committed anchor fires,
         // if the monitor is outside its refractory period. Further anchors

@@ -98,6 +98,54 @@
 //! let alarms = monitor.run(&background);
 //! assert!(alarms.len() <= 500);
 //! ```
+//!
+//! ## Subsequence search and the threading model
+//!
+//! Long-stream search (the Fig 5 homophone hunt, Fig 8's 500 dustbathing
+//! neighbors) runs on [`core::nn::BatchProfile`]: build the engine once per
+//! haystack — a single cumulative-statistics pass
+//! ([`core::nn::CumStats`]) makes every window's mean/std O(1) — then issue
+//! as many queries as you like. Per query the only O(m) work left is a
+//! blocked, SIMD-dispatched dot product;
+//! [`nearest`](core::nn::BatchProfile::nearest) additionally prunes windows
+//! that cannot beat the best match so far via the dot-product identity.
+//! The free functions ([`core::nn::distance_profile`], …) wrap a throwaway
+//! engine for one-shot calls, and
+//! [`core::nn::select_within`] / [`core::nn::select_top_k`] re-select
+//! matches from an existing profile so threshold sweeps don't rescan.
+//!
+//! Heavy stages fan out across worker threads via [`core::parallel`] — the
+//! profile engine (haystack chunks), the ECTS pairwise fit, TEASER's
+//! per-snapshot fits, batch evaluation, and multi-anchor stream servicing.
+//! The worker count comes from the `ETSC_THREADS` environment variable
+//! (default: all cores; `1` = fully serial), and parallelism is a pure
+//! performance knob: work is split into contiguous chunks and stitched in
+//! input order, every per-item computation is identical to the serial
+//! loop, and there are no atomics or reduction-order races — results are
+//! **bit-identical at any thread count** (the `parallel_equivalence`
+//! integration tests pin this at 1, 2, and 7 workers).
+//!
+//! ```
+//! use etsc::core::nn::BatchProfile;
+//! use etsc::core::parallel;
+//!
+//! // One engine, many queries: the haystack statistics pass runs once.
+//! let haystack: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.1).sin()).collect();
+//! let needle: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).sin()).collect();
+//! let other: Vec<f64> = (0..50).map(|i| (i as f64 * 0.23).cos()).collect();
+//!
+//! let engine = BatchProfile::new(&haystack);
+//! let profiles = engine.profiles(&[&needle, &other]);
+//! assert_eq!(profiles[0].len(), haystack.len() - needle.len() + 1);
+//!
+//! // The planted shape matches (z-normalized distance ~ 0)...
+//! let hit = engine.nearest(&needle).unwrap();
+//! assert!(hit.dist < 1e-6);
+//! // ...and the worker count never changes results, only wall-clock.
+//! let serial = parallel::with_threads(1, || engine.profile(&needle));
+//! let parallel = parallel::with_threads(4, || engine.profile(&needle));
+//! assert_eq!(serial, parallel);
+//! ```
 
 pub use etsc_audit as audit;
 pub use etsc_classifiers as classifiers;
