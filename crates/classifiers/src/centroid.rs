@@ -124,6 +124,112 @@ impl ScoreSession for CentroidScoreSession<'_> {
     }
 }
 
+/// Incremental per-sample scorer for the **per-prefix z-normalized** view
+/// of the pushed samples (the [`Classifier::score_session_znorm`] substrate
+/// for [`NearestCentroid`]).
+///
+/// Writing the normalized sample as `ẑᵢ = u·xᵢ − v` (`u = 1/σ_p`,
+/// `v = μ_p/σ_p`, prefix statistics `μ_p, σ_p`), the squared distance to a
+/// centroid prefix `c` expands through the dot identity into
+///
+/// ```text
+/// ‖ẑ − c‖² = u²·Σx² − 2u·(v·Σx + Σx·c) + (n·v² + 2v·Σc + Σc²)
+/// ```
+///
+/// so each arriving sample costs one running-sum update per class and a
+/// *change of prefix normalization* — which rescales every past coordinate
+/// — is a closed-form re-evaluation, not a replay. Probabilities track the
+/// batch `predict_proba(&znormalize(prefix))` to floating-point
+/// reassociation tolerance (~1e-9); the normalization constants themselves
+/// are maintained with the same `Σx`/`Σx²` accumulation order as
+/// `etsc_core::stats::mean_std`, so the constant-prefix branch (all-zeros
+/// convention) is taken exactly when the batch path takes it.
+#[derive(Debug)]
+pub struct CentroidZnormScoreSession<'a> {
+    model: &'a NearestCentroid,
+    /// Running Σx / Σx² of the raw samples (uncapped; the batch path
+    /// normalizes the whole buffer before truncating to the centroid
+    /// length).
+    s1: f64,
+    s2: f64,
+    /// Per-class Σ xᵢ·cᵢ over observed coordinates (capped at centroid
+    /// length).
+    sxc: Vec<f64>,
+    /// Per-class Σ cᵢ and Σ cᵢ² over observed coordinates.
+    sc: Vec<f64>,
+    scc: Vec<f64>,
+    /// Σx / Σx² capped at the centroid length (the coordinates that
+    /// participate in the distance).
+    s1_cap: f64,
+    s2_cap: f64,
+    len: usize,
+}
+
+impl ScoreSession for CentroidZnormScoreSession<'_> {
+    fn push(&mut self, x: f64) {
+        self.s1 += x;
+        self.s2 += x * x;
+        if self.len < self.model.centroids[0].len() {
+            self.s1_cap += x;
+            self.s2_cap += x * x;
+            for (c, centroid) in self.model.centroids.iter().enumerate() {
+                let ci = centroid[self.len];
+                self.sxc[c] += x * ci;
+                self.sc[c] += ci;
+                self.scc[c] += ci * ci;
+            }
+        }
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn predict_proba_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.sxc.len());
+        let n = self.len.min(self.model.centroids[0].len()).max(1);
+        let root_n = (n as f64).sqrt();
+        // Normalization parameters of the *whole* prefix (uncapped sums),
+        // matching `znormalize` of the full buffer; `(0, 0)` maps a
+        // constant prefix to all zeros, the batch convention.
+        let (u, v) = if self.len == 0 {
+            (0.0, 0.0)
+        } else {
+            let nn = self.len as f64;
+            let mean = self.s1 / nn;
+            let var = (self.s2 / nn - mean * mean).max(0.0);
+            let sd = var.sqrt();
+            if sd <= etsc_core::znorm::CONSTANT_EPS {
+                (0.0, 0.0)
+            } else {
+                (1.0 / sd, mean / sd)
+            }
+        };
+        let nf = n as f64;
+        for (o, ((&sxc, &sc), &scc)) in out
+            .iter_mut()
+            .zip(self.sxc.iter().zip(&self.sc).zip(&self.scc))
+        {
+            let d2 = u * u * self.s2_cap - 2.0 * u * (v * self.s1_cap + sxc)
+                + (nf * v * v + 2.0 * v * sc + scc);
+            *o = d2.max(0.0).sqrt() / root_n;
+        }
+        self.model.softmax_distances_in_place(out);
+    }
+
+    fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+        self.sxc.fill(0.0);
+        self.sc.fill(0.0);
+        self.scc.fill(0.0);
+        self.s1_cap = 0.0;
+        self.s2_cap = 0.0;
+        self.len = 0;
+    }
+}
+
 impl Classifier for NearestCentroid {
     fn n_classes(&self) -> usize {
         self.centroids.len()
@@ -149,6 +255,21 @@ impl Classifier for NearestCentroid {
         Some(Box::new(CentroidScoreSession {
             model: self,
             sq: vec![0.0; self.centroids.len()],
+            len: 0,
+        }))
+    }
+
+    fn score_session_znorm(&self) -> Option<Box<dyn ScoreSession + '_>> {
+        let k = self.centroids.len();
+        Some(Box::new(CentroidZnormScoreSession {
+            model: self,
+            s1: 0.0,
+            s2: 0.0,
+            sxc: vec![0.0; k],
+            sc: vec![0.0; k],
+            scc: vec![0.0; k],
+            s1_cap: 0.0,
+            s2_cap: 0.0,
             len: 0,
         }))
     }
@@ -209,6 +330,37 @@ mod tests {
         let mut out = [0.0; 2];
         m.predict_proba_into(&probe, &mut out);
         assert_eq!(out.to_vec(), m.predict_proba(&probe));
+    }
+
+    #[test]
+    fn znorm_score_session_tracks_batch_on_normalized_prefixes() {
+        use etsc_core::znorm::znormalize;
+        let m = NearestCentroid::fit(&toy());
+        let mut s = m.score_session_znorm().expect("centroid has a znorm form");
+        // Constant head (exercises the all-zeros convention), varied tail,
+        // longer than the centroids (exercises the truncation cap).
+        let probe = [2.0, 2.0, 2.0, 5.0, -1.0, 7.0];
+        let mut out = [0.0; 2];
+        for (i, &x) in probe.iter().enumerate() {
+            s.push(x);
+            s.predict_proba_into(&mut out);
+            let batch = m.predict_proba(&znormalize(&probe[..i + 1]));
+            for c in 0..2 {
+                assert!(
+                    (out[c] - batch[c]).abs() <= 1e-9,
+                    "prefix {}: {:?} vs {:?}",
+                    i + 1,
+                    out,
+                    batch
+                );
+            }
+        }
+        s.reset();
+        assert!(s.is_empty());
+        s.push(probe[0]);
+        s.predict_proba_into(&mut out);
+        let batch = m.predict_proba(&znormalize(&probe[..1]));
+        assert!((out[0] - batch[0]).abs() <= 1e-9, "reset session replays");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use etsc_core::{ClassLabel, UcrDataset};
 
-use crate::linalg::{covariance, Cholesky, Matrix};
+use crate::linalg::{covariance, Cholesky};
 use crate::{Classifier, ScoreSession};
 
 const LN_2PI: f64 = 1.8378770664093453;
@@ -32,11 +32,35 @@ pub enum CovarianceKind {
 struct ClassGaussian {
     mean: Vec<f64>,
     /// Diagonal variances (always kept; the Full kind uses it as a fallback
-    /// when a prefix submatrix fails to factor).
+    /// when the covariance fails to factor).
     var: Vec<f64>,
-    /// Full covariance, if requested.
-    cov: Option<Matrix>,
+    /// Full kind: the covariance's Cholesky factor plus precomputed whitened
+    /// vectors, factored once at fit time. `None` when the (ridge-
+    /// regularized) covariance is not positive definite; the class then
+    /// falls back to its diagonal marginal at every prefix length.
+    full: Option<FullFactor>,
     prior: f64,
+}
+
+/// Precomputed full-covariance machinery for one class.
+///
+/// The Cholesky algorithm fills `L` row by row, so the leading `t × t` block
+/// of `L` is bit-identical to factoring the leading principal submatrix
+/// directly (see [`Cholesky`]). One factorization therefore serves every
+/// prefix length: prefix log-likelihoods become one forward substitution
+/// (`‖L_t⁻¹(x − μ)‖²`), and *incremental* sessions extend that substitution
+/// one row per arriving sample.
+#[derive(Debug, Clone)]
+struct FullFactor {
+    chol: Cholesky,
+    /// `L⁻¹·𝟙` — the whitened all-ones vector. Per-prefix z-normalization
+    /// shifts every coordinate by the same `μ/σ`, and whitening is linear,
+    /// so the whitened view of a z-normalized prefix decomposes over this
+    /// vector (see [`GaussianZnormSession`]).
+    white_ones: Vec<f64>,
+    /// `L⁻¹·μ_c` — the whitened class mean, the constant part of the same
+    /// decomposition.
+    white_mean: Vec<f64>,
 }
 
 /// Gaussian class-conditional model over fixed-length series, supporting
@@ -90,14 +114,28 @@ impl GaussianModel {
             }
             var.iter_mut().for_each(|v| *v = v.max(VAR_FLOOR));
 
-            let cov = match kind {
-                CovarianceKind::Full => Some(covariance(&members, &mean, RIDGE)),
+            let full = match kind {
+                CovarianceKind::Full => {
+                    let cov = covariance(&members, &mean, RIDGE);
+                    Cholesky::new(&cov).map(|chol| {
+                        let ones = vec![1.0; len];
+                        let mut white_ones = Vec::with_capacity(len);
+                        chol.forward_solve_leading(&ones, &mut white_ones);
+                        let mut white_mean = Vec::with_capacity(len);
+                        chol.forward_solve_leading(&mean, &mut white_mean);
+                        FullFactor {
+                            chol,
+                            white_ones,
+                            white_mean,
+                        }
+                    })
+                }
                 _ => None,
             };
             classes.push(ClassGaussian {
                 mean,
                 var,
-                cov,
+                full,
                 prior: count as f64 / n_total,
             });
         }
@@ -129,36 +167,32 @@ impl GaussianModel {
 
     /// Log-likelihood of the prefix `x` (length ≤ series_len) under class
     /// `c`'s marginal Gaussian.
+    ///
+    /// The Full kind evaluates against the covariance's Cholesky factor
+    /// computed once at fit time (its leading block factors every prefix
+    /// marginal), as `‖L_t⁻¹(x − μ)‖²` — the same term order the
+    /// incremental [`GaussianLikelihoodSession`] accumulates, so the two
+    /// paths agree bit for bit. A class whose regularized covariance failed
+    /// to factor falls back to its diagonal marginal at every prefix length.
     pub fn log_likelihood_prefix(&self, c: ClassLabel, x: &[f64]) -> f64 {
         let t = x.len().min(self.series_len);
         let cg = &self.classes[c];
-        match self.kind {
-            CovarianceKind::Diagonal | CovarianceKind::PooledDiagonal => {
+        match (self.kind, &cg.full) {
+            (CovarianceKind::Full, Some(f)) => {
+                let diff: Vec<f64> = (0..t).map(|i| x[i] - cg.mean[i]).collect();
+                -0.5 * (t as f64 * LN_2PI
+                    + f.chol.log_det_leading(t)
+                    + f.chol.mahalanobis_sq_leading(&diff))
+            }
+            // Diagonal kinds, and the regularized fallback for a Full class
+            // with an unfactorable covariance.
+            _ => {
                 let mut ll = 0.0;
                 for i in 0..t {
                     let d = x[i] - cg.mean[i];
                     ll += -0.5 * (LN_2PI + cg.var[i].ln() + d * d / cg.var[i]);
                 }
                 ll
-            }
-            CovarianceKind::Full => {
-                let cov = cg.cov.as_ref().expect("Full kind stores covariance");
-                let sub = cov.leading_principal(t);
-                match Cholesky::new(&sub) {
-                    Some(ch) => {
-                        let diff: Vec<f64> = (0..t).map(|i| x[i] - cg.mean[i]).collect();
-                        -0.5 * (t as f64 * LN_2PI + ch.log_det() + ch.quadratic_form(&diff))
-                    }
-                    None => {
-                        // Regularized fallback: diagonal marginal.
-                        let mut ll = 0.0;
-                        for i in 0..t {
-                            let d = x[i] - cg.mean[i];
-                            ll += -0.5 * (LN_2PI + cg.var[i].ln() + d * d / cg.var[i]);
-                        }
-                        ll
-                    }
-                }
             }
         }
     }
@@ -189,36 +223,67 @@ impl GaussianModel {
         self.classes[c].prior
     }
 
-    /// Open an incremental per-class log-likelihood accumulator, if the
-    /// covariance structure decomposes per coordinate (diagonal or pooled
-    /// diagonal). `Full` covariance couples coordinates through the
-    /// Cholesky factor of the growing principal submatrix, so it returns
-    /// `None` and callers rescore whole prefixes.
-    pub fn likelihood_session(&self) -> Option<GaussianLikelihoodSession<'_>> {
-        match self.kind {
-            CovarianceKind::Diagonal | CovarianceKind::PooledDiagonal => {
-                Some(GaussianLikelihoodSession {
-                    model: self,
-                    ll: vec![0.0; self.classes.len()],
-                    len: 0,
-                })
-            }
-            CovarianceKind::Full => None,
+    /// Open an incremental per-class log-likelihood accumulator.
+    ///
+    /// Every covariance kind is supported. Diagonal kinds accumulate the
+    /// per-coordinate likelihood sum at O(classes) per sample. The Full
+    /// kind extends each class's forward substitution `L_t⁻¹(x − μ)` by one
+    /// row per sample — O(classes × prefix) per sample, against
+    /// O(classes × prefix²) for rescoring the whole prefix (and
+    /// O(classes × prefix³) for refactoring its covariance marginal).
+    pub fn likelihood_session(&self) -> GaussianLikelihoodSession<'_> {
+        GaussianLikelihoodSession {
+            full: match self.kind {
+                CovarianceKind::Full => self
+                    .classes
+                    .iter()
+                    .map(|cg| {
+                        cg.full.as_ref().map(|_| FullClassState {
+                            diff: Vec::with_capacity(self.series_len),
+                            y: Vec::with_capacity(self.series_len),
+                            q: 0.0,
+                            sum_ln: 0.0,
+                        })
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            },
+            model: self,
+            ll: vec![0.0; self.classes.len()],
+            len: 0,
         }
     }
 }
 
-/// Running per-class log-likelihood of a growing prefix under a diagonal
+/// Per-class whitening state of a Full-covariance likelihood session: the
+/// growing residual `x − μ`, its forward substitution `y = L_t⁻¹(x − μ)`
+/// (extended one row per sample — triangular solves are incremental), and
+/// the running `‖y‖²` / `Σ ln L_ii` the log-density is assembled from.
+#[derive(Debug, Clone)]
+struct FullClassState {
+    diff: Vec<f64>,
+    y: Vec<f64>,
+    q: f64,
+    sum_ln: f64,
+}
+
+/// Running per-class log-likelihood of a growing prefix under a
 /// [`GaussianModel`]. After pushing `x1..xt`,
 /// [`log_likelihoods`](Self::log_likelihoods)`[c]` equals
-/// [`GaussianModel::log_likelihood_prefix`]`(c, &[x1..xt])` exactly — the
-/// diagonal likelihood is a per-coordinate sum accumulated in the same
-/// order — at O(classes) per sample instead of O(classes × prefix).
+/// [`GaussianModel::log_likelihood_prefix`]`(c, &[x1..xt])` **exactly**, for
+/// every covariance kind: the diagonal likelihood is a per-coordinate sum
+/// accumulated in the same order, and the full-covariance likelihood is
+/// assembled from the same forward-substitution rows, squared and summed in
+/// the same order, as the batch path.
 #[derive(Debug, Clone)]
 pub struct GaussianLikelihoodSession<'a> {
     model: &'a GaussianModel,
     ll: Vec<f64>,
     len: usize,
+    /// Full kind only: one whitening state per class (`None` entries are
+    /// classes whose covariance failed to factor; they use the diagonal
+    /// fallback, mirroring the batch path). Empty for diagonal kinds.
+    full: Vec<Option<FullClassState>>,
 }
 
 impl GaussianLikelihoodSession<'_> {
@@ -227,9 +292,30 @@ impl GaussianLikelihoodSession<'_> {
     pub fn push(&mut self, x: f64) {
         if self.len < self.model.series_len {
             let i = self.len;
-            for (acc, cg) in self.ll.iter_mut().zip(&self.model.classes) {
-                let d = x - cg.mean[i];
-                *acc += -0.5 * (LN_2PI + cg.var[i].ln() + d * d / cg.var[i]);
+            if self.model.kind == CovarianceKind::Full {
+                for (c, (state, cg)) in self.full.iter_mut().zip(&self.model.classes).enumerate() {
+                    match (state, &cg.full) {
+                        (Some(s), Some(f)) => {
+                            s.diff.push(x - cg.mean[i]);
+                            f.chol.forward_solve_leading(&s.diff, &mut s.y);
+                            let yi = s.y[i];
+                            s.q += yi * yi;
+                            s.sum_ln += f.chol.l_diag(i).ln();
+                            self.ll[c] = -0.5 * ((i + 1) as f64 * LN_2PI + s.sum_ln * 2.0 + s.q);
+                        }
+                        _ => {
+                            // Unfactorable class: diagonal marginal, exactly
+                            // as the batch fallback.
+                            let d = x - cg.mean[i];
+                            self.ll[c] += -0.5 * (LN_2PI + cg.var[i].ln() + d * d / cg.var[i]);
+                        }
+                    }
+                }
+            } else {
+                for (acc, cg) in self.ll.iter_mut().zip(&self.model.classes) {
+                    let d = x - cg.mean[i];
+                    *acc += -0.5 * (LN_2PI + cg.var[i].ln() + d * d / cg.var[i]);
+                }
             }
         }
         self.len += 1;
@@ -265,6 +351,12 @@ impl GaussianLikelihoodSession<'_> {
     pub fn reset(&mut self) {
         self.ll.fill(0.0);
         self.len = 0;
+        for state in self.full.iter_mut().flatten() {
+            state.diff.clear();
+            state.y.clear();
+            state.q = 0.0;
+            state.sum_ln = 0.0;
+        }
     }
 }
 
@@ -286,6 +378,312 @@ impl ScoreSession for GaussianLikelihoodSession<'_> {
     }
 }
 
+impl GaussianModel {
+    /// Open an incremental accumulator for the per-class log-likelihood of
+    /// the **per-prefix z-normalized** view of a growing prefix: after
+    /// pushing `x1..xt`, its log-likelihoods track
+    /// `log_likelihood_prefix(c, &znormalize(&[x1..xt]))` (to documented
+    /// floating-point tolerance — see [`GaussianZnormSession`]) at O(classes)
+    /// per sample for diagonal kinds and O(classes × prefix) for Full,
+    /// instead of renormalizing and rescoring the whole prefix.
+    pub fn znorm_likelihood_session(&self) -> GaussianZnormSession<'_> {
+        GaussianZnormSession {
+            classes: self
+                .classes
+                .iter()
+                .map(|cg| match (self.kind, &cg.full) {
+                    (CovarianceKind::Full, Some(_)) => ZnormClassState::Full {
+                        p: Vec::with_capacity(self.series_len),
+                        pp: 0.0,
+                        rr: 0.0,
+                        ss: 0.0,
+                        pr: 0.0,
+                        ps: 0.0,
+                        rs: 0.0,
+                        sum_ln: 0.0,
+                    },
+                    _ => ZnormClassState::Diag(DiagZnormSums::default()),
+                })
+                .collect(),
+            raw: Vec::with_capacity(match self.kind {
+                CovarianceKind::Full => self.series_len,
+                _ => 0,
+            }),
+            model: self,
+            s1: 0.0,
+            s2: 0.0,
+            len: 0,
+        }
+    }
+}
+
+/// The six running sums of the per-prefix z-norm algebra for one class
+/// under a diagonal covariance, all weighted by the inverse variances
+/// `1/σ²_ci`, plus the (prefix-cumulative) log-determinant.
+///
+/// Writing the z-normalized sample as `ẑᵢ = u·xᵢ − v` with `u = 1/σ_p`,
+/// `v = μ_p/σ_p` (prefix statistics `μ_p, σ_p`), the class-`c` Mahalanobis
+/// sum expands to
+///
+/// ```text
+/// Σ (ẑᵢ−mᵢ)²/σ²_ci = u²·Sxx − 2u·(v·Sx + Sxm) + v²·S1 + 2v·Sm + Smm
+/// ```
+///
+/// so a *change of prefix normalization* — which touches every past
+/// coordinate — is a closed-form re-evaluation of six scalars, not a replay
+/// of the prefix.
+#[derive(Debug, Clone, Copy, Default)]
+struct DiagZnormSums {
+    /// Σ xᵢ²/σ²_ci
+    sxx: f64,
+    /// Σ xᵢ/σ²_ci
+    sx: f64,
+    /// Σ xᵢ·mᵢ/σ²_ci
+    sxm: f64,
+    /// Σ 1/σ²_ci
+    s1: f64,
+    /// Σ mᵢ/σ²_ci
+    sm: f64,
+    /// Σ mᵢ²/σ²_ci
+    smm: f64,
+    /// Σ ln σ²_ci
+    slnv: f64,
+}
+
+/// Per-class state of a [`GaussianZnormSession`].
+#[derive(Debug, Clone)]
+enum ZnormClassState {
+    /// Diagonal covariance (or the diagonal fallback of an unfactorable
+    /// Full-kind class): the six-sums algebra.
+    Diag(DiagZnormSums),
+    /// Full covariance: the same six-sums shape, pushed through the
+    /// whitening transform. With `p = L⁻¹x` (extended one forward-
+    /// substitution row per sample), `r = L⁻¹𝟙` and `s = L⁻¹μ_c`
+    /// (precomputed at fit), the whitened residual of the z-normalized
+    /// prefix is `y = u·p − v·r − s`, so
+    /// `‖y‖² = u²·pp + v²·rr + ss − 2uv·pr − 2u·ps + 2v·rs` — six running
+    /// dot products, re-evaluated in closed form as `(u, v)` drift.
+    Full {
+        p: Vec<f64>,
+        pp: f64,
+        rr: f64,
+        ss: f64,
+        pr: f64,
+        ps: f64,
+        rs: f64,
+        sum_ln: f64,
+    },
+}
+
+/// Incremental per-class log-likelihood of the per-prefix z-normalized view
+/// of a growing prefix (the [`crate::Classifier::score_session_znorm`]
+/// substrate for Gaussian models).
+///
+/// **Tolerance contract:** after pushing `x1..xt`, the log-likelihoods
+/// track `GaussianModel::log_likelihood_prefix(c, &znormalize(&[x1..xt]))`
+/// up to floating-point reassociation — the closed-form sums regroup the
+/// same arithmetic the batch path performs per coordinate. The prefix mean
+/// and standard deviation themselves are maintained as the same running
+/// `Σx`/`Σx²` that `etsc_core::stats::mean_std` accumulates, in the same
+/// order, so the normalization constants (and the constant-prefix branch
+/// they select) are bit-identical to the batch `znormalize`; only the
+/// likelihood assembly reassociates. Callers comparing against the batch
+/// path should allow ~1e-9 relative slack.
+#[derive(Debug, Clone)]
+pub struct GaussianZnormSession<'a> {
+    model: &'a GaussianModel,
+    /// Running Σx / Σx² of the raw samples (uncapped: `znormalize` of the
+    /// whole buffer uses every pushed sample, even past the fitted length).
+    s1: f64,
+    s2: f64,
+    /// The raw prefix, capped at the fitted length — the right-hand side the
+    /// Full kind's forward substitutions extend over. Left empty for
+    /// diagonal kinds.
+    raw: Vec<f64>,
+    len: usize,
+    classes: Vec<ZnormClassState>,
+}
+
+impl GaussianZnormSession<'_> {
+    /// Consume one sample. Coordinate-indexed sums stop at the fitted
+    /// series length (the batch path truncates the prefix there), while the
+    /// normalization statistics keep absorbing every sample (the batch path
+    /// normalizes the whole buffer before truncating).
+    pub fn push(&mut self, x: f64) {
+        self.s1 += x;
+        self.s2 += x * x;
+        if self.len < self.model.series_len {
+            let i = self.len;
+            if self.model.kind == CovarianceKind::Full {
+                self.raw.push(x);
+            }
+            for (state, cg) in self.classes.iter_mut().zip(&self.model.classes) {
+                match state {
+                    ZnormClassState::Diag(s) => {
+                        let m = cg.mean[i];
+                        let iv = 1.0 / cg.var[i];
+                        s.sxx += x * x * iv;
+                        s.sx += x * iv;
+                        s.sxm += x * m * iv;
+                        s.s1 += iv;
+                        s.sm += m * iv;
+                        s.smm += m * m * iv;
+                        s.slnv += cg.var[i].ln();
+                    }
+                    ZnormClassState::Full {
+                        p,
+                        pp,
+                        rr,
+                        ss,
+                        pr,
+                        ps,
+                        rs,
+                        sum_ln,
+                    } => {
+                        let f = cg.full.as_ref().expect("Full state implies factor");
+                        // Extend p = L⁻¹x by one row — the same kernel (and
+                        // therefore the same bits) as every other forward
+                        // substitution in the workspace.
+                        f.chol.forward_solve_leading(&self.raw, p);
+                        let pi = p[i];
+                        let ri = f.white_ones[i];
+                        let si = f.white_mean[i];
+                        *sum_ln += f.chol.l_diag(i).ln();
+                        *pp += pi * pi;
+                        *rr += ri * ri;
+                        *ss += si * si;
+                        *pr += pi * ri;
+                        *ps += pi * si;
+                        *rs += ri * si;
+                    }
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Samples consumed (uncapped).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `(u, v)` normalization parameters of the current prefix:
+    /// `ẑ = u·x − v` with `u = 1/σ_p`, `v = μ_p/σ_p`, or `(0, 0)` for a
+    /// (near-)constant prefix — which maps it to all zeros, exactly as the
+    /// batch `znormalize` convention.
+    fn norm_params(&self) -> (f64, f64) {
+        if self.len == 0 {
+            return (0.0, 0.0);
+        }
+        let n = self.len as f64;
+        let mean = self.s1 / n;
+        let var = (self.s2 / n - mean * mean).max(0.0);
+        let sd = var.sqrt();
+        if sd <= etsc_core::znorm::CONSTANT_EPS {
+            (0.0, 0.0)
+        } else {
+            (1.0 / sd, mean / sd)
+        }
+    }
+
+    /// Per-class log-likelihood of the z-normalized prefix, written into
+    /// `out` (length = number of classes).
+    pub fn log_likelihoods_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.classes.len());
+        let t = self.len.min(self.model.series_len) as f64;
+        let (u, v) = self.norm_params();
+        for (o, state) in out.iter_mut().zip(&self.classes) {
+            *o = match state {
+                ZnormClassState::Diag(s) => {
+                    let q = u * u * s.sxx - 2.0 * u * (v * s.sx + s.sxm)
+                        + (v * v * s.s1 + 2.0 * v * s.sm + s.smm);
+                    -0.5 * (t * LN_2PI + s.slnv + q)
+                }
+                ZnormClassState::Full {
+                    pp,
+                    rr,
+                    ss,
+                    pr,
+                    ps,
+                    rs,
+                    sum_ln,
+                    ..
+                } => {
+                    let q = u * u * pp + v * v * rr + ss - 2.0 * u * v * pr - 2.0 * u * ps
+                        + 2.0 * v * rs;
+                    -0.5 * (t * LN_2PI + sum_ln * 2.0 + q)
+                }
+            };
+        }
+    }
+
+    /// Posterior over classes for the z-normalized prefix, written into
+    /// `out`: softmax of `log prior + log likelihood`, tracking
+    /// [`GaussianModel::posterior_prefix`] of the normalized buffer.
+    pub fn posterior_into(&self, out: &mut [f64]) {
+        self.log_likelihoods_into(out);
+        for (o, cg) in out.iter_mut().zip(&self.model.classes) {
+            *o += cg.prior.max(1e-12).ln();
+        }
+        softmax_of_logs_in_place(out);
+    }
+
+    /// Forget all samples, keeping allocations.
+    pub fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+        self.raw.clear();
+        self.len = 0;
+        for state in self.classes.iter_mut() {
+            match state {
+                ZnormClassState::Diag(s) => *s = DiagZnormSums::default(),
+                ZnormClassState::Full {
+                    p,
+                    pp,
+                    rr,
+                    ss,
+                    pr,
+                    ps,
+                    rs,
+                    sum_ln,
+                } => {
+                    p.clear();
+                    *pp = 0.0;
+                    *rr = 0.0;
+                    *ss = 0.0;
+                    *pr = 0.0;
+                    *ps = 0.0;
+                    *rs = 0.0;
+                    *sum_ln = 0.0;
+                }
+            }
+        }
+    }
+}
+
+impl ScoreSession for GaussianZnormSession<'_> {
+    fn push(&mut self, x: f64) {
+        GaussianZnormSession::push(self, x);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn predict_proba_into(&self, out: &mut [f64]) {
+        self.posterior_into(out);
+    }
+
+    fn reset(&mut self) {
+        GaussianZnormSession::reset(self);
+    }
+}
+
 impl Classifier for GaussianModel {
     fn n_classes(&self) -> usize {
         self.classes.len()
@@ -300,8 +698,11 @@ impl Classifier for GaussianModel {
     }
 
     fn score_session(&self) -> Option<Box<dyn ScoreSession + '_>> {
-        self.likelihood_session()
-            .map(|s| Box::new(s) as Box<dyn ScoreSession + '_>)
+        Some(Box::new(self.likelihood_session()))
+    }
+
+    fn score_session_znorm(&self) -> Option<Box<dyn ScoreSession + '_>> {
+        Some(Box::new(self.znorm_likelihood_session()))
     }
 }
 
@@ -422,9 +823,13 @@ mod tests {
     #[test]
     fn likelihood_session_matches_batch_exactly() {
         let d = toy(10, 8);
-        for kind in [CovarianceKind::Diagonal, CovarianceKind::PooledDiagonal] {
+        for kind in [
+            CovarianceKind::Diagonal,
+            CovarianceKind::PooledDiagonal,
+            CovarianceKind::Full,
+        ] {
             let m = GaussianModel::fit(&d, kind);
-            let mut s = m.likelihood_session().expect("diagonal is incremental");
+            let mut s = m.likelihood_session();
             // Longer than the fitted length to exercise truncation.
             let probe = [0.1, 2.0, -0.3, 1.0, 0.0, 3.0, 0.2, 0.4, 9.0, 9.0];
             let mut out = [0.0; 2];
@@ -439,16 +844,91 @@ mod tests {
                     );
                 }
                 s.posterior_into(&mut out);
-                assert_eq!(out.to_vec(), m.posterior_prefix(&probe[..i + 1]));
+                assert_eq!(
+                    out.to_vec(),
+                    m.posterior_prefix(&probe[..i + 1]),
+                    "{kind:?} prefix {}",
+                    i + 1
+                );
+            }
+            s.reset();
+            assert!(s.is_empty());
+            // A reset session replays identically.
+            s.push(probe[0]);
+            assert_eq!(
+                s.log_likelihoods()[0],
+                m.log_likelihood_prefix(0, &probe[..1])
+            );
+        }
+    }
+
+    #[test]
+    fn znorm_session_tracks_batch_on_normalized_prefixes() {
+        use etsc_core::znorm::znormalize;
+        let d = toy(10, 8);
+        for kind in [
+            CovarianceKind::Diagonal,
+            CovarianceKind::PooledDiagonal,
+            CovarianceKind::Full,
+        ] {
+            let m = GaussianModel::fit(&d, kind);
+            let mut s = m.znorm_likelihood_session();
+            // Longer than the fitted length to exercise truncation; varied
+            // scale so the normalization genuinely moves per step.
+            let probe = [0.1, 2.0, -0.3, 1.0, 0.0, 3.0, 0.2, 0.4, 9.0, -5.0];
+            let mut ll = [0.0; 2];
+            let mut post = [0.0; 2];
+            for (i, &x) in probe.iter().enumerate() {
+                s.push(x);
+                let z = znormalize(&probe[..i + 1]);
+                s.log_likelihoods_into(&mut ll);
+                for c in 0..2 {
+                    let re = m.log_likelihood_prefix(c, &z);
+                    assert!(
+                        (ll[c] - re).abs() <= 1e-9 * (1.0 + re.abs()),
+                        "{kind:?} class {c} prefix {}: {} vs {re}",
+                        i + 1,
+                        ll[c]
+                    );
+                }
+                s.posterior_into(&mut post);
+                let re = m.posterior_prefix(&z);
+                for c in 0..2 {
+                    assert!(
+                        (post[c] - re[c]).abs() <= 1e-9,
+                        "{kind:?} posterior class {c} prefix {}",
+                        i + 1
+                    );
+                }
             }
             s.reset();
             assert!(s.is_empty());
         }
-        let full = GaussianModel::fit(&d, CovarianceKind::Full);
-        assert!(
-            full.likelihood_session().is_none(),
-            "Full is not incremental"
-        );
+    }
+
+    #[test]
+    fn znorm_session_constant_prefix_matches_zeroed_batch() {
+        use etsc_core::znorm::znormalize;
+        let d = toy(10, 6);
+        for kind in [CovarianceKind::Diagonal, CovarianceKind::Full] {
+            let m = GaussianModel::fit(&d, kind);
+            let mut s = m.znorm_likelihood_session();
+            let mut ll = [0.0; 2];
+            for i in 0..4 {
+                s.push(7.5); // constant prefix z-normalizes to zeros
+                let z = znormalize(&vec![7.5; i + 1]);
+                assert!(z.iter().all(|&v| v == 0.0));
+                s.log_likelihoods_into(&mut ll);
+                for c in 0..2 {
+                    let re = m.log_likelihood_prefix(c, &z);
+                    assert!(
+                        (ll[c] - re).abs() <= 1e-9 * (1.0 + re.abs()),
+                        "{kind:?} class {c} prefix {}",
+                        i + 1
+                    );
+                }
+            }
+        }
     }
 
     #[test]

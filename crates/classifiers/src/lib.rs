@@ -98,6 +98,25 @@ pub trait Classifier: Sync {
     fn score_session(&self) -> Option<Box<dyn ScoreSession + '_>> {
         None
     }
+
+    /// Open an incremental scoring session over the **per-prefix
+    /// z-normalized** view of the pushed samples, if this model supports
+    /// one.
+    ///
+    /// After pushing `x1..xt`, the session's probabilities track
+    /// `predict_proba(&znormalize(&[x1..xt]))` — the honest deployment
+    /// normalization, in which every arriving sample retroactively rescales
+    /// the whole prefix. Implementations fold that global rescaling into
+    /// closed-form updates of running sums (see
+    /// [`gaussian::GaussianZnormSession`] and
+    /// [`centroid::CentroidZnormScoreSession`]), so the equivalence is to
+    /// floating-point reassociation tolerance (~1e-9 relative), not bit
+    /// exactness; the batch path stays the reference definition. Models
+    /// without a closed z-norm form return `None` and callers renormalize
+    /// and rescore whole prefixes.
+    fn score_session_znorm(&self) -> Option<Box<dyn ScoreSession + '_>> {
+        None
+    }
 }
 
 /// An incremental per-sample scorer over one growing series.

@@ -89,6 +89,14 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 }
 
 /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Because the algorithm fills `L` row by row, the leading `t × t` block of
+/// `L` is *exactly* (bit-for-bit) the factor that `Cholesky::new` would
+/// produce for the leading `t × t` principal submatrix of `A` — the marginal
+/// covariance of the first `t` coordinates. The `*_leading` methods exploit
+/// this: one factorization of the full matrix answers solve/log-det queries
+/// for **every** prefix length, which is what incremental prefix-likelihood
+/// sessions need.
 #[derive(Debug, Clone)]
 pub struct Cholesky {
     l: Matrix,
@@ -117,6 +125,22 @@ impl Cholesky {
             }
         }
         Some(Self { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.dim()
+    }
+
+    /// Row `i` of the factor `L` (entries beyond column `i` are zero).
+    pub fn l_row(&self, i: usize) -> &[f64] {
+        let n = self.l.dim();
+        &self.l.data[i * n..(i + 1) * n]
+    }
+
+    /// Diagonal entry `L[i][i]`.
+    pub fn l_diag(&self, i: usize) -> f64 {
+        self.l[(i, i)]
     }
 
     /// Solve `A x = b`.
@@ -154,6 +178,45 @@ impl Cholesky {
     pub fn quadratic_form(&self, b: &[f64]) -> f64 {
         let x = self.solve(b);
         b.iter().zip(&x).map(|(&u, &v)| u * v).sum()
+    }
+
+    /// Log-determinant of the leading `t × t` principal submatrix:
+    /// `2 Σ_{i<t} log L_ii`. With `t = dim()` this equals
+    /// [`log_det`](Self::log_det).
+    pub fn log_det_leading(&self, t: usize) -> f64 {
+        debug_assert!(t <= self.l.dim());
+        (0..t).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Forward substitution `L_t y = b` against the leading `t × t` block of
+    /// the factor, where `t = b.len()` — the whitening transform of the
+    /// first `t` coordinates. Appends the solution into `y` (which must
+    /// arrive empty or hold a previously computed prefix of the solution;
+    /// forward substitution is incremental, so extending a length-`k`
+    /// solution to length `t` touches only rows `k..t`).
+    pub fn forward_solve_leading(&self, b: &[f64], y: &mut Vec<f64>) {
+        let t = b.len();
+        debug_assert!(t <= self.l.dim());
+        debug_assert!(y.len() <= t);
+        for i in y.len()..t {
+            let row = self.l_row(i);
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= row[k] * y[k];
+            }
+            y.push(sum / row[i]);
+        }
+    }
+
+    /// The quadratic form `bᵀ (A_t)⁻¹ b` against the leading `t × t`
+    /// principal submatrix (`t = b.len()`), computed as `‖L_t⁻¹ b‖²` — one
+    /// forward substitution, no backward pass. This is the form incremental
+    /// sessions accumulate term by term, so batch callers using it stay
+    /// bit-identical to the streaming path.
+    pub fn mahalanobis_sq_leading(&self, b: &[f64]) -> f64 {
+        let mut y = Vec::with_capacity(b.len());
+        self.forward_solve_leading(b, &mut y);
+        y.iter().map(|&v| v * v).sum()
     }
 }
 
@@ -238,6 +301,54 @@ mod tests {
         let ch = Cholesky::new(&a).unwrap();
         // b' A^{-1} b = 4/4 + 9/9 = 2 for b = [2, 3].
         assert!((ch.quadratic_form(&[2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leading_block_queries_match_submatrix_factorization() {
+        // A well-conditioned SPD 4×4.
+        let mut a = Matrix::from_vec(
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.2, 1.0, 3.0, 0.3, 0.1, 0.5, 0.3, 2.0, 0.4, 0.2, 0.1, 0.4, 1.5,
+            ],
+        );
+        a.add_ridge(0.01);
+        let full = Cholesky::new(&a).unwrap();
+        let b = [0.7, -1.3, 2.0, 0.4];
+        for t in 1..=4 {
+            let sub = Cholesky::new(&a.leading_principal(t)).unwrap();
+            // The leading block of the full factor IS the submatrix factor,
+            // bit for bit: identical arithmetic in identical order.
+            for i in 0..t {
+                for j in 0..=i {
+                    assert_eq!(full.l_row(i)[j], sub.l_row(i)[j], "L[{i}][{j}] at t={t}");
+                }
+            }
+            assert_eq!(full.log_det_leading(t), sub.log_det(), "log-det at t={t}");
+            // ‖L⁻¹b‖² equals bᵀA⁻¹b (to fp tolerance; different algorithm).
+            let q_fwd = full.mahalanobis_sq_leading(&b[..t]);
+            let q_ref = sub.quadratic_form(&b[..t]);
+            assert!((q_fwd - q_ref).abs() < 1e-10, "t={t}: {q_fwd} vs {q_ref}");
+        }
+    }
+
+    #[test]
+    fn forward_solve_leading_is_incremental() {
+        let mut a = Matrix::from_vec(3, vec![2.0, 0.5, 0.1, 0.5, 1.5, 0.2, 0.1, 0.2, 1.0]);
+        a.add_ridge(0.01);
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [0.3, -1.0, 2.5];
+        // One-shot solve.
+        let mut all = Vec::new();
+        ch.forward_solve_leading(&b, &mut all);
+        // Grown one row at a time: identical bits.
+        let mut grown = Vec::new();
+        for t in 1..=3 {
+            ch.forward_solve_leading(&b[..t], &mut grown);
+            assert_eq!(grown, all[..t].to_vec(), "prefix {t}");
+        }
+        assert_eq!(ch.dim(), 3);
+        assert_eq!(ch.l_diag(0), ch.l_row(0)[0]);
     }
 
     #[test]

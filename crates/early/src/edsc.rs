@@ -93,6 +93,20 @@ pub struct Edsc {
     min_prefix: usize,
 }
 
+/// Descending-utility candidate order, NaN-last: a degenerate training
+/// split can yield a NaN utility (e.g. all-constant distance populations),
+/// and `partial_cmp().unwrap()` on such a pair panics mid-fit. NaN
+/// candidates sort behind every real-valued one, so they are considered
+/// last (and in practice never selected).
+fn by_utility_desc(a: &Feature, b: &Feature) -> std::cmp::Ordering {
+    match (a.utility.is_nan(), b.utility.is_nan()) {
+        (false, false) => b.utility.total_cmp(&a.utility),
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater, // NaN last
+        (false, true) => std::cmp::Ordering::Less,
+    }
+}
+
 /// Best-match (minimum) Euclidean distance of `pattern` over all complete
 /// windows of `series`; `None` if the series is shorter than the pattern.
 fn best_match_dist(pattern: &[f64], series: &[f64]) -> Option<f64> {
@@ -183,7 +197,7 @@ impl Edsc {
         }
 
         // Greedy utility-ranked selection with per-class coverage.
-        candidates.sort_by(|a, b| b.utility.partial_cmp(&a.utility).unwrap());
+        candidates.sort_by(by_utility_desc);
         let mut covered = vec![false; n];
         let mut per_class = vec![0usize; n_classes];
         let mut selected: Vec<Feature> = Vec::new();
@@ -271,7 +285,7 @@ impl Edsc {
                 let nt = target.len() as f64;
                 let nn = non_target.len() as f64;
                 let mut grid: Vec<f64> = target.clone();
-                grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                grid.sort_by(f64::total_cmp); // NaN-proof: never panics mid-fit
                 let mut best = f64::NEG_INFINITY;
                 for &delta in grid.iter().rev() {
                     let tp = kde_cdf(&target, delta) * nt;
@@ -419,6 +433,237 @@ impl DecisionSession for EdscSession<'_> {
     }
 }
 
+/// Per-feature state of an [`EdscZnormSession`].
+struct ZnormFeatureState {
+    /// Σ xⱼ·qⱼ of every window seen so far, indexed by window start.
+    dots: Vec<f64>,
+    /// Running maxima over windows: Σx² (nonnegative), |Σx|, |Σx·q| — the
+    /// coefficients of the drift bound.
+    amax: f64,
+    bmax: f64,
+    cmax: f64,
+    /// Normalization epoch `(u₀, v₀)`: the parameters of the last full
+    /// window sweep for this feature.
+    u0: f64,
+    v0: f64,
+    /// Minimum window distance *at the epoch parameters* (windows born
+    /// since the sweep are folded in, evaluated at the epoch).
+    min0: f64,
+    /// Pattern length (as f64) and sums Σq, Σq².
+    m: f64,
+    q1: f64,
+    r: f64,
+}
+
+impl ZnormFeatureState {
+    /// Squared distance of a window with raw stats
+    /// `(a, b, c) = (Σx², Σx, Σx·q)` to this feature's pattern, under the
+    /// prefix normalization `ẑ = u·x − v`:
+    ///
+    /// ```text
+    /// ‖ẑ_w − q‖² = u²·a − 2uv·b + m·v² − 2u·c + 2v·q1 + r
+    /// ```
+    #[inline]
+    fn dist_sq(&self, a: f64, b: f64, c: f64, u: f64, v: f64) -> f64 {
+        u * u * a - 2.0 * u * v * b + self.m * v * v - 2.0 * u * c + 2.0 * v * self.q1 + self.r
+    }
+}
+
+/// Incremental EDSC session under per-prefix z-normalization.
+///
+/// The batch path re-normalizes the whole prefix and rescans every window
+/// per push — O(prefix × pattern) per feature per sample. This session
+/// exploits that per-prefix z-normalization is an *affine, global* map
+/// `ẑ = u·x − v` (`u = 1/σ_p`, `v = μ_p/σ_p`): a window's distance under
+/// any such map is a closed form over three cached raw statistics (its
+/// Σx², Σx — both recovered from cumulative prefix sums — and its dot with
+/// the pattern, cached at window birth; the same dot identity as
+/// `etsc_core::nn::BatchProfile`). Each push therefore costs one O(pattern)
+/// dot per feature for the newborn window, plus either:
+///
+/// * **an O(1) drift-bound check** — per feature, the minimum distance at
+///   the current `(u, v)` is lower-bounded from the minimum at the last
+///   full sweep (`(u₀, v₀)` epoch) plus the exact window-independent shift
+///   and a worst-case bound on the window-dependent terms (running maxima
+///   of Σx², |Σx|, |Σx·q|); if the bound clears the feature's threshold,
+///   no window can match and the sweep is skipped — or
+/// * **an O(windows) closed-form sweep** (3 fused multiply-adds per window)
+///   when a match cannot be ruled out, which also resets the epoch.
+///
+/// As the prefix grows, `(u, v)` converge for stationarity-ish streams and
+/// sweeps become rare, so the amortized per-push cost is bounded by the
+/// pattern lengths; on adversarial (e.g. strongly trending) streams every
+/// push may sweep, which still beats replay by the pattern length (3 flops
+/// per window instead of a fresh O(pattern) scan, no re-normalization
+/// pass). The bound is conservative (inflated by a 1e-9-relative safety
+/// margin), so decisions track `decide(&znormalize(prefix))` to the same
+/// reassociation tolerance as sweeping on every push.
+struct EdscZnormSession<'a> {
+    model: &'a Edsc,
+    /// Cumulative Σx / Σx² of the raw prefix (len + 1 entries, leading 0) —
+    /// window sums become two subtractions, and the prefix mean/std are
+    /// recovered with `mean_std`'s exact accumulation order.
+    c1: Vec<f64>,
+    c2: Vec<f64>,
+    /// Trailing raw samples, bounded by the longest pattern (newborn
+    /// windows need their raw values once, for the pattern dot).
+    tail: Vec<f64>,
+    window: usize,
+    features: Vec<ZnormFeatureState>,
+    len: usize,
+    decision: Decision,
+}
+
+impl<'a> EdscZnormSession<'a> {
+    fn new(model: &'a Edsc, window: usize) -> Self {
+        Self {
+            model,
+            c1: vec![0.0],
+            c2: vec![0.0],
+            tail: Vec::with_capacity(window),
+            window,
+            features: model
+                .features
+                .iter()
+                .map(|f| ZnormFeatureState {
+                    dots: Vec::new(),
+                    amax: 0.0,
+                    bmax: 0.0,
+                    cmax: 0.0,
+                    u0: 0.0,
+                    v0: 0.0,
+                    min0: f64::INFINITY,
+                    m: f.pattern.len() as f64,
+                    q1: f.pattern.iter().sum(),
+                    r: f.pattern.iter().map(|&q| q * q).sum(),
+                })
+                .collect(),
+            len: 0,
+            decision: Decision::Wait,
+        }
+    }
+}
+
+impl DecisionSession for EdscZnormSession<'_> {
+    fn push(&mut self, x: f64) -> Decision {
+        self.len += 1;
+        if self.decision.is_predict() {
+            return self.decision; // latched: count the sample, skip the work
+        }
+        self.c1.push(self.c1[self.c1.len() - 1] + x);
+        self.c2.push(self.c2[self.c2.len() - 1] + x * x);
+        if self.tail.len() == self.window {
+            self.tail.remove(0); // tiny window; shift beats a ring buffer
+        }
+        self.tail.push(x);
+        let t = self.len;
+        // Prefix normalization parameters. The cumulative sums accumulate
+        // in the same order as `mean_std` over the buffered prefix, so the
+        // constant-prefix branch (`ẑ ≡ 0`, i.e. `(u, v) = (0, 0)`) is taken
+        // exactly when the batch `znormalize` takes it.
+        let n = t as f64;
+        let mean = self.c1[t] / n;
+        let var = (self.c2[t] / n - mean * mean).max(0.0);
+        let sd = var.sqrt();
+        let (u, v) = if sd <= etsc_core::znorm::CONSTANT_EPS {
+            (0.0, 0.0)
+        } else {
+            (1.0 / sd, mean / sd)
+        };
+        // Features in utility order; the first match fires (same scan as
+        // `decide`).
+        for (f, st) in self.model.features.iter().zip(self.features.iter_mut()) {
+            let m = f.pattern.len();
+            if t < m {
+                continue;
+            }
+            // Birth of the window ending at the newest sample.
+            let w = t - m;
+            let start = self.tail.len() - m;
+            let mut dot = 0.0;
+            for (xv, qv) in self.tail[start..].iter().zip(&f.pattern) {
+                dot += xv * qv;
+            }
+            let a = self.c2[t] - self.c2[w];
+            let b = self.c1[t] - self.c1[w];
+            st.amax = st.amax.max(a);
+            st.bmax = st.bmax.max(b.abs());
+            st.cmax = st.cmax.max(dot.abs());
+            if st.dots.is_empty() {
+                st.u0 = u;
+                st.v0 = v;
+                st.min0 = st.dist_sq(a, b, dot, u, v);
+            } else {
+                st.min0 = st.min0.min(st.dist_sq(a, b, dot, st.u0, st.v0));
+            }
+            st.dots.push(dot);
+            let thr2 = f.threshold * f.threshold;
+            // Can any window match under the *current* normalization?
+            // min_w d(u,v) ≥ min0 + shift − drift, where `shift` is the
+            // exact window-independent part of the parameter change and
+            // `drift` bounds the window-dependent part via the running
+            // maxima. Inflated by a relative safety margin so fp slop in
+            // the bound itself can never hide a true match.
+            let shift = st.m * (v * v - st.v0 * st.v0) + 2.0 * st.q1 * (v - st.v0);
+            let drift = st.amax * (u * u - st.u0 * st.u0).abs()
+                + 2.0 * st.bmax * (u * v - st.u0 * st.v0).abs()
+                + 2.0 * st.cmax * (u - st.u0).abs();
+            let safety = 1e-9 * (st.min0.abs() + thr2 + 1.0);
+            if st.min0 + shift - drift - safety > thr2 {
+                continue; // provably no match at the current normalization
+            }
+            // Full closed-form sweep at the current parameters; new epoch.
+            let mut best = f64::INFINITY;
+            for (wi, &dw) in st.dots.iter().enumerate() {
+                let aw = self.c2[wi + m] - self.c2[wi];
+                let bw = self.c1[wi + m] - self.c1[wi];
+                let d = st.dist_sq(aw, bw, dw, u, v);
+                if d < best {
+                    best = d;
+                }
+            }
+            st.u0 = u;
+            st.v0 = v;
+            st.min0 = best;
+            if best <= thr2 {
+                let d = best.max(0.0).sqrt();
+                let confidence = (1.0 - d / f.threshold).clamp(0.0, 1.0) * f.precision;
+                self.decision = Decision::Predict {
+                    label: f.label,
+                    confidence,
+                };
+                break;
+            }
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn reset(&mut self) {
+        self.c1.truncate(1);
+        self.c2.truncate(1);
+        self.tail.clear();
+        for st in self.features.iter_mut() {
+            st.dots.clear();
+            st.amax = 0.0;
+            st.bmax = 0.0;
+            st.cmax = 0.0;
+            st.u0 = 0.0;
+            st.v0 = 0.0;
+            st.min0 = f64::INFINITY;
+        }
+        self.len = 0;
+        self.decision = Decision::Wait;
+    }
+}
+
 impl EarlyClassifier for Edsc {
     fn n_classes(&self) -> usize {
         self.n_classes
@@ -453,28 +698,28 @@ impl EarlyClassifier for Edsc {
     }
 
     fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        let window = self
+            .features
+            .iter()
+            .map(|f| f.pattern.len())
+            .max()
+            .unwrap_or(1);
         match norm {
-            SessionNorm::Raw => {
-                let window = self
-                    .features
-                    .iter()
-                    .map(|f| f.pattern.len())
-                    .max()
-                    .unwrap_or(1);
-                Box::new(EdscSession {
-                    model: self,
-                    buf: Vec::with_capacity(window),
-                    best: vec![f64::INFINITY; self.features.len()],
-                    window,
-                    len: 0,
-                    decision: Decision::Wait,
-                })
-            }
-            // Shapelet features were mined against the training exemplars'
-            // normalization; re-normalizing a growing prefix rescales every
-            // window already scanned, so there is no incremental form —
-            // replay the stateless path.
-            SessionNorm::PerPrefix => Box::new(crate::ReplaySession::new(self, norm)),
+            SessionNorm::Raw => Box::new(EdscSession {
+                model: self,
+                buf: Vec::with_capacity(window),
+                best: vec![f64::INFINITY; self.features.len()],
+                window,
+                len: 0,
+                decision: Decision::Wait,
+            }),
+            // Re-normalizing a growing prefix rescales every window already
+            // scanned, but the rescaling is *affine and global*: each
+            // window's distance under any prefix normalization is a closed
+            // form over its cached raw Σx/Σx²/Σx·q — so past windows are
+            // re-evaluated from three numbers, and a per-feature drift
+            // bound skips even that on most pushes.
+            SessionNorm::PerPrefix => Box::new(EdscZnormSession::new(self, window)),
         }
     }
 
@@ -647,6 +892,99 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn per_prefix_session_tracks_znormalized_decide() {
+        use etsc_core::znorm::znormalize;
+        let train = bump_data(8, 40);
+        let test = bump_data(3, 40);
+        for method in [
+            ThresholdMethod::Chebyshev { k: 2.0 },
+            ThresholdMethod::Kde { precision: 0.9 },
+        ] {
+            let edsc = Edsc::fit(&train, &quick_cfg(method));
+            for (probe, _) in test.iter() {
+                let mut s = edsc.session(crate::SessionNorm::PerPrefix);
+                for t in 0..probe.len() {
+                    let inc = s.push(probe[t]);
+                    let batch = edsc.decide(&znormalize(&probe[..t + 1]));
+                    // Closed-form window algebra vs renormalize-and-rescan:
+                    // same arithmetic regrouped, so commits can differ only
+                    // where a distance grazes a threshold within fp noise.
+                    assert_eq!(
+                        inc.is_predict(),
+                        batch.is_predict(),
+                        "{method:?} prefix {}",
+                        t + 1
+                    );
+                    if let (Some((li, ci)), Some((lb, cb))) =
+                        (inc.label_confidence(), batch.label_confidence())
+                    {
+                        assert_eq!(li, lb, "{method:?} prefix {}", t + 1);
+                        assert!((ci - cb).abs() < 1e-9, "confidence {ci} vs {cb}");
+                        break; // sessions latch at the first commit
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_prefix_session_reset_reuses_cleanly() {
+        let train = bump_data(8, 40);
+        let edsc = Edsc::fit(&train, &quick_cfg(ThresholdMethod::Chebyshev { k: 2.0 }));
+        let probe = train.series(1);
+        let mut s = edsc.session(crate::SessionNorm::PerPrefix);
+        let first: Vec<Decision> = probe.iter().map(|&x| s.push(x)).collect();
+        s.reset();
+        assert!(s.is_empty());
+        let second: Vec<Decision> = probe.iter().map(|&x| s.push(x)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn constant_series_training_split_does_not_panic() {
+        // Regression: a degenerate split — one class entirely constant, the
+        // other near-constant — drives the candidate distance populations
+        // to zero variance. The utility sort must tolerate whatever the
+        // threshold learners produce (including NaN) instead of panicking
+        // in `partial_cmp().unwrap()`.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..6 {
+            data.push(vec![0.0; 24]); // constant class
+            labels.push(0);
+            data.push(vec![1e-9 * (i as f64); 24]); // near-constant class
+            labels.push(1);
+        }
+        let d = UcrDataset::new(data, labels).unwrap();
+        for method in [
+            ThresholdMethod::Chebyshev { k: 2.0 },
+            ThresholdMethod::Kde { precision: 0.9 },
+        ] {
+            let edsc = Edsc::fit(&d, &quick_cfg(method)); // must not panic
+            let _ = edsc.decide(&[0.0; 24]);
+        }
+    }
+
+    #[test]
+    fn utility_sort_puts_nan_last() {
+        use std::cmp::Ordering;
+        let f = |utility: f64| Feature {
+            pattern: vec![0.0; 4],
+            label: 0,
+            threshold: 1.0,
+            utility,
+            precision: 1.0,
+            recall: 1.0,
+        };
+        let mut v = [f(0.2), f(f64::NAN), f(0.9), f(f64::NAN), f(0.5)];
+        v.sort_by(by_utility_desc);
+        let u: Vec<f64> = v.iter().map(|x| x.utility).collect();
+        assert_eq!(&u[..3], &[0.9, 0.5, 0.2], "descending reals first");
+        assert!(u[3].is_nan() && u[4].is_nan(), "NaNs sort last");
+        assert_eq!(by_utility_desc(&f(f64::NAN), &f(f64::NAN)), Ordering::Equal);
     }
 
     #[test]

@@ -178,6 +178,41 @@ pub enum SessionNorm {
     /// (e.g. TEASER with honest prefixes, template matching — both are
     /// invariant to affine transforms of the input) treat this identically
     /// to `Raw`.
+    ///
+    /// # Incremental evaluation: the running-sums algebra
+    ///
+    /// Per-prefix normalization looks inherently non-incremental — every
+    /// arriving sample changes the prefix mean `μ_p` and deviation `σ_p`,
+    /// retroactively rescaling **every** past coordinate. The sessions
+    /// nevertheless run at amortized O(1)-per-push (in the prefix length)
+    /// because the rescaling is *affine and global*: writing the normalized
+    /// sample as `ẑᵢ = u·xᵢ − v` with `u = 1/σ_p`, `v = μ_p/σ_p`, any
+    /// statistic that is quadratic in `ẑ` is a fixed quadratic polynomial
+    /// in `(u, v)` whose coefficients are running sums of the *raw* data —
+    /// matrix-profile-style algebra (Mueen's MASS, *Matrix Profile II*),
+    /// already used by `etsc_core::nn::BatchProfile`. Concretely:
+    ///
+    /// * **1NN distances** (ECTS): `‖ẑ − y‖²` unfolds into prefix sums
+    ///   `Σx, Σx²` plus one running dot `Σx·y` per exemplar.
+    /// * **Gaussian log-likelihoods** (RelClass, ProbThreshold over a
+    ///   Gaussian): the per-class Mahalanobis sum unfolds into six running
+    ///   sums (`Σx²/σ²ᵢ, Σx/σ²ᵢ, Σx·mᵢ/σ²ᵢ, Σ1/σ²ᵢ, Σmᵢ/σ²ᵢ, Σmᵢ²/σ²ᵢ`)
+    ///   evaluated in closed form at the current `(u, v)` — see
+    ///   `etsc_classifiers::gaussian::GaussianZnormSession`. With a full
+    ///   covariance the same shape survives *whitening*: six running dot
+    ///   products over `L⁻¹x`, `L⁻¹𝟙`, `L⁻¹μ`.
+    /// * **Centroid distances** (ProbThreshold): the same dot identity per
+    ///   class — `etsc_classifiers::centroid::CentroidZnormScoreSession`.
+    /// * **Shapelet window scans** (EDSC): every window's distance is a
+    ///   closed form over its cached `Σx, Σx², Σx·q`; a per-feature drift
+    ///   bound on `(u, v)` movement skips even the closed-form sweep on
+    ///   most pushes.
+    ///
+    /// The closed forms regroup the batch arithmetic, so per-prefix
+    /// sessions track `decide(&znormalize(prefix))` to documented
+    /// floating-point tolerance (each session type states its bound) rather
+    /// than bit-exactly; the normalization constants themselves are
+    /// accumulated in `mean_std`'s order and match the batch path exactly.
     PerPrefix,
 }
 
@@ -286,8 +321,11 @@ pub trait EarlyClassifier: Sync {
 /// [`EarlyClassifier::decide`] on the whole buffer at every push.
 ///
 /// Correct for any classifier (it *is* the definition of session/decide
-/// equivalence) but O(prefix) per sample; algorithm-specific sessions exist
-/// to beat it. Under [`SessionNorm::PerPrefix`] the buffered prefix is
+/// equivalence) but O(prefix) per sample. Every built-in algorithm now
+/// ships an incremental session for **both** [`SessionNorm`] variants, so
+/// this type serves as the trait default for external implementors and as
+/// the reference baseline the `bench_sessions` binary measures speedups
+/// against. Under [`SessionNorm::PerPrefix`] the buffered prefix is
 /// z-normalized into a scratch buffer before deciding.
 pub struct ReplaySession<'a, C: EarlyClassifier + ?Sized> {
     clf: &'a C,

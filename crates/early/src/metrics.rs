@@ -79,13 +79,22 @@ impl EarlyEvaluation {
 
     /// Harmonic mean of accuracy and (1 - earliness), the combined score
     /// used by TEASER and successors.
+    ///
+    /// Defined as **0.0** when accuracy and (1 − earliness) are both 0 —
+    /// the worst-possible corner (every prediction wrong, every commitment
+    /// at full length), where the raw formula is 0/0. This matches the
+    /// ETSC-literature convention (the harmonic mean is 0 whenever either
+    /// component is 0) instead of propagating NaN into score tables. The
+    /// guard keys on the numerator, so a denominator driven to 0.0 by
+    /// floating-point cancellation can never produce NaN or ±∞ either.
     pub fn harmonic_mean(&self) -> f64 {
         let a = self.accuracy();
         let e = 1.0 - self.earliness();
-        if a + e == 0.0 {
+        let num = 2.0 * a * e;
+        if num <= 0.0 {
             0.0
         } else {
-            2.0 * a * e / (a + e)
+            num / (a + e)
         }
     }
 
@@ -253,6 +262,34 @@ mod tests {
         let a = ev.accuracy();
         let e = 1.0 - ev.earliness();
         assert!((ev.harmonic_mean() - 2.0 * a * e / (a + e)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_is_zero_not_nan_at_worst_corner() {
+        // Every prediction wrong, every commitment at full length:
+        // accuracy = 0 and (1 − earliness) = 0, the 0/0 corner.
+        let ev = EarlyEvaluation {
+            instances: vec![
+                InstanceResult {
+                    predicted: 1,
+                    actual: 0,
+                    length_used: 10,
+                    committed_early: false,
+                },
+                InstanceResult {
+                    predicted: 0,
+                    actual: 1,
+                    length_used: 10,
+                    committed_early: false,
+                },
+            ],
+            series_len: 10,
+        };
+        assert_eq!(ev.accuracy(), 0.0);
+        assert_eq!(ev.earliness(), 1.0);
+        let h = ev.harmonic_mean();
+        assert!(!h.is_nan(), "harmonic mean must not be NaN");
+        assert_eq!(h, 0.0, "0/0 corner is defined as 0 (ETSC convention)");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use etsc_classifiers::gaussian::{
     softmax_of_logs_in_place, CovarianceKind, GaussianLikelihoodSession, GaussianModel,
+    GaussianZnormSession,
 };
 use etsc_classifiers::Classifier;
 use etsc_core::{ClassLabel, UcrDataset};
@@ -147,22 +148,31 @@ impl EarlyClassifier for RelClass {
     }
 
     fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
-        match (norm, self.model.likelihood_session()) {
-            // Diagonal covariances decompose per coordinate: run the
-            // likelihood accumulator for amortized O(classes) per sample.
-            (SessionNorm::Raw, Some(ll)) => Box::new(RelClassSession {
-                model: self,
-                ll,
-                posterior: vec![0.0; self.model.n_classes()],
-                len: 0,
-                decision: Decision::Wait,
-            }),
-            // Full covariance couples coordinates (Cholesky of the growing
-            // principal submatrix), and per-prefix normalization rescales
-            // every past coordinate at each step: both fall back to
-            // whole-prefix replay.
-            _ => Box::new(crate::ReplaySession::new(self, norm)),
-        }
+        // Every covariance kind and both norms run incrementally.
+        // * Raw: the likelihood accumulator — per-coordinate sums for
+        //   diagonal kinds (O(classes) per sample), one forward-substitution
+        //   row per class for Full (O(classes × prefix) per sample, vs
+        //   O(classes × prefix³) for refactoring per push) — and decisions
+        //   reproduce `decide` exactly.
+        // * PerPrefix: the z-norm running-sums algebra (see
+        //   `GaussianZnormSession`), which applies each prefix-wide
+        //   mean/std change as a closed-form update instead of replaying
+        //   the prefix; decisions track `decide(&znormalize(prefix))` to
+        //   floating-point reassociation tolerance.
+        let scorer = match norm {
+            SessionNorm::Raw => LikelihoodScorer::Raw(self.model.likelihood_session()),
+            SessionNorm::PerPrefix => {
+                LikelihoodScorer::Znorm(self.model.znorm_likelihood_session())
+            }
+        };
+        Box::new(RelClassSession {
+            model: self,
+            scorer,
+            ll: vec![0.0; self.model.n_classes()],
+            posterior: vec![0.0; self.model.n_classes()],
+            len: 0,
+            decision: Decision::Wait,
+        })
     }
 
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
@@ -170,19 +180,62 @@ impl EarlyClassifier for RelClass {
     }
 }
 
-/// Incremental RelClass session over diagonal Gaussian class models.
+/// The per-class log-likelihood accumulator behind a [`RelClassSession`]:
+/// raw samples feed a [`GaussianLikelihoodSession`] (exact), per-prefix
+/// z-normalized sessions feed a [`GaussianZnormSession`] (running-sums
+/// algebra, documented tolerance).
+enum LikelihoodScorer<'a> {
+    Raw(GaussianLikelihoodSession<'a>),
+    Znorm(GaussianZnormSession<'a>),
+}
+
+impl LikelihoodScorer<'_> {
+    fn push(&mut self, x: f64) {
+        match self {
+            LikelihoodScorer::Raw(s) => s.push(x),
+            LikelihoodScorer::Znorm(s) => s.push(x),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            LikelihoodScorer::Raw(s) => s.len(),
+            LikelihoodScorer::Znorm(s) => s.len(),
+        }
+    }
+
+    fn log_likelihoods_into(&self, out: &mut [f64]) {
+        match self {
+            LikelihoodScorer::Raw(s) => out.copy_from_slice(s.log_likelihoods()),
+            LikelihoodScorer::Znorm(s) => s.log_likelihoods_into(out),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            LikelihoodScorer::Raw(s) => s.reset(),
+            LikelihoodScorer::Znorm(s) => s.reset(),
+        }
+    }
+}
+
+/// Incremental RelClass session over Gaussian class models.
 ///
-/// A [`GaussianLikelihoodSession`] accumulates each class's log-likelihood
-/// coordinate-by-coordinate (exactly the batch sum, in the same order), and
-/// the calibrated posterior, reliability discount, and τ-gate are evaluated
-/// on those running sums — O(classes) per sample versus O(classes × prefix)
-/// for the stateless [`RelClass::decide`].
+/// The scorer accumulates each class's log-likelihood as samples arrive
+/// (see [`LikelihoodScorer`]), and the calibrated posterior, reliability
+/// discount, and τ-gate are evaluated on those running sums — amortized
+/// O(classes) per sample for diagonal covariances versus
+/// O(classes × prefix) for the stateless [`RelClass::decide`] (for the Full
+/// covariance the gap is prefix² per push: one forward-substitution row
+/// instead of a fresh factor-and-solve).
 struct RelClassSession<'a> {
     model: &'a RelClass,
-    ll: GaussianLikelihoodSession<'a>,
+    scorer: LikelihoodScorer<'a>,
+    /// Scratch: per-class log-likelihoods as of the last push.
+    ll: Vec<f64>,
     posterior: Vec<f64>,
-    /// Samples consumed, counted independently of `ll` so latched pushes
-    /// stay O(1).
+    /// Samples consumed, counted independently of the scorer so latched
+    /// pushes stay O(1).
     len: usize,
     decision: Decision,
 }
@@ -193,24 +246,25 @@ impl DecisionSession for RelClassSession<'_> {
         if self.decision.is_predict() {
             return self.decision; // latched: count the sample, skip the work
         }
-        self.ll.push(x);
+        self.scorer.push(x);
         let model = self.model;
-        if self.ll.len() < model.min_prefix {
+        if self.scorer.len() < model.min_prefix {
             return Decision::Wait;
         }
         // Calibrated posterior: mean log-likelihood per observed coordinate
         // (mirrors `calibrated_posterior`).
         let series_len = model.model.series_len();
-        let t = self.ll.len().min(series_len).max(1) as f64;
+        let t = self.scorer.len().min(series_len).max(1) as f64;
+        self.scorer.log_likelihoods_into(&mut self.ll);
         for (c, out) in self.posterior.iter_mut().enumerate() {
-            *out = (model.model.class_prior(c).max(1e-12).ln() + self.ll.log_likelihoods()[c]) / t;
+            *out = (model.model.class_prior(c).max(1e-12).ln() + self.ll[c]) / t;
         }
         softmax_of_logs_in_place(&mut self.posterior);
         let label = etsc_classifiers::argmax(&self.posterior);
         // Reliability: posterior margin discounted by observed fraction
         // (mirrors `reliability`).
         let (best, second) = crate::top_two(&self.posterior);
-        let observed = self.ll.len().min(series_len) as f64 / series_len as f64;
+        let observed = self.scorer.len().min(series_len) as f64 / series_len as f64;
         if (best - second) * observed >= model.tau {
             self.decision = Decision::Predict {
                 label,
@@ -229,7 +283,7 @@ impl DecisionSession for RelClassSession<'_> {
     }
 
     fn reset(&mut self) {
-        self.ll.reset();
+        self.scorer.reset();
         self.len = 0;
         self.decision = Decision::Wait;
     }
@@ -347,7 +401,11 @@ mod tests {
     }
 
     #[test]
-    fn full_covariance_falls_back_to_replay() {
+    fn full_covariance_session_reproduces_decide_exactly() {
+        // The Full-kind session extends one forward-substitution row per
+        // push against the covariance factor computed at fit time — the
+        // same arithmetic, in the same order, as the batch path, so the
+        // equivalence is exact (not merely toleranced).
         let train = toy(10, 12, 2.0);
         let rc = RelClass::fit(
             &train,
@@ -356,13 +414,56 @@ mod tests {
                 ..Default::default()
             },
         );
-        let probe = train.series(0);
-        let mut s = rc.session(crate::SessionNorm::Raw);
-        for t in 0..probe.len() {
-            let inc = s.push(probe[t]);
-            assert_eq!(inc, rc.decide(&probe[..t + 1]), "prefix {}", t + 1);
-            if inc.is_predict() {
-                break;
+        for probe_idx in [0, train.len() - 1] {
+            let probe = train.series(probe_idx);
+            let mut s = rc.session(crate::SessionNorm::Raw);
+            for t in 0..probe.len() {
+                let inc = s.push(probe[t]);
+                assert_eq!(inc, rc.decide(&probe[..t + 1]), "prefix {}", t + 1);
+                if inc.is_predict() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_prefix_session_tracks_znormalized_decide() {
+        use etsc_core::znorm::znormalize;
+        let train = toy(10, 30, 0.8);
+        for cfg in [
+            RelClassConfig::default(),
+            RelClassConfig::ldg(0.1),
+            RelClassConfig {
+                covariance: CovarianceKind::Full,
+                ..Default::default()
+            },
+        ] {
+            let rc = RelClass::fit(&train, &cfg);
+            for probe_idx in [0, train.len() - 1] {
+                let probe = train.series(probe_idx);
+                let mut s = rc.session(crate::SessionNorm::PerPrefix);
+                for t in 0..probe.len() {
+                    let inc = s.push(probe[t]);
+                    let batch = rc.decide(&znormalize(&probe[..t + 1]));
+                    // Running-sums algebra: same arithmetic regrouped, so
+                    // commits may shift only where the margin grazes τ
+                    // within fp noise; labels and confidences must agree.
+                    assert_eq!(
+                        inc.is_predict(),
+                        batch.is_predict(),
+                        "{:?} probe {probe_idx} prefix {}",
+                        cfg.covariance,
+                        t + 1
+                    );
+                    if let (Some((li, ci)), Some((lb, cb))) =
+                        (inc.label_confidence(), batch.label_confidence())
+                    {
+                        assert_eq!(li, lb);
+                        assert!((ci - cb).abs() < 1e-9, "confidence {ci} vs {cb}");
+                        break; // sessions latch at the first commit
+                    }
+                }
             }
         }
     }

@@ -85,20 +85,33 @@ impl<C: Classifier> EarlyClassifier for ProbThreshold<C> {
     }
 
     fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
-        match (norm, self.inner.score_session()) {
-            // The wrapped classifier scores incrementally: amortized
-            // O(classes) per sample.
-            (SessionNorm::Raw, Some(scorer)) => Box::new(ProbThresholdSession {
-                model: self,
-                scorer,
-                proba: vec![0.0; self.inner.n_classes()],
-                len: 0,
-                decision: Decision::Wait,
-            }),
-            // No incremental scorer (or per-prefix renormalization, which
-            // rescales every past coordinate): replay the stateless path.
-            _ => Box::new(crate::ReplaySession::new(self, norm)),
+        // Prefer the wrapped classifier's incremental scorer for the
+        // requested normalization: `score_session` reproduces the batch
+        // probabilities exactly; `score_session_znorm` folds each
+        // prefix-wide mean/std change into closed-form running-sum updates
+        // (documented fp tolerance). Classifiers with no incremental form
+        // for the requested norm (kNN, WEASEL) get the buffering
+        // [`RescoreSession`], which rescores the (optionally renormalized)
+        // prefix per push — O(prefix) scoring, but the threshold gate and
+        // latching logic stay session-native.
+        let scorer = match norm {
+            SessionNorm::Raw => self.inner.score_session(),
+            SessionNorm::PerPrefix => self.inner.score_session_znorm(),
         }
+        .unwrap_or_else(|| {
+            Box::new(RescoreSession {
+                inner: &self.inner,
+                norm,
+                buf: Vec::new(),
+            })
+        });
+        Box::new(ProbThresholdSession {
+            model: self,
+            scorer,
+            proba: vec![0.0; self.inner.n_classes()],
+            len: 0,
+            decision: Decision::Wait,
+        })
     }
 
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
@@ -106,10 +119,53 @@ impl<C: Classifier> EarlyClassifier for ProbThreshold<C> {
     }
 }
 
+/// The universal scoring fallback: buffers the pushed samples and rescores
+/// the whole (optionally per-prefix z-normalized) buffer through the
+/// wrapped classifier's `predict_proba_into` on demand.
+///
+/// O(prefix) per probability query — this exists only for wrapped
+/// classifiers with no incremental scorer for the requested normalization;
+/// every built-in probabilistic substrate (nearest-centroid, Gaussian
+/// models of every covariance kind) provides one for both norms and never
+/// takes this path.
+struct RescoreSession<'a, C> {
+    inner: &'a C,
+    norm: SessionNorm,
+    buf: Vec<f64>,
+}
+
+impl<C: Classifier> ScoreSession for RescoreSession<'_, C> {
+    fn push(&mut self, x: f64) {
+        self.buf.push(x);
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn predict_proba_into(&self, out: &mut [f64]) {
+        match self.norm {
+            SessionNorm::Raw => self.inner.predict_proba_into(&self.buf, out),
+            SessionNorm::PerPrefix => {
+                let mut z = self.buf.clone();
+                etsc_core::znorm::znormalize_in_place(&mut z);
+                self.inner.predict_proba_into(&z, out);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+    }
+}
+
 /// Incremental probability-threshold session over the wrapped classifier's
-/// [`ScoreSession`]; reproduces [`ProbThreshold::decide`] exactly because
-/// the score session's probabilities are defined to match the batch
-/// `predict_proba` on the same prefix.
+/// [`ScoreSession`]; under [`SessionNorm::Raw`] it reproduces
+/// [`ProbThreshold::decide`] exactly because the score session's
+/// probabilities are defined to match the batch `predict_proba` on the same
+/// prefix, and under [`SessionNorm::PerPrefix`] it tracks
+/// `decide(&znormalize(prefix))` to the z-norm scorer's documented
+/// tolerance.
 struct ProbThresholdSession<'a, C> {
     model: &'a ProbThreshold<C>,
     scorer: Box<dyn ScoreSession + 'a>,
@@ -226,6 +282,67 @@ mod tests {
                 assert_eq!(inc, batch, "prefix {}", t + 1);
                 if inc.is_predict() {
                     break; // sessions latch at the first commit
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_prefix_session_tracks_znormalized_decide() {
+        use etsc_core::znorm::znormalize;
+        let train = toy(6, 30);
+        let clf = ProbThreshold::new(NearestCentroid::fit(&train), 0.8, 30, 2);
+        let test = toy(3, 30);
+        for (probe, _) in test.iter() {
+            let mut s = clf.session(crate::SessionNorm::PerPrefix);
+            for t in 0..probe.len() {
+                let inc = s.push(probe[t]);
+                let batch = clf.decide(&znormalize(&probe[..t + 1]));
+                // Closed-form running sums vs whole-prefix renormalization:
+                // same arithmetic regrouped, so the gate can differ only
+                // where a probability grazes the threshold within fp noise.
+                assert_eq!(inc.is_predict(), batch.is_predict(), "prefix {}", t + 1);
+                if let (Some((li, ci)), Some((lb, cb))) =
+                    (inc.label_confidence(), batch.label_confidence())
+                {
+                    assert_eq!(li, lb);
+                    assert!((ci - cb).abs() < 1e-9, "confidence {ci} vs {cb}");
+                    break; // sessions latch at the first commit
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rescore_fallback_session_matches_decide_for_sessionless_inner() {
+        use etsc_core::znorm::znormalize;
+        /// A probabilistic classifier with no incremental scorer.
+        #[derive(Debug)]
+        struct Opaque;
+        impl Classifier for Opaque {
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+                // Confident in class 1 once the observed mean exceeds 0.5.
+                let m = x.iter().sum::<f64>() / x.len().max(1) as f64;
+                let p1 = 1.0 / (1.0 + (-4.0 * (m - 0.5)).exp());
+                vec![1.0 - p1, p1]
+            }
+        }
+        let clf = ProbThreshold::new(Opaque, 0.8, 16, 2);
+        let probe: Vec<f64> = (0..16).map(|i| i as f64 * 0.2).collect();
+        for norm in [crate::SessionNorm::Raw, crate::SessionNorm::PerPrefix] {
+            let mut s = clf.session(norm);
+            for t in 0..probe.len() {
+                let inc = s.push(probe[t]);
+                let batch = match norm {
+                    crate::SessionNorm::Raw => clf.decide(&probe[..t + 1]),
+                    crate::SessionNorm::PerPrefix => clf.decide(&znormalize(&probe[..t + 1])),
+                };
+                assert_eq!(inc, batch, "{norm:?} prefix {}", t + 1);
+                if inc.is_predict() {
+                    break;
                 }
             }
         }

@@ -52,15 +52,62 @@ fn first_commit_via_decide(clf: &dyn EarlyClassifier, series: &[f64]) -> Option<
     None
 }
 
-/// The first-commit outcome of a raw session over the same series.
-fn first_commit_via_session(clf: &dyn EarlyClassifier, series: &[f64]) -> Option<(usize, usize)> {
-    let mut session = clf.session(SessionNorm::Raw);
+/// The first-commit outcome of a session under `norm` over the same series.
+fn first_commit_via_session_norm(
+    clf: &dyn EarlyClassifier,
+    norm: SessionNorm,
+    series: &[f64],
+) -> Option<(usize, usize)> {
+    let mut session = clf.session(norm);
     for (i, &x) in series.iter().enumerate() {
         if let Some(label) = session.push(x).label() {
             return Some((i + 1, label));
         }
     }
     None
+}
+
+/// The first-commit outcome of a raw session over the same series.
+fn first_commit_via_session(clf: &dyn EarlyClassifier, series: &[f64]) -> Option<(usize, usize)> {
+    first_commit_via_session_norm(clf, SessionNorm::Raw, series)
+}
+
+/// The first-commit outcome of the per-prefix reference loop: grow the
+/// prefix, z-normalize it honestly, query `decide` — what the replay
+/// fallback used to compute, and the semantics `SessionNorm::PerPrefix`
+/// sessions must track.
+fn first_commit_via_znorm_decide(
+    clf: &dyn EarlyClassifier,
+    series: &[f64],
+) -> Option<(usize, usize)> {
+    let start = clf.min_prefix().clamp(1, series.len());
+    for len in start..=series.len() {
+        let z = etsc_core::znorm::znormalize(&series[..len]);
+        if let Some(label) = clf.decide(&z).label() {
+            return Some((len, label));
+        }
+    }
+    None
+}
+
+/// Assert a `PerPrefix` session tracks the renormalize-and-decide reference
+/// to documented tolerance: the running-sums algebra regroups the same
+/// floating-point arithmetic, so a commit may shift by at most one sample
+/// where a score grazes its threshold, and labels must agree.
+fn assert_per_prefix_session_tracks_reference(clf: &dyn EarlyClassifier, series: &[f64]) {
+    let a = first_commit_via_znorm_decide(clf, series);
+    let b = first_commit_via_session_norm(clf, SessionNorm::PerPrefix, series);
+    match (a, b) {
+        (None, None) => {}
+        (Some((la, ca)), Some((lb, cb))) => {
+            assert_eq!(ca, cb, "labels must agree");
+            assert!(
+                la.abs_diff(lb) <= 1,
+                "commit step {la} vs {lb} drifted by more than one sample"
+            );
+        }
+        _ => panic!("one path committed, the other never did: {a:?} vs {b:?}"),
+    }
 }
 
 /// A small seeded two-class dataset with adjustable separation point.
@@ -224,6 +271,25 @@ proptest! {
     }
 
     #[test]
+    fn relclass_full_covariance_sessions_reproduce_decide(salt in 0u64..40, split in 0usize..12) {
+        // Previously a ReplaySession fallback. The incremental session
+        // extends one forward-substitution row per push against the factor
+        // computed at fit time — identical arithmetic in identical order to
+        // the batch path, so the equivalence is exact, not toleranced.
+        let d = dataset(5, 24, split, salt);
+        let m = RelClass::fit(
+            &d,
+            &RelClassConfig {
+                covariance: etsc_classifiers::gaussian::CovarianceKind::Full,
+                ..Default::default()
+            },
+        );
+        for (s, _) in d.iter() {
+            assert_session_reproduces_decide(&m, s);
+        }
+    }
+
+    #[test]
     fn teaser_sessions_reproduce_decide(salt in 0u64..30) {
         let d = dataset(5, 24, 6, salt);
         let cfg = TeaserConfig { n_snapshots: 6, ..TeaserConfig::fast() };
@@ -283,6 +349,53 @@ proptest! {
         for m in models {
             for (s, _) in d.iter() {
                 prop_assert_eq!(first_commit_via_decide(m, s), first_commit_via_session(m, s));
+            }
+        }
+    }
+
+    #[test]
+    fn per_prefix_sessions_track_znormalized_decide(salt in 0u64..40, split in 0usize..12) {
+        // The three remaining previously-fallback combinations, each under
+        // honest per-prefix z-normalization: RelClass (every covariance
+        // kind), ProbThreshold (centroid and full-Gaussian substrates), and
+        // EDSC. Tolerance is documented on each session type: the
+        // closed-form running sums regroup the batch arithmetic, so commits
+        // may shift by at most one sample at threshold grazes.
+        let d = dataset(5, 24, split, salt);
+        use etsc_classifiers::gaussian::{CovarianceKind, GaussianModel};
+        let rc_diag = RelClass::fit(&d, &RelClassConfig::default());
+        let rc_ldg = RelClass::fit(&d, &RelClassConfig::ldg(0.1));
+        let rc_full = RelClass::fit(
+            &d,
+            &RelClassConfig { covariance: CovarianceKind::Full, ..Default::default() },
+        );
+        let pt_centroid = ProbThreshold::new(
+            etsc_classifiers::centroid::NearestCentroid::fit(&d),
+            0.7,
+            24,
+            2,
+        );
+        let pt_gauss = ProbThreshold::new(
+            GaussianModel::fit(&d, CovarianceKind::Full),
+            0.7,
+            24,
+            2,
+        );
+        let edsc = Edsc::fit(
+            &d,
+            &EdscConfig {
+                lengths: vec![6, 10],
+                stride: 3,
+                method: ThresholdMethod::Chebyshev { k: 2.0 },
+                min_precision: 0.7,
+                max_features_per_class: 6,
+            },
+        );
+        let models: [&dyn EarlyClassifier; 6] =
+            [&rc_diag, &rc_ldg, &rc_full, &pt_centroid, &pt_gauss, &edsc];
+        for m in models {
+            for (s, _) in d.iter() {
+                assert_per_prefix_session_tracks_reference(m, s);
             }
         }
     }

@@ -164,22 +164,27 @@ impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
         // if the monitor is outside its refractory period. Further anchors
         // committed at the same instant stay live and drain on subsequent
         // samples — unless the refractory period swallows them first.
+        //
+        // The label is read through `label_confidence()` rather than
+        // asserted: a committed session can stop carrying a prediction
+        // between ticks (e.g. [`close_anchor`](Self::close_anchor) recycles
+        // and resets sessions, and third-party `DecisionSession`
+        // implementations may un-latch on reset-like transitions). Such an
+        // anchor simply does not fire — it retires through the normal
+        // age-out path instead of panicking the whole monitor.
         let mut fired: Option<Alarm> = None;
         if !quiet {
-            if let Some((anchor, session)) =
-                self.anchors.iter().find(|(_, s)| s.decision().is_predict())
-            {
-                let (label, confidence) = session
+            fired = self.anchors.iter().find_map(|(anchor, session)| {
+                session
                     .decision()
                     .label_confidence()
-                    .expect("committed session has a prediction");
-                fired = Some(Alarm {
-                    time: t,
-                    anchor: *anchor,
-                    label,
-                    confidence,
-                });
-            }
+                    .map(|(label, confidence)| Alarm {
+                        time: t,
+                        anchor: *anchor,
+                        label,
+                        confidence,
+                    })
+            });
         }
 
         // Retire anchors that can produce no further alarms: the one that
@@ -216,6 +221,28 @@ impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
     /// Run the monitor over an entire slice, collecting all alarms.
     pub fn run(&mut self, stream: &[f64]) -> Vec<Alarm> {
         stream.iter().filter_map(|&x| self.push(x)).collect()
+    }
+
+    /// Retire the anchor at offset `anchor` immediately, recycling its
+    /// session into the pool. Returns `false` if no such anchor is live.
+    ///
+    /// This is the supervisor hook for invalidating a hypothesis mid-flight
+    /// — e.g. an upstream segmenter decided the pattern cannot have started
+    /// there. Closing is safe in the same tick as a commit: an anchor that
+    /// latched `Predict` on the current sample and is closed before the
+    /// next [`push`](Self::push) simply never alarms (its reset session
+    /// carries no prediction, and the alarm scan reads predictions through
+    /// a graceful option path, not an assertion).
+    pub fn close_anchor(&mut self, anchor: usize) -> bool {
+        match self.anchors.iter().position(|(a, _)| *a == anchor) {
+            Some(i) => {
+                let (_, mut session) = self.anchors.remove(i);
+                session.reset();
+                self.pool.push(session);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of currently live anchors (for instrumentation).
@@ -459,6 +486,67 @@ mod tests {
             &[(7, 0), (8, 2), (9, 4)],
             "all simultaneous commits must eventually alarm: {head:?}"
         );
+    }
+
+    #[test]
+    fn commit_and_close_in_the_same_tick_is_graceful() {
+        // Three anchors (0, 2, 4) all commit on sample 7 (the first high
+        // one). The oldest fires immediately; the second is closed by the
+        // caller in the same tick, *after* it latched Predict but before
+        // its alarm could drain. The monitor must not panic, must not leak
+        // an alarm from the closed anchor, and must still drain the third.
+        let clf = EdgeDetector;
+        let mut mon = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 2,
+                norm: StreamNorm::Raw,
+                refractory: 0,
+            },
+        );
+        let mut alarms = Vec::new();
+        for i in 0..8 {
+            let x = if i >= 7 { 1.0 } else { 0.0 };
+            alarms.extend(mon.push(x));
+        }
+        assert_eq!(
+            alarms
+                .iter()
+                .map(|a| (a.time, a.anchor))
+                .collect::<Vec<_>>(),
+            vec![(7, 0)],
+            "oldest committed anchor fires on the commit tick"
+        );
+        // Anchor 2 committed on the same tick and is still latched.
+        assert!(mon.close_anchor(2), "latched anchor closes cleanly");
+        assert!(!mon.close_anchor(2), "double close reports absence");
+        let pooled = mon.pooled_sessions();
+        assert!(pooled >= 2, "fired + closed sessions are recycled");
+        // Subsequent pushes: anchor 2 never alarms; anchor 4 still drains.
+        alarms.clear();
+        for _ in 0..3 {
+            alarms.extend(mon.push(1.0));
+        }
+        assert!(
+            alarms.iter().all(|a| a.anchor != 2),
+            "closed anchor must not alarm: {alarms:?}"
+        );
+        assert!(
+            alarms.iter().any(|a| a.anchor == 4),
+            "remaining committed anchor still drains: {alarms:?}"
+        );
+    }
+
+    #[test]
+    fn close_anchor_unknown_offset_is_a_no_op() {
+        let clf = LevelDetector { need: 4, len: 16 };
+        let mut mon = StreamMonitor::new(&clf, StreamMonitorConfig::default());
+        assert!(!mon.close_anchor(123));
+        mon.push(0.0);
+        assert_eq!(mon.live_anchors(), 1);
+        assert!(mon.close_anchor(0));
+        assert_eq!(mon.live_anchors(), 0);
+        assert_eq!(mon.pooled_sessions(), 1);
     }
 
     #[test]

@@ -51,13 +51,16 @@
 //! Deployment is streaming-first: instead of re-deciding on every grown
 //! prefix (which makes each new sample cost O(prefix)), open a stateful
 //! [`early::DecisionSession`] and push samples as they arrive. Sessions
-//! keep running state — Welford statistics for online z-normalization,
-//! incremental partial Euclidean sums for the 1NN models, per-checkpoint
+//! keep running state — running sums for online z-normalization,
+//! incremental partial Euclidean sums for the 1NN models, per-class
+//! likelihood accumulators (closed-form under per-prefix renormalization;
+//! see the running-sums algebra on [`early::SessionNorm`]), per-checkpoint
 //! caches for the ensemble models — so the amortized per-sample cost is
 //! O(1) in the prefix length, and (under [`early::SessionNorm::Raw`])
-//! decisions reproduce `decide` exactly. [`stream::StreamMonitor`] drives
-//! one session per candidate anchor, and [`early::MultiSession`] services
-//! many concurrent streams over one fitted model.
+//! decisions reproduce `decide` exactly. No built-in algorithm falls back
+//! to whole-prefix replay under either norm. [`stream::StreamMonitor`]
+//! drives one session per candidate anchor, and [`early::MultiSession`]
+//! services many concurrent streams over one fitted model.
 //!
 //! ```
 //! use etsc::datasets::gunpoint::{self, GunPointConfig};
@@ -84,6 +87,23 @@
 //! // Incremental and stateless paths agree: the prefix that committed
 //! // decides, every shorter prefix waits.
 //! assert!(ects.decide(&probe[..len]).is_predict());
+//!
+//! // Honest deployment normalization: a PerPrefix session z-normalizes
+//! // with past-only statistics, folding each prefix-wide mean/std change
+//! // into closed-form running-sum updates instead of replaying the
+//! // prefix. It tracks the renormalize-and-decide reference.
+//! let raw_probe: Vec<f64> = probe.iter().map(|&x| 40.0 + 3.0 * x).collect();
+//! let mut honest = ects.session(SessionNorm::PerPrefix);
+//! let mut committed_at = None;
+//! for (i, &x) in raw_probe.iter().enumerate() {
+//!     if honest.push(x).is_predict() {
+//!         committed_at = Some(i + 1);
+//!         break;
+//!     }
+//! }
+//! let t = committed_at.expect("a shifted/scaled exemplar still matches");
+//! let znormed = etsc::core::znorm::znormalize(&raw_probe[..t]);
+//! assert!(ects.decide(&znormed).is_predict());
 //!
 //! // A monitor runs sessions over an unbounded stream, one per anchor.
 //! let mut monitor = StreamMonitor::new(

@@ -141,6 +141,99 @@ fn multi_session_push_all_is_thread_count_invariant() {
     }
 }
 
+/// The four algorithm/norm combinations that previously fell back to the
+/// whole-prefix `ReplaySession` — EDSC under per-prefix z-normalization,
+/// RelClass with a full covariance (raw), and RelClass / ProbThreshold
+/// under per-prefix z-normalization — each driven as a 600-stream
+/// `MultiSession` fleet (past the 512-session fan-out gate) at 1, 2, and 7
+/// workers. Their incremental sessions hold only per-stream state, so
+/// worker count must be a pure performance knob.
+#[test]
+fn converted_session_combinations_are_thread_count_invariant() {
+    use etsc::classifiers::centroid::NearestCentroid;
+    use etsc::classifiers::gaussian::CovarianceKind;
+    use etsc::early::edsc::{Edsc, EdscConfig, ThresholdMethod};
+    use etsc::early::relclass::{RelClass, RelClassConfig};
+    use etsc::early::threshold::ProbThreshold;
+
+    // A small two-class set: flat head, class-separated tail.
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..2usize {
+        for i in 0..6 {
+            data.push(
+                (0..48)
+                    .map(|j| {
+                        let noise = 0.05 * (((i * 13 + j * 7 + c * 29) % 11) as f64 - 5.0);
+                        if j < 16 {
+                            noise
+                        } else {
+                            c as f64 * 2.0 + noise
+                        }
+                    })
+                    .collect::<Vec<f64>>(),
+            );
+            labels.push(c);
+        }
+    }
+    let train = UcrDataset::new(data, labels).unwrap();
+
+    let edsc = Edsc::fit(
+        &train,
+        &EdscConfig {
+            lengths: vec![8, 12],
+            stride: 4,
+            method: ThresholdMethod::Chebyshev { k: 2.0 },
+            min_precision: 0.7,
+            max_features_per_class: 6,
+        },
+    );
+    let rc_full = RelClass::fit(
+        &train,
+        &RelClassConfig {
+            covariance: CovarianceKind::Full,
+            ..Default::default()
+        },
+    );
+    let rc_diag = RelClass::fit(&train, &RelClassConfig::default());
+    let prob = ProbThreshold::new(NearestCentroid::fit(&train), 0.8, 48, 2);
+    let combos: [(&str, &dyn EarlyClassifier, SessionNorm); 4] = [
+        ("edsc/per-prefix", &edsc, SessionNorm::PerPrefix),
+        ("relclass-full/raw", &rc_full, SessionNorm::Raw),
+        ("relclass/per-prefix", &rc_diag, SessionNorm::PerPrefix),
+        ("prob-threshold/per-prefix", &prob, SessionNorm::PerPrefix),
+    ];
+
+    let stream = smoothed_random_walk(150, 5, 13);
+    for (name, clf, norm) in combos {
+        let run = |threads: usize| -> Vec<(u64, usize, bool)> {
+            with_threads(threads, || {
+                let mut multi = MultiSession::new(clf, norm);
+                // Stagger the streams so fleets sit at many prefix lengths.
+                for key in 0..600u64 {
+                    multi.open(key);
+                    for (i, &x) in stream.iter().take(key as usize % 7).enumerate() {
+                        let _ = (i, multi.push(key, x));
+                    }
+                }
+                let mut events = Vec::new();
+                for (i, &x) in stream.iter().enumerate() {
+                    multi.push_all(x, |key, _decision, committed_now| {
+                        if committed_now {
+                            events.push((key, i, true));
+                        }
+                    });
+                }
+                events
+            })
+        };
+        let serial = run(1);
+        for t in THREAD_COUNTS {
+            assert_eq!(run(t), serial, "{name} at {t} threads");
+        }
+    }
+}
+
 /// Long-pattern detector with a cheap O(1) incremental session: commits at
 /// prefix length 300 iff the anchor's first sample was positive. With
 /// stride 1, non-committing anchors stay live for the full 2500-sample
