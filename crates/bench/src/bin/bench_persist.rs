@@ -1,0 +1,284 @@
+//! Machine-readable benchmark of the persistence subsystem (`etsc-persist`).
+//!
+//! For each built-in early-classification algorithm, measures
+//!
+//! * **model snapshot/restore**: `Persist::snapshot` and `Persist::restore`
+//!   wall time plus the snapshot size in bytes, and
+//! * **session checkpoint/resume**: for each [`SessionNorm`], a session is
+//!   warmed on [`PREFIX`] samples, then `checkpoint_session` /
+//!   `resume_session` are timed and the checkpoint size recorded —
+//!   bytes-per-session is the number a shard-migration budget multiplies by
+//!   the in-flight stream count.
+//!
+//! Writes `BENCH_persist.json` into the current directory.
+//!
+//! Run: `cargo run --release -p etsc-bench --bin bench_persist [--quick]`
+//! `--quick` lowers the repetition count for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use etsc_classifiers::centroid::NearestCentroid;
+use etsc_classifiers::gaussian::CovarianceKind;
+use etsc_core::UcrDataset;
+use etsc_early::costaware::{CostAware, CostAwareConfig};
+use etsc_early::ecdire::{Ecdire, EcdireConfig};
+use etsc_early::ects::{Ects, EctsConfig};
+use etsc_early::edsc::{Edsc, EdscConfig, ThresholdMethod};
+use etsc_early::relclass::{RelClass, RelClassConfig};
+use etsc_early::stopping_rule::{StoppingRule, StoppingRuleConfig};
+use etsc_early::teaser::{Teaser, TeaserConfig};
+use etsc_early::template::TemplateMatcher;
+use etsc_early::threshold::ProbThreshold;
+use etsc_early::{checkpoint_session, resume_session, EarlyClassifier, SessionNorm};
+use etsc_persist::Persist;
+
+/// Samples a session is warmed on before its checkpoint is measured.
+const PREFIX: usize = 256;
+/// Training exemplar length. Classes separate past the probed window so
+/// sessions stay unlatched and checkpoints carry real accumulator state.
+const TRAIN_LEN: usize = 320;
+const SPLIT: usize = 288;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Same construction idea as `bench_sessions`: identical per-exemplar noise
+/// across classes, separation only past `SPLIT` — so no session latches
+/// inside the probed window.
+fn train_set(n_per_class: usize) -> UcrDataset {
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..2usize {
+        for i in 0..n_per_class {
+            let level = if c == 0 { -2.0 } else { 2.0 };
+            data.push(
+                (0..TRAIN_LEN)
+                    .map(|j| {
+                        let noise = 0.08 * (((i * 31 + j * 17) % 13) as f64 - 6.0);
+                        if j < SPLIT {
+                            noise
+                        } else {
+                            level + noise
+                        }
+                    })
+                    .collect::<Vec<f64>>(),
+            );
+            labels.push(c);
+        }
+    }
+    UcrDataset::new(data, labels).unwrap()
+}
+
+fn probe() -> Vec<f64> {
+    (0..PREFIX)
+        .map(|j| 0.07 * (((j * 23 + 5) % 17) as f64 - 8.0) + 0.3 * ((j as f64) * 0.05).sin())
+        .collect()
+}
+
+struct SessionCost {
+    norm: &'static str,
+    state_bytes: usize,
+    checkpoint_ns: f64,
+    resume_ns: f64,
+}
+
+struct Row {
+    algorithm: &'static str,
+    model_bytes: usize,
+    model_snapshot_ns: f64,
+    model_restore_ns: f64,
+    sessions: Vec<SessionCost>,
+}
+
+/// Measure one algorithm: model snapshot/restore plus per-norm session
+/// checkpoint/resume at prefix [`PREFIX`].
+fn bench_one<M: EarlyClassifier + Persist>(
+    algorithm: &'static str,
+    model: &M,
+    probe: &[f64],
+    reps: usize,
+) -> Row {
+    let mut snap_times = Vec::with_capacity(reps);
+    let mut restore_times = Vec::with_capacity(reps);
+    let mut bytes = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        bytes = model.snapshot();
+        snap_times.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let restored = M::restore(&bytes).expect("snapshot restores");
+        restore_times.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&restored);
+    }
+    let model_bytes = bytes.len();
+
+    let mut sessions = Vec::new();
+    for (norm, norm_name) in [
+        (SessionNorm::Raw, "raw"),
+        (SessionNorm::PerPrefix, "per-prefix"),
+    ] {
+        let mut session = model.session(norm);
+        for &x in probe {
+            session.push(x);
+        }
+        let mut ckpt_times = Vec::with_capacity(reps);
+        let mut resume_times = Vec::with_capacity(reps);
+        let mut state = Vec::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            state = checkpoint_session(session.as_ref()).expect("built-in sessions checkpoint");
+            ckpt_times.push(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let resumed = resume_session(model, norm, &state).expect("checkpoint resumes");
+            resume_times.push(t0.elapsed().as_secs_f64());
+            std::hint::black_box(resumed.len());
+        }
+        sessions.push(SessionCost {
+            norm: norm_name,
+            state_bytes: state.len(),
+            checkpoint_ns: median(&mut ckpt_times) * 1e9,
+            resume_ns: median(&mut resume_times) * 1e9,
+        });
+    }
+
+    let row = Row {
+        algorithm,
+        model_bytes,
+        model_snapshot_ns: median(&mut snap_times) * 1e9,
+        model_restore_ns: median(&mut restore_times) * 1e9,
+        sessions,
+    };
+    println!(
+        "  {algorithm:<24} model {:>8} B  snap {:>9.0} ns  restore {:>9.0} ns   session raw {:>7} B ckpt {:>8.0} ns | per-prefix {:>7} B ckpt {:>8.0} ns",
+        row.model_bytes,
+        row.model_snapshot_ns,
+        row.model_restore_ns,
+        row.sessions[0].state_bytes,
+        row.sessions[0].checkpoint_ns,
+        row.sessions[1].state_bytes,
+        row.sessions[1].checkpoint_ns,
+    );
+    row
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 9 };
+    println!("bench_persist: session prefix {PREFIX}, reps = {reps} (median)");
+
+    let train = train_set(6);
+    let probe = probe();
+    let mut rows = Vec::new();
+
+    let ects = Ects::fit(&train, &EctsConfig::default());
+    rows.push(bench_one("ects", &ects, &probe, reps));
+
+    let edsc = Edsc::fit(
+        &train,
+        &EdscConfig {
+            lengths: vec![32, 48],
+            stride: 16,
+            method: ThresholdMethod::Kde { precision: 0.9 },
+            min_precision: 0.7,
+            max_features_per_class: 8,
+        },
+    );
+    rows.push(bench_one("edsc", &edsc, &probe, reps));
+
+    let rc_diag = RelClass::fit(
+        &train,
+        &RelClassConfig {
+            tau: 0.95,
+            ..Default::default()
+        },
+    );
+    rows.push(bench_one("relclass-diag", &rc_diag, &probe, reps));
+
+    let rc_full = RelClass::fit(
+        &train,
+        &RelClassConfig {
+            tau: 0.95,
+            covariance: CovarianceKind::Full,
+            ..Default::default()
+        },
+    );
+    rows.push(bench_one("relclass-full", &rc_full, &probe, reps));
+
+    let teaser = Teaser::fit(
+        &train,
+        &TeaserConfig {
+            n_snapshots: 8,
+            ..TeaserConfig::fast()
+        },
+    );
+    rows.push(bench_one("teaser-centroid", &teaser, &probe, reps));
+
+    let template = TemplateMatcher::from_centroids(&train, 0.05, 32);
+    rows.push(bench_one("template", &template, &probe, reps));
+
+    let prob = ProbThreshold::new(NearestCentroid::fit(&train), 0.9999, TRAIN_LEN, 2);
+    rows.push(bench_one("prob-threshold", &prob, &probe, reps));
+
+    let ecdire = Ecdire::fit(
+        &train,
+        &EcdireConfig {
+            n_checkpoints: 8,
+            ..EcdireConfig::default()
+        },
+    );
+    rows.push(bench_one("ecdire", &ecdire, &probe, reps));
+
+    let rule = StoppingRule::fit(
+        &train,
+        &StoppingRuleConfig {
+            n_checkpoints: 8,
+            ..Default::default()
+        },
+    );
+    rows.push(bench_one("stopping-rule", &rule, &probe, reps));
+
+    let cost = CostAware::fit(
+        &train,
+        &CostAwareConfig {
+            n_checkpoints: 8,
+            ..Default::default()
+        },
+    );
+    rows.push(bench_one("cost-aware", &cost, &probe, reps));
+
+    // Emit BENCH_persist.json (hand-rolled: the workspace is offline, no
+    // serde).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"session_prefix\": {PREFIX},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let sessions: Vec<String> = r
+            .sessions
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"norm\": \"{}\", \"state_bytes\": {}, \"checkpoint_ns\": {:.0}, \"resume_ns\": {:.0}}}",
+                    s.norm, s.state_bytes, s.checkpoint_ns, s.resume_ns
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"model_bytes\": {}, \"model_snapshot_ns\": {:.0}, \
+             \"model_restore_ns\": {:.0}, \"sessions\": [{}]}}{}",
+            r.algorithm,
+            r.model_bytes,
+            r.model_snapshot_ns,
+            r.model_restore_ns,
+            sessions.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_persist.json", &json).expect("write BENCH_persist.json");
+    println!("\nwrote BENCH_persist.json");
+}

@@ -5,8 +5,14 @@
 
 use etsc_core::distance::euclidean;
 use etsc_core::UcrDataset;
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 use crate::{Classifier, ScoreSession};
+
+/// State-schema tag for [`CentroidScoreSession`] checkpoints.
+const TAG_RAW: u8 = 20;
+/// State-schema tag for [`CentroidZnormScoreSession`] checkpoints.
+const TAG_ZNORM: u8 = 21;
 
 /// A fitted nearest-centroid model: one mean series per class.
 #[derive(Debug, Clone)]
@@ -122,6 +128,32 @@ impl ScoreSession for CentroidScoreSession<'_> {
         self.sq.fill(0.0);
         self.len = 0;
     }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(TAG_RAW);
+        enc.put_f64_slice(&self.sq);
+        enc.put_usize(self.len);
+        Ok(())
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), PersistError> {
+        if dec.get_u8("centroid session tag")? != TAG_RAW {
+            return Err(PersistError::Corrupt(
+                "centroid session: wrong state tag".into(),
+            ));
+        }
+        let sq = dec.get_f64_vec("centroid session sq")?;
+        if sq.len() != self.sq.len() {
+            return Err(PersistError::Corrupt(format!(
+                "centroid session: {} classes in state, model has {}",
+                sq.len(),
+                self.sq.len()
+            )));
+        }
+        self.sq = sq;
+        self.len = dec.get_usize("centroid session len")?;
+        Ok(())
+    }
 }
 
 /// Incremental per-sample scorer for the **per-prefix z-normalized** view
@@ -227,6 +259,81 @@ impl ScoreSession for CentroidZnormScoreSession<'_> {
         self.s1_cap = 0.0;
         self.s2_cap = 0.0;
         self.len = 0;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(TAG_ZNORM);
+        enc.put_f64(self.s1);
+        enc.put_f64(self.s2);
+        enc.put_f64_slice(&self.sxc);
+        enc.put_f64_slice(&self.sc);
+        enc.put_f64_slice(&self.scc);
+        enc.put_f64(self.s1_cap);
+        enc.put_f64(self.s2_cap);
+        enc.put_usize(self.len);
+        Ok(())
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), PersistError> {
+        if dec.get_u8("centroid znorm session tag")? != TAG_ZNORM {
+            return Err(PersistError::Corrupt(
+                "centroid znorm session: wrong state tag".into(),
+            ));
+        }
+        let s1 = dec.get_f64("centroid znorm s1")?;
+        let s2 = dec.get_f64("centroid znorm s2")?;
+        let sxc = dec.get_f64_vec("centroid znorm sxc")?;
+        let sc = dec.get_f64_vec("centroid znorm sc")?;
+        let scc = dec.get_f64_vec("centroid znorm scc")?;
+        let k = self.sxc.len();
+        if sxc.len() != k || sc.len() != k || scc.len() != k {
+            return Err(PersistError::Corrupt(format!(
+                "centroid znorm session: class-sum lengths {}/{}/{} for {k} classes",
+                sxc.len(),
+                sc.len(),
+                scc.len()
+            )));
+        }
+        self.s1 = s1;
+        self.s2 = s2;
+        self.sxc = sxc;
+        self.sc = sc;
+        self.scc = scc;
+        self.s1_cap = dec.get_f64("centroid znorm s1_cap")?;
+        self.s2_cap = dec.get_f64("centroid znorm s2_cap")?;
+        self.len = dec.get_usize("centroid znorm len")?;
+        Ok(())
+    }
+}
+
+impl Persist for NearestCentroid {
+    const KIND: &'static str = "NearestCentroid";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_f64(self.beta);
+        enc.put_usize(self.centroids.len());
+        for c in &self.centroids {
+            enc.put_f64_slice(c);
+        }
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let beta = dec.get_f64("centroid beta")?;
+        let n = dec.get_usize("centroid class count")?;
+        if n == 0 {
+            return Err(PersistError::Corrupt("centroid: zero classes".into()));
+        }
+        let mut centroids = Vec::with_capacity(n);
+        for _ in 0..n {
+            centroids.push(dec.get_f64_vec("centroid vector")?);
+        }
+        let len = centroids[0].len();
+        if len == 0 || centroids.iter().any(|c| c.len() != len) {
+            return Err(PersistError::Corrupt(
+                "centroid: centroids must share a non-empty length".into(),
+            ));
+        }
+        Ok(Self { centroids, beta })
     }
 }
 
@@ -361,6 +468,55 @@ mod tests {
         s.predict_proba_into(&mut out);
         let batch = m.predict_proba(&znormalize(&probe[..1]));
         assert!((out[0] - batch[0]).abs() <= 1e-9, "reset session replays");
+    }
+
+    #[test]
+    fn snapshot_restore_and_session_checkpoint_are_exact() {
+        let m = NearestCentroid::fit(&toy());
+        let back = NearestCentroid::restore(&m.snapshot()).unwrap();
+        let probe = [0.3, 1.0, 4.0, 5.0, 2.0, 7.0];
+        for t in 1..=probe.len() {
+            assert_eq!(
+                back.predict_proba(&probe[..t]),
+                m.predict_proba(&probe[..t])
+            );
+        }
+        // Session checkpoint: interrupted twin continues bit-identically,
+        // for both the raw and the per-prefix z-normalized scorer.
+        for znorm in [false, true] {
+            let mut whole = if znorm {
+                m.score_session_znorm().unwrap()
+            } else {
+                m.score_session().unwrap()
+            };
+            let mut head = if znorm {
+                m.score_session_znorm().unwrap()
+            } else {
+                m.score_session().unwrap()
+            };
+            for &x in &probe[..3] {
+                whole.push(x);
+                head.push(x);
+            }
+            let mut enc = Encoder::new();
+            head.save_state(&mut enc).unwrap();
+            let bytes = enc.into_bytes();
+            let mut resumed = if znorm {
+                m.score_session_znorm().unwrap()
+            } else {
+                m.score_session().unwrap()
+            };
+            resumed.load_state(&mut Decoder::new(&bytes)).unwrap();
+            let mut a = [0.0; 2];
+            let mut b = [0.0; 2];
+            for &x in &probe[3..] {
+                whole.push(x);
+                resumed.push(x);
+                whole.predict_proba_into(&mut a);
+                resumed.predict_proba_into(&mut b);
+                assert_eq!(a, b, "znorm={znorm}: restored session diverged");
+            }
+        }
     }
 
     #[test]

@@ -139,7 +139,12 @@ where
         if train_idx.is_empty() || test_idx.is_empty() {
             continue;
         }
-        let train = data.subset(&train_idx).expect("non-empty");
+        // `subset` can only fail on an empty index list, which the guard
+        // above excludes — but fold assignment is data-driven, so a
+        // surprise here must skip the fold, not abort the caller.
+        let Ok(train) = data.subset(&train_idx) else {
+            continue;
+        };
         let clf = fit(&train);
         // `fit` is FnMut, so folds stay sequential; the fold's held-out
         // predictions fan out in parallel.

@@ -7,11 +7,17 @@
 //! leading sub-vector/sub-matrix, so prefix classification is natural.
 
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 use crate::linalg::{covariance, Cholesky};
 use crate::{Classifier, ScoreSession};
 
 const LN_2PI: f64 = 1.8378770664093453;
+
+/// State-schema tag for [`GaussianLikelihoodSession`] checkpoints.
+const TAG_LIK: u8 = 22;
+/// State-schema tag for [`GaussianZnormSession`] checkpoints.
+const TAG_ZNORM: u8 = 23;
 
 /// Covariance structure for [`GaussianModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,6 +261,122 @@ impl GaussianModel {
     }
 }
 
+impl CovarianceKind {
+    fn to_tag(self) -> u8 {
+        match self {
+            CovarianceKind::Diagonal => 0,
+            CovarianceKind::PooledDiagonal => 1,
+            CovarianceKind::Full => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, PersistError> {
+        match tag {
+            0 => Ok(CovarianceKind::Diagonal),
+            1 => Ok(CovarianceKind::PooledDiagonal),
+            2 => Ok(CovarianceKind::Full),
+            t => Err(PersistError::Corrupt(format!(
+                "gaussian: covariance kind tag {t}"
+            ))),
+        }
+    }
+}
+
+impl Persist for GaussianModel {
+    const KIND: &'static str = "GaussianModel";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_u8(self.kind.to_tag());
+        enc.put_usize(self.series_len);
+        enc.put_usize(self.classes.len());
+        for cg in &self.classes {
+            enc.section(|e| {
+                e.put_f64_slice(&cg.mean);
+                e.put_f64_slice(&cg.var);
+                e.put_f64(cg.prior);
+                // Only the Cholesky factor travels; the whitened vectors
+                // are recomputed at decode by the same deterministic
+                // forward substitution fit time ran — bit-identical.
+                match &cg.full {
+                    Some(f) => {
+                        e.put_bool(true);
+                        f.chol.encode_body(e);
+                    }
+                    None => e.put_bool(false),
+                }
+            });
+        }
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let kind = CovarianceKind::from_tag(dec.get_u8("gaussian kind")?)?;
+        let series_len = dec.get_usize("gaussian series_len")?;
+        let n = dec.get_usize("gaussian class count")?;
+        if series_len == 0 || n == 0 {
+            return Err(PersistError::Corrupt(
+                "gaussian: empty model (no classes or zero length)".into(),
+            ));
+        }
+        let mut classes = Vec::with_capacity(n);
+        for c in 0..n {
+            let mut sub = dec.section("gaussian class")?;
+            let mean = sub.get_f64_vec("gaussian mean")?;
+            let var = sub.get_f64_vec("gaussian var")?;
+            let prior = sub.get_f64("gaussian prior")?;
+            if mean.len() != series_len || var.len() != series_len {
+                return Err(PersistError::Corrupt(format!(
+                    "gaussian class {c}: mean/var lengths {}/{} for series_len {series_len}",
+                    mean.len(),
+                    var.len()
+                )));
+            }
+            if var.iter().any(|&v| !(v.is_finite() && v > 0.0)) {
+                return Err(PersistError::Corrupt(format!(
+                    "gaussian class {c}: non-positive variance"
+                )));
+            }
+            let full = if sub.get_bool("gaussian factor present")? {
+                if kind != CovarianceKind::Full {
+                    return Err(PersistError::Corrupt(format!(
+                        "gaussian class {c}: factor stored for a diagonal kind"
+                    )));
+                }
+                let chol = Cholesky::decode_body(&mut sub)?;
+                if chol.dim() != series_len {
+                    return Err(PersistError::Corrupt(format!(
+                        "gaussian class {c}: factor dim {} for series_len {series_len}",
+                        chol.dim()
+                    )));
+                }
+                let ones = vec![1.0; series_len];
+                let mut white_ones = Vec::with_capacity(series_len);
+                chol.forward_solve_leading(&ones, &mut white_ones);
+                let mut white_mean = Vec::with_capacity(series_len);
+                chol.forward_solve_leading(&mean, &mut white_mean);
+                Some(FullFactor {
+                    chol,
+                    white_ones,
+                    white_mean,
+                })
+            } else {
+                None
+            };
+            sub.finish()?;
+            classes.push(ClassGaussian {
+                mean,
+                var,
+                full,
+                prior,
+            });
+        }
+        Ok(Self {
+            classes,
+            kind,
+            series_len,
+        })
+    }
+}
+
 /// Per-class whitening state of a Full-covariance likelihood session: the
 /// growing residual `x − μ`, its forward substitution `y = L_t⁻¹(x − μ)`
 /// (extended one row per sample — triangular solves are incremental), and
@@ -375,6 +497,84 @@ impl ScoreSession for GaussianLikelihoodSession<'_> {
 
     fn reset(&mut self) {
         GaussianLikelihoodSession::reset(self);
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(TAG_LIK);
+        enc.put_usize(self.len);
+        enc.put_f64_slice(&self.ll);
+        enc.put_usize(self.full.len());
+        for state in &self.full {
+            match state {
+                Some(s) => {
+                    enc.put_bool(true);
+                    enc.put_f64_slice(&s.diff);
+                    enc.put_f64_slice(&s.y);
+                    enc.put_f64(s.q);
+                    enc.put_f64(s.sum_ln);
+                }
+                None => enc.put_bool(false),
+            }
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), PersistError> {
+        if dec.get_u8("gaussian session tag")? != TAG_LIK {
+            return Err(PersistError::Corrupt(
+                "gaussian likelihood session: wrong state tag".into(),
+            ));
+        }
+        let len = dec.get_usize("gaussian session len")?;
+        let ll = dec.get_f64_vec("gaussian session ll")?;
+        if ll.len() != self.ll.len() {
+            return Err(PersistError::Corrupt(format!(
+                "gaussian session: {} classes in state, model has {}",
+                ll.len(),
+                self.ll.len()
+            )));
+        }
+        let n_full = dec.get_usize("gaussian session full count")?;
+        if n_full != self.full.len() {
+            return Err(PersistError::Corrupt(format!(
+                "gaussian session: {n_full} whitening states, model expects {}",
+                self.full.len()
+            )));
+        }
+        let observed = len.min(self.model.series_len);
+        let mut full = Vec::with_capacity(n_full);
+        for (c, expected) in self.full.iter().enumerate() {
+            if dec.get_bool("gaussian session factor present")? {
+                if expected.is_none() {
+                    return Err(PersistError::Corrupt(format!(
+                        "gaussian session class {c}: whitening state for an unfactored class"
+                    )));
+                }
+                let diff = dec.get_f64_vec("gaussian session diff")?;
+                let y = dec.get_f64_vec("gaussian session y")?;
+                if diff.len() != observed || y.len() != observed {
+                    return Err(PersistError::Corrupt(format!(
+                        "gaussian session class {c}: residual lengths {}/{} for prefix {observed}",
+                        diff.len(),
+                        y.len()
+                    )));
+                }
+                let q = dec.get_f64("gaussian session q")?;
+                let sum_ln = dec.get_f64("gaussian session sum_ln")?;
+                full.push(Some(FullClassState { diff, y, q, sum_ln }));
+            } else {
+                if expected.is_some() {
+                    return Err(PersistError::Corrupt(format!(
+                        "gaussian session class {c}: missing whitening state"
+                    )));
+                }
+                full.push(None);
+            }
+        }
+        self.len = len;
+        self.ll = ll;
+        self.full = full;
+        Ok(())
     }
 }
 
@@ -540,7 +740,13 @@ impl GaussianZnormSession<'_> {
                         rs,
                         sum_ln,
                     } => {
-                        let f = cg.full.as_ref().expect("Full state implies factor");
+                        // Every constructor (the fit-time session opener and
+                        // the snapshot-restore path) keys the Full variant
+                        // off the factor's presence, so the factor is always
+                        // here; a hypothetically inconsistent state must
+                        // still degrade gracefully (skip the class) rather
+                        // than abort the process mid-stream.
+                        let Some(f) = cg.full.as_ref() else { continue };
                         // Extend p = L⁻¹x by one row — the same kernel (and
                         // therefore the same bits) as every other forward
                         // substitution in the workspace.
@@ -681,6 +887,127 @@ impl ScoreSession for GaussianZnormSession<'_> {
 
     fn reset(&mut self) {
         GaussianZnormSession::reset(self);
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(TAG_ZNORM);
+        enc.put_f64(self.s1);
+        enc.put_f64(self.s2);
+        enc.put_f64_slice(&self.raw);
+        enc.put_usize(self.len);
+        enc.put_usize(self.classes.len());
+        for state in &self.classes {
+            match state {
+                ZnormClassState::Diag(s) => {
+                    enc.put_u8(0);
+                    enc.put_f64(s.sxx);
+                    enc.put_f64(s.sx);
+                    enc.put_f64(s.sxm);
+                    enc.put_f64(s.s1);
+                    enc.put_f64(s.sm);
+                    enc.put_f64(s.smm);
+                    enc.put_f64(s.slnv);
+                }
+                ZnormClassState::Full {
+                    p,
+                    pp,
+                    rr,
+                    ss,
+                    pr,
+                    ps,
+                    rs,
+                    sum_ln,
+                } => {
+                    enc.put_u8(1);
+                    enc.put_f64_slice(p);
+                    enc.put_f64(*pp);
+                    enc.put_f64(*rr);
+                    enc.put_f64(*ss);
+                    enc.put_f64(*pr);
+                    enc.put_f64(*ps);
+                    enc.put_f64(*rs);
+                    enc.put_f64(*sum_ln);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), PersistError> {
+        if dec.get_u8("gaussian znorm session tag")? != TAG_ZNORM {
+            return Err(PersistError::Corrupt(
+                "gaussian znorm session: wrong state tag".into(),
+            ));
+        }
+        let s1 = dec.get_f64("gaussian znorm s1")?;
+        let s2 = dec.get_f64("gaussian znorm s2")?;
+        let raw = dec.get_f64_vec("gaussian znorm raw")?;
+        let len = dec.get_usize("gaussian znorm len")?;
+        let n = dec.get_usize("gaussian znorm class count")?;
+        if n != self.classes.len() {
+            return Err(PersistError::Corrupt(format!(
+                "gaussian znorm session: {n} classes in state, model has {}",
+                self.classes.len()
+            )));
+        }
+        let observed = len.min(self.model.series_len);
+        let expect_raw = match self.model.kind {
+            CovarianceKind::Full => observed,
+            _ => 0,
+        };
+        if raw.len() != expect_raw {
+            return Err(PersistError::Corrupt(format!(
+                "gaussian znorm session: raw buffer length {} for prefix {observed}",
+                raw.len()
+            )));
+        }
+        let mut classes = Vec::with_capacity(n);
+        for (c, expected) in self.classes.iter().enumerate() {
+            let variant = dec.get_u8("gaussian znorm variant")?;
+            match (variant, expected) {
+                (0, ZnormClassState::Diag(_)) => {
+                    classes.push(ZnormClassState::Diag(DiagZnormSums {
+                        sxx: dec.get_f64("znorm sxx")?,
+                        sx: dec.get_f64("znorm sx")?,
+                        sxm: dec.get_f64("znorm sxm")?,
+                        s1: dec.get_f64("znorm s1")?,
+                        sm: dec.get_f64("znorm sm")?,
+                        smm: dec.get_f64("znorm smm")?,
+                        slnv: dec.get_f64("znorm slnv")?,
+                    }));
+                }
+                (1, ZnormClassState::Full { .. }) => {
+                    let p = dec.get_f64_vec("znorm p")?;
+                    if p.len() != observed {
+                        return Err(PersistError::Corrupt(format!(
+                            "gaussian znorm session class {c}: p length {} for prefix {observed}",
+                            p.len()
+                        )));
+                    }
+                    classes.push(ZnormClassState::Full {
+                        p,
+                        pp: dec.get_f64("znorm pp")?,
+                        rr: dec.get_f64("znorm rr")?,
+                        ss: dec.get_f64("znorm ss")?,
+                        pr: dec.get_f64("znorm pr")?,
+                        ps: dec.get_f64("znorm ps")?,
+                        rs: dec.get_f64("znorm rs")?,
+                        sum_ln: dec.get_f64("znorm sum_ln")?,
+                    });
+                }
+                _ => {
+                    return Err(PersistError::Corrupt(format!(
+                        "gaussian znorm session class {c}: state variant does not match model"
+                    )));
+                }
+            }
+        }
+        self.s1 = s1;
+        self.s2 = s2;
+        self.raw = raw;
+        self.len = len;
+        self.classes = classes;
+        Ok(())
     }
 }
 
@@ -938,6 +1265,119 @@ mod tests {
         let mut out = [0.0; 2];
         m.posterior_prefix_into(&[0.0, 0.1, 0.2], &mut out);
         assert_eq!(out.to_vec(), m.posterior_prefix(&[0.0, 0.1, 0.2]));
+    }
+
+    #[test]
+    fn snapshot_restore_is_behavior_identical_for_every_kind() {
+        let d = toy(10, 8);
+        let probe = [0.1, 2.0, -0.3, 1.0, 0.0, 3.0, 0.2, 0.4];
+        for kind in [
+            CovarianceKind::Diagonal,
+            CovarianceKind::PooledDiagonal,
+            CovarianceKind::Full,
+        ] {
+            let m = GaussianModel::fit(&d, kind);
+            let back = GaussianModel::restore(&m.snapshot()).unwrap();
+            for t in 1..=probe.len() {
+                for c in 0..2 {
+                    assert_eq!(
+                        back.log_likelihood_prefix(c, &probe[..t]),
+                        m.log_likelihood_prefix(c, &probe[..t]),
+                        "{kind:?} class {c} prefix {t} must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn likelihood_session_checkpoint_resumes_bit_identically() {
+        let d = toy(10, 8);
+        let probe = [0.1, 2.0, -0.3, 1.0, 0.0, 3.0, 0.2, 0.4, 9.0];
+        for kind in [CovarianceKind::Diagonal, CovarianceKind::Full] {
+            let m = GaussianModel::fit(&d, kind);
+            // Uninterrupted reference.
+            let mut whole = m.likelihood_session();
+            // Interrupted twin: checkpoint mid-prefix, restore, continue.
+            let mut head = m.likelihood_session();
+            let split = 5;
+            for &x in &probe[..split] {
+                ScoreSession::push(&mut whole, x);
+                ScoreSession::push(&mut head, x);
+            }
+            let mut enc = Encoder::new();
+            ScoreSession::save_state(&head, &mut enc).unwrap();
+            let bytes = enc.into_bytes();
+            let mut resumed = m.likelihood_session();
+            ScoreSession::load_state(&mut resumed, &mut Decoder::new(&bytes)).unwrap();
+            for &x in &probe[split..] {
+                ScoreSession::push(&mut whole, x);
+                ScoreSession::push(&mut resumed, x);
+            }
+            assert_eq!(
+                resumed.log_likelihoods(),
+                whole.log_likelihoods(),
+                "{kind:?}: restored session must continue bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn znorm_session_checkpoint_resumes_bit_identically() {
+        let d = toy(10, 8);
+        let probe = [0.1, 2.0, -0.3, 1.0, 0.0, 3.0, 0.2, 0.4, 9.0, -5.0];
+        for kind in [CovarianceKind::Diagonal, CovarianceKind::Full] {
+            let m = GaussianModel::fit(&d, kind);
+            let mut whole = m.znorm_likelihood_session();
+            let mut head = m.znorm_likelihood_session();
+            for &x in &probe[..6] {
+                ScoreSession::push(&mut whole, x);
+                ScoreSession::push(&mut head, x);
+            }
+            let mut enc = Encoder::new();
+            ScoreSession::save_state(&head, &mut enc).unwrap();
+            let bytes = enc.into_bytes();
+            let mut resumed = m.znorm_likelihood_session();
+            ScoreSession::load_state(&mut resumed, &mut Decoder::new(&bytes)).unwrap();
+            let mut a = [0.0; 2];
+            let mut b = [0.0; 2];
+            for &x in &probe[6..] {
+                ScoreSession::push(&mut whole, x);
+                ScoreSession::push(&mut resumed, x);
+                whole.log_likelihoods_into(&mut a);
+                resumed.log_likelihoods_into(&mut b);
+                assert_eq!(a, b, "{kind:?}: restored znorm session diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn session_state_rejects_wrong_model_shape() {
+        let d2 = toy(10, 8);
+        let d3 = {
+            // Three classes: shape mismatch against a two-class state.
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for c in 0..3usize {
+                for i in 0..6 {
+                    data.push(vec![c as f64 + 0.1 * i as f64; 8]);
+                    labels.push(c);
+                }
+            }
+            UcrDataset::new(data, labels).unwrap()
+        };
+        let m2 = GaussianModel::fit(&d2, CovarianceKind::Diagonal);
+        let m3 = GaussianModel::fit(&d3, CovarianceKind::Diagonal);
+        let mut s = m2.likelihood_session();
+        ScoreSession::push(&mut s, 1.0);
+        let mut enc = Encoder::new();
+        ScoreSession::save_state(&s, &mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut wrong = m3.likelihood_session();
+        assert!(matches!(
+            ScoreSession::load_state(&mut wrong, &mut Decoder::new(&bytes)),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 
     #[test]

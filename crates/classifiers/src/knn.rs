@@ -4,6 +4,7 @@
 use etsc_core::distance::{squared_euclidean, squared_euclidean_early_abandon};
 use etsc_core::dtw::{dtw_sq_early_abandon, envelope, lb_keogh_sq, lb_kim_sq};
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 use crate::Classifier;
 
@@ -112,6 +113,42 @@ impl NearestNeighbors {
     /// The stored training data.
     pub fn train_data(&self) -> &UcrDataset {
         &self.train
+    }
+}
+
+impl Persist for NearestNeighbors {
+    const KIND: &'static str = "NearestNeighbors";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.section(|e| self.train.encode_body(e));
+        match self.metric {
+            Metric::Euclidean => enc.put_u8(0),
+            Metric::Dtw { band } => {
+                enc.put_u8(1);
+                enc.put_opt_usize(band);
+            }
+        }
+        enc.put_usize(self.k);
+    }
+
+    /// The stored exemplars and metric travel; LB_Keogh envelopes are
+    /// recomputed at decode by the same deterministic code fit time ran.
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let mut sub = dec.section("knn train")?;
+        let train = UcrDataset::decode_body(&mut sub)?;
+        sub.finish()?;
+        let metric = match dec.get_u8("knn metric")? {
+            0 => Metric::Euclidean,
+            1 => Metric::Dtw {
+                band: dec.get_opt_usize("knn band")?,
+            },
+            t => return Err(PersistError::Corrupt(format!("knn: metric tag {t}"))),
+        };
+        let k = dec.get_usize("knn k")?;
+        if k == 0 {
+            return Err(PersistError::Corrupt("knn: k must be at least 1".into()));
+        }
+        Ok(Self::fit(&train, metric, k))
     }
 }
 

@@ -49,6 +49,7 @@ pub mod sfa;
 pub mod weasel;
 
 use etsc_core::ClassLabel;
+use etsc_persist::{Decoder, Encoder, PersistError};
 
 /// A fitted whole-series classifier.
 ///
@@ -149,6 +150,32 @@ pub trait ScoreSession: Send {
 
     /// Forget all samples, keeping allocations for reuse.
     fn reset(&mut self);
+
+    /// Append this session's resumable state to `enc` (see `etsc-persist`
+    /// for the codec). A session restored into the same fitted model via
+    /// [`ScoreSession::load_state`] continues **bit-identically** to an
+    /// uninterrupted one: every accumulator travels as its IEEE bits.
+    ///
+    /// The default refuses ([`PersistError::Unsupported`]); every built-in
+    /// session overrides it.
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        let _ = enc;
+        Err(PersistError::Unsupported(
+            "this ScoreSession type (no save_state override)",
+        ))
+    }
+
+    /// Rehydrate a freshly opened session from state written by
+    /// [`ScoreSession::save_state`] against the same fitted model. The
+    /// session must be fresh (or is reset first); implementations validate
+    /// that the state's shape matches the owning model and fail with
+    /// [`PersistError::Corrupt`] otherwise.
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), PersistError> {
+        let _ = dec;
+        Err(PersistError::Unsupported(
+            "this ScoreSession type (no load_state override)",
+        ))
+    }
 }
 
 /// Index of the maximum element, NaN-safe.

@@ -5,6 +5,8 @@
 //! consumers are full-covariance Gaussians over modest dimensions, so a
 //! straightforward O(n³) Cholesky is both sufficient and easy to audit.
 
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
+
 /// A dense row-major square matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -70,6 +72,27 @@ impl Matrix {
             y[i] = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
         }
         y
+    }
+}
+
+impl Persist for Matrix {
+    const KIND: &'static str = "Matrix";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n);
+        enc.put_f64_slice(&self.data);
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let n = dec.get_usize("matrix dim")?;
+        let data = dec.get_f64_vec("matrix data")?;
+        if data.len() != n.saturating_mul(n) {
+            return Err(PersistError::Corrupt(format!(
+                "matrix: {} entries for dim {n}",
+                data.len()
+            )));
+        }
+        Ok(Self { n, data })
     }
 }
 
@@ -217,6 +240,41 @@ impl Cholesky {
         let mut y = Vec::with_capacity(b.len());
         self.forward_solve_leading(b, &mut y);
         y.iter().map(|&v| v * v).sum()
+    }
+}
+
+impl Persist for Cholesky {
+    const KIND: &'static str = "Cholesky";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        self.l.encode_body(enc);
+    }
+
+    /// Decodes the stored factor **as written** (no refactorization — the
+    /// restored factor is bit-identical to the fitted one, which is what
+    /// keeps restored sessions exact), validating the invariants every
+    /// consumer relies on: strictly lower-triangular shape and a finite,
+    /// strictly positive diagonal. A snapshot violating them is rejected as
+    /// corrupt instead of poisoning later solves.
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let l = Matrix::decode_body(dec)?;
+        let n = l.dim();
+        for i in 0..n {
+            let d = l[(i, i)];
+            if !(d.is_finite() && d > 0.0) {
+                return Err(PersistError::Corrupt(format!(
+                    "cholesky: non-positive diagonal L[{i}][{i}] = {d}"
+                )));
+            }
+            for j in (i + 1)..n {
+                if l[(i, j)] != 0.0 {
+                    return Err(PersistError::Corrupt(format!(
+                        "cholesky: nonzero upper-triangle entry L[{i}][{j}]"
+                    )));
+                }
+            }
+        }
+        Ok(Self { l })
     }
 }
 

@@ -5,6 +5,8 @@
 //! liblinear; we train our own). Deterministic: no stochastic shuffling, so
 //! fitted models are bit-reproducible.
 
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
+
 use crate::gaussian::softmax_of_logs;
 use crate::Classifier;
 
@@ -103,6 +105,43 @@ impl LogisticRegression {
             .zip(&self.biases)
             .map(|(w, &b)| b + w.iter().zip(x).map(|(&wi, &xi)| wi * xi).sum::<f64>())
             .collect()
+    }
+}
+
+impl Persist for LogisticRegression {
+    const KIND: &'static str = "LogisticRegression";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.weights.len());
+        for w in &self.weights {
+            enc.put_f64_slice(w);
+        }
+        enc.put_f64_slice(&self.biases);
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let n_classes = dec.get_usize("logistic class count")?;
+        if n_classes < 2 {
+            return Err(PersistError::Corrupt(format!(
+                "logistic: {n_classes} classes (need at least 2)"
+            )));
+        }
+        let mut weights = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            weights.push(dec.get_f64_vec("logistic weights")?);
+        }
+        let n_features = weights[0].len();
+        if weights.iter().any(|w| w.len() != n_features) {
+            return Err(PersistError::Corrupt("logistic: ragged weight rows".into()));
+        }
+        let biases = dec.get_f64_vec("logistic biases")?;
+        if biases.len() != n_classes {
+            return Err(PersistError::Corrupt(format!(
+                "logistic: {} biases for {n_classes} classes",
+                biases.len()
+            )));
+        }
+        Ok(Self { weights, biases })
     }
 }
 

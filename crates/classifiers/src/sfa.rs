@@ -8,6 +8,7 @@
 //! is the slave classifier inside TEASER.
 
 use etsc_core::znorm::znormalize;
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 /// First `n_coeffs` complex DFT coefficients of `x`, skipping the DC term
 /// (z-normalized inputs have zero DC anyway), interleaved as
@@ -76,7 +77,10 @@ impl Sfa {
                 if col.is_empty() {
                     return vec![0.0; alphabet - 1];
                 }
-                col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                // total_cmp: a degenerate training pool can push NaN
+                // features (e.g. after restoring and refitting on broken
+                // data); NaN must sort deterministically, not panic the fit.
+                col.sort_by(f64::total_cmp);
                 (1..alphabet)
                     .map(|q| {
                         let pos = q * col.len() / alphabet;
@@ -102,6 +106,12 @@ impl Sfa {
         self.alphabet
     }
 
+    /// Breakpoints for feature dimension `d` (for persistence round-trip
+    /// checks and inspection).
+    pub fn breakpoints(&self, d: usize) -> &[f64] {
+        &self.breakpoints[d]
+    }
+
     /// Quantize one raw window into a packed SFA word (4 bits per symbol).
     pub fn word(&self, window: &[f64]) -> u64 {
         let f = dft_features(&znormalize(window), self.n_coeffs);
@@ -117,6 +127,51 @@ impl Sfa {
             word = (word << 4) | sym;
         }
         word
+    }
+}
+
+impl Persist for Sfa {
+    const KIND: &'static str = "Sfa";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_coeffs);
+        enc.put_usize(self.alphabet);
+        enc.put_usize(self.breakpoints.len());
+        for bp in &self.breakpoints {
+            enc.put_f64_slice(bp);
+        }
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let n_coeffs = dec.get_usize("sfa n_coeffs")?;
+        let alphabet = dec.get_usize("sfa alphabet")?;
+        if !(2..=16).contains(&alphabet) {
+            return Err(PersistError::Corrupt(format!(
+                "sfa: alphabet {alphabet} outside 2..=16"
+            )));
+        }
+        let n_dims = dec.get_usize("sfa dim count")?;
+        if n_dims != 2 * n_coeffs {
+            return Err(PersistError::Corrupt(format!(
+                "sfa: {n_dims} dimensions for {n_coeffs} coefficients"
+            )));
+        }
+        let mut breakpoints = Vec::with_capacity(n_dims);
+        for d in 0..n_dims {
+            let bp = dec.get_f64_vec("sfa breakpoints")?;
+            if bp.len() != alphabet - 1 {
+                return Err(PersistError::Corrupt(format!(
+                    "sfa dim {d}: {} breakpoints for alphabet {alphabet}",
+                    bp.len()
+                )));
+            }
+            breakpoints.push(bp);
+        }
+        Ok(Self {
+            breakpoints,
+            n_coeffs,
+            alphabet,
+        })
     }
 }
 

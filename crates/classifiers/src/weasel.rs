@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use etsc_core::window::sliding_windows;
 use etsc_core::UcrDataset;
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 use crate::logistic::{LogisticConfig, LogisticRegression};
 use crate::sfa::Sfa;
@@ -131,7 +132,10 @@ impl Weasel {
                 (key, chi2)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // total_cmp: chi² scores can go NaN on degenerate class structure
+        // (restore-then-refit of broken data); NaN must sort
+        // deterministically instead of panicking the fit.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let keep = if cfg.top_features == 0 {
             scored.len()
         } else {
@@ -191,6 +195,92 @@ impl Weasel {
     /// Number of retained features.
     pub fn n_features(&self) -> usize {
         self.feature_index.len()
+    }
+}
+
+impl Persist for Weasel {
+    const KIND: &'static str = "Weasel";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_classes);
+        enc.put_usize(self.stride);
+        enc.put_usize(self.sfas.len());
+        for (w, sfa) in &self.sfas {
+            enc.put_usize(*w);
+            enc.section(|e| sfa.encode_body(e));
+        }
+        // HashMap iteration order is arbitrary; serialize entries sorted by
+        // key so identical models produce identical snapshots.
+        let mut entries: Vec<(&FeatureKey, &usize)> = self.feature_index.iter().collect();
+        entries.sort();
+        enc.put_usize(entries.len());
+        for (&(wi, word), &idx) in entries {
+            enc.put_usize(wi);
+            enc.put_u64(word);
+            enc.put_usize(idx);
+        }
+        enc.section(|e| self.model.encode_body(e));
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let n_classes = dec.get_usize("weasel class count")?;
+        let stride = dec.get_usize("weasel stride")?;
+        if stride == 0 {
+            return Err(PersistError::Corrupt("weasel: zero stride".into()));
+        }
+        let n_sfas = dec.get_usize("weasel sfa count")?;
+        let mut sfas = Vec::with_capacity(n_sfas);
+        for _ in 0..n_sfas {
+            let w = dec.get_usize("weasel window size")?;
+            let mut sub = dec.section("weasel sfa")?;
+            let sfa = Sfa::decode_body(&mut sub)?;
+            sub.finish()?;
+            sfas.push((w, sfa));
+        }
+        let n_features = dec.get_usize("weasel feature count")?;
+        let mut feature_index = HashMap::with_capacity(n_features);
+        for _ in 0..n_features {
+            let wi = dec.get_usize("weasel feature window index")?;
+            if wi >= n_sfas {
+                return Err(PersistError::Corrupt(format!(
+                    "weasel: feature references window index {wi} of {n_sfas}"
+                )));
+            }
+            let word = dec.get_u64("weasel feature word")?;
+            let idx = dec.get_usize("weasel feature slot")?;
+            if idx >= n_features {
+                return Err(PersistError::Corrupt(format!(
+                    "weasel: feature slot {idx} of {n_features}"
+                )));
+            }
+            if feature_index.insert((wi, word), idx).is_some() {
+                return Err(PersistError::Corrupt(
+                    "weasel: duplicate feature key".into(),
+                ));
+            }
+        }
+        let mut sub = dec.section("weasel model")?;
+        let model = LogisticRegression::decode_body(&mut sub)?;
+        sub.finish()?;
+        if model.n_features() != n_features {
+            return Err(PersistError::Corrupt(format!(
+                "weasel: linear model expects {} features, index holds {n_features}",
+                model.n_features()
+            )));
+        }
+        if model.n_classes() != n_classes {
+            return Err(PersistError::Corrupt(format!(
+                "weasel: linear model has {} classes, header says {n_classes}",
+                model.n_classes()
+            )));
+        }
+        Ok(Self {
+            sfas,
+            feature_index,
+            model,
+            n_classes,
+            stride,
+        })
     }
 }
 
@@ -280,6 +370,22 @@ mod tests {
         let clf = Weasel::fit(&train, &quick_cfg());
         assert!(clf.n_features() <= 64);
         assert!(clf.n_features() > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_probabilities_exactly() {
+        let train = tones(6, 48);
+        let clf = Weasel::fit(&train, &quick_cfg());
+        let back = Weasel::restore(&clf.snapshot()).unwrap();
+        assert_eq!(back.n_features(), clf.n_features());
+        for (probe, _) in train.iter() {
+            assert_eq!(back.predict_proba(probe), clf.predict_proba(probe));
+            // Prefix behavior (what TEASER snapshots rely on) too.
+            assert_eq!(
+                back.predict_proba(&probe[..24]),
+                clf.predict_proba(&probe[..24])
+            );
+        }
     }
 
     #[test]

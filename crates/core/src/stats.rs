@@ -125,6 +125,17 @@ impl RunningStats {
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
+
+    /// The raw accumulator state `(count, mean, m2)` — what a checkpoint
+    /// must capture for a restored accumulator to continue bit-identically.
+    pub fn state(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
+    /// Rebuild an accumulator from [`RunningStats::state`] output.
+    pub fn from_state(n: u64, mean: f64, m2: f64) -> Self {
+        Self { n, mean, m2 }
+    }
 }
 
 /// A past-only ("causal") normalizer for streaming data.

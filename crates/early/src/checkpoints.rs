@@ -12,6 +12,7 @@ use etsc_classifiers::gaussian::{CovarianceKind, GaussianModel};
 use etsc_classifiers::Classifier;
 use etsc_core::znorm::znormalize_in_place;
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 use crate::SessionNorm;
 
@@ -202,6 +203,76 @@ impl CheckpointEnsemble {
     }
 }
 
+impl Persist for CheckpointEnsemble {
+    const KIND: &'static str = "CheckpointEnsemble";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_classes);
+        enc.put_usize(self.series_len);
+        enc.put_usize_slice(&self.lengths);
+        for m in &self.models {
+            match m {
+                CheckpointModel::Centroid(c) => {
+                    enc.put_u8(0);
+                    enc.section(|e| c.encode_body(e));
+                }
+                CheckpointModel::Gaussian(g) => {
+                    enc.put_u8(1);
+                    enc.section(|e| g.encode_body(e));
+                }
+            }
+        }
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let n_classes = dec.get_usize("ensemble class count")?;
+        let series_len = dec.get_usize("ensemble series_len")?;
+        let lengths = dec.get_usize_vec("ensemble lengths")?;
+        if lengths.is_empty()
+            || lengths.windows(2).any(|w| w[0] >= w[1])
+            || lengths.iter().any(|&l| l == 0 || l > series_len)
+        {
+            return Err(PersistError::Corrupt(
+                "ensemble: checkpoint ladder must be ascending within 1..=series_len".into(),
+            ));
+        }
+        let mut models = Vec::with_capacity(lengths.len());
+        for i in 0..lengths.len() {
+            let tag = dec.get_u8("ensemble model tag")?;
+            let mut sub = dec.section("ensemble model")?;
+            let model = match tag {
+                0 => CheckpointModel::Centroid(NearestCentroid::decode_body(&mut sub)?),
+                1 => CheckpointModel::Gaussian(GaussianModel::decode_body(&mut sub)?),
+                t => {
+                    return Err(PersistError::Corrupt(format!(
+                        "ensemble: checkpoint model tag {t}"
+                    )))
+                }
+            };
+            sub.finish()?;
+            // Cross-validate the header's class count against the embedded
+            // model: a mismatch would otherwise surface later as a buffer
+            // assertion mid-stream, not a decode error.
+            let model_classes = match &model {
+                CheckpointModel::Centroid(c) => c.n_classes(),
+                CheckpointModel::Gaussian(g) => g.n_classes(),
+            };
+            if model_classes != n_classes {
+                return Err(PersistError::Corrupt(format!(
+                    "ensemble checkpoint {i}: model has {model_classes} classes, header says {n_classes}"
+                )));
+            }
+            models.push(model);
+        }
+        Ok(Self {
+            lengths,
+            models,
+            n_classes,
+            series_len,
+        })
+    }
+}
+
 /// An incremental walk up a [`CheckpointEnsemble`]'s ladder.
 ///
 /// The decision of every checkpoint-style algorithm (ECDIRE, the stopping
@@ -281,6 +352,11 @@ impl CheckpointCursor<'_> {
         self.len
     }
 
+    /// The normalization this cursor applies to checkpoint windows.
+    pub fn norm(&self) -> SessionNorm {
+        self.norm
+    }
+
     /// True before the first sample.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -292,6 +368,58 @@ impl CheckpointCursor<'_> {
         self.scratch.clear();
         self.completed = None;
         self.len = 0;
+    }
+
+    /// Append the cursor's resumable state (buffered window, completed
+    /// checkpoint, its posterior, sample count) to `enc`.
+    pub fn save_state(&self, enc: &mut Encoder) {
+        enc.put_f64_slice(&self.buf);
+        enc.put_f64_slice(&self.proba);
+        enc.put_opt_usize(self.completed);
+        enc.put_usize(self.len);
+    }
+
+    /// Rehydrate a fresh cursor from [`CheckpointCursor::save_state`]
+    /// output, validating shape against the owning ensemble.
+    pub fn load_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), PersistError> {
+        let buf = dec.get_f64_vec("cursor buf")?;
+        let proba = dec.get_f64_vec("cursor proba")?;
+        let completed = dec.get_opt_usize("cursor completed")?;
+        let len = dec.get_usize("cursor len")?;
+        let last_len = *self.ensemble.lengths().last().expect("non-empty ladder");
+        if buf.len() > last_len || buf.len() > len {
+            return Err(PersistError::Corrupt(format!(
+                "cursor: buffer of {} for {len} pushes (ladder top {last_len})",
+                buf.len()
+            )));
+        }
+        if !proba.is_empty() && proba.len() != self.ensemble.n_classes() {
+            return Err(PersistError::Corrupt(format!(
+                "cursor: posterior of {} for {} classes",
+                proba.len(),
+                self.ensemble.n_classes()
+            )));
+        }
+        match completed {
+            Some(ci) if ci >= self.ensemble.lengths().len() => {
+                return Err(PersistError::Corrupt(format!(
+                    "cursor: completed checkpoint {ci} of {}",
+                    self.ensemble.lengths().len()
+                )));
+            }
+            Some(_) if proba.is_empty() => {
+                return Err(PersistError::Corrupt(
+                    "cursor: completed checkpoint without a posterior".into(),
+                ));
+            }
+            _ => {}
+        }
+        self.buf = buf;
+        self.proba = proba;
+        self.completed = completed;
+        self.len = len;
+        self.scratch.clear();
+        Ok(())
     }
 }
 

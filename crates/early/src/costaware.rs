@@ -19,9 +19,13 @@
 //! this implementation at least makes the costs explicit inputs.
 
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 use crate::checkpoints::{BaseClassifier, CheckpointEnsemble};
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_norm, expect_session_tag, get_decision, put_decision, put_norm, session_tags, Decision,
+    DecisionSession, EarlyClassifier, SessionNorm,
+};
 
 /// Cost-aware trigger configuration.
 #[derive(Debug, Clone, Copy)]
@@ -162,6 +166,62 @@ impl EarlyClassifier for CostAware {
         let last = self.ensemble.lengths().len() - 1;
         etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
     }
+
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        expect_session_tag(dec, session_tags::COST_AWARE)?;
+        expect_norm(dec, norm)?;
+        let buf = dec.get_f64_vec("cost-aware buf")?;
+        if buf.len() > self.trigger_len() {
+            return Err(PersistError::Corrupt(format!(
+                "cost-aware session: buffer of {} for trigger {}",
+                buf.len(),
+                self.trigger_len()
+            )));
+        }
+        let len = dec.get_usize("cost-aware len")?;
+        let decision = get_decision(dec, self.n_classes())?;
+        Ok(Box::new(CostAwareSession {
+            model: self,
+            norm,
+            buf,
+            scratch: Vec::new(),
+            len,
+            decision,
+        }))
+    }
+}
+
+impl Persist for CostAware {
+    const KIND: &'static str = "CostAware";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.section(|e| self.ensemble.encode_body(e));
+        enc.put_usize(self.trigger);
+        enc.put_f64(self.expected_cost);
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let mut sub = dec.section("cost-aware ensemble")?;
+        let ensemble = CheckpointEnsemble::decode_body(&mut sub)?;
+        sub.finish()?;
+        let trigger = dec.get_usize("cost-aware trigger")?;
+        if trigger >= ensemble.lengths().len() {
+            return Err(PersistError::Corrupt(format!(
+                "cost-aware: trigger {trigger} of {} checkpoints",
+                ensemble.lengths().len()
+            )));
+        }
+        let expected_cost = dec.get_f64("cost-aware expected cost")?;
+        Ok(Self {
+            ensemble,
+            trigger,
+            expected_cost,
+        })
+    }
 }
 
 /// Incremental cost-aware session: buffers samples until the fixed trigger
@@ -221,6 +281,15 @@ impl DecisionSession for CostAwareSession<'_> {
         self.scratch.clear();
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::COST_AWARE);
+        put_norm(enc, self.norm);
+        enc.put_f64_slice(&self.buf);
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 

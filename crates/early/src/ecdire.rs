@@ -10,9 +10,13 @@
 //! among correct cross-validation predictions — gates individual decisions.
 
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 use crate::checkpoints::{BaseClassifier, CheckpointCursor, CheckpointEnsemble};
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_norm, expect_session_tag, get_decision, put_decision, put_norm, session_tags, Decision,
+    DecisionSession, EarlyClassifier, SessionNorm,
+};
 
 /// ECDIRE hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -175,6 +179,78 @@ impl EarlyClassifier for Ecdire {
         let last = self.ensemble.lengths().len() - 1;
         etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
     }
+
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        expect_session_tag(dec, session_tags::ECDIRE)?;
+        expect_norm(dec, norm)?;
+        let mut cursor = self.ensemble.cursor(norm);
+        {
+            let mut sub = dec.section("ecdire cursor")?;
+            cursor.load_state(&mut sub)?;
+            sub.finish()?;
+        }
+        let len = dec.get_usize("ecdire len")?;
+        let decision = get_decision(dec, self.n_classes())?;
+        Ok(Box::new(EcdireSession {
+            model: self,
+            cursor,
+            len,
+            decision,
+        }))
+    }
+}
+
+impl Persist for Ecdire {
+    const KIND: &'static str = "Ecdire";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.section(|e| self.ensemble.encode_body(e));
+        enc.put_usize(self.safe_from.len());
+        for s in &self.safe_from {
+            enc.put_opt_usize(*s);
+        }
+        enc.put_f64_slice(&self.margin_threshold);
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let mut sub = dec.section("ecdire ensemble")?;
+        let ensemble = CheckpointEnsemble::decode_body(&mut sub)?;
+        sub.finish()?;
+        let n_classes = dec.get_usize("ecdire safe count")?;
+        if n_classes != ensemble.n_classes() {
+            return Err(PersistError::Corrupt(format!(
+                "ecdire: {n_classes} safe timestamps for {} classes",
+                ensemble.n_classes()
+            )));
+        }
+        let n_ckpt = ensemble.lengths().len();
+        let mut safe_from = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let s = dec.get_opt_usize("ecdire safe timestamp")?;
+            if s.is_some_and(|ci| ci >= n_ckpt) {
+                return Err(PersistError::Corrupt(
+                    "ecdire: safe timestamp beyond the ladder".into(),
+                ));
+            }
+            safe_from.push(s);
+        }
+        let margin_threshold = dec.get_f64_vec("ecdire margins")?;
+        if margin_threshold.len() != n_ckpt {
+            return Err(PersistError::Corrupt(format!(
+                "ecdire: {} margin thresholds for {n_ckpt} checkpoints",
+                margin_threshold.len()
+            )));
+        }
+        Ok(Self {
+            ensemble,
+            safe_from,
+            margin_threshold,
+        })
+    }
 }
 
 impl Ecdire {
@@ -231,6 +307,15 @@ impl DecisionSession for EcdireSession<'_> {
         self.cursor.reset();
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::ECDIRE);
+        put_norm(enc, self.cursor.norm());
+        enc.section(|e| self.cursor.save_state(e));
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 

@@ -27,8 +27,12 @@ use etsc_core::parallel;
 use etsc_core::stats::RunningStats;
 use etsc_core::znorm::CONSTANT_EPS;
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_norm, expect_session_tag, get_decision, put_decision, put_norm, session_tags, Decision,
+    DecisionSession, EarlyClassifier, SessionNorm,
+};
 
 /// Minimum total fit work (`n² × L` incremental updates) before the ECTS
 /// fit fans out to worker threads. The parallel sweep spawns once per fit
@@ -193,7 +197,10 @@ impl Ects {
                                 .iter()
                                 .map(|&m| d2_of(m, b))
                                 .fold(f64::MAX, f64::min);
-                            da.partial_cmp(&db).unwrap()
+                            // total_cmp: distances are non-NaN for validated
+                            // data, but a degenerate (restored) training set
+                            // must not abort the fit on a poisoned compare.
+                            da.total_cmp(&db)
                         });
                     match next {
                         Some(j) => cluster.push(j),
@@ -392,6 +399,84 @@ impl EarlyClassifier for Ects {
         let (nn, _) = self.nearest_train(series);
         self.train.label(nn)
     }
+
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        expect_session_tag(dec, session_tags::ECTS)?;
+        expect_norm(dec, norm)?;
+        let d2 = dec.get_f64_vec("ects d2")?;
+        let dot = dec.get_f64_vec("ects dot")?;
+        let n = self.train.len();
+        let expect_dot = match norm {
+            SessionNorm::Raw => 0,
+            SessionNorm::PerPrefix => n,
+        };
+        if d2.len() != n || dot.len() != expect_dot {
+            return Err(PersistError::Corrupt(format!(
+                "ects session: {} distances / {} dots for {n} exemplars",
+                d2.len(),
+                dot.len()
+            )));
+        }
+        let count = dec.get_u64("ects stats count")?;
+        let mean = dec.get_f64("ects stats mean")?;
+        let m2 = dec.get_f64("ects stats m2")?;
+        let len = dec.get_usize("ects len")?;
+        let decision = get_decision(dec, self.n_classes())?;
+        Ok(Box::new(EctsSession {
+            model: self,
+            norm,
+            d2,
+            dot,
+            stats: RunningStats::from_state(count, mean, m2),
+            len,
+            decision,
+        }))
+    }
+}
+
+impl Persist for Ects {
+    const KIND: &'static str = "Ects";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.section(|e| self.train.encode_body(e));
+        enc.put_usize_slice(&self.mpl);
+        enc.put_usize(self.min_prefix);
+    }
+
+    /// The stored exemplars and fitted MPLs travel; the per-exemplar
+    /// cumulative sums are recomputed at decode by the same deterministic
+    /// code fit time ran — bit-identical, and half the bytes.
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let mut sub = dec.section("ects train")?;
+        let train = UcrDataset::decode_body(&mut sub)?;
+        sub.finish()?;
+        let mpl = dec.get_usize_vec("ects mpl")?;
+        if mpl.len() != train.len() {
+            return Err(PersistError::Corrupt(format!(
+                "ects: {} MPLs for {} exemplars",
+                mpl.len(),
+                train.len()
+            )));
+        }
+        if mpl.iter().any(|&m| m == 0 || m > train.series_len()) {
+            return Err(PersistError::Corrupt(
+                "ects: MPL outside 1..=series_len".into(),
+            ));
+        }
+        let min_prefix = dec.get_usize("ects min_prefix")?.max(1);
+        let (cum_y, cum_y2) = cumulative_sums(&train);
+        Ok(Self {
+            train,
+            mpl,
+            min_prefix,
+            cum_y,
+            cum_y2,
+        })
+    }
 }
 
 /// Per-exemplar cumulative sums of values and squares (lengths `0..=L`).
@@ -521,6 +606,20 @@ impl DecisionSession for EctsSession<'_> {
         self.stats = RunningStats::new();
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::ECTS);
+        put_norm(enc, self.norm);
+        enc.put_f64_slice(&self.d2);
+        enc.put_f64_slice(&self.dot);
+        let (count, mean, m2) = self.stats.state();
+        enc.put_u64(count);
+        enc.put_f64(mean);
+        enc.put_f64(m2);
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 

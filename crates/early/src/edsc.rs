@@ -20,8 +20,12 @@
 use etsc_core::distance::squared_euclidean_early_abandon;
 use etsc_core::stats::mean_std;
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_session_tag, get_decision, put_decision, session_tags, Decision, DecisionSession,
+    EarlyClassifier, SessionNorm,
+};
 
 /// Threshold-learning method for EDSC features.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -346,6 +350,84 @@ impl Edsc {
     pub fn features(&self) -> &[Feature] {
         &self.features
     }
+
+    /// Longest selected pattern — the trailing-window size sessions keep.
+    fn max_pattern_len(&self) -> usize {
+        self.features
+            .iter()
+            .map(|f| f.pattern.len())
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+impl Persist for Edsc {
+    const KIND: &'static str = "Edsc";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n_classes);
+        enc.put_usize(self.series_len);
+        enc.put_usize(self.min_prefix);
+        enc.put_usize(self.features.len());
+        for f in &self.features {
+            enc.section(|e| {
+                e.put_f64_slice(&f.pattern);
+                e.put_usize(f.label);
+                e.put_f64(f.threshold);
+                e.put_f64(f.utility);
+                e.put_f64(f.precision);
+                e.put_f64(f.recall);
+            });
+        }
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let n_classes = dec.get_usize("edsc class count")?;
+        let series_len = dec.get_usize("edsc series_len")?;
+        let min_prefix = dec.get_usize("edsc min_prefix")?.max(1);
+        let n = dec.get_usize("edsc feature count")?;
+        let mut features = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut sub = dec.section("edsc feature")?;
+            let pattern = sub.get_f64_vec("edsc pattern")?;
+            if pattern.is_empty() || pattern.len() > series_len {
+                return Err(PersistError::Corrupt(format!(
+                    "edsc feature {i}: pattern length {} for series_len {series_len}",
+                    pattern.len()
+                )));
+            }
+            let label = sub.get_usize("edsc feature label")?;
+            if label >= n_classes {
+                return Err(PersistError::Corrupt(format!(
+                    "edsc feature {i}: label {label} for {n_classes} classes"
+                )));
+            }
+            let threshold = sub.get_f64("edsc feature threshold")?;
+            if !(threshold.is_finite() && threshold > 0.0) {
+                return Err(PersistError::Corrupt(format!(
+                    "edsc feature {i}: threshold {threshold}"
+                )));
+            }
+            let utility = sub.get_f64("edsc feature utility")?;
+            let precision = sub.get_f64("edsc feature precision")?;
+            let recall = sub.get_f64("edsc feature recall")?;
+            sub.finish()?;
+            features.push(Feature {
+                pattern,
+                label,
+                threshold,
+                utility,
+                precision,
+                recall,
+            });
+        }
+        Ok(Self {
+            features,
+            n_classes,
+            series_len,
+            min_prefix,
+        })
+    }
 }
 
 /// Incremental EDSC session.
@@ -430,6 +512,15 @@ impl DecisionSession for EdscSession<'_> {
         self.best.fill(f64::INFINITY);
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::EDSC_RAW);
+        enc.put_f64_slice(&self.buf);
+        enc.put_f64_slice(&self.best);
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 
@@ -662,6 +753,28 @@ impl DecisionSession for EdscZnormSession<'_> {
         self.len = 0;
         self.decision = Decision::Wait;
     }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::EDSC_ZNORM);
+        enc.put_f64_slice(&self.c1);
+        enc.put_f64_slice(&self.c2);
+        enc.put_f64_slice(&self.tail);
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        enc.put_usize(self.features.len());
+        for st in &self.features {
+            enc.section(|e| {
+                e.put_f64_slice(&st.dots);
+                e.put_f64(st.amax);
+                e.put_f64(st.bmax);
+                e.put_f64(st.cmax);
+                e.put_f64(st.u0);
+                e.put_f64(st.v0);
+                e.put_f64(st.min0);
+            });
+        }
+        Ok(())
+    }
 }
 
 impl EarlyClassifier for Edsc {
@@ -697,13 +810,93 @@ impl EarlyClassifier for Edsc {
         Decision::Wait
     }
 
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        let window = self.max_pattern_len();
+        match norm {
+            SessionNorm::Raw => {
+                expect_session_tag(dec, session_tags::EDSC_RAW)?;
+                let buf = dec.get_f64_vec("edsc buf")?;
+                let best = dec.get_f64_vec("edsc best")?;
+                if buf.len() > window || best.len() != self.features.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "edsc session: buffer {} / {} minima for window {window}, {} features",
+                        buf.len(),
+                        best.len(),
+                        self.features.len()
+                    )));
+                }
+                let len = dec.get_usize("edsc len")?;
+                let decision = get_decision(dec, self.n_classes)?;
+                Ok(Box::new(EdscSession {
+                    model: self,
+                    buf,
+                    best,
+                    window,
+                    len,
+                    decision,
+                }))
+            }
+            SessionNorm::PerPrefix => {
+                expect_session_tag(dec, session_tags::EDSC_ZNORM)?;
+                let c1 = dec.get_f64_vec("edsc c1")?;
+                let c2 = dec.get_f64_vec("edsc c2")?;
+                let tail = dec.get_f64_vec("edsc tail")?;
+                if c1.is_empty() || c1.len() != c2.len() || tail.len() > window {
+                    return Err(PersistError::Corrupt(
+                        "edsc znorm session: cumulative-sum/tail shape".into(),
+                    ));
+                }
+                let len = dec.get_usize("edsc len")?;
+                if c1.len() > len + 1 {
+                    return Err(PersistError::Corrupt(format!(
+                        "edsc znorm session: {} cumulative entries for {len} pushes",
+                        c1.len()
+                    )));
+                }
+                let decision = get_decision(dec, self.n_classes)?;
+                let n_feat = dec.get_usize("edsc feature state count")?;
+                if n_feat != self.features.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "edsc znorm session: {n_feat} feature states for {} features",
+                        self.features.len()
+                    )));
+                }
+                let mut session = EdscZnormSession::new(self, window);
+                for (i, st) in session.features.iter_mut().enumerate() {
+                    let mut sub = dec.section("edsc feature state")?;
+                    let dots = sub.get_f64_vec("edsc dots")?;
+                    if dots.len() + 1 > c1.len() {
+                        return Err(PersistError::Corrupt(format!(
+                            "edsc znorm session feature {i}: {} window dots for {} prefix entries",
+                            dots.len(),
+                            c1.len()
+                        )));
+                    }
+                    st.dots = dots;
+                    st.amax = sub.get_f64("edsc amax")?;
+                    st.bmax = sub.get_f64("edsc bmax")?;
+                    st.cmax = sub.get_f64("edsc cmax")?;
+                    st.u0 = sub.get_f64("edsc u0")?;
+                    st.v0 = sub.get_f64("edsc v0")?;
+                    st.min0 = sub.get_f64("edsc min0")?;
+                    sub.finish()?;
+                }
+                session.c1 = c1;
+                session.c2 = c2;
+                session.tail = tail;
+                session.len = len;
+                session.decision = decision;
+                Ok(Box::new(session))
+            }
+        }
+    }
+
     fn session(&self, norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
-        let window = self
-            .features
-            .iter()
-            .map(|f| f.pattern.len())
-            .max()
-            .unwrap_or(1);
+        let window = self.max_pattern_len();
         match norm {
             SessionNorm::Raw => Box::new(EdscSession {
                 model: self,

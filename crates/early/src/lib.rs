@@ -60,6 +60,139 @@ pub mod threshold;
 use etsc_core::parallel;
 use etsc_core::znorm::znormalize_in_place;
 use etsc_core::ClassLabel;
+pub use etsc_persist::{Decoder, Encoder, PersistError};
+
+/// Envelope kind tag for standalone session checkpoints (see
+/// [`checkpoint_session`] / [`resume_session`]).
+pub const SESSION_STATE_KIND: &str = "DecisionSessionState";
+
+/// State-schema tags written at the head of every built-in session's saved
+/// state, so resuming against the wrong algorithm or the wrong
+/// [`SessionNorm`] fails loudly ([`PersistError::Corrupt`]) instead of
+/// misinterpreting accumulators.
+pub(crate) mod session_tags {
+    pub const ECTS: u8 = 1;
+    pub const EDSC_RAW: u8 = 2;
+    pub const EDSC_ZNORM: u8 = 3;
+    pub const RELCLASS: u8 = 4;
+    pub const TEASER: u8 = 5;
+    pub const TEMPLATE: u8 = 6;
+    pub const PROB_THRESHOLD: u8 = 7;
+    pub const ECDIRE: u8 = 8;
+    pub const STOPPING_RULE: u8 = 9;
+    pub const COST_AWARE: u8 = 10;
+}
+
+/// Encode a [`Decision`] (persist helper shared by the session states).
+pub(crate) fn put_decision(enc: &mut Encoder, d: Decision) {
+    match d {
+        Decision::Wait => enc.put_u8(0),
+        Decision::Predict { label, confidence } => {
+            enc.put_u8(1);
+            enc.put_usize(label);
+            enc.put_f64(confidence);
+        }
+    }
+}
+
+/// Decode a [`Decision`] written by [`put_decision`], validating the label
+/// against `n_classes`.
+pub(crate) fn get_decision(
+    dec: &mut Decoder<'_>,
+    n_classes: usize,
+) -> Result<Decision, PersistError> {
+    match dec.get_u8("decision tag")? {
+        0 => Ok(Decision::Wait),
+        1 => {
+            let label = dec.get_usize("decision label")?;
+            if label >= n_classes {
+                return Err(PersistError::Corrupt(format!(
+                    "decision label {label} for {n_classes} classes"
+                )));
+            }
+            let confidence = dec.get_f64("decision confidence")?;
+            Ok(Decision::Predict { label, confidence })
+        }
+        t => Err(PersistError::Corrupt(format!("decision tag {t}"))),
+    }
+}
+
+/// Read a session-state schema tag and demand it matches `expected`.
+pub(crate) fn expect_session_tag(dec: &mut Decoder<'_>, expected: u8) -> Result<(), PersistError> {
+    let found = dec.get_u8("session state tag")?;
+    if found != expected {
+        return Err(PersistError::Corrupt(format!(
+            "session state tag {found} does not match this algorithm/norm (expected {expected})"
+        )));
+    }
+    Ok(())
+}
+
+/// Encode a [`SessionNorm`] (persist helper).
+pub(crate) fn put_norm(enc: &mut Encoder, norm: SessionNorm) {
+    enc.put_u8(match norm {
+        SessionNorm::Raw => 0,
+        SessionNorm::PerPrefix => 1,
+    });
+}
+
+/// Decode a [`SessionNorm`] and demand it matches the norm the caller is
+/// resuming under — accumulator layouts differ per norm.
+pub(crate) fn expect_norm(
+    dec: &mut Decoder<'_>,
+    expected: SessionNorm,
+) -> Result<(), PersistError> {
+    let tag = dec.get_u8("session norm")?;
+    let found = match tag {
+        0 => SessionNorm::Raw,
+        1 => SessionNorm::PerPrefix,
+        t => return Err(PersistError::Corrupt(format!("session norm tag {t}"))),
+    };
+    if found != expected {
+        return Err(PersistError::Corrupt(format!(
+            "session was checkpointed under {found:?}, resumed under {expected:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Serialize a session's resumable state into a self-describing,
+/// checksummed envelope (kind [`SESSION_STATE_KIND`]).
+///
+/// The state is only meaningful to the fitted classifier (and
+/// [`SessionNorm`]) that produced the session; resume it with
+/// [`resume_session`] against the same model — or a [`Persist`]-restored
+/// copy of it in a new process, which is behavior-identical. Built-in
+/// sessions write a schema tag, so resuming against the wrong algorithm or
+/// norm fails with [`PersistError::Corrupt`] rather than misdecoding.
+///
+/// [`Persist`]: etsc_persist::Persist
+pub fn checkpoint_session(session: &dyn DecisionSession) -> Result<Vec<u8>, PersistError> {
+    let mut enc = Encoder::new();
+    session.save_state(&mut enc)?;
+    Ok(etsc_persist::envelope(
+        SESSION_STATE_KIND,
+        &enc.into_bytes(),
+    ))
+}
+
+/// Rehydrate a session from [`checkpoint_session`] bytes against `clf`
+/// under `norm`. The restored session continues **bit-identically** to an
+/// uninterrupted one for [`SessionNorm::Raw`] (and, for the built-in
+/// algorithms, for [`SessionNorm::PerPrefix`] too — the z-norm running sums
+/// round-trip as IEEE bits; the documented ~1e-9 tolerance applies only to
+/// the comparison against batch renormalization, exactly as for
+/// uninterrupted sessions).
+pub fn resume_session<'a, C: EarlyClassifier + ?Sized>(
+    clf: &'a C,
+    norm: SessionNorm,
+    bytes: &[u8],
+) -> Result<Box<dyn DecisionSession + 'a>, PersistError> {
+    let mut dec = etsc_persist::open_envelope(bytes, SESSION_STATE_KIND)?;
+    let session = clf.resume_session(norm, &mut dec)?;
+    dec.finish()?;
+    Ok(session)
+}
 
 /// Minimum number of concurrent sessions before a one-sample fan-out
 /// ([`MultiSession::push_all`]) is worth worker threads. The spawn round
@@ -253,6 +386,23 @@ pub trait DecisionSession: Send {
     /// Forget all samples and any commitment, keeping allocations — the
     /// cheap way to reuse one session across many anchors/streams.
     fn reset(&mut self);
+
+    /// Append this session's resumable state to `enc` (codec:
+    /// `etsc-persist`). Rehydrated into the same fitted model via
+    /// [`EarlyClassifier::resume_session`], the session continues
+    /// **bit-identically** to an uninterrupted one: every accumulator
+    /// travels as its IEEE bits, so the next push performs exactly the
+    /// arithmetic it would have performed without the interruption.
+    ///
+    /// The default refuses with [`PersistError::Unsupported`]; every
+    /// built-in algorithm's sessions override it. Use
+    /// [`checkpoint_session`] for the envelope-wrapped form.
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        let _ = enc;
+        Err(PersistError::Unsupported(
+            "this DecisionSession type (no save_state override)",
+        ))
+    }
 }
 
 /// A fitted early classifier.
@@ -315,6 +465,25 @@ pub trait EarlyClassifier: Sync {
     /// `decide` never commits (the ETSC literature always reports *some*
     /// label at full length).
     fn predict_full(&self, series: &[f64]) -> ClassLabel;
+
+    /// Open a session under `norm` and rehydrate it from state written by
+    /// [`DecisionSession::save_state`] against this same fitted model (or a
+    /// snapshot-restored copy). Implementations validate that the state's
+    /// schema and shape match before trusting a single byte of it.
+    ///
+    /// The default refuses with [`PersistError::Unsupported`]; every
+    /// built-in algorithm overrides it. Use the free function
+    /// [`resume_session`] for the envelope-wrapped form.
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        let _ = (norm, dec);
+        Err(PersistError::Unsupported(
+            "this EarlyClassifier type (no resume_session override)",
+        ))
+    }
 }
 
 /// The universal fallback session: buffers the pushed samples and replays

@@ -29,10 +29,14 @@ use etsc_classifiers::gaussian::{
     softmax_of_logs_in_place, CovarianceKind, GaussianLikelihoodSession, GaussianModel,
     GaussianZnormSession,
 };
-use etsc_classifiers::Classifier;
+use etsc_classifiers::{Classifier, ScoreSession};
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_norm, expect_session_tag, get_decision, put_decision, put_norm, session_tags, Decision,
+    DecisionSession, EarlyClassifier, SessionNorm,
+};
 
 /// RelClass hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +182,65 @@ impl EarlyClassifier for RelClass {
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
         self.model.predict(series)
     }
+
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        expect_session_tag(dec, session_tags::RELCLASS)?;
+        expect_norm(dec, norm)?;
+        let mut scorer = match norm {
+            SessionNorm::Raw => LikelihoodScorer::Raw(self.model.likelihood_session()),
+            SessionNorm::PerPrefix => {
+                LikelihoodScorer::Znorm(self.model.znorm_likelihood_session())
+            }
+        };
+        {
+            let mut sub = dec.section("relclass scorer")?;
+            match &mut scorer {
+                LikelihoodScorer::Raw(s) => s.load_state(&mut sub)?,
+                LikelihoodScorer::Znorm(s) => s.load_state(&mut sub)?,
+            }
+            sub.finish()?;
+        }
+        let len = dec.get_usize("relclass len")?;
+        let decision = get_decision(dec, self.model.n_classes())?;
+        Ok(Box::new(RelClassSession {
+            model: self,
+            scorer,
+            ll: vec![0.0; self.model.n_classes()],
+            posterior: vec![0.0; self.model.n_classes()],
+            len,
+            decision,
+        }))
+    }
+}
+
+impl Persist for RelClass {
+    const KIND: &'static str = "RelClass";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.section(|e| self.model.encode_body(e));
+        enc.put_f64(self.tau);
+        enc.put_usize(self.min_prefix);
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let mut sub = dec.section("relclass model")?;
+        let model = GaussianModel::decode_body(&mut sub)?;
+        sub.finish()?;
+        let tau = dec.get_f64("relclass tau")?;
+        if !(0.0..=1.0).contains(&tau) {
+            return Err(PersistError::Corrupt(format!("relclass: tau {tau}")));
+        }
+        let min_prefix = dec.get_usize("relclass min_prefix")?.max(1);
+        Ok(Self {
+            model,
+            tau,
+            min_prefix,
+        })
+    }
 }
 
 /// The per-class log-likelihood accumulator behind a [`RelClassSession`]:
@@ -286,6 +349,24 @@ impl DecisionSession for RelClassSession<'_> {
         self.scorer.reset();
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::RELCLASS);
+        put_norm(
+            enc,
+            match self.scorer {
+                LikelihoodScorer::Raw(_) => SessionNorm::Raw,
+                LikelihoodScorer::Znorm(_) => SessionNorm::PerPrefix,
+            },
+        );
+        enc.try_section(|e| match &self.scorer {
+            LikelihoodScorer::Raw(s) => s.save_state(e),
+            LikelihoodScorer::Znorm(s) => s.save_state(e),
+        })?;
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 

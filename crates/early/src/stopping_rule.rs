@@ -14,9 +14,13 @@
 //! trade-off this line of work optimizes.
 
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
 use crate::checkpoints::{BaseClassifier, CheckpointCursor, CheckpointEnsemble};
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_norm, expect_session_tag, get_decision, put_decision, put_norm, session_tags, Decision,
+    DecisionSession, EarlyClassifier, SessionNorm,
+};
 
 /// Stopping-rule hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -192,6 +196,52 @@ impl EarlyClassifier for StoppingRule {
         let last = self.ensemble.lengths().len() - 1;
         etsc_classifiers::argmax(&self.ensemble.proba_at(last, series))
     }
+
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        expect_session_tag(dec, session_tags::STOPPING_RULE)?;
+        expect_norm(dec, norm)?;
+        let mut cursor = self.ensemble.cursor(norm);
+        {
+            let mut sub = dec.section("stopping-rule cursor")?;
+            cursor.load_state(&mut sub)?;
+            sub.finish()?;
+        }
+        let len = dec.get_usize("stopping-rule len")?;
+        let decision = get_decision(dec, self.n_classes())?;
+        Ok(Box::new(StoppingRuleSession {
+            model: self,
+            cursor,
+            len,
+            decision,
+        }))
+    }
+}
+
+impl Persist for StoppingRule {
+    const KIND: &'static str = "StoppingRule";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.section(|e| self.ensemble.encode_body(e));
+        for g in self.gamma {
+            enc.put_f64(g);
+        }
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let mut sub = dec.section("stopping-rule ensemble")?;
+        let ensemble = CheckpointEnsemble::decode_body(&mut sub)?;
+        sub.finish()?;
+        let gamma = [
+            dec.get_f64("stopping-rule gamma1")?,
+            dec.get_f64("stopping-rule gamma2")?,
+            dec.get_f64("stopping-rule gamma3")?,
+        ];
+        Ok(Self { ensemble, gamma })
+    }
 }
 
 impl StoppingRule {
@@ -249,6 +299,15 @@ impl DecisionSession for StoppingRuleSession<'_> {
         self.cursor.reset();
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::STOPPING_RULE);
+        put_norm(enc, self.cursor.norm());
+        enc.section(|e| self.cursor.save_state(e));
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 

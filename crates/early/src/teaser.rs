@@ -26,8 +26,12 @@ use etsc_classifiers::{argmax, Classifier};
 use etsc_core::parallel;
 use etsc_core::znorm::{znormalize, znormalize_in_place};
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_norm, expect_session_tag, get_decision, put_decision, put_norm, session_tags, Decision,
+    DecisionSession, EarlyClassifier, SessionNorm,
+};
 
 /// Which slave classifier each snapshot trains.
 #[derive(Debug, Clone)]
@@ -144,7 +148,9 @@ impl OneClassEnvelope {
             threshold: f64::NEG_INFINITY,
         };
         let mut scores: Vec<f64> = vectors.iter().map(|v| proto.score(v)).collect();
-        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: degenerate slave outputs can score NaN; the threshold
+        // quantile must not panic mid-fit on a poisoned compare.
+        scores.sort_by(f64::total_cmp);
         let idx = ((quantile.clamp(0.0, 1.0)) * (scores.len() - 1) as f64).round() as usize;
         Some(Self {
             threshold: scores[idx],
@@ -434,6 +440,125 @@ impl Teaser {
     }
 }
 
+impl Persist for Teaser {
+    const KIND: &'static str = "Teaser";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.v);
+        enc.put_usize(self.n_classes);
+        enc.put_usize(self.series_len);
+        enc.put_bool(self.znorm_prefixes);
+        enc.put_usize(self.snapshots.len());
+        for snap in &self.snapshots {
+            enc.section(|e| {
+                e.put_usize(snap.len);
+                match &snap.slave {
+                    Slave::Weasel(w) => {
+                        e.put_u8(0);
+                        e.section(|e2| w.encode_body(e2));
+                    }
+                    Slave::Centroid(c) => {
+                        e.put_u8(1);
+                        e.section(|e2| c.encode_body(e2));
+                    }
+                }
+                match &snap.master {
+                    Some(m) => {
+                        e.put_bool(true);
+                        e.put_f64_slice(&m.mean);
+                        e.put_f64_slice(&m.var);
+                        e.put_f64(m.threshold);
+                    }
+                    None => e.put_bool(false),
+                }
+            });
+        }
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let v = dec.get_usize("teaser consistency")?.max(1);
+        let n_classes = dec.get_usize("teaser class count")?;
+        let series_len = dec.get_usize("teaser series_len")?;
+        let znorm_prefixes = dec.get_bool("teaser znorm flag")?;
+        let n = dec.get_usize("teaser snapshot count")?;
+        if n == 0 {
+            return Err(PersistError::Corrupt("teaser: zero snapshots".into()));
+        }
+        let mut snapshots = Vec::with_capacity(n);
+        let mut prev_len = 0usize;
+        for i in 0..n {
+            let mut sub = dec.section("teaser snapshot")?;
+            let len = sub.get_usize("teaser snapshot length")?;
+            if len <= prev_len || len > series_len {
+                return Err(PersistError::Corrupt(format!(
+                    "teaser snapshot {i}: length {len} breaks the ascending ladder"
+                )));
+            }
+            prev_len = len;
+            let slave = match sub.get_u8("teaser slave tag")? {
+                0 => {
+                    let mut s = sub.section("teaser weasel slave")?;
+                    let w = Weasel::decode_body(&mut s)?;
+                    s.finish()?;
+                    Slave::Weasel(w)
+                }
+                1 => {
+                    let mut s = sub.section("teaser centroid slave")?;
+                    let c = NearestCentroid::decode_body(&mut s)?;
+                    s.finish()?;
+                    Slave::Centroid(c)
+                }
+                t => return Err(PersistError::Corrupt(format!("teaser: slave tag {t}"))),
+            };
+            // Cross-validate the header's class count against the slave: a
+            // mismatch would otherwise abort mid-stream in the probability
+            // buffers instead of failing the decode.
+            let slave_classes = match &slave {
+                Slave::Weasel(w) => w.n_classes(),
+                Slave::Centroid(c) => c.n_classes(),
+            };
+            if slave_classes != n_classes {
+                return Err(PersistError::Corrupt(format!(
+                    "teaser snapshot {i}: slave has {slave_classes} classes, header says {n_classes}"
+                )));
+            }
+            let master = if sub.get_bool("teaser master present")? {
+                let mean = sub.get_f64_vec("teaser master mean")?;
+                let var = sub.get_f64_vec("teaser master var")?;
+                if mean.len() != var.len() || mean.is_empty() {
+                    return Err(PersistError::Corrupt(format!(
+                        "teaser snapshot {i}: envelope mean/var lengths {}/{}",
+                        mean.len(),
+                        var.len()
+                    )));
+                }
+                if var.iter().any(|&x| !(x.is_finite() && x > 0.0)) {
+                    return Err(PersistError::Corrupt(format!(
+                        "teaser snapshot {i}: non-positive envelope variance"
+                    )));
+                }
+                let threshold = sub.get_f64("teaser master threshold")?;
+                Some(OneClassEnvelope {
+                    mean,
+                    var,
+                    threshold,
+                })
+            } else {
+                None
+            };
+            sub.finish()?;
+            snapshots.push(Snapshot { len, slave, master });
+        }
+        Ok(Self {
+            snapshots,
+            v,
+            n_classes,
+            series_len,
+            znorm_prefixes,
+        })
+    }
+}
+
 impl EarlyClassifier for Teaser {
     fn n_classes(&self) -> usize {
         self.n_classes
@@ -487,6 +612,57 @@ impl EarlyClassifier for Teaser {
             .unwrap_or(&self.snapshots[0]);
         let p = self.normalized_prefix(series, snap.len);
         argmax(&snap.slave.predict_proba(&p[..snap.len.min(p.len())]))
+    }
+
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        expect_session_tag(dec, session_tags::TEASER)?;
+        expect_norm(dec, norm)?;
+        let buf = dec.get_f64_vec("teaser buf")?;
+        if buf.len() > self.series_len {
+            return Err(PersistError::Corrupt(format!(
+                "teaser session: buffer of {} for series_len {}",
+                buf.len(),
+                self.series_len
+            )));
+        }
+        let n_results = dec.get_usize("teaser result count")?;
+        if n_results > self.snapshots.len() {
+            return Err(PersistError::Corrupt(format!(
+                "teaser session: {n_results} snapshot results for {} snapshots",
+                self.snapshots.len()
+            )));
+        }
+        let mut results = Vec::with_capacity(n_results);
+        for _ in 0..n_results {
+            let r = if dec.get_bool("teaser result present")? {
+                let label = dec.get_usize("teaser result label")?;
+                if label >= self.n_classes {
+                    return Err(PersistError::Corrupt(format!(
+                        "teaser session: result label {label} for {} classes",
+                        self.n_classes
+                    )));
+                }
+                Some((label, dec.get_f64("teaser result confidence")?))
+            } else {
+                None
+            };
+            results.push(r);
+        }
+        let len = dec.get_usize("teaser len")?;
+        let decision = get_decision(dec, self.n_classes)?;
+        Ok(Box::new(TeaserSession {
+            model: self,
+            norm,
+            buf,
+            scratch: Vec::new(),
+            results,
+            len,
+            decision,
+        }))
     }
 }
 
@@ -593,6 +769,26 @@ impl DecisionSession for TeaserSession<'_> {
         self.results.clear();
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::TEASER);
+        put_norm(enc, self.norm);
+        enc.put_f64_slice(&self.buf);
+        enc.put_usize(self.results.len());
+        for r in &self.results {
+            match r {
+                Some((label, conf)) => {
+                    enc.put_bool(true);
+                    enc.put_usize(*label);
+                    enc.put_f64(*conf);
+                }
+                None => enc.put_bool(false),
+            }
+        }
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 

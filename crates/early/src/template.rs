@@ -15,8 +15,12 @@
 use etsc_core::distance::euclidean;
 use etsc_core::znorm::{znormalize, CONSTANT_EPS};
 use etsc_core::{ClassLabel, UcrDataset};
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_session_tag, get_decision, put_decision, session_tags, Decision, DecisionSession,
+    EarlyClassifier, SessionNorm,
+};
 
 /// An early classifier matching prefixes against per-class templates under
 /// an absolute distance threshold.
@@ -90,7 +94,9 @@ impl TemplateMatcher {
             .iter()
             .map(|(s, label)| proto.distance(label, s))
             .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: degenerate training data can produce NaN distances;
+        // calibration must not panic on a poisoned compare.
+        dists.sort_by(f64::total_cmp);
         let idx = ((quantile.clamp(0.0, 1.0)) * (dists.len() - 1) as f64).round() as usize;
         dists[idx].max(1e-6)
     }
@@ -112,6 +118,47 @@ impl TemplateMatcher {
     /// The acceptance threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+}
+
+impl Persist for TemplateMatcher {
+    const KIND: &'static str = "TemplateMatcher";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_f64(self.threshold);
+        enc.put_usize(self.min_prefix);
+        enc.put_usize(self.templates.len());
+        for t in &self.templates {
+            enc.put_f64_slice(t);
+        }
+    }
+
+    /// Templates and threshold travel; the per-class cumulative sums are
+    /// recomputed at decode (`from_templates` runs the same deterministic
+    /// code as the original construction).
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let threshold = dec.get_f64("template threshold")?;
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(PersistError::Corrupt(format!(
+                "template: threshold {threshold}"
+            )));
+        }
+        let min_prefix = dec.get_usize("template min_prefix")?;
+        let n = dec.get_usize("template count")?;
+        if n == 0 {
+            return Err(PersistError::Corrupt("template: zero templates".into()));
+        }
+        let mut templates = Vec::with_capacity(n);
+        for _ in 0..n {
+            templates.push(dec.get_f64_vec("template pattern")?);
+        }
+        let len = templates[0].len();
+        if len == 0 || templates.iter().any(|t| t.len() != len) {
+            return Err(PersistError::Corrupt(
+                "template: templates must share a non-empty length".into(),
+            ));
+        }
+        Ok(Self::from_templates(templates, threshold, min_prefix))
     }
 }
 
@@ -165,11 +212,42 @@ impl EarlyClassifier for TemplateMatcher {
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
         (0..self.templates.len())
             .min_by(|&a, &b| {
+                // total_cmp: NaN distances (degenerate inputs) must order
+                // deterministically, not panic the fallback prediction.
                 self.distance(a, series)
-                    .partial_cmp(&self.distance(b, series))
-                    .unwrap()
+                    .total_cmp(&self.distance(b, series))
             })
             .unwrap_or(0)
+    }
+
+    fn resume_session(
+        &self,
+        _norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        // One session type serves both norms (the z-normalized distance is
+        // affine-invariant), so the norm does not enter the state.
+        expect_session_tag(dec, session_tags::TEMPLATE)?;
+        let dot = dec.get_f64_vec("template dot")?;
+        if dot.len() != self.templates.len() {
+            return Err(PersistError::Corrupt(format!(
+                "template session: {} dots for {} templates",
+                dot.len(),
+                self.templates.len()
+            )));
+        }
+        let sum = dec.get_f64("template sum")?;
+        let sumsq = dec.get_f64("template sumsq")?;
+        let len = dec.get_usize("template len")?;
+        let decision = get_decision(dec, self.templates.len())?;
+        Ok(Box::new(TemplateSession {
+            model: self,
+            dot,
+            sum,
+            sumsq,
+            len,
+            decision,
+        }))
     }
 }
 
@@ -269,6 +347,16 @@ impl DecisionSession for TemplateSession<'_> {
         self.sumsq = 0.0;
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::TEMPLATE);
+        enc.put_f64_slice(&self.dot);
+        enc.put_f64(self.sum);
+        enc.put_f64(self.sumsq);
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 

@@ -9,8 +9,15 @@
 
 use etsc_classifiers::{argmax, Classifier, ScoreSession};
 use etsc_core::ClassLabel;
+use etsc_persist::{Decoder, Encoder, Persist, PersistError};
 
-use crate::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use crate::{
+    expect_norm, expect_session_tag, get_decision, put_decision, put_norm, session_tags, Decision,
+    DecisionSession, EarlyClassifier, SessionNorm,
+};
+
+/// State-schema tag for the buffering [`RescoreSession`] fallback.
+const TAG_RESCORE: u8 = 24;
 
 /// An early classifier that commits when the wrapped model's class
 /// probability exceeds a user threshold.
@@ -107,6 +114,7 @@ impl<C: Classifier> EarlyClassifier for ProbThreshold<C> {
         });
         Box::new(ProbThresholdSession {
             model: self,
+            norm,
             scorer,
             proba: vec![0.0; self.inner.n_classes()],
             len: 0,
@@ -116,6 +124,71 @@ impl<C: Classifier> EarlyClassifier for ProbThreshold<C> {
 
     fn predict_full(&self, series: &[f64]) -> ClassLabel {
         self.inner.predict(series)
+    }
+
+    fn resume_session(
+        &self,
+        norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        expect_session_tag(dec, session_tags::PROB_THRESHOLD)?;
+        expect_norm(dec, norm)?;
+        // Reopen the scorer exactly as `session` would (incremental when the
+        // wrapped model offers one, the buffering fallback otherwise) and
+        // rehydrate it through the `ScoreSession` state API — so even a
+        // wrapped classifier with no incremental form checkpoints cleanly.
+        let mut scorer = match norm {
+            SessionNorm::Raw => self.inner.score_session(),
+            SessionNorm::PerPrefix => self.inner.score_session_znorm(),
+        }
+        .unwrap_or_else(|| {
+            Box::new(RescoreSession {
+                inner: &self.inner,
+                norm,
+                buf: Vec::new(),
+            })
+        });
+        {
+            let mut sub = dec.section("prob-threshold scorer")?;
+            scorer.load_state(&mut sub)?;
+            sub.finish()?;
+        }
+        let len = dec.get_usize("prob-threshold len")?;
+        let decision = get_decision(dec, self.inner.n_classes())?;
+        Ok(Box::new(ProbThresholdSession {
+            model: self,
+            norm,
+            scorer,
+            proba: vec![0.0; self.inner.n_classes()],
+            len,
+            decision,
+        }))
+    }
+}
+
+impl<C: Classifier + Persist> Persist for ProbThreshold<C> {
+    const KIND: &'static str = "ProbThreshold";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_f64(self.threshold);
+        enc.put_usize(self.series_len);
+        enc.put_usize(self.min_prefix);
+        enc.section(|e| self.inner.encode_body(e));
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let threshold = dec.get_f64("prob-threshold threshold")?;
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(PersistError::Corrupt(format!(
+                "prob-threshold: threshold {threshold}"
+            )));
+        }
+        let series_len = dec.get_usize("prob-threshold series_len")?;
+        let min_prefix = dec.get_usize("prob-threshold min_prefix")?;
+        let mut sub = dec.section("prob-threshold inner")?;
+        let inner = C::decode_body(&mut sub)?;
+        sub.finish()?;
+        Ok(Self::new(inner, threshold, series_len, min_prefix))
     }
 }
 
@@ -157,6 +230,22 @@ impl<C: Classifier> ScoreSession for RescoreSession<'_, C> {
     fn reset(&mut self) {
         self.buf.clear();
     }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(TAG_RESCORE);
+        enc.put_f64_slice(&self.buf);
+        Ok(())
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), PersistError> {
+        if dec.get_u8("rescore session tag")? != TAG_RESCORE {
+            return Err(PersistError::Corrupt(
+                "rescore session: wrong state tag".into(),
+            ));
+        }
+        self.buf = dec.get_f64_vec("rescore buf")?;
+        Ok(())
+    }
 }
 
 /// Incremental probability-threshold session over the wrapped classifier's
@@ -168,6 +257,8 @@ impl<C: Classifier> ScoreSession for RescoreSession<'_, C> {
 /// tolerance.
 struct ProbThresholdSession<'a, C> {
     model: &'a ProbThreshold<C>,
+    /// Norm the scorer was opened under (part of the checkpoint schema).
+    norm: SessionNorm,
     scorer: Box<dyn ScoreSession + 'a>,
     proba: Vec<f64>,
     /// Samples consumed, counted independently of the scorer so latched
@@ -209,6 +300,17 @@ impl<C: Classifier> DecisionSession for ProbThresholdSession<'_, C> {
         self.scorer.reset();
         self.len = 0;
         self.decision = Decision::Wait;
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(session_tags::PROB_THRESHOLD);
+        // The scorer variant is keyed off the norm at open time, so the
+        // norm is part of the schema.
+        put_norm(enc, self.norm);
+        enc.try_section(|e| self.scorer.save_state(e))?;
+        enc.put_usize(self.len);
+        put_decision(enc, self.decision);
+        Ok(())
     }
 }
 

@@ -1,0 +1,761 @@
+#![warn(missing_docs)]
+
+//! # etsc-persist
+//!
+//! Versioned binary snapshots for fitted models and checkpoint/restore for
+//! in-flight streaming sessions — the substrate that turns the workspace's
+//! incremental sessions into durable, migratable units of work (restarts,
+//! deploys, shard migrations).
+//!
+//! Consistent with the workspace's offline-shim policy, this crate has **no
+//! dependencies** beyond `etsc-core`: the codec is a hand-rolled
+//! little-endian binary format, not serde.
+//!
+//! ## Wire format
+//!
+//! Every snapshot is an **envelope**:
+//!
+//! ```text
+//! magic      4 bytes   b"ETSC"
+//! version    u16 LE    FORMAT_VERSION of the writer
+//! kind       str       length-prefixed type tag (e.g. "GaussianModel")
+//! payload    u64 LE length, then that many body bytes
+//! checksum   u64 LE    FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Inside the payload, the primitive vocabulary is fixed:
+//!
+//! * integers are little-endian fixed width; `usize` travels as `u64`;
+//! * `f64` is `to_bits()` little-endian — snapshots round-trip floats
+//!   **bit-exactly**, which is what makes restored sessions continue
+//!   bit-identically to uninterrupted ones;
+//! * `bool` is one byte (0/1), `Option<T>` is a one-byte tag then `T`;
+//! * strings and slices are length-prefixed;
+//! * composite records are wrapped in length-prefixed **sections**
+//!   ([`Encoder::section`] / [`Decoder::section`]), so readers can validate
+//!   that a record consumed exactly its declared bytes.
+//!
+//! Format evolution policy: the golden fixtures under
+//! `tests/fixtures/persist/` pin the current layout. Any layout change must
+//! bump [`FORMAT_VERSION`] (readers reject other versions with
+//! [`PersistError::UnsupportedVersion`]) and regenerate the fixtures —
+//! never silently reshape version 1.
+//!
+//! ## The [`Persist`] trait
+//!
+//! A fitted model implements [`Persist`] by providing `encode_body` /
+//! `decode_body`; the envelope handling ([`Persist::snapshot`] /
+//! [`Persist::restore`]) is supplied. Session checkpointing (for types that
+//! borrow a model and therefore cannot implement `restore(&[u8]) -> Self`)
+//! lives on the session traits themselves (`DecisionSession::save_state` in
+//! `etsc-early`, `ScoreSession::{save_state, load_state}` in
+//! `etsc-classifiers`) and reuses this crate's codec.
+//!
+//! ## [`ModelRegistry`]
+//!
+//! A small file-backed store (one `<name>.etsc` file per snapshot) for
+//! deploy-style workflows: save fitted models by name, list what a
+//! directory holds (name, kind, format version, size), and load them back
+//! in a new process.
+
+use std::fmt;
+
+use etsc_core::UcrDataset;
+
+/// Current wire-format version. Bump on any layout change; readers reject
+/// every other version instead of misdecoding.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Envelope magic bytes.
+pub const MAGIC: [u8; 4] = *b"ETSC";
+
+/// Errors produced by snapshot encoding, decoding, and the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// The byte stream ended before a field could be read.
+    UnexpectedEof {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// The envelope does not start with [`MAGIC`].
+    BadMagic,
+    /// The envelope was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the envelope.
+        found: u16,
+        /// Version this reader supports.
+        supported: u16,
+    },
+    /// The envelope's kind tag names a different type.
+    KindMismatch {
+        /// Kind expected by the caller.
+        expected: String,
+        /// Kind found in the envelope.
+        found: String,
+    },
+    /// The envelope checksum does not match its contents.
+    ChecksumMismatch,
+    /// Bytes were left over after a complete decode — the snapshot does not
+    /// match the expected layout.
+    TrailingBytes {
+        /// Number of undecoded bytes remaining.
+        remaining: usize,
+    },
+    /// The bytes decoded, but violate an invariant of the target type
+    /// (wrong lengths, out-of-range discriminant, shape mismatch against
+    /// the owning model, …).
+    Corrupt(String),
+    /// The model or session type does not support persistence.
+    Unsupported(&'static str),
+    /// A filesystem operation failed (registry paths).
+    Io(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::UnexpectedEof { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            PersistError::BadMagic => write!(f, "not an etsc snapshot (bad magic)"),
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (reader supports {supported})"
+            ),
+            PersistError::KindMismatch { expected, found } => {
+                write!(f, "snapshot holds a {found:?}, expected a {expected:?}")
+            }
+            PersistError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            PersistError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete decode")
+            }
+            PersistError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            PersistError::Unsupported(what) => {
+                write!(f, "persistence is not supported by {what}")
+            }
+            PersistError::Io(msg) => write!(f, "registry I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// FNV-1a 64-bit hash — the envelope's content checksum. Not cryptographic;
+/// it guards against truncation and bit rot, not adversaries.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian binary writer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before the first byte.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `usize` as `u64` (the portable width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Write an `f64` as its IEEE 754 bits — exact round-trip.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Write a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Write an `Option<f64>` as a tag byte then the value.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Write an `Option<usize>` as a tag byte then the value.
+    pub fn put_opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_usize(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a length-prefixed slice of `f64`.
+    pub fn put_f64_slice(&mut self, xs: &[f64]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_f64(x);
+        }
+    }
+
+    /// Write a length-prefixed slice of `usize`.
+    pub fn put_usize_slice(&mut self, xs: &[usize]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_usize(x);
+        }
+    }
+
+    /// Write a length-prefixed **section**: run `f` on a fresh encoder and
+    /// embed its bytes behind a `u64` length. Readers consume sections with
+    /// [`Decoder::section`], which enforces that the record decodes to
+    /// exactly its declared extent.
+    pub fn section<F: FnOnce(&mut Encoder)>(&mut self, f: F) {
+        let mut inner = Encoder::new();
+        f(&mut inner);
+        self.put_usize(inner.buf.len());
+        self.buf.extend_from_slice(&inner.buf);
+    }
+
+    /// Fallible twin of [`Encoder::section`] for bodies that can refuse
+    /// (session `save_state` implementations).
+    pub fn try_section<F>(&mut self, f: F) -> Result<(), PersistError>
+    where
+        F: FnOnce(&mut Encoder) -> Result<(), PersistError>,
+    {
+        let mut inner = Encoder::new();
+        f(&mut inner)?;
+        self.put_usize(inner.buf.len());
+        self.buf.extend_from_slice(&inner.buf);
+        Ok(())
+    }
+}
+
+/// Little-endian binary reader over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over raw body bytes (no envelope handling; see
+    /// [`open_envelope`] for that).
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::UnexpectedEof { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, PersistError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn get_u16(&mut self, context: &'static str) -> Result<u16, PersistError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, PersistError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, PersistError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `usize` (stored as `u64`), rejecting values that do not fit.
+    pub fn get_usize(&mut self, context: &'static str) -> Result<usize, PersistError> {
+        let v = self.get_u64(context)?;
+        usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("{context}: {v} overflows")))
+    }
+
+    /// Read an `f64` from its IEEE 754 bits.
+    pub fn get_f64(&mut self, context: &'static str) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.get_u64(context)?))
+    }
+
+    /// Read a `bool`, rejecting tags other than 0/1.
+    pub fn get_bool(&mut self, context: &'static str) -> Result<bool, PersistError> {
+        match self.get_u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(PersistError::Corrupt(format!("{context}: bool tag {t}"))),
+        }
+    }
+
+    /// Read an `Option<f64>`.
+    pub fn get_opt_f64(&mut self, context: &'static str) -> Result<Option<f64>, PersistError> {
+        Ok(if self.get_bool(context)? {
+            Some(self.get_f64(context)?)
+        } else {
+            None
+        })
+    }
+
+    /// Read an `Option<usize>`.
+    pub fn get_opt_usize(&mut self, context: &'static str) -> Result<Option<usize>, PersistError> {
+        Ok(if self.get_bool(context)? {
+            Some(self.get_usize(context)?)
+        } else {
+            None
+        })
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, context: &'static str) -> Result<String, PersistError> {
+        let n = self.get_u32(context)? as usize;
+        let bytes = self.take(n, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt(format!("{context}: invalid UTF-8")))
+    }
+
+    /// Read a length-prefixed `Vec<f64>`.
+    pub fn get_f64_vec(&mut self, context: &'static str) -> Result<Vec<f64>, PersistError> {
+        let n = self.get_usize(context)?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(PersistError::UnexpectedEof { context });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64(context)?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `Vec<usize>`.
+    pub fn get_usize_vec(&mut self, context: &'static str) -> Result<Vec<usize>, PersistError> {
+        let n = self.get_usize(context)?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(PersistError::UnexpectedEof { context });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_usize(context)?);
+        }
+        Ok(out)
+    }
+
+    /// Enter a length-prefixed section: returns a sub-decoder over exactly
+    /// the section's bytes and advances this decoder past it.
+    pub fn section(&mut self, context: &'static str) -> Result<Decoder<'a>, PersistError> {
+        let n = self.get_usize(context)?;
+        let bytes = self.take(n, context)?;
+        Ok(Decoder::new(bytes))
+    }
+
+    /// Assert that every byte was consumed — the end-of-record check that
+    /// catches layout drift.
+    pub fn finish(&self) -> Result<(), PersistError> {
+        match self.remaining() {
+            0 => Ok(()),
+            remaining => Err(PersistError::TrailingBytes { remaining }),
+        }
+    }
+}
+
+/// Header of an envelope, as reported by [`inspect`] and
+/// [`ModelRegistry::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvelopeInfo {
+    /// The kind tag of the snapshotted type.
+    pub kind: String,
+    /// Format version the snapshot was written with.
+    pub version: u16,
+    /// Payload size in bytes (excluding the envelope framing).
+    pub payload_len: usize,
+}
+
+/// Wrap pre-encoded body bytes in a versioned, checksummed envelope.
+pub fn envelope(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.buf.extend_from_slice(&MAGIC);
+    enc.put_u16(FORMAT_VERSION);
+    enc.put_str(kind);
+    enc.put_usize(payload.len());
+    enc.buf.extend_from_slice(payload);
+    let checksum = fnv1a(&enc.buf);
+    enc.put_u64(checksum);
+    enc.into_bytes()
+}
+
+/// Validate an envelope (magic, version, kind, checksum) and return a
+/// decoder positioned over its payload.
+pub fn open_envelope<'a>(bytes: &'a [u8], kind: &str) -> Result<Decoder<'a>, PersistError> {
+    let info = inspect(bytes)?;
+    if info.version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: info.version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    if info.kind != kind {
+        return Err(PersistError::KindMismatch {
+            expected: kind.to_string(),
+            found: info.kind,
+        });
+    }
+    let payload_start = bytes.len() - 8 - info.payload_len;
+    Ok(Decoder::new(&bytes[payload_start..bytes.len() - 8]))
+}
+
+/// Read and validate an envelope's header and checksum without decoding
+/// its payload. Accepts any version ≤ the envelope framing itself (the
+/// framing has been stable since version 1), so [`ModelRegistry::list`] can
+/// report snapshots this reader would refuse to decode.
+pub fn inspect(bytes: &[u8]) -> Result<EnvelopeInfo, PersistError> {
+    let mut dec = Decoder::new(bytes);
+    let magic = dec.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = dec.get_u16("version")?;
+    let kind = dec.get_str("kind")?;
+    let payload_len = dec.get_usize("payload length")?;
+    // Checked arithmetic: the length field is corruption-controlled, and a
+    // near-usize::MAX value must report EOF, not overflow-panic (list()
+    // relies on inspect never panicking to skip foreign files).
+    if payload_len
+        .checked_add(8)
+        .is_none_or(|need| dec.remaining() < need)
+    {
+        return Err(PersistError::UnexpectedEof { context: "payload" });
+    }
+    let body_end = dec.pos + payload_len;
+    let expected = fnv1a(&bytes[..body_end]);
+    let mut tail = Decoder::new(&bytes[body_end..]);
+    let actual = tail.get_u64("checksum")?;
+    tail.finish()?;
+    if expected != actual {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    Ok(EnvelopeInfo {
+        kind,
+        version,
+        payload_len,
+    })
+}
+
+/// A snapshot-able fitted model.
+///
+/// Implementors provide the body codec; `snapshot`/`restore` add the
+/// envelope (magic, format version, kind tag, checksum). Restored models
+/// are **bit-identical** in behavior to the originals: every float travels
+/// as its IEEE bits, and anything recomputed at decode time (e.g. derived
+/// cumulative sums) is recomputed by the same deterministic code that fit
+/// time ran.
+pub trait Persist: Sized {
+    /// Type tag written into (and demanded from) the envelope.
+    const KIND: &'static str;
+
+    /// Append this model's body to `enc`.
+    fn encode_body(&self, enc: &mut Encoder);
+
+    /// Decode a body previously written by [`Persist::encode_body`],
+    /// validating every invariant the type relies on.
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError>;
+
+    /// Serialize into a self-describing, checksummed byte vector.
+    fn snapshot(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode_body(&mut enc);
+        envelope(Self::KIND, &enc.into_bytes())
+    }
+
+    /// Reconstruct from bytes produced by [`Persist::snapshot`].
+    fn restore(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut dec = open_envelope(bytes, Self::KIND)?;
+        let v = Self::decode_body(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+impl Persist for UcrDataset {
+    const KIND: &'static str = "UcrDataset";
+
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.series_len());
+        enc.put_usize(self.len());
+        enc.put_usize_slice(self.labels());
+        for i in 0..self.len() {
+            for &v in self.series(i) {
+                enc.put_f64(v);
+            }
+        }
+    }
+
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let series_len = dec.get_usize("dataset series_len")?;
+        let n = dec.get_usize("dataset size")?;
+        let labels = dec.get_usize_vec("dataset labels")?;
+        if labels.len() != n {
+            return Err(PersistError::Corrupt(format!(
+                "dataset: {} labels for {n} exemplars",
+                labels.len()
+            )));
+        }
+        if dec.remaining() < n.saturating_mul(series_len).saturating_mul(8) {
+            return Err(PersistError::UnexpectedEof {
+                context: "dataset rows",
+            });
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(series_len);
+            for _ in 0..series_len {
+                row.push(dec.get_f64("dataset row")?);
+            }
+            data.push(row);
+        }
+        UcrDataset::new(data, labels).map_err(|e| PersistError::Corrupt(e.to_string()))
+    }
+}
+
+mod registry;
+pub use registry::{ModelEntry, ModelRegistry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u16(65_000);
+        enc.put_u32(4_000_000_000);
+        enc.put_u64(u64::MAX);
+        enc.put_usize(42);
+        enc.put_f64(-0.0);
+        enc.put_f64(f64::NAN);
+        enc.put_bool(true);
+        enc.put_opt_f64(None);
+        enc.put_opt_usize(Some(9));
+        enc.put_str("héllo");
+        enc.put_f64_slice(&[1.5, f64::INFINITY]);
+        enc.put_usize_slice(&[3, 1]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8("a").unwrap(), 7);
+        assert_eq!(dec.get_u16("b").unwrap(), 65_000);
+        assert_eq!(dec.get_u32("c").unwrap(), 4_000_000_000);
+        assert_eq!(dec.get_u64("d").unwrap(), u64::MAX);
+        assert_eq!(dec.get_usize("e").unwrap(), 42);
+        assert_eq!(dec.get_f64("f").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(dec.get_f64("g").unwrap().is_nan());
+        assert!(dec.get_bool("h").unwrap());
+        assert_eq!(dec.get_opt_f64("i").unwrap(), None);
+        assert_eq!(dec.get_opt_usize("j").unwrap(), Some(9));
+        assert_eq!(dec.get_str("k").unwrap(), "héllo");
+        assert_eq!(dec.get_f64_vec("l").unwrap(), vec![1.5, f64::INFINITY]);
+        assert_eq!(dec.get_usize_vec("m").unwrap(), vec![3, 1]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut enc = Encoder::new();
+        enc.put_u64(5);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes[..4]);
+        assert!(matches!(
+            dec.get_u64("x"),
+            Err(PersistError::UnexpectedEof { .. })
+        ));
+        // A declared-but-missing slice errors cleanly too.
+        let mut enc = Encoder::new();
+        enc.put_usize(1 << 40); // absurd length
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.get_f64_vec("big").is_err());
+    }
+
+    #[test]
+    fn sections_isolate_records() {
+        let mut enc = Encoder::new();
+        enc.section(|e| e.put_f64_slice(&[1.0, 2.0]));
+        enc.put_u8(9);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let mut sub = dec.section("record").unwrap();
+        assert_eq!(sub.get_f64_vec("xs").unwrap(), vec![1.0, 2.0]);
+        sub.finish().unwrap();
+        assert_eq!(dec.get_u8("tail").unwrap(), 9);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn envelope_validates_magic_version_kind_checksum() {
+        let bytes = envelope("Thing", &[1, 2, 3]);
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.kind, "Thing");
+        assert_eq!(info.version, FORMAT_VERSION);
+        assert_eq!(info.payload_len, 3);
+        let mut dec = open_envelope(&bytes, "Thing").unwrap();
+        assert_eq!(dec.get_u8("p").unwrap(), 1);
+
+        // Wrong kind.
+        assert!(matches!(
+            open_envelope(&bytes, "Other"),
+            Err(PersistError::KindMismatch { .. })
+        ));
+        // Flipped payload bit -> checksum failure.
+        let mut bad = bytes.clone();
+        let flip = bad.len() - 10;
+        bad[flip] ^= 0x01;
+        assert!(matches!(
+            inspect(&bad),
+            Err(PersistError::ChecksumMismatch) | Err(PersistError::Corrupt(_))
+        ));
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(inspect(&bad), Err(PersistError::BadMagic));
+        // Truncation.
+        assert!(inspect(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn huge_payload_length_reports_eof_not_overflow() {
+        // An envelope whose payload-length field is near u64::MAX must fail
+        // as truncated, not panic on `payload_len + 8`.
+        let mut enc = Encoder::new();
+        enc.buf.extend_from_slice(&MAGIC);
+        enc.put_u16(FORMAT_VERSION);
+        enc.put_str("Thing");
+        enc.put_u64(u64::MAX - 3);
+        let bytes = enc.into_bytes();
+        assert!(matches!(
+            inspect(&bytes),
+            Err(PersistError::UnexpectedEof { .. }) | Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn future_format_version_is_rejected_explicitly() {
+        // Hand-build a structurally valid envelope claiming version
+        // FORMAT_VERSION + 1, with a correct checksum — the reader must
+        // reject it as UnsupportedVersion (not mis-decode, not call it
+        // corrupt).
+        let mut enc = Encoder::new();
+        enc.buf.extend_from_slice(&MAGIC);
+        enc.put_u16(FORMAT_VERSION + 1);
+        enc.put_str("Thing");
+        enc.put_usize(2);
+        enc.put_u8(1);
+        enc.put_u8(2);
+        let checksum = fnv1a(&enc.buf);
+        enc.put_u64(checksum);
+        let bytes = enc.into_bytes();
+        // inspect reports the header (so a registry can list it)...
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.version, FORMAT_VERSION + 1);
+        // ...but decoding refuses.
+        assert_eq!(
+            open_envelope(&bytes, "Thing").err(),
+            Some(PersistError::UnsupportedVersion {
+                found: FORMAT_VERSION + 1,
+                supported: FORMAT_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn ucr_dataset_round_trips() {
+        let d =
+            UcrDataset::new(vec![vec![1.0, -2.5, 0.0], vec![4.0, 5.0, 6.25]], vec![0, 1]).unwrap();
+        let bytes = d.snapshot();
+        let back = UcrDataset::restore(&bytes).unwrap();
+        assert_eq!(back, d);
+        // Label/exemplar count mismatch is rejected at decode.
+        assert!(matches!(
+            UcrDataset::restore(&envelope("UcrDataset", &[0u8; 16])),
+            Err(PersistError::Corrupt(_)) | Err(PersistError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let d = UcrDataset::new(vec![vec![1.0]], vec![0]).unwrap();
+        let mut enc = Encoder::new();
+        d.encode_body(&mut enc);
+        enc.put_u8(0xFF); // stray byte
+        let bytes = envelope(UcrDataset::KIND, &enc.into_bytes());
+        assert!(matches!(
+            UcrDataset::restore(&bytes),
+            Err(PersistError::TrailingBytes { .. })
+        ));
+    }
+}

@@ -32,6 +32,10 @@
 
 use etsc_core::ClassLabel;
 use etsc_early::{DecisionSession, EarlyClassifier, SessionNorm};
+use etsc_persist::{Encoder, PersistError};
+
+/// Envelope kind tag for [`StreamMonitor::snapshot_anchors`] state.
+pub const MONITOR_STATE_KIND: &str = "StreamMonitorAnchors";
 
 /// Minimum live-anchor count before the per-sample fan-out is worth worker
 /// threads. The spawn round paid on *every* sample costs ~10µs per worker
@@ -243,6 +247,103 @@ impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
             }
             None => false,
         }
+    }
+
+    /// Serialize every in-flight anchor — offset, incremental session
+    /// state, and the monitor's clock/refractory gate — into a
+    /// self-describing, checksummed envelope.
+    ///
+    /// This is the restart/migration primitive: snapshot before a deploy,
+    /// hand the bytes (plus a [`Persist`](etsc_persist::Persist) snapshot
+    /// of the fitted classifier) to the replacement process, and
+    /// [`resume_anchors`](Self::resume_anchors) there. The resumed monitor
+    /// produces **bit-identical** alarms to one that was never interrupted:
+    /// session accumulators round-trip as IEEE bits, and the refractory
+    /// clock (`quiet_until`) travels with them — a snapshot taken
+    /// mid-refractory stays mid-refractory.
+    ///
+    /// The session pool does not travel (it holds no observable state);
+    /// errors if any live session's type does not support checkpointing.
+    pub fn snapshot_anchors(&self) -> Result<Vec<u8>, PersistError> {
+        let mut enc = Encoder::new();
+        enc.put_usize(self.cfg.anchor_stride);
+        enc.put_u8(match self.cfg.norm {
+            StreamNorm::Raw => 0,
+            StreamNorm::PerPrefix => 1,
+        });
+        enc.put_usize(self.cfg.refractory);
+        enc.put_usize(self.now);
+        enc.put_usize(self.quiet_until);
+        enc.put_usize(self.anchors.len());
+        for (anchor, session) in &self.anchors {
+            enc.put_usize(*anchor);
+            enc.try_section(|e| session.save_state(e))?;
+        }
+        Ok(etsc_persist::envelope(
+            MONITOR_STATE_KIND,
+            &enc.into_bytes(),
+        ))
+    }
+
+    /// Rehydrate anchors from [`snapshot_anchors`](Self::snapshot_anchors)
+    /// bytes, replacing this monitor's live anchors, clock, and refractory
+    /// gate entirely (current anchors are reset into the session pool).
+    ///
+    /// The monitor must be configured identically to the one that produced
+    /// the snapshot (stride, normalization, refractory) and wrap the same
+    /// fitted classifier — or a snapshot-restored copy of it, which is
+    /// behavior-identical. Configuration mismatches are rejected as
+    /// [`PersistError::Corrupt`] rather than silently changing alarm
+    /// semantics.
+    pub fn resume_anchors(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut dec = etsc_persist::open_envelope(bytes, MONITOR_STATE_KIND)?;
+        let stride = dec.get_usize("monitor stride")?;
+        let norm = match dec.get_u8("monitor norm")? {
+            0 => StreamNorm::Raw,
+            1 => StreamNorm::PerPrefix,
+            t => return Err(PersistError::Corrupt(format!("monitor: norm tag {t}"))),
+        };
+        let refractory = dec.get_usize("monitor refractory")?;
+        if stride != self.cfg.anchor_stride || norm != self.cfg.norm {
+            return Err(PersistError::Corrupt(format!(
+                "monitor: snapshot config (stride {stride}, {norm:?}) does not match \
+                 this monitor (stride {}, {:?})",
+                self.cfg.anchor_stride, self.cfg.norm
+            )));
+        }
+        if refractory != self.cfg.refractory {
+            return Err(PersistError::Corrupt(format!(
+                "monitor: snapshot refractory {refractory} does not match {}",
+                self.cfg.refractory
+            )));
+        }
+        let now = dec.get_usize("monitor now")?;
+        let quiet_until = dec.get_usize("monitor quiet_until")?;
+        let n = dec.get_usize("monitor anchor count")?;
+        let mut anchors: Vec<(usize, Box<dyn DecisionSession + 'a>)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let offset = dec.get_usize("monitor anchor offset")?;
+            if offset >= now && now > 0 || anchors.last().is_some_and(|(a, _)| *a >= offset) {
+                return Err(PersistError::Corrupt(format!(
+                    "monitor: anchor offset {offset} breaks ascending order below now = {now}"
+                )));
+            }
+            let mut sub = dec.section("monitor anchor session")?;
+            let session = self.clf.resume_session(self.cfg.norm.into(), &mut sub)?;
+            sub.finish()?;
+            anchors.push((offset, session));
+        }
+        dec.finish()?;
+        // Recycle the monitor's current sessions before adopting the
+        // snapshot's — nothing leaks, and steady-state reuse still holds.
+        for (_, mut session) in self.anchors.drain(..) {
+            session.reset();
+            self.pool.push(session);
+        }
+        self.anchors = anchors;
+        self.now = now;
+        self.quiet_until = quiet_until;
+        Ok(())
     }
 
     /// Number of currently live anchors (for instrumentation).
@@ -547,6 +648,182 @@ mod tests {
         assert!(mon.close_anchor(0));
         assert_eq!(mon.live_anchors(), 0);
         assert_eq!(mon.pooled_sessions(), 1);
+    }
+
+    /// A persistable mean-level detector: commits once `need` samples have
+    /// arrived and their running mean exceeds 0.5 — with full session
+    /// checkpoint support, so monitor snapshot tests have a native subject.
+    struct PersistableDetector {
+        need: usize,
+        len: usize,
+    }
+
+    struct MeanSession<'a> {
+        clf: &'a PersistableDetector,
+        sum: f64,
+        len: usize,
+        decision: Decision,
+    }
+
+    impl DecisionSession for MeanSession<'_> {
+        fn push(&mut self, x: f64) -> Decision {
+            self.len += 1;
+            if self.decision.is_predict() {
+                return self.decision;
+            }
+            self.sum += x;
+            if self.len >= self.clf.need && self.sum / self.len as f64 > 0.5 {
+                self.decision = Decision::Predict {
+                    label: 0,
+                    confidence: 1.0,
+                };
+            }
+            self.decision
+        }
+        fn decision(&self) -> Decision {
+            self.decision
+        }
+        fn len(&self) -> usize {
+            self.len
+        }
+        fn reset(&mut self) {
+            self.sum = 0.0;
+            self.len = 0;
+            self.decision = Decision::Wait;
+        }
+        fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+            enc.put_f64(self.sum);
+            enc.put_usize(self.len);
+            enc.put_bool(self.decision.is_predict());
+            Ok(())
+        }
+    }
+
+    impl EarlyClassifier for PersistableDetector {
+        fn n_classes(&self) -> usize {
+            1
+        }
+        fn series_len(&self) -> usize {
+            self.len
+        }
+        fn min_prefix(&self) -> usize {
+            self.need
+        }
+        fn session(&self, _norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+            Box::new(MeanSession {
+                clf: self,
+                sum: 0.0,
+                len: 0,
+                decision: Decision::Wait,
+            })
+        }
+        fn resume_session(
+            &self,
+            _norm: SessionNorm,
+            dec: &mut etsc_early::Decoder<'_>,
+        ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+            let sum = dec.get_f64("sum")?;
+            let len = dec.get_usize("len")?;
+            let committed = dec.get_bool("committed")?;
+            Ok(Box::new(MeanSession {
+                clf: self,
+                sum,
+                len,
+                decision: if committed {
+                    Decision::Predict {
+                        label: 0,
+                        confidence: 1.0,
+                    }
+                } else {
+                    Decision::Wait
+                },
+            }))
+        }
+        fn predict_full(&self, _s: &[f64]) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_mid_stream_reproduces_alarms_exactly() {
+        let clf = PersistableDetector { need: 4, len: 24 };
+        let cfg = StreamMonitorConfig {
+            anchor_stride: 2,
+            norm: StreamNorm::Raw,
+            refractory: 30,
+        };
+        let mut stream = vec![0.0; 40];
+        stream.extend(vec![1.0; 20]);
+        stream.extend(vec![0.0; 40]);
+        stream.extend(vec![1.0; 20]);
+
+        // Uninterrupted reference.
+        let mut whole = StreamMonitor::new(&clf, cfg);
+        let reference = whole.run(&stream);
+        assert!(!reference.is_empty());
+
+        // Interrupted twin: snapshot mid-refractory (right after the first
+        // alarm), resume into a FRESH monitor, continue.
+        let mut head = StreamMonitor::new(&clf, cfg);
+        let mut alarms = Vec::new();
+        let mut split = 0;
+        for (i, &x) in stream.iter().enumerate() {
+            if let Some(a) = head.push(x) {
+                alarms.push(a);
+                split = i + 1;
+                break;
+            }
+        }
+        let bytes = head.snapshot_anchors().unwrap();
+        let mut resumed = StreamMonitor::new(&clf, cfg);
+        resumed.resume_anchors(&bytes).unwrap();
+        for &x in &stream[split..] {
+            alarms.extend(resumed.push(x));
+        }
+        assert_eq!(alarms, reference, "restored monitor must drop no alarm");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configuration() {
+        let clf = PersistableDetector { need: 4, len: 24 };
+        let cfg = StreamMonitorConfig {
+            anchor_stride: 2,
+            norm: StreamNorm::Raw,
+            refractory: 10,
+        };
+        let mut mon = StreamMonitor::new(&clf, cfg);
+        for _ in 0..9 {
+            mon.push(0.0);
+        }
+        let bytes = mon.snapshot_anchors().unwrap();
+        let mut other = StreamMonitor::new(
+            &clf,
+            StreamMonitorConfig {
+                anchor_stride: 3,
+                ..cfg
+            },
+        );
+        assert!(matches!(
+            other.resume_anchors(&bytes),
+            Err(PersistError::Corrupt(_))
+        ));
+        // Same config resumes fine.
+        let mut same = StreamMonitor::new(&clf, cfg);
+        same.resume_anchors(&bytes).unwrap();
+        assert_eq!(same.live_anchors(), mon.live_anchors());
+    }
+
+    #[test]
+    fn snapshot_of_unsupported_sessions_refuses_cleanly() {
+        // LevelDetector uses the default ReplaySession, which has no
+        // save_state; the monitor must surface Unsupported, not panic.
+        let clf = LevelDetector { need: 4, len: 16 };
+        let mut mon = StreamMonitor::new(&clf, StreamMonitorConfig::default());
+        mon.push(0.0);
+        assert!(matches!(
+            mon.snapshot_anchors(),
+            Err(PersistError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! * [`audit`] — the Section 6 meaningfulness criteria: costs,
 //!   prefix/inclusion/homophone confusability, priors, and normalization
 //!   sensitivity, combined into [`audit::MeaningfulnessReport`].
+//! * [`persist`] — versioned binary snapshots for fitted models
+//!   ([`persist::Persist`]), checkpoint/restore for in-flight sessions, and
+//!   a file-backed [`persist::ModelRegistry`] for deploy-style workflows.
 //!
 //! ## Example
 //!
@@ -119,6 +122,65 @@
 //! assert!(alarms.len() <= 500);
 //! ```
 //!
+//! ## Persistence & checkpointing
+//!
+//! Fitted models and in-flight sessions live in RAM; [`persist`] makes them
+//! durable. Every fitted model implements [`persist::Persist`]
+//! (`snapshot() -> Vec<u8>` / `restore(&[u8])` over a zero-dependency,
+//! versioned, checksummed little-endian format — no serde), and every
+//! built-in [`early::DecisionSession`] supports checkpointing via
+//! [`early::checkpoint_session`] / [`early::resume_session`]: the restored
+//! session continues **bit-identically** to one that was never interrupted
+//! (`Raw` exactly; `PerPrefix` resumes its running-sums algebra from the
+//! same IEEE bits, so the documented ~1e-9 tolerance still refers only to
+//! the comparison against batch renormalization). At the deployment level,
+//! [`stream::StreamMonitor::snapshot_anchors`] /
+//! [`stream::StreamMonitor::resume_anchors`] drain and rehydrate every
+//! in-flight anchor — refractory clock included — across a restart, and
+//! [`persist::ModelRegistry`] stores snapshots as named files.
+//!
+//! ```
+//! use etsc::core::UcrDataset;
+//! use etsc::early::ects::{Ects, EctsConfig};
+//! use etsc::early::{checkpoint_session, resume_session, EarlyClassifier, SessionNorm};
+//! use etsc::persist::ModelRegistry;
+//!
+//! // Fit on a tiny two-class problem and save the model by name.
+//! let train = UcrDataset::new(
+//!     (0..8)
+//!         .map(|i| {
+//!             let level = if i % 2 == 0 { 0.0 } else { 3.0 };
+//!             (0..16).map(|j| level + 0.05 * ((i * 5 + j) % 7) as f64).collect()
+//!         })
+//!         .collect(),
+//!     vec![0, 1, 0, 1, 0, 1, 0, 1],
+//! )
+//! .unwrap();
+//! let ects = Ects::fit(&train, &EctsConfig::default());
+//! let dir = std::env::temp_dir().join(format!("etsc-doc-{}", std::process::id()));
+//! let registry = ModelRegistry::open(&dir).unwrap();
+//! registry.save("ects", &ects).unwrap();
+//!
+//! // Drive a stream halfway, checkpoint the session, and "restart".
+//! let probe: Vec<f64> = train.series(1).to_vec();
+//! let mut session = ects.session(SessionNorm::Raw);
+//! let reference: Vec<_> = probe.iter().map(|&x| session.push(x)).collect();
+//! let mut half = ects.session(SessionNorm::Raw);
+//! for &x in &probe[..8] {
+//!     half.push(x);
+//! }
+//! let checkpoint = checkpoint_session(half.as_ref()).unwrap();
+//!
+//! // New process: reload the model, resume the session, continue. The
+//! // decisions are bit-identical to the uninterrupted run.
+//! let restored: Ects = registry.load("ects").unwrap();
+//! let mut resumed = resume_session(&restored, SessionNorm::Raw, &checkpoint).unwrap();
+//! for (t, &x) in probe[8..].iter().enumerate() {
+//!     assert_eq!(resumed.push(x), reference[8 + t]);
+//! }
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
 //! ## Subsequence search and the threading model
 //!
 //! Long-stream search (the Fig 5 homophone hunt, Fig 8's 500 dustbathing
@@ -172,4 +234,5 @@ pub use etsc_classifiers as classifiers;
 pub use etsc_core as core;
 pub use etsc_datasets as datasets;
 pub use etsc_early as early;
+pub use etsc_persist as persist;
 pub use etsc_stream as stream;

@@ -1,0 +1,435 @@
+//! Checkpoint/restore equivalence properties: for every built-in algorithm
+//! × [`SessionNorm`], a session snapshotted at an arbitrary prefix and
+//! resumed — against the same model or against a snapshot-restored copy in
+//! a simulated fresh process — continues exactly like an uninterrupted
+//! session (**bit-identical** decisions under `Raw`; under `PerPrefix`,
+//! same commits/labels with confidences within the documented ~1e-9
+//! tolerance). Plus the streaming case: a `StreamMonitor` snapshotted
+//! mid-refractory and resumed in a fresh monitor reproduces the exact alarm
+//! sequence of one that was never interrupted.
+
+use etsc::classifiers::centroid::NearestCentroid;
+use etsc::classifiers::gaussian::{CovarianceKind, GaussianModel};
+use etsc::core::UcrDataset;
+use etsc::early::costaware::{CostAware, CostAwareConfig};
+use etsc::early::ecdire::{Ecdire, EcdireConfig};
+use etsc::early::ects::{Ects, EctsConfig};
+use etsc::early::edsc::{Edsc, EdscConfig, ThresholdMethod};
+use etsc::early::relclass::{RelClass, RelClassConfig};
+use etsc::early::teaser::{Teaser, TeaserConfig};
+use etsc::early::template::TemplateMatcher;
+use etsc::early::threshold::ProbThreshold;
+use etsc::early::{
+    checkpoint_session, resume_session, Decision, EarlyClassifier, PersistError, SessionNorm,
+};
+use etsc::persist::Persist;
+use etsc::stream::{StreamMonitor, StreamMonitorConfig, StreamNorm};
+
+/// Two classes that separate mid-series, with class-dependent noise so no
+/// algorithm can commit degenerately early — sessions stay live across the
+/// checkpoint splits.
+fn train_set(n: usize, len: usize) -> UcrDataset {
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    let split = len / 3;
+    for c in 0..2usize {
+        for i in 0..n {
+            data.push(
+                (0..len)
+                    .map(|j| {
+                        let noise = 0.06 * (((i * 7 + j * 3 + c * 11) % 9) as f64 - 4.0);
+                        if j < split {
+                            noise
+                        } else {
+                            c as f64 * 2.0 + noise
+                        }
+                    })
+                    .collect(),
+            );
+            labels.push(c);
+        }
+    }
+    UcrDataset::new(data, labels).unwrap()
+}
+
+/// Probes with varied scale/offset so per-prefix normalization genuinely
+/// moves every step.
+fn probes(len: usize) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    for (k, (scale, shift)) in [(1.0, 0.0), (3.0, 7.0), (0.5, -2.0)].iter().enumerate() {
+        out.push(
+            (0..len)
+                .map(|j| {
+                    let base = if j < len / 3 { 0.0 } else { 2.0 };
+                    shift + scale * (base + 0.08 * (((j * 13 + k * 5) % 11) as f64 - 5.0))
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+/// The full built-in roster, fitted on `train`.
+fn roster(train: &UcrDataset) -> Vec<(&'static str, Box<dyn EarlyClassifier>)> {
+    let edsc_cfg = |method| EdscConfig {
+        lengths: vec![8, 12],
+        stride: 4,
+        method,
+        min_precision: 0.7,
+        max_features_per_class: 6,
+    };
+    vec![
+        (
+            "ects",
+            Box::new(Ects::fit(train, &EctsConfig::default())) as Box<dyn EarlyClassifier>,
+        ),
+        (
+            "relaxed-ects",
+            Box::new(Ects::fit(
+                train,
+                &EctsConfig {
+                    relaxed: true,
+                    ..EctsConfig::default()
+                },
+            )),
+        ),
+        (
+            "edsc-che",
+            Box::new(Edsc::fit(
+                train,
+                &edsc_cfg(ThresholdMethod::Chebyshev { k: 2.0 }),
+            )),
+        ),
+        (
+            "edsc-kde",
+            Box::new(Edsc::fit(
+                train,
+                &edsc_cfg(ThresholdMethod::Kde { precision: 0.9 }),
+            )),
+        ),
+        (
+            "relclass-diag",
+            Box::new(RelClass::fit(
+                train,
+                &RelClassConfig {
+                    tau: 0.4,
+                    ..Default::default()
+                },
+            )),
+        ),
+        (
+            "relclass-ldg",
+            Box::new(RelClass::fit(train, &RelClassConfig::ldg(0.4))),
+        ),
+        (
+            "relclass-full",
+            Box::new(RelClass::fit(
+                train,
+                &RelClassConfig {
+                    tau: 0.4,
+                    covariance: CovarianceKind::Full,
+                    ..Default::default()
+                },
+            )),
+        ),
+        (
+            "teaser",
+            Box::new(Teaser::fit(
+                train,
+                &TeaserConfig {
+                    n_snapshots: 6,
+                    ..TeaserConfig::fast()
+                },
+            )),
+        ),
+        (
+            "template",
+            Box::new(TemplateMatcher::from_centroids(train, 0.35, 6)),
+        ),
+        (
+            "prob-threshold-centroid",
+            Box::new(ProbThreshold::new(
+                NearestCentroid::fit(train),
+                0.9,
+                train.series_len(),
+                3,
+            )),
+        ),
+        (
+            "prob-threshold-gaussian",
+            Box::new(ProbThreshold::new(
+                GaussianModel::fit(train, CovarianceKind::Diagonal),
+                0.9,
+                train.series_len(),
+                3,
+            )),
+        ),
+        (
+            "ecdire",
+            Box::new(Ecdire::fit(
+                train,
+                &EcdireConfig {
+                    n_checkpoints: 8,
+                    ..EcdireConfig::default()
+                },
+            )),
+        ),
+        (
+            "stopping-rule",
+            Box::new(etsc::early::stopping_rule::StoppingRule::fit(
+                train,
+                &etsc::early::stopping_rule::StoppingRuleConfig {
+                    n_checkpoints: 8,
+                    ..Default::default()
+                },
+            )),
+        ),
+        (
+            "cost-aware",
+            Box::new(CostAware::fit(
+                train,
+                &CostAwareConfig {
+                    n_checkpoints: 8,
+                    ..Default::default()
+                },
+            )),
+        ),
+    ]
+}
+
+/// Drive the uninterrupted session over `probe`, returning the per-step
+/// decisions.
+fn uninterrupted(clf: &dyn EarlyClassifier, norm: SessionNorm, probe: &[f64]) -> Vec<Decision> {
+    let mut s = clf.session(norm);
+    probe.iter().map(|&x| s.push(x)).collect()
+}
+
+/// Drive a session to `split`, checkpoint it, resume against `resume_clf`
+/// (the same model, or a snapshot-restored copy), and continue; returns the
+/// decisions of the continued half.
+fn interrupted(
+    clf: &dyn EarlyClassifier,
+    resume_clf: &dyn EarlyClassifier,
+    norm: SessionNorm,
+    probe: &[f64],
+    split: usize,
+) -> Vec<Decision> {
+    let mut s = clf.session(norm);
+    for &x in &probe[..split] {
+        s.push(x);
+    }
+    let bytes = checkpoint_session(s.as_ref()).expect("built-in sessions checkpoint");
+    drop(s);
+    let mut resumed = resume_session(resume_clf, norm, &bytes).expect("state resumes");
+    probe[split..].iter().map(|&x| resumed.push(x)).collect()
+}
+
+fn assert_equivalent(
+    name: &str,
+    norm: SessionNorm,
+    split: usize,
+    reference: &[Decision],
+    continued: &[Decision],
+) {
+    assert_eq!(reference.len(), continued.len());
+    for (t, (a, b)) in reference.iter().zip(continued).enumerate() {
+        match norm {
+            // Raw: bit-identical decisions, confidence included.
+            SessionNorm::Raw => assert_eq!(
+                a, b,
+                "{name}/{norm:?} split {split}: step {t} diverged after restore"
+            ),
+            // PerPrefix: the acceptance contract — same commits and labels,
+            // confidences within the documented ~1e-9. (In practice the
+            // restored accumulators round-trip bit-exactly here too.)
+            SessionNorm::PerPrefix => {
+                assert_eq!(
+                    a.is_predict(),
+                    b.is_predict(),
+                    "{name}/{norm:?} split {split}: commit state diverged at step {t}"
+                );
+                if let (Some((la, ca)), Some((lb, cb))) =
+                    (a.label_confidence(), b.label_confidence())
+                {
+                    assert_eq!(la, lb, "{name}/{norm:?} split {split}: label at step {t}");
+                    assert!(
+                        (ca - cb).abs() <= 1e-9,
+                        "{name}/{norm:?} split {split}: confidence {ca} vs {cb} at step {t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_resumes_equivalently_at_arbitrary_prefixes() {
+    let train = train_set(8, 36);
+    let all = roster(&train);
+    let probes = probes(36);
+    for (name, clf) in &all {
+        for norm in [SessionNorm::Raw, SessionNorm::PerPrefix] {
+            for probe in &probes {
+                let reference = uninterrupted(clf.as_ref(), norm, probe);
+                for split in [1, probe.len() / 4, probe.len() / 2, 3 * probe.len() / 4] {
+                    let continued = interrupted(clf.as_ref(), clf.as_ref(), norm, probe, split);
+                    assert_equivalent(name, norm, split, &reference[split..], &continued);
+                }
+            }
+        }
+    }
+}
+
+/// Simulated process restart: the model itself is snapshotted, restored
+/// from bytes (as a new process would), and the session resumed against the
+/// restored copy. Exercised on one representative of each model family.
+#[test]
+fn sessions_resume_against_snapshot_restored_models() {
+    let train = train_set(8, 36);
+    let probes = probes(36);
+
+    fn check<M: EarlyClassifier + Persist>(name: &str, model: &M, probes: &[Vec<f64>]) {
+        let restored = M::restore(&model.snapshot()).expect("model restores");
+        for norm in [SessionNorm::Raw, SessionNorm::PerPrefix] {
+            for probe in probes {
+                let reference = uninterrupted(model, norm, probe);
+                let split = probe.len() / 2;
+                let continued = interrupted(model, &restored, norm, probe, split);
+                assert_equivalent(name, norm, split, &reference[split..], &continued);
+            }
+        }
+    }
+
+    check("ects", &Ects::fit(&train, &EctsConfig::default()), &probes);
+    check(
+        "relclass-full",
+        &RelClass::fit(
+            &train,
+            &RelClassConfig {
+                tau: 0.4,
+                covariance: CovarianceKind::Full,
+                ..Default::default()
+            },
+        ),
+        &probes,
+    );
+    check(
+        "edsc-che",
+        &Edsc::fit(
+            &train,
+            &EdscConfig {
+                lengths: vec![8, 12],
+                stride: 4,
+                method: ThresholdMethod::Chebyshev { k: 2.0 },
+                min_precision: 0.7,
+                max_features_per_class: 6,
+            },
+        ),
+        &probes,
+    );
+    check(
+        "teaser",
+        &Teaser::fit(
+            &train,
+            &TeaserConfig {
+                n_snapshots: 6,
+                ..TeaserConfig::fast()
+            },
+        ),
+        &probes,
+    );
+    check(
+        "ecdire",
+        &Ecdire::fit(
+            &train,
+            &EcdireConfig {
+                n_checkpoints: 8,
+                ..EcdireConfig::default()
+            },
+        ),
+        &probes,
+    );
+    check(
+        "prob-threshold",
+        &ProbThreshold::new(NearestCentroid::fit(&train), 0.9, train.series_len(), 3),
+        &probes,
+    );
+}
+
+#[test]
+fn monitor_snapshot_mid_refractory_resumes_to_identical_alarms() {
+    let train = train_set(8, 36);
+    let template = TemplateMatcher::from_centroids(&train, 0.6, 8);
+    let cfg = StreamMonitorConfig {
+        anchor_stride: 3,
+        norm: StreamNorm::PerPrefix,
+        refractory: 40,
+    };
+    // Background with two planted class-1 patterns, onsets aligned to the
+    // anchor stride so a session sees each pattern from its first sample.
+    let pattern: Vec<f64> = train.series(train.len() - 1).to_vec();
+    let mut stream: Vec<f64> = vec![0.02; 51];
+    stream.extend(&pattern);
+    stream.extend(vec![-0.01; 60 - ((51 + pattern.len()) % 3)]);
+    stream.extend(&pattern);
+    stream.extend(vec![0.0; 40]);
+
+    let mut whole = StreamMonitor::new(&template, cfg);
+    let reference = whole.run(&stream);
+    assert!(
+        !reference.is_empty(),
+        "planted patterns must alarm for the test to mean anything"
+    );
+
+    // Interrupt right after the first alarm — inside the refractory window.
+    let mut head = StreamMonitor::new(&template, cfg);
+    let mut alarms = Vec::new();
+    let mut split = 0;
+    for (i, &x) in stream.iter().enumerate() {
+        if let Some(a) = head.push(x) {
+            alarms.push(a);
+            split = i + 1;
+            break;
+        }
+    }
+    let bytes = head.snapshot_anchors().expect("anchors snapshot");
+    // Fresh process: the model restores from bytes too.
+    let restored_model = TemplateMatcher::restore(&template.snapshot()).expect("model restores");
+    let mut resumed = StreamMonitor::new(&restored_model, cfg);
+    resumed.resume_anchors(&bytes).expect("anchors resume");
+    for &x in &stream[split..] {
+        alarms.extend(resumed.push(x));
+    }
+    assert_eq!(
+        alarms, reference,
+        "mid-refractory restart must reproduce the alarm sequence exactly"
+    );
+}
+
+#[test]
+fn session_state_refuses_wrong_algorithm_or_norm() {
+    let train = train_set(6, 30);
+    let ects = Ects::fit(&train, &EctsConfig::default());
+    let template = TemplateMatcher::from_centroids(&train, 0.35, 6);
+
+    let mut s = ects.session(SessionNorm::Raw);
+    for &x in &train.series(0)[..8] {
+        s.push(x);
+    }
+    let bytes = checkpoint_session(s.as_ref()).unwrap();
+
+    // Wrong algorithm.
+    assert!(matches!(
+        resume_session(&template, SessionNorm::Raw, &bytes),
+        Err(PersistError::Corrupt(_))
+    ));
+    // Wrong norm.
+    assert!(matches!(
+        resume_session(&ects, SessionNorm::PerPrefix, &bytes),
+        Err(PersistError::Corrupt(_))
+    ));
+    // Right algorithm and norm.
+    assert!(resume_session(&ects, SessionNorm::Raw, &bytes).is_ok());
+    // Truncated state.
+    assert!(resume_session(&ects, SessionNorm::Raw, &bytes[..bytes.len() - 4]).is_err());
+}

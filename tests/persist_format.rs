@@ -1,0 +1,222 @@
+//! Wire-format stability gate: golden snapshot fixtures checked into
+//! `tests/fixtures/persist/` must keep decoding under the current
+//! [`FORMAT_VERSION`]. A PR that changes the byte layout will fail here —
+//! the correct response is to **bump the format version** (readers then
+//! reject old snapshots explicitly) and regenerate the fixtures with
+//!
+//! ```text
+//! cargo test --test persist_format regenerate_golden_fixtures -- --ignored
+//! ```
+//!
+//! never to silently reshape the existing version.
+//!
+//! The fixture models are fitted on a fully deterministic, hand-rolled
+//! dataset (no RNG), so regeneration is reproducible across machines.
+
+use std::path::PathBuf;
+
+use etsc::classifiers::centroid::NearestCentroid;
+use etsc::classifiers::gaussian::{CovarianceKind, GaussianModel};
+use etsc::core::UcrDataset;
+use etsc::early::ects::{Ects, EctsConfig};
+use etsc::early::edsc::{Edsc, EdscConfig, ThresholdMethod};
+use etsc::early::relclass::{RelClass, RelClassConfig};
+use etsc::early::template::TemplateMatcher;
+use etsc::early::{checkpoint_session, resume_session, EarlyClassifier, SessionNorm};
+use etsc::persist::{inspect, Persist, FORMAT_VERSION};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/persist")
+}
+
+/// Deterministic two-class training set: class level ±1.5 with a fixed
+/// arithmetic wiggle. No RNG anywhere, so fixtures regenerate bit-for-bit.
+fn fixture_train() -> UcrDataset {
+    let (n, len) = (8usize, 24usize);
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..2usize {
+        for i in 0..n {
+            data.push(
+                (0..len)
+                    .map(|j| {
+                        let level = if c == 0 { -1.5 } else { 1.5 };
+                        level + 0.05 * (((i * 7 + j * 5 + c * 3) % 11) as f64 - 5.0)
+                    })
+                    .collect(),
+            );
+            labels.push(c);
+        }
+    }
+    UcrDataset::new(data, labels).unwrap()
+}
+
+/// Deterministic probe, long enough to drive decisions.
+fn fixture_probe() -> Vec<f64> {
+    (0..24)
+        .map(|j| 1.5 + 0.05 * (((j * 5 + 3) % 11) as f64 - 5.0))
+        .collect()
+}
+
+fn fixture_models() -> (
+    NearestCentroid,
+    GaussianModel,
+    Ects,
+    Edsc,
+    RelClass,
+    TemplateMatcher,
+) {
+    let train = fixture_train();
+    (
+        NearestCentroid::fit(&train),
+        GaussianModel::fit(&train, CovarianceKind::Full),
+        Ects::fit(&train, &EctsConfig::default()),
+        Edsc::fit(
+            &train,
+            &EdscConfig {
+                lengths: vec![6, 10],
+                stride: 3,
+                method: ThresholdMethod::Chebyshev { k: 2.0 },
+                min_precision: 0.7,
+                max_features_per_class: 6,
+            },
+        ),
+        RelClass::fit(&train, &RelClassConfig::default()),
+        TemplateMatcher::from_centroids(&train, 0.5, 4),
+    )
+}
+
+/// Session checkpoint fixture: an ECTS raw session interrupted at sample 9.
+fn fixture_session_bytes(ects: &Ects) -> Vec<u8> {
+    let probe = fixture_probe();
+    let mut s = ects.session(SessionNorm::Raw);
+    for &x in &probe[..9] {
+        s.push(x);
+    }
+    checkpoint_session(s.as_ref()).expect("ects session checkpoints")
+}
+
+/// One-time generator (run with `-- --ignored` after a deliberate format
+/// bump). Writes every fixture the stability tests below read.
+#[test]
+#[ignore = "fixture generator; run manually after a format-version bump"]
+fn regenerate_golden_fixtures() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (centroid, gaussian, ects, edsc, relclass, template) = fixture_models();
+    std::fs::write(dir.join("nearest_centroid.etsc"), centroid.snapshot()).unwrap();
+    std::fs::write(dir.join("gaussian_full.etsc"), gaussian.snapshot()).unwrap();
+    std::fs::write(dir.join("ects.etsc"), ects.snapshot()).unwrap();
+    std::fs::write(dir.join("edsc_che.etsc"), edsc.snapshot()).unwrap();
+    std::fs::write(dir.join("relclass_diag.etsc"), relclass.snapshot()).unwrap();
+    std::fs::write(dir.join("template.etsc"), template.snapshot()).unwrap();
+    std::fs::write(
+        dir.join("ects_session_raw.etsc"),
+        fixture_session_bytes(&ects),
+    )
+    .unwrap();
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    let path = fixture_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden fixture {} missing ({e}); regenerate with \
+             `cargo test --test persist_format regenerate_golden_fixtures -- --ignored`",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn golden_fixtures_carry_the_current_format_version() {
+    for name in [
+        "nearest_centroid.etsc",
+        "gaussian_full.etsc",
+        "ects.etsc",
+        "edsc_che.etsc",
+        "relclass_diag.etsc",
+        "template.etsc",
+        "ects_session_raw.etsc",
+    ] {
+        let info = inspect(&read_fixture(name))
+            .unwrap_or_else(|e| panic!("fixture {name}: envelope no longer validates: {e}"));
+        assert_eq!(
+            info.version, FORMAT_VERSION,
+            "fixture {name} was written under format {}, reader is at {FORMAT_VERSION} — \
+             a layout change must bump the version and regenerate fixtures",
+            info.version
+        );
+    }
+}
+
+#[test]
+fn golden_model_fixtures_decode_and_match_refits() {
+    let (centroid, gaussian, ects, edsc, relclass, template) = fixture_models();
+    let probe = fixture_probe();
+
+    let c = NearestCentroid::restore(&read_fixture("nearest_centroid.etsc")).unwrap();
+    assert_eq!(
+        etsc::classifiers::Classifier::predict_proba(&c, &probe),
+        etsc::classifiers::Classifier::predict_proba(&centroid, &probe),
+        "nearest_centroid fixture decodes to different behavior"
+    );
+
+    let g = GaussianModel::restore(&read_fixture("gaussian_full.etsc")).unwrap();
+    for t in [4, 12, 24] {
+        for cls in 0..2 {
+            assert_eq!(
+                g.log_likelihood_prefix(cls, &probe[..t]),
+                gaussian.log_likelihood_prefix(cls, &probe[..t]),
+                "gaussian_full fixture: class {cls} prefix {t}"
+            );
+        }
+    }
+
+    let e = Ects::restore(&read_fixture("ects.etsc")).unwrap();
+    let d = Edsc::restore(&read_fixture("edsc_che.etsc")).unwrap();
+    let r = RelClass::restore(&read_fixture("relclass_diag.etsc")).unwrap();
+    let m = TemplateMatcher::restore(&read_fixture("template.etsc")).unwrap();
+    for t in 1..=probe.len() {
+        assert_eq!(
+            e.decide(&probe[..t]),
+            ects.decide(&probe[..t]),
+            "ects @ {t}"
+        );
+        assert_eq!(
+            d.decide(&probe[..t]),
+            edsc.decide(&probe[..t]),
+            "edsc @ {t}"
+        );
+        assert_eq!(
+            r.decide(&probe[..t]),
+            relclass.decide(&probe[..t]),
+            "relclass @ {t}"
+        );
+        assert_eq!(
+            m.decide(&probe[..t]),
+            template.decide(&probe[..t]),
+            "template @ {t}"
+        );
+    }
+}
+
+#[test]
+fn golden_session_fixture_resumes_bit_identically() {
+    let (_, _, ects, _, _, _) = fixture_models();
+    let probe = fixture_probe();
+    // Uninterrupted reference over the full probe.
+    let mut whole = ects.session(SessionNorm::Raw);
+    let reference: Vec<_> = probe.iter().map(|&x| whole.push(x)).collect();
+    // The checked-in checkpoint was taken at sample 9.
+    let bytes = read_fixture("ects_session_raw.etsc");
+    let mut resumed = resume_session(&ects, SessionNorm::Raw, &bytes).unwrap();
+    for (t, &x) in probe[9..].iter().enumerate() {
+        assert_eq!(
+            resumed.push(x),
+            reference[9 + t],
+            "fixture session diverged at step {}",
+            9 + t
+        );
+    }
+}
