@@ -1,0 +1,195 @@
+//! Machine-readable benchmark of the sharded serving runtime
+//! (`etsc-serve`).
+//!
+//! Over a grid of stream count × shard count, drives interleaved synthetic
+//! traffic through a [`Runtime`] in the intended shape — ingest a window of
+//! batches, then drain — and measures
+//!
+//! * **throughput**: records pushed per second, end to end (routing +
+//!   queueing + monitor servicing), and
+//! * **p99 push-to-alarm latency**: an alarm is delivered at the end of the
+//!   ingest/drain cycle its triggering sample arrived in, so the p99 cycle
+//!   wall time bounds the p99 latency from pushing a sample to receiving
+//!   its alarm; and
+//! * **checkpoint pause**: wall time and envelope size of a whole-runtime
+//!   [`checkpoint`](Runtime::checkpoint) at the end of the run — the stall
+//!   a deployment pays per periodic checkpoint.
+//!
+//! Writes `BENCH_serve.json` into the current directory.
+//!
+//! Run: `cargo run --release -p etsc-bench --bin bench_serve [--quick]`
+//! `--quick` shrinks the grid and round count for CI smoke runs.
+//!
+//! **Caveat:** the numbers are only meaningful relative to each other on
+//! the same machine; in particular, shard-count *scaling* requires
+//! multiple cores (see the ROADMAP's single-CPU note).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use etsc_classifiers::centroid::NearestCentroid;
+use etsc_core::UcrDataset;
+use etsc_early::threshold::ProbThreshold;
+use etsc_persist::ModelRegistry;
+use etsc_serve::{Record, Runtime, RuntimeConfig};
+use etsc_stream::{StreamMonitorConfig, StreamNorm};
+
+/// Training exemplar length — also each monitor's anchor horizon.
+const TRAIN_LEN: usize = 128;
+/// Anchor stride: bounds live anchors per stream at TRAIN_LEN / stride.
+const STRIDE: usize = 16;
+/// Batches per ingest/drain cycle.
+const CYCLE: usize = 32;
+
+fn train_set() -> UcrDataset {
+    let data: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            let level = if i % 2 == 0 { -2.0 } else { 2.0 };
+            (0..TRAIN_LEN)
+                .map(|j| level + 0.08 * (((i * 31 + j * 17) % 13) as f64 - 6.0))
+                .collect()
+        })
+        .collect();
+    UcrDataset::new(data, (0..8).map(|i| i % 2).collect()).unwrap()
+}
+
+/// Background traffic sample for stream `k` at round `t`: noise with a slow
+/// drift, rarely decisive — so monitors stay busy instead of latching.
+fn sample(k: usize, t: usize) -> f64 {
+    0.15 * (((t * 23 + k * 7) % 17) as f64 - 8.0) + ((t as f64) * 0.013).sin()
+}
+
+struct Row {
+    streams: usize,
+    shards: usize,
+    rounds: usize,
+    pushes_per_sec: f64,
+    p99_cycle_ns: f64,
+    alarms: u64,
+    checkpoint_ns: f64,
+    checkpoint_bytes: usize,
+}
+
+fn bench_one(
+    model: &ProbThreshold<NearestCentroid>,
+    streams: usize,
+    shards: usize,
+    rounds: usize,
+    registry: &ModelRegistry,
+) -> Row {
+    let cfg = RuntimeConfig {
+        shards,
+        queue_capacity: streams * CYCLE + 1,
+        monitor: StreamMonitorConfig {
+            anchor_stride: STRIDE,
+            norm: StreamNorm::Raw,
+            refractory: 200,
+        },
+        model_name: "serve-bench".to_string(),
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(model, cfg).expect("valid bench config");
+    let mut batch = Vec::with_capacity(streams);
+    let mut cycle_times: Vec<f64> = Vec::with_capacity(rounds / CYCLE + 1);
+    let mut alarms = 0u64;
+    let t0 = Instant::now();
+    let mut cycle_start = Instant::now();
+    for t in 0..rounds {
+        batch.clear();
+        for k in 0..streams {
+            batch.push(Record::new(k as u64, sample(k, t)));
+        }
+        rt.ingest(&batch).expect("bench queues are sized to fit");
+        if (t + 1) % CYCLE == 0 {
+            alarms += rt.drain().len() as u64;
+            cycle_times.push(cycle_start.elapsed().as_secs_f64());
+            cycle_start = Instant::now();
+        }
+    }
+    alarms += rt.drain().len() as u64;
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let tc = Instant::now();
+    let checkpoint_bytes = rt.checkpoint(registry).expect("bench checkpoint");
+    let checkpoint_ns = tc.elapsed().as_secs_f64() * 1e9;
+
+    cycle_times.sort_by(f64::total_cmp);
+    let p99_idx = ((cycle_times.len() as f64) * 0.99).ceil() as usize;
+    let p99_cycle_ns = cycle_times[p99_idx.saturating_sub(1).min(cycle_times.len() - 1)] * 1e9;
+    let total_pushes = (streams * rounds) as f64;
+    Row {
+        streams,
+        shards,
+        rounds,
+        pushes_per_sec: total_pushes / elapsed,
+        p99_cycle_ns,
+        alarms,
+        checkpoint_ns,
+        checkpoint_bytes,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (stream_counts, shard_counts, rounds): (&[usize], &[usize], usize) = if quick {
+        (&[8, 32], &[1, 4], 256)
+    } else {
+        (&[16, 64, 256], &[1, 2, 8], 1536)
+    };
+    println!(
+        "bench_serve: stride {STRIDE}, cycle {CYCLE} batches, rounds = {rounds} per combination"
+    );
+
+    let model = ProbThreshold::new(NearestCentroid::fit(&train_set()), 0.9999, TRAIN_LEN, 2);
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("etsc-serve-bench-{}", std::process::id()));
+    let registry = ModelRegistry::open(&dir).expect("temp registry");
+
+    let mut rows = Vec::new();
+    for &streams in stream_counts {
+        for &shards in shard_counts {
+            let row = bench_one(&model, streams, shards, rounds, &registry);
+            println!(
+                "  streams {:>4} × shards {:>2}: {:>12.0} pushes/s  p99 cycle {:>10.0} ns  \
+                 ckpt {:>9.0} ns / {:>8} B  ({} alarms)",
+                row.streams,
+                row.shards,
+                row.pushes_per_sec,
+                row.p99_cycle_ns,
+                row.checkpoint_ns,
+                row.checkpoint_bytes,
+                row.alarms,
+            );
+            rows.push(row);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Emit BENCH_serve.json (hand-rolled: the workspace is offline, no
+    // serde).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"anchor_stride\": {STRIDE},");
+    let _ = writeln!(json, "  \"batches_per_cycle\": {CYCLE},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"streams\": {}, \"shards\": {}, \"rounds\": {}, \"pushes_per_sec\": {:.0}, \
+             \"p99_cycle_ns\": {:.0}, \"alarms\": {}, \"checkpoint_ns\": {:.0}, \
+             \"checkpoint_bytes\": {}}}{}",
+            r.streams,
+            r.shards,
+            r.rounds,
+            r.pushes_per_sec,
+            r.p99_cycle_ns,
+            r.alarms,
+            r.checkpoint_ns,
+            r.checkpoint_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

@@ -1,0 +1,95 @@
+//! Shared deterministic hashing: FNV-1a 64 and stream → shard routing.
+//!
+//! Two subsystems need the *same* hash for different reasons — the
+//! persistence envelope checksums its bytes with FNV-1a 64, and the serving
+//! layer routes stream ids to shards — and both need it to be stable across
+//! processes, platforms, and releases (a snapshot written yesterday must
+//! checksum identically today; a stream must land on the same shard on every
+//! host that computes its route). `std::collections::hash_map::DefaultHasher`
+//! guarantees none of that, so the workspace pins this one tiny function
+//! here instead.
+//!
+//! FNV-1a is not cryptographic: it guards against truncation, bit rot, and
+//! accidental collisions in shard routing, not adversaries.
+
+/// FNV-1a 64 offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64 prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64 of a `u64`'s little-endian bytes — the stream-id hash.
+pub fn fnv1a_u64(v: u64) -> u64 {
+    fnv1a_64(&v.to_le_bytes())
+}
+
+/// Deterministic stream → shard assignment: hash the id, reduce modulo the
+/// shard count. Stable across processes and platforms; every host that
+/// computes a route for `stream` under the same `shards` agrees.
+///
+/// The raw id is hashed rather than reduced directly so that structured id
+/// spaces (sequential ids, ids sharing low bits) still spread across shards.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` (there is no meaningful answer); callers
+/// validate their shard count at configuration time.
+pub fn shard_of(stream: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard_of: shard count must be positive");
+    (fnv1a_u64(stream) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 7, 64] {
+            for id in [0u64, 1, 2, 1_000_003, u64::MAX] {
+                let s = shard_of(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(id, shards), "same inputs, same shard");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_shards() {
+        // Not a statistical claim, just a guard against a degenerate route
+        // (e.g. everything landing on shard 0).
+        let shards = 8;
+        let mut seen = vec![false; shards];
+        for id in 0..64u64 {
+            seen[shard_of(id, shards)] = true;
+        }
+        assert!(
+            seen.iter().filter(|&&b| b).count() >= shards / 2,
+            "64 sequential ids should touch at least half of 8 shards"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shards_panics() {
+        shard_of(1, 0);
+    }
+}

@@ -26,6 +26,7 @@ pub mod distance;
 pub mod dtw;
 pub mod error;
 pub mod event;
+pub mod hash;
 pub mod nn;
 pub mod parallel;
 pub mod stats;

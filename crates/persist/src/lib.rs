@@ -140,16 +140,11 @@ impl fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-/// FNV-1a 64-bit hash — the envelope's content checksum. Not cryptographic;
-/// it guards against truncation and bit rot, not adversaries.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// FNV-1a 64-bit hash — the envelope's content checksum, shared with the
+// rest of the workspace via `etsc_core::hash` (the serving layer routes
+// streams to shards with the same function). Not cryptographic; it guards
+// against truncation and bit rot, not adversaries.
+use etsc_core::hash::fnv1a_64 as fnv1a;
 
 /// Little-endian binary writer over a growable buffer.
 #[derive(Debug, Default)]
@@ -239,6 +234,14 @@ impl Encoder {
     pub fn put_str(&mut self, s: &str) {
         self.put_u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a length-prefixed opaque byte blob — the carrier for nested
+    /// pre-encoded snapshots (e.g. a serving runtime embedding each
+    /// stream's monitor-anchor envelope inside its own checkpoint).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Write a length-prefixed slice of `f64`.
@@ -379,6 +382,13 @@ impl<'a> Decoder<'a> {
         let bytes = self.take(n, context)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| PersistError::Corrupt(format!("{context}: invalid UTF-8")))
+    }
+
+    /// Read a length-prefixed opaque byte blob written by
+    /// [`Encoder::put_bytes`].
+    pub fn get_bytes(&mut self, context: &'static str) -> Result<Vec<u8>, PersistError> {
+        let n = self.get_usize(context)?;
+        Ok(self.take(n, context)?.to_vec())
     }
 
     /// Read a length-prefixed `Vec<f64>`.
@@ -640,6 +650,28 @@ mod tests {
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes);
         assert!(dec.get_f64_vec("big").is_err());
+    }
+
+    #[test]
+    fn byte_blobs_round_trip_and_reject_truncation() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xDE, 0xAD, 0xBE]);
+        enc.put_bytes(&[]);
+        enc.put_u8(7);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_bytes("blob").unwrap(), vec![0xDE, 0xAD, 0xBE]);
+        assert_eq!(dec.get_bytes("empty").unwrap(), Vec::<u8>::new());
+        assert_eq!(dec.get_u8("tail").unwrap(), 7);
+        dec.finish().unwrap();
+        // A declared-but-missing blob errors cleanly.
+        let mut enc = Encoder::new();
+        enc.put_usize(1 << 40);
+        let bytes = enc.into_bytes();
+        assert!(matches!(
+            Decoder::new(&bytes).get_bytes("big"),
+            Err(PersistError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,1322 @@
+//! The sharded serving runtime: many streams, per-shard workers, batched
+//! ingestion, live rebalancing, and crash recovery.
+//!
+//! # Execution model
+//!
+//! A [`Runtime`] owns N **shards**; each shard owns the
+//! [`StreamMonitor`]s of the streams routed to it (see
+//! [`ShardRouter`]) plus a bounded queue of not-yet-processed records.
+//! [`ingest`](Runtime::ingest) only *routes* — it appends each record to
+//! its shard's queue (auto-opening unknown streams) and applies the
+//! configured [`OverflowPolicy`] when a queue is full.
+//! [`drain`](Runtime::drain) does the work: every shard's queue is
+//! processed by a worker thread (scoped fan-out via [`etsc_core::parallel`],
+//! worker count from `ETSC_THREADS` or the explicit
+//! [`RuntimeConfig::threads`] override), in queue order, and the produced
+//! alarms are returned sorted by the global ingest sequence number.
+//!
+//! Batching is what amortizes the fan-out: a scoped spawn costs ~10µs per
+//! worker, so the intended shape is "ingest a few thousand records, drain
+//! once", not "drain after every sample". Correctness never depends on the
+//! batching: records of one stream are processed in ingest order regardless
+//! of batch boundaries, shard count, or worker count.
+//!
+//! # Determinism
+//!
+//! Each stream's monitor sees exactly the samples ingested for that stream,
+//! in order — no matter which shard owns it or how many worker threads
+//! service the shards. Per-stream alarm sequences are therefore **invariant
+//! under the shard count, the worker count, and mid-run rebalancing**
+//! (bit-exact for [`StreamNorm::Raw`](etsc_stream::StreamNorm::Raw); the
+//! per-prefix norm is equally deterministic, its documented fp tolerance
+//! applies only to comparisons against offline batch renormalization).
+//! The tagged global sequence numbers make even the *interleaving*
+//! reproducible: [`drain`](Runtime::drain) output is sorted by the sequence
+//! number of the triggering sample.
+//!
+//! # Migration and recovery
+//!
+//! Both reuse the persistence substrate rather than inventing a second
+//! serialization: a stream moves between shards — or across a process
+//! boundary — as a `(model name, anchor snapshot)` pair, exactly the
+//! follow-on the checkpoint layer was built for.
+//! [`rebalance`](Runtime::rebalance) drains, then ships every re-routed
+//! stream through [`StreamMonitor::snapshot_anchors`] /
+//! [`StreamMonitor::resume_anchors`] (refractory clocks included), so alarm
+//! sequences are unchanged across a migration.
+//! [`checkpoint`](Runtime::checkpoint) persists the fitted model plus every
+//! stream's anchor snapshot (and any undelivered alarms) into a
+//! [`ModelRegistry`]; [`recover`](Runtime::recover) rebuilds the whole
+//! runtime from those bytes in a fresh process.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use etsc_core::parallel;
+use etsc_early::EarlyClassifier;
+use etsc_persist::{Encoder, ModelRegistry, Persist, PersistError};
+use etsc_stream::{Alarm, StreamMonitor, StreamMonitorConfig, StreamNorm};
+
+use crate::error::ServeError;
+use crate::router::ShardRouter;
+use crate::stats::{ServeStats, ShardStats};
+
+/// Envelope kind tag for [`Runtime::checkpoint`] state.
+pub const SERVE_STATE_KIND: &str = "ServeRuntimeState";
+
+/// Registry entry name holding the runtime state for model `name` (the
+/// model itself lives under `name`).
+fn state_entry_name(model_name: &str) -> String {
+    format!("{model_name}.serve")
+}
+
+/// What [`Runtime::ingest`] does when a record's shard queue is full.
+///
+/// Neither policy panics and neither drops data silently — the explicit
+/// backpressure contract of the ingestion path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Apply backpressure by doing the work: the runtime drains every
+    /// shard's queue in place (alarms are buffered for the next
+    /// [`drain`](Runtime::drain)) and then enqueues the record. Ingestion
+    /// never fails for capacity reasons; the queue bound caps memory, not
+    /// throughput.
+    Block,
+    /// Reject the batch with [`ServeError::QueueFull`]. The rejection is
+    /// **atomic** — no record of the offending batch is enqueued — so the
+    /// caller can drain and retry the whole batch.
+    Reject,
+}
+
+/// Serving runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of shards (each serviced by one worker during a drain).
+    pub shards: usize,
+    /// Bounded per-shard queue capacity, in records.
+    pub queue_capacity: usize,
+    /// Policy when a shard queue is full at ingest time.
+    pub overflow: OverflowPolicy,
+    /// Monitor configuration applied to every stream.
+    pub monitor: StreamMonitorConfig,
+    /// Registry name the fitted model is checkpointed under; each stream's
+    /// snapshot references it, and recovery demands it be present.
+    pub model_name: String,
+    /// Explicit worker-thread count for drains (tests pin 1/2/7 here);
+    /// `None` resolves via [`etsc_core::parallel::num_threads`]
+    /// (`ETSC_THREADS`, default all cores). Worker count never changes
+    /// results, only wall-clock.
+    pub threads: Option<usize>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            overflow: OverflowPolicy::Block,
+            monitor: StreamMonitorConfig::default(),
+            model_name: "model".to_string(),
+            threads: None,
+        }
+    }
+}
+
+/// One ingested sample: a stream id and its next value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Stream the sample belongs to.
+    pub stream: u64,
+    /// The sample.
+    pub value: f64,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(stream: u64, value: f64) -> Self {
+        Self { stream, value }
+    }
+}
+
+/// An alarm attributed to a stream, tagged with the global ingest sequence
+/// number of the sample that triggered it.
+///
+/// `seq` makes drained output totally ordered and reproducible: the same
+/// traffic yields the same sorted alarm list at any shard/worker count.
+/// `alarm.time` remains the *per-stream* sample index (each stream has its
+/// own clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamAlarm {
+    /// Stream that alarmed.
+    pub stream: u64,
+    /// Global ingest sequence number of the triggering sample.
+    pub seq: u64,
+    /// The monitor alarm (per-stream time/anchor/label/confidence).
+    pub alarm: Alarm,
+}
+
+/// A routed-but-unprocessed record in a shard queue.
+struct Queued {
+    seq: u64,
+    stream: u64,
+    value: f64,
+}
+
+/// One shard: the monitors it owns (deterministically ordered by stream
+/// id) and its bounded record queue.
+struct Shard<'a, C: EarlyClassifier + ?Sized> {
+    monitors: BTreeMap<u64, StreamMonitor<'a, C>>,
+    queue: Vec<Queued>,
+    pushes: u64,
+    alarms: u64,
+    queue_high_water: usize,
+}
+
+impl<'a, C: EarlyClassifier + ?Sized> Shard<'a, C> {
+    fn new() -> Self {
+        Self {
+            monitors: BTreeMap::new(),
+            queue: Vec::new(),
+            pushes: 0,
+            alarms: 0,
+            queue_high_water: 0,
+        }
+    }
+
+    /// Process every queued record in ingest order. Runs on one worker
+    /// thread during a drain; shards are independent, so servicing them
+    /// concurrently cannot change any stream's sample order.
+    fn process_queue(&mut self) -> Vec<StreamAlarm> {
+        let mut out = Vec::new();
+        for q in self.queue.drain(..) {
+            // Ingest creates the monitor when it routes the record, and
+            // `close_stream` drains queues before removing one, so a queued
+            // record always finds its monitor; a third-party bug upstream
+            // degrades to skipping the orphan record rather than panicking
+            // a worker (which would poison the whole drain).
+            let Some(monitor) = self.monitors.get_mut(&q.stream) else {
+                debug_assert!(false, "queued record for unknown stream {}", q.stream);
+                continue;
+            };
+            self.pushes += 1;
+            if let Some(alarm) = monitor.push(q.value) {
+                self.alarms += 1;
+                out.push(StreamAlarm {
+                    stream: q.stream,
+                    seq: q.seq,
+                    alarm,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Periodic-checkpoint schedule installed by
+/// [`Runtime::enable_checkpoints`].
+struct AutoCheckpoint {
+    registry: ModelRegistry,
+    every: u64,
+    last_at: u64,
+}
+
+/// The sharded multi-stream serving runtime (see the [module docs](self)).
+pub struct Runtime<'a, C: EarlyClassifier + ?Sized> {
+    clf: &'a C,
+    cfg: RuntimeConfig,
+    router: ShardRouter,
+    shards: Vec<Shard<'a, C>>,
+    /// Global ingest sequence number of the next record.
+    seq: u64,
+    /// Alarms produced by implicit flushes (backpressure, rebalance,
+    /// checkpoint), awaiting the next [`drain`](Self::drain).
+    pending: Vec<StreamAlarm>,
+    auto: Option<AutoCheckpoint>,
+    // Runtime-lifetime counters (per-shard counters reset with topology).
+    ingested: u64,
+    rejected_batches: u64,
+    rebalances: u64,
+    migrated_streams: u64,
+    checkpoints: u64,
+    last_checkpoint_bytes: usize,
+    retired_pushes: u64,
+    retired_alarms: u64,
+}
+
+impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
+    /// Build an empty runtime over a fitted classifier.
+    pub fn new(clf: &'a C, cfg: RuntimeConfig) -> Result<Self, ServeError> {
+        if cfg.shards == 0 {
+            return Err(ServeError::BadConfig("shard count must be ≥ 1".into()));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(ServeError::BadConfig("queue capacity must be ≥ 1".into()));
+        }
+        if cfg.monitor.anchor_stride == 0 {
+            return Err(ServeError::BadConfig("anchor stride must be ≥ 1".into()));
+        }
+        if cfg.threads == Some(0) {
+            return Err(ServeError::BadConfig(
+                "thread override must be ≥ 1 (use None for the ETSC_THREADS default)".into(),
+            ));
+        }
+        let router = ShardRouter::new(cfg.shards);
+        let shards = (0..cfg.shards).map(|_| Shard::new()).collect();
+        Ok(Self {
+            clf,
+            cfg,
+            router,
+            shards,
+            seq: 0,
+            pending: Vec::new(),
+            auto: None,
+            ingested: 0,
+            rejected_batches: 0,
+            rebalances: 0,
+            migrated_streams: 0,
+            checkpoints: 0,
+            last_checkpoint_bytes: 0,
+            retired_pushes: 0,
+            retired_alarms: 0,
+        })
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Current shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Streams currently live across all shards.
+    pub fn stream_count(&self) -> usize {
+        self.shards.iter().map(|s| s.monitors.len()).sum()
+    }
+
+    /// Records routed but not yet processed, across all shard queues.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// True if a monitor exists for `stream`.
+    pub fn contains_stream(&self, stream: u64) -> bool {
+        self.shards[self.router.route(stream)]
+            .monitors
+            .contains_key(&stream)
+    }
+
+    /// Worker count for the next drain.
+    fn worker_threads(&self) -> usize {
+        self.cfg
+            .threads
+            .unwrap_or_else(parallel::num_threads)
+            .max(1)
+    }
+
+    /// Open a monitor for `stream` without ingesting anything; returns
+    /// `false` if the stream was already live. (Ingest auto-opens unknown
+    /// streams, so this is only needed to pre-warm assignments.)
+    pub fn open_stream(&mut self, stream: u64) -> bool {
+        let shard = &mut self.shards[self.router.route(stream)];
+        match shard.monitors.entry(stream) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(StreamMonitor::new(self.clf, self.cfg.monitor));
+                true
+            }
+        }
+    }
+
+    /// Retire `stream` and discard its in-flight anchors; returns `false`
+    /// if no such stream was live. Pending queues are drained first (the
+    /// produced alarms are buffered for the next [`drain`](Self::drain)),
+    /// so no already-ingested sample of the stream is silently dropped.
+    pub fn close_stream(&mut self, stream: u64) -> bool {
+        self.flush_all();
+        self.shards[self.router.route(stream)]
+            .monitors
+            .remove(&stream)
+            .is_some()
+    }
+
+    /// Route a batch of records into the shard queues.
+    ///
+    /// Unknown stream ids auto-open a monitor. Records are *not* processed
+    /// here (see [`drain`](Self::drain)) unless a queue fills under
+    /// [`OverflowPolicy::Block`], which flushes in place. Under
+    /// [`OverflowPolicy::Reject`] an overflowing batch is refused atomically
+    /// with [`ServeError::QueueFull`]. Samples of one stream are processed
+    /// in ingest order, across any batching, sharding, or threading.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] means **no record was enqueued** — drain
+    /// and retry the whole batch. Any other error can only come from a due
+    /// periodic checkpoint (see
+    /// [`enable_checkpoints`](Self::enable_checkpoints)) failing to write;
+    /// the batch **was fully accepted** — do not re-ingest it. The failed
+    /// checkpoint is not retried until the next interval elapses.
+    pub fn ingest(&mut self, batch: &[Record]) -> Result<(), ServeError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.cfg.overflow == OverflowPolicy::Reject {
+            // Pre-scan so the rejection is atomic: either every record fits
+            // in its queue, or none is enqueued.
+            let mut incoming = vec![0usize; self.shards.len()];
+            for r in batch {
+                let s = self.router.route(r.stream);
+                incoming[s] += 1;
+                if self.shards[s].queue.len() + incoming[s] > self.cfg.queue_capacity {
+                    self.rejected_batches += 1;
+                    return Err(ServeError::QueueFull {
+                        shard: s,
+                        stream: r.stream,
+                        capacity: self.cfg.queue_capacity,
+                    });
+                }
+            }
+        }
+        let clf = self.clf;
+        let monitor_cfg = self.cfg.monitor;
+        for r in batch {
+            let s = self.router.route(r.stream);
+            if self.shards[s].queue.len() >= self.cfg.queue_capacity {
+                // Block policy: backpressure by doing the work now.
+                self.flush_all();
+            }
+            let shard = &mut self.shards[s];
+            shard
+                .monitors
+                .entry(r.stream)
+                .or_insert_with(|| StreamMonitor::new(clf, monitor_cfg));
+            shard.queue.push(Queued {
+                seq: self.seq,
+                stream: r.stream,
+                value: r.value,
+            });
+            shard.queue_high_water = shard.queue_high_water.max(shard.queue.len());
+            self.seq += 1;
+            self.ingested += 1;
+        }
+        self.maybe_auto_checkpoint()
+    }
+
+    /// Process every queued record (all shards in parallel) and return all
+    /// produced alarms — including any buffered by implicit flushes — sorted
+    /// by global ingest sequence number.
+    pub fn drain(&mut self) -> Vec<StreamAlarm> {
+        self.flush_all();
+        self.pending.sort_by_key(|a| a.seq);
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Process all shard queues, buffering alarms into `self.pending`.
+    ///
+    /// One worker per shard (bounded by the configured thread count); each
+    /// shard's queue is processed serially in ingest order, so worker count
+    /// cannot change what any monitor sees.
+    fn flush_all(&mut self) {
+        if self.queued() == 0 {
+            // A drain right after a rebalance/checkpoint (which flush
+            // internally) must not pay the scoped-spawn round for nothing.
+            return;
+        }
+        let threads = self.worker_threads().min(self.shards.len());
+        let batches = parallel::map_mut_with(threads, &mut self.shards, Shard::process_queue);
+        for batch in batches {
+            self.pending.extend(batch);
+        }
+    }
+
+    /// Re-shard the runtime to `new_shards` workers, migrating every
+    /// re-routed stream by shipping its anchor snapshot bytes to the target
+    /// shard ([`StreamMonitor::snapshot_anchors`] →
+    /// [`StreamMonitor::resume_anchors`], refractory clocks included) — the
+    /// same byte path a cross-process migration takes, so alarm sequences
+    /// are unchanged across the move.
+    ///
+    /// Pending queues are drained first (alarms buffered for the next
+    /// [`drain`](Self::drain)); the rebalance itself is atomic — on error
+    /// (e.g. a third-party session type without checkpoint support) the
+    /// topology is left exactly as it was.
+    pub fn rebalance(&mut self, new_shards: usize) -> Result<(), ServeError> {
+        if new_shards == 0 {
+            return Err(ServeError::BadConfig("shard count must be ≥ 1".into()));
+        }
+        self.flush_all();
+        let new_router = ShardRouter::new(new_shards);
+        // Phase 1 (fallible, read-only): rehydrate a fresh monitor from
+        // snapshot bytes for every stream whose shard index changes. Streams
+        // keeping their index move by value below — no byte round-trip.
+        let mut migrated: BTreeMap<u64, StreamMonitor<'a, C>> = BTreeMap::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            for (&id, monitor) in &shard.monitors {
+                if new_router.route(id) != idx {
+                    let bytes = monitor.snapshot_anchors()?;
+                    let mut fresh = StreamMonitor::new(self.clf, self.cfg.monitor);
+                    fresh.resume_anchors(&bytes)?;
+                    migrated.insert(id, fresh);
+                }
+            }
+        }
+        // Phase 2 (infallible): swap in the new topology.
+        let n_migrated = migrated.len() as u64;
+        let old = std::mem::replace(
+            &mut self.shards,
+            (0..new_shards).map(|_| Shard::new()).collect(),
+        );
+        for shard in old {
+            self.retired_pushes += shard.pushes;
+            self.retired_alarms += shard.alarms;
+            for (id, monitor) in shard.monitors {
+                let target = new_router.route(id);
+                let moved = migrated.remove(&id).unwrap_or(monitor);
+                self.shards[target].monitors.insert(id, moved);
+            }
+        }
+        self.router = new_router;
+        self.cfg.shards = new_shards;
+        self.rebalances += 1;
+        self.migrated_streams += n_migrated;
+        Ok(())
+    }
+
+    /// A metrics snapshot: per-shard counters for the current topology plus
+    /// runtime-lifetime totals.
+    pub fn stats(&self) -> ServeStats {
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStats {
+                shard: i,
+                streams: s.monitors.len(),
+                queued: s.queue.len(),
+                queue_high_water: s.queue_high_water,
+                pushes: s.pushes,
+                alarms: s.alarms,
+            })
+            .collect();
+        ServeStats {
+            streams: shards.iter().map(|s| s.streams).sum(),
+            pushes: self.retired_pushes + shards.iter().map(|s| s.pushes).sum::<u64>(),
+            alarms: self.retired_alarms + shards.iter().map(|s| s.alarms).sum::<u64>(),
+            ingested: self.ingested,
+            pending_alarms: self.pending.len(),
+            rejected_batches: self.rejected_batches,
+            rebalances: self.rebalances,
+            migrated_streams: self.migrated_streams,
+            checkpoints: self.checkpoints,
+            last_checkpoint_bytes: self.last_checkpoint_bytes,
+            shards,
+        }
+    }
+
+    /// Write a whole-runtime state checkpoint — configuration, clocks,
+    /// undelivered alarms, and every stream's `(model name, anchor
+    /// snapshot)` pair — into the registry under `"<model_name>.serve"`.
+    ///
+    /// The fitted model itself must already be in the registry (use
+    /// [`checkpoint`](Self::checkpoint) to save both, or
+    /// [`enable_checkpoints`](Self::enable_checkpoints) which saves the
+    /// model once up front); recovery verifies its presence per stream and
+    /// fails with [`ServeError::ModelMissing`] otherwise.
+    ///
+    /// Queues are drained first (a checkpoint captures processed state, not
+    /// raw queue contents), with the produced alarms buffered — and,
+    /// being undelivered, written into the checkpoint. After a crash those
+    /// alarms are re-delivered by the recovered runtime's first
+    /// [`drain`](Self::drain): delivery is at-least-once across a
+    /// checkpoint/recover cycle, never lossy.
+    ///
+    /// Returns the checkpoint envelope size in bytes.
+    pub fn checkpoint_state(&mut self, registry: &ModelRegistry) -> Result<usize, ServeError> {
+        self.flush_all();
+        let mut enc = Encoder::new();
+        enc.put_usize(self.shards.len());
+        enc.put_usize(self.cfg.queue_capacity);
+        enc.put_u8(match self.cfg.overflow {
+            OverflowPolicy::Block => 0,
+            OverflowPolicy::Reject => 1,
+        });
+        enc.put_usize(self.cfg.monitor.anchor_stride);
+        enc.put_u8(match self.cfg.monitor.norm {
+            StreamNorm::Raw => 0,
+            StreamNorm::PerPrefix => 1,
+        });
+        enc.put_usize(self.cfg.monitor.refractory);
+        enc.put_str(&self.cfg.model_name);
+        enc.put_u64(self.seq);
+        enc.put_u64(self.ingested);
+        enc.put_u64(self.rejected_batches);
+        enc.put_u64(self.rebalances);
+        enc.put_u64(self.migrated_streams);
+        // Count the checkpoint being cut, so a runtime recovered from these
+        // bytes reports the same total the live runtime does after the save.
+        enc.put_u64(self.checkpoints + 1);
+        let stats = self.stats();
+        enc.put_u64(stats.pushes);
+        enc.put_u64(stats.alarms);
+        enc.put_usize(self.pending.len());
+        for a in &self.pending {
+            enc.put_u64(a.stream);
+            enc.put_u64(a.seq);
+            a.alarm.encode(&mut enc);
+        }
+        enc.put_usize(self.stream_count());
+        for shard in &self.shards {
+            for (&id, monitor) in &shard.monitors {
+                enc.put_u64(id);
+                enc.put_str(&self.cfg.model_name);
+                enc.put_bytes(&monitor.snapshot_anchors()?);
+            }
+        }
+        let bytes = etsc_persist::envelope(SERVE_STATE_KIND, &enc.into_bytes());
+        registry.save_bytes(&state_entry_name(&self.cfg.model_name), &bytes)?;
+        self.checkpoints += 1;
+        self.last_checkpoint_bytes = bytes.len();
+        Ok(bytes.len())
+    }
+
+    /// Stop periodic checkpointing (see
+    /// [`enable_checkpoints`](Self::enable_checkpoints)).
+    pub fn disable_checkpoints(&mut self) {
+        self.auto = None;
+    }
+
+    /// Cut a state checkpoint if the periodic schedule says one is due.
+    fn maybe_auto_checkpoint(&mut self) -> Result<(), ServeError> {
+        let Some(auto) = &mut self.auto else {
+            return Ok(());
+        };
+        if self.seq - auto.last_at < auto.every {
+            return Ok(());
+        }
+        // Advance the schedule *before* attempting the write: a failing
+        // registry surfaces once per interval as a typed error, instead of
+        // re-flushing and re-snapshotting every stream on every subsequent
+        // ingest while the disk stays broken.
+        auto.last_at = self.seq;
+        let registry = auto.registry.clone();
+        self.checkpoint_state(&registry)?;
+        Ok(())
+    }
+}
+
+impl<'a, C: EarlyClassifier + Persist> Runtime<'a, C> {
+    /// Checkpoint the fitted model **and** the runtime state into the
+    /// registry (entries `model_name` and `"<model_name>.serve"`). Returns
+    /// the state envelope size in bytes. See
+    /// [`checkpoint_state`](Self::checkpoint_state) for the delivery
+    /// semantics of undelivered alarms.
+    pub fn checkpoint(&mut self, registry: &ModelRegistry) -> Result<usize, ServeError> {
+        registry.save(&self.cfg.model_name, self.clf)?;
+        self.checkpoint_state(registry)
+    }
+
+    /// Turn on periodic checkpointing: after roughly every
+    /// `every_records` ingested records, [`ingest`](Self::ingest) cuts a
+    /// state checkpoint into `registry`. The fitted model is saved once,
+    /// now; subsequent periodic writes persist only the (much smaller)
+    /// runtime state.
+    pub fn enable_checkpoints(
+        &mut self,
+        registry: ModelRegistry,
+        every_records: u64,
+    ) -> Result<(), ServeError> {
+        if every_records == 0 {
+            return Err(ServeError::BadConfig(
+                "checkpoint interval must be ≥ 1 record".into(),
+            ));
+        }
+        registry.save(&self.cfg.model_name, self.clf)?;
+        self.auto = Some(AutoCheckpoint {
+            registry,
+            every: every_records,
+            last_at: self.seq,
+        });
+        Ok(())
+    }
+
+    /// Rebuild a runtime from the checkpoint saved under `model_name` in
+    /// the registry directory `dir` (see [`checkpoint`](Self::checkpoint)).
+    ///
+    /// `clf` is the fitted model to serve with — typically just loaded from
+    /// the same registry (`registry.load::<C>(model_name)`), which is
+    /// behavior-bit-identical to the instance that was checkpointed. Every
+    /// recovered stream's snapshot names its model; if the registry no
+    /// longer holds that entry the recovery fails with
+    /// [`ServeError::ModelMissing`] carrying the stream id (and a snapshot
+    /// whose model entry is of a different type fails with a
+    /// [`PersistError::KindMismatch`]). The recovered runtime continues
+    /// every stream's alarm sequence exactly where the checkpoint left it.
+    pub fn recover(
+        clf: &'a C,
+        dir: impl AsRef<Path>,
+        model_name: &str,
+    ) -> Result<Self, ServeError> {
+        let registry = ModelRegistry::open(dir)?;
+        Self::recover_from(clf, &registry, model_name)
+    }
+
+    /// [`recover`](Self::recover) against an already-open registry.
+    pub fn recover_from(
+        clf: &'a C,
+        registry: &ModelRegistry,
+        model_name: &str,
+    ) -> Result<Self, ServeError> {
+        let bytes = registry.load_bytes(&state_entry_name(model_name))?;
+        let mut dec = etsc_persist::open_envelope(&bytes, SERVE_STATE_KIND)?;
+        let shards = dec.get_usize("serve shards")?;
+        let queue_capacity = dec.get_usize("serve queue capacity")?;
+        let overflow = match dec.get_u8("serve overflow policy")? {
+            0 => OverflowPolicy::Block,
+            1 => OverflowPolicy::Reject,
+            t => {
+                return Err(PersistError::Corrupt(format!("serve: overflow tag {t}")).into());
+            }
+        };
+        let anchor_stride = dec.get_usize("serve anchor stride")?;
+        let norm = match dec.get_u8("serve monitor norm")? {
+            0 => StreamNorm::Raw,
+            1 => StreamNorm::PerPrefix,
+            t => {
+                return Err(PersistError::Corrupt(format!("serve: norm tag {t}")).into());
+            }
+        };
+        let refractory = dec.get_usize("serve refractory")?;
+        let stored_name = dec.get_str("serve model name")?;
+        if stored_name != model_name {
+            return Err(PersistError::Corrupt(format!(
+                "serve: checkpoint was cut for model {stored_name:?}, recovered as {model_name:?}"
+            ))
+            .into());
+        }
+        let cfg = RuntimeConfig {
+            shards,
+            queue_capacity,
+            overflow,
+            monitor: StreamMonitorConfig {
+                anchor_stride,
+                norm,
+                refractory,
+            },
+            model_name: stored_name,
+            threads: None,
+        };
+        let mut rt = Runtime::new(clf, cfg)?;
+        rt.seq = dec.get_u64("serve seq")?;
+        rt.ingested = dec.get_u64("serve ingested")?;
+        rt.rejected_batches = dec.get_u64("serve rejected")?;
+        rt.rebalances = dec.get_u64("serve rebalances")?;
+        rt.migrated_streams = dec.get_u64("serve migrated")?;
+        rt.checkpoints = dec.get_u64("serve checkpoints")?;
+        rt.retired_pushes = dec.get_u64("serve pushes")?;
+        rt.retired_alarms = dec.get_u64("serve alarms")?;
+        rt.last_checkpoint_bytes = bytes.len();
+        let n_pending = dec.get_usize("serve pending alarms")?;
+        for _ in 0..n_pending {
+            let stream = dec.get_u64("serve pending stream")?;
+            let seq = dec.get_u64("serve pending seq")?;
+            let alarm = Alarm::decode(&mut dec)?;
+            rt.pending.push(StreamAlarm { stream, seq, alarm });
+        }
+        let n_streams = dec.get_usize("serve stream count")?;
+        let mut verified: BTreeSet<String> = BTreeSet::new();
+        for _ in 0..n_streams {
+            let id = dec.get_u64("serve stream id")?;
+            let name = dec.get_str("serve stream model")?;
+            let anchors = dec.get_bytes("serve stream anchors")?;
+            if !verified.contains(&name) {
+                // The (model name, anchor snapshot) pair is only usable if
+                // the registry still holds a model of the right type under
+                // that name — fail with the stranded stream's id, not a
+                // panic deep inside resume.
+                if !registry.contains(&name) {
+                    return Err(ServeError::ModelMissing {
+                        stream: id,
+                        model: name,
+                    });
+                }
+                let info = etsc_persist::inspect(&registry.load_bytes(&name)?)?;
+                if info.kind != C::KIND {
+                    return Err(PersistError::KindMismatch {
+                        expected: C::KIND.to_string(),
+                        found: info.kind,
+                    }
+                    .into());
+                }
+                verified.insert(name);
+            }
+            let mut monitor = StreamMonitor::new(clf, rt.cfg.monitor);
+            monitor.resume_anchors(&anchors)?;
+            rt.shards[rt.router.route(id)].monitors.insert(id, monitor);
+        }
+        dec.finish()?;
+        Ok(rt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_early::{Decision, DecisionSession, Decoder, SessionNorm};
+    use etsc_persist::Persist;
+    use std::path::PathBuf;
+
+    /// A fully persistable mean-level detector (the serve twin of the
+    /// monitor tests' detector): commits to class 0 once `need` samples
+    /// have arrived and their running mean exceeds 0.5.
+    #[derive(Debug, Clone, PartialEq)]
+    struct PulseDetector {
+        need: usize,
+        len: usize,
+    }
+
+    struct MeanSession {
+        need: usize,
+        sum: f64,
+        len: usize,
+        decision: Decision,
+    }
+
+    impl DecisionSession for MeanSession {
+        fn push(&mut self, x: f64) -> Decision {
+            self.len += 1;
+            if self.decision.is_predict() {
+                return self.decision;
+            }
+            self.sum += x;
+            if self.len >= self.need && self.sum / self.len as f64 > 0.5 {
+                self.decision = Decision::Predict {
+                    label: 0,
+                    confidence: 1.0,
+                };
+            }
+            self.decision
+        }
+        fn decision(&self) -> Decision {
+            self.decision
+        }
+        fn len(&self) -> usize {
+            self.len
+        }
+        fn reset(&mut self) {
+            self.sum = 0.0;
+            self.len = 0;
+            self.decision = Decision::Wait;
+        }
+        fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+            enc.put_f64(self.sum);
+            enc.put_usize(self.len);
+            enc.put_bool(self.decision.is_predict());
+            Ok(())
+        }
+    }
+
+    impl EarlyClassifier for PulseDetector {
+        fn n_classes(&self) -> usize {
+            1
+        }
+        fn series_len(&self) -> usize {
+            self.len
+        }
+        fn min_prefix(&self) -> usize {
+            self.need
+        }
+        fn session(&self, _norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+            Box::new(MeanSession {
+                need: self.need,
+                sum: 0.0,
+                len: 0,
+                decision: Decision::Wait,
+            })
+        }
+        fn resume_session(
+            &self,
+            _norm: SessionNorm,
+            dec: &mut Decoder<'_>,
+        ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+            let sum = dec.get_f64("sum")?;
+            let len = dec.get_usize("len")?;
+            let committed = dec.get_bool("committed")?;
+            Ok(Box::new(MeanSession {
+                need: self.need,
+                sum,
+                len,
+                decision: if committed {
+                    Decision::Predict {
+                        label: 0,
+                        confidence: 1.0,
+                    }
+                } else {
+                    Decision::Wait
+                },
+            }))
+        }
+        fn predict_full(&self, _s: &[f64]) -> ClassLabel {
+            0
+        }
+    }
+
+    use etsc_core::ClassLabel;
+
+    impl Persist for PulseDetector {
+        const KIND: &'static str = "PulseDetector";
+        fn encode_body(&self, enc: &mut Encoder) {
+            enc.put_usize(self.need);
+            enc.put_usize(self.len);
+        }
+        fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+            let need = dec.get_usize("pulse need")?;
+            let len = dec.get_usize("pulse len")?;
+            if need == 0 || len == 0 || need > len {
+                return Err(PersistError::Corrupt(format!(
+                    "pulse detector: need {need}, len {len}"
+                )));
+            }
+            Ok(Self { need, len })
+        }
+    }
+
+    fn detector() -> PulseDetector {
+        PulseDetector { need: 4, len: 24 }
+    }
+
+    fn config(shards: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            shards,
+            queue_capacity: 4096,
+            overflow: OverflowPolicy::Block,
+            monitor: StreamMonitorConfig {
+                anchor_stride: 2,
+                norm: StreamNorm::Raw,
+                refractory: 30,
+            },
+            model_name: "pulse".to_string(),
+            threads: Some(2),
+        }
+    }
+
+    /// Interleaved traffic over `ids`: background zeros with a per-stream
+    /// pulse window (offset by the stream's position so alarms differ per
+    /// stream), `rounds` samples per stream, one record per stream per
+    /// round.
+    fn traffic(ids: &[u64], rounds: usize) -> Vec<Vec<Record>> {
+        (0..rounds)
+            .map(|t| {
+                ids.iter()
+                    .enumerate()
+                    .map(|(k, &id)| {
+                        let start = 30 + 7 * k;
+                        let hot = t >= start && t < start + 15;
+                        Record::new(id, if hot { 1.0 } else { 0.0 })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn run_all(rt: &mut Runtime<'_, PulseDetector>, batches: &[Vec<Record>]) -> Vec<StreamAlarm> {
+        for b in batches {
+            rt.ingest(b).unwrap();
+        }
+        rt.drain()
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("etsc-serve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    const IDS: [u64; 6] = [1, 2, 3, 500, 8_000_000, u64::MAX - 7];
+
+    #[test]
+    fn ingest_auto_opens_and_drain_produces_per_stream_alarms() {
+        let clf = detector();
+        let mut rt = Runtime::new(&clf, config(3)).unwrap();
+        let batches = traffic(&IDS, 90);
+        let alarms = run_all(&mut rt, &batches);
+        // Every stream got a pulse, so every stream alarms at least once.
+        for &id in &IDS {
+            assert!(
+                alarms.iter().any(|a| a.stream == id),
+                "stream {id} must alarm"
+            );
+        }
+        // Output is sorted by the global ingest sequence number.
+        assert!(alarms.windows(2).all(|w| w[0].seq < w[1].seq));
+        let stats = rt.stats();
+        assert_eq!(stats.streams, IDS.len());
+        assert_eq!(stats.ingested, 90 * IDS.len() as u64);
+        assert_eq!(stats.pushes, stats.ingested, "drained fully");
+        assert_eq!(stats.alarms as usize, alarms.len());
+        assert_eq!(stats.pending_alarms, 0);
+        assert_eq!(stats.shards.len(), 3);
+        assert!(stats.shards.iter().any(|s| s.streams > 0));
+    }
+
+    #[test]
+    fn alarm_sequences_are_shard_count_invariant() {
+        let clf = detector();
+        let batches = traffic(&IDS, 120);
+        let reference = run_all(&mut Runtime::new(&clf, config(1)).unwrap(), &batches);
+        assert!(!reference.is_empty());
+        for shards in [2, 7] {
+            let alarms = run_all(&mut Runtime::new(&clf, config(shards)).unwrap(), &batches);
+            assert_eq!(alarms, reference, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn alarm_sequences_are_worker_count_invariant() {
+        let clf = detector();
+        let batches = traffic(&IDS, 120);
+        let reference = run_all(&mut Runtime::new(&clf, config(7)).unwrap(), &batches);
+        for threads in [1usize, 7] {
+            let mut cfg = config(7);
+            cfg.threads = Some(threads);
+            let alarms = run_all(&mut Runtime::new(&clf, cfg).unwrap(), &batches);
+            assert_eq!(alarms, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn rebalance_preserves_alarm_sequences_exactly() {
+        let clf = detector();
+        let batches = traffic(&IDS, 120);
+        let reference = run_all(&mut Runtime::new(&clf, config(2)).unwrap(), &batches);
+
+        // Rebalance twice mid-run (grow, then shrink), mid-pulse both times.
+        let mut rt = Runtime::new(&clf, config(2)).unwrap();
+        let mut alarms = Vec::new();
+        for (t, b) in batches.iter().enumerate() {
+            rt.ingest(b).unwrap();
+            if t == 37 {
+                rt.rebalance(5).unwrap();
+                assert_eq!(rt.shard_count(), 5);
+            }
+            if t == 80 {
+                rt.rebalance(3).unwrap();
+            }
+        }
+        alarms.extend(rt.drain());
+        assert_eq!(alarms, reference, "rebalancing must not change alarms");
+        let stats = rt.stats();
+        assert_eq!(stats.rebalances, 2);
+        assert!(stats.migrated_streams > 0, "some stream must have moved");
+        assert_eq!(stats.pushes, stats.ingested);
+    }
+
+    #[test]
+    fn rebalance_to_zero_shards_is_rejected() {
+        let clf = detector();
+        let mut rt = Runtime::new(&clf, config(2)).unwrap();
+        assert!(matches!(rt.rebalance(0), Err(ServeError::BadConfig(_))));
+        assert_eq!(
+            rt.shard_count(),
+            2,
+            "failed rebalance must not touch topology"
+        );
+    }
+
+    #[test]
+    fn reject_policy_is_atomic_and_typed() {
+        let clf = detector();
+        let mut cfg = config(1);
+        cfg.queue_capacity = 4;
+        cfg.overflow = OverflowPolicy::Reject;
+        let mut rt = Runtime::new(&clf, cfg).unwrap();
+        let batch: Vec<Record> = (0..6).map(|i| Record::new(9, i as f64)).collect();
+        match rt.ingest(&batch) {
+            Err(ServeError::QueueFull {
+                shard,
+                stream,
+                capacity,
+            }) => {
+                assert_eq!(shard, 0);
+                assert_eq!(stream, 9);
+                assert_eq!(capacity, 4);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(rt.queued(), 0, "rejection must be atomic");
+        assert_eq!(rt.stats().rejected_batches, 1);
+        // A fitting batch is accepted; draining makes room for the retry.
+        rt.ingest(&batch[..4]).unwrap();
+        assert_eq!(rt.queued(), 4);
+        rt.drain();
+        rt.ingest(&batch[4..]).unwrap();
+        assert_eq!(rt.stats().ingested, 6);
+    }
+
+    #[test]
+    fn block_policy_applies_backpressure_without_loss() {
+        let clf = detector();
+        let batches = traffic(&IDS[..2], 100);
+        let reference = run_all(&mut Runtime::new(&clf, config(1)).unwrap(), &batches);
+
+        let mut cfg = config(1);
+        cfg.queue_capacity = 3; // far smaller than the traffic
+        let mut rt = Runtime::new(&clf, cfg).unwrap();
+        let alarms = run_all(&mut rt, &batches);
+        assert_eq!(alarms, reference, "backpressure must not lose records");
+        let stats = rt.stats();
+        assert!(stats.shards[0].queue_high_water <= 3);
+        assert_eq!(stats.pushes, stats.ingested);
+    }
+
+    #[test]
+    fn open_and_close_stream() {
+        let clf = detector();
+        let mut rt = Runtime::new(&clf, config(2)).unwrap();
+        assert!(rt.open_stream(42));
+        assert!(!rt.open_stream(42), "double open reports existing");
+        assert!(rt.contains_stream(42));
+        assert_eq!(rt.stream_count(), 1);
+        // Queued records are processed (not dropped) before the close.
+        rt.ingest(&[Record::new(42, 1.0); 10]).unwrap();
+        assert!(rt.close_stream(42));
+        assert!(!rt.close_stream(42));
+        assert!(!rt.contains_stream(42));
+        let alarms = rt.drain();
+        assert!(
+            alarms.iter().any(|a| a.stream == 42),
+            "pre-close samples still alarm: {alarms:?}"
+        );
+        assert_eq!(rt.stats().pushes, 10);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let clf = detector();
+        for (tweak, what) in [
+            (
+                RuntimeConfig {
+                    shards: 0,
+                    ..config(1)
+                },
+                "shards",
+            ),
+            (
+                RuntimeConfig {
+                    queue_capacity: 0,
+                    ..config(1)
+                },
+                "capacity",
+            ),
+            (
+                RuntimeConfig {
+                    threads: Some(0),
+                    ..config(1)
+                },
+                "threads",
+            ),
+            (
+                RuntimeConfig {
+                    monitor: StreamMonitorConfig {
+                        anchor_stride: 0,
+                        norm: StreamNorm::Raw,
+                        refractory: 0,
+                    },
+                    ..config(1)
+                },
+                "stride",
+            ),
+        ] {
+            assert!(
+                matches!(Runtime::new(&clf, tweak), Err(ServeError::BadConfig(_))),
+                "{what} misconfiguration must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_recover_continues_every_alarm_sequence() {
+        let root = tmp_root("recover");
+        let clf = detector();
+        let batches = traffic(&IDS, 120);
+        let reference = run_all(&mut Runtime::new(&clf, config(3)).unwrap(), &batches);
+        assert!(!reference.is_empty());
+
+        // Interrupted twin: ingest 50 rounds (some alarms already drained,
+        // some still pending at checkpoint time), checkpoint, "crash".
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut head = Runtime::new(&clf, config(3)).unwrap();
+        let mut alarms = Vec::new();
+        for b in &batches[..40] {
+            head.ingest(b).unwrap();
+        }
+        alarms.extend(head.drain());
+        for b in &batches[40..50] {
+            head.ingest(b).unwrap();
+        }
+        let bytes_written = head.checkpoint(&registry).unwrap();
+        assert!(bytes_written > 0);
+        assert_eq!(head.stats().last_checkpoint_bytes, bytes_written);
+        drop(head);
+
+        // Fresh process: reload the model from the registry, recover, and
+        // finish the traffic. Undelivered alarms from rounds 40..50 come
+        // out of the recovered runtime's first drain.
+        let restored: PulseDetector = registry.load("pulse").unwrap();
+        assert_eq!(restored, clf);
+        let mut tail = Runtime::recover(&restored, &root, "pulse").unwrap();
+        assert_eq!(tail.stream_count(), IDS.len());
+        assert_eq!(tail.shard_count(), 3);
+        for b in &batches[50..] {
+            tail.ingest(b).unwrap();
+        }
+        alarms.extend(tail.drain());
+        assert_eq!(alarms, reference, "recovery must drop and invent nothing");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recover_with_missing_model_is_a_typed_error() {
+        let root = tmp_root("missing-model");
+        let clf = detector();
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut rt = Runtime::new(&clf, config(2)).unwrap();
+        rt.ingest(&traffic(&IDS, 20).concat()).unwrap();
+        rt.checkpoint(&registry).unwrap();
+        drop(rt);
+
+        // The model vanishes from the registry (partial restore, pruned
+        // disk, wrong deploy bundle) — recovery must name a stranded
+        // stream and its model, not panic inside resume.
+        assert!(registry.remove("pulse").unwrap());
+        let err = Runtime::recover(&clf, &root, "pulse")
+            .err()
+            .expect("recover without the model must fail");
+        match err {
+            ServeError::ModelMissing { stream, model } => {
+                assert!(IDS.contains(&stream), "stranded stream id: {stream}");
+                assert_eq!(model, "pulse");
+            }
+            other => panic!("expected ModelMissing, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recover_with_wrong_model_kind_is_rejected() {
+        let root = tmp_root("wrong-kind");
+        let clf = detector();
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut rt = Runtime::new(&clf, config(2)).unwrap();
+        rt.ingest(&traffic(&IDS, 20).concat()).unwrap();
+        rt.checkpoint(&registry).unwrap();
+        drop(rt);
+
+        // Overwrite the model entry with a snapshot of a different type.
+        let foreign = etsc_core::UcrDataset::new(vec![vec![0.0, 1.0]], vec![0]).unwrap();
+        registry.save("pulse", &foreign).unwrap();
+        assert!(matches!(
+            Runtime::recover(&clf, &root, "pulse"),
+            Err(ServeError::Persist(PersistError::KindMismatch { .. }))
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn periodic_checkpoints_fire_from_ingest() {
+        let root = tmp_root("periodic");
+        let clf = detector();
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut rt = Runtime::new(&clf, config(2)).unwrap();
+        assert!(matches!(
+            rt.enable_checkpoints(registry.clone(), 0),
+            Err(ServeError::BadConfig(_))
+        ));
+        rt.enable_checkpoints(registry.clone(), 50).unwrap();
+        assert!(registry.contains("pulse"), "model saved at enable time");
+        for b in traffic(&IDS, 30) {
+            rt.ingest(&b).unwrap(); // 6 records per round → ~180 total
+        }
+        let stats = rt.stats();
+        assert!(
+            (3..=4).contains(&stats.checkpoints),
+            "~180 records / every-50 → 3 periodic checkpoints, got {}",
+            stats.checkpoints
+        );
+        assert!(registry.contains("pulse.serve"));
+        // The periodic checkpoint is recoverable like an explicit one.
+        let tail = Runtime::recover(&clf, &root, "pulse").unwrap();
+        assert_eq!(tail.stream_count(), IDS.len());
+        rt.disable_checkpoints();
+        let before = rt.stats().checkpoints;
+        rt.ingest(&traffic(&IDS, 30).concat()).unwrap();
+        assert_eq!(rt.stats().checkpoints, before, "disabled schedule is quiet");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failing_periodic_checkpoint_accepts_the_batch_and_backs_off() {
+        let root = tmp_root("broken-registry");
+        let clf = detector();
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut rt = Runtime::new(&clf, config(1)).unwrap();
+        rt.enable_checkpoints(registry, 10).unwrap();
+        // Break the registry out from under the schedule: replace its
+        // directory with a plain file so every write fails.
+        std::fs::remove_dir_all(&root).unwrap();
+        std::fs::write(&root, b"not a directory").unwrap();
+
+        let batch: Vec<Record> = (0..12).map(|i| Record::new(5, i as f64)).collect();
+        let err = rt.ingest(&batch).expect_err("due checkpoint cannot write");
+        assert!(matches!(err, ServeError::Persist(PersistError::Io(_))));
+        // The batch was fully accepted despite the error — re-ingesting it
+        // would double the stream's input.
+        assert_eq!(rt.stats().ingested, 12);
+        assert_eq!(rt.stats().pushes + rt.queued() as u64, 12);
+        // The failed write is not re-attempted until another interval
+        // elapses: the next small ingest succeeds quietly.
+        rt.ingest(&batch[..2]).unwrap();
+        assert_eq!(rt.stats().ingested, 14);
+        let _ = std::fs::remove_file(&root);
+    }
+
+    #[test]
+    fn recovered_checkpoint_counter_matches_the_live_runtime() {
+        let root = tmp_root("ckpt-counter");
+        let clf = detector();
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut rt = Runtime::new(&clf, config(2)).unwrap();
+        rt.ingest(&traffic(&IDS, 10).concat()).unwrap();
+        rt.checkpoint(&registry).unwrap();
+        rt.checkpoint(&registry).unwrap();
+        assert_eq!(rt.stats().checkpoints, 2);
+        let recovered = Runtime::recover(&clf, &root, "pulse").unwrap();
+        assert_eq!(
+            recovered.stats().checkpoints,
+            2,
+            "the checkpoint a runtime was recovered from counts"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_bytes_scale_with_stream_count() {
+        let root = tmp_root("bytes");
+        let clf = detector();
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut small = Runtime::new(&clf, config(2)).unwrap();
+        small.ingest(&traffic(&IDS[..2], 10).concat()).unwrap();
+        let small_bytes = small.checkpoint(&registry).unwrap();
+        let mut big = Runtime::new(&clf, config(2)).unwrap();
+        big.ingest(&traffic(&IDS, 10).concat()).unwrap();
+        let big_bytes = big.checkpoint(&registry).unwrap();
+        assert!(
+            big_bytes > small_bytes,
+            "6 streams ({big_bytes} B) must outweigh 2 ({small_bytes} B)"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,56 @@
+//! Instrumentation snapshots for the serving runtime.
+
+/// Counters for one shard, as of a [`stats`](crate::Runtime::stats) call.
+///
+/// Per-shard counters describe the **current topology**: they start at zero
+/// when the shard is created (at construction, after a
+/// [`rebalance`](crate::Runtime::rebalance), or at recovery) — the work done
+/// by previous topologies is folded into the runtime-level totals on
+/// [`ServeStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Streams currently owned by this shard.
+    pub streams: usize,
+    /// Records waiting in this shard's queue right now.
+    pub queued: usize,
+    /// Largest queue depth this shard has seen — the number to compare with
+    /// the configured capacity when sizing backpressure.
+    pub queue_high_water: usize,
+    /// Samples pushed into this shard's monitors.
+    pub pushes: u64,
+    /// Alarms produced by this shard's monitors.
+    pub alarms: u64,
+}
+
+/// A whole-runtime metrics snapshot from [`stats`](crate::Runtime::stats).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Per-shard breakdown for the current topology, by shard index.
+    pub shards: Vec<ShardStats>,
+    /// Streams currently live across all shards.
+    pub streams: usize,
+    /// Total samples pushed into monitors over the runtime's life
+    /// (rebalances and recoveries included).
+    pub pushes: u64,
+    /// Total alarms produced over the runtime's life.
+    pub alarms: u64,
+    /// Records accepted by [`ingest`](crate::Runtime::ingest) over the
+    /// runtime's life (`pushes` lags this by whatever is still queued).
+    pub ingested: u64,
+    /// Alarms produced but not yet returned by a
+    /// [`drain`](crate::Runtime::drain) call.
+    pub pending_alarms: usize,
+    /// Batches rejected under [`OverflowPolicy::Reject`](crate::OverflowPolicy::Reject).
+    pub rejected_batches: u64,
+    /// Completed [`rebalance`](crate::Runtime::rebalance) calls.
+    pub rebalances: u64,
+    /// Streams that crossed shards via the snapshot/resume byte path.
+    pub migrated_streams: u64,
+    /// Checkpoints written (explicit and periodic).
+    pub checkpoints: u64,
+    /// Size in bytes of the most recent runtime-state checkpoint envelope
+    /// (0 before the first checkpoint).
+    pub last_checkpoint_bytes: usize,
+}

@@ -72,7 +72,7 @@ impl From<StreamNorm> for SessionNorm {
 }
 
 /// Monitor configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamMonitorConfig {
     /// Spacing between candidate anchors, in samples. 1 = an anchor at every
     /// position (exhaustive; cost scales inversely).
@@ -104,6 +104,31 @@ pub struct Alarm {
     pub label: ClassLabel,
     /// Classifier confidence.
     pub confidence: f64,
+}
+
+impl Alarm {
+    /// Append this alarm to `enc` (codec: `etsc-persist`). Alarms travel in
+    /// serving-runtime checkpoints — an alarm that was produced but not yet
+    /// delivered when a checkpoint was cut must survive the restart.
+    ///
+    /// The confidence crosses as its IEEE bits, so a decoded alarm compares
+    /// equal (`PartialEq`) to the original.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.time);
+        enc.put_usize(self.anchor);
+        enc.put_usize(self.label);
+        enc.put_f64(self.confidence);
+    }
+
+    /// Decode an alarm written by [`encode`](Self::encode).
+    pub fn decode(dec: &mut etsc_persist::Decoder<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            time: dec.get_usize("alarm time")?,
+            anchor: dec.get_usize("alarm anchor")?,
+            label: dec.get_usize("alarm label")?,
+            confidence: dec.get_f64("alarm confidence")?,
+        })
+    }
 }
 
 /// A streaming monitor wrapping an early classifier.
@@ -344,6 +369,16 @@ impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
         self.now = now;
         self.quiet_until = quiet_until;
         Ok(())
+    }
+
+    /// The configuration this monitor was built with.
+    ///
+    /// Serving layers that own many monitors use this to assert that a
+    /// migration target is configured identically to the source before
+    /// shipping anchor snapshots at it (the snapshot path re-validates, but
+    /// the accessor lets callers fail fast with their own error type).
+    pub fn config(&self) -> &StreamMonitorConfig {
+        &self.cfg
     }
 
     /// Number of currently live anchors (for instrumentation).
@@ -824,6 +859,42 @@ mod tests {
             mon.snapshot_anchors(),
             Err(PersistError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn alarm_codec_round_trips_bit_exactly() {
+        let alarm = Alarm {
+            time: 1234,
+            anchor: 1200,
+            label: 3,
+            confidence: 0.1 + 0.2, // not exactly representable — bits must travel
+        };
+        let mut enc = Encoder::new();
+        alarm.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = etsc_persist::Decoder::new(&bytes);
+        let back = Alarm::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, alarm);
+        assert_eq!(back.confidence.to_bits(), alarm.confidence.to_bits());
+        // Truncated bytes error instead of panicking.
+        let mut short = etsc_persist::Decoder::new(&bytes[..bytes.len() - 1]);
+        assert!(matches!(
+            Alarm::decode(&mut short),
+            Err(PersistError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn config_accessor_reports_the_construction_config() {
+        let clf = LevelDetector { need: 4, len: 16 };
+        let cfg = StreamMonitorConfig {
+            anchor_stride: 3,
+            norm: StreamNorm::Raw,
+            refractory: 9,
+        };
+        let mon = StreamMonitor::new(&clf, cfg);
+        assert_eq!(*mon.config(), cfg);
     }
 
     #[test]

@@ -9,6 +9,8 @@ use etsc::early::ects::{Ects, EctsConfig};
 use etsc::early::metrics::{evaluate, PrefixPolicy};
 use etsc::early::{checkpoint_session, resume_session, EarlyClassifier, SessionNorm};
 use etsc::persist::ModelRegistry;
+use etsc::serve::{Record, Runtime, RuntimeConfig};
+use etsc::stream::{StreamMonitorConfig, StreamNorm};
 
 fn main() {
     // 1. A GunPoint-like problem in the UCR format: equal-length, aligned
@@ -125,6 +127,50 @@ fn main() {
             ),
             None => println!("Resumed session: never committed on this probe"),
         }
+    }
+    // 7. Serving at scale: a sharded runtime owns many concurrent streams,
+    //    routes batched records to per-shard workers, rebalances live (the
+    //    re-routed streams migrate as anchor snapshots), and checkpoints the
+    //    whole fleet into the same registry for crash recovery.
+    {
+        let restored: Ects = registry.load("ects-gunpoint").expect("model loads");
+        let serve_cfg = RuntimeConfig {
+            shards: 2,
+            monitor: StreamMonitorConfig {
+                anchor_stride: 8,
+                norm: StreamNorm::Raw,
+                refractory: 60,
+            },
+            model_name: "ects-gunpoint".to_string(),
+            ..RuntimeConfig::default()
+        };
+        let mut runtime = Runtime::new(&restored, serve_cfg).expect("valid serve config");
+        // Interleaved traffic: 12 streams each replaying a test exemplar.
+        for t in 0..test.series_len() {
+            let batch: Vec<Record> = (0..12)
+                .map(|id| Record::new(id, test.series(id as usize)[t]))
+                .collect();
+            runtime.ingest(&batch).expect("queues sized for the demo");
+            if t == test.series_len() / 2 {
+                runtime.rebalance(5).expect("live rebalance");
+            }
+        }
+        let alarms = runtime.drain();
+        runtime.checkpoint(&registry).expect("runtime checkpoints");
+        let stats = runtime.stats();
+        println!(
+            "\nServing runtime: {} streams over {} shards (rebalanced mid-run, {} migrated), \
+             {} pushes, {} alarms, checkpoint {} bytes",
+            stats.streams,
+            stats.shards.len(),
+            stats.migrated_streams,
+            stats.pushes,
+            alarms.len(),
+            stats.last_checkpoint_bytes
+        );
+        // A crashed replacement process would now call
+        // Runtime::recover(&restored, &registry_dir, "ects-gunpoint") and
+        // continue every stream's alarm sequence exactly.
     }
     let _ = std::fs::remove_dir_all(&registry_dir);
 

@@ -24,6 +24,10 @@
 //!   explicit prefix-normalization policy at evaluation time.
 //! * [`stream`] — anchored stream monitors, alarm scoring, intervention
 //!   cost models, and Appendix A's well-posed alternatives.
+//! * [`serve`] — the sharded multi-stream serving runtime
+//!   ([`serve::Runtime`]): deterministic stream → shard routing, batched
+//!   ingestion with explicit backpressure, live rebalancing by anchor
+//!   migration, and registry-backed crash recovery.
 //! * [`audit`] — the Section 6 meaningfulness criteria: costs,
 //!   prefix/inclusion/homophone confusability, priors, and normalization
 //!   sensitivity, combined into [`audit::MeaningfulnessReport`].
@@ -181,6 +185,91 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 //!
+//! ## Serving & sharding
+//!
+//! [`serve::Runtime`] is the deployment-scale layer over all of the above:
+//! it owns many concurrent streams, routes each to one of N shards by
+//! hashing its id ([`core::hash`]), and services every shard's queue on its
+//! own worker thread during a [`drain`](serve::Runtime::drain)
+//! (`ETSC_THREADS`, or the explicit [`serve::RuntimeConfig::threads`]
+//! override). Ingestion is batched with an explicit
+//! [`serve::OverflowPolicy`] — apply backpressure in place, or reject the
+//! batch atomically with a typed error; nothing panics, nothing is silently
+//! dropped. Per-stream alarm sequences are **invariant under shard count,
+//! worker count, and mid-run rebalancing**:
+//! [`rebalance`](serve::Runtime::rebalance) migrates re-routed streams
+//! between workers as `(model name, anchor snapshot)` pairs over the
+//! [`persist`] byte path, refractory clocks included, and
+//! [`checkpoint`](serve::Runtime::checkpoint) /
+//! [`recover`](serve::Runtime::recover) carry the whole runtime across a
+//! crash the same way. [`stats`](serve::Runtime::stats) reports per-shard
+//! and lifetime counters.
+//!
+//! ```
+//! use etsc::core::UcrDataset;
+//! use etsc::early::ects::{Ects, EctsConfig};
+//! use etsc::persist::ModelRegistry;
+//! use etsc::serve::{Record, Runtime, RuntimeConfig};
+//! use etsc::stream::{StreamMonitorConfig, StreamNorm};
+//!
+//! // Fit a model on a tiny two-class problem.
+//! let train = UcrDataset::new(
+//!     (0..8)
+//!         .map(|i| {
+//!             let level = if i % 2 == 0 { 0.0 } else { 3.0 };
+//!             (0..16).map(|j| level + 0.05 * ((i * 5 + j) % 7) as f64).collect()
+//!         })
+//!         .collect(),
+//!     vec![0, 1, 0, 1, 0, 1, 0, 1],
+//! )
+//! .unwrap();
+//! let ects = Ects::fit(&train, &EctsConfig::default());
+//!
+//! // Build a 4-shard runtime and ingest interleaved batches from many
+//! // streams (unknown stream ids auto-open).
+//! let cfg = RuntimeConfig {
+//!     shards: 4,
+//!     monitor: StreamMonitorConfig {
+//!         anchor_stride: 4,
+//!         norm: StreamNorm::Raw,
+//!         refractory: 20,
+//!     },
+//!     model_name: "ects".to_string(),
+//!     ..RuntimeConfig::default()
+//! };
+//! let mut rt = Runtime::new(&ects, cfg.clone()).unwrap();
+//! let probe: Vec<f64> = train.series(1).to_vec();
+//! for t in 0..8 {
+//!     let batch: Vec<Record> = (0..6).map(|id| Record::new(id, probe[t])).collect();
+//!     rt.ingest(&batch).unwrap();
+//! }
+//!
+//! // Live rebalance: stream state migrates between workers as anchor
+//! // snapshots; alarm sequences are unchanged.
+//! rt.rebalance(7).unwrap();
+//! assert_eq!(rt.shard_count(), 7);
+//! assert_eq!(rt.stream_count(), 6);
+//!
+//! // Checkpoint the whole runtime (model + every stream's anchors) ...
+//! let dir = std::env::temp_dir().join(format!("etsc-serve-doc-{}", std::process::id()));
+//! let registry = ModelRegistry::open(&dir).unwrap();
+//! rt.checkpoint(&registry).unwrap();
+//! drop(rt);
+//!
+//! // ... and recover it in a "new process": reload the model by name,
+//! // rebuild the runtime, keep serving. Decisions continue exactly.
+//! let restored: Ects = registry.load("ects").unwrap();
+//! let mut recovered = Runtime::recover(&restored, &dir, "ects").unwrap();
+//! assert_eq!(recovered.stream_count(), 6);
+//! for t in 8..16 {
+//!     let batch: Vec<Record> = (0..6).map(|id| Record::new(id, probe[t])).collect();
+//!     recovered.ingest(&batch).unwrap();
+//! }
+//! let alarms = recovered.drain();
+//! assert!(alarms.len() <= 6 * 16);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
 //! ## Subsequence search and the threading model
 //!
 //! Long-stream search (the Fig 5 homophone hunt, Fig 8's 500 dustbathing
@@ -235,4 +324,5 @@ pub use etsc_core as core;
 pub use etsc_datasets as datasets;
 pub use etsc_early as early;
 pub use etsc_persist as persist;
+pub use etsc_serve as serve;
 pub use etsc_stream as stream;

@@ -1,0 +1,238 @@
+//! End-to-end tests of the sharded serving runtime over a real fitted
+//! classifier.
+//!
+//! The acceptance bar for `etsc-serve`: the same synthetic multi-stream
+//! traffic produces **identical per-stream alarm sequences** through 1, 2,
+//! and 7 shards, through a mid-run rebalance, and across a simulated crash
+//! (`checkpoint` → drop → `recover`) — bit-exact under the raw norm. Shard
+//! topology, worker count, drain cadence, and process boundaries are pure
+//! deployment knobs; they must never change what any stream's monitor sees
+//! or decides. (Under `PerPrefix` the runtime is equally deterministic —
+//! the same float ops run in the same order per stream — so equality is
+//! asserted exactly there too; the documented ~1e-9 tolerance only concerns
+//! comparisons against offline batch renormalization, which no test here
+//! makes.)
+
+use etsc::core::UcrDataset;
+use etsc::early::ects::{Ects, EctsConfig};
+use etsc::persist::ModelRegistry;
+use etsc::serve::{Record, Runtime, RuntimeConfig, ServeError, StreamAlarm};
+use etsc::stream::{StreamMonitorConfig, StreamNorm};
+use std::path::PathBuf;
+
+/// A small two-class problem: low-level vs high-level series with
+/// deterministic per-exemplar jitter.
+fn train_set() -> UcrDataset {
+    let data: Vec<Vec<f64>> = (0..10)
+        .map(|i| {
+            let level = if i % 2 == 0 { 0.0 } else { 3.0 };
+            (0..24)
+                .map(|j| level + 0.06 * ((i * 5 + j * 3) % 11) as f64)
+                .collect()
+        })
+        .collect();
+    let labels = (0..10).map(|i| i % 2).collect();
+    UcrDataset::new(data, labels).unwrap()
+}
+
+fn serve_cfg(shards: usize, norm: StreamNorm) -> RuntimeConfig {
+    RuntimeConfig {
+        shards,
+        monitor: StreamMonitorConfig {
+            anchor_stride: 3,
+            norm,
+            refractory: 40,
+        },
+        model_name: "ects".to_string(),
+        threads: Some(2),
+        ..RuntimeConfig::default()
+    }
+}
+
+const STREAM_IDS: [u64; 5] = [3, 17, 256, 99_991, u64::MAX / 3];
+const ROUNDS: usize = 160;
+
+/// Interleaved traffic: every stream alternates quiet background with an
+/// event resembling a class-1 training exemplar, offset per stream so the
+/// alarm times differ.
+fn traffic() -> Vec<Vec<Record>> {
+    let train = train_set();
+    let event: Vec<f64> = train.series(1).to_vec();
+    (0..ROUNDS)
+        .map(|t| {
+            STREAM_IDS
+                .iter()
+                .enumerate()
+                .map(|(k, &id)| {
+                    let start = 20 + 13 * k;
+                    let value = if t >= start && t < start + event.len() {
+                        event[t - start]
+                    } else {
+                        0.02 * ((t * 7 + k) % 5) as f64
+                    };
+                    Record::new(id, value)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run all batches through a fresh runtime, draining every `cadence`
+/// batches (drain cadence must not affect outcomes either).
+fn run(clf: &Ects, cfg: RuntimeConfig, cadence: usize) -> Vec<StreamAlarm> {
+    let mut rt = Runtime::new(clf, cfg).unwrap();
+    let mut alarms = Vec::new();
+    for (t, batch) in traffic().iter().enumerate() {
+        rt.ingest(batch).unwrap();
+        if (t + 1) % cadence == 0 {
+            alarms.extend(rt.drain());
+        }
+    }
+    alarms.extend(rt.drain());
+    alarms
+}
+
+fn per_stream(alarms: &[StreamAlarm], id: u64) -> Vec<StreamAlarm> {
+    alarms.iter().copied().filter(|a| a.stream == id).collect()
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("etsc-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+#[test]
+fn alarm_sequences_are_shard_count_invariant_raw() {
+    let clf = Ects::fit(&train_set(), &EctsConfig::default());
+    let reference = run(&clf, serve_cfg(1, StreamNorm::Raw), 8);
+    assert!(
+        !reference.is_empty(),
+        "the planted events must produce alarms"
+    );
+    for &id in &STREAM_IDS {
+        assert!(
+            !per_stream(&reference, id).is_empty(),
+            "stream {id} must alarm"
+        );
+    }
+    for shards in [2, 7] {
+        let alarms = run(&clf, serve_cfg(shards, StreamNorm::Raw), 8);
+        assert_eq!(alarms, reference, "{shards} shards, bit-exact");
+    }
+    // Drain cadence is a deployment knob too.
+    let coarse = run(&clf, serve_cfg(2, StreamNorm::Raw), 64);
+    assert_eq!(coarse, reference, "drain cadence must not change alarms");
+}
+
+#[test]
+fn alarm_sequences_are_shard_count_invariant_per_prefix() {
+    let clf = Ects::fit(&train_set(), &EctsConfig::default());
+    let reference = run(&clf, serve_cfg(1, StreamNorm::PerPrefix), 8);
+    for shards in [2, 7] {
+        let alarms = run(&clf, serve_cfg(shards, StreamNorm::PerPrefix), 8);
+        assert_eq!(alarms, reference, "{shards} shards");
+    }
+}
+
+#[test]
+fn alarm_sequences_are_worker_count_invariant() {
+    let clf = Ects::fit(&train_set(), &EctsConfig::default());
+    let reference = run(&clf, serve_cfg(7, StreamNorm::Raw), 8);
+    for threads in [1usize, 7] {
+        let mut cfg = serve_cfg(7, StreamNorm::Raw);
+        cfg.threads = Some(threads);
+        assert_eq!(run(&clf, cfg, 8), reference, "{threads} workers");
+    }
+}
+
+#[test]
+fn mid_run_rebalance_preserves_alarm_sequences() {
+    let clf = Ects::fit(&train_set(), &EctsConfig::default());
+    let reference = run(&clf, serve_cfg(2, StreamNorm::Raw), 8);
+
+    // Same traffic, rebalancing 2 → 7 → 3 mid-pulse: every re-routed
+    // stream travels as (model name, anchor snapshot) bytes, refractory
+    // clock included, so nothing about the alarms may change.
+    let mut rt = Runtime::new(&clf, serve_cfg(2, StreamNorm::Raw)).unwrap();
+    let mut alarms = Vec::new();
+    for (t, batch) in traffic().iter().enumerate() {
+        rt.ingest(batch).unwrap();
+        if t == 31 {
+            rt.rebalance(7).unwrap();
+        }
+        if t == 90 {
+            rt.rebalance(3).unwrap();
+        }
+        if (t + 1) % 8 == 0 {
+            alarms.extend(rt.drain());
+        }
+    }
+    alarms.extend(rt.drain());
+    assert_eq!(alarms, reference, "rebalance must be invisible in alarms");
+    let stats = rt.stats();
+    assert_eq!(stats.rebalances, 2);
+    assert!(stats.migrated_streams > 0);
+    assert_eq!(stats.shards.len(), 3);
+}
+
+#[test]
+fn kill_and_recover_continues_every_alarm_sequence() {
+    let root = tmp_root("kill-recover");
+    let clf = Ects::fit(&train_set(), &EctsConfig::default());
+    let reference = run(&clf, serve_cfg(3, StreamNorm::Raw), 8);
+
+    // Drive half the traffic, checkpoint mid-refractory / mid-event (round
+    // 70 is inside stream 99_991's event window), then "kill" the process
+    // by dropping the runtime and the model.
+    let registry = ModelRegistry::open(&root).unwrap();
+    let batches = traffic();
+    let mut alarms = Vec::new();
+    {
+        let mut rt = Runtime::new(&clf, serve_cfg(3, StreamNorm::Raw)).unwrap();
+        for batch in &batches[..70] {
+            rt.ingest(batch).unwrap();
+        }
+        alarms.extend(rt.drain());
+        rt.checkpoint(&registry).unwrap();
+    }
+    drop(clf);
+
+    // New process: reload the model from the registry and recover.
+    let restored: Ects = registry.load("ects").unwrap();
+    let mut rt = Runtime::recover(&restored, &root, "ects").unwrap();
+    assert_eq!(rt.stream_count(), STREAM_IDS.len());
+    for batch in &batches[70..] {
+        rt.ingest(batch).unwrap();
+    }
+    alarms.extend(rt.drain());
+    assert_eq!(
+        alarms, reference,
+        "recovered runtime must continue exactly where the crash left off"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn recover_without_the_model_names_the_stranded_stream() {
+    let root = tmp_root("stranded");
+    let clf = Ects::fit(&train_set(), &EctsConfig::default());
+    let registry = ModelRegistry::open(&root).unwrap();
+    let mut rt = Runtime::new(&clf, serve_cfg(2, StreamNorm::Raw)).unwrap();
+    for batch in &traffic()[..30] {
+        rt.ingest(batch).unwrap();
+    }
+    rt.checkpoint(&registry).unwrap();
+    drop(rt);
+
+    assert!(registry.remove("ects").unwrap());
+    match Runtime::recover(&clf, &root, "ects").err() {
+        Some(ServeError::ModelMissing { stream, model }) => {
+            assert!(STREAM_IDS.contains(&stream));
+            assert_eq!(model, "ects");
+        }
+        other => panic!("expected ModelMissing, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
