@@ -1,0 +1,301 @@
+//! Machine-readable benchmark of the cross-node serving layer (`etsc-net`).
+//!
+//! Spawns real [`Node`]s on loopback TCP inside this process and measures
+//! the three costs a deployment pays for putting a socket between driver
+//! and runtime:
+//!
+//! * **request RTT**: p50/p99 round-trip of the smallest request (`Ping`) —
+//!   the floor every remote call sits on (framing + checksum + syscalls);
+//! * **ingest throughput vs batch size**: records per second through
+//!   `NetClient::ingest` + periodic drains, over a range of batch sizes —
+//!   how quickly per-record wire cost amortizes away; and
+//! * **migration time per stream**: wall time of a cluster-routed two-phase
+//!   cross-node migration (export → wire → import), divided by streams
+//!   moved, after the streams have accumulated live anchor state.
+//!
+//! Writes `BENCH_net.json` into the current directory.
+//!
+//! Run: `cargo run --release -p etsc-bench --bin bench_net [--quick]`
+//! `--quick` shrinks every dimension for CI smoke runs.
+//!
+//! **Caveats — read before citing a number.** Client and node share one
+//! machine and one kernel: loopback RTT has no propagation delay, no NIC,
+//! and no congestion, so it is a *floor*, not a forecast; ingest throughput
+//! divides the same cores between the client thread, the accept loop, and
+//! the shard workers, so it understates what distinct machines would do;
+//! and migration time excludes the routing-table propagation a real
+//! deployment needs. Numbers are only meaningful relative to each other on
+//! the same machine.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use etsc_classifiers::centroid::NearestCentroid;
+use etsc_core::UcrDataset;
+use etsc_early::threshold::ProbThreshold;
+use etsc_net::{Cluster, Endpoint, Listener, NetClient, Node, NodeConfig};
+use etsc_serve::{Record, Runtime, RuntimeConfig};
+use etsc_stream::{StreamMonitorConfig, StreamNorm};
+
+/// Training exemplar length — also each monitor's anchor horizon.
+const TRAIN_LEN: usize = 128;
+/// Anchor stride: bounds live anchors per stream at TRAIN_LEN / stride.
+const STRIDE: usize = 16;
+/// Batches between drains on the throughput runs.
+const CYCLE: usize = 32;
+
+type Model = ProbThreshold<NearestCentroid>;
+
+fn train_set() -> UcrDataset {
+    let data: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            let level = if i % 2 == 0 { -2.0 } else { 2.0 };
+            (0..TRAIN_LEN)
+                .map(|j| level + 0.08 * (((i * 31 + j * 17) % 13) as f64 - 6.0))
+                .collect()
+        })
+        .collect();
+    UcrDataset::new(data, (0..8).map(|i| i % 2).collect()).unwrap()
+}
+
+/// Background traffic: noise with a slow drift, rarely decisive.
+fn sample(k: usize, t: usize) -> f64 {
+    0.15 * (((t * 23 + k * 7) % 17) as f64 - 8.0) + ((t as f64) * 0.013).sin()
+}
+
+fn runtime_cfg(shards: usize, queue: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        shards,
+        queue_capacity: queue,
+        monitor: StreamMonitorConfig {
+            anchor_stride: STRIDE,
+            norm: StreamNorm::Raw,
+            refractory: 200,
+        },
+        model_name: "net-bench".to_string(),
+        ..RuntimeConfig::default()
+    }
+}
+
+fn bind_loopback() -> (Listener, Endpoint) {
+    let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).expect("bind");
+    let endpoint = listener.local_endpoint().expect("local endpoint");
+    (listener, endpoint)
+}
+
+/// Run `body` against a client connected to a freshly served node.
+fn with_node<R>(model: &Model, queue: usize, body: impl FnOnce(&mut NetClient) -> R) -> R {
+    let node = Node::new(
+        Runtime::new(model, runtime_cfg(2, queue)).expect("valid bench config"),
+        NodeConfig::default(),
+    );
+    let (listener, endpoint) = bind_loopback();
+    std::thread::scope(|s| {
+        let server = s.spawn(|| node.serve(listener));
+        let mut client = NetClient::connect(&endpoint).expect("connect");
+        let out = body(&mut client);
+        node.stop();
+        server.join().expect("join").expect("serve");
+        out
+    })
+}
+
+struct RttRow {
+    pings: usize,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+fn bench_rtt(model: &Model, pings: usize) -> RttRow {
+    with_node(model, 1024, |client| {
+        for t in 0..64 {
+            client.ping(t).expect("warmup ping");
+        }
+        let mut times = Vec::with_capacity(pings);
+        for t in 0..pings {
+            let t0 = Instant::now();
+            client.ping(t as u64).expect("ping");
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        times.sort_by(f64::total_cmp);
+        let pick =
+            |q: f64| times[((times.len() as f64 * q).ceil() as usize - 1).min(times.len() - 1)];
+        RttRow {
+            pings,
+            p50_ns: pick(0.50),
+            p99_ns: pick(0.99),
+        }
+    })
+}
+
+struct IngestRow {
+    batch_size: usize,
+    records: usize,
+    records_per_sec: f64,
+    alarms: u64,
+}
+
+fn bench_ingest(model: &Model, batch_size: usize, batches: usize) -> IngestRow {
+    let streams = 64usize;
+    with_node(model, batch_size * 2 + 64, |client| {
+        let mut batch = Vec::with_capacity(batch_size);
+        let mut alarms = 0u64;
+        let t0 = Instant::now();
+        for t in 0..batches {
+            batch.clear();
+            for i in 0..batch_size {
+                let k = (t * batch_size + i) % streams;
+                batch.push(Record::new(k as u64, sample(k, t)));
+            }
+            client.ingest(&batch).expect("ingest");
+            if (t + 1) % CYCLE == 0 {
+                alarms += client.drain().expect("drain").len() as u64;
+            }
+        }
+        alarms += client.drain().expect("drain").len() as u64;
+        let elapsed = t0.elapsed().as_secs_f64();
+        let records = batch_size * batches;
+        IngestRow {
+            batch_size,
+            records,
+            records_per_sec: records as f64 / elapsed,
+            alarms,
+        }
+    })
+}
+
+struct MigrateRow {
+    streams_total: usize,
+    streams_moved: usize,
+    warm_rounds: usize,
+    total_ns: f64,
+    ns_per_stream: f64,
+}
+
+fn bench_migration(model: &Model, streams: usize, warm_rounds: usize) -> MigrateRow {
+    let node_a = Node::new(
+        Runtime::new(model, runtime_cfg(2, streams * 2 + 64)).expect("valid bench config"),
+        NodeConfig::default(),
+    );
+    let node_b = Node::new(
+        Runtime::new(model, runtime_cfg(2, streams * 2 + 64)).expect("valid bench config"),
+        NodeConfig::default(),
+    );
+    let (la, ea) = bind_loopback();
+    let (lb, eb) = bind_loopback();
+    std::thread::scope(|s| {
+        let sa = s.spawn(|| node_a.serve(la));
+        let sb = s.spawn(|| node_b.serve(lb));
+        let mut cluster = Cluster::connect(&[ea.clone(), eb.clone()]).expect("connect");
+
+        // Accumulate live anchor state so each migration carries a real
+        // snapshot, not an empty monitor.
+        let mut batch = Vec::with_capacity(streams);
+        for t in 0..warm_rounds {
+            batch.clear();
+            for k in 0..streams {
+                batch.push(Record::new(k as u64, sample(k, t)));
+            }
+            cluster.ingest(&batch).expect("warm ingest");
+        }
+        cluster.drain().expect("warm drain");
+
+        // Move everything the ring put on node A over to node B.
+        let movers: Vec<u64> = (0..streams as u64)
+            .filter(|&k| cluster.router().route(k) == 0)
+            .collect();
+        let t0 = Instant::now();
+        cluster.migrate(&movers, 1).expect("migrate");
+        let total_ns = t0.elapsed().as_secs_f64() * 1e9;
+
+        node_a.stop();
+        node_b.stop();
+        sa.join().expect("join").expect("serve");
+        sb.join().expect("join").expect("serve");
+        MigrateRow {
+            streams_total: streams,
+            streams_moved: movers.len(),
+            warm_rounds,
+            ns_per_stream: total_ns / movers.len().max(1) as f64,
+            total_ns,
+        }
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (pings, batch_sizes, batches_of, migrate_streams, warm_rounds): (
+        usize,
+        &[usize],
+        &dyn Fn(usize) -> usize,
+        usize,
+        usize,
+    ) = if quick {
+        (500, &[16, 256], &|bs| (16_384 / bs).max(8), 32, 96)
+    } else {
+        (5_000, &[16, 256, 4_096], &|bs| (1 << 20) / bs, 256, 192)
+    };
+    println!("bench_net: loopback TCP, stride {STRIDE}, drain cycle {CYCLE} batches");
+
+    let model = ProbThreshold::new(NearestCentroid::fit(&train_set()), 0.9999, TRAIN_LEN, 2);
+
+    let rtt = bench_rtt(&model, pings);
+    println!(
+        "  ping RTT over {} pings: p50 {:>8.0} ns  p99 {:>8.0} ns",
+        rtt.pings, rtt.p50_ns, rtt.p99_ns
+    );
+
+    let mut ingest_rows = Vec::new();
+    for &bs in batch_sizes {
+        let row = bench_ingest(&model, bs, batches_of(bs));
+        println!(
+            "  ingest batch {:>5}: {:>12.0} records/s over {:>8} records ({} alarms)",
+            row.batch_size, row.records_per_sec, row.records, row.alarms
+        );
+        ingest_rows.push(row);
+    }
+
+    let mig = bench_migration(&model, migrate_streams, warm_rounds);
+    println!(
+        "  migration: {:>4} of {:>4} streams A→B in {:>10.0} ns  ({:>8.0} ns/stream)",
+        mig.streams_moved, mig.streams_total, mig.total_ns, mig.ns_per_stream
+    );
+
+    // Emit BENCH_net.json (hand-rolled: the workspace is offline, no serde).
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"caveat\": \"single machine, loopback TCP: RTT is a floor (no network), \
+         throughput shares cores between client and node, migration excludes routing \
+         propagation\","
+    );
+    let _ = writeln!(json, "  \"anchor_stride\": {STRIDE},");
+    let _ = writeln!(
+        json,
+        "  \"rtt\": {{\"pings\": {}, \"p50_ns\": {:.0}, \"p99_ns\": {:.0}}},",
+        rtt.pings, rtt.p50_ns, rtt.p99_ns
+    );
+    let _ = writeln!(json, "  \"ingest\": [");
+    for (i, r) in ingest_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"batch_size\": {}, \"records\": {}, \"records_per_sec\": {:.0}, \
+             \"alarms\": {}}}{}",
+            r.batch_size,
+            r.records,
+            r.records_per_sec,
+            r.alarms,
+            if i + 1 < ingest_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"migration\": {{\"streams_total\": {}, \"streams_moved\": {}, \"warm_rounds\": {}, \
+         \"total_ns\": {:.0}, \"ns_per_stream\": {:.0}}}",
+        mig.streams_total, mig.streams_moved, mig.warm_rounds, mig.total_ns, mig.ns_per_stream
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    println!("\nwrote BENCH_net.json");
+}

@@ -1,0 +1,205 @@
+//! The blocking client for one node: the [`Runtime`] surface, over a
+//! socket.
+//!
+//! [`NetClient`] speaks one request/one reply at a time over a single
+//! connection, with a per-request deadline. It exposes the same
+//! ingest/drain/checkpoint verbs as the in-process
+//! [`Runtime`](etsc_serve::Runtime) and implements
+//! [`StreamService`](etsc_serve::StreamService), so a driver (or a test)
+//! written against the trait runs unchanged in-process and over the wire —
+//! which is how this crate proves its alarm sequences match the
+//! in-process runtime's.
+
+use std::time::{Duration, Instant};
+
+use etsc_serve::{Record, StreamAlarm, StreamService};
+
+use crate::error::WireError;
+use crate::transport::{Conn, Endpoint};
+use crate::wire::{read_frame, Message, ReadOutcome, MAX_FRAME_PAYLOAD};
+
+/// Tuning for a [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for a whole request/reply exchange. Zero disables the
+    /// deadline (the client waits as long as the node computes — the right
+    /// choice when ingest legitimately blocks on remote backpressure).
+    pub request_timeout: Duration,
+    /// Largest reply payload the client will accept.
+    pub max_frame_payload: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            request_timeout: Duration::from_secs(30),
+            max_frame_payload: MAX_FRAME_PAYLOAD,
+        }
+    }
+}
+
+/// A connection to one [`Node`](crate::Node).
+pub struct NetClient {
+    conn: Conn,
+    endpoint: Endpoint,
+    cfg: ClientConfig,
+}
+
+/// Unwrap a specific reply variant or produce a typed
+/// [`WireError::UnexpectedReply`].
+macro_rules! expect_reply {
+    ($reply:expr, $expected:literal, $pat:pat => $out:expr) => {
+        match $reply {
+            $pat => Ok($out),
+            other => Err(WireError::UnexpectedReply {
+                expected: $expected,
+                got: other.name(),
+            }),
+        }
+    };
+}
+
+impl NetClient {
+    /// Dial a node with the default [`ClientConfig`].
+    pub fn connect(endpoint: &Endpoint) -> Result<Self, WireError> {
+        Self::connect_with(endpoint, ClientConfig::default())
+    }
+
+    /// Dial a node.
+    pub fn connect_with(endpoint: &Endpoint, cfg: ClientConfig) -> Result<Self, WireError> {
+        // The socket-level timeout is a fraction of the request deadline so
+        // the deadline check runs several times before it expires.
+        let poll = if cfg.request_timeout.is_zero() {
+            Duration::from_millis(20)
+        } else {
+            (cfg.request_timeout / 4).max(Duration::from_millis(1))
+        };
+        let conn = Conn::connect(endpoint, poll)?;
+        Ok(Self {
+            conn,
+            endpoint: endpoint.clone(),
+            cfg,
+        })
+    }
+
+    /// The endpoint this client is connected to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Send one request and wait for its reply. A remote
+    /// [`Message::Error`] reply is surfaced as the carried [`WireError`].
+    fn request(&mut self, msg: &Message) -> Result<Message, WireError> {
+        msg.write_to(&mut self.conn)?;
+        let deadline = if self.cfg.request_timeout.is_zero() {
+            None
+        } else {
+            Some(Instant::now() + self.cfg.request_timeout)
+        };
+        let outcome = read_frame(&mut self.conn, self.cfg.max_frame_payload, &mut || {
+            deadline.is_some_and(|d| Instant::now() >= d)
+        })?;
+        match outcome {
+            ReadOutcome::Frame(frame) => match Message::decode(&frame)? {
+                Message::Error(err) => Err(err),
+                reply => Ok(reply),
+            },
+            ReadOutcome::Closed => Err(WireError::ConnectionClosed),
+            ReadOutcome::Stopped => Err(WireError::TimedOut),
+        }
+    }
+
+    /// Round-trip probe; returns the echoed token.
+    pub fn ping(&mut self, token: u64) -> Result<u64, WireError> {
+        let reply = self.request(&Message::Ping { token })?;
+        expect_reply!(reply, "Pong", Message::Pong { token } => token)
+    }
+
+    /// Open a monitor for `stream` on the node; `Ok(false)` if it already
+    /// existed.
+    pub fn open_stream(&mut self, stream: u64) -> Result<bool, WireError> {
+        let reply = self.request(&Message::OpenStream { stream })?;
+        expect_reply!(reply, "OpenAck", Message::OpenAck { created } => created)
+    }
+
+    /// Ingest a batch on the node. Blocks while the node applies
+    /// backpressure; a remote Reject-policy overflow comes back as
+    /// [`WireError::QueueFull`] with nothing enqueued.
+    pub fn ingest(&mut self, batch: &[Record]) -> Result<(), WireError> {
+        let reply = self.request(&Message::IngestBatch {
+            records: batch.to_vec(),
+        })?;
+        expect_reply!(reply, "IngestAck", Message::IngestAck => ())
+    }
+
+    /// Drain the node and return the alarms it produced.
+    pub fn drain(&mut self) -> Result<Vec<StreamAlarm>, WireError> {
+        let reply = self.request(&Message::Drain)?;
+        expect_reply!(reply, "DrainAck", Message::DrainAck { alarms } => alarms)
+    }
+
+    /// Cut a checkpoint into the node's registry; returns the state
+    /// envelope's size in bytes.
+    pub fn checkpoint(&mut self) -> Result<u64, WireError> {
+        let reply = self.request(&Message::Checkpoint)?;
+        expect_reply!(reply, "CheckpointAck", Message::CheckpointAck { bytes } => bytes)
+    }
+
+    /// Fetch the node's metrics as Prometheus text exposition.
+    pub fn stats_prometheus(&mut self) -> Result<String, WireError> {
+        let reply = self.request(&Message::Stats)?;
+        expect_reply!(reply, "StatsAck", Message::StatsAck { text } => text)
+    }
+
+    /// Number of live streams on the node.
+    pub fn stream_count(&mut self) -> Result<usize, WireError> {
+        let reply = self.request(&Message::StreamCount)?;
+        expect_reply!(reply, "StreamCountAck",
+            Message::StreamCountAck { streams } => streams as usize)
+    }
+
+    /// Export `streams` from the node for migration. Atomic remotely: on
+    /// error no stream was removed.
+    pub fn migrate_out(&mut self, streams: &[u64]) -> Result<Vec<(u64, Vec<u8>)>, WireError> {
+        let reply = self.request(&Message::MigrateOut {
+            streams: streams.to_vec(),
+        })?;
+        expect_reply!(reply, "MigrateStreams", Message::MigrateStreams { streams } => streams)
+    }
+
+    /// Import streams exported from another node. Atomic remotely: on
+    /// error none were adopted.
+    pub fn migrate_in(&mut self, streams: &[(u64, Vec<u8>)]) -> Result<u64, WireError> {
+        let reply = self.request(&Message::MigrateIn {
+            streams: streams.to_vec(),
+        })?;
+        expect_reply!(reply, "MigrateInAck", Message::MigrateInAck { accepted } => accepted)
+    }
+
+    /// Gracefully shut the node down; returns its final drain. Consumes
+    /// the client — the node closes the connection after the ack.
+    pub fn shutdown(mut self) -> Result<Vec<StreamAlarm>, WireError> {
+        let reply = self.request(&Message::Shutdown)?;
+        expect_reply!(reply, "ShutdownAck", Message::ShutdownAck { alarms } => alarms)
+    }
+}
+
+impl StreamService for NetClient {
+    type Error = WireError;
+
+    fn open_stream(&mut self, stream: u64) -> Result<bool, WireError> {
+        NetClient::open_stream(self, stream)
+    }
+
+    fn ingest(&mut self, batch: &[Record]) -> Result<(), WireError> {
+        NetClient::ingest(self, batch)
+    }
+
+    fn drain(&mut self) -> Result<Vec<StreamAlarm>, WireError> {
+        NetClient::drain(self)
+    }
+
+    fn stream_count(&mut self) -> Result<usize, WireError> {
+        NetClient::stream_count(self)
+    }
+}

@@ -1,0 +1,372 @@
+//! The cluster layer: many nodes behind one client-side router.
+//!
+//! [`ClusterRouter`] places stream ids on node endpoints with consistent
+//! hashing — each endpoint contributes [`ClusterRouter::REPLICAS`] virtual
+//! points on a 64-bit FNV-1a ring, and a stream belongs to the first point
+//! clockwise of its hashed id. Consistent hashing is the cluster-level
+//! analogue of `etsc-serve`'s [`ShardRouter`](etsc_serve::ShardRouter):
+//! where the in-process router may remap everything on a shard-count
+//! change (streams are cheap to move between shards of one process), the
+//! ring keeps cross-**node** movement minimal, because moving a stream
+//! between machines costs a snapshot round-trip.
+//!
+//! [`Cluster`] adds the data path on top: it routes every request to the
+//! owning node's [`NetClient`], merges drains deterministically, and moves
+//! live streams between nodes with the same two-phase snapshot/restore
+//! discipline the in-process rebalance uses — on any failure the streams
+//! are restored to their source node and the routing topology is left
+//! untouched.
+
+use std::collections::BTreeMap;
+
+use etsc_core::hash;
+use etsc_serve::{Record, StreamAlarm, StreamService};
+
+use crate::client::{ClientConfig, NetClient};
+use crate::error::WireError;
+use crate::transport::Endpoint;
+
+/// Client-side consistent-hash placement of streams onto node endpoints.
+#[derive(Debug, Clone)]
+pub struct ClusterRouter {
+    endpoints: Vec<Endpoint>,
+    /// `(ring position, node index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    /// Streams pinned to a specific node by an explicit migration; these
+    /// win over the ring.
+    overrides: BTreeMap<u64, usize>,
+}
+
+impl ClusterRouter {
+    /// Virtual points each endpoint contributes to the ring. More points
+    /// smooth the load split between nodes.
+    pub const REPLICAS: usize = 128;
+
+    /// Build a router over `endpoints` (at least one).
+    pub fn new(endpoints: Vec<Endpoint>) -> Result<Self, WireError> {
+        if endpoints.is_empty() {
+            return Err(WireError::RemoteBadConfig(
+                "a cluster needs at least one endpoint".to_string(),
+            ));
+        }
+        let mut points = Vec::with_capacity(endpoints.len() * Self::REPLICAS);
+        for (i, ep) in endpoints.iter().enumerate() {
+            // Seed the ring position with the endpoint identity, fold in
+            // the replica number, then avalanche: raw FNV positions of
+            // near-identical endpoint strings correlate, which skews the
+            // ring's arcs badly.
+            let base = hash::fnv1a_64(ep.to_string().as_bytes());
+            for replica in 0..Self::REPLICAS {
+                let pos = hash::mix64(hash::fnv1a_64_with(base, &(replica as u64).to_le_bytes()));
+                points.push((pos, i));
+            }
+        }
+        points.sort_unstable();
+        Ok(Self {
+            endpoints,
+            points,
+            overrides: BTreeMap::new(),
+        })
+    }
+
+    /// The endpoints this router places streams onto.
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// Node index that owns `stream` right now (overrides first, then the
+    /// ring).
+    pub fn route(&self, stream: u64) -> usize {
+        if let Some(&node) = self.overrides.get(&stream) {
+            return node;
+        }
+        self.ring_route(stream)
+    }
+
+    /// Node index the ring alone assigns (ignoring overrides).
+    pub fn ring_route(&self, stream: u64) -> usize {
+        let key = hash::mix64(hash::fnv1a_u64(stream));
+        // First ring point at or clockwise of the key, wrapping at the top.
+        let i = self.points.partition_point(|&(pos, _)| pos < key);
+        let i = if i == self.points.len() { 0 } else { i };
+        self.points[i].1
+    }
+
+    /// Pin `stream` to `node`, overriding the ring (what a completed
+    /// migration records). A pin matching the ring assignment is dropped.
+    pub fn pin(&mut self, stream: u64, node: usize) {
+        if self.ring_route(stream) == node {
+            self.overrides.remove(&stream);
+        } else {
+            self.overrides.insert(stream, node);
+        }
+    }
+
+    /// Streams currently pinned off their ring position.
+    pub fn pinned(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.overrides.iter().map(|(&s, &n)| (s, n))
+    }
+}
+
+/// A connected cluster: one [`NetClient`] per node plus the router that
+/// decides which node serves which stream.
+pub struct Cluster {
+    router: ClusterRouter,
+    clients: Vec<NetClient>,
+}
+
+impl Cluster {
+    /// Dial every endpoint with the default [`ClientConfig`].
+    pub fn connect(endpoints: &[Endpoint]) -> Result<Self, WireError> {
+        Self::connect_with(endpoints, ClientConfig::default())
+    }
+
+    /// Dial every endpoint.
+    pub fn connect_with(endpoints: &[Endpoint], cfg: ClientConfig) -> Result<Self, WireError> {
+        let router = ClusterRouter::new(endpoints.to_vec())?;
+        let clients = endpoints
+            .iter()
+            .map(|ep| NetClient::connect_with(ep, cfg.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { router, clients })
+    }
+
+    /// The routing table (to inspect placement and pins).
+    pub fn router(&self) -> &ClusterRouter {
+        &self.router
+    }
+
+    /// Mutable access to the routing table.
+    ///
+    /// Pins normally appear as a side effect of [`Cluster::migrate`], but a
+    /// *rebuilt* client — e.g. one reconnecting after a node was replaced —
+    /// has a fresh ring and no memory of past migrations. Until its pins
+    /// are re-seeded with [`ClusterRouter::pin`] to where the recovered
+    /// topology actually holds each stream, the ring would route ingests to
+    /// whatever node it hashes to, auto-opening fresh monitors away from
+    /// the stream's real state.
+    pub fn router_mut(&mut self) -> &mut ClusterRouter {
+        &mut self.router
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Direct access to one node's client (for per-node operations like
+    /// stats or checkpoints).
+    pub fn client(&mut self, node: usize) -> &mut NetClient {
+        &mut self.clients[node]
+    }
+
+    /// Open `stream` on the node the router assigns it to.
+    pub fn open_stream(&mut self, stream: u64) -> Result<bool, WireError> {
+        let node = self.router.route(stream);
+        self.clients[node].open_stream(stream)
+    }
+
+    /// Route a batch to its owning nodes. Records keep their relative
+    /// order within each node's sub-batch, so per-stream ingest order is
+    /// preserved (every record of one stream goes to one node).
+    ///
+    /// Sub-batches are sent node by node; a typed failure (e.g.
+    /// [`WireError::QueueFull`]) aborts the remaining sends, and because a
+    /// rejected sub-batch is atomic remotely, the caller can drain and
+    /// retry the whole batch without duplicating any record: per-node
+    /// sub-batches either landed completely or not at all.
+    pub fn ingest(&mut self, batch: &[Record]) -> Result<(), WireError> {
+        let mut per_node: BTreeMap<usize, Vec<Record>> = BTreeMap::new();
+        for r in batch {
+            per_node
+                .entry(self.router.route(r.stream))
+                .or_default()
+                .push(*r);
+        }
+        for (node, records) in per_node {
+            self.clients[node].ingest(&records)?;
+        }
+        Ok(())
+    }
+
+    /// Drain every node and merge the alarms.
+    ///
+    /// Per-node drains arrive ordered by that node's global ingest
+    /// sequence; sequence numbers are **not** comparable across nodes, so
+    /// the merged list is sorted by `(stream, alarm.time)` — the
+    /// per-stream clock every runtime agrees on. Within one stream this
+    /// equals the single-process order; across streams it is a
+    /// deterministic interleaving.
+    pub fn drain(&mut self) -> Result<Vec<StreamAlarm>, WireError> {
+        let mut merged = Vec::new();
+        for client in &mut self.clients {
+            merged.extend(client.drain()?);
+        }
+        merged.sort_by_key(|a| (a.stream, a.alarm.time));
+        Ok(merged)
+    }
+
+    /// Live streams across all nodes.
+    pub fn stream_count(&mut self) -> Result<usize, WireError> {
+        let mut total = 0;
+        for client in &mut self.clients {
+            total += client.stream_count()?;
+        }
+        Ok(total)
+    }
+
+    /// Checkpoint every node into its own registry; returns per-node state
+    /// sizes in bytes.
+    pub fn checkpoint_all(&mut self) -> Result<Vec<u64>, WireError> {
+        self.clients.iter_mut().map(|c| c.checkpoint()).collect()
+    }
+
+    /// Move live streams onto node `to`, two-phase:
+    ///
+    /// 1. **Export** — each source node snapshots and retires its subset
+    ///    (atomic per node: an unknown id fails with nothing removed).
+    /// 2. **Import** — node `to` adopts the snapshots (atomic: a corrupt
+    ///    blob or duplicate id refuses the batch).
+    ///
+    /// On an import failure the exported streams are restored to their
+    /// source nodes and the routing table is left untouched, so a failed
+    /// migration never strands or double-serves a stream. Only after both
+    /// phases succeed are the streams pinned to `to`.
+    ///
+    /// Streams already on `to` are skipped. The source nodes' queued
+    /// records are drained (by the remote export) before the snapshot, so
+    /// no queued work is lost; call [`Cluster::drain`] afterwards to
+    /// collect any alarms that drain raised.
+    pub fn migrate(&mut self, streams: &[u64], to: usize) -> Result<(), WireError> {
+        if to >= self.clients.len() {
+            return Err(WireError::RemoteBadConfig(format!(
+                "migration target node {to} does not exist ({} nodes)",
+                self.clients.len()
+            )));
+        }
+        let mut per_source: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for &s in streams {
+            let from = self.router.route(s);
+            if from != to {
+                per_source.entry(from).or_default().push(s);
+            }
+        }
+        for (from, ids) in per_source {
+            let exported = self.clients[from].migrate_out(&ids)?;
+            if let Err(err) = self.clients[to].migrate_in(&exported) {
+                // Give the streams back to their source; the topology is
+                // unchanged, so service resumes exactly where it was.
+                self.clients[from]
+                    .migrate_in(&exported)
+                    .map_err(|restore| {
+                        WireError::RemotePersist(format!(
+                            "migration to node {to} failed ({err}) and restoring {} stream(s) to \
+                         node {from} also failed: {restore}",
+                            exported.len()
+                        ))
+                    })?;
+                return Err(err);
+            }
+            for id in ids {
+                self.router.pin(id, to);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StreamService for Cluster {
+    type Error = WireError;
+
+    fn open_stream(&mut self, stream: u64) -> Result<bool, WireError> {
+        Cluster::open_stream(self, stream)
+    }
+
+    fn ingest(&mut self, batch: &[Record]) -> Result<(), WireError> {
+        Cluster::ingest(self, batch)
+    }
+
+    fn drain(&mut self) -> Result<Vec<StreamAlarm>, WireError> {
+        Cluster::drain(self)
+    }
+
+    fn stream_count(&mut self) -> Result<usize, WireError> {
+        Cluster::stream_count(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(n: usize) -> Vec<Endpoint> {
+        (0..n)
+            .map(|i| Endpoint::Tcp(format!("10.0.0.{i}:7431")))
+            .collect()
+    }
+
+    #[test]
+    fn ring_routing_is_deterministic_and_total() {
+        let router = ClusterRouter::new(eps(3)).unwrap();
+        for stream in 0..1000u64 {
+            let a = router.route(stream);
+            let b = router.route(stream);
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn ring_spreads_streams_across_nodes() {
+        let router = ClusterRouter::new(eps(4)).unwrap();
+        let mut counts = [0usize; 4];
+        for stream in 0..4000u64 {
+            counts[router.route(stream)] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(c > 200, "node {node} got only {c} of 4000 streams");
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_only_a_minority_of_streams() {
+        let before = ClusterRouter::new(eps(4)).unwrap();
+        let mut grown = eps(4);
+        grown.push(Endpoint::Tcp("10.0.0.9:7431".to_string()));
+        let after = ClusterRouter::new(grown).unwrap();
+        let moved = (0..10_000u64)
+            .filter(|&s| before.route(s) != after.route(s))
+            .count();
+        // Ideal is 1/5 = 2000; consistent hashing should stay well under a
+        // full remap and every move should target the new node.
+        assert!(moved < 5000, "{moved} of 10000 streams moved");
+        for s in 0..10_000u64 {
+            if before.route(s) != after.route(s) {
+                assert_eq!(after.route(s), 4, "stream {s} moved to an old node");
+            }
+        }
+    }
+
+    #[test]
+    fn pins_override_the_ring_and_self_clean() {
+        let mut router = ClusterRouter::new(eps(3)).unwrap();
+        let stream = 7;
+        let home = router.route(stream);
+        let away = (home + 1) % 3;
+        router.pin(stream, away);
+        assert_eq!(router.route(stream), away);
+        assert_eq!(router.pinned().count(), 1);
+        // Pinning back to the ring assignment clears the override.
+        router.pin(stream, home);
+        assert_eq!(router.route(stream), home);
+        assert_eq!(router.pinned().count(), 0);
+    }
+
+    #[test]
+    fn empty_cluster_is_a_typed_error() {
+        assert!(matches!(
+            ClusterRouter::new(Vec::new()).unwrap_err(),
+            WireError::RemoteBadConfig(_)
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! Blocking transports the protocol runs over: TCP and (on Unix) Unix
+//! domain sockets, behind one [`Endpoint`]/[`Listener`]/[`Conn`] surface.
+//!
+//! Everything here is `std::net`/`std::os::unix::net` — no async runtime.
+//! Listeners are nonblocking so an accept loop can poll a shutdown flag;
+//! accepted and dialed connections are switched back to blocking with a
+//! read timeout, which is what lets [`read_frame`](crate::wire::read_frame)
+//! observe stop conditions instead of parking forever on a silent peer.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::error::WireError;
+
+/// Where a node listens, and what a client dials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address, e.g. `"127.0.0.1:7431"`. Port 0 asks the OS
+    /// for a free port; [`Listener::local_endpoint`] reports the result.
+    Tcp(String),
+    /// A Unix domain socket path (Unix targets only).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// A bound, nonblocking listener for either transport.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Bind `endpoint` and switch the listener nonblocking (so accept
+    /// loops can poll a stop flag between [`Listener::poll_accept`] calls).
+    pub fn bind(endpoint: &Endpoint) -> Result<Listener, WireError> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // A previous run's socket file would make bind fail with
+                // AddrInUse; a stale path is only removed if nothing
+                // answers on it.
+                if path.exists() && UnixStream::connect(path).is_err() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l))
+            }
+        }
+    }
+
+    /// The endpoint this listener is actually bound to (resolves port 0).
+    pub fn local_endpoint(&self) -> Result<Endpoint, WireError> {
+        match self {
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| WireError::Io("unnamed unix socket".to_string()))?;
+                Ok(Endpoint::Unix(path.to_path_buf()))
+            }
+        }
+    }
+
+    /// Try to accept one connection without blocking. `Ok(None)` means no
+    /// connection is pending right now. An accepted connection is switched
+    /// back to blocking mode with `read_timeout` applied.
+    pub fn poll_accept(&self, read_timeout: Duration) -> Result<Option<Conn>, WireError> {
+        let conn = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Conn::Tcp(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e.into()),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Some(Conn::Unix(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e.into()),
+            },
+        };
+        if let Some(c) = &conn {
+            c.prepare(read_timeout)?;
+        }
+        Ok(conn)
+    }
+}
+
+/// One established connection on either transport.
+pub enum Conn {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Dial `endpoint` and apply `read_timeout`.
+    pub fn connect(endpoint: &Endpoint, read_timeout: Duration) -> Result<Conn, WireError> {
+        let conn = match endpoint {
+            Endpoint::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr)?),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+        };
+        conn.prepare(read_timeout)?;
+        Ok(conn)
+    }
+
+    /// Put the connection in blocking mode with a read timeout, and turn
+    /// off Nagle for TCP (frames are small request/reply units; batching
+    /// them behind delayed ACKs would serialize every RTT).
+    fn prepare(&self, read_timeout: Duration) -> Result<(), WireError> {
+        let timeout = if read_timeout.is_zero() {
+            None
+        } else {
+            Some(read_timeout)
+        };
+        match self {
+            Conn::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                s.set_read_timeout(timeout)?;
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(timeout)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shut down the write half, signalling a clean end-of-stream to the
+    /// peer. Errors are ignored — the peer may already be gone.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the frame decoder: no input — random, corrupted,
+//! truncated, or hostile — may ever panic, hang, or decode to the wrong
+//! message. Every failure must be a typed [`WireError`].
+
+use etsc_net::wire::{decode_frame, encode_frame, Message, MAX_FRAME_PAYLOAD};
+use etsc_net::WireError;
+use etsc_serve::Record;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes through the frame decoder: any outcome is fine as
+    /// long as it is a `Result`, not a panic or a hang.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_decoder(
+        bytes in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let _ = decode_frame(&bytes, MAX_FRAME_PAYLOAD);
+    }
+
+    /// Arbitrary bytes wrapped in a *valid* frame (good magic, version,
+    /// length, checksum) driven through the message decoder: the payload
+    /// layer must be exactly as hostile-proof as the frame layer. This is
+    /// the path that exercises element-count validation — a payload
+    /// claiming billions of records must fail before allocating.
+    #[test]
+    fn random_payloads_in_valid_frames_never_panic_the_message_decoder(
+        msg_type in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..200),
+    ) {
+        let bytes = encode_frame(msg_type, &payload);
+        let frame = decode_frame(&bytes, MAX_FRAME_PAYLOAD).unwrap();
+        let _ = Message::decode(&frame);
+    }
+
+    /// Flipping any single bit of a well-formed frame is detected: the
+    /// checksum covers header and payload both, so no corruption decodes
+    /// to a (different) valid frame.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        stream in 0u64..=u64::MAX,
+        byte_pick in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let good = Message::OpenStream { stream }.to_frame_bytes();
+        let mut bad = good.clone();
+        let i = byte_pick % bad.len();
+        bad[i] ^= 1 << bit;
+        let result = decode_frame(&bad, MAX_FRAME_PAYLOAD);
+        prop_assert!(
+            result.is_err(),
+            "flipping bit {bit} of byte {i} went undetected"
+        );
+    }
+
+    /// A frame cut anywhere before its end is a typed truncation-class
+    /// error, never a panic or a misdecode.
+    #[test]
+    fn any_truncation_is_a_typed_error(
+        token in 0u64..=u64::MAX,
+        cut_pick in 0usize..10_000,
+    ) {
+        let good = Message::Ping { token }.to_frame_bytes();
+        let cut = cut_pick % good.len(); // strictly shorter than the frame
+        match decode_frame(&good[..cut], MAX_FRAME_PAYLOAD) {
+            Err(WireError::Truncated { .. }) => {}
+            // A cut inside the header can also surface as a length/magic
+            // error once enough of the header survives — typed either way.
+            Err(_) => {}
+            Ok(f) => prop_assert!(
+                false,
+                "cut at {cut} of {} decoded to msg_type {}",
+                good.len(),
+                f.msg_type
+            ),
+        }
+    }
+
+    /// Randomly generated ingest batches round-trip bit-exactly through a
+    /// frame (floats travel as IEEE bits, not text).
+    #[test]
+    fn random_ingest_batches_round_trip(
+        ids in prop::collection::vec(0u64..=u64::MAX, 0..24),
+        values in prop::collection::vec(-1e12f64..1e12, 0..24),
+    ) {
+        let records: Vec<Record> = ids
+            .iter()
+            .zip(&values)
+            .map(|(&id, &v)| Record::new(id, v))
+            .collect();
+        let msg = Message::IngestBatch { records };
+        let frame = decode_frame(&msg.to_frame_bytes(), MAX_FRAME_PAYLOAD).unwrap();
+        prop_assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    /// Random migrate-in blobs (ids plus opaque snapshot bytes) round-trip
+    /// exactly — the migration path must not touch the bytes it carries.
+    #[test]
+    fn random_migration_blobs_round_trip(
+        ids in prop::collection::vec(0u64..=u64::MAX, 0..8),
+        blob in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let streams: Vec<(u64, Vec<u8>)> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (id, blob.iter().map(|&b| b.wrapping_add(k as u8)).collect()))
+            .collect();
+        let msg = Message::MigrateIn { streams };
+        let frame = decode_frame(&msg.to_frame_bytes(), MAX_FRAME_PAYLOAD).unwrap();
+        prop_assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    /// The receiver's payload cap always wins: any frame whose payload
+    /// exceeds it is refused with the typed oversize error.
+    #[test]
+    fn receiver_payload_cap_is_enforced(
+        cap in 0usize..64,
+        extra in 1usize..64,
+    ) {
+        let payload = vec![0u8; cap + extra];
+        let bytes = encode_frame(1, &payload);
+        match decode_frame(&bytes, cap) {
+            Err(WireError::FrameTooLarge { declared, max }) => {
+                prop_assert_eq!(declared, cap + extra);
+                prop_assert_eq!(max, cap);
+            }
+            other => prop_assert!(false, "expected FrameTooLarge, got {other:?}"),
+        }
+    }
+}

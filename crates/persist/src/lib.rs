@@ -417,6 +417,30 @@ impl<'a> Decoder<'a> {
         Ok(out)
     }
 
+    /// Validate a declared element count against the bytes actually
+    /// remaining, **before** any allocation sized by it.
+    ///
+    /// Decoders that read `count` records of at least `min_bytes_per_item`
+    /// bytes each must call this before `Vec::with_capacity(count)` (or any
+    /// other count-proportional allocation): a hostile length prefix — e.g.
+    /// arriving over a network connection — must cost a typed error, not a
+    /// multi-gigabyte allocation. Uses saturating arithmetic so
+    /// near-`u64::MAX` claims cannot overflow-panic.
+    pub fn check_claim(
+        &self,
+        count: usize,
+        min_bytes_per_item: usize,
+        context: &'static str,
+    ) -> Result<(), PersistError> {
+        if self.remaining() < count.saturating_mul(min_bytes_per_item.max(1)) {
+            return Err(PersistError::Corrupt(format!(
+                "{context}: {count} items declared but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
     /// Enter a length-prefixed section: returns a sub-decoder over exactly
     /// the section's bytes and advances this decoder past it.
     pub fn section(&mut self, context: &'static str) -> Result<Decoder<'a>, PersistError> {

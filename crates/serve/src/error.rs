@@ -37,6 +37,19 @@ pub enum ServeError {
         /// The registry entry name the snapshot expects.
         model: String,
     },
+    /// A per-stream operation (export, migration) named a stream that is
+    /// not live in this runtime.
+    UnknownStream {
+        /// The stream id that has no monitor.
+        stream: u64,
+    },
+    /// An import ([`Runtime::import_streams`](crate::Runtime::import_streams))
+    /// would overwrite a stream that is already live in this runtime. The
+    /// import is refused atomically — no stream of the batch was added.
+    DuplicateStream {
+        /// The stream id that already exists.
+        stream: u64,
+    },
     /// A snapshot/restore or registry operation failed.
     Persist(PersistError),
 }
@@ -57,6 +70,14 @@ impl fmt::Display for ServeError {
             ServeError::ModelMissing { stream, model } => write!(
                 f,
                 "cannot recover stream {stream}: model {model:?} is absent from the registry"
+            ),
+            ServeError::UnknownStream { stream } => {
+                write!(f, "stream {stream} is not live in this runtime")
+            }
+            ServeError::DuplicateStream { stream } => write!(
+                f,
+                "stream {stream} is already live in this runtime; import refused with no \
+                 streams added"
             ),
             ServeError::Persist(e) => write!(f, "persistence error: {e}"),
         }

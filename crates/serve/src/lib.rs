@@ -41,7 +41,15 @@
 //!   continues every alarm sequence exactly. Periodic checkpoints hang off
 //!   ingest via [`Runtime::enable_checkpoints`].
 //! * **Metrics** — [`Runtime::stats`] snapshots per-shard and
-//!   runtime-lifetime counters into a [`ServeStats`] report.
+//!   runtime-lifetime counters into a [`ServeStats`] report, and
+//!   [`ServeStats::render_prometheus`] emits it in the Prometheus text
+//!   exposition format.
+//! * **Cross-runtime migration** — [`Runtime::export_streams`] /
+//!   [`Runtime::import_streams`] move live streams between runtimes (and,
+//!   via `etsc-net`, between machines) as two-phase batches of `(stream
+//!   id, anchor snapshot)` bytes, and the [`StreamService`] trait abstracts
+//!   the ingest/drain surface so drivers run unchanged against a local
+//!   [`Runtime`], a remote node, or a whole cluster.
 //!
 //! See the [`runtime`] module docs for the execution model and the
 //! determinism contract (per-stream alarm sequences are invariant under
@@ -91,9 +99,11 @@
 pub mod error;
 pub mod router;
 pub mod runtime;
+pub mod service;
 pub mod stats;
 
 pub use error::ServeError;
 pub use router::ShardRouter;
 pub use runtime::{OverflowPolicy, Record, Runtime, RuntimeConfig, StreamAlarm, SERVE_STATE_KIND};
+pub use service::StreamService;
 pub use stats::{ServeStats, ShardStats};

@@ -485,6 +485,86 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         Ok(())
     }
 
+    /// Export streams for a cross-runtime (typically cross-node) migration:
+    /// each returned entry is the stream id and its anchor-snapshot bytes
+    /// (the exact [`StreamMonitor::snapshot_anchors`] envelope that
+    /// [`import_streams`](Self::import_streams) — or a rebalance target —
+    /// resumes from). Pending queues are drained first, so the snapshot
+    /// reflects every already-ingested sample; the produced alarms stay
+    /// buffered for the next [`drain`](Self::drain).
+    ///
+    /// The export is **two-phase**: all requested streams are snapshotted
+    /// before any is removed, so an error (an unknown stream id, a
+    /// third-party session without checkpoint support) leaves the runtime
+    /// exactly as it was. On success the exported streams are retired here —
+    /// their monitors are gone and subsequent records for those ids would
+    /// auto-open fresh monitors, so callers move the bytes to their new
+    /// owner before resuming ingestion.
+    pub fn export_streams(&mut self, streams: &[u64]) -> Result<Vec<(u64, Vec<u8>)>, ServeError> {
+        self.flush_all();
+        // Phase 1 (fallible, read-only): snapshot every requested stream.
+        let mut out = Vec::with_capacity(streams.len());
+        for &id in streams {
+            let monitor = self.shards[self.router.route(id)]
+                .monitors
+                .get(&id)
+                .ok_or(ServeError::UnknownStream { stream: id })?;
+            out.push((id, monitor.snapshot_anchors()?));
+        }
+        // Phase 2 (infallible): retire the exported monitors.
+        for &id in streams {
+            self.shards[self.router.route(id)].monitors.remove(&id);
+        }
+        self.migrated_streams += streams.len() as u64;
+        Ok(out)
+    }
+
+    /// Import streams exported by another runtime's
+    /// [`export_streams`](Self::export_streams): rehydrate each `(stream
+    /// id, anchor snapshot)` pair into a fresh monitor and route it to its
+    /// shard. The other half of a cross-node migration.
+    ///
+    /// Two-phase like the export: every snapshot is resumed into a fresh
+    /// monitor before any stream is inserted, so an error (corrupt bytes, a
+    /// duplicate id) leaves the runtime untouched — in particular, a
+    /// failed import never half-applies a migration batch.
+    pub fn import_streams(&mut self, streams: &[(u64, Vec<u8>)]) -> Result<(), ServeError> {
+        // Phase 1 (fallible): validate ids and rehydrate monitors.
+        let mut fresh: BTreeMap<u64, StreamMonitor<'a, C>> = BTreeMap::new();
+        for (id, bytes) in streams {
+            if fresh.contains_key(id)
+                || self.shards[self.router.route(*id)]
+                    .monitors
+                    .contains_key(id)
+            {
+                return Err(ServeError::DuplicateStream { stream: *id });
+            }
+            let mut monitor = StreamMonitor::new(self.clf, self.cfg.monitor);
+            monitor.resume_anchors(bytes)?;
+            fresh.insert(*id, monitor);
+        }
+        // Phase 2 (infallible): adopt them.
+        let n = fresh.len() as u64;
+        for (id, monitor) in fresh {
+            self.shards[self.router.route(id)]
+                .monitors
+                .insert(id, monitor);
+        }
+        self.migrated_streams += n;
+        Ok(())
+    }
+
+    /// The stream ids currently live in this runtime, ascending.
+    pub fn stream_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.monitors.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// A metrics snapshot: per-shard counters for the current topology plus
     /// runtime-lifetime totals.
     pub fn stats(&self) -> ServeStats {
@@ -719,6 +799,10 @@ impl<'a, C: EarlyClassifier + Persist> Runtime<'a, C> {
         rt.retired_alarms = dec.get_u64("serve alarms")?;
         rt.last_checkpoint_bytes = bytes.len();
         let n_pending = dec.get_usize("serve pending alarms")?;
+        // A pending alarm is 2×u64 + a 4×8-byte alarm body; a checkpoint
+        // (which may arrive over a network boundary) declaring more alarms
+        // than its bytes can hold is corrupt — fail before looping.
+        dec.check_claim(n_pending, 48, "serve pending alarms")?;
         for _ in 0..n_pending {
             let stream = dec.get_u64("serve pending stream")?;
             let seq = dec.get_u64("serve pending seq")?;
@@ -726,6 +810,9 @@ impl<'a, C: EarlyClassifier + Persist> Runtime<'a, C> {
             rt.pending.push(StreamAlarm { stream, seq, alarm });
         }
         let n_streams = dec.get_usize("serve stream count")?;
+        // Each stream record holds an id, a model-name prefix, and an
+        // anchor-blob length prefix: ≥ 20 bytes.
+        dec.check_claim(n_streams, 20, "serve streams")?;
         let mut verified: BTreeSet<String> = BTreeSet::new();
         for _ in 0..n_streams {
             let id = dec.get_u64("serve stream id")?;

@@ -1,4 +1,7 @@
-//! Instrumentation snapshots for the serving runtime.
+//! Instrumentation snapshots for the serving runtime, and their
+//! Prometheus text exposition.
+
+use std::fmt::Write as _;
 
 /// Counters for one shard, as of a [`stats`](crate::Runtime::stats) call.
 ///
@@ -53,4 +56,124 @@ pub struct ServeStats {
     /// Size in bytes of the most recent runtime-state checkpoint envelope
     /// (0 before the first checkpoint).
     pub last_checkpoint_bytes: usize,
+}
+
+impl ServeStats {
+    /// Render this snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): one `# HELP`/`# TYPE` preamble per metric, runtime
+    /// totals as unlabelled samples, per-shard values labelled
+    /// `{shard="<index>"}`.
+    ///
+    /// Counter metrics carry the conventional `_total` suffix; queue
+    /// high-water marks and live-stream counts are gauges. The serving
+    /// node (`etsc-net`) answers its `Stats` request with exactly this
+    /// text, so any Prometheus-compatible scraper can consume a node
+    /// without a translation layer.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "etsc_serve_ingested_total",
+            "Records accepted by ingest over the runtime's life.",
+            self.ingested,
+        );
+        counter(
+            "etsc_serve_pushes_total",
+            "Samples pushed into stream monitors over the runtime's life.",
+            self.pushes,
+        );
+        counter(
+            "etsc_serve_alarms_total",
+            "Alarms produced over the runtime's life.",
+            self.alarms,
+        );
+        counter(
+            "etsc_serve_rejected_batches_total",
+            "Batches rejected under the Reject overflow policy.",
+            self.rejected_batches,
+        );
+        counter(
+            "etsc_serve_rebalances_total",
+            "Completed rebalance calls.",
+            self.rebalances,
+        );
+        counter(
+            "etsc_serve_migrated_streams_total",
+            "Streams that crossed shards or nodes via the snapshot byte path.",
+            self.migrated_streams,
+        );
+        counter(
+            "etsc_serve_checkpoints_total",
+            "Checkpoints written (explicit and periodic).",
+            self.checkpoints,
+        );
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "etsc_serve_streams",
+            "Streams currently live across all shards.",
+            self.streams as u64,
+        );
+        gauge(
+            "etsc_serve_pending_alarms",
+            "Alarms produced but not yet returned by a drain.",
+            self.pending_alarms as u64,
+        );
+        gauge(
+            "etsc_serve_last_checkpoint_bytes",
+            "Size of the most recent runtime-state checkpoint envelope.",
+            self.last_checkpoint_bytes as u64,
+        );
+        gauge(
+            "etsc_serve_shards",
+            "Shards in the current topology.",
+            self.shards.len() as u64,
+        );
+        let mut labelled =
+            |name: &str, help: &str, kind: &str, value: &dyn Fn(&ShardStats) -> u64| {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                for s in &self.shards {
+                    let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, value(s));
+                }
+            };
+        labelled(
+            "etsc_serve_shard_streams",
+            "Streams currently owned by the shard.",
+            "gauge",
+            &|s| s.streams as u64,
+        );
+        labelled(
+            "etsc_serve_shard_queued",
+            "Records waiting in the shard's queue right now.",
+            "gauge",
+            &|s| s.queued as u64,
+        );
+        labelled(
+            "etsc_serve_shard_queue_high_water",
+            "Largest queue depth the shard has seen in the current topology.",
+            "gauge",
+            &|s| s.queue_high_water as u64,
+        );
+        labelled(
+            "etsc_serve_shard_pushes_total",
+            "Samples pushed into the shard's monitors in the current topology.",
+            "counter",
+            &|s| s.pushes,
+        );
+        labelled(
+            "etsc_serve_shard_alarms_total",
+            "Alarms produced by the shard's monitors in the current topology.",
+            "counter",
+            &|s| s.alarms,
+        );
+        out
+    }
 }

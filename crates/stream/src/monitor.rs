@@ -345,6 +345,12 @@ impl<'a, C: EarlyClassifier + ?Sized> StreamMonitor<'a, C> {
         let now = dec.get_usize("monitor now")?;
         let quiet_until = dec.get_usize("monitor quiet_until")?;
         let n = dec.get_usize("monitor anchor count")?;
+        // Every anchor costs at least an offset (8 B) plus a section length
+        // (8 B); validate the declared count against the bytes actually
+        // present before allocating — anchor snapshots cross process (and,
+        // via the serving layers, network) boundaries, so a hostile count
+        // must be a typed error, not a huge allocation.
+        dec.check_claim(n, 16, "monitor anchors")?;
         let mut anchors: Vec<(usize, Box<dyn DecisionSession + 'a>)> = Vec::with_capacity(n);
         for _ in 0..n {
             let offset = dec.get_usize("monitor anchor offset")?;

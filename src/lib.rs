@@ -28,6 +28,11 @@
 //!   ([`serve::Runtime`]): deterministic stream → shard routing, batched
 //!   ingestion with explicit backpressure, live rebalancing by anchor
 //!   migration, and registry-backed crash recovery.
+//! * [`net`] — the cross-node layer: a zero-dependency framed wire
+//!   protocol over TCP/Unix sockets, a federated node runtime
+//!   ([`net::Node`] / [`net::NetClient`]) serving a [`serve::Runtime`]
+//!   behind a socket, and a consistent-hash cluster router
+//!   ([`net::Cluster`]) with two-phase cross-node stream migration.
 //! * [`audit`] — the Section 6 meaningfulness criteria: costs,
 //!   prefix/inclusion/homophone confusability, priors, and normalization
 //!   sensitivity, combined into [`audit::MeaningfulnessReport`].
@@ -270,6 +275,77 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 //!
+//! ## Cross-node serving
+//!
+//! [`net`] removes the process boundary: a [`net::Node`] serves a
+//! [`serve::Runtime`] over a framed, versioned, checksummed wire protocol
+//! (blocking `std::net`, no async runtime), and a [`net::NetClient`]
+//! exposes the same ingest/drain/checkpoint surface over the socket —
+//! both implement [`serve::StreamService`], so drivers are generic over
+//! where the monitors live. Above single nodes, [`net::Cluster`]
+//! consistent-hashes stream ids over node endpoints and migrates live
+//! streams between machines with the same two-phase snapshot discipline
+//! rebalancing uses. Per-stream alarm sequences are invariant under all
+//! of it. Every malformed frame, remote overflow, or misconfiguration
+//! surfaces as a typed [`net::WireError`] — never a panic, never a
+//! silently dropped connection.
+//!
+//! ```
+//! use etsc::core::UcrDataset;
+//! use etsc::early::ects::{Ects, EctsConfig};
+//! use etsc::net::{Endpoint, Listener, NetClient, Node, NodeConfig};
+//! use etsc::serve::{Record, Runtime, RuntimeConfig};
+//! use etsc::stream::{StreamMonitorConfig, StreamNorm};
+//!
+//! // Fit a model and wrap a runtime in a node on a loopback socket.
+//! let train = UcrDataset::new(
+//!     (0..8)
+//!         .map(|i| {
+//!             let level = if i % 2 == 0 { 0.0 } else { 3.0 };
+//!             (0..16).map(|j| level + 0.05 * ((i * 5 + j) % 7) as f64).collect()
+//!         })
+//!         .collect(),
+//!     vec![0, 1, 0, 1, 0, 1, 0, 1],
+//! )
+//! .unwrap();
+//! let ects = Ects::fit(&train, &EctsConfig::default());
+//! let cfg = RuntimeConfig {
+//!     shards: 2,
+//!     monitor: StreamMonitorConfig {
+//!         anchor_stride: 4,
+//!         norm: StreamNorm::Raw,
+//!         refractory: 20,
+//!     },
+//!     model_name: "ects".to_string(),
+//!     ..RuntimeConfig::default()
+//! };
+//! let node = Node::new(Runtime::new(&ects, cfg).unwrap(), NodeConfig::default());
+//! let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap();
+//! let endpoint = listener.local_endpoint().unwrap();
+//!
+//! std::thread::scope(|s| {
+//!     let server = s.spawn(|| node.serve(listener));
+//!
+//!     // A client across the wire has the Runtime surface: ingest
+//!     // interleaved multi-stream batches, drain alarms, read metrics.
+//!     let mut client = NetClient::connect(&endpoint).unwrap();
+//!     let probe: Vec<f64> = train.series(1).to_vec();
+//!     for t in 0..16 {
+//!         let batch: Vec<Record> =
+//!             (0..4).map(|id| Record::new(id, probe[t % probe.len()])).collect();
+//!         client.ingest(&batch).unwrap();
+//!     }
+//!     let alarms = client.drain().unwrap();
+//!     assert!(alarms.len() <= 4 * 16);
+//!     assert_eq!(client.stream_count().unwrap(), 4);
+//!     let metrics = client.stats_prometheus().unwrap();
+//!     assert!(metrics.contains("etsc_serve_ingested_total 64"));
+//!
+//!     node.stop();
+//!     server.join().unwrap().unwrap();
+//! });
+//! ```
+//!
 //! ## Subsequence search and the threading model
 //!
 //! Long-stream search (the Fig 5 homophone hunt, Fig 8's 500 dustbathing
@@ -323,6 +399,7 @@ pub use etsc_classifiers as classifiers;
 pub use etsc_core as core;
 pub use etsc_datasets as datasets;
 pub use etsc_early as early;
+pub use etsc_net as net;
 pub use etsc_persist as persist;
 pub use etsc_serve as serve;
 pub use etsc_stream as stream;
