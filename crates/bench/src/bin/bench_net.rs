@@ -11,7 +11,15 @@
 //!   how quickly per-record wire cost amortizes away; and
 //! * **migration time per stream**: wall time of a cluster-routed two-phase
 //!   cross-node migration (export → wire → import), divided by streams
-//!   moved, after the streams have accumulated live anchor state.
+//!   moved, after the streams have accumulated live anchor state; and
+//! * **retry overhead on the happy path**: the same ingest workload through
+//!   a fail-fast untagged client ([`RetryPolicy::none`]) and through the
+//!   default retrying, idempotency-tagged client. With no faults injected
+//!   the retry layer should cost almost nothing — the run asserts the
+//!   median slowdown stays under 5% and that the retry/duplicate counters
+//!   (client-side [`RetryStats`](etsc_net::RetryStats), node-side
+//!   `etsc_serve_duplicate_batches_total` from the Prometheus text) all
+//!   read zero.
 //!
 //! Writes `BENCH_net.json` into the current directory.
 //!
@@ -33,7 +41,9 @@ use std::time::Instant;
 use etsc_classifiers::centroid::NearestCentroid;
 use etsc_core::UcrDataset;
 use etsc_early::threshold::ProbThreshold;
-use etsc_net::{Cluster, Endpoint, Listener, NetClient, Node, NodeConfig};
+use etsc_net::{
+    ClientConfig, Cluster, Endpoint, Listener, NetClient, Node, NodeConfig, RetryPolicy,
+};
 use etsc_serve::{Record, Runtime, RuntimeConfig};
 use etsc_stream::{StreamMonitorConfig, StreamNorm};
 
@@ -85,6 +95,16 @@ fn bind_loopback() -> (Listener, Endpoint) {
 
 /// Run `body` against a client connected to a freshly served node.
 fn with_node<R>(model: &Model, queue: usize, body: impl FnOnce(&mut NetClient) -> R) -> R {
+    with_node_cfg(model, queue, ClientConfig::default(), body)
+}
+
+/// [`with_node`] with an explicit client configuration.
+fn with_node_cfg<R>(
+    model: &Model,
+    queue: usize,
+    cfg: ClientConfig,
+    body: impl FnOnce(&mut NetClient) -> R,
+) -> R {
     let node = Node::new(
         Runtime::new(model, runtime_cfg(2, queue)).expect("valid bench config"),
         NodeConfig::default(),
@@ -92,7 +112,7 @@ fn with_node<R>(model: &Model, queue: usize, body: impl FnOnce(&mut NetClient) -
     let (listener, endpoint) = bind_loopback();
     std::thread::scope(|s| {
         let server = s.spawn(|| node.serve(listener));
-        let mut client = NetClient::connect(&endpoint).expect("connect");
+        let mut client = NetClient::connect_with(&endpoint, cfg).expect("connect");
         let out = body(&mut client);
         node.stop();
         server.join().expect("join").expect("serve");
@@ -162,6 +182,109 @@ fn bench_ingest(model: &Model, batch_size: usize, batches: usize) -> IngestRow {
             alarms,
         }
     })
+}
+
+struct RetryOverheadRow {
+    batch_size: usize,
+    records_per_run: usize,
+    runs: usize,
+    baseline_records_per_sec: f64,
+    retry_records_per_sec: f64,
+    overhead_pct: f64,
+}
+
+/// One timed happy-path ingest run under `cfg`; returns records/second.
+///
+/// Asserts afterwards that the run really was a happy path: the client
+/// retried nothing, and the node's Prometheus text reports zero batches
+/// absorbed as retry duplicates.
+fn retry_run(model: &Model, cfg: ClientConfig, batch_size: usize, batches: usize) -> f64 {
+    let streams = 64usize;
+    with_node_cfg(model, batch_size * 2 + 64, cfg, |client| {
+        let mut batch = Vec::with_capacity(batch_size);
+        let t0 = Instant::now();
+        for t in 0..batches {
+            batch.clear();
+            for i in 0..batch_size {
+                let k = (t * batch_size + i) % streams;
+                batch.push(Record::new(k as u64, sample(k, t)));
+            }
+            client.ingest(&batch).expect("ingest");
+            if (t + 1) % CYCLE == 0 {
+                client.drain().expect("drain");
+            }
+        }
+        client.drain().expect("drain");
+        let elapsed = t0.elapsed().as_secs_f64();
+
+        let stats = client.retry_stats();
+        assert_eq!(
+            (
+                stats.retries,
+                stats.reconnects,
+                stats.duplicate_acks,
+                stats.giveups
+            ),
+            (0, 0, 0, 0),
+            "happy-path run must not exercise the retry machinery"
+        );
+        let prom = client.stats_prometheus().expect("stats");
+        assert!(
+            prom.contains("etsc_serve_duplicate_batches_total 0"),
+            "node must not have absorbed any duplicate batches on the happy path"
+        );
+
+        (batch_size * batches) as f64 / elapsed
+    })
+}
+
+fn bench_retry_overhead(
+    model: &Model,
+    batch_size: usize,
+    batches: usize,
+    runs: usize,
+) -> RetryOverheadRow {
+    // Fail-fast untagged client: the pre-retry wire behavior.
+    let baseline_cfg = ClientConfig {
+        retry: RetryPolicy::none(),
+        ..ClientConfig::default()
+    };
+    // Default retry schedule plus an idempotency tag, so every ingest pays
+    // the tag's two extra u64s and the ack-checking path.
+    let retry_cfg = ClientConfig {
+        client_id: 1,
+        ..ClientConfig::default()
+    };
+
+    // Interleave the variants so scheduler or thermal drift hits both
+    // equally, then compare medians.
+    let mut baseline = Vec::with_capacity(runs);
+    let mut retry = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        baseline.push(retry_run(model, baseline_cfg.clone(), batch_size, batches));
+        retry.push(retry_run(model, retry_cfg.clone(), batch_size, batches));
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let baseline_records_per_sec = median(&mut baseline);
+    let retry_records_per_sec = median(&mut retry);
+    let overhead_pct = (1.0 - retry_records_per_sec / baseline_records_per_sec) * 100.0;
+    assert!(
+        overhead_pct < 5.0,
+        "retry layer cost {overhead_pct:.2}% on the happy path (budget: 5%): \
+         fail-fast {baseline_records_per_sec:.0} rec/s vs retrying+tagged \
+         {retry_records_per_sec:.0} rec/s"
+    );
+    RetryOverheadRow {
+        batch_size,
+        records_per_run: batch_size * batches,
+        runs,
+        baseline_records_per_sec,
+        retry_records_per_sec,
+        overhead_pct,
+    }
 }
 
 struct MigrateRow {
@@ -255,6 +378,14 @@ fn main() {
         ingest_rows.push(row);
     }
 
+    let (ro_batches, ro_runs) = if quick { (512, 5) } else { (4_096, 5) };
+    let ro = bench_retry_overhead(&model, 64, ro_batches, ro_runs);
+    println!(
+        "  retry overhead (median of {}): fail-fast {:>12.0} rec/s  retrying+tagged \
+         {:>12.0} rec/s  ({:+.2}%)",
+        ro.runs, ro.baseline_records_per_sec, ro.retry_records_per_sec, ro.overhead_pct
+    );
+
     let mig = bench_migration(&model, migrate_streams, warm_rounds);
     println!(
         "  migration: {:>4} of {:>4} streams A→B in {:>10.0} ns  ({:>8.0} ns/stream)",
@@ -289,6 +420,18 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"retry_overhead\": {{\"batch_size\": {}, \"records_per_run\": {}, \"runs\": {}, \
+         \"baseline_records_per_sec\": {:.0}, \"retry_records_per_sec\": {:.0}, \
+         \"overhead_pct\": {:.2}}},",
+        ro.batch_size,
+        ro.records_per_run,
+        ro.runs,
+        ro.baseline_records_per_sec,
+        ro.retry_records_per_sec,
+        ro.overhead_pct
+    );
     let _ = writeln!(
         json,
         "  \"migration\": {{\"streams_total\": {}, \"streams_moved\": {}, \"warm_rounds\": {}, \

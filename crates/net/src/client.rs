@@ -9,12 +9,32 @@
 //! written against the trait runs unchanged in-process and over the wire —
 //! which is how this crate proves its alarm sequences match the
 //! in-process runtime's.
+//!
+//! # Resilience
+//!
+//! Every request runs under the configured [`RetryPolicy`]: failures that
+//! [`WireError::is_retryable`] classifies as worth another attempt are
+//! retried with capped exponential backoff and deterministic jitter, after
+//! an automatic [`reconnect`](NetClient::reconnect) when the error left
+//! the connection in an unknown state ([`WireError::needs_reconnect`]).
+//! Requests whose failure proves the node did **not** apply them
+//! ([`WireError::leaves_request_unapplied`] — queue-full and busy
+//! refusals) are always safe to retry; transport faults are only retried
+//! for idempotent requests, or for ingest batches carrying an idempotency
+//! tag (a nonzero [`ClientConfig::client_id`]), which the node
+//! deduplicates server-side so a batch whose acknowledgement was lost in
+//! transit is never applied twice.
 
 use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use etsc_serve::{Record, StreamAlarm, StreamService};
 
 use crate::error::WireError;
+use crate::fault::FaultInjector;
+use crate::retry::{RetryPolicy, RetryStats};
 use crate::transport::{Conn, Endpoint};
 use crate::wire::{read_frame, Message, ReadOutcome, MAX_FRAME_PAYLOAD};
 
@@ -27,6 +47,21 @@ pub struct ClientConfig {
     pub request_timeout: Duration,
     /// Largest reply payload the client will accept.
     pub max_frame_payload: usize,
+    /// Retry schedule for failed requests ([`RetryPolicy::none`] restores
+    /// fail-on-first-error).
+    pub retry: RetryPolicy,
+    /// Idempotency-tag identity for ingest batches. `0` (the default)
+    /// sends untagged batches — the node applies every one, and transport
+    /// faults during ingest are *not* retried because a lost
+    /// acknowledgement would make the retry a duplicate. Any nonzero id
+    /// must be unique per client *incarnation* per node — tagged batches
+    /// carry `(id, seq)` and the node remembers the highest applied seq
+    /// per id across checkpoints, so a rebuilt client reusing an id would
+    /// see its restarted sequence numbers dropped as duplicates.
+    pub client_id: u64,
+    /// Optional deterministic fault injection on everything this client's
+    /// connections do (tests only; `None` in production).
+    pub faults: Option<FaultInjector>,
 }
 
 impl Default for ClientConfig {
@@ -34,6 +69,9 @@ impl Default for ClientConfig {
         Self {
             request_timeout: Duration::from_secs(30),
             max_frame_payload: MAX_FRAME_PAYLOAD,
+            retry: RetryPolicy::default(),
+            client_id: 0,
+            faults: None,
         }
     }
 }
@@ -43,6 +81,14 @@ pub struct NetClient {
     conn: Conn,
     endpoint: Endpoint,
     cfg: ClientConfig,
+    /// Jitter stream for backoff delays (seeded from policy + identity:
+    /// deterministic, but distinct per client).
+    rng: StdRng,
+    /// Sequence number the *next* ingest batch will carry. Advances only
+    /// on success, so a failed batch re-sent later reuses its number and
+    /// the node's dedup cursor can recognize it.
+    next_seq: u64,
+    stats: RetryStats,
 }
 
 /// Unwrap a specific reply variant or produce a typed
@@ -67,19 +113,27 @@ impl NetClient {
 
     /// Dial a node.
     pub fn connect_with(endpoint: &Endpoint, cfg: ClientConfig) -> Result<Self, WireError> {
-        // The socket-level timeout is a fraction of the request deadline so
-        // the deadline check runs several times before it expires.
-        let poll = if cfg.request_timeout.is_zero() {
-            Duration::from_millis(20)
-        } else {
-            (cfg.request_timeout / 4).max(Duration::from_millis(1))
-        };
-        let conn = Conn::connect(endpoint, poll)?;
+        let conn =
+            Conn::connect_with_faults(endpoint, Self::poll_timeout(&cfg), cfg.faults.clone())?;
+        let rng = StdRng::seed_from_u64(cfg.retry.jitter_seed ^ cfg.client_id);
         Ok(Self {
             conn,
             endpoint: endpoint.clone(),
             cfg,
+            rng,
+            next_seq: 1,
+            stats: RetryStats::default(),
         })
+    }
+
+    /// The socket-level timeout is a fraction of the request deadline so
+    /// the deadline check runs several times before it expires.
+    fn poll_timeout(cfg: &ClientConfig) -> Duration {
+        if cfg.request_timeout.is_zero() {
+            Duration::from_millis(20)
+        } else {
+            (cfg.request_timeout / 4).max(Duration::from_millis(1))
+        }
     }
 
     /// The endpoint this client is connected to.
@@ -87,9 +141,42 @@ impl NetClient {
         &self.endpoint
     }
 
-    /// Send one request and wait for its reply. A remote
+    /// This client's idempotency-tag identity (0 = untagged).
+    pub fn client_id(&self) -> u64 {
+        self.cfg.client_id
+    }
+
+    /// The sequence number the next ingest batch will carry (advances only
+    /// when a batch is acknowledged).
+    pub fn next_batch_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Resilience counters accumulated by this client.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Drop the current connection and dial the endpoint again. The old
+    /// connection is replaced only once the new dial succeeds, and request
+    /// state (the ingest sequence number, retry counters) carries over —
+    /// this is the first-class form of the "drop and reconnect" the
+    /// transport errors call for.
+    pub fn reconnect(&mut self) -> Result<(), WireError> {
+        let fresh = Conn::connect_with_faults(
+            &self.endpoint,
+            Self::poll_timeout(&self.cfg),
+            self.cfg.faults.clone(),
+        )?;
+        self.conn.shutdown();
+        self.conn = fresh;
+        self.stats.reconnects += 1;
+        Ok(())
+    }
+
+    /// Send one request and wait for its reply, without retries. A remote
     /// [`Message::Error`] reply is surfaced as the carried [`WireError`].
-    fn request(&mut self, msg: &Message) -> Result<Message, WireError> {
+    fn request_once(&mut self, msg: &Message) -> Result<Message, WireError> {
         msg.write_to(&mut self.conn)?;
         let deadline = if self.cfg.request_timeout.is_zero() {
             None
@@ -109,77 +196,157 @@ impl NetClient {
         }
     }
 
+    /// Send a request under the retry policy. `idempotent` marks requests
+    /// that are safe to re-send even when a transport fault hides whether
+    /// the node applied the original (see the [module docs](self)).
+    fn request(&mut self, msg: &Message, idempotent: bool) -> Result<Message, WireError> {
+        let mut retries_done = 0u32;
+        loop {
+            let err = match self.request_once(msg) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => e,
+            };
+            let retryable = err.leaves_request_unapplied() || (idempotent && err.is_retryable());
+            let out_of_attempts = retries_done + 1 >= self.cfg.retry.max_attempts.max(1);
+            if !retryable || out_of_attempts {
+                if retryable {
+                    self.stats.giveups += 1;
+                }
+                if err.needs_reconnect() {
+                    // The connection may still carry this request's late
+                    // reply (a timed-out ack arriving after the deadline,
+                    // say); reading that as the answer to the *next*
+                    // request would desynchronize every reply after it.
+                    // Kill the socket first so a failed redial can't
+                    // resurrect it, then try for a fresh one.
+                    self.conn.shutdown();
+                    let _ = self.reconnect();
+                }
+                return Err(err);
+            }
+            self.stats.retries += 1;
+            if err.needs_reconnect() {
+                // A failed reconnect is not terminal: the remaining
+                // attempts bound how long a dead endpoint is re-dialed.
+                let _ = self.reconnect();
+            }
+            let delay = err
+                .retry_after()
+                .unwrap_or_else(|| self.cfg.retry.backoff(retries_done, &mut self.rng));
+            std::thread::sleep(delay);
+            retries_done += 1;
+        }
+    }
+
     /// Round-trip probe; returns the echoed token.
     pub fn ping(&mut self, token: u64) -> Result<u64, WireError> {
-        let reply = self.request(&Message::Ping { token })?;
+        let reply = self.request(&Message::Ping { token }, true)?;
+        expect_reply!(reply, "Pong", Message::Pong { token } => token)
+    }
+
+    /// [`ping`](Self::ping) without retries — a failure probe for health
+    /// checking, where retrying inside the probe would hide exactly the
+    /// signal the caller wants.
+    pub fn ping_once(&mut self, token: u64) -> Result<u64, WireError> {
+        let reply = self.request_once(&Message::Ping { token })?;
         expect_reply!(reply, "Pong", Message::Pong { token } => token)
     }
 
     /// Open a monitor for `stream` on the node; `Ok(false)` if it already
     /// existed.
     pub fn open_stream(&mut self, stream: u64) -> Result<bool, WireError> {
-        let reply = self.request(&Message::OpenStream { stream })?;
+        let reply = self.request(&Message::OpenStream { stream }, true)?;
         expect_reply!(reply, "OpenAck", Message::OpenAck { created } => created)
     }
 
     /// Ingest a batch on the node. Blocks while the node applies
     /// backpressure; a remote Reject-policy overflow comes back as
-    /// [`WireError::QueueFull`] with nothing enqueued.
+    /// [`WireError::QueueFull`] with nothing enqueued (after the policy's
+    /// retries — each one safe, since the rejection is atomic).
+    ///
+    /// With a nonzero [`ClientConfig::client_id`] the batch carries an
+    /// idempotency tag and transport faults are retried too: if the
+    /// original attempt actually landed and only the acknowledgement was
+    /// lost, the node reports the retry as an already-applied duplicate
+    /// and nothing is ingested twice. On error the batch's sequence number
+    /// is not consumed; re-sending the same records later reuses it, and
+    /// the node's cursor still dedups against the original.
     pub fn ingest(&mut self, batch: &[Record]) -> Result<(), WireError> {
-        let reply = self.request(&Message::IngestBatch {
+        let msg = Message::IngestBatch {
+            client: self.cfg.client_id,
+            seq: self.next_seq,
             records: batch.to_vec(),
-        })?;
-        expect_reply!(reply, "IngestAck", Message::IngestAck => ())
+        };
+        let reply = self.request(&msg, self.cfg.client_id != 0)?;
+        let applied = expect_reply!(reply, "IngestAck", Message::IngestAck { applied } => applied)?;
+        if !applied {
+            self.stats.duplicate_acks += 1;
+        }
+        self.next_seq += 1;
+        Ok(())
     }
 
-    /// Drain the node and return the alarms it produced.
+    /// Drain the node and return the alarms it produced. Not retried on
+    /// transport faults: a drain is destructive (the node hands its
+    /// pending alarms to the reply), so a lost reply must surface rather
+    /// than silently re-draining.
     pub fn drain(&mut self) -> Result<Vec<StreamAlarm>, WireError> {
-        let reply = self.request(&Message::Drain)?;
+        let reply = self.request(&Message::Drain, false)?;
         expect_reply!(reply, "DrainAck", Message::DrainAck { alarms } => alarms)
     }
 
     /// Cut a checkpoint into the node's registry; returns the state
-    /// envelope's size in bytes.
+    /// envelope's size in bytes. Idempotent (a re-cut checkpoint
+    /// overwrites the same registry entry), so transport faults retry.
     pub fn checkpoint(&mut self) -> Result<u64, WireError> {
-        let reply = self.request(&Message::Checkpoint)?;
+        let reply = self.request(&Message::Checkpoint, true)?;
         expect_reply!(reply, "CheckpointAck", Message::CheckpointAck { bytes } => bytes)
     }
 
     /// Fetch the node's metrics as Prometheus text exposition.
     pub fn stats_prometheus(&mut self) -> Result<String, WireError> {
-        let reply = self.request(&Message::Stats)?;
+        let reply = self.request(&Message::Stats, true)?;
         expect_reply!(reply, "StatsAck", Message::StatsAck { text } => text)
     }
 
     /// Number of live streams on the node.
     pub fn stream_count(&mut self) -> Result<usize, WireError> {
-        let reply = self.request(&Message::StreamCount)?;
+        let reply = self.request(&Message::StreamCount, true)?;
         expect_reply!(reply, "StreamCountAck",
             Message::StreamCountAck { streams } => streams as usize)
     }
 
     /// Export `streams` from the node for migration. Atomic remotely: on
-    /// error no stream was removed.
+    /// error no stream was removed. Not retried on transport faults — a
+    /// lost reply carries the only copy of the exported snapshots.
     pub fn migrate_out(&mut self, streams: &[u64]) -> Result<Vec<(u64, Vec<u8>)>, WireError> {
-        let reply = self.request(&Message::MigrateOut {
-            streams: streams.to_vec(),
-        })?;
+        let reply = self.request(
+            &Message::MigrateOut {
+                streams: streams.to_vec(),
+            },
+            false,
+        )?;
         expect_reply!(reply, "MigrateStreams", Message::MigrateStreams { streams } => streams)
     }
 
     /// Import streams exported from another node. Atomic remotely: on
-    /// error none were adopted.
+    /// error none were adopted. Not retried on transport faults — if the
+    /// original import landed, a blind retry would surface a misleading
+    /// [`DuplicateStream`](WireError::DuplicateStream).
     pub fn migrate_in(&mut self, streams: &[(u64, Vec<u8>)]) -> Result<u64, WireError> {
-        let reply = self.request(&Message::MigrateIn {
-            streams: streams.to_vec(),
-        })?;
+        let reply = self.request(
+            &Message::MigrateIn {
+                streams: streams.to_vec(),
+            },
+            false,
+        )?;
         expect_reply!(reply, "MigrateInAck", Message::MigrateInAck { accepted } => accepted)
     }
 
     /// Gracefully shut the node down; returns its final drain. Consumes
     /// the client — the node closes the connection after the ack.
     pub fn shutdown(mut self) -> Result<Vec<StreamAlarm>, WireError> {
-        let reply = self.request(&Message::Shutdown)?;
+        let reply = self.request(&Message::Shutdown, false)?;
         expect_reply!(reply, "ShutdownAck", Message::ShutdownAck { alarms } => alarms)
     }
 }

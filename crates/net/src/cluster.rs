@@ -17,13 +17,16 @@
 //! are restored to their source node and the routing topology is left
 //! untouched.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use etsc_core::hash;
+use etsc_serve::stats::{push_counter, push_gauge};
 use etsc_serve::{Record, StreamAlarm, StreamService};
 
 use crate::client::{ClientConfig, NetClient};
 use crate::error::WireError;
+use crate::retry::RetryStats;
+use crate::supervisor::FailoverReport;
 use crate::transport::Endpoint;
 
 /// Client-side consistent-hash placement of streams onto node endpoints.
@@ -35,6 +38,9 @@ pub struct ClusterRouter {
     /// Streams pinned to a specific node by an explicit migration; these
     /// win over the ring.
     overrides: BTreeMap<u64, usize>,
+    /// Nodes declared dead; the ring walks past their points and pins to
+    /// them are ignored until [`set_up`](Self::set_up).
+    down: BTreeSet<usize>,
 }
 
 impl ClusterRouter {
@@ -66,6 +72,7 @@ impl ClusterRouter {
             endpoints,
             points,
             overrides: BTreeMap::new(),
+            down: BTreeSet::new(),
         })
     }
 
@@ -74,22 +81,58 @@ impl ClusterRouter {
         &self.endpoints
     }
 
-    /// Node index that owns `stream` right now (overrides first, then the
-    /// ring).
+    /// Node index that owns `stream` right now: a pin to a live node wins,
+    /// then the ring (skipping down nodes).
     pub fn route(&self, stream: u64) -> usize {
         if let Some(&node) = self.overrides.get(&stream) {
-            return node;
+            if !self.down.contains(&node) {
+                return node;
+            }
         }
         self.ring_route(stream)
     }
 
-    /// Node index the ring alone assigns (ignoring overrides).
+    /// Node index the ring alone assigns (ignoring overrides): the first
+    /// point at or clockwise of the stream's hashed key whose node is not
+    /// down. Every router with the same endpoints and the same down set
+    /// computes the same placement — which is what lets two supervisors
+    /// that independently declared a node dead converge on identical
+    /// failover targets.
     pub fn ring_route(&self, stream: u64) -> usize {
         let key = hash::mix64(hash::fnv1a_u64(stream));
         // First ring point at or clockwise of the key, wrapping at the top.
-        let i = self.points.partition_point(|&(pos, _)| pos < key);
-        let i = if i == self.points.len() { 0 } else { i };
-        self.points[i].1
+        let start = self.points.partition_point(|&(pos, _)| pos < key);
+        let n = self.points.len();
+        for off in 0..n {
+            let node = self.points[(start + off) % n].1;
+            if !self.down.contains(&node) {
+                return node;
+            }
+        }
+        // Every node is down; fall back to the raw ring choice so routing
+        // stays total (the request will fail with a transport error).
+        self.points[start % n].1
+    }
+
+    /// Declare `node` dead: the ring walks past its points, and pins to it
+    /// are bypassed. Idempotent.
+    pub fn set_down(&mut self, node: usize) {
+        self.down.insert(node);
+    }
+
+    /// Declare `node` live again (e.g. after an operator replaced it).
+    pub fn set_up(&mut self, node: usize) {
+        self.down.remove(&node);
+    }
+
+    /// True if `node` is currently declared dead.
+    pub fn is_down(&self, node: usize) -> bool {
+        self.down.contains(&node)
+    }
+
+    /// Nodes currently declared dead, ascending.
+    pub fn down_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.down.iter().copied()
     }
 
     /// Pin `stream` to `node`, overriding the ring (what a completed
@@ -108,11 +151,43 @@ impl ClusterRouter {
     }
 }
 
+/// A sub-batch whose send failed; held for redelivery (same client, same
+/// sequence number) or for the failover decision if its node dies first.
+struct PendingBatch {
+    node: usize,
+    /// Batch sequence number the node-side dedup cursor will see when this
+    /// is redelivered (recorded at stash time; the client's sequence only
+    /// advances on success, so redelivery reuses it).
+    seq: u64,
+    records: Vec<Record>,
+}
+
 /// A connected cluster: one [`NetClient`] per node plus the router that
 /// decides which node serves which stream.
+///
+/// # Failure handling
+///
+/// Each client runs the configured retry policy. With a nonzero
+/// [`ClientConfig::client_id`] every client gets a distinct id (the
+/// configured base plus the node index), so ingest batches carry
+/// idempotency tags and transport faults during ingest retry safely. A
+/// sub-batch that still fails is stashed and redelivered by the next
+/// [`ingest`](Cluster::ingest) call — **do not re-submit a failed batch
+/// yourself**; the stash already owns its delivery, and a manual
+/// re-submission would mint fresh sequence numbers and duplicate records.
+/// When a [`Supervisor`](crate::Supervisor) declares a node dead,
+/// [`apply_failover`](Cluster::apply_failover) re-routes what the dead
+/// node's checkpoint did not cover and drops what it did.
 pub struct Cluster {
     router: ClusterRouter,
     clients: Vec<NetClient>,
+    pending: Vec<PendingBatch>,
+    /// Alarms already pulled off some node by a [`drain`](Cluster::drain)
+    /// whose merge then failed on another node. They left the remote
+    /// runtime, so dropping them would lose them; they are held here and
+    /// returned by the next successful drain instead.
+    drained: Vec<StreamAlarm>,
+    failovers: u64,
 }
 
 impl Cluster {
@@ -121,14 +196,35 @@ impl Cluster {
         Self::connect_with(endpoints, ClientConfig::default())
     }
 
-    /// Dial every endpoint.
+    /// Dial every endpoint. A nonzero
+    /// [`client_id`](ClientConfig::client_id) acts as a base: node `i`'s
+    /// client is tagged `base + i`, so every client in this cluster dedups
+    /// independently. Zero (the default) leaves ingest untagged. An id
+    /// names a client *incarnation*: the nodes remember the highest batch
+    /// seq applied per id across checkpoints, so a rebuilt cluster must
+    /// use a fresh base — reusing one would make its restarted sequence
+    /// numbers look like duplicates. Give concurrent drivers of the same
+    /// nodes disjoint bases too.
     pub fn connect_with(endpoints: &[Endpoint], cfg: ClientConfig) -> Result<Self, WireError> {
         let router = ClusterRouter::new(endpoints.to_vec())?;
         let clients = endpoints
             .iter()
-            .map(|ep| NetClient::connect_with(ep, cfg.clone()))
+            .enumerate()
+            .map(|(i, ep)| {
+                let mut node_cfg = cfg.clone();
+                if cfg.client_id != 0 {
+                    node_cfg.client_id = cfg.client_id + i as u64;
+                }
+                NetClient::connect_with(ep, node_cfg)
+            })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { router, clients })
+        Ok(Self {
+            router,
+            clients,
+            pending: Vec::new(),
+            drained: Vec::new(),
+            failovers: 0,
+        })
     }
 
     /// The routing table (to inspect placement and pins).
@@ -170,12 +266,18 @@ impl Cluster {
     /// order within each node's sub-batch, so per-stream ingest order is
     /// preserved (every record of one stream goes to one node).
     ///
-    /// Sub-batches are sent node by node; a typed failure (e.g.
-    /// [`WireError::QueueFull`]) aborts the remaining sends, and because a
-    /// rejected sub-batch is atomic remotely, the caller can drain and
-    /// retry the whole batch without duplicating any record: per-node
-    /// sub-batches either landed completely or not at all.
+    /// Previously failed sub-batches are redelivered first (FIFO per
+    /// node, so per-stream order survives an outage). Then each of this
+    /// batch's sub-batches is sent to its node — every node is attempted
+    /// even when one fails, so a flaky node cannot starve the others. A
+    /// sub-batch that fails (after the client's own retries) is stashed
+    /// for the next call; the first error is returned. **On error, do not
+    /// re-submit the batch** — its failed records are already queued
+    /// internally and will be redelivered exactly once (or re-routed /
+    /// dropped by [`apply_failover`](Self::apply_failover) if their node
+    /// is declared dead).
     pub fn ingest(&mut self, batch: &[Record]) -> Result<(), WireError> {
+        let mut first_err = self.flush_pending().err();
         let mut per_node: BTreeMap<usize, Vec<Record>> = BTreeMap::new();
         for r in batch {
             per_node
@@ -184,9 +286,125 @@ impl Cluster {
                 .push(*r);
         }
         for (node, records) in per_node {
-            self.clients[node].ingest(&records)?;
+            // A node with batches still stuck in the stash must not be
+            // sent newer records ahead of them.
+            let queued_ahead = self.pending.iter().filter(|p| p.node == node).count() as u64;
+            if queued_ahead > 0 {
+                let seq = self.clients[node].next_batch_seq() + queued_ahead;
+                self.pending.push(PendingBatch { node, seq, records });
+                continue;
+            }
+            let seq = self.clients[node].next_batch_seq();
+            if let Err(e) = self.clients[node].ingest(&records) {
+                self.pending.push(PendingBatch { node, seq, records });
+                first_err.get_or_insert(e);
+            }
         }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Redeliver stashed sub-batches, FIFO per node. A node that fails
+    /// again keeps its remaining batches queued (order preservation);
+    /// other nodes keep flushing. Down nodes are left for
+    /// [`apply_failover`](Self::apply_failover).
+    fn flush_pending(&mut self) -> Result<(), WireError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut stuck: BTreeSet<usize> = BTreeSet::new();
+        let mut first_err = None;
+        let mut remaining = Vec::new();
+        for p in std::mem::take(&mut self.pending) {
+            if stuck.contains(&p.node) || self.router.is_down(p.node) {
+                remaining.push(p);
+                continue;
+            }
+            match self.clients[p.node].ingest(&p.records) {
+                Ok(()) => {}
+                Err(e) => {
+                    stuck.insert(p.node);
+                    first_err.get_or_insert(e);
+                    remaining.push(p);
+                }
+            }
+        }
+        self.pending = remaining;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Sub-batches currently stashed for redelivery.
+    pub fn pending_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completed failovers applied to this cluster.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Adopt a [`Supervisor`](crate::Supervisor) failover: mark the dead
+    /// node down, pin its streams to the survivors that imported them, and
+    /// settle the dead node's stashed sub-batches — a batch the recovered
+    /// checkpoint already covers (its sequence number is at or behind the
+    /// recovered ingest cursor) is dropped, because its records live on in
+    /// the failed-over streams and redelivering them would duplicate;
+    /// anything past the cursor is re-ingested through the new routing
+    /// with fresh tags.
+    pub fn apply_failover(&mut self, report: &FailoverReport) -> Result<(), WireError> {
+        self.router.set_down(report.node);
+        for &(stream, target) in &report.moved {
+            self.router.pin(stream, target);
+        }
+        let (dead, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|p| p.node == report.node);
+        self.pending = keep;
+        let client_id = self.clients[report.node].client_id();
+        let cursor = report.cursors.get(&client_id).copied().unwrap_or(0);
+        for p in dead {
+            if p.seq <= cursor {
+                continue;
+            }
+            self.ingest(&p.records)?;
+        }
+        self.failovers += 1;
         Ok(())
+    }
+
+    /// Aggregate resilience counters — every client's
+    /// [`RetryStats`](crate::RetryStats) plus cluster-level failover and
+    /// stash gauges — in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut agg = RetryStats::default();
+        for c in &self.clients {
+            agg.merge(&c.retry_stats());
+        }
+        let mut out = agg.render_prometheus();
+        push_counter(
+            &mut out,
+            "etsc_net_failovers_total",
+            "Failovers applied to the cluster's routing.",
+            self.failovers,
+        );
+        push_gauge(
+            &mut out,
+            "etsc_net_nodes_down",
+            "Nodes currently declared dead.",
+            self.router.down_nodes().count() as u64,
+        );
+        push_gauge(
+            &mut out,
+            "etsc_net_pending_batches",
+            "Sub-batches stashed for redelivery.",
+            self.pending.len() as u64,
+        );
+        out
     }
 
     /// Drain every node and merge the alarms.
@@ -197,28 +415,57 @@ impl Cluster {
     /// per-stream clock every runtime agrees on. Within one stream this
     /// equals the single-process order; across streams it is a
     /// deterministic interleaving.
+    ///
+    /// Lossless under failure: a remote drain is destructive, so alarms
+    /// pulled off one node before another node's drain fails are buffered
+    /// rather than dropped. On an error, retry — the next successful call
+    /// returns the buffered alarms merged with everything newly drained.
     pub fn drain(&mut self) -> Result<Vec<StreamAlarm>, WireError> {
-        let mut merged = Vec::new();
-        for client in &mut self.clients {
-            merged.extend(client.drain()?);
+        let mut first_err = None;
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            if self.router.is_down(i) {
+                continue;
+            }
+            match client.drain() {
+                Ok(alarms) => self.drained.extend(alarms),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
         }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let mut merged = std::mem::take(&mut self.drained);
         merged.sort_by_key(|a| (a.stream, a.alarm.time));
         Ok(merged)
     }
 
-    /// Live streams across all nodes.
+    /// Live streams across all (live) nodes.
     pub fn stream_count(&mut self) -> Result<usize, WireError> {
         let mut total = 0;
-        for client in &mut self.clients {
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            if self.router.is_down(i) {
+                continue;
+            }
             total += client.stream_count()?;
         }
         Ok(total)
     }
 
-    /// Checkpoint every node into its own registry; returns per-node state
-    /// sizes in bytes.
+    /// Checkpoint every live node into its own registry; returns state
+    /// sizes in bytes, in node order (down nodes skipped).
     pub fn checkpoint_all(&mut self) -> Result<Vec<u64>, WireError> {
-        self.clients.iter_mut().map(|c| c.checkpoint()).collect()
+        let mut sizes = Vec::new();
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            if self.router.is_down(i) {
+                continue;
+            }
+            sizes.push(client.checkpoint()?);
+        }
+        Ok(sizes)
     }
 
     /// Move live streams onto node `to`, two-phase:
@@ -242,6 +489,11 @@ impl Cluster {
             return Err(WireError::RemoteBadConfig(format!(
                 "migration target node {to} does not exist ({} nodes)",
                 self.clients.len()
+            )));
+        }
+        if self.router.is_down(to) {
+            return Err(WireError::RemoteBadConfig(format!(
+                "migration target node {to} is down"
             )));
         }
         let mut per_source: BTreeMap<usize, Vec<u64>> = BTreeMap::new();

@@ -84,6 +84,9 @@ pub enum WireError {
         stream: u64,
         /// The remote runtime's per-shard queue capacity.
         capacity: usize,
+        /// Server hint: how long to wait before retrying, in milliseconds
+        /// (0 = unknown; back off with the client policy instead).
+        retry_after_ms: u64,
     },
     /// The remote node cannot serve a stream because its model is absent
     /// from the node's registry.
@@ -122,6 +125,9 @@ pub enum WireError {
         active: usize,
         /// The node's configured connection limit.
         limit: usize,
+        /// Server hint: how long to wait before retrying, in milliseconds
+        /// (0 = unknown; back off with the client policy instead).
+        retry_after_ms: u64,
     },
 }
 
@@ -152,6 +158,7 @@ impl fmt::Display for WireError {
                 shard,
                 stream,
                 capacity,
+                retry_after_ms: _,
             } => write!(
                 f,
                 "remote shard {shard} queue is full (capacity {capacity}); batch rejected at \
@@ -174,7 +181,11 @@ impl fmt::Display for WireError {
             WireError::RemoteMalformed(msg) => {
                 write!(f, "remote node could not decode the request: {msg}")
             }
-            WireError::Busy { active, limit } => write!(
+            WireError::Busy {
+                active,
+                limit,
+                retry_after_ms: _,
+            } => write!(
                 f,
                 "node is at its connection limit ({active}/{limit}); retry later"
             ),
@@ -214,6 +225,7 @@ impl WireError {
                 shard: *shard,
                 stream: *stream,
                 capacity: *capacity,
+                retry_after_ms: 0,
             },
             ServeError::ModelMissing { stream, model } => WireError::ModelMissing {
                 stream: *stream,
@@ -225,6 +237,67 @@ impl WireError {
             }
             ServeError::BadConfig(msg) => WireError::RemoteBadConfig(msg.clone()),
             ServeError::Persist(p) => WireError::RemotePersist(p.to_string()),
+        }
+    }
+
+    /// True when the remote node guarantees the request was **not** applied,
+    /// so resending it cannot duplicate work regardless of what the request
+    /// was. [`QueueFull`](WireError::QueueFull) rejections are atomic (no
+    /// record enqueued) and [`Busy`](WireError::Busy) refusals happen before
+    /// the request is even read.
+    pub fn leaves_request_unapplied(&self) -> bool {
+        matches!(self, WireError::QueueFull { .. } | WireError::Busy { .. })
+    }
+
+    /// True when retrying the request might succeed: the failure was either
+    /// provably-unapplied server pressure ([`leaves_request_unapplied`]
+    /// (WireError::leaves_request_unapplied)) or a transport fault that may
+    /// have been transient. For transport faults the request *may* have been
+    /// applied before the fault — only retry them when the request is
+    /// idempotent (or deduplicated server-side, like tagged ingest batches).
+    pub fn is_retryable(&self) -> bool {
+        self.leaves_request_unapplied()
+            || matches!(
+                self,
+                WireError::Io(_)
+                    | WireError::TimedOut
+                    | WireError::ConnectionClosed
+                    | WireError::Truncated { .. }
+                    | WireError::ChecksumMismatch
+                    | WireError::RemoteMalformed(_)
+            )
+    }
+
+    /// True when the connection that produced this error is in an unknown
+    /// or closed state and must be re-established before the next request.
+    /// [`RemoteMalformed`](WireError::RemoteMalformed) and
+    /// [`Busy`](WireError::Busy) qualify because the node closes the
+    /// connection right after sending those replies.
+    pub fn needs_reconnect(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(_)
+                | WireError::TimedOut
+                | WireError::ConnectionClosed
+                | WireError::Truncated { .. }
+                | WireError::ChecksumMismatch
+                | WireError::RemoteMalformed(_)
+                | WireError::Busy { .. }
+        )
+    }
+
+    /// The server's retry-after hint, when it sent one. `None` for errors
+    /// that carry no hint or whose hint is 0 (= unknown); callers fall back
+    /// to their own backoff schedule.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            WireError::QueueFull { retry_after_ms, .. }
+            | WireError::Busy { retry_after_ms, .. }
+                if *retry_after_ms > 0 =>
+            {
+                Some(std::time::Duration::from_millis(*retry_after_ms))
+            }
+            _ => None,
         }
     }
 }

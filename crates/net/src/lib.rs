@@ -35,12 +35,24 @@
 //!   two-phase snapshot/restore discipline of the in-process rebalance —
 //!   a failed migration restores the source node and leaves the topology
 //!   untouched.
+//! * **fault tolerance** ([`fault`], [`retry`], [`supervisor`]) —
+//!   deterministic fault injection under the transport ([`FaultPlan`]
+//!   scripts refusals, disconnects, stalls, corruption, and asymmetric
+//!   partitions against seeded op counters), a retry/backoff policy on
+//!   [`NetClient`] with automatic [`reconnect`](NetClient::reconnect) and
+//!   idempotency-tagged ingest (server-side dedup makes retried batches
+//!   exactly-once), and a [`Supervisor`] that heartbeats nodes, declares
+//!   one dead after a miss threshold, and fails its streams over to the
+//!   survivors from the node's registry checkpoint — paired with the
+//!   sink-side [`DedupCursor`](etsc_serve::DedupCursor) this upgrades
+//!   alarm delivery to exactly-once across a crash.
 //!
 //! The contract that matters end to end: **per-stream alarm sequences are
 //! invariant under distribution**. The same traffic produces the same
 //! alarms whether the monitors live in this process, behind one socket, or
 //! spread across a cluster with mid-run migrations — bit-exact under the
-//! raw norm. The two-node end-to-end tests assert exactly that.
+//! raw norm, and still bit-exact when a node is killed mid-event and its
+//! streams fail over. The end-to-end tests assert exactly that.
 //!
 //! # Frame layout
 //!
@@ -61,20 +73,29 @@
 //! instead of misdecoding. New message types may be added within a
 //! version: an unrecognized type is a typed error reply, and a node only
 //! answers with reply types the request implies, so older clients never
-//! see frames they cannot decode.
+//! see frames they cannot decode. Version 2 is the fault-tolerance bump:
+//! ingest batches carry an idempotency tag, ingest acks report duplicate
+//! application, and busy/queue-full errors carry a retry-after hint (see
+//! [`WIRE_VERSION`]'s changelog).
 //!
 //! [`Runtime`]: etsc_serve::Runtime
 
 pub mod client;
 pub mod cluster;
 pub mod error;
+pub mod fault;
 pub mod node;
+pub mod retry;
+pub mod supervisor;
 pub mod transport;
 pub mod wire;
 
 pub use client::{ClientConfig, NetClient};
 pub use cluster::{Cluster, ClusterRouter};
 pub use error::WireError;
+pub use fault::{Fault, FaultInjector, FaultPlan, Op};
 pub use node::{Node, NodeConfig};
+pub use retry::{RetryPolicy, RetryStats};
+pub use supervisor::{FailoverReport, Supervisor, SupervisorConfig};
 pub use transport::{Conn, Endpoint, Listener};
 pub use wire::{Frame, Message, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION};

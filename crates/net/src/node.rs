@@ -47,6 +47,15 @@ pub struct NodeConfig {
     /// Largest frame payload the node will accept; a header declaring more
     /// fails before any allocation.
     pub max_frame_payload: usize,
+    /// Retry-after hint carried by [`Busy`](WireError::Busy) refusals —
+    /// roughly how long a connection slot takes to free up here. Zero
+    /// means "unknown" and lets clients use their own backoff.
+    pub busy_retry_after: Duration,
+    /// Retry-after hint carried by [`QueueFull`](WireError::QueueFull)
+    /// rejections. Zero (the default) means "unknown": with a
+    /// single-driver Reject-policy queue nobody else drains, so the node
+    /// usually cannot predict when capacity frees.
+    pub queue_full_retry_after: Duration,
 }
 
 impl Default for NodeConfig {
@@ -55,6 +64,8 @@ impl Default for NodeConfig {
             max_connections: 32,
             read_timeout: Duration::from_millis(20),
             max_frame_payload: MAX_FRAME_PAYLOAD,
+            busy_retry_after: Duration::from_millis(50),
+            queue_full_retry_after: Duration::ZERO,
         }
     }
 }
@@ -126,6 +137,7 @@ impl<'a, C: EarlyClassifier + Persist> Node<'a, C> {
                             let _ = Message::Error(WireError::Busy {
                                 active,
                                 limit: self.cfg.max_connections,
+                                retry_after_ms: self.cfg.busy_retry_after.as_millis() as u64,
                             })
                             .write_to(&mut conn);
                             conn.shutdown();
@@ -196,9 +208,19 @@ impl<'a, C: EarlyClassifier + Persist> Node<'a, C> {
             Message::OpenStream { stream } => Message::OpenAck {
                 created: rt.open_stream(stream),
             },
-            Message::IngestBatch { records } => match rt.ingest(&records) {
-                Ok(()) => Message::IngestAck,
-                Err(e) => Message::Error(WireError::from_serve(&e)),
+            Message::IngestBatch {
+                client,
+                seq,
+                records,
+            } => match rt.ingest_tagged(client, seq, &records) {
+                Ok(applied) => Message::IngestAck { applied },
+                Err(e) => {
+                    let mut err = WireError::from_serve(&e);
+                    if let WireError::QueueFull { retry_after_ms, .. } = &mut err {
+                        *retry_after_ms = self.cfg.queue_full_retry_after.as_millis() as u64;
+                    }
+                    Message::Error(err)
+                }
             },
             Message::Drain => Message::DrainAck { alarms: rt.drain() },
             Message::Checkpoint => match &self.registry {

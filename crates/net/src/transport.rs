@@ -16,6 +16,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::error::WireError;
+use crate::fault::FaultInjector;
 
 /// Where a node listens, and what a client dials.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,19 +92,23 @@ impl Listener {
     /// connection is pending right now. An accepted connection is switched
     /// back to blocking mode with `read_timeout` applied.
     pub fn poll_accept(&self, read_timeout: Duration) -> Result<Option<Conn>, WireError> {
-        let conn = match self {
+        let inner = match self {
             Listener::Tcp(l) => match l.accept() {
-                Ok((s, _)) => Some(Conn::Tcp(s)),
+                Ok((s, _)) => Some(ConnInner::Tcp(s)),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
                 Err(e) => return Err(e.into()),
             },
             #[cfg(unix)]
             Listener::Unix(l) => match l.accept() {
-                Ok((s, _)) => Some(Conn::Unix(s)),
+                Ok((s, _)) => Some(ConnInner::Unix(s)),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
                 Err(e) => return Err(e.into()),
             },
         };
+        let conn = inner.map(|inner| Conn {
+            inner,
+            faults: None,
+        });
         if let Some(c) = &conn {
             c.prepare(read_timeout)?;
         }
@@ -111,8 +116,8 @@ impl Listener {
     }
 }
 
-/// One established connection on either transport.
-pub enum Conn {
+/// The raw socket under a [`Conn`].
+enum ConnInner {
     /// TCP connection.
     Tcp(TcpStream),
     /// Unix-domain connection.
@@ -120,14 +125,39 @@ pub enum Conn {
     Unix(UnixStream),
 }
 
+/// One established connection on either transport, optionally filtered
+/// through a [`FaultInjector`] (dialed connections only — accepted ones
+/// are always fault-free; faults model the *client's* view of a flaky
+/// network).
+pub struct Conn {
+    inner: ConnInner,
+    faults: Option<FaultInjector>,
+}
+
 impl Conn {
     /// Dial `endpoint` and apply `read_timeout`.
     pub fn connect(endpoint: &Endpoint, read_timeout: Duration) -> Result<Conn, WireError> {
-        let conn = match endpoint {
-            Endpoint::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr)?),
+        Conn::connect_with_faults(endpoint, read_timeout, None)
+    }
+
+    /// Dial `endpoint` with an optional fault injector interposed on the
+    /// resulting connection (and on the dial itself — a scripted
+    /// [`RefuseConnect`](crate::fault::Fault::RefuseConnect) fails here
+    /// without touching the network).
+    pub fn connect_with_faults(
+        endpoint: &Endpoint,
+        read_timeout: Duration,
+        faults: Option<FaultInjector>,
+    ) -> Result<Conn, WireError> {
+        if let Some(inj) = &faults {
+            inj.on_connect()?;
+        }
+        let inner = match endpoint {
+            Endpoint::Tcp(addr) => ConnInner::Tcp(TcpStream::connect(addr)?),
             #[cfg(unix)]
-            Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+            Endpoint::Unix(path) => ConnInner::Unix(UnixStream::connect(path)?),
         };
+        let conn = Conn { inner, faults };
         conn.prepare(read_timeout)?;
         Ok(conn)
     }
@@ -141,14 +171,14 @@ impl Conn {
         } else {
             Some(read_timeout)
         };
-        match self {
-            Conn::Tcp(s) => {
+        match &self.inner {
+            ConnInner::Tcp(s) => {
                 s.set_nonblocking(false)?;
                 s.set_nodelay(true)?;
                 s.set_read_timeout(timeout)?;
             }
             #[cfg(unix)]
-            Conn::Unix(s) => {
+            ConnInner::Unix(s) => {
                 s.set_nonblocking(false)?;
                 s.set_read_timeout(timeout)?;
             }
@@ -159,42 +189,64 @@ impl Conn {
     /// Shut down the write half, signalling a clean end-of-stream to the
     /// peer. Errors are ignored — the peer may already be gone.
     pub fn shutdown(&self) {
-        match self {
-            Conn::Tcp(s) => {
+        match &self.inner {
+            ConnInner::Tcp(s) => {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
             #[cfg(unix)]
-            Conn::Unix(s) => {
+            ConnInner::Unix(s) => {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
+        }
+    }
+}
+
+impl Read for ConnInner {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ConnInner::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ConnInner::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ConnInner {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ConnInner::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ConnInner::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ConnInner::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ConnInner::Unix(s) => s.flush(),
         }
     }
 }
 
 impl Read for Conn {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.read(buf),
+        match &self.faults {
+            Some(inj) => inj.read(&mut self.inner, buf),
+            None => self.inner.read(buf),
         }
     }
 }
 
 impl Write for Conn {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.write(buf),
+        match &self.faults {
+            Some(inj) => inj.write(&mut self.inner, buf),
+            None => self.inner.write(buf),
         }
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.flush(),
-        }
+        self.inner.flush()
     }
 }

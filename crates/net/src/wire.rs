@@ -55,7 +55,14 @@ pub const WIRE_MAGIC: [u8; 4] = *b"ETSN";
 
 /// Current wire version. Bump on any frame- or payload-layout change;
 /// readers reject every other version instead of misdecoding.
-pub const WIRE_VERSION: u16 = 1;
+///
+/// **v2** (fault tolerance): [`Message::IngestBatch`] gained a `(client,
+/// seq)` idempotency tag (`(0, 0)` = untagged), [`Message::IngestAck`]
+/// gained an `applied` flag (false = the batch was a duplicate of one the
+/// node already applied), and the [`WireError::QueueFull`] /
+/// [`WireError::Busy`] error payloads gained a `retry_after_ms` hint
+/// (0 = unknown) so clients can honor server pressure when backing off.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Default cap on a frame's payload length (32 MiB). A header declaring
 /// more fails with [`WireError::FrameTooLarge`] before any allocation.
@@ -267,7 +274,18 @@ pub enum Message {
     /// follows the remote runtime's overflow policy: the node either does
     /// the work before acking (Block — the client's call blocks) or
     /// replies [`WireError::QueueFull`] atomically (Reject).
+    ///
+    /// The `(client, seq)` pair is an idempotency tag: a tagged batch
+    /// (`client != 0 && seq != 0`) whose `seq` the node has already
+    /// applied for that client is acknowledged without being re-applied
+    /// ([`Message::IngestAck`] with `applied: false`), which is what makes
+    /// retrying an ingest whose ack was lost safe — the batch lands
+    /// exactly once no matter how many times the client re-sends it.
     IngestBatch {
+        /// Idempotency client id (0 = untagged, no dedup).
+        client: u64,
+        /// Per-client batch sequence number, starting at 1 (0 = untagged).
+        seq: u64,
         /// The records, in ingest order.
         records: Vec<Record>,
     },
@@ -310,7 +328,12 @@ pub enum Message {
         created: bool,
     },
     /// Reply to [`Message::IngestBatch`]: the batch was fully accepted.
-    IngestAck,
+    IngestAck {
+        /// True if the batch was applied now; false if its idempotency tag
+        /// marked it as a duplicate of an already-applied batch (the
+        /// records were **not** re-applied).
+        applied: bool,
+    },
     /// Reply to [`Message::Drain`] with the alarms produced.
     DrainAck {
         /// Alarms sorted by the node's global ingest sequence number.
@@ -424,11 +447,13 @@ fn put_error(enc: &mut Encoder, err: &WireError) {
             shard,
             stream,
             capacity,
+            retry_after_ms,
         } => {
             enc.put_u8(ET_QUEUE_FULL);
             enc.put_usize(*shard);
             enc.put_u64(*stream);
             enc.put_usize(*capacity);
+            enc.put_u64(*retry_after_ms);
         }
         WireError::ModelMissing { stream, model } => {
             enc.put_u8(ET_MODEL_MISSING);
@@ -455,10 +480,15 @@ fn put_error(enc: &mut Encoder, err: &WireError) {
             enc.put_u8(ET_MALFORMED);
             enc.put_str(msg);
         }
-        WireError::Busy { active, limit } => {
+        WireError::Busy {
+            active,
+            limit,
+            retry_after_ms,
+        } => {
             enc.put_u8(ET_BUSY);
             enc.put_usize(*active);
             enc.put_usize(*limit);
+            enc.put_u64(*retry_after_ms);
         }
         other => {
             enc.put_u8(ET_MALFORMED);
@@ -473,6 +503,7 @@ fn get_error(dec: &mut Decoder<'_>) -> Result<WireError, WireError> {
             shard: dec.get_usize("error shard")?,
             stream: dec.get_u64("error stream")?,
             capacity: dec.get_usize("error capacity")?,
+            retry_after_ms: dec.get_u64("error retry-after")?,
         },
         ET_MODEL_MISSING => WireError::ModelMissing {
             stream: dec.get_u64("error stream")?,
@@ -490,6 +521,7 @@ fn get_error(dec: &mut Decoder<'_>) -> Result<WireError, WireError> {
         ET_BUSY => WireError::Busy {
             active: dec.get_usize("error active")?,
             limit: dec.get_usize("error limit")?,
+            retry_after_ms: dec.get_u64("error retry-after")?,
         },
         t => return Err(WireError::Malformed(format!("error-reply tag {t}"))),
     })
@@ -511,7 +543,7 @@ impl Message {
             Message::Ping { .. } => "Ping",
             Message::StreamCount => "StreamCount",
             Message::OpenAck { .. } => "OpenAck",
-            Message::IngestAck => "IngestAck",
+            Message::IngestAck { .. } => "IngestAck",
             Message::DrainAck { .. } => "DrainAck",
             Message::CheckpointAck { .. } => "CheckpointAck",
             Message::StatsAck { .. } => "StatsAck",
@@ -533,7 +565,13 @@ impl Message {
                 enc.put_u64(*stream);
                 MT_OPEN_STREAM
             }
-            Message::IngestBatch { records } => {
+            Message::IngestBatch {
+                client,
+                seq,
+                records,
+            } => {
+                enc.put_u64(*client);
+                enc.put_u64(*seq);
                 enc.put_usize(records.len());
                 for r in records {
                     enc.put_u64(r.stream);
@@ -565,7 +603,10 @@ impl Message {
                 enc.put_bool(*created);
                 MT_OPEN_ACK
             }
-            Message::IngestAck => MT_INGEST_ACK,
+            Message::IngestAck { applied } => {
+                enc.put_bool(*applied);
+                MT_INGEST_ACK
+            }
             Message::DrainAck { alarms } => {
                 put_alarms(&mut enc, alarms);
                 MT_DRAIN_ACK
@@ -616,6 +657,8 @@ impl Message {
                 stream: dec.get_u64("open stream id")?,
             },
             MT_INGEST_BATCH => {
+                let client = dec.get_u64("ingest client id")?;
+                let seq = dec.get_u64("ingest batch seq")?;
                 let n = dec.get_usize("record count")?;
                 // stream id + f64 value = 16 bytes each.
                 dec.check_claim(n, 16, "records")?;
@@ -625,7 +668,11 @@ impl Message {
                     let value = dec.get_f64("record value")?;
                     records.push(Record { stream, value });
                 }
-                Message::IngestBatch { records }
+                Message::IngestBatch {
+                    client,
+                    seq,
+                    records,
+                }
             }
             MT_DRAIN => Message::Drain,
             MT_CHECKPOINT => Message::Checkpoint,
@@ -650,7 +697,9 @@ impl Message {
             MT_OPEN_ACK => Message::OpenAck {
                 created: dec.get_bool("open ack")?,
             },
-            MT_INGEST_ACK => Message::IngestAck,
+            MT_INGEST_ACK => Message::IngestAck {
+                applied: dec.get_bool("ingest ack applied")?,
+            },
             MT_DRAIN_ACK => Message::DrainAck {
                 alarms: get_alarms(&mut dec)?,
             },
@@ -704,7 +753,14 @@ mod tests {
         vec![
             Message::OpenStream { stream: 42 },
             Message::IngestBatch {
+                client: 0,
+                seq: 0,
                 records: vec![Record::new(7, 1.5), Record::new(u64::MAX, -0.0)],
+            },
+            Message::IngestBatch {
+                client: 0xC0FFEE,
+                seq: 41,
+                records: vec![Record::new(3, 0.25)],
             },
             Message::Drain,
             Message::Checkpoint,
@@ -720,7 +776,8 @@ mod tests {
             Message::StreamCount,
             Message::StreamCountAck { streams: 12 },
             Message::OpenAck { created: true },
-            Message::IngestAck,
+            Message::IngestAck { applied: true },
+            Message::IngestAck { applied: false },
             Message::DrainAck {
                 alarms: vec![StreamAlarm {
                     stream: 3,
@@ -747,6 +804,7 @@ mod tests {
                 shard: 2,
                 stream: 5,
                 capacity: 128,
+                retry_after_ms: 25,
             }),
             Message::Error(WireError::ModelMissing {
                 stream: 77,
@@ -759,6 +817,7 @@ mod tests {
             Message::Error(WireError::Busy {
                 active: 32,
                 limit: 32,
+                retry_after_ms: 0,
             }),
             Message::Error(WireError::RemoteMalformed("trailing bytes".to_string())),
         ]
@@ -875,6 +934,8 @@ mod tests {
         // An IngestBatch claiming u64::MAX/16 records inside a tiny payload
         // must fail the claim check, not allocate a huge Vec.
         let mut enc = Encoder::new();
+        enc.put_u64(0); // client
+        enc.put_u64(0); // seq
         enc.put_usize(usize::MAX / 16);
         let frame = Frame {
             msg_type: MT_INGEST_BATCH,

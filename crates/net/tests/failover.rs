@@ -1,0 +1,436 @@
+//! Self-healing: a [`Supervisor`] heartbeating a live cluster detects a
+//! killed node, recovers its streams from the registry checkpoint, and
+//! moves them to the survivors — while a [`DedupCursor`] on the sink keeps
+//! the redelivered alarms exactly-once. Also the failure *edges*: a node
+//! dying between the two migration phases must leave the topology
+//! untouched, and two supervisors racing one failover must converge.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use etsc_early::{Decision, DecisionSession, EarlyClassifier, SessionNorm};
+use etsc_net::{
+    ClientConfig, Cluster, Endpoint, Listener, Node, NodeConfig, RetryPolicy, Supervisor,
+    SupervisorConfig,
+};
+use etsc_persist::{Decoder, Encoder, ModelRegistry, Persist, PersistError};
+use etsc_serve::{DedupCursor, Record, Runtime, RuntimeConfig};
+use etsc_stream::{StreamMonitorConfig, StreamNorm};
+
+// --- fixture: the mean-threshold pulse detector the serve tests use ---
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PulseDetector {
+    need: usize,
+    len: usize,
+}
+
+struct MeanSession {
+    need: usize,
+    sum: f64,
+    len: usize,
+    decision: Decision,
+}
+
+impl DecisionSession for MeanSession {
+    fn push(&mut self, x: f64) -> Decision {
+        self.len += 1;
+        if self.decision.is_predict() {
+            return self.decision;
+        }
+        self.sum += x;
+        if self.len >= self.need && self.sum / self.len as f64 > 0.5 {
+            self.decision = Decision::Predict {
+                label: 0,
+                confidence: 1.0,
+            };
+        }
+        self.decision
+    }
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.len = 0;
+        self.decision = Decision::Wait;
+    }
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_f64(self.sum);
+        enc.put_usize(self.len);
+        enc.put_bool(self.decision.is_predict());
+        Ok(())
+    }
+}
+
+impl EarlyClassifier for PulseDetector {
+    fn n_classes(&self) -> usize {
+        1
+    }
+    fn series_len(&self) -> usize {
+        self.len
+    }
+    fn min_prefix(&self) -> usize {
+        self.need
+    }
+    fn session(&self, _norm: SessionNorm) -> Box<dyn DecisionSession + '_> {
+        Box::new(MeanSession {
+            need: self.need,
+            sum: 0.0,
+            len: 0,
+            decision: Decision::Wait,
+        })
+    }
+    fn resume_session(
+        &self,
+        _norm: SessionNorm,
+        dec: &mut Decoder<'_>,
+    ) -> Result<Box<dyn DecisionSession + '_>, PersistError> {
+        let sum = dec.get_f64("sum")?;
+        let len = dec.get_usize("len")?;
+        let committed = dec.get_bool("committed")?;
+        Ok(Box::new(MeanSession {
+            need: self.need,
+            sum,
+            len,
+            decision: if committed {
+                Decision::Predict {
+                    label: 0,
+                    confidence: 1.0,
+                }
+            } else {
+                Decision::Wait
+            },
+        }))
+    }
+    fn predict_full(&self, _s: &[f64]) -> usize {
+        0
+    }
+}
+
+impl Persist for PulseDetector {
+    const KIND: &'static str = "PulseDetector";
+    fn encode_body(&self, enc: &mut Encoder) {
+        enc.put_usize(self.need);
+        enc.put_usize(self.len);
+    }
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let need = dec.get_usize("pulse need")?;
+        let len = dec.get_usize("pulse len")?;
+        if need == 0 || len == 0 || need > len {
+            return Err(PersistError::Corrupt(format!(
+                "pulse detector: need {need}, len {len}"
+            )));
+        }
+        Ok(Self { need, len })
+    }
+}
+
+fn detector() -> PulseDetector {
+    PulseDetector { need: 4, len: 24 }
+}
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig {
+        shards: 2,
+        monitor: StreamMonitorConfig {
+            anchor_stride: 1,
+            norm: StreamNorm::Raw,
+            refractory: 100,
+        },
+        model_name: "pulse".to_string(),
+        threads: Some(2),
+        ..RuntimeConfig::default()
+    }
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("etsc-failover-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bind_loopback() -> (Listener, Endpoint) {
+    let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap();
+    let ep = listener.local_endpoint().unwrap();
+    (listener, ep)
+}
+
+/// A client config that fails fast against a dead node: short timeouts,
+/// two attempts, millisecond backoff.
+fn fast_cfg(client_id: u64) -> ClientConfig {
+    ClientConfig {
+        request_timeout: Duration::from_millis(200),
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(5),
+            jitter_seed: 3,
+        },
+        client_id,
+        ..ClientConfig::default()
+    }
+}
+
+struct StopGuard<'n, 'a>(&'n Node<'a, PulseDetector>);
+
+impl Drop for StopGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.stop();
+    }
+}
+
+#[test]
+fn supervisor_detects_a_dead_node_and_fails_its_streams_over() {
+    let root = tmp_root("detect");
+    let clf = detector();
+    let dirs: Vec<PathBuf> = (0..3).map(|i| root.join(format!("node{i}"))).collect();
+    for d in &dirs {
+        std::fs::create_dir_all(d).unwrap();
+    }
+
+    // Node 0 checkpoints after every batch, so every acked batch — and its
+    // dedup cursor — is covered when it dies.
+    let mut rt0 = Runtime::new(&clf, config()).unwrap();
+    rt0.enable_checkpoints(ModelRegistry::open(&dirs[0]).unwrap(), 1)
+        .unwrap();
+    let node0 = Node::new(rt0, NodeConfig::default());
+    let node1 = Node::new(Runtime::new(&clf, config()).unwrap(), NodeConfig::default());
+    let node2 = Node::new(Runtime::new(&clf, config()).unwrap(), NodeConfig::default());
+    let (l0, e0) = bind_loopback();
+    let (l1, e1) = bind_loopback();
+    let (l2, e2) = bind_loopback();
+
+    std::thread::scope(|s| {
+        let guard0 = StopGuard(&node0);
+        let guard1 = StopGuard(&node1);
+        let guard2 = StopGuard(&node2);
+        let server0 = s.spawn(|| node0.serve(l0));
+        let server1 = s.spawn(|| node1.serve(l1));
+        let server2 = s.spawn(|| node2.serve(l2));
+
+        let mut cluster = Cluster::connect_with(&[e0, e1, e2], fast_cfg(1)).unwrap();
+        for id in 0..6 {
+            cluster.open_stream(id).unwrap();
+        }
+        // Deterministic placement: two streams per node.
+        cluster.migrate(&[0, 1], 0).unwrap();
+        cluster.migrate(&[2, 3], 1).unwrap();
+        cluster.migrate(&[4, 5], 2).unwrap();
+
+        // Eight rounds of hot values: every stream commits an alarm around
+        // sample four; all six are delivered to the sink pre-crash.
+        let mut sink = DedupCursor::default();
+        let batch: Vec<Record> = (0..6).map(|id| Record::new(id, 1.0)).collect();
+        for _ in 0..8 {
+            cluster.ingest(&batch).unwrap();
+        }
+        let delivered = sink.filter(cluster.drain().unwrap());
+        assert_eq!(delivered.len(), 6, "one alarm per stream before the kill");
+
+        // Kill node 0 for real: accept loop gone, port closed.
+        node0.stop();
+        drop(guard0);
+        server0.join().unwrap().unwrap();
+
+        // An in-flight batch is lost against the dead node — the cluster
+        // stashes its sub-batch and surfaces the error once.
+        assert!(cluster.ingest(&batch).is_err());
+        assert!(cluster.pending_batches() >= 1);
+
+        // Two missed heartbeats declare it dead and fail it over.
+        let sup_cfg = SupervisorConfig {
+            miss_threshold: 2,
+            ..SupervisorConfig::new(dirs.clone(), "pulse")
+        };
+        let mut sup: Supervisor<PulseDetector> = Supervisor::new(sup_cfg);
+        assert!(sup.tick(&mut cluster).unwrap().is_empty());
+        assert_eq!(sup.misses(0), 1);
+        let reports = sup.tick(&mut cluster).unwrap();
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.node, 0);
+        let mut moved_ids: Vec<u64> = report.moved.iter().map(|&(id, _)| id).collect();
+        moved_ids.sort_unstable();
+        assert_eq!(moved_ids, vec![0, 1]);
+        assert!(report.moved.iter().all(|&(_, target)| target != 0));
+        assert!(sup.is_dead(0));
+        assert_eq!(sup.failovers(), 1);
+
+        // Settle routing and the stashed batch against the survivors.
+        cluster.apply_failover(report).unwrap();
+        assert!(cluster.router().is_down(0));
+        assert_eq!(cluster.pending_batches(), 0);
+        assert_eq!(cluster.failovers(), 1);
+
+        // The checkpoint re-delivers its undelivered alarms; every one of
+        // them already reached the sink, so the dedup cursor drops them
+        // all — recovery is at-least-once, delivery stays exactly-once.
+        let fresh = sink.filter(report.redelivered.clone());
+        assert!(
+            fresh.is_empty(),
+            "redelivered alarms must all be duplicates, got {fresh:?}"
+        );
+        assert!(sink.duplicates_dropped() >= 1);
+        assert_eq!(sink.delivered(), 6);
+
+        // Every stream is served again, and ingest flows without errors.
+        assert_eq!(cluster.stream_count().unwrap(), 6);
+        cluster.ingest(&batch).unwrap();
+        let _ = sink.filter(cluster.drain().unwrap());
+
+        // A healthy cluster heartbeats clean; the dead node stays skipped.
+        assert!(sup.tick(&mut cluster).unwrap().is_empty());
+
+        drop(guard1);
+        drop(guard2);
+        server1.join().unwrap().unwrap();
+        server2.join().unwrap().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn target_death_between_migrate_out_and_migrate_in_leaves_topology_untouched() {
+    let clf = detector();
+    let node0 = Node::new(Runtime::new(&clf, config()).unwrap(), NodeConfig::default());
+    let node1 = Node::new(Runtime::new(&clf, config()).unwrap(), NodeConfig::default());
+    let (l0, e0) = bind_loopback();
+    let (l1, e1) = bind_loopback();
+
+    std::thread::scope(|s| {
+        let guard0 = StopGuard(&node0);
+        let guard1 = StopGuard(&node1);
+        let server0 = s.spawn(|| node0.serve(l0));
+        let server1 = s.spawn(|| node1.serve(l1));
+
+        let mut cluster = Cluster::connect_with(&[e0, e1], fast_cfg(1)).unwrap();
+        cluster.open_stream(7).unwrap();
+        cluster.migrate(&[7], 0).unwrap();
+        let batch: Vec<Record> = vec![Record::new(7, 1.0); 3];
+        cluster.ingest(&batch).unwrap();
+
+        // The target dies before the import phase can happen.
+        node1.stop();
+        drop(guard1);
+        server1.join().unwrap().unwrap();
+
+        // Export succeeds, import fails, the stream is restored to its
+        // source — the error surfaces, the topology does not move.
+        assert!(cluster.migrate(&[7], 1).is_err());
+        assert_eq!(cluster.router().route(7), 0);
+        assert_eq!(cluster.client(0).stream_count().unwrap(), 1);
+
+        // The restored stream is fully recoverable: it keeps ingesting and
+        // its session state survived the round trip (the alarm commits at
+        // the fourth hot sample overall, counting the pre-failure three).
+        cluster.ingest(&batch).unwrap();
+        let alarms = cluster.client(0).drain().unwrap();
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].stream, 7);
+
+        drop(guard0);
+        server0.join().unwrap().unwrap();
+    });
+}
+
+#[test]
+fn racing_supervisors_converge_on_one_failover_without_double_importing() {
+    let root = tmp_root("race");
+    let clf = detector();
+    let dirs: Vec<PathBuf> = (0..3).map(|i| root.join(format!("node{i}"))).collect();
+    for d in &dirs {
+        std::fs::create_dir_all(d).unwrap();
+    }
+
+    let mut rt0 = Runtime::new(&clf, config()).unwrap();
+    rt0.enable_checkpoints(ModelRegistry::open(&dirs[0]).unwrap(), 1)
+        .unwrap();
+    let node0 = Node::new(rt0, NodeConfig::default());
+    let node1 = Node::new(Runtime::new(&clf, config()).unwrap(), NodeConfig::default());
+    let node2 = Node::new(Runtime::new(&clf, config()).unwrap(), NodeConfig::default());
+    let (l0, e0) = bind_loopback();
+    let (l1, e1) = bind_loopback();
+    let (l2, e2) = bind_loopback();
+    let eps = [e0, e1, e2];
+
+    std::thread::scope(|s| {
+        let guard0 = StopGuard(&node0);
+        let guard1 = StopGuard(&node1);
+        let guard2 = StopGuard(&node2);
+        let server0 = s.spawn(|| node0.serve(l0));
+        let server1 = s.spawn(|| node1.serve(l1));
+        let server2 = s.spawn(|| node2.serve(l2));
+
+        // Two independent drivers of the same nodes, with disjoint client
+        // id bases, each running its own supervisor.
+        let mut cluster_a = Cluster::connect_with(&eps, fast_cfg(1)).unwrap();
+        let mut cluster_b = Cluster::connect_with(&eps, fast_cfg(10)).unwrap();
+        for id in 0..5 {
+            cluster_a.open_stream(id).unwrap();
+        }
+        cluster_a.migrate(&[0, 1], 0).unwrap();
+        cluster_a.migrate(&[2], 1).unwrap();
+        cluster_a.migrate(&[3, 4], 2).unwrap();
+
+        let batch: Vec<Record> = (0..5).map(|id| Record::new(id, 1.0)).collect();
+        for _ in 0..6 {
+            cluster_a.ingest(&batch).unwrap();
+        }
+
+        node0.stop();
+        drop(guard0);
+        server0.join().unwrap().unwrap();
+
+        let sup_cfg = SupervisorConfig {
+            miss_threshold: 1,
+            ..SupervisorConfig::new(dirs.clone(), "pulse")
+        };
+        let mut sup_a: Supervisor<PulseDetector> = Supervisor::new(sup_cfg.clone());
+        let mut sup_b: Supervisor<PulseDetector> = Supervisor::new(sup_cfg);
+
+        // First supervisor wins the race and does the real import.
+        let reports_a = sup_a.tick(&mut cluster_a).unwrap();
+        assert_eq!(reports_a.len(), 1);
+        let report_a = &reports_a[0];
+        assert_eq!(report_a.already_imported, 0);
+        cluster_a.apply_failover(report_a).unwrap();
+
+        // The second arrives late: same down set, same ring, therefore the
+        // same placement — and the survivors refuse its duplicate imports
+        // atomically, so it converges instead of double-serving.
+        let reports_b = sup_b.tick(&mut cluster_b).unwrap();
+        assert_eq!(reports_b.len(), 1);
+        let report_b = &reports_b[0];
+        assert_eq!(report_b.already_imported, report_b.moved.len());
+        let sorted = |r: &Vec<(u64, usize)>| {
+            let mut v = r.clone();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&report_a.moved), sorted(&report_b.moved));
+        cluster_b.apply_failover(report_b).unwrap();
+
+        // Both routers agree on where every recovered stream lives, and
+        // each stream is served exactly once across the survivors.
+        for &(id, target) in &report_a.moved {
+            assert_eq!(cluster_a.router().route(id), target);
+            assert_eq!(cluster_b.router().route(id), target);
+        }
+        assert_eq!(cluster_a.stream_count().unwrap(), 5);
+
+        // Both drivers keep ingesting through their converged routing.
+        cluster_a.ingest(&batch).unwrap();
+        cluster_b.ingest(&batch).unwrap();
+
+        drop(guard1);
+        drop(guard2);
+        server1.join().unwrap().unwrap();
+        server2.join().unwrap().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&root);
+}

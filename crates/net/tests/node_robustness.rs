@@ -336,8 +336,15 @@ fn connection_limit_refuses_with_a_typed_busy_reply() {
         // anything (a send could race the node's close).
         let mut second = raw_connect(ep);
         match read_reply(&mut second) {
-            Message::Error(WireError::Busy { active, limit }) => {
+            Message::Error(WireError::Busy {
+                active,
+                limit,
+                retry_after_ms,
+            }) => {
                 assert_eq!((active, limit), (1, 1));
+                // The default config advertises how long a slot takes to
+                // free up, so refused clients can sleep instead of spin.
+                assert!(retry_after_ms > 0);
             }
             other => panic!("expected Busy, got {other:?}"),
         }
@@ -362,9 +369,13 @@ fn queue_full_crosses_the_wire_as_the_same_atomic_typed_error() {
                 shard,
                 capacity,
                 stream: _,
+                retry_after_ms,
             }) => {
                 assert_eq!(shard, 0);
                 assert_eq!(capacity, 8);
+                // Default: no hint — a Reject-policy queue drains only
+                // through the caller, so the node cannot predict when.
+                assert_eq!(retry_after_ms, 0);
             }
             other => panic!("expected QueueFull, got {other:?}"),
         }

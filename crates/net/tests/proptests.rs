@@ -87,7 +87,11 @@ proptest! {
             .zip(&values)
             .map(|(&id, &v)| Record::new(id, v))
             .collect();
-        let msg = Message::IngestBatch { records };
+        let msg = Message::IngestBatch {
+            client: 0,
+            seq: 0,
+            records,
+        };
         let frame = decode_frame(&msg.to_frame_bytes(), MAX_FRAME_PAYLOAD).unwrap();
         prop_assert_eq!(Message::decode(&frame).unwrap(), msg);
     }

@@ -96,12 +96,14 @@
 //! assert!(!alarms.is_empty());
 //! ```
 
+pub mod dedup;
 pub mod error;
 pub mod router;
 pub mod runtime;
 pub mod service;
 pub mod stats;
 
+pub use dedup::DedupCursor;
 pub use error::ServeError;
 pub use router::ShardRouter;
 pub use runtime::{OverflowPolicy, Record, Runtime, RuntimeConfig, StreamAlarm, SERVE_STATE_KIND};

@@ -232,9 +232,14 @@ pub struct Runtime<'a, C: EarlyClassifier + ?Sized> {
     /// checkpoint), awaiting the next [`drain`](Self::drain).
     pending: Vec<StreamAlarm>,
     auto: Option<AutoCheckpoint>,
+    /// Per-client ingest cursors: the highest batch sequence number applied
+    /// for each tagged client (see [`ingest_tagged`](Self::ingest_tagged)).
+    /// Checkpointed, so dedup survives crash + recovery.
+    clients: BTreeMap<u64, u64>,
     // Runtime-lifetime counters (per-shard counters reset with topology).
     ingested: u64,
     rejected_batches: u64,
+    duplicate_batches: u64,
     rebalances: u64,
     migrated_streams: u64,
     checkpoints: u64,
@@ -270,8 +275,10 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             seq: 0,
             pending: Vec::new(),
             auto: None,
+            clients: BTreeMap::new(),
             ingested: 0,
             rejected_batches: 0,
+            duplicate_batches: 0,
             rebalances: 0,
             migrated_streams: 0,
             checkpoints: 0,
@@ -360,6 +367,58 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
     /// the batch **was fully accepted** — do not re-ingest it. The failed
     /// checkpoint is not retried until the next interval elapses.
     pub fn ingest(&mut self, batch: &[Record]) -> Result<(), ServeError> {
+        self.enqueue_batch(batch)?;
+        self.maybe_auto_checkpoint()
+    }
+
+    /// [`ingest`](Self::ingest) with an idempotency tag: `(client, seq)`
+    /// identifies the batch, and the runtime remembers the highest `seq`
+    /// applied per client. A batch at or below the client's cursor is
+    /// skipped without touching any queue and reported as `Ok(false)` —
+    /// which is how a client retrying a batch whose acknowledgement was
+    /// lost learns the original attempt landed, upgrading retried delivery
+    /// from at-least-once to exactly-once. `(0, _)` is the untagged client;
+    /// its batches always apply.
+    ///
+    /// The cursor advances *before* any due periodic checkpoint is cut, so
+    /// a checkpoint covering the batch also covers its dedup state.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ingest`](Self::ingest): a
+    /// [`QueueFull`](ServeError::QueueFull) rejection is atomic and does
+    /// **not** advance the client's cursor, so the same tag can (and
+    /// should) be resent.
+    pub fn ingest_tagged(
+        &mut self,
+        client: u64,
+        seq: u64,
+        batch: &[Record],
+    ) -> Result<bool, ServeError> {
+        let tagged = client != 0;
+        if tagged && self.clients.get(&client).is_some_and(|&cur| seq <= cur) {
+            self.duplicate_batches += 1;
+            return Ok(false);
+        }
+        self.enqueue_batch(batch)?;
+        if tagged {
+            self.clients.insert(client, seq);
+        }
+        self.maybe_auto_checkpoint()?;
+        Ok(true)
+    }
+
+    /// The per-client ingest cursors (client id → highest applied batch
+    /// seq). A supervisor reads these off a recovered runtime to decide
+    /// which in-flight batches the checkpoint already covers.
+    pub fn ingest_cursors(&self) -> &BTreeMap<u64, u64> {
+        &self.clients
+    }
+
+    /// The shared body of [`ingest`](Self::ingest) and
+    /// [`ingest_tagged`](Self::ingest_tagged): route the batch into the
+    /// shard queues without consulting the checkpoint schedule.
+    fn enqueue_batch(&mut self, batch: &[Record]) -> Result<(), ServeError> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -402,7 +461,7 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             self.seq += 1;
             self.ingested += 1;
         }
-        self.maybe_auto_checkpoint()
+        Ok(())
     }
 
     /// Process every queued record (all shards in parallel) and return all
@@ -588,6 +647,7 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             ingested: self.ingested,
             pending_alarms: self.pending.len(),
             rejected_batches: self.rejected_batches,
+            duplicate_batches: self.duplicate_batches,
             rebalances: self.rebalances,
             migrated_streams: self.migrated_streams,
             checkpoints: self.checkpoints,
@@ -654,6 +714,15 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
                 enc.put_str(&self.cfg.model_name);
                 enc.put_bytes(&monitor.snapshot_anchors()?);
             }
+        }
+        // Trailing section (readers treat it as optional for checkpoints
+        // cut before it existed): retry-dedup state, so exactly-once ingest
+        // survives crash + recovery.
+        enc.put_u64(self.duplicate_batches);
+        enc.put_usize(self.clients.len());
+        for (&client, &seq) in &self.clients {
+            enc.put_u64(client);
+            enc.put_u64(seq);
         }
         let bytes = etsc_persist::envelope(SERVE_STATE_KIND, &enc.into_bytes());
         registry.save_bytes(&state_entry_name(&self.cfg.model_name), &bytes)?;
@@ -842,6 +911,18 @@ impl<'a, C: EarlyClassifier + Persist> Runtime<'a, C> {
             let mut monitor = StreamMonitor::new(clf, rt.cfg.monitor);
             monitor.resume_anchors(&anchors)?;
             rt.shards[rt.router.route(id)].monitors.insert(id, monitor);
+        }
+        if dec.remaining() > 0 {
+            // Retry-dedup section; absent in checkpoints cut before it
+            // existed (those recover with empty cursors).
+            rt.duplicate_batches = dec.get_u64("serve duplicate batches")?;
+            let n_clients = dec.get_usize("serve client cursors")?;
+            dec.check_claim(n_clients, 16, "serve client cursors")?;
+            for _ in 0..n_clients {
+                let client = dec.get_u64("serve client id")?;
+                let seq = dec.get_u64("serve client seq")?;
+                rt.clients.insert(client, seq);
+            }
         }
         dec.finish()?;
         Ok(rt)

@@ -3,6 +3,25 @@
 
 use std::fmt::Write as _;
 
+/// Append one counter metric (`# HELP`/`# TYPE` preamble plus an
+/// unlabelled sample) in Prometheus text exposition format. Shared by
+/// every layer that exports counters — the serving runtime here, retry
+/// and failover counters in the wire crate — so all exposition text stays
+/// format-identical.
+pub fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Append one gauge metric in Prometheus text exposition format. See
+/// [`push_counter`].
+pub fn push_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
 /// Counters for one shard, as of a [`stats`](crate::Runtime::stats) call.
 ///
 /// Per-shard counters describe the **current topology**: they start at zero
@@ -47,6 +66,10 @@ pub struct ServeStats {
     pub pending_alarms: usize,
     /// Batches rejected under [`OverflowPolicy::Reject`](crate::OverflowPolicy::Reject).
     pub rejected_batches: u64,
+    /// Tagged batches skipped by [`ingest_tagged`](crate::Runtime::ingest_tagged)
+    /// because the client's cursor showed them already applied — each one is
+    /// a retry duplicate that exactly-once delivery absorbed.
+    pub duplicate_batches: u64,
     /// Completed [`rebalance`](crate::Runtime::rebalance) calls.
     pub rebalances: u64,
     /// Streams that crossed shards via the snapshot/resume byte path.
@@ -71,11 +94,8 @@ impl ServeStats {
     /// without a translation layer.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        let mut counter = |name: &str, help: &str, value: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
-        };
+        let mut counter =
+            |name: &str, help: &str, value: u64| push_counter(&mut out, name, help, value);
         counter(
             "etsc_serve_ingested_total",
             "Records accepted by ingest over the runtime's life.",
@@ -97,6 +117,11 @@ impl ServeStats {
             self.rejected_batches,
         );
         counter(
+            "etsc_serve_duplicate_batches_total",
+            "Tagged ingest batches skipped as already-applied retry duplicates.",
+            self.duplicate_batches,
+        );
+        counter(
             "etsc_serve_rebalances_total",
             "Completed rebalance calls.",
             self.rebalances,
@@ -111,11 +136,8 @@ impl ServeStats {
             "Checkpoints written (explicit and periodic).",
             self.checkpoints,
         );
-        let mut gauge = |name: &str, help: &str, value: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
-        };
+        let mut gauge =
+            |name: &str, help: &str, value: u64| push_gauge(&mut out, name, help, value);
         gauge(
             "etsc_serve_streams",
             "Streams currently live across all shards.",

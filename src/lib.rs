@@ -346,6 +346,145 @@
 //! });
 //! ```
 //!
+//! ## Fault tolerance
+//!
+//! The wire layer assumes the network fails and the serving layer assumes
+//! nodes die. Requests carry a retry schedule ([`net::RetryPolicy`]:
+//! capped exponential backoff with deterministic jitter), and every
+//! [`net::WireError`] classifies itself — retryable transport fault,
+//! known-unapplied rejection ([`busy / queue-full replies carry a
+//! retry-after hint`](net::WireError::retry_after)), or permanent. Ingest
+//! retries are made safe by idempotency tags: a client configured with a
+//! nonzero [`net::ClientConfig::client_id`] tags each batch with a
+//! sequence number, and a node that already applied it answers the retry
+//! with a duplicate ack instead of applying it twice. Above that,
+//! a [`net::Supervisor`] heartbeats every node in a cluster, declares a
+//! node dead after consecutive missed probes, recovers its streams from
+//! its registry checkpoint, and imports them into the survivors — while a
+//! [`serve::DedupCursor`] at the alarm sink turns the checkpoint's
+//! at-least-once re-delivery back into exactly-once delivery. All of it is
+//! testable deterministically: a [`net::FaultInjector`] scripted by a
+//! seeded [`net::FaultPlan`] injects refused connects, mid-frame
+//! disconnects, read stalls, corrupted frames, and asymmetric partitions
+//! underneath a real client, with no real clocks or entropy involved.
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! use etsc::core::UcrDataset;
+//! use etsc::early::ects::{Ects, EctsConfig};
+//! use etsc::net::{
+//!     ClientConfig, Cluster, Endpoint, Listener, Node, NodeConfig, RetryPolicy, Supervisor,
+//!     SupervisorConfig,
+//! };
+//! use etsc::persist::ModelRegistry;
+//! use etsc::serve::{DedupCursor, Record, Runtime, RuntimeConfig};
+//! use etsc::stream::{StreamMonitorConfig, StreamNorm};
+//!
+//! let train = UcrDataset::new(
+//!     (0..8)
+//!         .map(|i| {
+//!             let level = if i % 2 == 0 { 0.0 } else { 3.0 };
+//!             (0..16).map(|j| level + 0.05 * ((i * 5 + j) % 7) as f64).collect()
+//!         })
+//!         .collect(),
+//!     vec![0, 1, 0, 1, 0, 1, 0, 1],
+//! )
+//! .unwrap();
+//! let ects = Ects::fit(&train, &EctsConfig::default());
+//! let cfg = RuntimeConfig {
+//!     monitor: StreamMonitorConfig {
+//!         anchor_stride: 4,
+//!         norm: StreamNorm::Raw,
+//!         refractory: 20,
+//!     },
+//!     model_name: "ects".to_string(),
+//!     ..RuntimeConfig::default()
+//! };
+//!
+//! // Two nodes; node 0 checkpoints every batch into a registry the
+//! // supervisor can reach — that checkpoint is what failover recovers.
+//! let root = std::env::temp_dir().join(format!("etsc-ft-doc-{}", std::process::id()));
+//! let dirs = vec![root.join("node0"), root.join("node1")];
+//! let mut rt0 = Runtime::new(&ects, cfg.clone()).unwrap();
+//! rt0.enable_checkpoints(ModelRegistry::open(&dirs[0]).unwrap(), 1).unwrap();
+//! let node0 = Node::new(rt0, NodeConfig::default());
+//! let node1 = Node::new(Runtime::new(&ects, cfg).unwrap(), NodeConfig::default());
+//! let (l0, l1) = (
+//!     Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap(),
+//!     Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap(),
+//! );
+//! let (e0, e1) = (l0.local_endpoint().unwrap(), l1.local_endpoint().unwrap());
+//!
+//! std::thread::scope(|s| {
+//!     let s0 = s.spawn(|| node0.serve(l0));
+//!     let s1 = s.spawn(|| node1.serve(l1));
+//!
+//!     // Fail fast against a dead node, and tag batches (nonzero id) so
+//!     // ingest retries are idempotent.
+//!     let client_cfg = ClientConfig {
+//!         request_timeout: Duration::from_millis(200),
+//!         retry: RetryPolicy {
+//!             max_attempts: 2,
+//!             base_delay: Duration::from_millis(1),
+//!             max_delay: Duration::from_millis(5),
+//!             jitter_seed: 7,
+//!         },
+//!         client_id: 1,
+//!         ..ClientConfig::default()
+//!     };
+//!     let mut cluster = Cluster::connect_with(&[e0, e1], client_cfg).unwrap();
+//!     for id in 0..4 {
+//!         cluster.open_stream(id).unwrap();
+//!     }
+//!     cluster.migrate(&[0, 1], 0).unwrap();
+//!     cluster.migrate(&[2, 3], 1).unwrap();
+//!
+//!     // Live traffic; alarms pass through a dedup cursor at the sink.
+//!     let mut sink = DedupCursor::default();
+//!     let probe: Vec<f64> = train.series(1).to_vec();
+//!     for t in 0..8 {
+//!         let batch: Vec<Record> = (0..4).map(|id| Record::new(id, probe[t])).collect();
+//!         cluster.ingest(&batch).unwrap();
+//!     }
+//!     let _ = sink.filter(cluster.drain().unwrap());
+//!
+//!     // Kill node 0 for real. The next ingest errors once; the lost
+//!     // sub-batch is stashed, the survivor's half was applied.
+//!     node0.stop();
+//!     s0.join().unwrap().unwrap();
+//!     let batch: Vec<Record> = (0..4).map(|id| Record::new(id, probe[8])).collect();
+//!     assert!(cluster.ingest(&batch).is_err());
+//!
+//!     // One missed heartbeat declares it dead; its streams come back on
+//!     // the survivor, recovered from the checkpoint.
+//!     let sup_cfg = SupervisorConfig {
+//!         miss_threshold: 1,
+//!         ..SupervisorConfig::new(dirs.clone(), "ects")
+//!     };
+//!     let mut sup: Supervisor<Ects> = Supervisor::new(sup_cfg);
+//!     let reports = sup.tick(&mut cluster).unwrap();
+//!     assert_eq!(reports.len(), 1);
+//!     assert_eq!(reports[0].node, 0);
+//!     cluster.apply_failover(&reports[0]).unwrap();
+//!
+//!     // Checkpoint recovery re-delivers alarms at-least-once; the sink's
+//!     // cursor drops anything it has already seen — exactly-once overall.
+//!     let _ = sink.filter(reports[0].redelivered.clone());
+//!
+//!     // Every stream is served again and traffic flows, with the stashed
+//!     // batch settled.
+//!     assert_eq!(cluster.stream_count().unwrap(), 4);
+//!     assert_eq!(cluster.pending_batches(), 0);
+//!     let batch: Vec<Record> = (0..4).map(|id| Record::new(id, probe[9])).collect();
+//!     cluster.ingest(&batch).unwrap();
+//!
+//!     node1.stop();
+//!     s1.join().unwrap().unwrap();
+//! });
+//! # let _ = std::fs::remove_dir_all(&root);
+//! ```
+//!
 //! ## Subsequence search and the threading model
 //!
 //! Long-stream search (the Fig 5 homophone hunt, Fig 8's 500 dustbathing
