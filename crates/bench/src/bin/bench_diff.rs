@@ -1,0 +1,282 @@
+//! `bench_diff` — compare fresh `BENCH_*.json` reports against the
+//! committed baselines in `crates/bench/baselines/`.
+//!
+//! Every numeric leaf of each report is flattened to a dotted path
+//! (`results[1].ns_per_window`) and compared against the same path in the
+//! baseline. Direction matters: `*_ns`/`*_bytes` metrics regress upward,
+//! `speedup*`/`*accuracy*` metrics regress downward; paths whose direction
+//! is unknown are shown but never counted as regressions. String leaves
+//! (algorithm names, normalization modes) are compared too — a mismatch
+//! means the reports describe different configurations, so the numeric diff
+//! for that file is labelled as layout drift rather than a regression.
+//!
+//! The tool is **warn-only by default** (exit 0 even with regressions):
+//! CI machines are noisy and quick-mode runs use smaller inputs than the
+//! committed full runs. Pass `--deny` to turn regressions beyond the
+//! threshold into a non-zero exit for local A/B runs on quiet hardware.
+//!
+//! Usage:
+//!   bench_diff [--current-dir DIR] [--baseline-dir DIR]
+//!              [--threshold PCT] [--deny] [--all]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use etsc_bench::json::{self, Json};
+use etsc_bench::render_table;
+
+/// The reports with committed baselines. `BENCH_net.json` is produced by
+/// `bench_net` but intentionally has no baseline: its numbers are dominated
+/// by loopback TCP scheduling and are too noisy to diff.
+const REPORTS: [&str; 4] = [
+    "BENCH_nn.json",
+    "BENCH_persist.json",
+    "BENCH_serve.json",
+    "BENCH_sessions.json",
+];
+
+/// Which way a metric gets worse, inferred from its leaf name.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    /// Latency / size: a higher value is a regression.
+    HigherIsWorse,
+    /// Throughput / quality: a lower value is a regression.
+    LowerIsWorse,
+    /// Configuration echoes (`n`, `threads`, …): report, never judge.
+    Unjudged,
+}
+
+fn direction(path: &str) -> Direction {
+    // Only the leaf name matters, not the array indices leading to it.
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let higher_is_worse = ["_ns", "_bytes", "_ms"]
+        .iter()
+        .any(|suffix| leaf.ends_with(suffix))
+        || leaf.starts_with("ns_per_");
+    let lower_is_worse = leaf.starts_with("speedup")
+        || leaf.contains("accuracy")
+        || leaf.contains("throughput")
+        || leaf.ends_with("_per_sec");
+    match (higher_is_worse, lower_is_worse) {
+        (true, false) => Direction::HigherIsWorse,
+        (false, true) => Direction::LowerIsWorse,
+        _ => Direction::Unjudged,
+    }
+}
+
+struct Args {
+    current_dir: PathBuf,
+    baseline_dir: PathBuf,
+    /// Percent change below which a judged metric is reported as noise.
+    threshold: f64,
+    /// Exit non-zero if any judged metric regresses beyond the threshold.
+    deny: bool,
+    /// Show every metric, not just the ones beyond the threshold.
+    all: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Baselines live next to this crate's sources, wherever cargo runs us.
+    let mut args = Args {
+        current_dir: PathBuf::from("."),
+        baseline_dir: Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines"),
+        threshold: 10.0,
+        deny: false,
+        all: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--current-dir" => args.current_dir = PathBuf::from(value("--current-dir")?),
+            "--baseline-dir" => args.baseline_dir = PathBuf::from(value("--baseline-dir")?),
+            "--threshold" => {
+                args.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--deny" => args.deny = true,
+            "--all" => args.all = true,
+            "--help" | "-h" => {
+                println!(
+                    "bench_diff: compare BENCH_*.json against committed baselines\n\n\
+                     \x20 --current-dir DIR   where fresh reports live (default: .)\n\
+                     \x20 --baseline-dir DIR  committed baselines (default: crates/bench/baselines)\n\
+                     \x20 --threshold PCT     report changes beyond this (default: 10)\n\
+                     \x20 --deny              exit 1 on regressions (default: warn only)\n\
+                     \x20 --all               show every metric, not just changed ones"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+struct FileDiff {
+    rows: Vec<Vec<String>>,
+    regressions: usize,
+    layout_drift: bool,
+    skipped: Option<String>,
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn fmt_val(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+fn diff_file(name: &str, args: &Args) -> FileDiff {
+    let mut out = FileDiff {
+        rows: Vec::new(),
+        regressions: 0,
+        layout_drift: false,
+        skipped: None,
+    };
+    let current_path = args.current_dir.join(name);
+    if !current_path.exists() {
+        out.skipped = Some(format!(
+            "no fresh report at {} (run the bench first)",
+            current_path.display()
+        ));
+        return out;
+    }
+    let (baseline, current) = match (load(&args.baseline_dir.join(name)), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            out.skipped = Some(e);
+            return out;
+        }
+    };
+
+    // Config drift: any string leaf that differs (or exists on one side
+    // only) means the two reports are not measuring the same thing.
+    let base_strs = baseline.string_leaves();
+    let cur_strs = current.string_leaves();
+    out.layout_drift = base_strs != cur_strs;
+
+    let base_nums = baseline.numeric_leaves();
+    let cur_nums = current.numeric_leaves();
+    for (path, base) in &base_nums {
+        let Some((_, cur)) = cur_nums.iter().find(|(p, _)| p == path) else {
+            out.rows.push(vec![
+                path.clone(),
+                fmt_val(*base),
+                "—".into(),
+                "gone".into(),
+                String::new(),
+            ]);
+            continue;
+        };
+        let delta_pct = if *base == 0.0 {
+            if *cur == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (cur - base) / base.abs() * 100.0
+        };
+        let dir = direction(path);
+        let regressed = match dir {
+            Direction::HigherIsWorse => delta_pct > args.threshold,
+            Direction::LowerIsWorse => delta_pct < -args.threshold,
+            Direction::Unjudged => false,
+        };
+        let changed = delta_pct.abs() > args.threshold;
+        if regressed && !out.layout_drift {
+            out.regressions += 1;
+        }
+        if args.all || changed {
+            let verdict = match (regressed, dir) {
+                (true, _) => "REGRESSED",
+                (false, Direction::Unjudged) if changed => "changed",
+                (false, _) if changed => "improved",
+                _ => "ok",
+            };
+            out.rows.push(vec![
+                path.clone(),
+                fmt_val(*base),
+                fmt_val(*cur),
+                format!("{delta_pct:+.1}%"),
+                verdict.to_string(),
+            ]);
+        }
+    }
+    for (path, cur) in &cur_nums {
+        if !base_nums.iter().any(|(p, _)| p == path) {
+            out.rows.push(vec![
+                path.clone(),
+                "—".into(),
+                fmt_val(*cur),
+                "new".into(),
+                String::new(),
+            ]);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut total_regressions = 0;
+    for name in REPORTS {
+        let diff = diff_file(name, &args);
+        println!("== {name} ==");
+        if let Some(why) = &diff.skipped {
+            println!("  skipped: {why}\n");
+            continue;
+        }
+        if diff.layout_drift {
+            println!(
+                "  note: report configuration differs from the baseline \
+                 (quick run vs full run?) — changes below are not counted \
+                 as regressions"
+            );
+        }
+        if diff.rows.is_empty() {
+            println!("  all metrics within ±{:.0}% of baseline", args.threshold);
+        } else {
+            let table = render_table(
+                &["metric", "baseline", "current", "delta", "verdict"],
+                &diff.rows,
+            );
+            for line in table.lines() {
+                println!("  {line}");
+            }
+        }
+        total_regressions += diff.regressions;
+        println!();
+    }
+
+    if total_regressions > 0 {
+        println!(
+            "bench_diff: {total_regressions} metric(s) regressed beyond \
+             ±{:.0}%",
+            args.threshold
+        );
+        if args.deny {
+            return ExitCode::FAILURE;
+        }
+        println!("(warn-only: not failing the build — pass --deny to enforce)");
+    } else {
+        println!("bench_diff: no regressions beyond ±{:.0}%", args.threshold);
+    }
+    ExitCode::SUCCESS
+}

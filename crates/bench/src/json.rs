@@ -1,0 +1,341 @@
+//! A minimal JSON reader for the benchmark reports.
+//!
+//! The bench binaries hand-roll their `BENCH_*.json` output (the workspace
+//! is offline — no serde), so the regression differ hand-rolls the reader:
+//! a recursive-descent parser over the full JSON grammar, returning an
+//! order-preserving tree. Errors are positioned, typed strings; nothing
+//! panics on malformed input.
+
+/// A parsed JSON value. Object member order is preserved (the reports are
+/// written with stable key order, and the differ's output follows it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as f64 (the reports only carry doubles).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Flatten every **numeric** leaf into `(dotted.path[index], value)`
+    /// pairs, in source order — the unit the differ compares.
+    pub fn numeric_leaves(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        self.walk("", &mut |path, v| {
+            if let Json::Num(x) = v {
+                out.push((path.to_string(), *x));
+            }
+        });
+        out
+    }
+
+    /// Flatten every **string** leaf the same way (the differ uses these to
+    /// detect when two reports describe different configurations).
+    pub fn string_leaves(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        self.walk("", &mut |path, v| {
+            if let Json::Str(s) = v {
+                out.push((path.to_string(), s.clone()));
+            }
+        });
+        out
+    }
+
+    fn walk(&self, path: &str, f: &mut impl FnMut(&str, &Json)) {
+        match self {
+            Json::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    item.walk(&format!("{path}[{i}]"), f);
+                }
+            }
+            Json::Obj(members) => {
+                for (key, value) in members {
+                    let sub = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    value.walk(&sub, f);
+                }
+            }
+            leaf => f(path, leaf),
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage refused).
+pub fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(v)
+}
+
+/// Recursion guard: the reports nest a handful of levels; anything deeper
+/// is malformed input, not data.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("json: {msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", char::from(b))))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(members)),
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|b| char::from(b).to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogates (paired or lone) are not data the
+                        // reports emit; map them to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-wise: the
+                    // source is a &str, so the bytes are valid UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    if b < 0x80 {
+                        out.push(char::from(b));
+                    } else {
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..end])
+                                .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                        );
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_bench_report_shape() {
+        let v = parse(
+            r#"{
+  "anchor_stride": 4,
+  "results": [
+    {"impl": "naive", "ns_per_window": 145.608, "ok": true},
+    {"impl": "rolling", "ns_per_window": 21.074, "ok": false}
+  ],
+  "note": null
+}"#,
+        )
+        .unwrap();
+        let nums = v.numeric_leaves();
+        assert_eq!(
+            nums,
+            vec![
+                ("anchor_stride".to_string(), 4.0),
+                ("results[0].ns_per_window".to_string(), 145.608),
+                ("results[1].ns_per_window".to_string(), 21.074),
+            ]
+        );
+        let strs = v.string_leaves();
+        assert_eq!(
+            strs[0],
+            ("results[0].impl".to_string(), "naive".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_numbers_strings_escapes() {
+        assert_eq!(parse("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(
+            parse(r#""a\"bAç""#).unwrap(),
+            Json::Str("a\"bAç".to_string())
+        );
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_typed_errors() {
+        for bad in [
+            "", "{", "[1,", "\"abc", "{\"a\":}", "1 2", "nul", "[1]extra",
+        ] {
+            assert!(parse(bad).is_err(), "should refuse {bad:?}");
+        }
+        // Deep nesting is an error, not a stack overflow.
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+    }
+}

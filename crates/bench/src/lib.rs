@@ -8,6 +8,8 @@
 //! (the GunPoint-like splits every experiment uses), the roster of Table 1
 //! algorithms, and plain-text table rendering.
 
+pub mod json;
+
 use etsc_core::UcrDataset;
 use etsc_datasets::gunpoint::{self, GunPointConfig};
 use etsc_early::ects::{Ects, EctsConfig};

@@ -12,7 +12,9 @@
 //! architecture — probabilistic, length-agnostic, trainable per snapshot —
 //! is what TEASER requires, and is preserved.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: feature bags feed snapshot bytes and prediction
+// vectors, and ordered iteration keeps both independent of hash state.
+use std::collections::BTreeMap;
 
 use etsc_core::window::sliding_windows;
 use etsc_core::UcrDataset;
@@ -60,7 +62,7 @@ type FeatureKey = (usize, u64);
 #[derive(Debug, Clone)]
 pub struct Weasel {
     sfas: Vec<(usize, Sfa)>, // (window size, quantizer)
-    feature_index: HashMap<FeatureKey, usize>,
+    feature_index: BTreeMap<FeatureKey, usize>,
     model: LogisticRegression,
     n_classes: usize,
     stride: usize,
@@ -94,8 +96,8 @@ impl Weasel {
 
         // 2. Bag each training series; accumulate per-class feature counts
         //    for the chi² filter.
-        let mut bags: Vec<HashMap<FeatureKey, f64>> = Vec::with_capacity(train.len());
-        let mut class_feature_counts: HashMap<FeatureKey, Vec<f64>> = HashMap::new();
+        let mut bags: Vec<BTreeMap<FeatureKey, f64>> = Vec::with_capacity(train.len());
+        let mut class_feature_counts: BTreeMap<FeatureKey, Vec<f64>> = BTreeMap::new();
         for (s, label) in train.iter() {
             let bag = Self::bag_of(&sfas, s, cfg.stride);
             for (&key, &count) in &bag {
@@ -141,7 +143,7 @@ impl Weasel {
         } else {
             cfg.top_features.min(scored.len())
         };
-        let feature_index: HashMap<FeatureKey, usize> = scored[..keep]
+        let feature_index: BTreeMap<FeatureKey, usize> = scored[..keep]
             .iter()
             .enumerate()
             .map(|(i, &(key, _))| (key, i))
@@ -167,8 +169,8 @@ impl Weasel {
     /// Bag-of-words histogram of one series under the fitted quantizers.
     /// Window sizes longer than the series are skipped, which is what makes
     /// WEASEL usable on prefixes.
-    fn bag_of(sfas: &[(usize, Sfa)], s: &[f64], stride: usize) -> HashMap<FeatureKey, f64> {
-        let mut bag = HashMap::new();
+    fn bag_of(sfas: &[(usize, Sfa)], s: &[f64], stride: usize) -> BTreeMap<FeatureKey, f64> {
+        let mut bag = BTreeMap::new();
         for (wi, (w, sfa)) in sfas.iter().enumerate() {
             if s.len() < *w {
                 continue;
@@ -182,7 +184,7 @@ impl Weasel {
 
     /// Dense feature vector: log(1 + count) of each retained feature, which
     /// tames the count scale differences between short and long inputs.
-    fn vectorize(bag: &HashMap<FeatureKey, f64>, index: &HashMap<FeatureKey, usize>) -> Vec<f64> {
+    fn vectorize(bag: &BTreeMap<FeatureKey, f64>, index: &BTreeMap<FeatureKey, usize>) -> Vec<f64> {
         let mut v = vec![0.0; index.len()];
         for (key, &count) in bag {
             if let Some(&i) = index.get(key) {
@@ -209,12 +211,10 @@ impl Persist for Weasel {
             enc.put_usize(*w);
             enc.section(|e| sfa.encode_body(e));
         }
-        // HashMap iteration order is arbitrary; serialize entries sorted by
-        // key so identical models produce identical snapshots.
-        let mut entries: Vec<(&FeatureKey, &usize)> = self.feature_index.iter().collect();
-        entries.sort();
-        enc.put_usize(entries.len());
-        for (&(wi, word), &idx) in entries {
+        // BTreeMap iterates in key order, so identical models produce
+        // identical snapshots with no explicit sort.
+        enc.put_usize(self.feature_index.len());
+        for (&(wi, word), &idx) in &self.feature_index {
             enc.put_usize(wi);
             enc.put_u64(word);
             enc.put_usize(idx);
@@ -238,7 +238,7 @@ impl Persist for Weasel {
             sfas.push((w, sfa));
         }
         let n_features = dec.get_usize("weasel feature count")?;
-        let mut feature_index = HashMap::with_capacity(n_features);
+        let mut feature_index = BTreeMap::new();
         for _ in 0..n_features {
             let wi = dec.get_usize("weasel feature window index")?;
             if wi >= n_sfas {

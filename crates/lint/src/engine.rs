@@ -1,0 +1,572 @@
+//! The rule engine: test-region masking, suppression comments, and the
+//! five token-pattern rules, applied per file according to path gates.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{rule_by_name, Rule, RULES};
+
+/// One finding: a banned pattern at a specific location, with the rule
+/// that banned it and what to do instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule name (`determinism`, `panic-freedom`, …) or `suppression` for
+    /// a malformed `lint: allow` comment.
+    pub rule: &'static str,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+/// A parsed `// lint: allow(rule, reason)` comment.
+struct Allow {
+    rule: &'static str,
+    /// Line the suppression applies to (the comment's own line for a
+    /// trailing comment, the next code line for a standalone one).
+    target_line: u32,
+    /// File-wide suppression (`lint: allow-file(...)`).
+    whole_file: bool,
+}
+
+/// Keywords that can legally precede `[` without forming an index
+/// expression (`let [a, b] = …`, `return [x]`, `match v { [..] => … }`).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// Integer primitive names for the cast-safety rule.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Lint one file's source. `rel_path` is the workspace-relative path used
+/// for rule gating (fixtures pass synthetic paths to opt into rules).
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let tokens = lex(source);
+    let in_test = test_region_mask(&tokens);
+    // Significant tokens: code outside comments and test regions. `sig[k]`
+    // indexes into `tokens`.
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment() && !in_test[i])
+        .collect();
+
+    let mut violations = Vec::new();
+    let allows = collect_allows(rel_path, &tokens, &sig, &mut violations);
+
+    let rules: Vec<&Rule> = RULES.iter().filter(|r| (r.applies)(rel_path)).collect();
+    for rule in rules {
+        (rule.check)(&tokens, &sig, &mut |line, message| {
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line,
+                rule: rule.name,
+                message,
+            });
+        });
+    }
+
+    violations.retain(|v| {
+        v.rule == "suppression"
+            || !allows
+                .iter()
+                .any(|a| a.rule == v.rule && (a.whole_file || a.target_line == v.line))
+    });
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations
+}
+
+/// Mark every token inside a `#[cfg(test)]` or `#[test]` item. The lint
+/// gates *runtime* invariants; test code may unwrap and index freely.
+fn test_region_mask(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = match_test_attribute(tokens, i) {
+            // Skip any further attributes, then mask through the item body
+            // (to the matching `}`) or declaration (to the `;`).
+            let mut j = attr_end;
+            while j < tokens.len() && tokens[j].is_punct("#") {
+                j = skip_attribute(tokens, j);
+            }
+            let mut depth = 0usize;
+            let mut k = j;
+            while k < tokens.len() {
+                if tokens[k].is_punct("{") {
+                    depth += 1;
+                } else if tokens[k].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tokens[k].is_punct(";") && depth == 0 {
+                    break;
+                }
+                k += 1;
+            }
+            for m in mask.iter_mut().take((k + 1).min(tokens.len())).skip(i) {
+                *m = true;
+            }
+            i = k + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `tokens[i..]` begins a `#[cfg(test)]` or `#[test]` attribute, return
+/// the index one past its closing `]`.
+fn match_test_attribute(tokens: &[Token<'_>], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.is_punct("#") || !tokens.get(i + 1)?.is_punct("[") {
+        return None;
+    }
+    let is_test = tokens.get(i + 2)?.is_ident("test") && tokens.get(i + 3)?.is_punct("]");
+    let is_cfg_test = tokens.get(i + 2)?.is_ident("cfg")
+        && tokens.get(i + 3)?.is_punct("(")
+        && tokens.get(i + 4)?.is_ident("test")
+        && tokens.get(i + 5)?.is_punct(")")
+        && tokens.get(i + 6)?.is_punct("]");
+    if is_test {
+        Some(i + 4)
+    } else if is_cfg_test {
+        Some(i + 7)
+    } else {
+        None
+    }
+}
+
+/// Skip an attribute starting at `#`, returning the index past its `]`.
+fn skip_attribute(tokens: &[Token<'_>], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parse every `lint: allow` comment. A suppression without a reason, with
+/// an unknown rule name, or with bad syntax is itself a violation — the
+/// whole point is that every exemption carries a reviewable justification.
+fn collect_allows(
+    rel_path: &str,
+    tokens: &[Token<'_>],
+    sig: &[usize],
+    violations: &mut Vec<Violation>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        let text = tok
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (whole_file, body) = if let Some(b) = rest.strip_prefix("allow-file") {
+            (true, b)
+        } else if let Some(b) = rest.strip_prefix("allow") {
+            (false, b)
+        } else {
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line: tok.line,
+                rule: "suppression",
+                message: format!("unrecognized lint directive `lint:{rest}`"),
+            });
+            continue;
+        };
+        let mut fail = |message: String| {
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line: tok.line,
+                rule: "suppression",
+                message,
+            });
+        };
+        let Some(inner) = body
+            .trim()
+            .strip_prefix('(')
+            .and_then(|b| b.rfind(')').map(|end| &b[..end]))
+        else {
+            fail("malformed suppression: expected `lint: allow(<rule>, <reason>)`".to_string());
+            continue;
+        };
+        let (rule_name, reason) = match inner.split_once(',') {
+            Some((r, reason)) => (r.trim(), reason.trim()),
+            None => (inner.trim(), ""),
+        };
+        let Some(rule) = rule_by_name(rule_name) else {
+            fail(format!(
+                "suppression names unknown rule `{rule_name}` (rules: {})",
+                RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+            ));
+            continue;
+        };
+        if reason.is_empty() {
+            fail(format!(
+                "suppression of `{rule_name}` has no reason — `lint: allow({rule_name}, <why this is safe>)`"
+            ));
+            continue;
+        }
+        // Trailing comment → suppress this line. Standalone comment →
+        // suppress the next line holding significant code.
+        let trailing = tokens[..i]
+            .iter()
+            .any(|t| t.line == tok.line && !t.is_comment());
+        let target_line = if trailing {
+            tok.line
+        } else {
+            sig.iter()
+                .map(|&k| tokens[k].line)
+                .find(|&l| l > tok.line)
+                .unwrap_or(tok.line)
+        };
+        allows.push(Allow {
+            rule: rule.name,
+            target_line,
+            whole_file,
+        });
+    }
+    allows
+}
+
+type Emit<'e> = dyn FnMut(u32, String) + 'e;
+
+/// `determinism`: ambient clocks and entropy-seeded RNG construction are
+/// banned — alarm sequences must be a pure function of input and seeds.
+pub(crate) fn check_determinism(tokens: &[Token<'_>], sig: &[usize], emit: &mut Emit<'_>) {
+    for (k, &i) in sig.iter().enumerate() {
+        let t = &tokens[i];
+        if t.is_ident("Instant")
+            && matches!(sig.get(k + 1), Some(&a) if tokens[a].is_punct(":"))
+            && matches!(sig.get(k + 2), Some(&b) if tokens[b].is_punct(":"))
+            && matches!(sig.get(k + 3), Some(&c) if tokens[c].is_ident("now"))
+        {
+            emit(
+                t.line,
+                "ambient clock: `Instant::now()` in a deterministic path — thread time in \
+                 explicitly, or justify with `lint: allow(determinism, …)`"
+                    .to_string(),
+            );
+        } else if t.is_ident("SystemTime") {
+            emit(
+                t.line,
+                "ambient clock: `SystemTime` in a deterministic path".to_string(),
+            );
+        } else if t.kind == TokenKind::Ident
+            && matches!(t.text, "thread_rng" | "from_entropy" | "OsRng")
+        {
+            emit(
+                t.line,
+                format!(
+                    "entropy-seeded RNG: `{}` — construct RNGs from an explicit seed \
+                     (`StdRng::seed_from_u64`) so runs replay bit-identically",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `ordered-iteration`: `HashMap`/`HashSet` iteration order is arbitrary;
+/// in modules whose iteration reaches bytes or alarm order, require the
+/// BTree equivalents (or a justification).
+pub(crate) fn check_ordered_iteration(tokens: &[Token<'_>], sig: &[usize], emit: &mut Emit<'_>) {
+    for &i in sig {
+        let t = &tokens[i];
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            let btree = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            emit(
+                t.line,
+                format!(
+                    "`{}` in an order-sensitive module: iteration order is arbitrary and can \
+                     reach serialized bytes or alarm order — use `{btree}`, or justify with \
+                     `lint: allow(ordered-iteration, …)`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `panic-freedom`: `unwrap`/`expect`, panicking macros, and direct
+/// index/slice expressions are banned in serving/wire/persist runtime code.
+pub(crate) fn check_panic_freedom(tokens: &[Token<'_>], sig: &[usize], emit: &mut Emit<'_>) {
+    for (k, &i) in sig.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident && matches!(t.text, "unwrap" | "expect") {
+            let after_dot = k > 0 && tokens[sig[k - 1]].is_punct(".");
+            if after_dot {
+                emit(
+                    t.line,
+                    format!(
+                        "`.{}()` in runtime code — surface a typed error instead, or justify \
+                         with `lint: allow(panic-freedom, …)`",
+                        t.text
+                    ),
+                );
+            }
+        } else if t.kind == TokenKind::Ident
+            && matches!(t.text, "panic" | "unreachable" | "todo" | "unimplemented")
+            && matches!(sig.get(k + 1), Some(&a) if tokens[a].is_punct("!"))
+        {
+            emit(
+                t.line,
+                format!(
+                    "`{}!` in runtime code — return a typed error instead",
+                    t.text
+                ),
+            );
+        } else if t.is_punct("[") && k > 0 {
+            let prev = &tokens[sig[k - 1]];
+            let indexes = match prev.kind {
+                TokenKind::Ident => !KEYWORDS.contains(&prev.text),
+                TokenKind::Punct => prev.text == "]" || prev.text == ")" || prev.text == "?",
+                _ => false,
+            };
+            if indexes {
+                emit(
+                    t.line,
+                    "direct index/slice expression in runtime code — prefer `.get(…)`, \
+                     `split_at`-style structure, or iterator patterns; if the bound is \
+                     provable, justify with `lint: allow(panic-freedom, …)`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// `cast-safety`: in the persist codec and the wire codec, a bare `as`
+/// between integer types can silently truncate a length or a discriminant
+/// — require `try_from`/`From` with a typed error, or a justification.
+pub(crate) fn check_cast_safety(tokens: &[Token<'_>], sig: &[usize], emit: &mut Emit<'_>) {
+    for (k, &i) in sig.iter().enumerate() {
+        let t = &tokens[i];
+        if t.is_ident("as") {
+            if let Some(&n) = sig.get(k + 1) {
+                let target = &tokens[n];
+                if target.kind == TokenKind::Ident && INT_TYPES.contains(&target.text) {
+                    emit(
+                        t.line,
+                        format!(
+                            "bare `as {}` cast in codec code can silently truncate — use \
+                             `try_from` with a typed error (or `From` where lossless), or \
+                             justify with `lint: allow(cast-safety, …)`",
+                            target.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `lock-hygiene`: a second `let`-bound lock guard while another is live in
+/// the same scope chain is a lock-ordering hazard — flag it.
+pub(crate) fn check_lock_hygiene(tokens: &[Token<'_>], sig: &[usize], emit: &mut Emit<'_>) {
+    struct Guard {
+        name: String,
+        depth: usize,
+        line: u32,
+    }
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut k = 0usize;
+    while k < sig.len() {
+        let t = &tokens[sig[k]];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_ident("drop")
+            && matches!(sig.get(k + 1), Some(&a) if tokens[a].is_punct("("))
+        {
+            if let Some(&n) = sig.get(k + 2) {
+                let name = tokens[n].text;
+                guards.retain(|g| g.name != name);
+            }
+        } else if t.is_ident("let") {
+            // Bound name: `let [mut] name = …`. Destructuring patterns are
+            // skipped (a guard bound through one is out of scope here).
+            let mut j = k + 1;
+            if matches!(sig.get(j), Some(&a) if tokens[a].is_ident("mut")) {
+                j += 1;
+            }
+            let name = match sig.get(j) {
+                Some(&a) if tokens[a].kind == TokenKind::Ident => tokens[a].text.to_string(),
+                _ => String::new(),
+            };
+            // Scan the initializer for a *direct* (un-nested) `.lock(`
+            // chain. Stop at the statement `;`, or at a `{` at top nesting:
+            // block initializers and `if let`/`let-else` bodies are walked
+            // by the outer loop, so their braces and inner `let`s are
+            // tracked at their real depth. A `.lock(` nested inside a call
+            // argument is a temporary guard (dropped at the `;`), not a
+            // binding. Crucially this scan is a lookahead only — `k`
+            // advances one token at a time, so the outer loop still sees
+            // every brace.
+            let mut nest = 0usize;
+            let mut m = j;
+            let mut locks_here: Option<u32> = None;
+            while let Some(&a) = sig.get(m) {
+                let u = &tokens[a];
+                if u.is_punct("{") && nest == 0 {
+                    break;
+                }
+                if u.is_punct("(") || u.is_punct("{") || u.is_punct("[") {
+                    nest += 1;
+                } else if u.is_punct(")") || u.is_punct("}") || u.is_punct("]") {
+                    nest = nest.saturating_sub(1);
+                } else if u.is_punct(";") && nest == 0 {
+                    break;
+                } else if nest == 0
+                    && u.is_punct(".")
+                    && matches!(sig.get(m + 1), Some(&b) if tokens[b].is_ident("lock"))
+                    && matches!(sig.get(m + 2), Some(&c) if tokens[c].is_punct("("))
+                {
+                    locks_here.get_or_insert(u.line);
+                }
+                m += 1;
+            }
+            if let Some(line) = locks_here {
+                if let Some(live) = guards.iter().find(|g| g.depth <= depth) {
+                    emit(
+                        line,
+                        format!(
+                            "second lock guard acquired while `{}` (line {}) is still live in \
+                             this scope — a second mutex in hand is a deadlock-ordering \
+                             hazard; drop the first guard or justify with \
+                             `lint: allow(lock-hygiene, …)`",
+                            live.name, live.line
+                        ),
+                    );
+                }
+                if !name.is_empty() {
+                    guards.push(Guard { name, depth, line });
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_as(path: &str, src: &str) -> Vec<Violation> {
+        lint_source(path, src)
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = r#"
+            fn runtime() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+                #[test]
+                fn t() { z.unwrap(); }
+            }
+        "#;
+        let v = lint_as("crates/serve/src/runtime.rs", src);
+        let unwraps: Vec<_> = v.iter().filter(|v| v.message.contains("unwrap")).collect();
+        assert_eq!(unwraps.len(), 1, "{v:?}");
+        assert_eq!(unwraps[0].line, 2);
+    }
+
+    #[test]
+    fn standalone_test_attribute_is_exempt() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn r() { y.unwrap(); }\n";
+        let v = lint_as("crates/serve/src/runtime.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn trailing_allow_with_reason_suppresses_that_line_only() {
+        let src = "fn f() {\n  a.unwrap(); // lint: allow(panic-freedom, poisoning is unrecoverable here)\n  b.unwrap();\n}\n";
+        let v = lint_as("crates/net/src/node.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_next_code_line() {
+        let src = "fn f() {\n  // lint: allow(panic-freedom, bound is checked two lines up)\n  let x = xs[0];\n  let y = ys[0];\n}\n";
+        let v = lint_as("crates/net/src/node.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn allow_without_reason_is_itself_a_violation() {
+        let src = "fn f() {\n  a.unwrap(); // lint: allow(panic-freedom)\n}\n";
+        let v = lint_as("crates/net/src/node.rs", src);
+        assert!(v.iter().any(|v| v.rule == "suppression"), "{v:?}");
+        // And the unwrap is NOT suppressed.
+        assert!(v.iter().any(|v| v.rule == "panic-freedom"), "{v:?}");
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_violation() {
+        let src = "// lint: allow(made-up-rule, because)\nfn f() {}\n";
+        let v = lint_as("crates/net/src/node.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "suppression");
+        assert!(v[0].message.contains("made-up-rule"));
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let src = "// lint: allow-file(panic-freedom, scripted fault state is test-only plumbing)\nfn f() { a.unwrap(); }\nfn g() { b.unwrap(); }\n";
+        let v = lint_as("crates/net/src/node.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn let_array_pattern_is_not_an_index_expression() {
+        let src = "fn f(h: [u8; 4]) { let [a, b, c, d] = h; let _ = (a, b, c, d); }\n";
+        let v = lint_as("crates/net/src/wire.rs", src);
+        assert!(v.iter().all(|v| !v.message.contains("index")), "{v:?}");
+    }
+
+    #[test]
+    fn double_lock_in_scope_is_flagged_and_drop_clears_it() {
+        let bad = "fn f() { let a = m1.lock(); let b = m2.lock(); }";
+        let v = lint_as("crates/core/src/x.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-hygiene");
+
+        let good = "fn f() { let a = m1.lock(); drop(a); let b = m2.lock(); }";
+        assert!(lint_as("crates/core/src/x.rs", good).is_empty());
+
+        // Guards in sibling scopes never overlap.
+        let sibling = "fn f() { { let a = m1.lock(); } { let b = m2.lock(); } }";
+        assert!(lint_as("crates/core/src/x.rs", sibling).is_empty());
+    }
+}

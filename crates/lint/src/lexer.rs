@@ -1,0 +1,387 @@
+//! A minimal Rust lexer — just enough token structure for the lint rules.
+//!
+//! The rules need to distinguish *code* from *text*: `unwrap` inside a
+//! string literal or a doc comment must never fire the panic-freedom rule,
+//! and a `// lint: allow(...)` suppression must be recognized as a comment,
+//! not as tokens. So the lexer understands exactly the lexical shapes that
+//! can hide rule patterns — line and (nested) block comments, string /
+//! raw-string / byte-string / char literals, lifetimes, numbers — and
+//! degrades everything else to single-character punctuation. It does not
+//! parse: the rules are token-pattern matchers, not AST visitors.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `let`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`). Distinguished from char literals.
+    Lifetime,
+    /// Numeric literal, including suffixes (`0u8`, `1.5e-3`).
+    Number,
+    /// String-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting respected.
+    BlockComment,
+    /// Any other single character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One lexed token: its class, exact source text, and 1-based line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The token's exact text, borrowed from the source.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True if this token is trivia (a comment) rather than code.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length in bytes of the UTF-8 character starting at `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consume a `"`-delimited string body (opening quote already consumed),
+    /// honoring backslash escapes.
+    fn scan_quoted(&mut self, quote: u8) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump_n(2);
+            } else if b == quote {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consume a raw-string body starting at the `#`s or `"` after `r`/`br`.
+    /// Returns false if this is not actually a raw string (e.g. `r#ident`).
+    fn scan_raw_string(&mut self) -> bool {
+        let mut hashes = 0;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        self.bump_n(hashes + 1);
+        // Body ends at `"` followed by `hashes` hashes.
+        while let Some(b) = self.peek(0) {
+            if b == b'"' && (0..hashes).all(|i| self.peek(1 + i) == Some(b'#')) {
+                self.bump_n(1 + hashes);
+                return true;
+            }
+            self.bump();
+        }
+        true
+    }
+
+    fn scan_number(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // Exponent sign: `1e-5` / `1E+5`.
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && matches!(self.peek(2), Some(d) if d.is_ascii_digit())
+                {
+                    self.bump_n(2);
+                    continue;
+                }
+                self.bump();
+            } else if b == b'.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` is a range, stop.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Tokenize `src`. Never panics: unterminated literals and comments simply
+/// run to end of input (the lint reads real files, but fixtures and hostile
+/// inputs must not crash it).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let start = lx.pos;
+        let line = lx.line;
+        let kind = match c {
+            b'/' if lx.peek(1) == Some(b'/') => {
+                while lx.peek(0).is_some_and(|b| b != b'\n') {
+                    lx.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(_), _) => lx.bump(),
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lx.bump();
+                lx.scan_quoted(b'"');
+                TokenKind::Str
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'\…'` and `'<any>'` are chars;
+                // `'ident` not closed by `'` is a lifetime.
+                if lx.peek(1) == Some(b'\\') {
+                    lx.bump();
+                    lx.scan_quoted(b'\'');
+                    TokenKind::Char
+                } else if lx.peek(1).is_some_and(is_ident_start) {
+                    let mut end = 2;
+                    while lx.peek(end).is_some_and(is_ident_continue) {
+                        end += 1;
+                    }
+                    if lx.peek(end) == Some(b'\'') {
+                        lx.bump_n(end + 1);
+                        TokenKind::Char
+                    } else {
+                        lx.bump_n(end);
+                        TokenKind::Lifetime
+                    }
+                } else if lx.peek(2) == Some(b'\'') {
+                    lx.bump_n(utf8_len(lx.peek(1).unwrap_or(b' ')) + 2);
+                    TokenKind::Char
+                } else {
+                    lx.bump();
+                    TokenKind::Punct
+                }
+            }
+            b'r' if matches!(lx.peek(1), Some(b'"') | Some(b'#')) => {
+                lx.bump();
+                if lx.scan_raw_string() {
+                    TokenKind::Str
+                } else {
+                    // `r#ident` raw identifier: consume `#` and the name.
+                    lx.bump();
+                    while lx.peek(0).is_some_and(is_ident_continue) {
+                        lx.bump();
+                    }
+                    TokenKind::Ident
+                }
+            }
+            b'b' if lx.peek(1) == Some(b'"') => {
+                lx.bump_n(2);
+                lx.scan_quoted(b'"');
+                TokenKind::Str
+            }
+            b'b' if lx.peek(1) == Some(b'\'') => {
+                lx.bump_n(2);
+                lx.scan_quoted(b'\'');
+                TokenKind::Char
+            }
+            b'b' if lx.peek(1) == Some(b'r') && matches!(lx.peek(2), Some(b'"') | Some(b'#')) => {
+                lx.bump_n(2);
+                lx.scan_raw_string();
+                TokenKind::Str
+            }
+            c if is_ident_start(c) => {
+                while lx.peek(0).is_some_and(is_ident_continue) {
+                    lx.bump();
+                }
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lx.scan_number();
+                TokenKind::Number
+            }
+            c => {
+                lx.bump_n(utf8_len(c));
+                TokenKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            text: &lx.src[start..lx.pos],
+            line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_rule_patterns() {
+        let toks = kinds(r#"let s = "x.unwrap()"; y.unwrap();"#);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes_round_trip() {
+        let toks = kinds(r##"r#"unwrap() "quoted" HashMap"# + b"bytes" + br#"raw"#"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs.len(), 3, "{toks:?}");
+        assert!(strs[0].contains("unwrap"));
+    }
+
+    #[test]
+    fn comments_are_trivia_with_text() {
+        let toks = lex("code(); // lint: allow(x, y)\n/* block\nunwrap */ more");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::LineComment && t.text.contains("lint: allow")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::BlockComment && t.text.contains("unwrap")));
+        // The `unwrap` inside the block comment is not an Ident token.
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* a /* b */ c */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[1].is_ident("ident"));
+    }
+
+    #[test]
+    fn numbers_swallow_suffixes_and_exponents_but_not_ranges() {
+        let toks = kinds("0u8 1.5e-3 0xFF 1..4");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0u8", "1.5e-3", "0xFF", "1", "4"]);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let toks = lex("a\n\nb /* c\nd */ e");
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(3));
+        assert_eq!(find("e"), Some(4));
+    }
+
+    #[test]
+    fn hostile_unterminated_input_does_not_panic() {
+        for src in ["\"unterminated", "r#\"raw", "/* open", "'", "b'", "1e+"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # etsc-lint
+//!
+//! A zero-dependency static-analysis gate for the invariants this
+//! workspace's correctness story rests on. The property suites check
+//! *outcomes* (alarm sequences invariant under threads/shards/faults,
+//! snapshots bit-stable); this tool bans the *causes* that would break
+//! them, mechanically, in CI:
+//!
+//! ```text
+//! cargo run -p etsc-lint -- --deny-all
+//! ```
+//!
+//! ## Rules
+//!
+//! | rule | bans | protects |
+//! |------|------|----------|
+//! | `determinism` | `Instant::now` / `SystemTime` / entropy-seeded RNGs (`thread_rng`, `from_entropy`, `OsRng`) outside `net::client` deadlines, `net::supervisor` heartbeats, and `crates/bench` | bit-identical alarm sequences under any thread/shard/fault-seed configuration |
+//! | `ordered-iteration` | `HashMap`/`HashSet` in `persist`/`serve`/`net`/`stream`/`classifiers` | byte-stable snapshots and deterministic drain order — hash iteration order must never reach bytes or alarms |
+//! | `panic-freedom` | `.unwrap()`/`.expect()`, `panic!`-family macros, direct index/slice expressions in `serve`/`net`/`persist` runtime code | a malformed input or lost invariant surfaces as a typed error, never a torn-down node |
+//! | `cast-safety` | bare integer `as` casts in `persist/src/lib.rs` and `net/src/wire.rs` | the frozen codecs never silently truncate a length or discriminant |
+//! | `lock-hygiene` | a second live `let`-bound lock guard in one scope chain | lock-ordering deadlocks stay structurally impossible |
+//!
+//! Test code is exempt: `#[cfg(test)]` / `#[test]` items, `tests/`,
+//! `benches/`, `examples/`, and `crates/shims/` are skipped — the gates
+//! protect *runtime* behavior, and tests asserting panics are fine.
+//!
+//! ## Suppressions
+//!
+//! Every exemption carries a reviewable justification, inline:
+//!
+//! ```text
+//! // lint: allow(panic-freedom, mutex poisoning is unrecoverable; propagating poison helps nobody)
+//! let s = self.0.lock().unwrap();
+//! ```
+//!
+//! A trailing comment suppresses its own line; a standalone comment
+//! suppresses the next code line; `lint: allow-file(rule, reason)`
+//! suppresses a whole file. The reason is **mandatory** — an allow with no
+//! reason, bad syntax, or an unknown rule name is itself a violation
+//! (rule `suppression`), so suppressions cannot rot silently.
+//!
+//! ## Design
+//!
+//! The tool lexes rather than greps: a minimal Rust lexer
+//! ([`lexer`]) distinguishes comments, strings (raw/byte included),
+//! lifetimes, and code, so `"unwrap"` in a string literal or a doc comment
+//! never fires a rule, and rules match real token patterns
+//! (`Ident(Instant) :: Ident(now)`, `Punct(.) Ident(unwrap)`). It does not
+//! parse: rules are token-pattern matchers with just enough structure
+//! (brace depth, attribute spans, statement extent) to be precise about
+//! the patterns they ban. False positives are handled the same way real
+//! violations are: fix the code or justify the exemption.
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use engine::{lint_source, Violation};
+pub use rules::{rule_by_name, Rule, RULES};
+pub use workspace::{find_workspace_root, lint_workspace, workspace_files};

@@ -1,0 +1,114 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! etsc-lint [--deny-all] [--json] [--rule <name>]… [--root <path>] [--list-rules]
+//! ```
+//!
+//! Exit code: 0 when clean (or advisory mode), 1 when `--deny-all` and any
+//! violation stands, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use etsc_lint::{find_workspace_root, lint_workspace, report, RULES};
+
+struct Args {
+    deny_all: bool,
+    json: bool,
+    rules: Vec<String>,
+    root: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny_all: false,
+        json: false,
+        rules: Vec::new(),
+        root: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => args.deny_all = true,
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--rule" => {
+                let name = it.next().ok_or("--rule needs a rule name")?;
+                if !RULES.iter().any(|r| r.name == name) {
+                    return Err(format!(
+                        "unknown rule `{name}` (rules: {})",
+                        RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+                    ));
+                }
+                args.rules.push(name);
+            }
+            "--root" => args.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: etsc-lint [--deny-all] [--json] [--rule <name>]… [--root <path>] \
+                     [--list-rules]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in RULES {
+            println!(
+                "{}\n  bans:      {}\n  protects:  {}",
+                rule.name, rule.summary, rule.invariant
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("etsc-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (files_scanned, mut violations) = match lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("etsc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.rules.is_empty() {
+        violations.retain(|v| args.rules.iter().any(|r| r == v.rule) || v.rule == "suppression");
+    }
+
+    if args.json {
+        print!("{}", report::render_json(&violations, files_scanned));
+    } else {
+        print!("{}", report::render_table(&violations, files_scanned));
+    }
+
+    if args.deny_all && !violations.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,104 @@
+//! Output rendering: the human table and `--json` machine output.
+
+use crate::engine::Violation;
+
+/// Render violations as an aligned human-readable table.
+pub fn render_table(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::new();
+    if violations.is_empty() {
+        out.push_str(&format!(
+            "etsc-lint: {files_scanned} files scanned, 0 violations\n"
+        ));
+        return out;
+    }
+    let locs: Vec<String> = violations
+        .iter()
+        .map(|v| format!("{}:{}", v.file, v.line))
+        .collect();
+    let loc_w = locs.iter().map(|l| l.len()).max().unwrap_or(0);
+    let rule_w = violations.iter().map(|v| v.rule.len()).max().unwrap_or(0);
+    for (v, loc) in violations.iter().zip(&locs) {
+        out.push_str(&format!(
+            "{loc:<loc_w$}  {rule:<rule_w$}  {msg}\n",
+            rule = v.rule,
+            msg = v.message
+        ));
+    }
+    out.push_str(&format!(
+        "\netsc-lint: {files_scanned} files scanned, {} violation(s)\n",
+        violations.len()
+    ));
+    out
+}
+
+/// Render violations as a JSON array (hand-rolled: the workspace is
+/// offline, no serde).
+pub fn render_json(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&v.file),
+            v.line,
+            escape(v.rule),
+            escape(&v.message)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Violation> {
+        vec![Violation {
+            file: "crates/net/src/wire.rs".to_string(),
+            line: 92,
+            rule: "cast-safety",
+            message: "bare `as u32` cast \"quoted\"".to_string(),
+        }]
+    }
+
+    #[test]
+    fn table_lists_location_rule_message() {
+        let t = render_table(&sample(), 3);
+        assert!(t.contains("crates/net/src/wire.rs:92"));
+        assert!(t.contains("cast-safety"));
+        assert!(t.contains("1 violation"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_reports_counts() {
+        let j = render_json(&sample(), 3);
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"line\": 92"));
+        // Empty case is valid JSON too.
+        assert!(render_json(&[], 0).contains("\"violations\": []"));
+    }
+}

@@ -1,0 +1,128 @@
+//! The rule registry: name, invariant, path gate, and checker for each of
+//! the five rules.
+//!
+//! Gating is by workspace-relative path. Two kinds of gate exist:
+//!
+//! * **scoped bans** (`ordered-iteration`, `panic-freedom`, `cast-safety`)
+//!   fire only inside the modules whose invariants they protect;
+//! * **workspace bans** (`determinism`, `lock-hygiene`) fire everywhere
+//!   except an explicit allowlist of modules whose *job* is the banned
+//!   thing (wall-clock deadlines in `net::client`, heartbeat pacing in
+//!   `net::supervisor`, timing in `crates/bench`).
+
+use crate::engine::{
+    check_cast_safety, check_determinism, check_lock_hygiene, check_ordered_iteration,
+    check_panic_freedom,
+};
+use crate::lexer::Token;
+
+/// A checker: walks the significant tokens of one file (with the byte
+/// offset of each line start) and calls `emit(line, message)` per finding.
+pub type Checker = fn(&[Token<'_>], &[usize], &mut dyn FnMut(u32, String));
+
+/// A lint rule: identity, documentation, gate, and checker.
+pub struct Rule {
+    /// Stable name, used in output and in `lint: allow(<name>, …)`.
+    pub name: &'static str,
+    /// One-line description of what the rule bans.
+    pub summary: &'static str,
+    /// The workspace invariant the rule protects.
+    pub invariant: &'static str,
+    /// Whether the rule runs on this workspace-relative path.
+    pub applies: fn(&str) -> bool,
+    /// Token-level checker; calls `emit(line, message)` per finding.
+    pub check: Checker,
+}
+
+/// Modules whose iteration order reaches serialized bytes or alarm order.
+fn ordered_iteration_gate(path: &str) -> bool {
+    [
+        "crates/persist/src/",
+        "crates/serve/src/",
+        "crates/net/src/",
+        "crates/stream/src/",
+        "crates/classifiers/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+/// Runtime crates that must never panic while serving traffic.
+fn panic_freedom_gate(path: &str) -> bool {
+    [
+        "crates/serve/src/",
+        "crates/net/src/",
+        "crates/persist/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+/// The two codecs whose byte layouts are frozen.
+fn cast_safety_gate(path: &str) -> bool {
+    path == "crates/persist/src/lib.rs" || path == "crates/net/src/wire.rs"
+}
+
+/// Everywhere except modules whose job is wall-clock time or timing.
+fn determinism_gate(path: &str) -> bool {
+    ![
+        "crates/bench/",
+        "crates/net/src/client.rs",
+        "crates/net/src/supervisor.rs",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+fn everywhere(_path: &str) -> bool {
+    true
+}
+
+/// Every rule the tool knows, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "determinism",
+        summary: "bans ambient clocks (`Instant::now`, `SystemTime`) and entropy-seeded RNGs",
+        invariant: "alarm sequences are bit-identical under any thread/shard/fault-seed \
+                    configuration, so no deterministic path may read wall-clock time or OS entropy",
+        applies: determinism_gate,
+        check: check_determinism,
+    },
+    Rule {
+        name: "ordered-iteration",
+        summary: "bans `HashMap`/`HashSet` where iteration order reaches bytes or alarm order",
+        invariant: "persist snapshots and wire payloads are byte-stable, and drain order is \
+                    deterministic — arbitrary hash iteration order would leak into both",
+        applies: ordered_iteration_gate,
+        check: check_ordered_iteration,
+    },
+    Rule {
+        name: "panic-freedom",
+        summary: "bans `unwrap`/`expect`, panicking macros, and direct indexing in runtime code",
+        invariant: "serve/net/persist runtime code surfaces every failure as a typed error; a \
+                    panic mid-request tears down a node instead of returning `WireError`",
+        applies: panic_freedom_gate,
+        check: check_panic_freedom,
+    },
+    Rule {
+        name: "cast-safety",
+        summary: "bans bare integer `as` casts in the persist and wire codecs",
+        invariant: "the frozen byte formats never silently truncate a length or discriminant — \
+                    narrowing must go through `try_from` with a typed error",
+        applies: cast_safety_gate,
+        check: check_cast_safety,
+    },
+    Rule {
+        name: "lock-hygiene",
+        summary: "flags a second live lock guard in one scope chain",
+        invariant: "no code path ever holds two mutexes at once, so lock-ordering deadlocks are \
+                    structurally impossible",
+        applies: everywhere,
+        check: check_lock_hygiene,
+    },
+];
+
+/// Look up a rule by its stable name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}

@@ -1,0 +1,114 @@
+//! Workspace file discovery and whole-workspace runs.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::engine::{lint_source, Violation};
+
+/// Directories under the workspace root that hold lintable runtime code.
+/// `crates/shims/` (offline stand-ins for registry crates), `tests/`,
+/// `benches/`, and `examples/` are out of scope by construction.
+const ROOTS: &[&str] = &["src", "crates"];
+
+/// True if `rel` (forward-slash, workspace-relative) should be linted.
+pub fn is_lintable(rel: &str) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    if rel.starts_with("crates/shims/") {
+        return false;
+    }
+    // Integration tests, benches, and fixture corpora are not runtime code.
+    !rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures")
+}
+
+/// Collect every lintable `.rs` file under `root`, as sorted
+/// workspace-relative forward-slash paths.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect(root, &path, out)?;
+        } else if let Some(rel) = relative(root, &path) {
+            if is_lintable(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    Some(s)
+}
+
+/// Lint every file of the workspace at `root`. Returns `(files scanned,
+/// violations)`.
+pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<Violation>)> {
+    let files = workspace_files(root)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        violations.extend(lint_source(rel, &source));
+    }
+    Ok((files.len(), violations))
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_excludes_shims_tests_benches_fixtures() {
+        assert!(is_lintable("crates/serve/src/runtime.rs"));
+        assert!(is_lintable("src/lib.rs"));
+        assert!(!is_lintable("crates/shims/rand/src/lib.rs"));
+        assert!(!is_lintable("crates/net/tests/failover.rs"));
+        assert!(!is_lintable("crates/bench/benches/kernels.rs"));
+        assert!(!is_lintable(
+            "crates/lint/tests/fixtures/determinism/violations.rs"
+        ));
+        assert!(!is_lintable("crates/serve/src/runtime.txt"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Fixture-corpus tests: every rule has true-positive and true-negative
+//! cases, linted under synthetic workspace-relative paths so the path
+//! gates are exercised exactly as a real run would.
+
+use std::fs;
+use std::path::Path;
+
+use etsc_lint::lint_source;
+
+/// Load a fixture file from `tests/fixtures/`.
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint `fixture_rel` as if it lived at workspace path `as_path`; return
+/// the rule names of every violation, in order.
+fn rules(fixture_rel: &str, as_path: &str) -> Vec<&'static str> {
+    lint_source(as_path, &fixture(fixture_rel))
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+fn count(haystack: &[&str], rule: &str) -> usize {
+    haystack.iter().filter(|r| **r == rule).count()
+}
+
+#[test]
+fn determinism_flags_clocks_and_entropy() {
+    let got = rules("determinism/violations.rs", "crates/stream/src/monitor.rs");
+    assert_eq!(count(&got, "determinism"), 3, "got {got:?}");
+}
+
+#[test]
+fn determinism_accepts_seeds_and_justified_deadlines() {
+    let got = rules("determinism/clean.rs", "crates/stream/src/monitor.rs");
+    assert!(got.is_empty(), "got {got:?}");
+}
+
+#[test]
+fn determinism_allowlists_bench_and_client_deadlines() {
+    // The same clock-heavy source is fine where wall time is the point.
+    for path in ["crates/bench/src/main.rs", "crates/net/src/client.rs"] {
+        let got = rules("determinism/violations.rs", path);
+        assert_eq!(count(&got, "determinism"), 0, "at {path}: {got:?}");
+    }
+}
+
+#[test]
+fn ordered_iteration_flags_hash_containers_in_gated_modules() {
+    let got = rules(
+        "ordered_iteration/violations.rs",
+        "crates/serve/src/runtime.rs",
+    );
+    // `HashMap` appears twice (import + signature), `HashSet` once.
+    assert_eq!(count(&got, "ordered-iteration"), 3, "got {got:?}");
+}
+
+#[test]
+fn ordered_iteration_accepts_btree_and_test_modules() {
+    let got = rules("ordered_iteration/clean.rs", "crates/serve/src/runtime.rs");
+    assert!(got.is_empty(), "got {got:?}");
+}
+
+#[test]
+fn ordered_iteration_ignores_ungated_modules() {
+    let got = rules("ordered_iteration/violations.rs", "crates/early/src/lib.rs");
+    assert_eq!(count(&got, "ordered-iteration"), 0, "got {got:?}");
+}
+
+#[test]
+fn panic_freedom_flags_panics_and_indexing() {
+    let got = rules("panic_freedom/violations.rs", "crates/serve/src/runtime.rs");
+    // xs[0], unwrap, expect, panic!, unreachable!.
+    assert_eq!(count(&got, "panic-freedom"), 5, "got {got:?}");
+}
+
+#[test]
+fn panic_freedom_accepts_typed_errors_allows_and_tests() {
+    let got = rules("panic_freedom/clean.rs", "crates/serve/src/runtime.rs");
+    assert!(got.is_empty(), "got {got:?}");
+}
+
+#[test]
+fn panic_freedom_ignores_ungated_modules() {
+    let got = rules("panic_freedom/violations.rs", "crates/core/src/lib.rs");
+    assert_eq!(count(&got, "panic-freedom"), 0, "got {got:?}");
+}
+
+#[test]
+fn cast_safety_flags_bare_integer_casts_in_codecs() {
+    for path in ["crates/persist/src/lib.rs", "crates/net/src/wire.rs"] {
+        let got = rules("cast_safety/violations.rs", path);
+        assert_eq!(count(&got, "cast-safety"), 2, "at {path}: {got:?}");
+    }
+}
+
+#[test]
+fn cast_safety_accepts_try_from_justified_casts_and_float_casts() {
+    let got = rules("cast_safety/clean.rs", "crates/net/src/wire.rs");
+    assert!(got.is_empty(), "got {got:?}");
+}
+
+#[test]
+fn cast_safety_only_gates_the_frozen_codecs() {
+    let got = rules("cast_safety/violations.rs", "crates/serve/src/runtime.rs");
+    assert_eq!(count(&got, "cast-safety"), 0, "got {got:?}");
+}
+
+#[test]
+fn lock_hygiene_flags_overlapping_guards() {
+    let got = rules("lock_hygiene/violations.rs", "crates/net/src/node.rs");
+    assert_eq!(count(&got, "lock-hygiene"), 1, "got {got:?}");
+}
+
+#[test]
+fn lock_hygiene_accepts_sibling_scopes_and_explicit_drop() {
+    let got = rules("lock_hygiene/clean.rs", "crates/net/src/node.rs");
+    assert_eq!(count(&got, "lock-hygiene"), 0, "got {got:?}");
+}
+
+#[test]
+fn malformed_suppressions_are_violations() {
+    let got = rules("suppression/violations.rs", "crates/serve/src/runtime.rs");
+    // One allow with no reason, one naming an unknown rule.
+    assert_eq!(count(&got, "suppression"), 2, "got {got:?}");
+    // A malformed allow must not silence its target either.
+    assert_eq!(count(&got, "panic-freedom"), 2, "got {got:?}");
+}
+
+#[test]
+fn well_formed_suppressions_silence_their_line_only() {
+    let got = rules("suppression/clean.rs", "crates/serve/src/runtime.rs");
+    assert!(got.is_empty(), "got {got:?}");
+}
+
+#[test]
+fn violations_report_file_line_and_message() {
+    let vs = lint_source(
+        "crates/serve/src/runtime.rs",
+        &fixture("panic_freedom/violations.rs"),
+    );
+    let first = vs.first().expect("at least one violation");
+    assert_eq!(first.file, "crates/serve/src/runtime.rs");
+    assert!(first.line > 0);
+    assert!(!first.message.is_empty());
+}

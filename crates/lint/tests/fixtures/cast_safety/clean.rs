@@ -1,0 +1,15 @@
+//! Fixture (true negatives): `try_from` with a typed error, and a
+//! justified provably-widening cast.
+
+pub fn header_len(payload: &[u8]) -> Result<u32, String> {
+    u32::try_from(payload.len()).map_err(|_| "payload exceeds the u32 length field".to_string())
+}
+
+pub fn widen(x: u32) -> usize {
+    // lint: allow(cast-safety, u32 → usize is widening on every supported target)
+    x as usize
+}
+
+pub fn float_scale(x: u64) -> f64 {
+    x as f64
+}

@@ -1,0 +1,9 @@
+//! Fixture (true positives): bare integer casts in codec code.
+
+pub fn header_len(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}
+
+pub fn widen(x: u32) -> usize {
+    x as usize
+}

@@ -1,0 +1,18 @@
+//! Fixture (true negatives): explicit seeds, logical clocks, and a
+//! justified deadline clock.
+
+pub fn seeded() -> u64 {
+    let mut _rng = StdRng::seed_from_u64(42);
+    7
+}
+
+pub fn logical_tick(clock: &mut u64) -> u64 {
+    *clock += 1;
+    *clock
+}
+
+pub fn deadline_expired() -> bool {
+    // lint: allow(determinism, retry deadline only shapes I/O pacing and never reaches alarm bytes)
+    let now = std::time::Instant::now();
+    now.elapsed().as_millis() > 0
+}

@@ -1,0 +1,17 @@
+//! Fixture (true positives): ambient clocks and entropy-seeded RNGs in a
+//! module that must replay bit-identically.
+
+pub fn deadline_ms() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis() as u64
+}
+
+pub fn wall_clock_tag() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}
+
+pub fn jitter() -> f64 {
+    let mut _rng = rand::thread_rng();
+    0.0
+}

@@ -1,0 +1,18 @@
+//! Fixture (true negatives): guards confined to sibling scopes, and a
+//! guard explicitly dropped before the next lock.
+
+pub fn sequential(a: &std::sync::Mutex<u64>, b: &std::sync::Mutex<u64>) -> u64 {
+    let first = {
+        let g = a.lock().unwrap_or_else(|p| p.into_inner());
+        *g
+    };
+    let second = b.lock().unwrap_or_else(|p| p.into_inner());
+    first + *second
+}
+
+pub fn dropped(a: &std::sync::Mutex<u64>, b: &std::sync::Mutex<u64>) {
+    let g = a.lock().unwrap_or_else(|p| p.into_inner());
+    drop(g);
+    let mut h = b.lock().unwrap_or_else(|p| p.into_inner());
+    *h += 1;
+}

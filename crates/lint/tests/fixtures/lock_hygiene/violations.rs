@@ -1,0 +1,9 @@
+//! Fixture (true positive): a second lock guard taken while the first is
+//! still live in the same scope chain.
+
+pub fn transfer(a: &std::sync::Mutex<u64>, b: &std::sync::Mutex<u64>) {
+    let mut from = a.lock().unwrap_or_else(|p| p.into_inner());
+    let mut into = b.lock().unwrap_or_else(|p| p.into_inner());
+    *into += *from;
+    *from = 0;
+}

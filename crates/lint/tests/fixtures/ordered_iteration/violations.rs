@@ -1,0 +1,14 @@
+//! Fixture (true positives): hash containers in an order-sensitive module.
+//! Iteration order would reach serialized bytes.
+
+use std::collections::HashMap;
+
+pub fn snapshot(counts: &HashMap<u64, u64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in counts {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut _seen = std::collections::HashSet::new();
+    out
+}

@@ -1,0 +1,29 @@
+//! Fixture (true negatives): typed errors, checked access, a justified
+//! provable bound, and exempt test code.
+
+pub fn first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn checked(x: Option<u64>) -> Result<u64, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+pub fn destructured(pair: &[u8; 2]) -> u16 {
+    let [lo, hi] = *pair;
+    u16::from_le_bytes([lo, hi])
+}
+
+pub fn justified(xs: &[u64]) -> u64 {
+    // lint: allow(panic-freedom, caller validated xs is non-empty one line above)
+    xs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let xs = vec![1u64];
+        assert_eq!(xs[0], super::checked(Some(1)).unwrap());
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture (true positives): panics and unchecked indexing in runtime code.
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs[0]
+}
+
+pub fn must(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn must_msg(x: Option<u64>) -> u64 {
+    x.expect("fixture")
+}
+
+pub fn boom() {
+    panic!("fixture");
+}
+
+pub fn dead_end() {
+    unreachable!();
+}

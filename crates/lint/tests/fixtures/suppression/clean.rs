@@ -1,0 +1,7 @@
+//! Fixture: a well-formed suppression — rule name plus a mandatory
+//! reason — silences exactly its target line.
+
+pub fn justified(x: Option<u64>) -> u64 {
+    // lint: allow(panic-freedom, fixture demonstrating a complete justification)
+    x.unwrap()
+}

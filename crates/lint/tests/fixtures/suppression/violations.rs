@@ -1,0 +1,12 @@
+//! Fixture: malformed suppressions are themselves violations, so
+//! exemptions cannot rot silently.
+
+pub fn missing_reason(x: Option<u64>) -> u64 {
+    // lint: allow(panic-freedom)
+    x.unwrap()
+}
+
+pub fn unknown_rule(x: Option<u64>) -> u64 {
+    // lint: allow(no-such-rule, the rule name does not exist)
+    x.unwrap()
+}

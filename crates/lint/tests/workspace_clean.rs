@@ -1,0 +1,27 @@
+//! Meta-test: the real workspace must be lint-clean. This is the CI gate
+//! (`cargo run -p etsc-lint -- --deny-all`) expressed as a test, so a
+//! plain `cargo test` catches a freshly introduced violation too.
+
+use std::path::Path;
+
+use etsc_lint::{lint_workspace, report};
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let (files, violations) = lint_workspace(root).expect("walk workspace sources");
+    assert!(
+        files >= 90,
+        "expected to scan the whole workspace, saw only {files} files — \
+         did the file walk break?"
+    );
+    assert!(
+        violations.is_empty(),
+        "the workspace must stay lint-clean (fix the code or add a \
+         justified `lint: allow`):\n{}",
+        report::render_table(&violations, files)
+    );
+}

@@ -103,15 +103,16 @@ impl ClusterRouter {
         // First ring point at or clockwise of the key, wrapping at the top.
         let start = self.points.partition_point(|&(pos, _)| pos < key);
         let n = self.points.len();
-        for off in 0..n {
-            let node = self.points[(start + off) % n].1;
+        // One full wrap-around pass from `start`, panic-free by shape: the
+        // cycle is only sampled `n` consecutive points.
+        for &(_, node) in self.points.iter().cycle().skip(start).take(n) {
             if !self.down.contains(&node) {
                 return node;
             }
         }
         // Every node is down; fall back to the raw ring choice so routing
         // stays total (the request will fail with a transport error).
-        self.points[start % n].1
+        self.points.get(start % n.max(1)).map_or(0, |p| p.1)
     }
 
     /// Declare `node` dead: the ring walks past its points, and pins to it
@@ -251,15 +252,28 @@ impl Cluster {
     }
 
     /// Direct access to one node's client (for per-node operations like
-    /// stats or checkpoints).
+    /// stats or checkpoints). Index-style accessor: panics if `node >=
+    /// self.nodes()`, exactly like slice indexing.
     pub fn client(&mut self, node: usize) -> &mut NetClient {
+        self.node_client(node)
+    }
+
+    /// The client a routing decision resolved to.
+    ///
+    /// Every node index used internally is either produced by
+    /// [`ClusterRouter::route`] (whose ring points and pins only name
+    /// nodes of this cluster; failover reports are validated before their
+    /// targets are pinned) or validated at the public boundary, so the
+    /// index is in bounds by construction.
+    fn node_client(&mut self, node: usize) -> &mut NetClient {
+        // lint: allow(panic-freedom, node index is router-produced or boundary-validated — in bounds by construction, see doc comment)
         &mut self.clients[node]
     }
 
     /// Open `stream` on the node the router assigns it to.
     pub fn open_stream(&mut self, stream: u64) -> Result<bool, WireError> {
         let node = self.router.route(stream);
-        self.clients[node].open_stream(stream)
+        self.node_client(node).open_stream(stream)
     }
 
     /// Route a batch to its owning nodes. Records keep their relative
@@ -290,12 +304,12 @@ impl Cluster {
             // sent newer records ahead of them.
             let queued_ahead = self.pending.iter().filter(|p| p.node == node).count() as u64;
             if queued_ahead > 0 {
-                let seq = self.clients[node].next_batch_seq() + queued_ahead;
+                let seq = self.node_client(node).next_batch_seq() + queued_ahead;
                 self.pending.push(PendingBatch { node, seq, records });
                 continue;
             }
-            let seq = self.clients[node].next_batch_seq();
-            if let Err(e) = self.clients[node].ingest(&records) {
+            let seq = self.node_client(node).next_batch_seq();
+            if let Err(e) = self.node_client(node).ingest(&records) {
                 self.pending.push(PendingBatch { node, seq, records });
                 first_err.get_or_insert(e);
             }
@@ -322,7 +336,7 @@ impl Cluster {
                 remaining.push(p);
                 continue;
             }
-            match self.clients[p.node].ingest(&p.records) {
+            match self.node_client(p.node).ingest(&p.records) {
                 Ok(()) => {}
                 Err(e) => {
                     stuck.insert(p.node);
@@ -357,6 +371,22 @@ impl Cluster {
     /// anything past the cursor is re-ingested through the new routing
     /// with fresh tags.
     pub fn apply_failover(&mut self, report: &FailoverReport) -> Result<(), WireError> {
+        // Validate the report before mutating anything: a report naming
+        // nodes this cluster does not have is refused whole, so routing
+        // never pins a stream to a nonexistent client.
+        let nodes = self.clients.len();
+        if report.node >= nodes {
+            return Err(WireError::RemoteBadConfig(format!(
+                "failover report declares node {} dead, but the cluster has {nodes} node(s)",
+                report.node
+            )));
+        }
+        if let Some(&(stream, target)) = report.moved.iter().find(|&&(_, t)| t >= nodes) {
+            return Err(WireError::RemoteBadConfig(format!(
+                "failover report moves stream {stream} to node {target}, but the cluster has \
+                 {nodes} node(s)"
+            )));
+        }
         self.router.set_down(report.node);
         for &(stream, target) in &report.moved {
             self.router.pin(stream, target);
@@ -365,7 +395,7 @@ impl Cluster {
             .into_iter()
             .partition(|p| p.node == report.node);
         self.pending = keep;
-        let client_id = self.clients[report.node].client_id();
+        let client_id = self.node_client(report.node).client_id();
         let cursor = report.cursors.get(&client_id).copied().unwrap_or(0);
         for p in dead {
             if p.seq <= cursor {
@@ -504,11 +534,11 @@ impl Cluster {
             }
         }
         for (from, ids) in per_source {
-            let exported = self.clients[from].migrate_out(&ids)?;
-            if let Err(err) = self.clients[to].migrate_in(&exported) {
+            let exported = self.node_client(from).migrate_out(&ids)?;
+            if let Err(err) = self.node_client(to).migrate_in(&exported) {
                 // Give the streams back to their source; the topology is
                 // unchanged, so service resumes exactly where it was.
-                self.clients[from]
+                self.node_client(from)
                     .migrate_in(&exported)
                     .map_err(|restore| {
                         WireError::RemotePersist(format!(

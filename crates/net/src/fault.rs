@@ -153,7 +153,10 @@ impl State {
         let mut one_shot = None;
         let mut i = 0;
         while i < self.scripted.len() {
-            let due = match (self.scripted[i].0, kind(0)) {
+            let Some(&(point, _)) = self.scripted.get(i) else {
+                break; // unreachable: `i` is bounded by the loop guard
+            };
+            let due = match (point, kind(0)) {
                 (Op::Connect(k), Op::Connect(_)) => k <= idx,
                 (Op::Read(k), Op::Read(_)) => k <= idx,
                 (Op::Write(k), Op::Write(_)) => k <= idx,
@@ -204,12 +207,16 @@ enum ReadAction {
 /// Clone it freely — clones share the same counters and sticky state, so
 /// one injector can cover every connection a client opens over its
 /// lifetime (reconnects included).
+///
+/// Lock poisoning is absorbed (`unwrap_or_else(PoisonError::into_inner)`):
+/// the state is plain counters and flags, valid at every step, so a panic
+/// on another thread must not cascade into the fault filter itself.
 #[derive(Clone)]
 pub struct FaultInjector(Arc<Mutex<State>>);
 
 impl std::fmt::Debug for FaultInjector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.0.lock().unwrap();
+        let s = self.0.lock().unwrap_or_else(|p| p.into_inner());
         f.debug_struct("FaultInjector")
             .field("pending", &s.scripted.len())
             .field("injected", &s.injected)
@@ -224,7 +231,7 @@ impl FaultInjector {
     /// sticky partitions and [`Fault::Heal`], immediately). This is how a
     /// test flips a healthy link into a partitioned one mid-scenario.
     pub fn inject(&self, fault: Fault) {
-        let mut s = self.0.lock().unwrap();
+        let mut s = self.0.lock().unwrap_or_else(|p| p.into_inner());
         match fault {
             Fault::PartitionInbound => {
                 s.partition_in = true;
@@ -264,18 +271,22 @@ impl FaultInjector {
     /// How many faults have fired so far (tests assert the plan actually
     /// ran instead of silently missing its scripted points).
     pub fn injected(&self) -> u64 {
-        self.0.lock().unwrap().injected
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).injected
     }
 
     /// Scripted entries that have not fired yet.
     pub fn pending(&self) -> usize {
-        self.0.lock().unwrap().scripted.len()
+        self.0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .scripted
+            .len()
     }
 
     /// Intercept a connection attempt; `Err` means the dial must fail
     /// without touching the network.
     pub(crate) fn on_connect(&self) -> io::Result<()> {
-        let mut s = self.0.lock().unwrap();
+        let mut s = self.0.lock().unwrap_or_else(|p| p.into_inner());
         let idx = s.connects;
         s.connects += 1;
         if let Some(Fault::RefuseConnect) = s.fire(Op::Connect, idx) {
@@ -290,7 +301,7 @@ impl FaultInjector {
     /// Perform one read through the fault filter.
     pub(crate) fn read(&self, inner: &mut dyn Read, buf: &mut [u8]) -> io::Result<usize> {
         let action = {
-            let mut s = self.0.lock().unwrap();
+            let mut s = self.0.lock().unwrap_or_else(|p| p.into_inner());
             let idx = s.reads;
             s.reads += 1;
             let one_shot = s.fire(Op::Read, idx);
@@ -313,7 +324,9 @@ impl FaultInjector {
             ReadAction::Corrupt => {
                 let n = inner.read(buf)?;
                 if n > 0 {
-                    buf[0] ^= 0x40;
+                    if let Some(b) = buf.first_mut() {
+                        *b ^= 0x40;
+                    }
                 }
                 Ok(n)
             }
@@ -332,7 +345,7 @@ impl FaultInjector {
     /// Perform one write through the fault filter.
     pub(crate) fn write(&self, inner: &mut dyn Write, buf: &[u8]) -> io::Result<usize> {
         let one_shot = {
-            let mut s = self.0.lock().unwrap();
+            let mut s = self.0.lock().unwrap_or_else(|p| p.into_inner());
             let idx = s.writes;
             s.writes += 1;
             let one_shot = s.fire(Op::Write, idx);

@@ -149,11 +149,23 @@ impl<C: EarlyClassifier + Persist> Supervisor<C> {
                 continue;
             }
             if Self::probe(cluster.client(node), node as u64) {
-                self.misses[node] = 0;
+                if let Some(m) = self.misses.get_mut(node) {
+                    *m = 0;
+                }
                 continue;
             }
-            self.misses[node] += 1;
-            if self.misses[node] >= self.cfg.miss_threshold.max(1) {
+            // `misses` was resized to `cluster.nodes()` above, so the entry
+            // exists; the `unwrap_or(0)` fallback (which would merely delay
+            // a failover) keeps the bookkeeping structurally panic-free.
+            let misses = self
+                .misses
+                .get_mut(node)
+                .map(|m| {
+                    *m += 1;
+                    *m
+                })
+                .unwrap_or(0);
+            if misses >= self.cfg.miss_threshold.max(1) {
                 reports.push(self.failover(node, cluster)?);
             }
         }

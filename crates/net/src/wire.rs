@@ -89,7 +89,12 @@ pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Vec<u8> {
     buf.extend_from_slice(&WIRE_MAGIC);
     buf.extend_from_slice(&WIRE_VERSION.to_le_bytes());
     buf.push(msg_type);
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    // The length field is u32. A payload too large to represent cannot be
+    // framed at all; saturating the declared length yields a frame every
+    // reader refuses with a typed [`WireError::FrameTooLarge`] (payload
+    // caps sit far below `u32::MAX`) instead of one that misdecodes.
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(payload);
     let checksum = hash::fnv1a_64(&buf);
     buf.extend_from_slice(&checksum.to_le_bytes());
@@ -109,18 +114,21 @@ fn validate_header(
     header: &[u8; FRAME_HEADER_LEN],
     max_payload: usize,
 ) -> Result<(u8, usize), WireError> {
-    if header[..4] != WIRE_MAGIC {
+    let [m0, m1, m2, m3, v0, v1, msg_type, l0, l1, l2, l3] = *header;
+    if [m0, m1, m2, m3] != WIRE_MAGIC {
         return Err(WireError::BadMagic);
     }
-    let version = u16::from_le_bytes([header[4], header[5]]);
+    let version = u16::from_le_bytes([v0, v1]);
     if version != WIRE_VERSION {
         return Err(WireError::UnsupportedVersion {
             found: version,
             supported: WIRE_VERSION,
         });
     }
-    let msg_type = header[6];
-    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]) as usize;
+    // On a target whose usize cannot hold the declared u32 length the frame
+    // is oversized by definition; saturate so the cap check below rejects it
+    // with the same typed error.
+    let len = usize::try_from(u32::from_le_bytes([l0, l1, l2, l3])).unwrap_or(usize::MAX);
     if len > max_payload {
         return Err(WireError::FrameTooLarge {
             declared: len,
@@ -156,7 +164,12 @@ fn read_full(
 ) -> Result<Option<bool>, WireError> {
     let mut filled = 0;
     while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+        // The loop guard keeps `filled` in range; `else` is unreachable but
+        // costs a typed error, not a panic, if that ever stops being true.
+        let Some(dst) = buf.get_mut(filled..) else {
+            return Err(WireError::Truncated { context });
+        };
+        match r.read(dst) {
             Ok(0) => {
                 return if filled == 0 && eof_ok {
                     Ok(Some(false))
@@ -206,9 +219,17 @@ pub fn read_frame(
     if read_full(r, &mut rest, false, "frame payload", should_stop)?.is_none() {
         return Ok(ReadOutcome::Stopped);
     }
-    let payload = &rest[..len];
+    // `rest` was sized `len + FRAME_CHECKSUM_LEN` above, so the split is in
+    // bounds; `get` keeps the codec structurally panic-free regardless.
+    let (payload, checksum) = (
+        rest.get(..len).unwrap_or(&[]),
+        rest.get(len..).unwrap_or(&[]),
+    );
     let expected = hash::fnv1a_64_with(hash::fnv1a_64(&header), payload);
-    let actual = u64::from_le_bytes(rest[len..].try_into().expect("checksum is 8 bytes"));
+    let actual = checksum
+        .iter()
+        .rev()
+        .fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
     if expected != actual {
         return Err(WireError::ChecksumMismatch);
     }
@@ -229,7 +250,11 @@ pub fn decode_frame(bytes: &[u8], max_payload: usize) -> Result<Frame, WireError
         ReadOutcome::Closed => Err(WireError::Truncated {
             context: "frame header",
         }),
-        ReadOutcome::Stopped => unreachable!("slice reads never time out"),
+        // Slice reads never time out, so this arm is dead; a typed error
+        // keeps the decode path panic-free even so.
+        ReadOutcome::Stopped => Err(WireError::Io(
+            "in-memory frame decode reported a timeout".to_string(),
+        )),
     }
 }
 

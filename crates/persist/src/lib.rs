@@ -195,7 +195,9 @@ impl Encoder {
 
     /// Write a `usize` as `u64` (the portable width).
     pub fn put_usize(&mut self, v: usize) {
-        self.put_u64(v as u64);
+        // usize → u64 is widening on every supported target; the fallback
+        // exists only to keep the conversion structurally infallible.
+        self.put_u64(u64::try_from(v).unwrap_or(u64::MAX));
     }
 
     /// Write an `f64` as its IEEE 754 bits — exact round-trip.
@@ -205,7 +207,7 @@ impl Encoder {
 
     /// Write a `bool` as one byte.
     pub fn put_bool(&mut self, v: bool) {
-        self.put_u8(v as u8);
+        self.put_u8(u8::from(v));
     }
 
     /// Write an `Option<f64>` as a tag byte then the value.
@@ -231,8 +233,13 @@ impl Encoder {
     }
 
     /// Write a length-prefixed UTF-8 string.
+    ///
+    /// The prefix is u32; a string too large to represent (> 4 GiB — far
+    /// beyond any model name or label this codec carries) saturates the
+    /// declared length, producing an envelope that fails closed at decode
+    /// (`UnexpectedEof`/checksum) instead of silently truncating.
     pub fn put_str(&mut self, s: &str) {
-        self.put_u32(s.len() as u32);
+        self.put_u32(u32::try_from(s.len()).unwrap_or(u32::MAX));
         self.buf.extend_from_slice(s.as_bytes());
     }
 
@@ -305,37 +312,49 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], PersistError> {
-        if self.remaining() < n {
-            return Err(PersistError::UnexpectedEof { context });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // `get` bounds-checks (and `checked_add` guards the end offset), so
+        // a corrupt length costs a typed error, never a panic.
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(PersistError::UnexpectedEof { context })?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(PersistError::UnexpectedEof { context })?;
+        self.pos = end;
         Ok(out)
+    }
+
+    /// [`take`](Self::take) as a fixed-size array: the panic-free bridge
+    /// from a checked slice to `from_le_bytes`.
+    fn take_array<const N: usize>(
+        &mut self,
+        context: &'static str,
+    ) -> Result<[u8; N], PersistError> {
+        <[u8; N]>::try_from(self.take(N, context)?)
+            .map_err(|_| PersistError::UnexpectedEof { context })
     }
 
     /// Read one byte.
     pub fn get_u8(&mut self, context: &'static str) -> Result<u8, PersistError> {
-        Ok(self.take(1, context)?[0])
+        let [b] = self.take_array(context)?;
+        Ok(b)
     }
 
     /// Read a `u16`.
     pub fn get_u16(&mut self, context: &'static str) -> Result<u16, PersistError> {
-        let b = self.take(2, context)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(self.take_array(context)?))
     }
 
     /// Read a `u32`.
     pub fn get_u32(&mut self, context: &'static str) -> Result<u32, PersistError> {
-        let b = self.take(4, context)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.take_array(context)?))
     }
 
     /// Read a `u64`.
     pub fn get_u64(&mut self, context: &'static str) -> Result<u64, PersistError> {
-        let b = self.take(8, context)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        Ok(u64::from_le_bytes(self.take_array(context)?))
     }
 
     /// Read a `usize` (stored as `u64`), rejecting values that do not fit.
@@ -378,7 +397,10 @@ impl<'a> Decoder<'a> {
 
     /// Read a length-prefixed UTF-8 string.
     pub fn get_str(&mut self, context: &'static str) -> Result<String, PersistError> {
-        let n = self.get_u32(context)? as usize;
+        let declared = self.get_u32(context)?;
+        let n = usize::try_from(declared).map_err(|_| {
+            PersistError::Corrupt(format!("{context}: string length {declared} overflows"))
+        })?;
         let bytes = self.take(n, context)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| PersistError::Corrupt(format!("{context}: invalid UTF-8")))
@@ -500,8 +522,14 @@ pub fn open_envelope<'a>(bytes: &'a [u8], kind: &str) -> Result<Decoder<'a>, Per
             found: info.kind,
         });
     }
-    let payload_start = bytes.len() - 8 - info.payload_len;
-    Ok(Decoder::new(&bytes[payload_start..bytes.len() - 8]))
+    // `inspect` proved `payload_len + 8 <= bytes.len()`; saturating + `get`
+    // keep that proof local instead of trusting it across functions.
+    let payload_end = bytes.len().saturating_sub(8);
+    let payload_start = payload_end.saturating_sub(info.payload_len);
+    let payload = bytes
+        .get(payload_start..payload_end)
+        .ok_or(PersistError::UnexpectedEof { context: "payload" })?;
+    Ok(Decoder::new(payload))
 }
 
 /// Read and validate an envelope's header and checksum without decoding
@@ -526,9 +554,12 @@ pub fn inspect(bytes: &[u8]) -> Result<EnvelopeInfo, PersistError> {
     {
         return Err(PersistError::UnexpectedEof { context: "payload" });
     }
-    let body_end = dec.pos + payload_len;
-    let expected = fnv1a(&bytes[..body_end]);
-    let mut tail = Decoder::new(&bytes[body_end..]);
+    let body_end = dec.pos.saturating_add(payload_len);
+    let body = bytes
+        .get(..body_end)
+        .ok_or(PersistError::UnexpectedEof { context: "payload" })?;
+    let expected = fnv1a(body);
+    let mut tail = Decoder::new(bytes.get(body_end..).unwrap_or(&[]));
     let actual = tail.get_u64("checksum")?;
     tail.finish()?;
     if expected != actual {

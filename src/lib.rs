@@ -532,6 +532,28 @@
 //! let parallel = parallel::with_threads(4, || engine.profile(&needle));
 //! assert_eq!(serial, parallel);
 //! ```
+//!
+//! ## Invariants, enforced
+//!
+//! The guarantees above — bit-identical replay, deterministic alarm order,
+//! typed errors instead of panics — are machine-checked, not conventions.
+//! `cargo run -p etsc-lint -- --deny-all` runs the workspace's own
+//! zero-dependency static analyzer (`crates/lint`) over every non-test
+//! source file and CI fails on any violation of its five rules: no wall
+//! clocks or OS entropy outside the allowlisted deadline/heartbeat/bench
+//! code (**determinism**), no hash-ordered iteration where bytes or alarm
+//! order leave the process (**ordered-iteration**), no `unwrap`/`panic!`/
+//! bare indexing in the serving, wire, and persistence runtime
+//! (**panic-freedom**), no unchecked `as` integer casts in the frozen
+//! codecs (**cast-safety**), and no overlapping mutex guards
+//! (**lock-hygiene**). Exemptions are explicit in the source —
+//! `// lint: allow(<rule>, <reason>)`, reason mandatory — and a malformed
+//! exemption is itself a violation. Performance is watched the same way:
+//! CI re-runs the quick benchmarks and `bench_diff` (in `crates/bench`)
+//! compares every metric of the fresh `BENCH_*.json` reports against the
+//! committed baselines in `crates/bench/baselines/`, printing a
+//! direction-aware regression table (warn-only in CI, `--deny` for local
+//! A/B runs on quiet hardware).
 
 pub use etsc_audit as audit;
 pub use etsc_classifiers as classifiers;
