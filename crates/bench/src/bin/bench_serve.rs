@@ -3,17 +3,25 @@
 //!
 //! Over a grid of stream count × shard count, drives interleaved synthetic
 //! traffic through a [`Runtime`] in the intended shape — ingest a window of
-//! batches, then drain — and measures
+//! batches, then drain, with a periodic checkpoint every quarter of the
+//! run — and reads its measurements off the runtime's **own telemetry**
+//! (the `etsc_core::metrics` histograms the production stats path exposes)
+//! rather than stopwatching from outside:
 //!
 //! * **throughput**: records pushed per second, end to end (routing +
-//!   queueing + monitor servicing), and
-//! * **p99 push-to-alarm latency**: an alarm is delivered at the end of the
-//!   ingest/drain cycle its triggering sample arrived in, so the p99 cycle
-//!   wall time bounds the p99 latency from pushing a sample to receiving
-//!   its alarm; and
-//! * **checkpoint pause**: wall time and envelope size of a whole-runtime
-//!   [`checkpoint`](Runtime::checkpoint) at the end of the run — the stall
-//!   a deployment pays per periodic checkpoint.
+//!   queueing + monitor servicing + the periodic checkpoint pauses);
+//! * **ingest→drain latency**: p50/p99 of the runtime's drain-cycle
+//!   histogram — an alarm is delivered by the drain that processes its
+//!   triggering sample, so the drain-cycle distribution bounds
+//!   push-to-alarm latency — plus the p99 of the sampled per-push
+//!   histogram;
+//! * **checkpoint pause**: p99 of the runtime's checkpoint-pause
+//!   histogram over the run's periodic checkpoints, and the envelope
+//!   size; and
+//! * **instrumentation overhead**: median-of-5 interleaved A/B of
+//!   pushes/s with the runtime clock disabled vs monotonic — the cost of
+//!   leaving telemetry on, which the 1-in-8 push sampling is designed to
+//!   keep under 5%.
 //!
 //! Writes `BENCH_serve.json` into the current directory.
 //!
@@ -28,6 +36,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use etsc_classifiers::centroid::NearestCentroid;
+use etsc_core::metrics::Clock;
 use etsc_core::UcrDataset;
 use etsc_early::threshold::ProbThreshold;
 use etsc_persist::ModelRegistry;
@@ -40,6 +49,8 @@ const TRAIN_LEN: usize = 128;
 const STRIDE: usize = 16;
 /// Batches per ingest/drain cycle.
 const CYCLE: usize = 32;
+/// Checkpoints cut per run (evenly spaced over the cycles).
+const CHECKPOINTS: usize = 4;
 
 fn train_set() -> UcrDataset {
     let data: Vec<Vec<f64>> = (0..8)
@@ -64,9 +75,12 @@ struct Row {
     shards: usize,
     rounds: usize,
     pushes_per_sec: f64,
-    p99_cycle_ns: f64,
+    p50_cycle_ns: u64,
+    p99_cycle_ns: u64,
+    p99_push_ns: u64,
     alarms: u64,
-    checkpoint_ns: f64,
+    checkpoints: u64,
+    checkpoint_p99_ns: u64,
     checkpoint_bytes: usize,
 }
 
@@ -76,6 +90,7 @@ fn bench_one(
     shards: usize,
     rounds: usize,
     registry: &ModelRegistry,
+    clock: Clock,
 ) -> Row {
     let cfg = RuntimeConfig {
         shards,
@@ -89,11 +104,13 @@ fn bench_one(
         ..RuntimeConfig::default()
     };
     let mut rt = Runtime::new(model, cfg).expect("valid bench config");
+    rt.set_clock(clock);
+    let cycles = rounds / CYCLE;
+    let ckpt_every = (cycles / CHECKPOINTS).max(1);
     let mut batch = Vec::with_capacity(streams);
-    let mut cycle_times: Vec<f64> = Vec::with_capacity(rounds / CYCLE + 1);
     let mut alarms = 0u64;
+    let mut cycle = 0usize;
     let t0 = Instant::now();
-    let mut cycle_start = Instant::now();
     for t in 0..rounds {
         batch.clear();
         for k in 0..streams {
@@ -102,31 +119,53 @@ fn bench_one(
         rt.ingest(&batch).expect("bench queues are sized to fit");
         if (t + 1) % CYCLE == 0 {
             alarms += rt.drain().len() as u64;
-            cycle_times.push(cycle_start.elapsed().as_secs_f64());
-            cycle_start = Instant::now();
+            cycle += 1;
+            if cycle.is_multiple_of(ckpt_every) {
+                rt.checkpoint(registry).expect("bench checkpoint");
+            }
         }
     }
     alarms += rt.drain().len() as u64;
     let elapsed = t0.elapsed().as_secs_f64();
 
-    let tc = Instant::now();
-    let checkpoint_bytes = rt.checkpoint(registry).expect("bench checkpoint");
-    let checkpoint_ns = tc.elapsed().as_secs_f64() * 1e9;
-
-    cycle_times.sort_by(f64::total_cmp);
-    let p99_idx = ((cycle_times.len() as f64) * 0.99).ceil() as usize;
-    let p99_cycle_ns = cycle_times[p99_idx.saturating_sub(1).min(cycle_times.len() - 1)] * 1e9;
+    let stats = rt.stats();
     let total_pushes = (streams * rounds) as f64;
     Row {
         streams,
         shards,
         rounds,
         pushes_per_sec: total_pushes / elapsed,
-        p99_cycle_ns,
+        p50_cycle_ns: stats.drain_cycle_ns.p50(),
+        p99_cycle_ns: stats.drain_cycle_ns.p99(),
+        p99_push_ns: stats.push_ns.p99(),
         alarms,
-        checkpoint_ns,
-        checkpoint_bytes,
+        checkpoints: stats.checkpoints,
+        checkpoint_p99_ns: stats.checkpoint_pause_ns.p99(),
+        checkpoint_bytes: stats.last_checkpoint_bytes,
     }
+}
+
+/// Median of an interleaved A/B: 5 runs with the clock disabled against 5
+/// with it monotonic, alternating so thermal / cache drift hits both arms
+/// equally. Returns the percent throughput lost to instrumentation
+/// (negative = the instrumented arm happened to measure faster).
+fn instrumentation_overhead_pct(
+    model: &ProbThreshold<NearestCentroid>,
+    registry: &ModelRegistry,
+    rounds: usize,
+) -> f64 {
+    let mut off = Vec::with_capacity(5);
+    let mut on = Vec::with_capacity(5);
+    for _ in 0..5 {
+        off.push(bench_one(model, 64, 2, rounds, registry, Clock::disabled()).pushes_per_sec);
+        on.push(bench_one(model, 64, 2, rounds, registry, Clock::monotonic()).pushes_per_sec);
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let (off_med, on_med) = (median(&mut off), median(&mut on));
+    (off_med - on_med) / off_med * 100.0
 }
 
 fn main() {
@@ -137,7 +176,8 @@ fn main() {
         (&[16, 64, 256], &[1, 2, 8], 1536)
     };
     println!(
-        "bench_serve: stride {STRIDE}, cycle {CYCLE} batches, rounds = {rounds} per combination"
+        "bench_serve: stride {STRIDE}, cycle {CYCLE} batches, rounds = {rounds} per combination, \
+         {CHECKPOINTS} periodic checkpoints per run"
     );
 
     let model = ProbThreshold::new(NearestCentroid::fit(&train_set()), 0.9999, TRAIN_LEN, 2);
@@ -148,20 +188,38 @@ fn main() {
     let mut rows = Vec::new();
     for &streams in stream_counts {
         for &shards in shard_counts {
-            let row = bench_one(&model, streams, shards, rounds, &registry);
+            let row = bench_one(
+                &model,
+                streams,
+                shards,
+                rounds,
+                &registry,
+                Clock::monotonic(),
+            );
             println!(
-                "  streams {:>4} × shards {:>2}: {:>12.0} pushes/s  p99 cycle {:>10.0} ns  \
-                 ckpt {:>9.0} ns / {:>8} B  ({} alarms)",
+                "  streams {:>4} × shards {:>2}: {:>12.0} pushes/s  cycle p50/p99 {:>9}/{:>10} ns  \
+                 push p99 {:>6} ns  ckpt p99 {:>9} ns / {:>8} B  ({} alarms)",
                 row.streams,
                 row.shards,
                 row.pushes_per_sec,
+                row.p50_cycle_ns,
                 row.p99_cycle_ns,
-                row.checkpoint_ns,
+                row.p99_push_ns,
+                row.checkpoint_p99_ns,
                 row.checkpoint_bytes,
                 row.alarms,
             );
             rows.push(row);
         }
+    }
+
+    let overhead_rounds = if quick { 256 } else { 768 };
+    let overhead_pct = instrumentation_overhead_pct(&model, &registry, overhead_rounds);
+    println!(
+        "  instrumentation overhead (disabled vs monotonic clock, median of 5): {overhead_pct:+.2}%"
+    );
+    if overhead_pct >= 5.0 {
+        println!("  WARNING: telemetry overhead is at or above the 5% budget");
     }
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -170,20 +228,28 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"anchor_stride\": {STRIDE},");
     let _ = writeln!(json, "  \"batches_per_cycle\": {CYCLE},");
+    let _ = writeln!(json, "  \"checkpoints_per_run\": {CHECKPOINTS},");
+    let _ = writeln!(
+        json,
+        "  \"instrumentation_overhead_pct\": {overhead_pct:.2},"
+    );
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"streams\": {}, \"shards\": {}, \"rounds\": {}, \"pushes_per_sec\": {:.0}, \
-             \"p99_cycle_ns\": {:.0}, \"alarms\": {}, \"checkpoint_ns\": {:.0}, \
-             \"checkpoint_bytes\": {}}}{}",
+             \"p50_cycle_ns\": {}, \"p99_cycle_ns\": {}, \"p99_push_ns\": {}, \"alarms\": {}, \
+             \"checkpoints\": {}, \"checkpoint_p99_ns\": {}, \"checkpoint_bytes\": {}}}{}",
             r.streams,
             r.shards,
             r.rounds,
             r.pushes_per_sec,
+            r.p50_cycle_ns,
             r.p99_cycle_ns,
+            r.p99_push_ns,
             r.alarms,
-            r.checkpoint_ns,
+            r.checkpoints,
+            r.checkpoint_p99_ns,
             r.checkpoint_bytes,
             if i + 1 < rows.len() { "," } else { "" }
         );

@@ -27,6 +27,7 @@ pub mod dtw;
 pub mod error;
 pub mod event;
 pub mod hash;
+pub mod metrics;
 pub mod nn;
 pub mod parallel;
 pub mod stats;

@@ -1,0 +1,361 @@
+//! Lock-free telemetry for the serving stack: atomic counters and gauges,
+//! log₂-bucket latency histograms, a deterministic [`Clock`], a typed
+//! [`Registry`], and the shared Prometheus text-exposition helpers every
+//! layer renders through.
+//!
+//! # Design
+//!
+//! * **Zero dependencies, zero locks on the hot path.** Every metric is
+//!   plain `std` atomics; recording is wait-free and `&self`, so shard
+//!   workers and connection threads share one metric without
+//!   coordination. (The [`Registry`] takes a mutex at *registration*
+//!   time only — reads and writes of the metrics themselves never lock.)
+//! * **Histograms are mergeable.** [`HistogramSnapshot::merge`] is
+//!   associative and commutative, so per-shard/per-client histograms
+//!   aggregate in any order — see [`histogram`] for bucket layout and the
+//!   quantile error bound.
+//! * **Time is injected.** Instrumented code reads a [`Clock`] handed to
+//!   it: monotonic in production, manually stepped in deterministic
+//!   tests, disabled when a bench wants the uninstrumented baseline. The
+//!   etsc-lint `determinism` rule pins [`clock`] as the workspace's only
+//!   ambient-clock call site.
+//! * **One exposition dialect.** [`push_scalar`], [`push_histogram`], and
+//!   [`push_histogram_series`] are the only code that formats Prometheus
+//!   text (version 0.0.4); `etsc-serve` and `etsc-net` both delegate here,
+//!   so `_bucket`/`_sum`/`_count` and `# HELP`/`# TYPE` stay
+//!   format-identical across every layer.
+//!
+//! Histogram exposition is cumulative, as Prometheus requires: each
+//! `_bucket{le="N"}` sample counts observations ≤ N, bucket lines stop at
+//! the highest non-empty bucket, and a final `le="+Inf"` line always
+//! equals `_count`.
+
+pub mod clock;
+pub mod histogram;
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub use clock::Clock;
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic gauge: a value that can move both ways (queue depth, live
+/// streams), plus a high-water helper.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` is higher (high-water tracking).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared handle type a [`Registry`] hands out.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A typed metric registry: register once, record everywhere, render all.
+///
+/// Registration is idempotent — asking for a name that already exists
+/// returns a handle to the *same* metric (so two subsystems can share
+/// `"requests_total"` without coordinating), provided the kinds agree; a
+/// kind mismatch returns a fresh detached metric that records fine but is
+/// not rendered, so a naming collision degrades to a missing series
+/// rather than a panic or corrupted exposition.
+///
+/// Handles are `Arc`s: recording never touches the registry (or its
+/// registration mutex) again.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn find(&self, name: &str) -> Option<Metric> {
+        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.metric.clone())
+    }
+
+    fn insert(&self, name: &str, help: &str, metric: Metric) {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric,
+        });
+    }
+
+    /// Register (or look up) a counter named `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.find(name) {
+            Some(Metric::Counter(c)) => c,
+            Some(_) => Arc::new(Counter::new()),
+            None => {
+                let c = Arc::new(Counter::new());
+                self.insert(name, help, Metric::Counter(c.clone()));
+                c
+            }
+        }
+    }
+
+    /// Register (or look up) a gauge named `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.find(name) {
+            Some(Metric::Gauge(g)) => g,
+            Some(_) => Arc::new(Gauge::new()),
+            None => {
+                let g = Arc::new(Gauge::new());
+                self.insert(name, help, Metric::Gauge(g.clone()));
+                g
+            }
+        }
+    }
+
+    /// Register (or look up) a histogram named `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        match self.find(name) {
+            Some(Metric::Histogram(h)) => h,
+            Some(_) => Arc::new(Histogram::new()),
+            None => {
+                let h = Arc::new(Histogram::new());
+                self.insert(name, help, Metric::Histogram(h.clone()));
+                h
+            }
+        }
+    }
+
+    /// Render every registered metric in Prometheus text exposition
+    /// format, in registration order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        for e in entries.iter() {
+            match &e.metric {
+                Metric::Counter(c) => push_scalar(&mut out, &e.name, &e.help, "counter", c.get()),
+                Metric::Gauge(g) => push_scalar(&mut out, &e.name, &e.help, "gauge", g.get()),
+                Metric::Histogram(h) => push_histogram(&mut out, &e.name, &e.help, &h.snapshot()),
+            }
+        }
+        out
+    }
+}
+
+/// Append one scalar metric — a `# HELP`/`# TYPE` preamble plus an
+/// unlabelled sample — in Prometheus text exposition format. `kind` is
+/// the exposition type (`"counter"` or `"gauge"`). The single formatting
+/// path behind `etsc-serve`'s `push_counter`/`push_gauge` and everything
+/// that renders through them.
+pub fn push_scalar(out: &mut String, name: &str, help: &str, kind: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Append one unlabelled histogram family (`_bucket` lines with
+/// cumulative counts and `le` labels, then `_sum` and `_count`) in
+/// Prometheus text exposition format.
+pub fn push_histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
+    push_histogram_series(out, name, help, &[("", snap)]);
+}
+
+/// Append one histogram family with one sample set per labelled series.
+///
+/// Each element of `series` is `(labels, snapshot)` where `labels` is
+/// either empty (an unlabelled series) or a pre-rendered label list such
+/// as `msg="Drain"` — the helper appends the `le` label after it. Bucket
+/// lines are cumulative, stop at the series' highest non-empty bucket,
+/// and always end with an `le="+Inf"` line equal to `_count`, so any
+/// Prometheus-compatible scraper can derive quantiles with
+/// `histogram_quantile`.
+pub fn push_histogram_series(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &[(&str, &HistogramSnapshot)],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (labels, snap) in series {
+        let prefix = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{labels},")
+        };
+        let mut cumulative = 0u64;
+        if let Some(highest) = snap.highest_bucket() {
+            for (i, &c) in snap.buckets.iter().enumerate().take(highest + 1) {
+                cumulative = cumulative.saturating_add(c);
+                let ub = HistogramSnapshot::bucket_upper_bound(i);
+                let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"{ub}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"+Inf\"}} {cumulative}");
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", snap.sum);
+            let _ = writeln!(out, "{name}_count {cumulative}");
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{labels}}} {}", snap.sum);
+            let _ = writeln!(out, "{name}_count{{{labels}}} {cumulative}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_idempotent_and_renders_in_registration_order() {
+        let reg = Registry::new();
+        let c = reg.counter("requests_total", "Requests served.");
+        let c2 = reg.counter("requests_total", "Requests served.");
+        c.add(3);
+        c2.inc();
+        assert_eq!(c.get(), 4, "both handles hit the same counter");
+        let g = reg.gauge("depth", "Queue depth.");
+        g.set(7);
+        g.record_max(5);
+        assert_eq!(g.get(), 7);
+        let h = reg.histogram("latency_ns", "Latency.");
+        h.record(900);
+        let text = reg.render_prometheus();
+        let c_at = text.find("requests_total 4").expect("counter sample");
+        let g_at = text.find("depth 7").expect("gauge sample");
+        let h_at = text.find("latency_ns_count 1").expect("histogram count");
+        assert!(c_at < g_at && g_at < h_at, "registration order:\n{text}");
+    }
+
+    #[test]
+    fn kind_mismatch_degrades_to_a_detached_metric() {
+        let reg = Registry::new();
+        let c = reg.counter("m", "help");
+        c.inc();
+        let g = reg.gauge("m", "help");
+        g.set(99);
+        let text = reg.render_prometheus();
+        assert!(text.contains("m 1"), "original counter still rendered");
+        assert!(!text.contains("m 99"), "detached gauge not rendered");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_capped_by_inf() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(5);
+        let mut out = String::new();
+        push_histogram(&mut out, "lat_ns", "Latency.", &h.snapshot());
+        let expected = "# HELP lat_ns Latency.\n\
+                        # TYPE lat_ns histogram\n\
+                        lat_ns_bucket{le=\"0\"} 1\n\
+                        lat_ns_bucket{le=\"1\"} 3\n\
+                        lat_ns_bucket{le=\"3\"} 3\n\
+                        lat_ns_bucket{le=\"7\"} 4\n\
+                        lat_ns_bucket{le=\"+Inf\"} 4\n\
+                        lat_ns_sum 7\n\
+                        lat_ns_count 4\n";
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn labelled_series_share_one_family_preamble() {
+        let a = Histogram::new();
+        a.record(2);
+        let b = Histogram::new();
+        b.record(1000);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut out = String::new();
+        push_histogram_series(
+            &mut out,
+            "rtt_ns",
+            "RTT.",
+            &[("msg=\"Ping\"", &sa), ("msg=\"Drain\"", &sb)],
+        );
+        assert_eq!(out.matches("# TYPE rtt_ns histogram").count(), 1);
+        assert!(out.contains("rtt_ns_bucket{msg=\"Ping\",le=\"3\"} 1"));
+        assert!(out.contains("rtt_ns_bucket{msg=\"Drain\",le=\"+Inf\"} 1"));
+        assert!(out.contains("rtt_ns_sum{msg=\"Drain\"} 1000"));
+        assert!(out.contains("rtt_ns_count{msg=\"Ping\"} 1"));
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_a_valid_family() {
+        let mut out = String::new();
+        push_histogram(
+            &mut out,
+            "idle_ns",
+            "Never recorded.",
+            &Histogram::new().snapshot(),
+        );
+        assert!(out.contains("idle_ns_bucket{le=\"+Inf\"} 0"));
+        assert!(out.contains("idle_ns_sum 0"));
+        assert!(out.contains("idle_ns_count 0"));
+    }
+}

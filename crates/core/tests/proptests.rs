@@ -3,6 +3,7 @@
 
 use etsc_core::distance::{dot_product, euclidean, squared_euclidean, znormalized_dist};
 use etsc_core::dtw::{dtw_sq, envelope, lb_keogh_sq, lb_kim_sq};
+use etsc_core::metrics::{Histogram, HistogramSnapshot};
 use etsc_core::nn::{distance_profile, distance_profile_naive, BatchProfile};
 use etsc_core::parallel;
 use etsc_core::stats::{mean, mean_std, std_dev, RunningStats};
@@ -264,5 +265,136 @@ proptest! {
             let expect2: Vec<f64> = xs.iter().map(|&x| x * 2.0).collect();
             prop_assert_eq!(&sliced, &expect2);
         }
+    }
+}
+
+/// Scale raw u64 draws down by per-element exponents, so observation sets
+/// cover every bucket region — uniform u64 alone almost never lands below
+/// 2^55. `e` picks the magnitude (`0` → the value 0, `e` → `[0, 2^e)`);
+/// the two input vectors zip, truncating to the shorter.
+fn scaled_values(exps: &[usize], raws: &[u64]) -> Vec<u64> {
+    exps.iter()
+        .zip(raws)
+        .map(|(&e, &r)| if e == 0 { 0 } else { r >> (64 - e.min(64)) })
+        .collect()
+}
+
+/// Record `values` into a fresh histogram and snapshot it.
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn histogram_buckets_bracket_every_value(e in 0usize..65, raw in 0u64..=u64::MAX) {
+        let v = *scaled_values(&[e], &[raw]).first().expect("one value");
+        let s = snap(&[v]);
+        let i = s
+            .buckets
+            .iter()
+            .position(|&c| c == 1)
+            .expect("one value lands in exactly one bucket");
+        prop_assert!(v <= HistogramSnapshot::bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(v > HistogramSnapshot::bucket_upper_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_power_of_two_boundaries_are_exact(k in 1usize..63) {
+        // 2^k − 1 is the last value of bucket k and 2^k the first of the
+        // next (the overflow bucket for k = 62) — the boundary is exact,
+        // never off by one.
+        let below = (1u64 << k) - 1;
+        let at = 1u64 << k;
+        let s = snap(&[below, at]);
+        prop_assert_eq!(s.buckets[k], 1);
+        prop_assert_eq!(s.buckets[(k + 1).min(63)], 1);
+        prop_assert_eq!(HistogramSnapshot::bucket_upper_bound(k), below);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_never_understate(
+        exps in prop::collection::vec(0usize..65, 1..80),
+        raws in prop::collection::vec(0u64..=u64::MAX, 1..80),
+    ) {
+        let values = scaled_values(&exps, &raws);
+        let s = snap(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(s.quantile(w[0]) <= s.quantile(w[1]), "monotone in q");
+        }
+        for &q in &qs {
+            // The reported quantile is the upper bound of the bucket that
+            // holds the rank, so it never understates the exact quantile.
+            let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let exact = sorted[rank as usize - 1];
+            prop_assert!(s.quantile(q) >= exact, "q={q}: {} < {exact}", s.quantile(q));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_the_concatenation(
+        // Exponents capped at 57: 120 observations of < 2^57 keep the sum
+        // below u64::MAX, the regime the histogram documents (`record`
+        // wraps on a sum overflow, `merge` saturates — they only agree
+        // while the total stays representable; the saturation property
+        // has its own test below).
+        exps in prop::collection::vec(0usize..58, 2..120),
+        raws in prop::collection::vec(0u64..=u64::MAX, 2..120),
+        split in 0usize..120,
+    ) {
+        let values = scaled_values(&exps, &raws);
+        let (a, b) = values.split_at(split.min(values.len()));
+        let (a, b) = (a.to_vec(), b.to_vec());
+        let mut merged = snap(&a);
+        merged.merge(&snap(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snap(&concat));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        exps in prop::collection::vec(0usize..65, 3..120),
+        raws in prop::collection::vec(0u64..=u64::MAX, 3..120),
+    ) {
+        let values = scaled_values(&exps, &raws);
+        let third = values.len() / 3;
+        let (a, rest) = values.split_at(third);
+        let (b, c) = rest.split_at(third);
+        let (sa, sb, sc) = (snap(a), snap(b), snap(c));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba, "commutative");
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associative");
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_saturates_instead_of_wrapping(extra in 0u64..=u64::MAX) {
+        // A snapshot already at the counting limit absorbs more giant
+        // observations without wrapping — the overflow bucket and the sum
+        // both saturate.
+        let mut s = HistogramSnapshot::empty();
+        s.buckets[63] = u64::MAX;
+        s.sum = u64::MAX;
+        s.merge(&snap(&[u64::MAX, extra | (1 << 62)]));
+        prop_assert_eq!(s.buckets[63], u64::MAX);
+        prop_assert_eq!(s.sum, u64::MAX);
+        prop_assert_eq!(s.quantile(1.0), u64::MAX);
     }
 }

@@ -16,7 +16,7 @@
 //!
 //! | rule | bans | protects |
 //! |------|------|----------|
-//! | `determinism` | `Instant::now` / `SystemTime` / entropy-seeded RNGs (`thread_rng`, `from_entropy`, `OsRng`) outside `net::client` deadlines, `net::supervisor` heartbeats, and `crates/bench` | bit-identical alarm sequences under any thread/shard/fault-seed configuration |
+//! | `determinism` | `Instant::now` / `SystemTime` / entropy-seeded RNGs (`thread_rng`, `from_entropy`, `OsRng`) outside `crates/bench` and the sanctioned `Clock` source in `core/src/metrics/clock.rs` | bit-identical alarm sequences under any thread/shard/fault-seed configuration |
 //! | `ordered-iteration` | `HashMap`/`HashSet` in `persist`/`serve`/`net`/`stream`/`classifiers` | byte-stable snapshots and deterministic drain order — hash iteration order must never reach bytes or alarms |
 //! | `panic-freedom` | `.unwrap()`/`.expect()`, `panic!`-family macros, direct index/slice expressions in `serve`/`net`/`persist` runtime code | a malformed input or lost invariant surfaces as a typed error, never a torn-down node |
 //! | `cast-safety` | bare integer `as` casts in `persist/src/lib.rs` and `net/src/wire.rs` | the frozen codecs never silently truncate a length or discriminant |

@@ -41,11 +41,26 @@ fn determinism_accepts_seeds_and_justified_deadlines() {
 }
 
 #[test]
-fn determinism_allowlists_bench_and_client_deadlines() {
-    // The same clock-heavy source is fine where wall time is the point.
-    for path in ["crates/bench/src/main.rs", "crates/net/src/client.rs"] {
+fn determinism_allowlists_bench_and_the_clock_source() {
+    // The same clock-heavy source is fine where wall time is the point:
+    // benchmarks, and the one sanctioned `Clock` implementation.
+    for path in [
+        "crates/bench/src/main.rs",
+        "crates/core/src/metrics/clock.rs",
+    ] {
         let got = rules("determinism/violations.rs", path);
         assert_eq!(count(&got, "determinism"), 0, "at {path}: {got:?}");
+    }
+}
+
+#[test]
+fn determinism_gates_net_modules_that_take_an_injected_clock() {
+    // client/supervisor used to be allowlisted for their wall-clock
+    // deadlines; since they read time through an injected `Clock`, the
+    // gate applies to them again.
+    for path in ["crates/net/src/client.rs", "crates/net/src/supervisor.rs"] {
+        let got = rules("determinism/violations.rs", path);
+        assert_eq!(count(&got, "determinism"), 3, "at {path}: {got:?}");
     }
 }
 

@@ -16,3 +16,11 @@ pub fn deadline_expired() -> bool {
     let now = std::time::Instant::now();
     now.elapsed().as_millis() > 0
 }
+
+pub fn injected_clock_timing(clock: &etsc_core::metrics::Clock) -> u64 {
+    // Reading time through an injected Clock is the sanctioned pattern:
+    // the ambient call site lives in core/src/metrics/clock.rs, and tests
+    // swap in a manual clock.
+    let started = clock.now_ns();
+    clock.now_ns().saturating_sub(started)
+}

@@ -25,15 +25,17 @@
 //! deduplicates server-side so a batch whose acknowledgement was lost in
 //! transit is never applied twice.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use etsc_core::metrics::{Clock, Histogram, HistogramSnapshot};
 use etsc_serve::{Record, StreamAlarm, StreamService};
 
 use crate::error::WireError;
 use crate::fault::FaultInjector;
+use crate::metrics::MessageTimings;
 use crate::retry::{RetryPolicy, RetryStats};
 use crate::transport::{Conn, Endpoint};
 use crate::wire::{read_frame, Message, ReadOutcome, MAX_FRAME_PAYLOAD};
@@ -62,6 +64,13 @@ pub struct ClientConfig {
     /// Optional deterministic fault injection on everything this client's
     /// connections do (tests only; `None` in production).
     pub faults: Option<FaultInjector>,
+    /// Clock behind request deadlines and the client's RTT histograms:
+    /// monotonic by default, manual in deterministic tests. A
+    /// [`Clock::disabled`] clock leaves the RTT histograms empty **and
+    /// disables request deadlines** — without a time source the client
+    /// cannot tell when one expires — so only disable it where the node is
+    /// trusted to always reply.
+    pub clock: Clock,
 }
 
 impl Default for ClientConfig {
@@ -72,6 +81,7 @@ impl Default for ClientConfig {
             retry: RetryPolicy::default(),
             client_id: 0,
             faults: None,
+            clock: Clock::monotonic(),
         }
     }
 }
@@ -89,6 +99,11 @@ pub struct NetClient {
     /// the node's dedup cursor can recognize it.
     next_seq: u64,
     stats: RetryStats,
+    /// Round-trip time per request kind (successful exchanges only).
+    rtt_ns: MessageTimings,
+    /// Scheduled retry-backoff delays, recorded whether or not the clock
+    /// is enabled (the delay is known, not measured).
+    backoff_ns: Histogram,
 }
 
 /// Unwrap a specific reply variant or produce a typed
@@ -123,6 +138,8 @@ impl NetClient {
             rng,
             next_seq: 1,
             stats: RetryStats::default(),
+            rtt_ns: MessageTimings::new(),
+            backoff_ns: Histogram::new(),
         })
     }
 
@@ -157,6 +174,17 @@ impl NetClient {
         self.stats
     }
 
+    /// Round-trip-time histograms per request kind (successful exchanges
+    /// only; empty under a disabled clock).
+    pub fn rtt_timings(&self) -> &MessageTimings {
+        &self.rtt_ns
+    }
+
+    /// Distribution of scheduled retry-backoff delays, in nanoseconds.
+    pub fn backoff_snapshot(&self) -> HistogramSnapshot {
+        self.backoff_ns.snapshot()
+    }
+
     /// Drop the current connection and dial the endpoint again. The old
     /// connection is replaced only once the new dial succeeds, and request
     /// state (the ingest sequence number, retry counters) carries over —
@@ -174,17 +202,39 @@ impl NetClient {
         Ok(())
     }
 
-    /// Send one request and wait for its reply, without retries. A remote
-    /// [`Message::Error`] reply is surfaced as the carried [`WireError`].
+    /// Send one request and wait for its reply, without retries,
+    /// recording the round trip into the per-kind RTT histograms when the
+    /// clock is enabled. A remote [`Message::Error`] reply is surfaced as
+    /// the carried [`WireError`].
     fn request_once(&mut self, msg: &Message) -> Result<Message, WireError> {
-        msg.write_to(&mut self.conn)?;
-        let deadline = if self.cfg.request_timeout.is_zero() {
+        let clock = self.cfg.clock.clone();
+        let slot = if clock.is_disabled() {
             None
         } else {
-            Some(Instant::now() + self.cfg.request_timeout)
+            MessageTimings::index_of(msg)
+        };
+        let started = if slot.is_some() { clock.now_ns() } else { 0 };
+        let result = self.exchange(msg, &clock);
+        if let (Some(slot), Ok(_)) = (slot, &result) {
+            self.rtt_ns
+                .record(slot, clock.now_ns().saturating_sub(started));
+        }
+        result
+    }
+
+    /// The raw request/reply exchange under a per-request deadline.
+    /// Deadlines are read off `clock`, so a disabled clock disables them
+    /// and a manual clock makes timeout behavior test-steppable.
+    fn exchange(&mut self, msg: &Message, clock: &Clock) -> Result<Message, WireError> {
+        msg.write_to(&mut self.conn)?;
+        let deadline = if self.cfg.request_timeout.is_zero() || clock.is_disabled() {
+            None
+        } else {
+            let timeout = u64::try_from(self.cfg.request_timeout.as_nanos()).unwrap_or(u64::MAX);
+            Some(clock.now_ns().saturating_add(timeout))
         };
         let outcome = read_frame(&mut self.conn, self.cfg.max_frame_payload, &mut || {
-            deadline.is_some_and(|d| Instant::now() >= d)
+            deadline.is_some_and(|d| clock.now_ns() >= d)
         })?;
         match outcome {
             ReadOutcome::Frame(frame) => match Message::decode(&frame)? {
@@ -233,6 +283,8 @@ impl NetClient {
             let delay = err
                 .retry_after()
                 .unwrap_or_else(|| self.cfg.retry.backoff(retries_done, &mut self.rng));
+            self.backoff_ns
+                .record(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX));
             std::thread::sleep(delay);
             retries_done += 1;
         }

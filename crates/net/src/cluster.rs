@@ -20,11 +20,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use etsc_core::hash;
+use etsc_core::metrics::{push_histogram, HistogramSnapshot};
 use etsc_serve::stats::{push_counter, push_gauge};
 use etsc_serve::{Record, StreamAlarm, StreamService};
 
 use crate::client::{ClientConfig, NetClient};
 use crate::error::WireError;
+use crate::metrics::MessageTimings;
 use crate::retry::RetryStats;
 use crate::supervisor::FailoverReport;
 use crate::transport::Endpoint;
@@ -409,7 +411,10 @@ impl Cluster {
 
     /// Aggregate resilience counters — every client's
     /// [`RetryStats`](crate::RetryStats) plus cluster-level failover and
-    /// stash gauges — in Prometheus text exposition format.
+    /// stash gauges — and every client's latency histograms (per-kind
+    /// request RTT and retry-backoff delays, merged across clients — the
+    /// merge is associative and commutative, so client order is
+    /// irrelevant) in Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         let mut agg = RetryStats::default();
         for c in &self.clients {
@@ -433,6 +438,25 @@ impl Cluster {
             "etsc_net_pending_batches",
             "Sub-batches stashed for redelivery.",
             self.pending.len() as u64,
+        );
+        let mut rtt = MessageTimings::empty_snapshots();
+        let mut backoff = HistogramSnapshot::empty();
+        for c in &self.clients {
+            MessageTimings::merge_into(&mut rtt, &c.rtt_timings().snapshots());
+            backoff.merge(&c.backoff_snapshot());
+        }
+        crate::metrics::push_snapshots_prometheus(
+            &mut out,
+            "etsc_net_client_rtt_ns",
+            "Client-side request round-trip time per message kind, merged across the \
+             cluster's clients, in nanoseconds.",
+            &rtt,
+        );
+        push_histogram(
+            &mut out,
+            "etsc_net_backoff_ns",
+            "Scheduled retry-backoff delays across the cluster's clients, in nanoseconds.",
+            &backoff,
         );
         out
     }

@@ -84,6 +84,7 @@ pub mod client;
 pub mod cluster;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 pub mod node;
 pub mod retry;
 pub mod supervisor;
@@ -94,6 +95,7 @@ pub use client::{ClientConfig, NetClient};
 pub use cluster::{Cluster, ClusterRouter};
 pub use error::WireError;
 pub use fault::{Fault, FaultInjector, FaultPlan, Op};
+pub use metrics::MessageTimings;
 pub use node::{Node, NodeConfig};
 pub use retry::{RetryPolicy, RetryStats};
 pub use supervisor::{FailoverReport, Supervisor, SupervisorConfig};

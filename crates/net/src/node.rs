@@ -26,11 +26,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use etsc_core::metrics::Clock;
 use etsc_early::EarlyClassifier;
 use etsc_persist::{ModelRegistry, Persist};
 use etsc_serve::Runtime;
 
 use crate::error::WireError;
+use crate::metrics::MessageTimings;
 use crate::transport::{Conn, Listener};
 use crate::wire::{read_frame, Message, ReadOutcome, MAX_FRAME_PAYLOAD};
 
@@ -56,6 +58,11 @@ pub struct NodeConfig {
     /// single-driver Reject-policy queue nobody else drains, so the node
     /// usually cannot predict when capacity frees.
     pub queue_full_retry_after: Duration,
+    /// Clock behind the node's per-request service-time histograms:
+    /// monotonic by default, [`Clock::disabled`] to serve untimed (the
+    /// histograms then stay empty), manual in deterministic tests. Timing
+    /// never influences replies, only the exposed metrics.
+    pub clock: Clock,
 }
 
 impl Default for NodeConfig {
@@ -66,6 +73,7 @@ impl Default for NodeConfig {
             max_frame_payload: MAX_FRAME_PAYLOAD,
             busy_retry_after: Duration::from_millis(50),
             queue_full_retry_after: Duration::ZERO,
+            clock: Clock::monotonic(),
         }
     }
 }
@@ -77,6 +85,7 @@ pub struct Node<'a, C: EarlyClassifier + Persist> {
     cfg: NodeConfig,
     stop: AtomicBool,
     active: AtomicUsize,
+    request_ns: MessageTimings,
 }
 
 impl<'a, C: EarlyClassifier + Persist> Node<'a, C> {
@@ -89,7 +98,15 @@ impl<'a, C: EarlyClassifier + Persist> Node<'a, C> {
             cfg,
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            request_ns: MessageTimings::new(),
         }
+    }
+
+    /// The node-side per-request service-time histograms (for inspection
+    /// from tests and co-located drivers; scrapers get them appended to
+    /// every `Stats` reply).
+    pub fn request_timings(&self) -> &MessageTimings {
+        &self.request_ns
     }
 
     /// Attach the registry that `Checkpoint` requests write to.
@@ -198,11 +215,29 @@ impl<'a, C: EarlyClassifier + Persist> Node<'a, C> {
         }
     }
 
-    /// Dispatch one request to the runtime. Returns the reply and whether
+    /// Dispatch one request to the runtime, timing its service span (lock
+    /// acquisition included — contention is part of what a client waits
+    /// for) into the per-kind histograms. Returns the reply and whether
     /// the connection should close after sending it. Total: every request
     /// gets a reply, and runtime failures cross as typed
     /// [`Message::Error`]s.
     fn handle_message(&self, msg: Message) -> (Message, bool) {
+        let clock = &self.cfg.clock;
+        let slot = if clock.is_disabled() {
+            None
+        } else {
+            MessageTimings::index_of(&msg)
+        };
+        let started = if slot.is_some() { clock.now_ns() } else { 0 };
+        let (reply, close_after) = self.dispatch(msg);
+        if let Some(slot) = slot {
+            self.request_ns
+                .record(slot, clock.now_ns().saturating_sub(started));
+        }
+        (reply, close_after)
+    }
+
+    fn dispatch(&self, msg: Message) -> (Message, bool) {
         let mut rt = self.runtime.lock().unwrap_or_else(|p| p.into_inner());
         let reply = match msg {
             Message::OpenStream { stream } => Message::OpenAck {
@@ -234,9 +269,15 @@ impl<'a, C: EarlyClassifier + Persist> Node<'a, C> {
                     Err(e) => Message::Error(WireError::from_serve(&e)),
                 },
             },
-            Message::Stats => Message::StatsAck {
-                text: rt.stats().render_prometheus(),
-            },
+            Message::Stats => {
+                let mut text = rt.stats().render_prometheus();
+                self.request_ns.push_prometheus(
+                    &mut text,
+                    "etsc_net_request_ns",
+                    "Node-side request service time per message kind, in nanoseconds.",
+                );
+                Message::StatsAck { text }
+            }
             Message::MigrateOut { streams } => match rt.export_streams(&streams) {
                 Ok(streams) => Message::MigrateStreams { streams },
                 Err(e) => Message::Error(WireError::from_serve(&e)),

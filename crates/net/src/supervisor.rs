@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::marker::PhantomData;
 use std::path::PathBuf;
 
+use etsc_core::metrics::{push_histogram, push_scalar, Clock, Histogram};
 use etsc_early::EarlyClassifier;
 use etsc_persist::{ModelRegistry, Persist};
 use etsc_serve::{Runtime, StreamAlarm};
@@ -100,6 +101,9 @@ pub struct Supervisor<C: EarlyClassifier + Persist> {
     misses: Vec<u32>,
     dead: BTreeSet<usize>,
     failovers: u64,
+    clock: Clock,
+    probe_ns: Histogram,
+    failover_ns: Histogram,
     _model: PhantomData<fn() -> C>,
 }
 
@@ -112,8 +116,19 @@ impl<C: EarlyClassifier + Persist> Supervisor<C> {
             misses: Vec::new(),
             dead: BTreeSet::new(),
             failovers: 0,
+            clock: Clock::monotonic(),
+            probe_ns: Histogram::new(),
+            failover_ns: Histogram::new(),
             _model: PhantomData,
         }
+    }
+
+    /// Replace the clock behind the probe/failover latency histograms
+    /// (manual in deterministic tests, disabled to supervise untimed).
+    /// Detection itself never reads the clock — ticks are caller-driven —
+    /// so the clock mode cannot change which nodes are declared dead.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
     }
 
     /// Consecutive misses currently recorded against `node`.
@@ -148,7 +163,18 @@ impl<C: EarlyClassifier + Persist> Supervisor<C> {
             if self.dead.contains(&node) {
                 continue;
             }
-            if Self::probe(cluster.client(node), node as u64) {
+            let timing = !self.clock.is_disabled();
+            let started = if timing { self.clock.now_ns() } else { 0 };
+            let alive = Self::probe(cluster.client(node), node as u64);
+            if timing {
+                // One observation per probe, hit or miss — a miss's span
+                // (timeout + redial + second timeout) is the latency a
+                // failed heartbeat costs the tick, which is the number to
+                // watch when choosing a tick cadence.
+                self.probe_ns
+                    .record(self.clock.now_ns().saturating_sub(started));
+            }
+            if alive {
                 if let Some(m) = self.misses.get_mut(node) {
                     *m = 0;
                 }
@@ -166,7 +192,13 @@ impl<C: EarlyClassifier + Persist> Supervisor<C> {
                 })
                 .unwrap_or(0);
             if misses >= self.cfg.miss_threshold.max(1) {
-                reports.push(self.failover(node, cluster)?);
+                let started = if timing { self.clock.now_ns() } else { 0 };
+                let report = self.failover(node, cluster)?;
+                if timing {
+                    self.failover_ns
+                        .record(self.clock.now_ns().saturating_sub(started));
+                }
+                reports.push(report);
             }
         }
         Ok(reports)
@@ -243,5 +275,39 @@ impl<C: EarlyClassifier + Persist> Supervisor<C> {
             cursors,
             already_imported,
         })
+    }
+
+    /// Render the supervisor's own metrics — failover count, dead-node
+    /// count, probe and failover latency histograms — in the same
+    /// Prometheus dialect every other layer exposes.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        push_scalar(
+            &mut out,
+            "etsc_net_supervisor_failovers_total",
+            "Failovers this supervisor has driven.",
+            "counter",
+            self.failovers,
+        );
+        push_scalar(
+            &mut out,
+            "etsc_net_supervisor_dead_nodes",
+            "Nodes this supervisor has declared dead.",
+            "gauge",
+            self.dead.len() as u64,
+        );
+        push_histogram(
+            &mut out,
+            "etsc_net_heartbeat_probe_ns",
+            "Heartbeat probe latency in nanoseconds (misses include the redial and second timeout).",
+            &self.probe_ns.snapshot(),
+        );
+        push_histogram(
+            &mut out,
+            "etsc_net_failover_ns",
+            "End-to-end failover duration (recover, export, import, pin) in nanoseconds.",
+            &self.failover_ns.snapshot(),
+        );
+        out
     }
 }

@@ -52,6 +52,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
+use etsc_core::metrics::{Clock, Histogram};
 use etsc_core::parallel;
 use etsc_early::EarlyClassifier;
 use etsc_persist::{Encoder, ModelRegistry, Persist, PersistError};
@@ -185,8 +186,13 @@ impl<'a, C: EarlyClassifier + ?Sized> Shard<'a, C> {
 
     /// Process every queued record in ingest order. Runs on one worker
     /// thread during a drain; shards are independent, so servicing them
-    /// concurrently cannot change any stream's sample order.
-    fn process_queue(&mut self) -> Vec<StreamAlarm> {
+    /// concurrently cannot change any stream's sample order. `clock` and
+    /// `push_ns` come from the owning runtime: push latency is sampled
+    /// every [`PUSH_SAMPLE_EVERY`]-th push per shard (the sampling
+    /// decision depends only on the shard's push counter, never on the
+    /// clock, so instrumentation cannot perturb what any monitor sees).
+    fn process_queue(&mut self, clock: &Clock, push_ns: &Histogram) -> Vec<StreamAlarm> {
+        let timing = !clock.is_disabled();
         let mut out = Vec::new();
         for q in self.queue.drain(..) {
             // Ingest creates the monitor when it routes the record, and
@@ -199,7 +205,13 @@ impl<'a, C: EarlyClassifier + ?Sized> Shard<'a, C> {
                 continue;
             };
             self.pushes += 1;
-            if let Some(alarm) = monitor.push(q.value) {
+            let sampled = timing && self.pushes.is_multiple_of(PUSH_SAMPLE_EVERY);
+            let started = if sampled { clock.now_ns() } else { 0 };
+            let alarm = monitor.push(q.value);
+            if sampled {
+                push_ns.record(clock.now_ns().saturating_sub(started));
+            }
+            if let Some(alarm) = alarm {
                 self.alarms += 1;
                 out.push(StreamAlarm {
                     stream: q.stream,
@@ -209,6 +221,35 @@ impl<'a, C: EarlyClassifier + ?Sized> Shard<'a, C> {
             }
         }
         out
+    }
+}
+
+/// Per-push latency is sampled once every this many pushes per shard: two
+/// clock reads cost ~40-60 ns against a ~500 ns push, so sampling 1-in-8
+/// keeps the measured instrumentation overhead around 1% (bench_serve
+/// asserts < 5%) while a busy shard still collects thousands of samples
+/// per second.
+const PUSH_SAMPLE_EVERY: u64 = 8;
+
+/// The runtime's latency/size histograms. Lock-free (`&self` recording),
+/// shared by reference with the shard workers during a parallel drain.
+struct RuntimeMetrics {
+    drain_cycle_ns: Histogram,
+    push_ns: Histogram,
+    checkpoint_pause_ns: Histogram,
+    checkpoint_bytes: Histogram,
+    migration_ns: Histogram,
+}
+
+impl RuntimeMetrics {
+    fn new() -> Self {
+        Self {
+            drain_cycle_ns: Histogram::new(),
+            push_ns: Histogram::new(),
+            checkpoint_pause_ns: Histogram::new(),
+            checkpoint_bytes: Histogram::new(),
+            migration_ns: Histogram::new(),
+        }
     }
 }
 
@@ -246,6 +287,12 @@ pub struct Runtime<'a, C: EarlyClassifier + ?Sized> {
     last_checkpoint_bytes: usize,
     retired_pushes: u64,
     retired_alarms: u64,
+    /// Timing source for the latency histograms below. Monotonic by
+    /// default; swap in a manual clock for deterministic tests or a
+    /// disabled one to measure the uninstrumented baseline
+    /// ([`set_clock`](Self::set_clock)). Alarm content never reads it.
+    clock: Clock,
+    metrics: RuntimeMetrics,
 }
 
 impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
@@ -285,12 +332,31 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             last_checkpoint_bytes: 0,
             retired_pushes: 0,
             retired_alarms: 0,
+            clock: Clock::monotonic(),
+            metrics: RuntimeMetrics::new(),
         })
     }
 
     /// The runtime's configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.cfg
+    }
+
+    /// Replace the timing source behind the latency histograms (see
+    /// [`ServeStats`] for what is measured). The default is
+    /// [`Clock::monotonic`]; hand in [`Clock::manual`] for deterministic
+    /// timing in tests, or [`Clock::disabled`] to skip every timing read
+    /// (the baseline half of the instrumentation-overhead A/B in
+    /// `bench_serve`). The clock only feeds telemetry — alarm sequences
+    /// are identical under every clock mode.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
+    }
+
+    /// The clock currently feeding the latency histograms (clones share
+    /// the time source, so a test can step a manual clock it installed).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// Current shard count.
@@ -491,10 +557,23 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             // internally) must not pay the scoped-spawn round for nothing.
             return;
         }
+        let timing = !self.clock.is_disabled();
+        let started = if timing { self.clock.now_ns() } else { 0 };
         let threads = self.worker_threads().min(self.shards.len());
-        let batches = parallel::map_mut_with(threads, &mut self.shards, Shard::process_queue);
+        // Field-precise borrows: the workers mutate the shards while
+        // recording into the (lock-free, `&self`) histograms.
+        let clock = &self.clock;
+        let push_ns = &self.metrics.push_ns;
+        let batches = parallel::map_mut_with(threads, &mut self.shards, |shard| {
+            shard.process_queue(clock, push_ns)
+        });
         for batch in batches {
             self.pending.extend(batch);
+        }
+        if timing {
+            self.metrics
+                .drain_cycle_ns
+                .record(self.clock.now_ns().saturating_sub(started));
         }
     }
 
@@ -514,6 +593,8 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             return Err(ServeError::BadConfig("shard count must be ≥ 1".into()));
         }
         self.flush_all();
+        let timing = !self.clock.is_disabled();
+        let started = if timing { self.clock.now_ns() } else { 0 };
         let new_router = ShardRouter::new(new_shards);
         // Phase 1 (fallible, read-only): rehydrate a fresh monitor from
         // snapshot bytes for every stream whose shard index changes. Streams
@@ -549,6 +630,11 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         self.cfg.shards = new_shards;
         self.rebalances += 1;
         self.migrated_streams += n_migrated;
+        if timing {
+            self.metrics
+                .migration_ns
+                .record(self.clock.now_ns().saturating_sub(started));
+        }
         Ok(())
     }
 
@@ -569,6 +655,8 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
     /// owner before resuming ingestion.
     pub fn export_streams(&mut self, streams: &[u64]) -> Result<Vec<(u64, Vec<u8>)>, ServeError> {
         self.flush_all();
+        let timing = !self.clock.is_disabled();
+        let started = if timing { self.clock.now_ns() } else { 0 };
         // Phase 1 (fallible, read-only): snapshot every requested stream.
         let mut out = Vec::with_capacity(streams.len());
         for &id in streams {
@@ -586,6 +674,11 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             }
         }
         self.migrated_streams += streams.len() as u64;
+        if timing {
+            self.metrics
+                .migration_ns
+                .record(self.clock.now_ns().saturating_sub(started));
+        }
         Ok(out)
     }
 
@@ -599,6 +692,8 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
     /// duplicate id) leaves the runtime untouched — in particular, a
     /// failed import never half-applies a migration batch.
     pub fn import_streams(&mut self, streams: &[(u64, Vec<u8>)]) -> Result<(), ServeError> {
+        let timing = !self.clock.is_disabled();
+        let started = if timing { self.clock.now_ns() } else { 0 };
         // Phase 1 (fallible): validate ids and rehydrate monitors.
         let mut fresh: BTreeMap<u64, StreamMonitor<'a, C>> = BTreeMap::new();
         for (id, bytes) in streams {
@@ -623,6 +718,11 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
                 .insert(id, monitor);
         }
         self.migrated_streams += n;
+        if timing {
+            self.metrics
+                .migration_ns
+                .record(self.clock.now_ns().saturating_sub(started));
+        }
         Ok(())
     }
 
@@ -665,6 +765,11 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             migrated_streams: self.migrated_streams,
             checkpoints: self.checkpoints,
             last_checkpoint_bytes: self.last_checkpoint_bytes,
+            drain_cycle_ns: self.metrics.drain_cycle_ns.snapshot(),
+            push_ns: self.metrics.push_ns.snapshot(),
+            checkpoint_pause_ns: self.metrics.checkpoint_pause_ns.snapshot(),
+            checkpoint_bytes: self.metrics.checkpoint_bytes.snapshot(),
+            migration_ns: self.metrics.migration_ns.snapshot(),
             shards,
         }
     }
@@ -689,6 +794,8 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
     /// Returns the checkpoint envelope size in bytes.
     pub fn checkpoint_state(&mut self, registry: &ModelRegistry) -> Result<usize, ServeError> {
         self.flush_all();
+        let timing = !self.clock.is_disabled();
+        let started = if timing { self.clock.now_ns() } else { 0 };
         let mut enc = Encoder::new();
         enc.put_usize(self.shards.len());
         enc.put_usize(self.cfg.queue_capacity);
@@ -741,6 +848,12 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         registry.save_bytes(&state_entry_name(&self.cfg.model_name), &bytes)?;
         self.checkpoints += 1;
         self.last_checkpoint_bytes = bytes.len();
+        self.metrics.checkpoint_bytes.record(bytes.len() as u64);
+        if timing {
+            self.metrics
+                .checkpoint_pause_ns
+                .record(self.clock.now_ns().saturating_sub(started));
+        }
         Ok(bytes.len())
     }
 
@@ -1142,6 +1255,60 @@ mod tests {
         assert_eq!(stats.pending_alarms, 0);
         assert_eq!(stats.shards.len(), 3);
         assert!(stats.shards.iter().any(|s| s.streams > 0));
+    }
+
+    #[test]
+    fn metrics_populate_under_monotonic_and_stay_empty_when_disabled() {
+        use etsc_core::metrics::Clock;
+        let clf = detector();
+        let batches = traffic(&IDS, 90);
+
+        // Default monotonic clock: drains and sampled pushes land in the
+        // histograms; a checkpoint records both pause and size; rebalance
+        // is timed as a migration.
+        let root = tmp_root("metrics-clock");
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut rt = Runtime::new(&clf, config(3)).unwrap();
+        let timed = run_all(&mut rt, &batches);
+        rt.checkpoint(&registry).unwrap();
+        rt.rebalance(4).unwrap();
+        let stats = rt.stats();
+        assert!(stats.drain_cycle_ns.count() >= 1);
+        assert!(
+            stats.push_ns.count() >= 1,
+            "1-in-8 sampling over {} pushes must observe something",
+            stats.pushes
+        );
+        assert_eq!(stats.checkpoint_pause_ns.count(), 1);
+        assert_eq!(stats.checkpoint_bytes.count(), 1);
+        assert_eq!(
+            stats.checkpoint_bytes.sum,
+            stats.last_checkpoint_bytes as u64
+        );
+        assert!(stats.migration_ns.count() >= 1);
+        let _ = std::fs::remove_dir_all(&root);
+
+        // Disabled clock: the latency histograms stay empty, size
+        // histograms still fill, and — the invariant everything else rests
+        // on — the alarm sequence is bit-identical to the timed run.
+        let root = tmp_root("metrics-clock-off");
+        let registry = ModelRegistry::open(&root).unwrap();
+        let mut off = Runtime::new(&clf, config(3)).unwrap();
+        off.set_clock(Clock::disabled());
+        assert!(off.clock().is_disabled());
+        let silent = run_all(&mut off, &batches);
+        assert_eq!(silent, timed, "clock mode must not change alarms");
+        off.checkpoint(&registry).unwrap();
+        let stats = off.stats();
+        assert_eq!(stats.drain_cycle_ns.count(), 0);
+        assert_eq!(stats.push_ns.count(), 0);
+        assert_eq!(stats.checkpoint_pause_ns.count(), 0);
+        assert_eq!(
+            stats.checkpoint_bytes.count(),
+            1,
+            "sizes are clock-independent"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

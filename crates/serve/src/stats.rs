@@ -3,23 +3,25 @@
 
 use std::fmt::Write as _;
 
+use etsc_core::metrics::{push_scalar, HistogramSnapshot};
+
+pub use etsc_core::metrics::{push_histogram, push_histogram_series};
+
 /// Append one counter metric (`# HELP`/`# TYPE` preamble plus an
 /// unlabelled sample) in Prometheus text exposition format. Shared by
 /// every layer that exports counters — the serving runtime here, retry
 /// and failover counters in the wire crate — so all exposition text stays
-/// format-identical.
+/// format-identical: this, [`push_gauge`], and the re-exported
+/// [`push_histogram`] family all delegate to the single formatting path
+/// in [`etsc_core::metrics`].
 pub fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
-    let _ = writeln!(out, "# HELP {name} {help}");
-    let _ = writeln!(out, "# TYPE {name} counter");
-    let _ = writeln!(out, "{name} {value}");
+    push_scalar(out, name, help, "counter", value);
 }
 
 /// Append one gauge metric in Prometheus text exposition format. See
 /// [`push_counter`].
 pub fn push_gauge(out: &mut String, name: &str, help: &str, value: u64) {
-    let _ = writeln!(out, "# HELP {name} {help}");
-    let _ = writeln!(out, "# TYPE {name} gauge");
-    let _ = writeln!(out, "{name} {value}");
+    push_scalar(out, name, help, "gauge", value);
 }
 
 /// Counters for one shard, as of a [`stats`](crate::Runtime::stats) call.
@@ -79,6 +81,23 @@ pub struct ServeStats {
     /// Size in bytes of the most recent runtime-state checkpoint envelope
     /// (0 before the first checkpoint).
     pub last_checkpoint_bytes: usize,
+    /// Latency distribution of whole drain cycles (one observation per
+    /// [`drain`](crate::Runtime::drain)/flush that found queued work),
+    /// in nanoseconds. Empty when the runtime's clock is disabled.
+    pub drain_cycle_ns: HistogramSnapshot,
+    /// Latency distribution of individual monitor pushes, sampled 1-in-8
+    /// per shard (see [`crate::Runtime::set_clock`]), in nanoseconds.
+    pub push_ns: HistogramSnapshot,
+    /// Distribution of checkpoint pause times (the stop-the-world span of
+    /// [`checkpoint_state`](crate::Runtime::checkpoint_state)), in
+    /// nanoseconds.
+    pub checkpoint_pause_ns: HistogramSnapshot,
+    /// Distribution of checkpoint envelope sizes, in bytes (recorded for
+    /// every checkpoint regardless of clock mode).
+    pub checkpoint_bytes: HistogramSnapshot,
+    /// Latency distribution of stream-migration operations (rebalances,
+    /// exports, imports), in nanoseconds.
+    pub migration_ns: HistogramSnapshot,
 }
 
 impl ServeStats {
@@ -157,6 +176,34 @@ impl ServeStats {
             "etsc_serve_shards",
             "Shards in the current topology.",
             self.shards.len() as u64,
+        );
+        let mut histogram = |name: &str, help: &str, snap: &HistogramSnapshot| {
+            push_histogram(&mut out, name, help, snap)
+        };
+        histogram(
+            "etsc_serve_drain_cycle_ns",
+            "Drain-cycle latency in nanoseconds (one observation per flush with queued work).",
+            &self.drain_cycle_ns,
+        );
+        histogram(
+            "etsc_serve_push_ns",
+            "Per-push monitor latency in nanoseconds, sampled 1-in-8 pushes per shard.",
+            &self.push_ns,
+        );
+        histogram(
+            "etsc_serve_checkpoint_pause_ns",
+            "Checkpoint pause (stop-the-world span of a state checkpoint) in nanoseconds.",
+            &self.checkpoint_pause_ns,
+        );
+        histogram(
+            "etsc_serve_checkpoint_bytes",
+            "Checkpoint envelope sizes in bytes.",
+            &self.checkpoint_bytes,
+        );
+        histogram(
+            "etsc_serve_migration_ns",
+            "Stream-migration latency (rebalance/export/import) in nanoseconds.",
+            &self.migration_ns,
         );
         let mut labelled =
             |name: &str, help: &str, kind: &str, value: &dyn Fn(&ShardStats) -> u64| {

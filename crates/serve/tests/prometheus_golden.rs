@@ -1,0 +1,124 @@
+//! Golden test of the full Prometheus exposition of a populated
+//! [`ServeStats`]: any drift in metric names, help text, type lines,
+//! label syntax, or histogram `_bucket`/`_sum`/`_count` layout fails CI
+//! with a diff against the committed fixture.
+//!
+//! To re-bless after a *deliberate* exposition change:
+//! `ETSC_BLESS=1 cargo test -p etsc-serve --test prometheus_golden`.
+
+use std::fs;
+use std::path::Path;
+
+use etsc_core::metrics::Histogram;
+use etsc_serve::stats::{ServeStats, ShardStats};
+
+/// A stats snapshot with every field populated — histograms included —
+/// built from fixed values so the exposition is bit-stable.
+fn populated_stats() -> ServeStats {
+    let drain = Histogram::new();
+    drain.record(1_000);
+    drain.record(3_000);
+    let push = Histogram::new();
+    push.record(450);
+    push.record(512);
+    let pause = Histogram::new();
+    pause.record(2_000_000);
+    let ckpt_bytes = Histogram::new();
+    ckpt_bytes.record(4_096);
+    let migration = Histogram::new(); // deliberately empty: the +Inf-only shape
+    ServeStats {
+        shards: vec![
+            ShardStats {
+                shard: 0,
+                streams: 2,
+                queued: 1,
+                queue_high_water: 5,
+                pushes: 10,
+                alarms: 2,
+            },
+            ShardStats {
+                shard: 1,
+                streams: 1,
+                queued: 0,
+                queue_high_water: 3,
+                pushes: 6,
+                alarms: 1,
+            },
+        ],
+        streams: 3,
+        pushes: 16,
+        alarms: 3,
+        ingested: 17,
+        pending_alarms: 1,
+        rejected_batches: 1,
+        duplicate_batches: 2,
+        rebalances: 1,
+        migrated_streams: 2,
+        checkpoints: 1,
+        last_checkpoint_bytes: 4_096,
+        drain_cycle_ns: drain.snapshot(),
+        push_ns: push.snapshot(),
+        checkpoint_pause_ns: pause.snapshot(),
+        checkpoint_bytes: ckpt_bytes.snapshot(),
+        migration_ns: migration.snapshot(),
+    }
+}
+
+#[test]
+fn full_exposition_matches_the_committed_golden() {
+    let actual = populated_stats().render_prometheus();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/serve_stats.prom");
+    if std::env::var_os("ETSC_BLESS").is_some() {
+        fs::write(&path, &actual).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run with ETSC_BLESS=1 to generate)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "Prometheus exposition drifted from the golden fixture; if the \
+         change is deliberate, re-bless with ETSC_BLESS=1"
+    );
+}
+
+#[test]
+fn exposition_is_structurally_sound() {
+    let text = populated_stats().render_prometheus();
+    // Every histogram family ends its bucket list with +Inf == _count.
+    for family in [
+        "etsc_serve_drain_cycle_ns",
+        "etsc_serve_push_ns",
+        "etsc_serve_checkpoint_pause_ns",
+        "etsc_serve_checkpoint_bytes",
+        "etsc_serve_migration_ns",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} histogram")),
+            "{family} family missing"
+        );
+        let inf_count: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{family}_bucket{{le=\"+Inf\"}} ")))
+            .expect("+Inf line")
+            .parse()
+            .expect("+Inf value");
+        let count: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{family}_count ")))
+            .expect("_count line")
+            .parse()
+            .expect("_count value");
+        assert_eq!(inf_count, count, "{family}: le=\"+Inf\" must equal _count");
+    }
+    // The empty histogram still exposes a valid family.
+    assert!(text.contains("etsc_serve_migration_ns_bucket{le=\"+Inf\"} 0"));
+    // One HELP/TYPE preamble per family, no duplicates.
+    let helps: Vec<&str> = text.lines().filter(|l| l.starts_with("# HELP")).collect();
+    let mut dedup = helps.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(helps.len(), dedup.len(), "duplicate HELP preamble");
+}

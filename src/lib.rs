@@ -346,6 +346,65 @@
 //! });
 //! ```
 //!
+//! ## Observability
+//!
+//! [`core::metrics`] is the telemetry plane everything above reports
+//! into: lock-free atomic counters and gauges, fixed-bucket log₂ latency
+//! [histograms](core::metrics::Histogram) (O(1) wait-free recording,
+//! mergeable snapshots, p50/p99/p999 readout), and an injectable
+//! [`Clock`](core::metrics::Clock) — monotonic in production, manual in
+//! tests, or disabled to turn every timing site into a no-op. Recording
+//! never touches alarm bytes: the same traffic produces bit-identical
+//! alarm sequences under any clock mode (`tests/metrics_e2e.rs` enforces
+//! this). The serve runtime times drain cycles, sampled pushes,
+//! checkpoint pauses, and migrations; the net layer adds per-message-kind
+//! request service times, client RTTs, retry backoff, and failover
+//! probes; all of it renders as Prometheus text exposition.
+//!
+//! ```
+//! use etsc::core::metrics::Clock;
+//! use etsc::core::UcrDataset;
+//! use etsc::early::ects::{Ects, EctsConfig};
+//! use etsc::serve::{Record, Runtime, RuntimeConfig};
+//!
+//! let train = UcrDataset::new(
+//!     (0..8)
+//!         .map(|i| {
+//!             let level = if i % 2 == 0 { 0.0 } else { 3.0 };
+//!             (0..16).map(|j| level + 0.05 * ((i * 5 + j) % 7) as f64).collect()
+//!         })
+//!         .collect(),
+//!     vec![0, 1, 0, 1, 0, 1, 0, 1],
+//! )
+//! .unwrap();
+//! let ects = Ects::fit(&train, &EctsConfig::default());
+//! let mut rt = Runtime::new(
+//!     &ects,
+//!     RuntimeConfig { shards: 2, ..RuntimeConfig::default() },
+//! )
+//! .unwrap();
+//! rt.set_clock(Clock::monotonic()); // the default; Clock::disabled() opts out
+//!
+//! for t in 0..32 {
+//!     let batch: Vec<Record> = (0..4).map(|id| Record::new(id, t as f64)).collect();
+//!     rt.ingest(&batch).unwrap();
+//!     if (t + 1) % 8 == 0 {
+//!         rt.drain();
+//!     }
+//! }
+//!
+//! // Quantiles read straight off the runtime's own histograms…
+//! let stats = rt.stats();
+//! assert!(stats.drain_cycle_ns.count() >= 4);
+//! assert!(stats.drain_cycle_ns.p99() >= stats.drain_cycle_ns.p50());
+//!
+//! // …and the same snapshots render as Prometheus text exposition.
+//! let text = stats.render_prometheus();
+//! assert!(text.contains("etsc_serve_ingested_total 128"));
+//! assert!(text.contains("# TYPE etsc_serve_drain_cycle_ns histogram"));
+//! assert!(text.contains("etsc_serve_drain_cycle_ns_bucket{le=\"+Inf\"}"));
+//! ```
+//!
 //! ## Fault tolerance
 //!
 //! The wire layer assumes the network fails and the serving layer assumes
