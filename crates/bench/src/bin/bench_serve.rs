@@ -21,7 +21,12 @@
 //! * **instrumentation overhead**: median-of-5 interleaved A/B of
 //!   pushes/s with the runtime clock disabled vs monotonic — the cost of
 //!   leaving telemetry on, which the 1-in-8 push sampling is designed to
-//!   keep under 5%.
+//!   keep under 5%; and
+//! * **tracing overhead**: the same interleaved A/B with a *disabled*
+//!   tracer against a *recording* one, every batch carrying a wire
+//!   [`TraceContext`] so the full span chain (`ShardEnqueue` →
+//!   `ShardDrain` → `AlarmEmit`) records in the hot path — held to the
+//!   same 5% budget.
 //!
 //! Writes `BENCH_serve.json` into the current directory.
 //!
@@ -37,6 +42,7 @@ use std::time::Instant;
 
 use etsc_classifiers::centroid::NearestCentroid;
 use etsc_core::metrics::Clock;
+use etsc_core::trace::{TraceContext, Tracer, TracerConfig};
 use etsc_core::UcrDataset;
 use etsc_early::threshold::ProbThreshold;
 use etsc_persist::ModelRegistry;
@@ -91,6 +97,7 @@ fn bench_one(
     rounds: usize,
     registry: &ModelRegistry,
     clock: Clock,
+    tracer: Option<Tracer>,
 ) -> Row {
     let cfg = RuntimeConfig {
         shards,
@@ -105,6 +112,13 @@ fn bench_one(
     };
     let mut rt = Runtime::new(model, cfg).expect("valid bench config");
     rt.set_clock(clock);
+    // With a tracer attached, every batch carries a wire context so the
+    // per-shard span chain records (or no-ops, for a disabled tracer) in
+    // the hot path — the workload the tracing-overhead A/B measures.
+    let with_ctx = tracer.is_some();
+    if let Some(t) = tracer {
+        rt.set_tracer(t);
+    }
     let cycles = rounds / CYCLE;
     let ckpt_every = (cycles / CHECKPOINTS).max(1);
     let mut batch = Vec::with_capacity(streams);
@@ -116,7 +130,16 @@ fn bench_one(
         for k in 0..streams {
             batch.push(Record::new(k as u64, sample(k, t)));
         }
-        rt.ingest(&batch).expect("bench queues are sized to fit");
+        if with_ctx {
+            let ctx = TraceContext {
+                trace_id: (t + 1) as u64,
+                parent_span: 0,
+            };
+            rt.ingest_ctx(&batch, Some(ctx))
+                .expect("bench queues are sized to fit");
+        } else {
+            rt.ingest(&batch).expect("bench queues are sized to fit");
+        }
         if (t + 1) % CYCLE == 0 {
             alarms += rt.drain().len() as u64;
             cycle += 1;
@@ -157,14 +180,67 @@ fn instrumentation_overhead_pct(
     let mut off = Vec::with_capacity(5);
     let mut on = Vec::with_capacity(5);
     for _ in 0..5 {
-        off.push(bench_one(model, 64, 2, rounds, registry, Clock::disabled()).pushes_per_sec);
-        on.push(bench_one(model, 64, 2, rounds, registry, Clock::monotonic()).pushes_per_sec);
+        off.push(bench_one(model, 64, 2, rounds, registry, Clock::disabled(), None).pushes_per_sec);
+        on.push(bench_one(model, 64, 2, rounds, registry, Clock::monotonic(), None).pushes_per_sec);
     }
+    overhead_pct_of(&mut off, &mut on)
+}
+
+/// Median of an interleaved A/B of the distributed-tracing path: 5 runs
+/// with a **disabled** tracer (every span/event call short-circuits)
+/// against 5 with a **recording** one, both arms ingesting with a wire
+/// `TraceContext` so the full `ShardEnqueue` → `ShardDrain` → `AlarmEmit`
+/// chain is exercised. Returns the percent throughput lost to recording,
+/// held to the same 5% budget as telemetry.
+fn tracing_overhead_pct(
+    model: &ProbThreshold<NearestCentroid>,
+    registry: &ModelRegistry,
+    rounds: usize,
+) -> f64 {
+    let mut off = Vec::with_capacity(5);
+    let mut on = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let disabled = Tracer::new(TracerConfig {
+            clock: Clock::disabled(),
+            ..TracerConfig::default()
+        });
+        off.push(
+            bench_one(
+                model,
+                64,
+                2,
+                rounds,
+                registry,
+                Clock::monotonic(),
+                Some(disabled),
+            )
+            .pushes_per_sec,
+        );
+        let recording = Tracer::new(TracerConfig::default());
+        on.push(
+            bench_one(
+                model,
+                64,
+                2,
+                rounds,
+                registry,
+                Clock::monotonic(),
+                Some(recording),
+            )
+            .pushes_per_sec,
+        );
+    }
+    overhead_pct_of(&mut off, &mut on)
+}
+
+/// Percent throughput the `on` arm loses to the `off` arm, median vs
+/// median (negative = the instrumented arm happened to measure faster).
+fn overhead_pct_of(off: &mut Vec<f64>, on: &mut Vec<f64>) -> f64 {
     let median = |xs: &mut Vec<f64>| {
         xs.sort_by(f64::total_cmp);
         xs[xs.len() / 2]
     };
-    let (off_med, on_med) = (median(&mut off), median(&mut on));
+    let (off_med, on_med) = (median(off), median(on));
     (off_med - on_med) / off_med * 100.0
 }
 
@@ -195,6 +271,7 @@ fn main() {
                 rounds,
                 &registry,
                 Clock::monotonic(),
+                None,
             );
             println!(
                 "  streams {:>4} × shards {:>2}: {:>12.0} pushes/s  cycle p50/p99 {:>9}/{:>10} ns  \
@@ -221,6 +298,11 @@ fn main() {
     if overhead_pct >= 5.0 {
         println!("  WARNING: telemetry overhead is at or above the 5% budget");
     }
+    let trace_pct = tracing_overhead_pct(&model, &registry, overhead_rounds);
+    println!("  tracing overhead (disabled vs recording tracer, median of 5): {trace_pct:+.2}%");
+    if trace_pct >= 5.0 {
+        println!("  WARNING: tracing overhead is at or above the 5% budget");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 
     // Emit BENCH_serve.json (hand-rolled: the workspace is offline, no
@@ -233,6 +315,7 @@ fn main() {
         json,
         "  \"instrumentation_overhead_pct\": {overhead_pct:.2},"
     );
+    let _ = writeln!(json, "  \"tracing_overhead_pct\": {trace_pct:.2},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(

@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod nn;
 pub mod parallel;
 pub mod stats;
+pub mod trace;
 pub mod window;
 pub mod znorm;
 

@@ -38,7 +38,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 pub use clock::Clock;
-pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use histogram::{
+    BucketLayout, Histogram, HistogramSnapshot, LayoutMismatch, BUCKETS, LOG_LINEAR4_BUCKETS,
+};
 
 /// A monotonically increasing atomic counter.
 #[derive(Debug, Default)]
@@ -251,7 +253,7 @@ pub fn push_histogram_series(
         if let Some(highest) = snap.highest_bucket() {
             for (i, &c) in snap.buckets.iter().enumerate().take(highest + 1) {
                 cumulative = cumulative.saturating_add(c);
-                let ub = HistogramSnapshot::bucket_upper_bound(i);
+                let ub = snap.upper_bound(i);
                 let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"{ub}\"}} {cumulative}");
             }
         }

@@ -1,0 +1,66 @@
+//! The trace context: the 16 bytes that carry a trace across a process
+//! boundary.
+//!
+//! A [`TraceContext`] names the trace a request belongs to and the span
+//! that caused it; the receiving side parents its own spans under
+//! `parent_span` and keeps propagating. On the wire it is an *optional
+//! trailing* field — a traced request appends exactly
+//! [`WIRE_LEN`](TraceContext::WIRE_LEN) little-endian bytes, an untraced
+//! request appends nothing, so tracing-off traffic is byte-identical to
+//! protocol v2 payloads (inside the v3 frame).
+
+/// A trace id plus the sending side's span id — everything a downstream
+/// process needs to keep a trace connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every propagated span joins.
+    pub trace_id: u64,
+    /// The span on the sending side that caused this request; receivers
+    /// parent their spans under it.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Encoded size in bytes: two little-endian `u64`s.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Serialize as 16 little-endian bytes (trace id, then parent span).
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..].copy_from_slice(&self.parent_span.to_le_bytes());
+        out
+    }
+
+    /// Deserialize 16 little-endian bytes (inverse of
+    /// [`to_bytes`](Self::to_bytes)); `None` if `bytes` is the wrong size.
+    pub fn from_bytes(bytes: &[u8]) -> Option<TraceContext> {
+        let trace: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        let parent: [u8; 8] = bytes.get(8..16)?.try_into().ok()?;
+        if bytes.len() != Self::WIRE_LEN {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u64::from_le_bytes(trace),
+            parent_span: u64::from_le_bytes(parent),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_rejects_wrong_sizes() {
+        let ctx = TraceContext {
+            trace_id: u64::MAX - 7,
+            parent_span: 12_345,
+        };
+        let bytes = ctx.to_bytes();
+        assert_eq!(bytes.len(), TraceContext::WIRE_LEN);
+        assert_eq!(TraceContext::from_bytes(&bytes), Some(ctx));
+        assert_eq!(TraceContext::from_bytes(&bytes[..15]), None);
+        assert_eq!(TraceContext::from_bytes(&[0u8; 17]), None);
+    }
+}

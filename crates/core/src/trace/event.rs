@@ -1,0 +1,317 @@
+//! The structured event log: a bounded ring of typed operational events
+//! (failovers, fault injections, retries, migrations, checkpoints,
+//! rejections) with a severity filter, rendered as human text or JSON
+//! lines.
+//!
+//! Events are the *discrete* complement to spans: a span measures a
+//! stretch of work, an event marks that something happened. Both share
+//! the same wait-free ring machinery ([`SpanRing`](super::ring::SpanRing))
+//! and the same injected clock, so a disabled clock silences the event
+//! log exactly as it silences span recording.
+
+use super::ring::{SpanRing, SLOT_WORDS};
+
+/// How loud an event is; the log drops anything below its configured
+/// minimum before touching the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Severity {
+    /// Fine-grained operational detail (retries scheduled, backoff waits).
+    Debug = 0,
+    /// Normal lifecycle marks (checkpoints, migrations).
+    Info = 1,
+    /// Something degraded but handled (queue-full rejection, fault fired).
+    Warn = 2,
+    /// A node was declared dead or an operation failed over.
+    Error = 3,
+}
+
+impl Severity {
+    /// Stable lowercase name (used in both text and JSON renderings).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Severity> {
+        Some(match code {
+            0 => Severity::Debug,
+            1 => Severity::Info,
+            2 => Severity::Warn,
+            3 => Severity::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened. Each kind carries two `u64` payload fields whose
+/// meanings are documented per variant and surfaced by
+/// [`field_names`](EventKind::field_names), so renderings stay typed
+/// without per-event allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A supervisor declared a node dead. Fields: node index, missed
+    /// probe count.
+    FailoverDeclared = 0,
+    /// A failover finished. Fields: node index, streams moved.
+    FailoverCompleted = 1,
+    /// A scripted fault injection fired. Fields: fault code, operation
+    /// index.
+    FaultInjected = 2,
+    /// A client retried a request. Fields: message kind slot, attempt
+    /// number.
+    Retry = 3,
+    /// A client backed off before a retry. Fields: message kind slot,
+    /// backoff nanoseconds.
+    Backoff = 4,
+    /// Streams migrated between shards or nodes. Fields: stream count,
+    /// destination index.
+    Migration = 5,
+    /// A checkpoint began. Fields: stream count, 0.
+    CheckpointBegin = 6,
+    /// A checkpoint finished. Fields: encoded bytes, 0.
+    CheckpointEnd = 7,
+    /// An ingest batch was rejected because a queue was full. Fields:
+    /// shard index, queued depth at rejection.
+    QueueFull = 8,
+}
+
+impl EventKind {
+    /// Stable snake_case name (used in both text and JSON renderings).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::FailoverDeclared => "failover_declared",
+            EventKind::FailoverCompleted => "failover_completed",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::Retry => "retry",
+            EventKind::Backoff => "backoff",
+            EventKind::Migration => "migration",
+            EventKind::CheckpointBegin => "checkpoint_begin",
+            EventKind::CheckpointEnd => "checkpoint_end",
+            EventKind::QueueFull => "queue_full",
+        }
+    }
+
+    /// The names of the two payload fields, in order.
+    pub fn field_names(self) -> (&'static str, &'static str) {
+        match self {
+            EventKind::FailoverDeclared => ("node", "missed"),
+            EventKind::FailoverCompleted => ("node", "moved"),
+            EventKind::FaultInjected => ("fault", "op"),
+            EventKind::Retry => ("msg", "attempt"),
+            EventKind::Backoff => ("msg", "delay_ns"),
+            EventKind::Migration => ("streams", "dest"),
+            EventKind::CheckpointBegin => ("streams", "unused"),
+            EventKind::CheckpointEnd => ("bytes", "unused"),
+            EventKind::QueueFull => ("shard", "depth"),
+        }
+    }
+
+    fn from_code(code: u64) -> Option<EventKind> {
+        Some(match code {
+            0 => EventKind::FailoverDeclared,
+            1 => EventKind::FailoverCompleted,
+            2 => EventKind::FaultInjected,
+            3 => EventKind::Retry,
+            4 => EventKind::Backoff,
+            5 => EventKind::Migration,
+            6 => EventKind::CheckpointBegin,
+            7 => EventKind::CheckpointEnd,
+            8 => EventKind::QueueFull,
+            _ => return None,
+        })
+    }
+}
+
+/// One logged event: when, how loud, what, and two kind-specific fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Clock nanoseconds at which the event was logged.
+    pub time_ns: u64,
+    /// Loudness (see [`Severity`]).
+    pub severity: Severity,
+    /// What happened (see [`EventKind`]).
+    pub kind: EventKind,
+    /// First payload field (meaning per [`EventKind::field_names`]).
+    pub a: u64,
+    /// Second payload field (meaning per [`EventKind::field_names`]).
+    pub b: u64,
+}
+
+impl Event {
+    fn pack(&self) -> [u64; SLOT_WORDS] {
+        [
+            self.time_ns,
+            (self.severity as u64) | ((self.kind as u64) << 8),
+            self.a,
+            self.b,
+            0,
+            0,
+            0,
+        ]
+    }
+
+    fn unpack(words: &[u64; SLOT_WORDS]) -> Option<Event> {
+        Some(Event {
+            time_ns: words[0],
+            severity: Severity::from_code(words[1] & 0xFF)?,
+            kind: EventKind::from_code(words[1] >> 8)?,
+            a: words[2],
+            b: words[3],
+        })
+    }
+
+    /// One human-readable line: `[       123ns] warn  queue_full shard=1 depth=64`.
+    pub fn render_text(&self) -> String {
+        let (fa, fb) = self.kind.field_names();
+        format!(
+            "[{:>12}ns] {:<5} {} {fa}={} {fb}={}",
+            self.time_ns,
+            self.severity.name(),
+            self.kind.name(),
+            self.a,
+            self.b,
+        )
+    }
+
+    /// One JSON object (no trailing newline): stable keys `t`, `sev`,
+    /// `kind`, plus the two kind-specific field names.
+    pub fn render_json(&self) -> String {
+        let (fa, fb) = self.kind.field_names();
+        format!(
+            "{{\"t\":{},\"sev\":\"{}\",\"kind\":\"{}\",\"{fa}\":{},\"{fb}\":{}}}",
+            self.time_ns,
+            self.severity.name(),
+            self.kind.name(),
+            self.a,
+            self.b,
+        )
+    }
+}
+
+/// A bounded, wait-free event log with a severity floor. Shares the
+/// drop-oldest ring semantics of [`SpanRing`](super::ring::SpanRing):
+/// `dropped()` counts evicted events, never silently.
+#[derive(Debug)]
+pub struct EventLog {
+    ring: SpanRing,
+    min_severity: Severity,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (rounded up to a power of
+    /// two) at or above `min_severity`.
+    pub fn new(capacity: usize, min_severity: Severity) -> Self {
+        Self {
+            ring: SpanRing::new(capacity),
+            min_severity,
+        }
+    }
+
+    /// The configured severity floor.
+    pub fn min_severity(&self) -> Severity {
+        self.min_severity
+    }
+
+    /// Log one event; events below the severity floor are discarded
+    /// without touching the ring (and without counting as dropped).
+    pub fn log(&self, event: Event) {
+        if event.severity >= self.min_severity {
+            self.ring.record(event.pack());
+        }
+    }
+
+    /// Events evicted by drop-oldest overwrite (severity-filtered events
+    /// never count — they were refused, not lost).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Every retained event, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring
+            .snapshot()
+            .iter()
+            .filter_map(|(_, words)| Event::unpack(words))
+            .collect()
+    }
+
+    /// Render the retained events as human text, one line per event.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&ev.render_text());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the retained events as JSON lines (one object per line —
+    /// each line parses on its own).
+    pub fn render_json_lines(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&ev.render_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(sev: Severity, kind: EventKind, a: u64, b: u64) -> Event {
+        Event {
+            time_ns: 42,
+            severity: sev,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn severity_floor_filters_without_counting_drops() {
+        let log = EventLog::new(8, Severity::Warn);
+        log.log(ev(Severity::Debug, EventKind::Retry, 1, 2));
+        log.log(ev(Severity::Info, EventKind::Migration, 3, 0));
+        log.log(ev(Severity::Warn, EventKind::QueueFull, 1, 64));
+        log.log(ev(Severity::Error, EventKind::FailoverDeclared, 0, 3));
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(events[0].kind, EventKind::QueueFull);
+        assert_eq!(events[1].kind, EventKind::FailoverDeclared);
+    }
+
+    #[test]
+    fn renders_text_and_json_lines_with_typed_field_names() {
+        let log = EventLog::new(4, Severity::Debug);
+        log.log(ev(Severity::Warn, EventKind::QueueFull, 1, 64));
+        let text = log.render_text();
+        assert!(text.contains("queue_full shard=1 depth=64"), "{text}");
+        let json = log.render_json_lines();
+        assert_eq!(
+            json,
+            "{\"t\":42,\"sev\":\"warn\",\"kind\":\"queue_full\",\"shard\":1,\"depth\":64}\n"
+        );
+    }
+
+    #[test]
+    fn event_pack_unpack_round_trips_every_kind() {
+        for code in 0..9u64 {
+            let kind = EventKind::from_code(code).expect("known kind");
+            let e = ev(Severity::Info, kind, 7, 9);
+            assert_eq!(Event::unpack(&e.pack()), Some(e));
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(EventKind::from_code(9), None);
+    }
+}

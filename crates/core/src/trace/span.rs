@@ -1,0 +1,152 @@
+//! The span vocabulary: the causally-linked unit of work a trace is made
+//! of, and the closed set of stages a record passes through on its way
+//! from a client batch to an emitted alarm.
+
+use super::ring::SLOT_WORDS;
+
+/// The stage of the serving pipeline a [`Span`] covers. The set is closed
+/// on purpose: every stage a record can traverse — client send, node
+/// decode, shard enqueue, drain, alarm emission, plus the checkpoint /
+/// migration / failover machinery that can interpose — has exactly one
+/// kind, so traces from different nodes splice without a name registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Client-side root of one traced ingest (one per `ingest` call).
+    ClientIngest = 0,
+    /// One sub-batch sent to one node (cluster fan-out under the root).
+    ClientSend = 1,
+    /// A node decoded an `IngestBatch` and applied it to its runtime.
+    NodeIngest = 2,
+    /// A batch's records were queued on one shard.
+    ShardEnqueue = 3,
+    /// A shard's queue was serviced for a traced stream.
+    ShardDrain = 4,
+    /// An alarm left the runtime for a traced stream.
+    AlarmEmit = 5,
+    /// A runtime checkpoint pause.
+    Checkpoint = 6,
+    /// A stream migration (local rebalance or cross-node move).
+    Migration = 7,
+    /// Supervisor failover re-delivered checkpointed alarms.
+    Redelivery = 8,
+}
+
+impl SpanKind {
+    /// Stable display name (also the Chrome `trace_event` event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::ClientIngest => "client_ingest",
+            SpanKind::ClientSend => "client_send",
+            SpanKind::NodeIngest => "node_ingest",
+            SpanKind::ShardEnqueue => "shard_enqueue",
+            SpanKind::ShardDrain => "shard_drain",
+            SpanKind::AlarmEmit => "alarm_emit",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Migration => "migration",
+            SpanKind::Redelivery => "redelivery",
+        }
+    }
+
+    /// Decode a packed discriminant (the inverse of `kind as u64`).
+    pub fn from_code(code: u64) -> Option<SpanKind> {
+        Some(match code {
+            0 => SpanKind::ClientIngest,
+            1 => SpanKind::ClientSend,
+            2 => SpanKind::NodeIngest,
+            3 => SpanKind::ShardEnqueue,
+            4 => SpanKind::ShardDrain,
+            5 => SpanKind::AlarmEmit,
+            6 => SpanKind::Checkpoint,
+            7 => SpanKind::Migration,
+            8 => SpanKind::Redelivery,
+            _ => return None,
+        })
+    }
+}
+
+/// One completed unit of traced work: which trace it belongs to, its own
+/// id, its parent's id (0 = root), when it started, how long it took, and
+/// one kind-specific argument (stream id, shard index, node index, …).
+///
+/// Ids are allocated from the owning tracer's deterministic seeded
+/// counter, so they are unique and monotone per tracer; `parent_id == 0`
+/// marks a trace root. Timestamps come from the injected
+/// [`Clock`](crate::metrics::Clock) — under a disabled clock no span is
+/// recorded at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique, monotone per tracer; never 0).
+    pub span_id: u64,
+    /// The causal parent's span id, 0 for a trace root.
+    pub parent_id: u64,
+    /// Pipeline stage.
+    pub kind: SpanKind,
+    /// Start time in clock nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (saturating).
+    pub dur_ns: u64,
+    /// Kind-specific argument: stream id for enqueue/drain/alarm spans,
+    /// shard or node index for the others, 0 when unused.
+    pub arg: u64,
+}
+
+impl Span {
+    /// Pack into ring payload words (inverse of [`unpack`](Self::unpack)).
+    pub fn pack(&self) -> [u64; SLOT_WORDS] {
+        [
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
+            self.kind as u64,
+            self.start_ns,
+            self.dur_ns,
+            self.arg,
+        ]
+    }
+
+    /// Unpack ring payload words; `None` for an unknown kind discriminant
+    /// (possible only if the ring held bytes from a newer vocabulary).
+    pub fn unpack(words: &[u64; SLOT_WORDS]) -> Option<Span> {
+        Some(Span {
+            trace_id: words[0],
+            span_id: words[1],
+            parent_id: words[2],
+            kind: SpanKind::from_code(words[3])?,
+            start_ns: words[4],
+            dur_ns: words[5],
+            arg: words[6],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let s = Span {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 42,
+            parent_id: 41,
+            kind: SpanKind::ShardDrain,
+            start_ns: 1_000,
+            dur_ns: 250,
+            arg: 99_991,
+        };
+        assert_eq!(Span::unpack(&s.pack()), Some(s));
+    }
+
+    #[test]
+    fn every_kind_round_trips_and_has_a_name() {
+        for code in 0..9u64 {
+            let kind = SpanKind::from_code(code).expect("known code");
+            assert_eq!(kind as u64, code);
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(SpanKind::from_code(9), None);
+    }
+}

@@ -7,6 +7,8 @@ use etsc_core::metrics::{Histogram, HistogramSnapshot};
 use etsc_core::nn::{distance_profile, distance_profile_naive, BatchProfile};
 use etsc_core::parallel;
 use etsc_core::stats::{mean, mean_std, std_dev, RunningStats};
+use etsc_core::trace::ring::{merge_snapshots, SLOT_WORDS};
+use etsc_core::trace::{SpanRing, Tracer, TracerConfig};
 use etsc_core::znorm::{is_znormalized, znormalize, CONSTANT_EPS};
 use proptest::prelude::*;
 
@@ -279,6 +281,14 @@ fn scaled_values(exps: &[usize], raws: &[u64]) -> Vec<u64> {
         .collect()
 }
 
+/// A span-ring payload carrying `tag` in its first word (the proptests
+/// only need one distinguishing word per record).
+fn tag_words(tag: u64) -> [u64; SLOT_WORDS] {
+    let mut w = [0u64; SLOT_WORDS];
+    w[0] = tag;
+    w
+}
+
 /// Record `values` into a fresh histogram and snapshot it.
 fn snap(values: &[u64]) -> HistogramSnapshot {
     let h = Histogram::new();
@@ -355,7 +365,7 @@ proptest! {
         let (a, b) = values.split_at(split.min(values.len()));
         let (a, b) = (a.to_vec(), b.to_vec());
         let mut merged = snap(&a);
-        merged.merge(&snap(&b));
+        merged.merge(&snap(&b)).expect("same layout");
         let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
         prop_assert_eq!(merged, snap(&concat));
     }
@@ -371,17 +381,153 @@ proptest! {
         let (b, c) = rest.split_at(third);
         let (sa, sb, sc) = (snap(a), snap(b), snap(c));
         let mut ab = sa.clone();
-        ab.merge(&sb);
+        ab.merge(&sb).expect("same layout");
         let mut ba = sb.clone();
-        ba.merge(&sa);
+        ba.merge(&sa).expect("same layout");
         prop_assert_eq!(&ab, &ba, "commutative");
         let mut ab_c = ab.clone();
-        ab_c.merge(&sc);
+        ab_c.merge(&sc).expect("same layout");
         let mut bc = sb.clone();
-        bc.merge(&sc);
+        bc.merge(&sc).expect("same layout");
         let mut a_bc = sa.clone();
-        a_bc.merge(&bc);
+        a_bc.merge(&bc).expect("same layout");
         prop_assert_eq!(&ab_c, &a_bc, "associative");
+    }
+
+    #[test]
+    fn span_ring_wraparound_keeps_the_newest_records_in_order(
+        cap in 1usize..32,
+        n in 0u64..200,
+    ) {
+        let ring = SpanRing::new(cap);
+        for i in 0..n {
+            ring.record(tag_words(i));
+        }
+        let snap = ring.snapshot();
+        let kept = (ring.capacity() as u64).min(n);
+        prop_assert_eq!(snap.len() as u64, kept);
+        prop_assert_eq!(ring.dropped(), n - kept, "drop-oldest evicts exactly the excess");
+        prop_assert_eq!(ring.recorded(), snap.len() as u64 + ring.dropped());
+        // The survivors are the newest `kept` claims, oldest first.
+        for (j, (seq, w)) in snap.iter().enumerate() {
+            let expect = n - kept + j as u64;
+            prop_assert_eq!(*seq, expect);
+            prop_assert_eq!(w[0], expect);
+        }
+    }
+
+    #[test]
+    fn span_ring_accounts_for_every_claim_at_fixed_thread_counts(
+        cap in 1usize..64,
+        per_thread in 1u64..128,
+    ) {
+        for &t in &THREAD_COUNTS {
+            let ring = SpanRing::new(cap);
+            std::thread::scope(|s| {
+                for tid in 0..t as u64 {
+                    let ring = &ring;
+                    s.spawn(move || {
+                        for i in 0..per_thread {
+                            ring.record(tag_words((tid << 32) | i));
+                        }
+                    });
+                }
+            });
+            let total = t as u64 * per_thread;
+            prop_assert_eq!(ring.recorded(), total, "threads {}", t);
+            let snap = ring.snapshot();
+            prop_assert_eq!(
+                snap.len() as u64 + ring.dropped(),
+                total,
+                "threads {}: every claim is retained or counted dropped",
+                t
+            );
+            for pair in snap.windows(2) {
+                prop_assert!(pair[0].0 < pair[1].0, "snapshot ordered by claim sequence");
+            }
+            // Each thread's surviving records appear in its program order
+            // (claim sequences are handed out monotonically per thread).
+            for tid in 0..t as u64 {
+                let tags: Vec<u64> = snap
+                    .iter()
+                    .map(|(_, w)| w[0])
+                    .filter(|w| w >> 32 == tid)
+                    .collect();
+                for pair in tags.windows(2) {
+                    prop_assert!(pair[0] < pair[1], "thread {} order survives the wrap", tid);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn span_ring_per_thread_rings_merge_into_one_ordered_union(per_thread in 1u64..64) {
+        for &t in &THREAD_COUNTS {
+            let rings: Vec<SpanRing> = (0..t)
+                .map(|_| SpanRing::new(per_thread as usize))
+                .collect();
+            std::thread::scope(|s| {
+                for (tid, ring) in rings.iter().enumerate() {
+                    s.spawn(move || {
+                        for i in 0..per_thread {
+                            ring.record(tag_words(((tid as u64) << 32) | i));
+                        }
+                    });
+                }
+            });
+            let parts: Vec<_> = rings.iter().map(|r| r.snapshot()).collect();
+            let merged = merge_snapshots(&parts);
+            // One single-writer ring per thread, each sized to its load:
+            // nothing drops, and the merge is the exact union.
+            prop_assert_eq!(merged.len() as u64, t as u64 * per_thread, "threads {}", t);
+            for pair in merged.windows(2) {
+                prop_assert!(pair[0] < pair[1], "merge is totally ordered");
+            }
+            let mut tags: Vec<u64> = merged.iter().map(|(_, w)| w[0]).collect();
+            tags.sort_unstable();
+            tags.dedup();
+            prop_assert_eq!(tags.len() as u64, t as u64 * per_thread, "no tag lost or duplicated");
+        }
+    }
+
+    #[test]
+    fn tracer_span_ids_are_unique_and_monotone_across_threads(
+        seed in 1u64..1_000_000,
+        per_thread in 1usize..64,
+    ) {
+        for &t in &THREAD_COUNTS {
+            let tracer = Tracer::new(TracerConfig {
+                id_seed: seed,
+                ..TracerConfig::default()
+            });
+            let per_thread_ids: Vec<Vec<u64>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..t)
+                    .map(|_| {
+                        let tracer = tracer.clone();
+                        s.spawn(move || {
+                            (0..per_thread)
+                                .map(|_| tracer.alloc_span_id())
+                                .collect::<Vec<u64>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("id allocator thread"))
+                    .collect()
+            });
+            for ids in &per_thread_ids {
+                for pair in ids.windows(2) {
+                    prop_assert!(pair[0] < pair[1], "monotone within a thread");
+                }
+                prop_assert!(ids.iter().all(|&id| id >= seed), "ids start at the seed");
+            }
+            let mut flat: Vec<u64> = per_thread_ids.into_iter().flatten().collect();
+            let total = flat.len();
+            flat.sort_unstable();
+            flat.dedup();
+            prop_assert_eq!(flat.len(), total, "threads {}: globally unique", t);
+        }
     }
 
     #[test]
@@ -392,7 +538,7 @@ proptest! {
         let mut s = HistogramSnapshot::empty();
         s.buckets[63] = u64::MAX;
         s.sum = u64::MAX;
-        s.merge(&snap(&[u64::MAX, extra | (1 << 62)]));
+        s.merge(&snap(&[u64::MAX, extra | (1 << 62)])).expect("same layout");
         prop_assert_eq!(s.buckets[63], u64::MAX);
         prop_assert_eq!(s.sum, u64::MAX);
         prop_assert_eq!(s.quantile(1.0), u64::MAX);

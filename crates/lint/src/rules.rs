@@ -66,14 +66,22 @@ fn cast_safety_gate(path: &str) -> bool {
 }
 
 /// Everywhere except modules whose job is wall-clock time or timing:
-/// `crates/bench` (benchmarks measure by definition) and the `Clock`
-/// module, the workspace's one sanctioned `Instant::now` call site —
-/// production code reads time through an injected `Clock`, which tests
-/// and fault harnesses replace with a manual one.
+/// `crates/bench` (benchmarks measure by definition), the `Clock`
+/// module — the workspace's one sanctioned `Instant::now` call site
+/// (production code reads time through an injected `Clock`, which tests
+/// and fault harnesses replace with a manual one) — and the Chrome trace
+/// exporter, which stamps each export document with a `SystemTime`
+/// wall-clock epoch for the viewer. The stamp never feeds back into
+/// alarms or spans: the trace e2e pins alarm sequences bit-identical
+/// with tracing on, off, and under a manual clock.
 fn determinism_gate(path: &str) -> bool {
-    !["crates/bench/", "crates/core/src/metrics/clock.rs"]
-        .iter()
-        .any(|p| path.starts_with(p))
+    ![
+        "crates/bench/",
+        "crates/core/src/metrics/clock.rs",
+        "crates/core/src/trace/export.rs",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
 }
 
 fn everywhere(_path: &str) -> bool {

@@ -41,15 +41,32 @@ fn determinism_accepts_seeds_and_justified_deadlines() {
 }
 
 #[test]
-fn determinism_allowlists_bench_and_the_clock_source() {
+fn determinism_allowlists_bench_clock_source_and_trace_exporter() {
     // The same clock-heavy source is fine where wall time is the point:
-    // benchmarks, and the one sanctioned `Clock` implementation.
+    // benchmarks, the one sanctioned `Clock` implementation, and the
+    // Chrome trace exporter's per-document wall-clock stamp.
     for path in [
         "crates/bench/src/main.rs",
         "crates/core/src/metrics/clock.rs",
+        "crates/core/src/trace/export.rs",
     ] {
         let got = rules("determinism/violations.rs", path);
         assert_eq!(count(&got, "determinism"), 0, "at {path}: {got:?}");
+    }
+}
+
+#[test]
+fn determinism_still_gates_the_rest_of_the_trace_module() {
+    // Only the exporter is allowlisted — the recording path (ring, span,
+    // event, tracer) must stay on the injected clock.
+    for path in [
+        "crates/core/src/trace.rs",
+        "crates/core/src/trace/ring.rs",
+        "crates/core/src/trace/event.rs",
+        "crates/core/src/trace/exporter_helper.rs",
+    ] {
+        let got = rules("determinism/violations.rs", path);
+        assert_eq!(count(&got, "determinism"), 3, "at {path}: {got:?}");
     }
 }
 

@@ -31,6 +31,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use etsc_core::metrics::{Clock, Histogram, HistogramSnapshot};
+use etsc_core::trace::{EventKind, Severity, SpanKind, TraceContext, Tracer};
 use etsc_serve::{Record, StreamAlarm, StreamService};
 
 use crate::error::WireError;
@@ -71,6 +72,13 @@ pub struct ClientConfig {
     /// cannot tell when one expires — so only disable it where the node is
     /// trusted to always reply.
     pub clock: Clock,
+    /// Optional client-side tracer. When present and enabled, every
+    /// [`ingest`](NetClient::ingest) opens a trace (a `ClientIngest` root
+    /// span) whose [`TraceContext`] rides the batch over the wire, and
+    /// retry/backoff decisions are recorded as structured events. `None`
+    /// (the default) sends untraced batches — zero extra bytes on the
+    /// wire, zero overhead on the hot path.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for ClientConfig {
@@ -82,6 +90,7 @@ impl Default for ClientConfig {
             client_id: 0,
             faults: None,
             clock: Clock::monotonic(),
+            tracer: None,
         }
     }
 }
@@ -283,8 +292,18 @@ impl NetClient {
             let delay = err
                 .retry_after()
                 .unwrap_or_else(|| self.cfg.retry.backoff(retries_done, &mut self.rng));
-            self.backoff_ns
-                .record(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX));
+            let delay_ns = u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX);
+            self.backoff_ns.record(delay_ns);
+            if let Some(t) = self.cfg.tracer.as_ref().filter(|t| t.enabled()) {
+                let code = MessageTimings::index_of(msg).unwrap_or(0) as u64;
+                t.event(
+                    Severity::Warn,
+                    EventKind::Retry,
+                    code,
+                    (retries_done + 1) as u64,
+                );
+                t.event(Severity::Debug, EventKind::Backoff, code, delay_ns);
+            }
             std::thread::sleep(delay);
             retries_done += 1;
         }
@@ -324,10 +343,52 @@ impl NetClient {
     /// is not consumed; re-sending the same records later reuses it, and
     /// the node's cursor still dedups against the original.
     pub fn ingest(&mut self, batch: &[Record]) -> Result<(), WireError> {
+        // With a live tracer and no caller-supplied context, this ingest
+        // opens its own trace: a ClientIngest root whose id rides the
+        // batch so every downstream span (node, shard, alarm) chains back
+        // to this call site.
+        let root = match self.cfg.tracer.as_ref().filter(|t| t.enabled()) {
+            Some(t) => {
+                let tracer = t.clone();
+                let trace_id = tracer.new_trace_id();
+                let span_id = tracer.alloc_span_id();
+                let started = tracer.start();
+                Some((tracer, trace_id, span_id, started))
+            }
+            None => None,
+        };
+        let ctx = root.as_ref().map(|(_, trace_id, span_id, _)| TraceContext {
+            trace_id: *trace_id,
+            parent_span: *span_id,
+        });
+        let result = self.ingest_ctx(batch, ctx);
+        if let Some((tracer, trace_id, span_id, started)) = root {
+            tracer.span_with_id(
+                span_id,
+                SpanKind::ClientIngest,
+                trace_id,
+                0,
+                started,
+                batch.len() as u64,
+            );
+        }
+        result
+    }
+
+    /// [`ingest`](Self::ingest) under a caller-supplied [`TraceContext`]
+    /// (or none). The cluster fan-out path uses this to parent every
+    /// node-bound sub-batch to one cluster-level root span instead of
+    /// opening a fresh trace per node.
+    pub fn ingest_ctx(
+        &mut self,
+        batch: &[Record],
+        ctx: Option<TraceContext>,
+    ) -> Result<(), WireError> {
         let msg = Message::IngestBatch {
             client: self.cfg.client_id,
             seq: self.next_seq,
             records: batch.to_vec(),
+            ctx,
         };
         let reply = self.request(&msg, self.cfg.client_id != 0)?;
         let applied = expect_reply!(reply, "IngestAck", Message::IngestAck { applied } => applied)?;
@@ -336,6 +397,15 @@ impl NetClient {
         }
         self.next_seq += 1;
         Ok(())
+    }
+
+    /// Fetch the node's recorded trace as a Chrome `trace_event` JSON
+    /// document. A node without a tracer answers a complete empty
+    /// document, so this is always safe to call. Idempotent (exporting
+    /// does not consume the node's span ring), so transport faults retry.
+    pub fn fetch_trace(&mut self) -> Result<String, WireError> {
+        let reply = self.request(&Message::Trace, true)?;
+        expect_reply!(reply, "TraceAck", Message::TraceAck { json } => json)
     }
 
     /// Drain the node and return the alarms it produced. Not retried on

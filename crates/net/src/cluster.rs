@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use etsc_core::hash;
 use etsc_core::metrics::{push_histogram, HistogramSnapshot};
+use etsc_core::trace::{EventKind, Severity, SpanKind, TraceContext, Tracer};
 use etsc_serve::stats::{push_counter, push_gauge};
 use etsc_serve::{Record, StreamAlarm, StreamService};
 
@@ -163,6 +164,10 @@ struct PendingBatch {
     /// advances on success, so redelivery reuses it).
     seq: u64,
     records: Vec<Record>,
+    /// Trace context the batch was travelling under when it was stashed,
+    /// so redelivery stays inside the original trace instead of orphaning
+    /// the downstream spans.
+    ctx: Option<TraceContext>,
 }
 
 /// A connected cluster: one [`NetClient`] per node plus the router that
@@ -191,6 +196,14 @@ pub struct Cluster {
     /// returned by the next successful drain instead.
     drained: Vec<StreamAlarm>,
     failovers: u64,
+    /// The cluster-side tracer (shared with every client via the cloned
+    /// [`ClientConfig`]); `None` runs fully untraced.
+    tracer: Option<Tracer>,
+    /// `(trace_id, root span id)` of the most recent traced ingest —
+    /// migration and failover-redelivery spans parent here, so cross-node
+    /// topology changes show up inside the trace of the ingest they
+    /// affected.
+    last_trace: Option<(u64, u64)>,
 }
 
 impl Cluster {
@@ -227,7 +240,14 @@ impl Cluster {
             pending: Vec::new(),
             drained: Vec::new(),
             failovers: 0,
+            tracer: cfg.tracer,
+            last_trace: None,
         })
+    }
+
+    /// The cluster-side tracer, if one was configured.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// The routing table (to inspect placement and pins).
@@ -293,6 +313,51 @@ impl Cluster {
     /// dropped by [`apply_failover`](Self::apply_failover) if their node
     /// is declared dead).
     pub fn ingest(&mut self, batch: &[Record]) -> Result<(), WireError> {
+        // With a live tracer, every cluster ingest opens one trace: a
+        // ClientIngest root, one ClientSend child per node-bound
+        // sub-batch, and whatever the nodes add downstream. The root's id
+        // pair is remembered so later migrations and failover
+        // redeliveries can join the same trace.
+        let root = match self.tracer.as_ref().filter(|t| t.enabled()) {
+            Some(t) => {
+                let tracer = t.clone();
+                let trace_id = tracer.new_trace_id();
+                let span_id = tracer.alloc_span_id();
+                let started = tracer.start();
+                self.last_trace = Some((trace_id, span_id));
+                Some((tracer, trace_id, span_id, started))
+            }
+            None => None,
+        };
+        let ctx = root.as_ref().map(|(_, trace_id, span_id, _)| TraceContext {
+            trace_id: *trace_id,
+            parent_span: *span_id,
+        });
+        let result = self.ingest_fanout(batch, ctx);
+        if let Some((tracer, trace_id, span_id, started)) = root {
+            tracer.span_with_id(
+                span_id,
+                SpanKind::ClientIngest,
+                trace_id,
+                0,
+                started,
+                batch.len() as u64,
+            );
+        }
+        result
+    }
+
+    /// The routing fan-out behind [`ingest`](Self::ingest): route each
+    /// record to its owning node and send per-node sub-batches under
+    /// `ctx` (each send gets its own `ClientSend` span parented to
+    /// `ctx.parent_span` when tracing is live). Failover redelivery calls
+    /// this directly with a `Redelivery` span as the parent, so
+    /// redelivered records stay inside the trace they started in.
+    fn ingest_fanout(
+        &mut self,
+        batch: &[Record],
+        ctx: Option<TraceContext>,
+    ) -> Result<(), WireError> {
         let mut first_err = self.flush_pending().err();
         let mut per_node: BTreeMap<usize, Vec<Record>> = BTreeMap::new();
         for r in batch {
@@ -301,18 +366,56 @@ impl Cluster {
                 .or_default()
                 .push(*r);
         }
+        let tracer = self.tracer.as_ref().filter(|t| t.enabled()).cloned();
         for (node, records) in per_node {
             // A node with batches still stuck in the stash must not be
-            // sent newer records ahead of them.
+            // sent newer records ahead of them. The stashed batch keeps
+            // the root-parented context (no ClientSend span — nothing was
+            // sent yet).
             let queued_ahead = self.pending.iter().filter(|p| p.node == node).count() as u64;
             if queued_ahead > 0 {
                 let seq = self.node_client(node).next_batch_seq() + queued_ahead;
-                self.pending.push(PendingBatch { node, seq, records });
+                self.pending.push(PendingBatch {
+                    node,
+                    seq,
+                    records,
+                    ctx,
+                });
                 continue;
             }
+            let send = match (&tracer, ctx) {
+                (Some(t), Some(ctx)) => {
+                    let id = t.alloc_span_id();
+                    Some((t.clone(), ctx, id, t.start()))
+                }
+                _ => None,
+            };
+            let send_ctx = match &send {
+                Some((_, ctx, id, _)) => Some(TraceContext {
+                    trace_id: ctx.trace_id,
+                    parent_span: *id,
+                }),
+                None => ctx,
+            };
             let seq = self.node_client(node).next_batch_seq();
-            if let Err(e) = self.node_client(node).ingest(&records) {
-                self.pending.push(PendingBatch { node, seq, records });
+            let outcome = self.node_client(node).ingest_ctx(&records, send_ctx);
+            if let Some((t, ctx, id, started)) = send {
+                t.span_with_id(
+                    id,
+                    SpanKind::ClientSend,
+                    ctx.trace_id,
+                    ctx.parent_span,
+                    started,
+                    node as u64,
+                );
+            }
+            if let Err(e) = outcome {
+                self.pending.push(PendingBatch {
+                    node,
+                    seq,
+                    records,
+                    ctx: send_ctx,
+                });
                 first_err.get_or_insert(e);
             }
         }
@@ -338,7 +441,7 @@ impl Cluster {
                 remaining.push(p);
                 continue;
             }
-            match self.node_client(p.node).ingest(&p.records) {
+            match self.node_client(p.node).ingest_ctx(&p.records, p.ctx) {
                 Ok(()) => {}
                 Err(e) => {
                     stuck.insert(p.node);
@@ -399,11 +502,41 @@ impl Cluster {
         self.pending = keep;
         let client_id = self.node_client(report.node).client_id();
         let cursor = report.cursors.get(&client_id).copied().unwrap_or(0);
+        let tracer = self.tracer.as_ref().filter(|t| t.enabled()).cloned();
         for p in dead {
             if p.seq <= cursor {
                 continue;
             }
-            self.ingest(&p.records)?;
+            // Redeliver inside the trace the batch started in (falling
+            // back to the most recent traced ingest): a Redelivery span
+            // under the root, with the re-routed sends as its children.
+            let trace = p
+                .ctx
+                .map(|c| (c.trace_id, c.parent_span))
+                .or(self.last_trace);
+            match (&tracer, trace) {
+                (Some(t), Some((trace_id, parent))) => {
+                    let id = t.alloc_span_id();
+                    let started = t.start();
+                    let res = self.ingest_fanout(
+                        &p.records,
+                        Some(TraceContext {
+                            trace_id,
+                            parent_span: id,
+                        }),
+                    );
+                    t.span_with_id(
+                        id,
+                        SpanKind::Redelivery,
+                        trace_id,
+                        parent,
+                        started,
+                        p.records.len() as u64,
+                    );
+                    res?;
+                }
+                _ => self.ingest_fanout(&p.records, None)?,
+            }
         }
         self.failovers += 1;
         Ok(())
@@ -443,7 +576,9 @@ impl Cluster {
         let mut backoff = HistogramSnapshot::empty();
         for c in &self.clients {
             MessageTimings::merge_into(&mut rtt, &c.rtt_timings().snapshots());
-            backoff.merge(&c.backoff_snapshot());
+            // Same-layout by construction (both sides are default log2);
+            // a mismatch would only skip the aggregation, never panic.
+            let _ = backoff.merge(&c.backoff_snapshot());
         }
         crate::metrics::push_snapshots_prometheus(
             &mut out,
@@ -550,6 +685,9 @@ impl Cluster {
                 "migration target node {to} is down"
             )));
         }
+        let tracer = self.tracer.as_ref().filter(|t| t.enabled()).cloned();
+        let trace_start = tracer.as_ref().map_or(0, |t| t.start());
+        let mut moved = 0u64;
         let mut per_source: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
         for &s in streams {
             let from = self.router.route(s);
@@ -573,11 +711,32 @@ impl Cluster {
                     })?;
                 return Err(err);
             }
+            moved += ids.len() as u64;
             for id in ids {
                 self.router.pin(id, to);
             }
         }
+        if let Some(t) = &tracer {
+            t.event(Severity::Info, EventKind::Migration, moved, to as u64);
+            if let Some((trace_id, root)) = self.last_trace {
+                t.span(SpanKind::Migration, trace_id, root, trace_start, moved);
+            }
+        }
         Ok(())
+    }
+
+    /// Fetch every live node's Chrome `trace_event` document, in node
+    /// order (down nodes skipped). Nodes without a tracer contribute a
+    /// complete empty document.
+    pub fn fetch_traces(&mut self) -> Result<Vec<String>, WireError> {
+        let mut docs = Vec::new();
+        for i in 0..self.clients.len() {
+            if self.router.is_down(i) {
+                continue;
+            }
+            docs.push(self.node_client(i).fetch_trace()?);
+        }
+        Ok(docs)
     }
 }
 

@@ -17,7 +17,7 @@ use crate::wire::Message;
 
 /// Request kinds a [`MessageTimings`] distinguishes, in slot order.
 /// Reply types are not timed (they are never dispatched as requests).
-pub const MSG_KINDS: [&str; 10] = [
+pub const MSG_KINDS: [&str; 11] = [
     "OpenStream",
     "IngestBatch",
     "Drain",
@@ -28,11 +28,12 @@ pub const MSG_KINDS: [&str; 10] = [
     "Shutdown",
     "Ping",
     "StreamCount",
+    "Trace",
 ];
 
 /// Pre-rendered `msg="…"` label for each slot, so the hot render path
 /// never formats label strings.
-const MSG_LABELS: [&str; 10] = [
+const MSG_LABELS: [&str; 11] = [
     "msg=\"OpenStream\"",
     "msg=\"IngestBatch\"",
     "msg=\"Drain\"",
@@ -43,6 +44,7 @@ const MSG_LABELS: [&str; 10] = [
     "msg=\"Shutdown\"",
     "msg=\"Ping\"",
     "msg=\"StreamCount\"",
+    "msg=\"Trace\"",
 ];
 
 /// One latency histogram per request kind. `&self` recording, so a node's
@@ -79,6 +81,7 @@ impl MessageTimings {
             Message::Shutdown => Some(7),
             Message::Ping { .. } => Some(8),
             Message::StreamCount => Some(9),
+            Message::Trace => Some(10),
             _ => None,
         }
     }
@@ -112,7 +115,10 @@ impl MessageTimings {
         other: &[(&'static str, HistogramSnapshot)],
     ) {
         for (a, o) in acc.iter_mut().zip(other.iter()) {
-            a.1.merge(&o.1);
+            // Kind-shaped sets share the default log2 layout by
+            // construction; a layout mismatch skips the slot rather than
+            // corrupting or panicking.
+            let _ = a.1.merge(&o.1);
         }
     }
 
@@ -167,6 +173,7 @@ mod tests {
                 client: 0,
                 seq: 0,
                 records: vec![],
+                ctx: None,
             },
             Message::Drain,
             Message::Checkpoint,
@@ -176,6 +183,7 @@ mod tests {
             Message::Shutdown,
             Message::Ping { token: 9 },
             Message::StreamCount,
+            Message::Trace,
         ];
         for (i, msg) in reqs.iter().enumerate() {
             assert_eq!(MessageTimings::index_of(msg), Some(i), "{}", msg.name());

@@ -27,6 +27,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use etsc_core::metrics::Clock;
+use etsc_core::trace::{SpanKind, TraceContext};
 use etsc_early::EarlyClassifier;
 use etsc_persist::{ModelRegistry, Persist};
 use etsc_serve::Runtime;
@@ -247,16 +248,53 @@ impl<'a, C: EarlyClassifier + Persist> Node<'a, C> {
                 client,
                 seq,
                 records,
-            } => match rt.ingest_tagged(client, seq, &records) {
-                Ok(applied) => Message::IngestAck { applied },
-                Err(e) => {
-                    let mut err = WireError::from_serve(&e);
-                    if let WireError::QueueFull { retry_after_ms, .. } = &mut err {
-                        *retry_after_ms = self.cfg.queue_full_retry_after.as_millis() as u64;
+                ctx,
+            } => {
+                // When the batch carries a trace context and this runtime
+                // has a live tracer, interpose a NodeIngest span between
+                // the client's send span and the shard spans: the span id
+                // is allocated up front so the runtime's enqueue spans can
+                // parent to it, and the span itself is recorded only after
+                // the ingest returns (so its duration covers the whole
+                // node-side service, lock wait excluded).
+                let node_span = match (rt.tracer(), ctx) {
+                    (Some(t), Some(ctx)) if t.enabled() => {
+                        let tracer = t.clone();
+                        let id = tracer.alloc_span_id();
+                        let started = tracer.start();
+                        Some((tracer, id, ctx, started))
                     }
-                    Message::Error(err)
+                    _ => None,
+                };
+                let inner_ctx = match &node_span {
+                    Some((_, id, ctx, _)) => Some(TraceContext {
+                        trace_id: ctx.trace_id,
+                        parent_span: *id,
+                    }),
+                    None => ctx,
+                };
+                let reply = match rt.ingest_tagged_ctx(client, seq, &records, inner_ctx) {
+                    Ok(applied) => Message::IngestAck { applied },
+                    Err(e) => {
+                        let mut err = WireError::from_serve(&e);
+                        if let WireError::QueueFull { retry_after_ms, .. } = &mut err {
+                            *retry_after_ms = self.cfg.queue_full_retry_after.as_millis() as u64;
+                        }
+                        Message::Error(err)
+                    }
+                };
+                if let Some((tracer, id, ctx, started)) = node_span {
+                    tracer.span_with_id(
+                        id,
+                        SpanKind::NodeIngest,
+                        ctx.trace_id,
+                        ctx.parent_span,
+                        started,
+                        records.len() as u64,
+                    );
                 }
-            },
+                reply
+            }
             Message::Drain => Message::DrainAck { alarms: rt.drain() },
             Message::Checkpoint => match &self.registry {
                 None => Message::Error(WireError::RemoteBadConfig(
@@ -296,6 +334,12 @@ impl<'a, C: EarlyClassifier + Persist> Node<'a, C> {
                 return (Message::ShutdownAck { alarms }, true);
             }
             Message::Ping { token } => Message::Pong { token },
+            Message::Trace => Message::TraceAck {
+                // A node without a tracer answers with a complete, empty
+                // Chrome trace document — absence of tracing is not an
+                // error to a caller collecting cluster-wide traces.
+                json: rt.export_trace("etsc-node"),
+            },
             Message::StreamCount => Message::StreamCountAck {
                 streams: rt.stream_count() as u64,
             },

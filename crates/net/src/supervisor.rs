@@ -36,6 +36,7 @@ use std::marker::PhantomData;
 use std::path::PathBuf;
 
 use etsc_core::metrics::{push_histogram, push_scalar, Clock, Histogram};
+use etsc_core::trace::{EventKind, Severity};
 use etsc_early::EarlyClassifier;
 use etsc_persist::{ModelRegistry, Persist};
 use etsc_serve::{Runtime, StreamAlarm};
@@ -221,6 +222,15 @@ impl<C: EarlyClassifier + Persist> Supervisor<C> {
         cluster: &mut Cluster,
     ) -> Result<FailoverReport, WireError> {
         self.dead.insert(node);
+        let tracer = cluster.tracer().filter(|t| t.enabled()).cloned();
+        if let Some(t) = &tracer {
+            t.event(
+                Severity::Error,
+                EventKind::FailoverDeclared,
+                node as u64,
+                self.misses(node) as u64,
+            );
+        }
         // Down first: the placement below — and everything after — must
         // skip the dead node.
         cluster.router_mut().set_down(node);
@@ -266,6 +276,14 @@ impl<C: EarlyClassifier + Persist> Supervisor<C> {
                 cluster.router_mut().pin(*id, target);
                 moved.push((*id, target));
             }
+        }
+        if let Some(t) = &tracer {
+            t.event(
+                Severity::Warn,
+                EventKind::FailoverCompleted,
+                node as u64,
+                moved.len() as u64,
+            );
         }
         self.failovers += 1;
         Ok(FailoverReport {

@@ -43,6 +43,7 @@
 use std::io::{ErrorKind, Read, Write};
 
 use etsc_core::hash;
+use etsc_core::trace::TraceContext;
 use etsc_persist::{Decoder, Encoder};
 use etsc_serve::{Record, StreamAlarm};
 use etsc_stream::Alarm;
@@ -62,7 +63,21 @@ pub const WIRE_MAGIC: [u8; 4] = *b"ETSN";
 /// node already applied), and the [`WireError::QueueFull`] /
 /// [`WireError::Busy`] error payloads gained a `retry_after_ms` hint
 /// (0 = unknown) so clients can honor server pressure when backing off.
-pub const WIRE_VERSION: u16 = 2;
+///
+/// **v3** (distributed tracing): [`Message::IngestBatch`] gained an
+/// *optional trailing* [`TraceContext`] — 16 bytes (trace id u64 LE, then
+/// parent span id u64 LE) appended after the record list only when the
+/// sender is tracing, so an untraced ingest costs zero extra bytes on the
+/// wire. Decoders distinguish the two layouts by the bytes remaining after
+/// the records (0 = untraced, 16 = traced; anything else is
+/// [`WireError::Malformed`]). v3 also added the [`Message::Trace`] request
+/// / [`Message::TraceAck`] reply pair, which exports a node's span ring as
+/// Chrome `trace_event` JSON the same way [`Message::Stats`] exports its
+/// metrics. Version negotiation is unchanged: readers accept exactly
+/// [`WIRE_VERSION`] and reject everything else with
+/// [`WireError::UnsupportedVersion`] — a v2 peer never sees a half-decoded
+/// v3 frame.
+pub const WIRE_VERSION: u16 = 3;
 
 /// Default cap on a frame's payload length (32 MiB). A header declaring
 /// more fails with [`WireError::FrameTooLarge`] before any allocation.
@@ -270,6 +285,7 @@ const MT_MIGRATE_IN: u8 = 7;
 const MT_SHUTDOWN: u8 = 8;
 const MT_PING: u8 = 9;
 const MT_STREAM_COUNT: u8 = 10;
+const MT_TRACE: u8 = 11;
 const MT_OPEN_ACK: u8 = 65;
 const MT_INGEST_ACK: u8 = 66;
 const MT_DRAIN_ACK: u8 = 67;
@@ -280,6 +296,7 @@ const MT_MIGRATE_IN_ACK: u8 = 71;
 const MT_PONG: u8 = 72;
 const MT_SHUTDOWN_ACK: u8 = 73;
 const MT_STREAM_COUNT_ACK: u8 = 74;
+const MT_TRACE_ACK: u8 = 75;
 const MT_ERROR: u8 = 127;
 
 /// The protocol's message set: requests a client sends, replies a node
@@ -313,6 +330,11 @@ pub enum Message {
         seq: u64,
         /// The records, in ingest order.
         records: Vec<Record>,
+        /// Optional trace context (v3): present only when the sender is
+        /// tracing this batch. `None` encodes to zero bytes, so an
+        /// untraced ingest's frame is byte-identical to a v2 one apart
+        /// from the version field.
+        ctx: Option<TraceContext>,
     },
     /// Process every queued record and return the produced alarms.
     Drain,
@@ -345,6 +367,11 @@ pub enum Message {
     },
     /// Ask how many streams are live on the node.
     StreamCount,
+    /// Export the node's span ring and event log as Chrome `trace_event`
+    /// JSON (the tracing counterpart of [`Message::Stats`]). A node
+    /// without a tracer answers with a complete empty trace document, not
+    /// an error.
+    Trace,
 
     // --- replies ---
     /// Reply to [`Message::OpenStream`].
@@ -399,6 +426,12 @@ pub enum Message {
     StreamCountAck {
         /// Streams live across the node's shards.
         streams: u64,
+    },
+    /// Reply to [`Message::Trace`].
+    TraceAck {
+        /// Chrome `trace_event` JSON
+        /// ([`Tracer::export_chrome`](etsc_core::trace::Tracer::export_chrome)).
+        json: String,
     },
     /// Typed failure reply to any request.
     Error(
@@ -567,6 +600,7 @@ impl Message {
             Message::Shutdown => "Shutdown",
             Message::Ping { .. } => "Ping",
             Message::StreamCount => "StreamCount",
+            Message::Trace => "Trace",
             Message::OpenAck { .. } => "OpenAck",
             Message::IngestAck { .. } => "IngestAck",
             Message::DrainAck { .. } => "DrainAck",
@@ -577,6 +611,7 @@ impl Message {
             Message::Pong { .. } => "Pong",
             Message::ShutdownAck { .. } => "ShutdownAck",
             Message::StreamCountAck { .. } => "StreamCountAck",
+            Message::TraceAck { .. } => "TraceAck",
             Message::Error(_) => "Error",
         }
     }
@@ -594,6 +629,7 @@ impl Message {
                 client,
                 seq,
                 records,
+                ctx,
             } => {
                 enc.put_u64(*client);
                 enc.put_u64(*seq);
@@ -601,6 +637,12 @@ impl Message {
                 for r in records {
                     enc.put_u64(r.stream);
                     enc.put_f64(r.value);
+                }
+                // v3 optional trailing trace context: zero bytes when the
+                // sender is not tracing.
+                if let Some(ctx) = ctx {
+                    enc.put_u64(ctx.trace_id);
+                    enc.put_u64(ctx.parent_span);
                 }
                 MT_INGEST_BATCH
             }
@@ -624,6 +666,7 @@ impl Message {
                 MT_PING
             }
             Message::StreamCount => MT_STREAM_COUNT,
+            Message::Trace => MT_TRACE,
             Message::OpenAck { created } => {
                 enc.put_bool(*created);
                 MT_OPEN_ACK
@@ -664,6 +707,10 @@ impl Message {
                 enc.put_u64(*streams);
                 MT_STREAM_COUNT_ACK
             }
+            Message::TraceAck { json } => {
+                enc.put_str(json);
+                MT_TRACE_ACK
+            }
             Message::Error(err) => {
                 put_error(&mut enc, err);
                 MT_ERROR
@@ -693,10 +740,23 @@ impl Message {
                     let value = dec.get_f64("record value")?;
                     records.push(Record { stream, value });
                 }
+                // v3: an optional 16-byte trace context may trail the
+                // records. Zero remaining bytes means untraced; anything
+                // other than exactly the context fields fails the
+                // `dec.finish()` layout check below.
+                let ctx = if dec.remaining() > 0 {
+                    Some(TraceContext {
+                        trace_id: dec.get_u64("ingest trace id")?,
+                        parent_span: dec.get_u64("ingest parent span")?,
+                    })
+                } else {
+                    None
+                };
                 Message::IngestBatch {
                     client,
                     seq,
                     records,
+                    ctx,
                 }
             }
             MT_DRAIN => Message::Drain,
@@ -719,6 +779,7 @@ impl Message {
                 token: dec.get_u64("ping token")?,
             },
             MT_STREAM_COUNT => Message::StreamCount,
+            MT_TRACE => Message::Trace,
             MT_OPEN_ACK => Message::OpenAck {
                 created: dec.get_bool("open ack")?,
             },
@@ -748,6 +809,9 @@ impl Message {
             },
             MT_STREAM_COUNT_ACK => Message::StreamCountAck {
                 streams: dec.get_u64("stream count")?,
+            },
+            MT_TRACE_ACK => Message::TraceAck {
+                json: dec.get_str("trace json")?,
             },
             MT_ERROR => Message::Error(get_error(&mut dec)?),
             t => return Err(WireError::UnknownMsgType(t)),
@@ -781,11 +845,26 @@ mod tests {
                 client: 0,
                 seq: 0,
                 records: vec![Record::new(7, 1.5), Record::new(u64::MAX, -0.0)],
+                ctx: None,
             },
             Message::IngestBatch {
                 client: 0xC0FFEE,
                 seq: 41,
                 records: vec![Record::new(3, 0.25)],
+                ctx: None,
+            },
+            Message::IngestBatch {
+                client: 0xC0FFEE,
+                seq: 42,
+                records: vec![Record::new(3, 0.5)],
+                ctx: Some(TraceContext {
+                    trace_id: 0xFEED,
+                    parent_span: 17,
+                }),
+            },
+            Message::Trace,
+            Message::TraceAck {
+                json: "{\"traceEvents\":[]}".to_string(),
             },
             Message::Drain,
             Message::Checkpoint,
@@ -991,6 +1070,41 @@ mod tests {
                 "type {t}"
             );
         }
+    }
+
+    #[test]
+    fn trace_context_is_zero_bytes_off_and_sixteen_on() {
+        let base = Message::IngestBatch {
+            client: 1,
+            seq: 2,
+            records: vec![Record::new(9, 1.0)],
+            ctx: None,
+        };
+        let traced = Message::IngestBatch {
+            client: 1,
+            seq: 2,
+            records: vec![Record::new(9, 1.0)],
+            ctx: Some(TraceContext {
+                trace_id: 3,
+                parent_span: 4,
+            }),
+        };
+        let (_, p0) = base.encode();
+        let (_, p1) = traced.encode();
+        assert_eq!(p1.len(), p0.len() + 16, "context must cost exactly 16B");
+
+        // A truncated context (8 trailing bytes instead of 16) is a typed
+        // layout error, never a misdecode.
+        let (t, mut payload) = base.encode();
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        let frame = Frame {
+            msg_type: t,
+            payload,
+        };
+        assert!(matches!(
+            Message::decode(&frame).unwrap_err(),
+            WireError::Malformed(_) | WireError::Truncated { .. }
+        ));
     }
 
     #[test]

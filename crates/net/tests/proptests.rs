@@ -91,6 +91,7 @@ proptest! {
             client: 0,
             seq: 0,
             records,
+            ctx: None,
         };
         let frame = decode_frame(&msg.to_frame_bytes(), MAX_FRAME_PAYLOAD).unwrap();
         prop_assert_eq!(Message::decode(&frame).unwrap(), msg);

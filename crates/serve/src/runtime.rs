@@ -52,8 +52,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
-use etsc_core::metrics::{Clock, Histogram};
+use etsc_core::metrics::{Clock, Gauge, Histogram};
 use etsc_core::parallel;
+use etsc_core::trace::{self, EventKind, Severity, SpanKind, TraceContext, Tracer};
 use etsc_early::EarlyClassifier;
 use etsc_persist::{Encoder, ModelRegistry, Persist, PersistError};
 use etsc_stream::{Alarm, StreamMonitor, StreamMonitorConfig, StreamNorm};
@@ -171,6 +172,15 @@ struct Shard<'a, C: EarlyClassifier + ?Sized> {
     pushes: u64,
     alarms: u64,
     queue_high_water: usize,
+    /// Trace state: (trace id, enqueue span id) of the most recent traced
+    /// ingest that routed into this shard, consumed by the next queue
+    /// processing, which parents its `ShardDrain`/`AlarmEmit` spans to the
+    /// enqueue span. One slot per shard — when several traced batches land
+    /// between drains the latest wins, a deliberate coarsening that keeps
+    /// the hot ingest path at one word-sized store per record (the
+    /// tracing-overhead A/B in bench_serve holds the whole path under
+    /// 5%). Only populated while a tracer is installed and enabled.
+    trace: Option<(u64, u64)>,
 }
 
 impl<'a, C: EarlyClassifier + ?Sized> Shard<'a, C> {
@@ -181,6 +191,7 @@ impl<'a, C: EarlyClassifier + ?Sized> Shard<'a, C> {
             pushes: 0,
             alarms: 0,
             queue_high_water: 0,
+            trace: None,
         }
     }
 
@@ -191,8 +202,19 @@ impl<'a, C: EarlyClassifier + ?Sized> Shard<'a, C> {
     /// every [`PUSH_SAMPLE_EVERY`]-th push per shard (the sampling
     /// decision depends only on the shard's push counter, never on the
     /// clock, so instrumentation cannot perturb what any monitor sees).
-    fn process_queue(&mut self, clock: &Clock, push_ns: &Histogram) -> Vec<StreamAlarm> {
+    fn process_queue(
+        &mut self,
+        clock: &Clock,
+        push_ns: &Histogram,
+        tracer: Option<&Tracer>,
+    ) -> Vec<StreamAlarm> {
         let timing = !clock.is_disabled();
+        // Trace state exists only if a traced ingest routed into this
+        // shard; with none, the drain does zero tracing work (not even a
+        // clock read).
+        let tracer = tracer.filter(|t| t.enabled() && self.trace.is_some());
+        let trace_start = tracer.map_or(0, |t| t.start());
+        let drained = self.queue.len() as u64;
         let mut out = Vec::new();
         for q in self.queue.drain(..) {
             // Ingest creates the monitor when it routes the record, and
@@ -220,6 +242,24 @@ impl<'a, C: EarlyClassifier + ?Sized> Shard<'a, C> {
                 });
             }
         }
+        if let (Some(tracer), Some((trace_id, enq_span))) = (tracer, self.trace.take()) {
+            // One ShardDrain span for the whole pass, parented to the
+            // enqueue span of the shard's latest traced ingest; each alarm
+            // the drain produced becomes an instant AlarmEmit span under
+            // the drain span — which is how one trace id connects
+            // client → shard → alarm.
+            let drain_span = tracer.span(
+                SpanKind::ShardDrain,
+                trace_id,
+                enq_span,
+                trace_start,
+                drained,
+            );
+            for a in &out {
+                let at = tracer.start();
+                tracer.span_at(SpanKind::AlarmEmit, trace_id, drain_span, at, at, a.seq);
+            }
+        }
         out
     }
 }
@@ -239,6 +279,13 @@ struct RuntimeMetrics {
     checkpoint_pause_ns: Histogram,
     checkpoint_bytes: Histogram,
     migration_ns: Histogram,
+    /// Live total queue depth across all shards, updated at every ingest,
+    /// reject, and drain — a scraper between drains sees the actual
+    /// backlog, not a stale drain-time value.
+    queue_depth: Gauge,
+    /// High-water mark of the live depth over the runtime's life (survives
+    /// rebalances, unlike the per-shard topology-scoped marks).
+    queue_depth_high_water: Gauge,
 }
 
 impl RuntimeMetrics {
@@ -249,6 +296,8 @@ impl RuntimeMetrics {
             checkpoint_pause_ns: Histogram::new(),
             checkpoint_bytes: Histogram::new(),
             migration_ns: Histogram::new(),
+            queue_depth: Gauge::new(),
+            queue_depth_high_water: Gauge::new(),
         }
     }
 }
@@ -293,6 +342,14 @@ pub struct Runtime<'a, C: EarlyClassifier + ?Sized> {
     /// ([`set_clock`](Self::set_clock)). Alarm content never reads it.
     clock: Clock,
     metrics: RuntimeMetrics,
+    /// Optional distributed-tracing handle ([`set_tracer`](Self::set_tracer)).
+    /// Like the clock, it only feeds telemetry — alarm content never
+    /// depends on whether (or how) the runtime is traced.
+    tracer: Option<Tracer>,
+    /// The most recent wire trace context a traced ingest carried; the
+    /// parent for checkpoint/migration spans, so maintenance work triggered
+    /// by a traced record stays connected to its trace.
+    last_ctx: Option<TraceContext>,
 }
 
 impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
@@ -334,6 +391,8 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             retired_alarms: 0,
             clock: Clock::monotonic(),
             metrics: RuntimeMetrics::new(),
+            tracer: None,
+            last_ctx: None,
         })
     }
 
@@ -357,6 +416,30 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
     /// the time source, so a test can step a manual clock it installed).
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// Install a distributed-tracing handle. Clones share buffers, so
+    /// handing the same tracer to this runtime and its node collects one
+    /// process-wide span set. A tracer over a [`Clock::disabled`] clock
+    /// (or no tracer at all — the default) records nothing and costs
+    /// nothing; either way alarm sequences are bit-identical.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Render this runtime's retained spans as Chrome `trace_event` JSON
+    /// stamped with `process`. Without a tracer, a complete empty trace
+    /// document (so callers can always hand the result to a viewer).
+    pub fn export_trace(&self, process: &str) -> String {
+        match &self.tracer {
+            Some(t) => t.export_chrome(process),
+            None => trace::export::chrome_trace_json(process, &[], 0),
+        }
     }
 
     /// Current shard count.
@@ -436,7 +519,21 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
     /// the batch **was fully accepted** — do not re-ingest it. The failed
     /// checkpoint is not retried until the next interval elapses.
     pub fn ingest(&mut self, batch: &[Record]) -> Result<(), ServeError> {
-        self.enqueue_batch(batch)?;
+        self.ingest_ctx(batch, None)
+    }
+
+    /// [`ingest`](Self::ingest) carrying an optional wire
+    /// [`TraceContext`]: with a context and an enabled tracer, the batch's
+    /// routing is recorded as one `ShardEnqueue` span per touched shard
+    /// (parented to the context's parent span), and the next drain of
+    /// those shards parents its `ShardDrain`/`AlarmEmit` spans under them.
+    /// With `None` (or no tracer) this is exactly [`ingest`](Self::ingest).
+    pub fn ingest_ctx(
+        &mut self,
+        batch: &[Record],
+        ctx: Option<TraceContext>,
+    ) -> Result<(), ServeError> {
+        self.enqueue_batch(batch, ctx)?;
         self.maybe_auto_checkpoint()
     }
 
@@ -464,12 +561,26 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         seq: u64,
         batch: &[Record],
     ) -> Result<bool, ServeError> {
+        self.ingest_tagged_ctx(client, seq, batch, None)
+    }
+
+    /// [`ingest_tagged`](Self::ingest_tagged) carrying an optional
+    /// [`TraceContext`] (see [`ingest_ctx`](Self::ingest_ctx) for what a
+    /// context adds). A deduplicated batch records no spans — it touched
+    /// no queue.
+    pub fn ingest_tagged_ctx(
+        &mut self,
+        client: u64,
+        seq: u64,
+        batch: &[Record],
+        ctx: Option<TraceContext>,
+    ) -> Result<bool, ServeError> {
         let tagged = client != 0;
         if tagged && self.clients.get(&client).is_some_and(|&cur| seq <= cur) {
             self.duplicate_batches += 1;
             return Ok(false);
         }
-        self.enqueue_batch(batch)?;
+        self.enqueue_batch(batch, ctx)?;
         if tagged {
             self.clients.insert(client, seq);
         }
@@ -487,7 +598,11 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
     /// The shared body of [`ingest`](Self::ingest) and
     /// [`ingest_tagged`](Self::ingest_tagged): route the batch into the
     /// shard queues without consulting the checkpoint schedule.
-    fn enqueue_batch(&mut self, batch: &[Record]) -> Result<(), ServeError> {
+    fn enqueue_batch(
+        &mut self,
+        batch: &[Record],
+        ctx: Option<TraceContext>,
+    ) -> Result<(), ServeError> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -497,11 +612,31 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             let mut incoming = vec![0usize; self.shards.len()];
             for r in batch {
                 let s = self.router.route(r.stream);
-                // lint: allow(panic-freedom, route() < shards.len() == incoming.len() by construction — router and shard vec change together)
-                incoming[s] += 1;
+                // route() < shards.len() == incoming.len() by construction
+                // (router and shard vec change together), so the entry
+                // exists; the fallback merely skips counting.
+                let pending = incoming
+                    .get_mut(s)
+                    .map(|c| {
+                        *c += 1;
+                        *c
+                    })
+                    .unwrap_or(1);
                 // lint: allow(panic-freedom, route() < shards.len() by construction — router and shard vec change together)
-                if self.shards[s].queue.len() + incoming[s] > self.cfg.queue_capacity {
+                let queued_here = self.shards[s].queue.len();
+                if queued_here + pending > self.cfg.queue_capacity {
                     self.rejected_batches += 1;
+                    if let Some(t) = self.tracer.as_ref() {
+                        t.event(
+                            Severity::Warn,
+                            EventKind::QueueFull,
+                            s as u64,
+                            queued_here as u64,
+                        );
+                    }
+                    // The depth did not change, but a rejection is one of
+                    // the moments a scraper most wants a fresh gauge.
+                    self.metrics.queue_depth.set(self.queued() as u64);
                     return Err(ServeError::QueueFull {
                         shard: s,
                         stream: r.stream,
@@ -510,14 +645,20 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
                 }
             }
         }
+        let trace = match (&self.tracer, ctx) {
+            (Some(t), Some(ctx)) if t.enabled() => Some((t.clone(), ctx, t.start())),
+            _ => None,
+        };
         let clf = self.clf;
         let monitor_cfg = self.cfg.monitor;
+        let mut depth = self.queued() as u64;
         for r in batch {
             let s = self.router.route(r.stream);
             // lint: allow(panic-freedom, route() < shards.len() by construction — router and shard vec change together)
             if self.shards[s].queue.len() >= self.cfg.queue_capacity {
                 // Block policy: backpressure by doing the work now.
                 self.flush_all();
+                depth = 0;
             }
             // lint: allow(panic-freedom, route() < shards.len() by construction; a borrow-precise direct index keeps `self.seq` readable below)
             let shard = &mut self.shards[s];
@@ -531,8 +672,35 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
                 value: r.value,
             });
             shard.queue_high_water = shard.queue_high_water.max(shard.queue.len());
+            depth += 1;
+            self.metrics.queue_depth.set(depth);
+            self.metrics.queue_depth_high_water.record_max(depth);
             self.seq += 1;
             self.ingested += 1;
+        }
+        if let Some((tracer, ctx, started)) = trace {
+            self.last_ctx = Some(ctx);
+            // One ShardEnqueue span per shard the batch touched, all under
+            // the wire context's parent; each shard's trace slot (latest
+            // traced ingest wins) lets its next drain continue the chain.
+            // The span is recorded lazily on first touch, so the extra
+            // per-record work is one route and one slot store.
+            let mut spans: Vec<Option<u64>> = vec![None; self.shards.len()];
+            for r in batch {
+                let s = self.router.route(r.stream);
+                if let (Some(slot), Some(shard)) = (spans.get_mut(s), self.shards.get_mut(s)) {
+                    let span = *slot.get_or_insert_with(|| {
+                        tracer.span(
+                            SpanKind::ShardEnqueue,
+                            ctx.trace_id,
+                            ctx.parent_span,
+                            started,
+                            s as u64,
+                        )
+                    });
+                    shard.trace = Some((ctx.trace_id, span));
+                }
+            }
         }
         Ok(())
     }
@@ -564,12 +732,16 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         // recording into the (lock-free, `&self`) histograms.
         let clock = &self.clock;
         let push_ns = &self.metrics.push_ns;
+        let tracer = self.tracer.as_ref();
         let batches = parallel::map_mut_with(threads, &mut self.shards, |shard| {
-            shard.process_queue(clock, push_ns)
+            shard.process_queue(clock, push_ns, tracer)
         });
         for batch in batches {
             self.pending.extend(batch);
         }
+        // Every queue is empty after a flush — the live gauge says so
+        // immediately, not at the next stats() call.
+        self.metrics.queue_depth.set(0);
         if timing {
             self.metrics
                 .drain_cycle_ns
@@ -595,6 +767,8 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         self.flush_all();
         let timing = !self.clock.is_disabled();
         let started = if timing { self.clock.now_ns() } else { 0 };
+        let tracer = self.tracer.clone().filter(|t| t.enabled());
+        let trace_start = tracer.as_ref().map_or(0, |t| t.start());
         let new_router = ShardRouter::new(new_shards);
         // Phase 1 (fallible, read-only): rehydrate a fresh monitor from
         // snapshot bytes for every stream whose shard index changes. Streams
@@ -630,6 +804,23 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         self.cfg.shards = new_shards;
         self.rebalances += 1;
         self.migrated_streams += n_migrated;
+        if let Some(t) = &tracer {
+            t.event(
+                Severity::Info,
+                EventKind::Migration,
+                n_migrated,
+                new_shards as u64,
+            );
+            if let Some(ctx) = self.last_ctx {
+                t.span(
+                    SpanKind::Migration,
+                    ctx.trace_id,
+                    ctx.parent_span,
+                    trace_start,
+                    n_migrated,
+                );
+            }
+        }
         if timing {
             self.metrics
                 .migration_ns
@@ -657,6 +848,8 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         self.flush_all();
         let timing = !self.clock.is_disabled();
         let started = if timing { self.clock.now_ns() } else { 0 };
+        let tracer = self.tracer.clone().filter(|t| t.enabled());
+        let trace_start = tracer.as_ref().map_or(0, |t| t.start());
         // Phase 1 (fallible, read-only): snapshot every requested stream.
         let mut out = Vec::with_capacity(streams.len());
         for &id in streams {
@@ -674,6 +867,23 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             }
         }
         self.migrated_streams += streams.len() as u64;
+        if let Some(t) = &tracer {
+            t.event(
+                Severity::Info,
+                EventKind::Migration,
+                streams.len() as u64,
+                0,
+            );
+            if let Some(ctx) = self.last_ctx {
+                t.span(
+                    SpanKind::Migration,
+                    ctx.trace_id,
+                    ctx.parent_span,
+                    trace_start,
+                    streams.len() as u64,
+                );
+            }
+        }
         if timing {
             self.metrics
                 .migration_ns
@@ -718,6 +928,9 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
                 .insert(id, monitor);
         }
         self.migrated_streams += n;
+        if let Some(t) = self.tracer.as_ref().filter(|t| t.enabled()) {
+            t.event(Severity::Info, EventKind::Migration, n, 0);
+        }
         if timing {
             self.metrics
                 .migration_ns
@@ -761,6 +974,8 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
             pending_alarms: self.pending.len(),
             rejected_batches: self.rejected_batches,
             duplicate_batches: self.duplicate_batches,
+            queue_depth: self.metrics.queue_depth.get(),
+            queue_depth_high_water: self.metrics.queue_depth_high_water.get(),
             rebalances: self.rebalances,
             migrated_streams: self.migrated_streams,
             checkpoints: self.checkpoints,
@@ -796,6 +1011,16 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         self.flush_all();
         let timing = !self.clock.is_disabled();
         let started = if timing { self.clock.now_ns() } else { 0 };
+        let tracer = self.tracer.clone().filter(|t| t.enabled());
+        let trace_start = tracer.as_ref().map_or(0, |t| t.start());
+        if let Some(t) = &tracer {
+            t.event(
+                Severity::Info,
+                EventKind::CheckpointBegin,
+                self.stream_count() as u64,
+                0,
+            );
+        }
         let mut enc = Encoder::new();
         enc.put_usize(self.shards.len());
         enc.put_usize(self.cfg.queue_capacity);
@@ -849,6 +1074,23 @@ impl<'a, C: EarlyClassifier + ?Sized> Runtime<'a, C> {
         self.checkpoints += 1;
         self.last_checkpoint_bytes = bytes.len();
         self.metrics.checkpoint_bytes.record(bytes.len() as u64);
+        if let Some(t) = &tracer {
+            t.event(
+                Severity::Info,
+                EventKind::CheckpointEnd,
+                bytes.len() as u64,
+                0,
+            );
+            if let Some(ctx) = self.last_ctx {
+                t.span(
+                    SpanKind::Checkpoint,
+                    ctx.trace_id,
+                    ctx.parent_span,
+                    trace_start,
+                    bytes.len() as u64,
+                );
+            }
+        }
         if timing {
             self.metrics
                 .checkpoint_pause_ns
@@ -1309,6 +1551,52 @@ mod tests {
             "sizes are clock-independent"
         );
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn queue_depth_gauge_tracks_live_backlog_and_high_water_survives_drain() {
+        let clf = detector();
+        let mut cfg = config(1);
+        cfg.queue_capacity = 8;
+        let mut rt = Runtime::new(&clf, cfg).unwrap();
+        // 20 records into a capacity-8 Block queue: the Block policy
+        // flushes mid-batch at 8 and 16, leaving 4 records live.
+        let batch: Vec<Record> = (0..20).map(|i| Record::new(1, i as f64)).collect();
+        rt.ingest(&batch).unwrap();
+        let stats = rt.stats();
+        assert_eq!(
+            stats.queue_depth, 4,
+            "live gauge shows what is queued after the mid-batch flushes"
+        );
+        assert_eq!(
+            stats.queue_depth_high_water, 8,
+            "high water caught the pre-flush peaks"
+        );
+        rt.drain();
+        let stats = rt.stats();
+        assert_eq!(stats.queue_depth, 0, "drain zeroes the live gauge");
+        assert_eq!(
+            stats.queue_depth_high_water, 8,
+            "the lifetime high-water mark survives the drain"
+        );
+        let text = stats.render_prometheus();
+        assert!(text.contains("etsc_serve_queue_depth 0"));
+        assert!(text.contains("etsc_serve_queue_depth_high_water 8"));
+
+        // Reject policy: a refused batch leaves the gauge at the prior
+        // backlog (the rejection enqueued nothing).
+        let mut cfg = config(1);
+        cfg.queue_capacity = 4;
+        cfg.overflow = OverflowPolicy::Reject;
+        let mut rt = Runtime::new(&clf, cfg).unwrap();
+        let three: Vec<Record> = (0..3).map(|i| Record::new(1, i as f64)).collect();
+        rt.ingest(&three).unwrap();
+        assert_eq!(rt.stats().queue_depth, 3);
+        let five: Vec<Record> = (0..5).map(|i| Record::new(1, i as f64)).collect();
+        assert!(rt.ingest(&five).is_err());
+        let stats = rt.stats();
+        assert_eq!(stats.queue_depth, 3, "rejection left the backlog as-is");
+        assert_eq!(stats.queue_depth_high_water, 3);
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub struct ServeStats {
     /// because the client's cursor showed them already applied — each one is
     /// a retry duplicate that exactly-once delivery absorbed.
     pub duplicate_batches: u64,
+    /// Live total queue depth across all shards, maintained continuously at
+    /// every ingest, reject, and drain — between drains this reflects the
+    /// actual backlog (unlike the per-shard snapshots, it needs no
+    /// [`stats`](crate::Runtime::stats) walk to stay fresh).
+    pub queue_depth: u64,
+    /// Runtime-lifetime high-water mark of [`queue_depth`](Self::queue_depth)
+    /// (per-shard marks reset with the topology; this one never does).
+    pub queue_depth_high_water: u64,
     /// Completed [`rebalance`](crate::Runtime::rebalance) calls.
     pub rebalances: u64,
     /// Streams that crossed shards via the snapshot/resume byte path.
@@ -166,6 +174,16 @@ impl ServeStats {
             "etsc_serve_pending_alarms",
             "Alarms produced but not yet returned by a drain.",
             self.pending_alarms as u64,
+        );
+        gauge(
+            "etsc_serve_queue_depth",
+            "Live total queue depth across all shards (updated at ingest/reject/drain).",
+            self.queue_depth,
+        );
+        gauge(
+            "etsc_serve_queue_depth_high_water",
+            "Runtime-lifetime high-water mark of the live queue depth.",
+            self.queue_depth_high_water,
         );
         gauge(
             "etsc_serve_last_checkpoint_bytes",

@@ -52,6 +52,8 @@ fn populated_stats() -> ServeStats {
         pending_alarms: 1,
         rejected_batches: 1,
         duplicate_batches: 2,
+        queue_depth: 1,
+        queue_depth_high_water: 5,
         rebalances: 1,
         migrated_streams: 2,
         checkpoints: 1,

@@ -405,6 +405,89 @@
 //! assert!(text.contains("etsc_serve_drain_cycle_ns_bucket{le=\"+Inf\"}"));
 //! ```
 //!
+//! ## Tracing
+//!
+//! [`core::trace`] adds the causal layer on top of the metrics plane: a
+//! [`Tracer`](core::trace::Tracer) is a cloneable handle over a bounded
+//! wait-free span ring and a typed structured event log, with
+//! deterministic span ids and the same injectable
+//! [`Clock`](core::metrics::Clock) (disabled clock = every call a no-op).
+//! A 16-byte [`TraceContext`](core::trace::TraceContext) — trace id plus
+//! parent span — rides the wire protocol (v3) so **one trace id follows a
+//! record across processes**: the cluster client opens a `ClientIngest`
+//! root and a `ClientSend` per node, the node continues it as
+//! `NodeIngest`, the runtime as `ShardEnqueue` → `ShardDrain` →
+//! `AlarmEmit`, and failure handling stays inside the same trace
+//! (`Migration`, `Redelivery` after a failover, plus
+//! failover/retry/backoff events). Retained spans export as Chrome
+//! `trace_event` JSON (load in `chrome://tracing` or Perfetto) — locally
+//! via [`Runtime::export_trace`](serve::Runtime::export_trace), remotely
+//! via [`net::Cluster::fetch_traces`] — and events render as text or JSON
+//! lines. Tracing never touches alarm bytes: the same traffic produces
+//! bit-identical alarm sequences with tracing on, off, or under a manual
+//! clock (`tests/trace_e2e.rs` enforces this across a three-node cluster
+//! with a live migration and a failover), and `bench_serve` holds the
+//! recording path under the same 5% budget as telemetry.
+//!
+//! ```
+//! use etsc::core::metrics::Clock;
+//! use etsc::core::trace::{SpanKind, TraceContext, Tracer, TracerConfig};
+//! use etsc::core::UcrDataset;
+//! use etsc::early::ects::{Ects, EctsConfig};
+//! use etsc::serve::{Record, Runtime, RuntimeConfig};
+//!
+//! let train = UcrDataset::new(
+//!     (0..8)
+//!         .map(|i| {
+//!             let level = if i % 2 == 0 { 0.0 } else { 3.0 };
+//!             (0..16).map(|j| level + 0.05 * ((i * 5 + j) % 7) as f64).collect()
+//!         })
+//!         .collect(),
+//!     vec![0, 1, 0, 1, 0, 1, 0, 1],
+//! )
+//! .unwrap();
+//! let ects = Ects::fit(&train, &EctsConfig::default());
+//! let mut rt = Runtime::new(
+//!     &ects,
+//!     RuntimeConfig { shards: 2, ..RuntimeConfig::default() },
+//! )
+//! .unwrap();
+//!
+//! // A tracer over a manual clock: deterministic timestamps. Cloning
+//! // shares the buffers, so every layer records into one span set.
+//! let tracer = Tracer::new(TracerConfig {
+//!     clock: Clock::manual(),
+//!     ..TracerConfig::default()
+//! });
+//! rt.set_tracer(tracer.clone());
+//!
+//! // Open a root span (exactly what the net client does per batch) and
+//! // hand its context to the runtime: enqueue and the next drain record
+//! // ShardEnqueue → ShardDrain (→ AlarmEmit per alarm) under the root.
+//! let trace_id = tracer.new_trace_id();
+//! let root = tracer.alloc_span_id();
+//! let started = tracer.start();
+//! for t in 0..8 {
+//!     let batch: Vec<Record> = (0..4).map(|id| Record::new(id, t as f64)).collect();
+//!     let ctx = TraceContext { trace_id, parent_span: root };
+//!     rt.ingest_ctx(&batch, Some(ctx)).unwrap();
+//!     tracer.clock().advance_ns(1_000);
+//! }
+//! rt.drain();
+//! tracer.span_with_id(root, SpanKind::ClientIngest, trace_id, 0, started, 32);
+//!
+//! // Every span carries the trace id, parented back to the root...
+//! let spans = tracer.spans();
+//! assert!(spans.iter().any(|s| s.kind == SpanKind::ShardEnqueue));
+//! assert!(spans.iter().any(|s| s.kind == SpanKind::ShardDrain));
+//! assert!(spans.iter().all(|s| s.trace_id == trace_id));
+//! assert_eq!(tracer.dropped_spans(), 0);
+//!
+//! // ...and the retained set exports as Chrome trace_event JSON.
+//! let json = rt.export_trace("doc");
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+//!
 //! ## Fault tolerance
 //!
 //! The wire layer assumes the network fails and the serving layer assumes

@@ -1,0 +1,495 @@
+//! The distributed-tracing acceptance test: one record followed across a
+//! three-node loopback cluster — client fan-out, node decode, shard
+//! enqueue, drain, alarm emission — through a live cross-node migration
+//! and a supervisor-driven failover, with every span chaining back to one
+//! client-side root and zero orphans. The exported Chrome `trace_event`
+//! documents must parse, and — the hard invariant — per-stream alarm
+//! sequences must be **bit-identical** with tracing disabled, monotonic,
+//! and manual.
+
+use etsc::core::metrics::Clock;
+use etsc::core::trace::{EventKind, Span, SpanKind, Tracer, TracerConfig};
+use etsc::core::UcrDataset;
+use etsc::early::ects::{Ects, EctsConfig};
+use etsc::net::{
+    ClientConfig, Cluster, Endpoint, Fault, FaultPlan, Listener, Node, NodeConfig, RetryPolicy,
+    Supervisor, SupervisorConfig,
+};
+use etsc::persist::ModelRegistry;
+use etsc::serve::{DedupCursor, Record, Runtime, RuntimeConfig, StreamAlarm};
+use etsc::stream::{Alarm, StreamMonitorConfig, StreamNorm};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn train_set() -> UcrDataset {
+    let data: Vec<Vec<f64>> = (0..10)
+        .map(|i| {
+            let level = if i % 2 == 0 { 0.0 } else { 3.0 };
+            (0..24)
+                .map(|j| level + 0.06 * ((i * 5 + j * 3) % 11) as f64)
+                .collect()
+        })
+        .collect();
+    let labels = (0..10).map(|i| i % 2).collect();
+    UcrDataset::new(data, labels).unwrap()
+}
+
+fn serve_cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        shards: 2,
+        monitor: StreamMonitorConfig {
+            anchor_stride: 3,
+            norm: StreamNorm::Raw,
+            refractory: 40,
+        },
+        model_name: "ects".to_string(),
+        threads: Some(2),
+        ..RuntimeConfig::default()
+    }
+}
+
+const STREAM_IDS: [u64; 5] = [3, 17, 256, 99_991, u64::MAX / 3];
+const ROUNDS: usize = 96;
+
+fn traffic() -> Vec<Vec<Record>> {
+    let train = train_set();
+    let event: Vec<f64> = train.series(1).to_vec();
+    (0..ROUNDS)
+        .map(|t| {
+            STREAM_IDS
+                .iter()
+                .enumerate()
+                .map(|(k, &id)| {
+                    let start = 20 + 13 * k;
+                    let value = if t >= start && t < start + event.len() {
+                        event[t - start]
+                    } else {
+                        0.02 * ((t * 7 + k) % 5) as f64
+                    };
+                    Record::new(id, value)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn per_stream(alarms: &[StreamAlarm], id: u64) -> Vec<Alarm> {
+    alarms
+        .iter()
+        .filter(|a| a.stream == id)
+        .map(|a| a.alarm)
+        .collect()
+}
+
+fn bind_loopback() -> (Listener, Endpoint) {
+    let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap();
+    let endpoint = listener.local_endpoint().unwrap();
+    (listener, endpoint)
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("etsc-trace-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// A tracer with a disjoint span-id range per process-in-the-test, so
+/// client and node spans merge without id collisions (exactly what a real
+/// deployment does with per-process id seeds).
+fn tracer_with_seed(seed: u64, clock: Clock) -> Tracer {
+    Tracer::new(TracerConfig {
+        id_seed: seed,
+        clock,
+        ..TracerConfig::default()
+    })
+}
+
+/// The in-process reference run every traced/untraced variant must match.
+fn reference_alarms(clf: &Ects) -> Vec<StreamAlarm> {
+    let mut rt = Runtime::new(clf, serve_cfg()).unwrap();
+    let mut alarms = Vec::new();
+    for (t, batch) in traffic().iter().enumerate() {
+        rt.ingest(batch).unwrap();
+        if (t + 1) % 8 == 0 {
+            alarms.extend(rt.drain());
+        }
+    }
+    alarms.extend(rt.drain());
+    assert!(!alarms.is_empty(), "the planted events must produce alarms");
+    alarms
+}
+
+struct StopGuard<'n, 'a>(&'n Node<'a, Ects>);
+
+impl Drop for StopGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.stop();
+    }
+}
+
+/// Drive the full kill-and-heal scenario with tracing on everywhere and
+/// return (delivered alarms, all spans from every tracer, client tracer,
+/// node trace JSON documents).
+#[allow(clippy::type_complexity)]
+fn run_traced(clf: &Ects) -> (Vec<StreamAlarm>, Vec<Span>, Tracer, Vec<String>) {
+    let root = tmp_root("traced");
+    let dirs: Vec<PathBuf> = (0..3).map(|i| root.join(format!("node{i}"))).collect();
+    for d in &dirs {
+        std::fs::create_dir_all(d).unwrap();
+    }
+
+    // Disjoint id ranges: client 1.., node i at (i+1) << 32.
+    let client_tracer = tracer_with_seed(1, Clock::monotonic());
+    let node_tracers: Vec<Tracer> = (0..3u64)
+        .map(|i| tracer_with_seed((i + 1) << 32, Clock::monotonic()))
+        .collect();
+
+    // Node 0 is doomed; it checkpoints every batch so failover recovery
+    // covers everything it ever acked.
+    let mut rt0 = Runtime::new(clf, serve_cfg()).unwrap();
+    rt0.enable_checkpoints(ModelRegistry::open(&dirs[0]).unwrap(), 1)
+        .unwrap();
+    rt0.set_tracer(node_tracers[0].clone());
+    let node0 = Node::new(rt0, NodeConfig::default());
+    let mut rt1 = Runtime::new(clf, serve_cfg()).unwrap();
+    rt1.set_tracer(node_tracers[1].clone());
+    let node1 = Node::new(rt1, NodeConfig::default());
+    let mut rt2 = Runtime::new(clf, serve_cfg()).unwrap();
+    rt2.set_tracer(node_tracers[2].clone());
+    let node2 = Node::new(rt2, NodeConfig::default());
+    let (l0, e0) = bind_loopback();
+    let (l1, e1) = bind_loopback();
+    let (l2, e2) = bind_loopback();
+
+    let batches = traffic();
+    let kill_round = 48usize;
+    let migrate_round = 30usize;
+    let (delivered, node_docs) = std::thread::scope(|s| {
+        let mut guard0 = Some(StopGuard(&node0));
+        let guard1 = StopGuard(&node1);
+        let guard2 = StopGuard(&node2);
+        let mut server0 = Some(s.spawn(|| node0.serve(l0)));
+        let server1 = s.spawn(|| node1.serve(l1));
+        let server2 = s.spawn(|| node2.serve(l2));
+
+        let inj = FaultPlan::new().build();
+        let cfg = ClientConfig {
+            request_timeout: Duration::from_millis(150),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(5),
+                jitter_seed: 7,
+            },
+            client_id: 1,
+            faults: Some(inj.clone()),
+            tracer: Some(client_tracer.clone()),
+            ..ClientConfig::default()
+        };
+        let mut cluster = Cluster::connect_with(&[e0, e1, e2], cfg).unwrap();
+        for &id in &STREAM_IDS {
+            cluster.open_stream(id).unwrap();
+        }
+        // Deterministic placement: two streams on the doomed node.
+        cluster.migrate(&[STREAM_IDS[1], STREAM_IDS[3]], 0).unwrap();
+        cluster.migrate(&[STREAM_IDS[0], STREAM_IDS[4]], 1).unwrap();
+        cluster.migrate(&[STREAM_IDS[2]], 2).unwrap();
+
+        let sup_cfg = SupervisorConfig::new(dirs.clone(), "ects");
+        let mut sup: Supervisor<Ects> = Supervisor::new(sup_cfg);
+        let mut sink = DedupCursor::default();
+        let mut delivered: Vec<StreamAlarm> = Vec::new();
+
+        for (t, batch) in batches.iter().enumerate() {
+            if t == migrate_round {
+                // A traced ingest stream crosses a live cross-node
+                // migration mid-run; the trace must survive the move.
+                cluster.migrate(&[STREAM_IDS[2]], 1).unwrap();
+            }
+            if t == kill_round {
+                // Outbound partition: requests are silently swallowed, so
+                // this round's traced sub-batches are stashed **unapplied**
+                // — the failover cursor cannot cover them, which forces the
+                // Redelivery path through the original trace.
+                inj.inject(Fault::PartitionOutbound);
+                assert!(cluster.ingest(batch).is_err());
+                assert!(cluster.pending_batches() >= 1);
+                node0.stop();
+                drop(guard0.take());
+                server0.take().unwrap().join().unwrap().unwrap();
+                inj.heal();
+                let mut reports = Vec::new();
+                for _ in 0..3 {
+                    reports.extend(sup.tick(&mut cluster).unwrap());
+                }
+                assert_eq!(reports.len(), 1, "exactly one failover");
+                cluster.apply_failover(&reports[0]).unwrap();
+                delivered.extend(sink.filter(reports[0].redelivered.clone()));
+                continue;
+            }
+            cluster.ingest(batch).unwrap();
+            if (t + 1) % 8 == 0 {
+                delivered.extend(sink.filter(cluster.drain().unwrap()));
+            }
+        }
+        delivered.extend(sink.filter(cluster.drain().unwrap()));
+        assert_eq!(cluster.pending_batches(), 0);
+
+        // The wire Trace request: every live node answers with a Chrome
+        // trace_event document.
+        let node_docs = cluster.fetch_traces().unwrap();
+        assert_eq!(node_docs.len(), 2, "two survivors answer Trace");
+
+        drop(guard1);
+        drop(guard2);
+        server1.join().unwrap().unwrap();
+        server2.join().unwrap().unwrap();
+        (delivered, node_docs)
+    });
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut spans = client_tracer.spans();
+    for t in &node_tracers {
+        spans.extend(t.spans());
+    }
+    (delivered, spans, client_tracer, node_docs)
+}
+
+/// Walk a span's parent chain to its root, panicking on a missing parent
+/// (an orphan) or a cycle.
+fn root_of<'s>(span: &'s Span, by_id: &BTreeMap<u64, &'s Span>) -> &'s Span {
+    let mut cur = span;
+    let mut hops = 0;
+    while cur.parent_id != 0 {
+        cur = by_id.get(&cur.parent_id).unwrap_or_else(|| {
+            panic!(
+                "span {} ({:?}) has orphan parent {}",
+                span.span_id, span.kind, cur.parent_id
+            )
+        });
+        hops += 1;
+        assert!(hops < 64, "parent chain of span {} cycles", span.span_id);
+    }
+    cur
+}
+
+#[test]
+fn one_connected_trace_crosses_cluster_node_shard_alarm_and_failover() {
+    let clf = Ects::fit(&train_set(), &EctsConfig::default());
+    let reference = reference_alarms(&clf);
+    let (delivered, spans, client_tracer, node_docs) = run_traced(&clf);
+
+    // The traced, migrated, killed, failed-over run still delivers the
+    // reference alarm sequences bit-identically.
+    for &id in &STREAM_IDS {
+        assert_eq!(
+            per_stream(&delivered, id),
+            per_stream(&reference, id),
+            "stream {id}: traced run diverged from the reference"
+        );
+    }
+
+    // Dropped-span accounting must be clean at this traffic volume; a
+    // nonzero drop count would make orphan checks vacuous.
+    assert_eq!(client_tracer.dropped_spans(), 0);
+
+    let by_id: BTreeMap<u64, &Span> = spans.iter().map(|s| (s.span_id, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "span ids are globally unique");
+
+    // No orphans: every non-root span's parent chain terminates at a
+    // ClientIngest root recorded by the cluster client.
+    let mut kinds_seen: BTreeMap<SpanKind, usize> = BTreeMap::new();
+    for s in &spans {
+        *kinds_seen.entry(s.kind).or_default() += 1;
+        let root = root_of(s, &by_id);
+        assert_eq!(
+            root.kind,
+            SpanKind::ClientIngest,
+            "span {} ({:?}) roots at {:?}, not a client ingest",
+            s.span_id,
+            s.kind,
+            root.kind
+        );
+        assert_eq!(root.trace_id, s.trace_id, "trace id is stable up the chain");
+    }
+
+    // The whole pipeline is represented, failover redelivery included.
+    for kind in [
+        SpanKind::ClientIngest,
+        SpanKind::ClientSend,
+        SpanKind::NodeIngest,
+        SpanKind::ShardEnqueue,
+        SpanKind::ShardDrain,
+        SpanKind::AlarmEmit,
+        SpanKind::Checkpoint,
+        SpanKind::Migration,
+        SpanKind::Redelivery,
+    ] {
+        assert!(
+            kinds_seen.get(&kind).copied().unwrap_or(0) > 0,
+            "no {kind:?} span was recorded (saw {kinds_seen:?})"
+        );
+    }
+
+    // At least one alarm emission chains through the full path:
+    // AlarmEmit → ShardDrain → ShardEnqueue → NodeIngest → … → root.
+    let full_chain = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::AlarmEmit)
+        .any(|a| {
+            let drain = by_id[&a.parent_id];
+            if drain.kind != SpanKind::ShardDrain {
+                return false;
+            }
+            let enq = by_id[&drain.parent_id];
+            if enq.kind != SpanKind::ShardEnqueue {
+                return false;
+            }
+            by_id[&enq.parent_id].kind == SpanKind::NodeIngest
+        });
+    assert!(full_chain, "no alarm chained drain → enqueue → node ingest");
+
+    // Redelivered batches stay inside the trace they started in: every
+    // Redelivery span has ClientSend children whose NodeIngest children
+    // landed on a survivor.
+    let redelivery = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Redelivery)
+        .unwrap();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.kind == SpanKind::ClientSend && s.parent_id == redelivery.span_id),
+        "redelivery span has no client send children"
+    );
+
+    // The structured event log saw the failover lifecycle.
+    let events = client_tracer.events();
+    for kind in [EventKind::FailoverDeclared, EventKind::FailoverCompleted] {
+        assert!(
+            events.iter().any(|e| e.kind == kind),
+            "missing {kind:?} event"
+        );
+    }
+    // Text and JSON-lines renderings cover every retained event.
+    let text = client_tracer.events_text();
+    assert!(text.contains("failover_declared"));
+    let jsonl = client_tracer.events_json_lines();
+    for line in jsonl.lines() {
+        etsc_bench::json::parse(line).unwrap_or_else(|e| panic!("event line {line:?}: {e}"));
+    }
+
+    // Every exported Chrome document — the two survivors' wire replies
+    // plus the client tracer's own export — parses as JSON with a
+    // traceEvents array.
+    let client_doc = client_tracer.export_chrome("etsc-cluster-client");
+    for doc in node_docs.iter().chain([&client_doc]) {
+        let parsed = etsc_bench::json::parse(doc).unwrap_or_else(|e| panic!("chrome doc: {e}"));
+        let etsc_bench::json::Json::Obj(members) = &parsed else {
+            panic!("chrome doc is not an object");
+        };
+        let trace_events = members
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("no traceEvents key in {doc:.120}"));
+        assert!(
+            matches!(trace_events, etsc_bench::json::Json::Arr(_)),
+            "traceEvents is not an array"
+        );
+    }
+}
+
+/// Run the undisturbed three-node cluster under one tracing mode and
+/// return the delivered alarms.
+fn run_clocked(clf: &Ects, tracer: Option<Tracer>) -> Vec<StreamAlarm> {
+    let client_tracer = tracer.clone();
+    let mk_rt = |t: &Option<Tracer>| {
+        let mut rt = Runtime::new(clf, serve_cfg()).unwrap();
+        if let Some(t) = t {
+            rt.set_tracer(t.clone());
+        }
+        rt
+    };
+    let node0 = Node::new(mk_rt(&tracer), NodeConfig::default());
+    let node1 = Node::new(mk_rt(&tracer), NodeConfig::default());
+    let node2 = Node::new(mk_rt(&tracer), NodeConfig::default());
+    let (l0, e0) = bind_loopback();
+    let (l1, e1) = bind_loopback();
+    let (l2, e2) = bind_loopback();
+    std::thread::scope(|s| {
+        let guard0 = StopGuard(&node0);
+        let guard1 = StopGuard(&node1);
+        let guard2 = StopGuard(&node2);
+        let server0 = s.spawn(|| node0.serve(l0));
+        let server1 = s.spawn(|| node1.serve(l1));
+        let server2 = s.spawn(|| node2.serve(l2));
+
+        let cfg = ClientConfig {
+            client_id: 9,
+            tracer: client_tracer,
+            ..ClientConfig::default()
+        };
+        let mut cluster = Cluster::connect_with(&[e0, e1, e2], cfg).unwrap();
+        for &id in &STREAM_IDS {
+            cluster.open_stream(id).unwrap();
+        }
+        cluster.migrate(&[STREAM_IDS[1], STREAM_IDS[3]], 0).unwrap();
+        cluster.migrate(&[STREAM_IDS[0], STREAM_IDS[4]], 1).unwrap();
+        cluster.migrate(&[STREAM_IDS[2]], 2).unwrap();
+
+        let mut delivered = Vec::new();
+        for (t, batch) in traffic().iter().enumerate() {
+            cluster.ingest(batch).unwrap();
+            if (t + 1) % 8 == 0 {
+                delivered.extend(cluster.drain().unwrap());
+            }
+        }
+        delivered.extend(cluster.drain().unwrap());
+
+        drop(guard0);
+        drop(guard1);
+        drop(guard2);
+        server0.join().unwrap().unwrap();
+        server1.join().unwrap().unwrap();
+        server2.join().unwrap().unwrap();
+        delivered
+    })
+}
+
+#[test]
+fn alarm_sequences_are_bit_identical_across_tracing_modes() {
+    let clf = Ects::fit(&train_set(), &EctsConfig::default());
+    let reference = reference_alarms(&clf);
+
+    let manual = Clock::manual();
+    manual.advance_ns(1);
+    let modes: Vec<(&str, Option<Tracer>)> = vec![
+        ("untraced", None),
+        ("monotonic", Some(tracer_with_seed(1, Clock::monotonic()))),
+        ("manual", Some(tracer_with_seed(1, manual))),
+        ("disabled", Some(tracer_with_seed(1, Clock::disabled()))),
+    ];
+    for (name, tracer) in modes {
+        let delivered = run_clocked(&clf, tracer.clone());
+        for &id in &STREAM_IDS {
+            assert_eq!(
+                per_stream(&delivered, id),
+                per_stream(&reference, id),
+                "stream {id}: {name} tracing mode changed the alarm bytes"
+            );
+        }
+        // A disabled tracer records nothing at all; enabled ones record
+        // without touching the bytes above.
+        if let Some(t) = &tracer {
+            if t.enabled() {
+                assert!(!t.spans().is_empty(), "{name}: expected recorded spans");
+            } else {
+                assert!(t.spans().is_empty(), "{name}: disabled tracer recorded");
+                assert!(t.events().is_empty());
+            }
+        }
+    }
+}
